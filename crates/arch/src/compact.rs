@@ -1,0 +1,161 @@
+//! On-the-fly output compaction (§3.2, Figure 5).
+//!
+//! After a cluster's compute units produce their (dense, possibly zero)
+//! output cells, the output collector (1) zero-detects each value with an
+//! EXNOR gate to build the output SparseMap, and (2) compacts the values by
+//! shifting each non-zero left by the number of zeros to its left — an
+//! *inverted* prefix sum. The paper notes this need not be fast (one
+//! compaction per ~hundreds of multiply-adds), so a simple shifter suffices.
+
+use crate::prefix::{PrefixCircuit, Sklansky};
+use sparten_tensor::{SparseChunk, SparseMap};
+
+/// Structural model of the output collector's compaction stage.
+///
+/// # Example
+///
+/// ```
+/// use sparten_arch::OutputCompactor;
+///
+/// let compactor = OutputCompactor::new(8);
+/// let out = compactor.compact(&[0.0, 5.0, 0.0, 0.0, 7.0, 1.0, 0.0, 2.0]);
+/// assert_eq!(out.values(), &[5.0, 7.0, 1.0, 2.0]);
+/// assert_eq!(out.mask().iter_ones().collect::<Vec<_>>(), vec![1, 4, 5, 7]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputCompactor {
+    width: usize,
+}
+
+impl OutputCompactor {
+    /// A compactor over `width` output cells (one per compute unit in a
+    /// cluster, e.g. 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "compactor width must be positive");
+        OutputCompactor { width }
+    }
+
+    /// Compactor width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Zero-detects `values` and compacts the non-zeros, returning the
+    /// resulting sparse chunk. Evaluated structurally: the shift distance of
+    /// each value is the inverted (zero-counting) prefix sum, exactly as in
+    /// Figure 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.width()`.
+    pub fn compact(&self, values: &[f32]) -> SparseChunk {
+        assert_eq!(values.len(), self.width, "value count mismatch");
+        // EXNOR zero-detection builds the SparseMap.
+        let mask = SparseMap::from_values(values);
+        // Inverted prefix sum: count zeros at or before each position; the
+        // shift distance of a non-zero at i is zeros strictly before i.
+        let inverted = {
+            let mut inv_bits = vec![false; self.width];
+            for (i, bit) in inv_bits.iter_mut().enumerate() {
+                *bit = !mask.get(i);
+            }
+            let inv_mask = SparseMap::from_bools(&inv_bits);
+            Sklansky.prefix_sums(&inv_mask)
+        };
+        let mut packed = vec![0.0f32; mask.count_ones()];
+        for (i, &v) in values.iter().enumerate() {
+            if v != 0.0 {
+                // Inclusive zero count at a non-zero position equals the
+                // zeros strictly before it — the shift distance.
+                let dst = i - inverted[i] as usize;
+                packed[dst] = v;
+            }
+        }
+        SparseChunk::from_parts(mask, packed)
+    }
+
+    /// Shift distance of each position (zeros strictly to its left) — useful
+    /// for testing the shifter structure itself.
+    pub fn shift_distances(&self, values: &[f32]) -> Vec<usize> {
+        assert_eq!(values.len(), self.width, "value count mismatch");
+        let mut zeros = 0usize;
+        values
+            .iter()
+            .map(|&v| {
+                let d = zeros;
+                if v == 0.0 {
+                    zeros += 1;
+                }
+                d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_preserves_order_and_values() {
+        let c = OutputCompactor::new(6);
+        let out = c.compact(&[0.0, 1.0, 0.0, 2.0, 3.0, 0.0]);
+        assert_eq!(out.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.to_dense(), vec![0.0, 1.0, 0.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn figure5_worked_example() {
+        // Figure 5: the sixth value has two zeros to its left and shifts two.
+        let c = OutputCompactor::new(8);
+        let vals = [1.0, 0.0, 2.0, 3.0, 0.0, 4.0, 5.0, 0.0];
+        assert_eq!(c.shift_distances(&vals)[5], 2);
+        let out = c.compact(&vals);
+        assert_eq!(out.values()[3], 4.0); // shifted from slot 5 to slot 3
+    }
+
+    #[test]
+    fn all_zero_output() {
+        let c = OutputCompactor::new(4);
+        let out = c.compact(&[0.0; 4]);
+        assert_eq!(out.nnz(), 0);
+        assert_eq!(out.mask().count_ones(), 0);
+    }
+
+    #[test]
+    fn all_nonzero_output_is_identity() {
+        let c = OutputCompactor::new(4);
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let out = c.compact(&vals);
+        assert_eq!(out.values(), &vals);
+        assert_eq!(c.shift_distances(&vals), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn compact_equals_from_dense() {
+        // The compactor must agree with the software conversion everywhere.
+        let c = OutputCompactor::new(32);
+        for seed in 0..20usize {
+            let vals: Vec<f32> = (0..32)
+                .map(|i| {
+                    if (i * 7 + seed * 13) % 3 == 0 {
+                        0.0
+                    } else {
+                        (i + seed) as f32
+                    }
+                })
+                .collect();
+            assert_eq!(c.compact(&vals), SparseChunk::from_dense(&vals));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value count mismatch")]
+    fn wrong_width_panics() {
+        OutputCompactor::new(4).compact(&[1.0; 5]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Priority encoder: finds the next set bit of the ANDed SparseMaps.
+//!
+//! §3.1: "To identify the next matching pair, we need the next topmost set
+//! bit in the AND-result. This bit is identified by a priority encoder
+//! (priority decreases from top to bottom)" with logarithmic delay. The
+//! structural model here is a binary reduction tree of valid/index pairs;
+//! its depth and gate counts feed the area model.
+
+use sparten_tensor::SparseMap;
+
+/// A structural priority-encoder model over `width` bits.
+///
+/// Position 0 is the highest priority ("topmost" in the paper's Figure 3).
+///
+/// # Example
+///
+/// ```
+/// use sparten_arch::PriorityEncoder;
+/// use sparten_tensor::SparseMap;
+///
+/// let enc = PriorityEncoder::new(8);
+/// let m = SparseMap::from_bools(&[false, false, true, false, true, false, false, false]);
+/// assert_eq!(enc.first_one(&m), Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityEncoder {
+    width: usize,
+}
+
+impl PriorityEncoder {
+    /// Creates an encoder over `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "encoder width must be positive");
+        PriorityEncoder { width }
+    }
+
+    /// Encoder input width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Structural evaluation: reduces (valid, index) pairs in a binary tree,
+    /// preferring the lower index — identical in result to scanning for the
+    /// first set bit, but evaluated as the log-depth tree the hardware uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.width()`.
+    pub fn first_one(&self, mask: &SparseMap) -> Option<usize> {
+        assert_eq!(mask.len(), self.width, "mask width mismatch");
+        // Leaf level: (valid, index).
+        let mut level: Vec<(bool, usize)> = (0..self.width).map(|i| (mask.get(i), i)).collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                // Prefer the left (lower-index) input when it is valid or
+                // when there is no right input.
+                let merged = if pair.len() == 1 || pair[0].0 {
+                    pair[0]
+                } else {
+                    pair[1]
+                };
+                next.push(merged);
+            }
+            level = next;
+        }
+        level[0].0.then_some(level[0].1)
+    }
+
+    /// Tree depth in mux levels — the circuit's critical path.
+    pub fn depth(&self) -> usize {
+        if self.width <= 1 {
+            0
+        } else {
+            usize::BITS as usize - (self.width - 1).leading_zeros() as usize
+        }
+    }
+
+    /// Number of 2-input merge nodes in the reduction tree.
+    pub fn nodes(&self) -> usize {
+        // A reduction over n leaves uses n−1 internal nodes (full pairs only;
+        // odd leftovers pass through without a node).
+        let mut n = self.width;
+        let mut nodes = 0;
+        while n > 1 {
+            nodes += n / 2;
+            n = n.div_ceil(2);
+        }
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_topmost_set_bit() {
+        let enc = PriorityEncoder::new(128);
+        let mut m = SparseMap::zeros(128);
+        m.set(100, true);
+        m.set(37, true);
+        m.set(99, true);
+        assert_eq!(enc.first_one(&m), Some(37));
+    }
+
+    #[test]
+    fn empty_mask_yields_none() {
+        let enc = PriorityEncoder::new(64);
+        assert_eq!(enc.first_one(&SparseMap::zeros(64)), None);
+    }
+
+    #[test]
+    fn matches_functional_scan_on_many_patterns() {
+        let enc = PriorityEncoder::new(130);
+        for seed in 0..50usize {
+            let bools: Vec<bool> = (0..130).map(|i| (i * 31 + seed * 17) % 7 == 0).collect();
+            let m = SparseMap::from_bools(&bools);
+            assert_eq!(enc.first_one(&m), m.next_one(0));
+        }
+    }
+
+    #[test]
+    fn log_depth() {
+        assert_eq!(PriorityEncoder::new(128).depth(), 7);
+        assert_eq!(PriorityEncoder::new(1).depth(), 0);
+        assert_eq!(PriorityEncoder::new(130).depth(), 8);
+    }
+
+    #[test]
+    fn node_count_is_linear() {
+        assert_eq!(PriorityEncoder::new(128).nodes(), 127);
+        assert_eq!(PriorityEncoder::new(2).nodes(), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_width_works() {
+        let enc = PriorityEncoder::new(5);
+        let m = SparseMap::from_bools(&[false, false, false, false, true]);
+        assert_eq!(enc.first_one(&m), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        PriorityEncoder::new(8).first_one(&SparseMap::zeros(9));
+    }
+}

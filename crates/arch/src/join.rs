@@ -1,0 +1,191 @@
+//! The inner-join sequencer: the compute unit's match-walking state machine.
+//!
+//! §3.1, Figure 3: the CU ANDs the two SparseMaps, then repeatedly (1) uses
+//! the priority encoder to find the topmost set bit of the AND-result,
+//! (2) uses prefix sums over each operand's own mask to get the packed-value
+//! offsets, (3) multiplies and accumulates, and (4) clears the bit. This
+//! module models that sequence step by step, emitting one [`JoinStep`] per
+//! multiply-accumulate so the cycle-level simulators and the energy model can
+//! count exactly what the hardware would do.
+
+use crate::encoder::PriorityEncoder;
+use crate::prefix::{PrefixCircuit, Sklansky};
+use sparten_tensor::{SparseChunk, SparseMap};
+
+/// One multiply-accumulate step of an inner join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinStep {
+    /// Matched position within the chunk.
+    pub position: usize,
+    /// Offset of the first operand's packed value.
+    pub offset_a: usize,
+    /// Offset of the second operand's packed value.
+    pub offset_b: usize,
+    /// The product accumulated this step.
+    pub product: f32,
+}
+
+/// Walks the matches of two sparse chunks exactly as the hardware does.
+///
+/// # Example
+///
+/// ```
+/// use sparten_arch::InnerJoinSequencer;
+/// use sparten_tensor::SparseChunk;
+///
+/// let a = SparseChunk::from_dense(&[0.0, 2.0, 0.0, 3.0]);
+/// let b = SparseChunk::from_dense(&[1.0, 4.0, 5.0, 3.0]);
+/// let mut seq = InnerJoinSequencer::new(&a, &b);
+/// let steps: Vec<_> = seq.by_ref().collect();
+/// assert_eq!(steps.len(), 2);              // positions 1 and 3 match
+/// assert_eq!(seq.accumulator(), 2.0 * 4.0 + 3.0 * 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InnerJoinSequencer<'a> {
+    a: &'a SparseChunk,
+    b: &'a SparseChunk,
+    /// The AND-result with already-consumed matches cleared.
+    pending: SparseMap,
+    encoder: PriorityEncoder,
+    prefix_a: Vec<u32>,
+    prefix_b: Vec<u32>,
+    accumulator: f32,
+    steps_taken: usize,
+}
+
+impl<'a> InnerJoinSequencer<'a> {
+    /// Sets up the join of two chunks: ANDs the masks and evaluates the two
+    /// prefix-sum circuits once per chunk (they depend only on the operand
+    /// masks, not on join progress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks differ in length or are zero-length.
+    pub fn new(a: &'a SparseChunk, b: &'a SparseChunk) -> Self {
+        assert_eq!(a.len(), b.len(), "chunk length mismatch");
+        let circuit = Sklansky;
+        let inc_a = circuit.prefix_sums(a.mask());
+        let inc_b = circuit.prefix_sums(b.mask());
+        // Convert to exclusive counts (values before the position).
+        let prefix_a = crate::prefix::exclusive_from_inclusive(&inc_a, a.mask());
+        let prefix_b = crate::prefix::exclusive_from_inclusive(&inc_b, b.mask());
+        InnerJoinSequencer {
+            pending: a.mask().and(b.mask()),
+            encoder: PriorityEncoder::new(a.len()),
+            a,
+            b,
+            prefix_a,
+            prefix_b,
+            accumulator: 0.0,
+            steps_taken: 0,
+        }
+    }
+
+    /// The running partial sum.
+    pub fn accumulator(&self) -> f32 {
+        self.accumulator
+    }
+
+    /// Multiply-accumulates performed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Matches still pending.
+    pub fn remaining(&self) -> usize {
+        self.pending.count_ones()
+    }
+
+    /// Runs the join to completion and returns the dot product.
+    pub fn run(mut self) -> f32 {
+        for _ in self.by_ref() {}
+        self.accumulator
+    }
+}
+
+impl Iterator for InnerJoinSequencer<'_> {
+    type Item = JoinStep;
+
+    fn next(&mut self) -> Option<JoinStep> {
+        let position = self.encoder.first_one(&self.pending)?;
+        self.pending.set(position, false); // clear the consumed match
+        let offset_a = self.prefix_a[position] as usize;
+        let offset_b = self.prefix_b[position] as usize;
+        let product = self.a.values()[offset_a] * self.b.values()[offset_b];
+        self.accumulator += product;
+        self.steps_taken += 1;
+        Some(JoinStep {
+            position,
+            offset_a,
+            offset_b,
+            product,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(v: &[f32]) -> SparseChunk {
+        SparseChunk::from_dense(v)
+    }
+
+    #[test]
+    fn sequencer_equals_chunk_dot() {
+        let a = chunk(&[0.0, 1.0, 2.0, 0.0, 4.0, 0.0, 6.0, 7.0]);
+        let b = chunk(&[1.0, 0.0, 3.0, 0.0, 5.0, 5.0, 0.0, 2.0]);
+        let seq = InnerJoinSequencer::new(&a, &b);
+        assert_eq!(seq.run(), a.dot(&b));
+    }
+
+    #[test]
+    fn step_count_equals_join_work() {
+        let a = chunk(&[1.0, 1.0, 0.0, 1.0, 0.0]);
+        let b = chunk(&[1.0, 0.0, 1.0, 1.0, 0.0]);
+        let mut seq = InnerJoinSequencer::new(&a, &b);
+        let n = seq.by_ref().count();
+        assert_eq!(n, a.join_work(&b));
+        assert_eq!(seq.steps_taken(), n);
+        assert_eq!(seq.remaining(), 0);
+    }
+
+    #[test]
+    fn steps_walk_top_to_bottom() {
+        let a = chunk(&[1.0, 0.0, 1.0, 1.0]);
+        let b = chunk(&[1.0, 0.0, 1.0, 1.0]);
+        let positions: Vec<usize> = InnerJoinSequencer::new(&a, &b)
+            .map(|s| s.position)
+            .collect();
+        assert_eq!(positions, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn offsets_index_packed_values() {
+        let a = chunk(&[0.0, 2.0, 0.0, 3.0]); // packed [2, 3]
+        let b = chunk(&[9.0, 4.0, 5.0, 6.0]); // packed [9, 4, 5, 6]
+        let steps: Vec<JoinStep> = InnerJoinSequencer::new(&a, &b).collect();
+        assert_eq!(steps[0].offset_a, 0);
+        assert_eq!(steps[0].offset_b, 1); // b has one value before position 1
+        assert_eq!(steps[1].offset_a, 1);
+        assert_eq!(steps[1].offset_b, 3);
+        assert_eq!(steps[0].product, 8.0);
+        assert_eq!(steps[1].product, 18.0);
+    }
+
+    #[test]
+    fn disjoint_chunks_produce_no_steps() {
+        let a = chunk(&[1.0, 0.0]);
+        let b = chunk(&[0.0, 1.0]);
+        assert_eq!(InnerJoinSequencer::new(&a, &b).count(), 0);
+    }
+
+    #[test]
+    fn dense_chunks_step_every_position() {
+        let a = chunk(&[1.0; 16]);
+        let b = chunk(&[2.0; 16]);
+        let mut seq = InnerJoinSequencer::new(&a, &b);
+        assert_eq!(seq.by_ref().count(), 16);
+        assert_eq!(seq.accumulator(), 32.0);
+    }
+}

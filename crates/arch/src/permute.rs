@@ -1,0 +1,267 @@
+//! The GB-H multi-stage permutation network (§3.3).
+//!
+//! GB-H sorts filters per chunk, so each chunk's partial sums emerge from
+//! "shuffled" compute units and must be routed back to their logical output
+//! positions within the cluster. Unlike SCNN's high-bandwidth crossbar, this
+//! network routes a result only once per chunk of multiply-adds, so SparTen
+//! deliberately *thins* it: "we limit bisection bandwidth to just four values
+//! at a time ... using modest bandwidth (1/8th of full provisioning) is more
+//! than adequate".
+//!
+//! The model is a log-depth butterfly: each source-destination pair has a
+//! unique path; a greedy wave scheduler assigns each value to the earliest
+//! wave in which its whole path is link-free and the bisection budget is not
+//! exhausted. The wave count is the routing latency the simulator hides under
+//! the next chunk's compute.
+
+/// A butterfly permutation network over `size` endpoints with a thinned
+/// bisection.
+///
+/// # Example
+///
+/// ```
+/// use sparten_arch::PermutationNetwork;
+///
+/// let net = PermutationNetwork::new(8, 4);
+/// // Identity routing never crosses the bisection and needs one wave.
+/// let mapping: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
+/// assert_eq!(net.route(&mapping).waves, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PermutationNetwork {
+    size: usize,
+    stages: usize,
+    bisection_limit: usize,
+}
+
+/// Routing outcome for one batch of values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteStats {
+    /// Number of waves (cycles) until every value is delivered.
+    pub waves: usize,
+    /// Values routed.
+    pub routed: usize,
+    /// Values that crossed the network bisection.
+    pub bisection_crossings: usize,
+    /// Link-conflict deferrals (a value pushed to a later wave because a
+    /// path link or the bisection budget was busy).
+    pub deferrals: usize,
+}
+
+impl PermutationNetwork {
+    /// Builds a network over at least `endpoints` positions (rounded up to a
+    /// power of two) whose bisection passes at most `bisection_limit` values
+    /// per wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints == 0` or `bisection_limit == 0`.
+    pub fn new(endpoints: usize, bisection_limit: usize) -> Self {
+        assert!(endpoints > 0, "need at least one endpoint");
+        assert!(bisection_limit > 0, "bisection limit must be positive");
+        let size = endpoints.next_power_of_two();
+        let stages = size.trailing_zeros() as usize;
+        PermutationNetwork {
+            size,
+            stages,
+            bisection_limit,
+        }
+    }
+
+    /// Number of endpoints (padded to a power of two).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of switching stages (log2 of the size).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The configured per-wave bisection budget.
+    pub fn bisection_limit(&self) -> usize {
+        self.bisection_limit
+    }
+
+    /// Number of 2×2 switches — `(size/2) · stages` — for the area model.
+    pub fn switch_count(&self) -> usize {
+        self.size / 2 * self.stages
+    }
+
+    /// The unique butterfly path of `(src, dst)` as the sequence of
+    /// positions after each stage. Stage `s` (from the input side) fixes bit
+    /// `stages − 1 − s` of the position to the destination's bit.
+    fn path(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut pos = src;
+        let mut out = Vec::with_capacity(self.stages);
+        for s in 0..self.stages {
+            let bit = self.stages - 1 - s;
+            pos = (pos & !(1 << bit)) | (dst & (1 << bit));
+            out.push(pos);
+        }
+        out
+    }
+
+    /// Whether routing `(src, dst)` crosses the bisection (the top-bit flip).
+    fn crosses_bisection(&self, src: usize, dst: usize) -> bool {
+        self.stages > 0 && (src >> (self.stages - 1)) != (dst >> (self.stages - 1))
+    }
+
+    /// Greedily schedules `mapping` (src → dst pairs) into waves and returns
+    /// the routing statistics. Values are considered in the given order;
+    /// each goes into the earliest wave where its entire path is link-free
+    /// and, if it crosses the bisection, the wave's budget is not exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range or two values share a
+    /// destination.
+    pub fn route(&self, mapping: &[(usize, usize)]) -> RouteStats {
+        let mut seen_dst = vec![false; self.size];
+        for &(s, d) in mapping {
+            assert!(s < self.size && d < self.size, "endpoint out of range");
+            assert!(!seen_dst[d], "duplicate destination {d}");
+            seen_dst[d] = true;
+        }
+        // links[wave] maps (stage, position) → busy.
+        let mut link_busy: Vec<Vec<bool>> = Vec::new();
+        let mut bisection_used: Vec<usize> = Vec::new();
+        let links_per_wave = self.stages.max(1) * self.size;
+        let mut stats = RouteStats {
+            waves: 0,
+            routed: 0,
+            bisection_crossings: 0,
+            deferrals: 0,
+        };
+        for &(src, dst) in mapping {
+            let path = self.path(src, dst);
+            let crossing = self.crosses_bisection(src, dst);
+            let mut wave = 0usize;
+            loop {
+                if wave == link_busy.len() {
+                    link_busy.push(vec![false; links_per_wave]);
+                    bisection_used.push(0);
+                }
+                let budget_ok = !crossing || bisection_used[wave] < self.bisection_limit;
+                let links_ok = path
+                    .iter()
+                    .enumerate()
+                    .all(|(s, &p)| !link_busy[wave][s * self.size + p]);
+                if budget_ok && links_ok {
+                    for (s, &p) in path.iter().enumerate() {
+                        link_busy[wave][s * self.size + p] = true;
+                    }
+                    if crossing {
+                        bisection_used[wave] += 1;
+                        stats.bisection_crossings += 1;
+                    }
+                    break;
+                }
+                stats.deferrals += 1;
+                wave += 1;
+            }
+            stats.routed += 1;
+        }
+        stats.waves = link_busy.len().max(usize::from(!mapping.is_empty()));
+        stats
+    }
+
+    /// Applies the permutation functionally: `out[dst] = values[src]` for
+    /// each `(src, dst)` pair; unmapped outputs are `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`PermutationNetwork::route`].
+    pub fn apply<T: Clone>(&self, values: &[T], mapping: &[(usize, usize)]) -> Vec<Option<T>> {
+        let mut out = vec![None; self.size];
+        for &(src, dst) in mapping {
+            assert!(src < values.len(), "source out of range");
+            assert!(dst < self.size, "destination out of range");
+            assert!(out[dst].is_none(), "duplicate destination {dst}");
+            out[dst] = Some(values[src].clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_routes_in_one_wave() {
+        let net = PermutationNetwork::new(32, 4);
+        let mapping: Vec<_> = (0..32).map(|i| (i, i)).collect();
+        let s = net.route(&mapping);
+        assert_eq!(s.waves, 1);
+        assert_eq!(s.routed, 32);
+        assert_eq!(s.bisection_crossings, 0);
+    }
+
+    #[test]
+    fn full_reversal_is_bisection_limited() {
+        // Reversal sends every value across the bisection: 32 crossings at
+        // 4 per wave → at least 8 waves.
+        let net = PermutationNetwork::new(32, 4);
+        let mapping: Vec<_> = (0..32).map(|i| (i, 31 - i)).collect();
+        let s = net.route(&mapping);
+        assert_eq!(s.bisection_crossings, 32);
+        assert!(s.waves >= 8, "waves = {}", s.waves);
+    }
+
+    #[test]
+    fn wider_bisection_routes_faster() {
+        let mapping: Vec<_> = (0..32).map(|i| (i, 31 - i)).collect();
+        let thin = PermutationNetwork::new(32, 4).route(&mapping);
+        let fat = PermutationNetwork::new(32, 32).route(&mapping);
+        assert!(fat.waves <= thin.waves);
+    }
+
+    #[test]
+    fn apply_matches_mapping() {
+        let net = PermutationNetwork::new(4, 4);
+        let out = net.apply(&[10, 20, 30, 40], &[(0, 3), (1, 0), (2, 1), (3, 2)]);
+        assert_eq!(out, vec![Some(20), Some(30), Some(40), Some(10)]);
+    }
+
+    #[test]
+    fn route_and_apply_agree_on_random_permutations() {
+        let net = PermutationNetwork::new(16, 2);
+        for seed in 0..10usize {
+            // A deterministic pseudo-random permutation.
+            let mut perm: Vec<usize> = (0..16).collect();
+            for i in (1..16).rev() {
+                let j = (i * 2654435761 + seed * 40503) % (i + 1);
+                perm.swap(i, j);
+            }
+            let mapping: Vec<_> = perm.iter().enumerate().map(|(s, &d)| (s, d)).collect();
+            let stats = net.route(&mapping);
+            assert_eq!(stats.routed, 16);
+            let out = net.apply(&(0..16).collect::<Vec<_>>(), &mapping);
+            for (src, &dst) in perm.iter().enumerate() {
+                assert_eq!(out[dst], Some(src));
+            }
+            assert!(stats.waves >= 1);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_up() {
+        let net = PermutationNetwork::new(33, 4);
+        assert_eq!(net.size(), 64);
+        assert_eq!(net.stages(), 6);
+        assert_eq!(net.switch_count(), 32 * 6);
+    }
+
+    #[test]
+    fn empty_mapping_takes_no_waves() {
+        let net = PermutationNetwork::new(8, 4);
+        assert_eq!(net.route(&[]).waves, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate destination")]
+    fn duplicate_destination_panics() {
+        PermutationNetwork::new(4, 4).route(&[(0, 1), (2, 1)]);
+    }
+}

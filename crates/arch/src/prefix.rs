@@ -1,0 +1,372 @@
+//! Parallel prefix-sum circuits over SparseMap bits.
+//!
+//! During the inner join, a prefix-sum circuit counts the 1s in each operand
+//! SparseMap above the currently matched position, yielding the offset of the
+//! corresponding packed value (§3.1, Figure 3). The paper notes that prefix
+//! sums have "well-studied, efficient implementations with carry
+//! lookahead-like logarithmic delays in the SparseMap bit width instead of
+//! ripple carry-like linear delays".
+//!
+//! Three structural circuit models are provided — [`Ripple`] (linear depth),
+//! [`Sklansky`] (minimum depth, high fan-out), and [`KoggeStone`] (minimum
+//! depth, bounded fan-out, more wiring) — each computing the *inclusive*
+//! prefix population count of a bit vector and reporting delay (adder levels)
+//! and operator (adder-node) counts. All are verified against the functional
+//! reference.
+
+use sparten_tensor::SparseMap;
+
+/// Delay and cost accounting for one prefix-circuit evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefixStats {
+    /// Circuit depth in adder levels (the critical path).
+    pub depth: usize,
+    /// Number of adder nodes in the circuit.
+    pub adders: usize,
+}
+
+/// A parallel prefix-sum circuit computing inclusive prefix popcounts.
+///
+/// Implementors are structural models: [`PrefixCircuit::prefix_sums`]
+/// evaluates the actual node graph, and [`PrefixCircuit::stats`] reports its
+/// depth and size for the area/energy model.
+pub trait PrefixCircuit {
+    /// Inclusive prefix popcount: `out[i] = number of 1s in bits[0..=i]`.
+    fn prefix_sums(&self, bits: &SparseMap) -> Vec<u32>;
+
+    /// Depth and adder count for a circuit over `width` bits.
+    fn stats(&self, width: usize) -> PrefixStats;
+
+    /// Circuit name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Functional reference: a sequential scan (what the hardware must equal).
+pub fn reference_prefix_sums(bits: &SparseMap) -> Vec<u32> {
+    let mut out = Vec::with_capacity(bits.len());
+    let mut acc = 0u32;
+    for i in 0..bits.len() {
+        acc += u32::from(bits.get(i));
+        out.push(acc);
+    }
+    out
+}
+
+/// Ripple (serial) prefix circuit: linear depth, `n−1` adders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ripple;
+
+impl PrefixCircuit for Ripple {
+    fn prefix_sums(&self, bits: &SparseMap) -> Vec<u32> {
+        // The ripple circuit *is* the sequential scan.
+        reference_prefix_sums(bits)
+    }
+
+    fn stats(&self, width: usize) -> PrefixStats {
+        PrefixStats {
+            depth: width.saturating_sub(1),
+            adders: width.saturating_sub(1),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ripple"
+    }
+}
+
+/// Sklansky (divide-and-conquer) prefix circuit: depth ⌈log2 n⌉, minimal
+/// node count among minimum-depth networks, but fan-out up to n/2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sklansky;
+
+impl PrefixCircuit for Sklansky {
+    fn prefix_sums(&self, bits: &SparseMap) -> Vec<u32> {
+        let n = bits.len();
+        let mut vals: Vec<u32> = (0..n).map(|i| u32::from(bits.get(i))).collect();
+        // Structural evaluation: at level l (span s = 2^l), every position i
+        // whose bit ⌊i/s⌋ is odd adds the value at the end of the previous
+        // block: i' = (i/s)*s - 1.
+        let mut span = 1usize;
+        while span < n {
+            let prev: Vec<u32> = vals.clone();
+            for (i, v) in vals.iter_mut().enumerate() {
+                if (i / span) % 2 == 1 {
+                    let src = (i / span) * span - 1;
+                    *v = prev[i] + prev[src];
+                }
+            }
+            span *= 2;
+        }
+        vals
+    }
+
+    fn stats(&self, width: usize) -> PrefixStats {
+        if width <= 1 {
+            return PrefixStats {
+                depth: 0,
+                adders: 0,
+            };
+        }
+        let depth = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+        // Adders per level: number of positions in odd-indexed span blocks.
+        let mut adders = 0usize;
+        let mut span = 1usize;
+        while span < width {
+            adders += (0..width).filter(|i| (i / span) % 2 == 1).count();
+            span *= 2;
+        }
+        PrefixStats { depth, adders }
+    }
+
+    fn name(&self) -> &'static str {
+        "sklansky"
+    }
+}
+
+/// Kogge-Stone prefix circuit: depth ⌈log2 n⌉, fan-out 2, ~n·log2 n adders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KoggeStone;
+
+impl PrefixCircuit for KoggeStone {
+    fn prefix_sums(&self, bits: &SparseMap) -> Vec<u32> {
+        let n = bits.len();
+        let mut vals: Vec<u32> = (0..n).map(|i| u32::from(bits.get(i))).collect();
+        let mut dist = 1usize;
+        while dist < n {
+            let prev = vals.clone();
+            for i in dist..n {
+                vals[i] = prev[i] + prev[i - dist];
+            }
+            dist *= 2;
+        }
+        vals
+    }
+
+    fn stats(&self, width: usize) -> PrefixStats {
+        if width <= 1 {
+            return PrefixStats {
+                depth: 0,
+                adders: 0,
+            };
+        }
+        let depth = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+        let mut adders = 0usize;
+        let mut dist = 1usize;
+        while dist < width {
+            adders += width - dist;
+            dist *= 2;
+        }
+        PrefixStats { depth, adders }
+    }
+
+    fn name(&self) -> &'static str {
+        "kogge-stone"
+    }
+}
+
+/// Brent-Kung prefix circuit: depth `2·log2 n − 2`, only `2n − log2 n − 2`
+/// adders and fan-out 2 — the area-minimal end of the prefix design space
+/// (the paper's Table 4 prefix-sum area motivates caring).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrentKung;
+
+impl PrefixCircuit for BrentKung {
+    fn prefix_sums(&self, bits: &SparseMap) -> Vec<u32> {
+        let n = bits.len();
+        let mut vals: Vec<u32> = (0..n).map(|i| u32::from(bits.get(i))).collect();
+        // Up-sweep (reduce): combine pairs at increasing spans.
+        let mut span = 1usize;
+        while span < n {
+            let step = span * 2;
+            let mut i = step - 1;
+            while i < n {
+                vals[i] += vals[i - span];
+                i += step;
+            }
+            span = step;
+        }
+        // Down-sweep: fill in the intermediate prefixes.
+        span /= 2;
+        while span >= 1 {
+            let step = span * 2;
+            let mut i = step + span - 1;
+            while i < n {
+                vals[i] += vals[i - span];
+                i += step;
+            }
+            if span == 1 {
+                break;
+            }
+            span /= 2;
+        }
+        vals
+    }
+
+    fn stats(&self, width: usize) -> PrefixStats {
+        if width <= 1 {
+            return PrefixStats {
+                depth: 0,
+                adders: 0,
+            };
+        }
+        let log = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+        // Count the actual node placements of the two sweeps.
+        let mut adders = 0usize;
+        let mut span = 1usize;
+        while span < width {
+            let step = span * 2;
+            adders += (0..width).skip(step - 1).step_by(step).count();
+            span = step;
+        }
+        span /= 2;
+        while span >= 1 {
+            let step = span * 2;
+            adders += (0..width).skip(step + span - 1).step_by(step).count();
+            if span == 1 {
+                break;
+            }
+            span /= 2;
+        }
+        PrefixStats {
+            depth: 2 * log - 1,
+            adders,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "brent-kung"
+    }
+}
+
+/// Exclusive prefix count (number of 1s strictly before each position),
+/// derived from any circuit's inclusive sums. This is the quantity the inner
+/// join uses as a packed-value offset.
+pub fn exclusive_from_inclusive(inclusive: &[u32], bits: &SparseMap) -> Vec<u32> {
+    inclusive
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v - u32::from(bits.get(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_pattern(n: usize, f: impl Fn(usize) -> bool) -> SparseMap {
+        let bools: Vec<bool> = (0..n).map(f).collect();
+        SparseMap::from_bools(&bools)
+    }
+
+    fn check_circuit(c: &dyn PrefixCircuit, n: usize) {
+        let patterns: Vec<SparseMap> = vec![
+            SparseMap::zeros(n),
+            SparseMap::ones(n),
+            mask_from_pattern(n, |i| i % 2 == 0),
+            mask_from_pattern(n, |i| i % 7 == 3),
+            mask_from_pattern(n, |i| (i * 2654435761usize) % 5 < 2),
+        ];
+        for m in &patterns {
+            assert_eq!(
+                c.prefix_sums(m),
+                reference_prefix_sums(m),
+                "{} failed on width {n}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ripple_matches_reference() {
+        for n in [1, 2, 7, 64, 128, 130] {
+            check_circuit(&Ripple, n);
+        }
+    }
+
+    #[test]
+    fn sklansky_matches_reference() {
+        for n in [1, 2, 7, 64, 128, 130] {
+            check_circuit(&Sklansky, n);
+        }
+    }
+
+    #[test]
+    fn kogge_stone_matches_reference() {
+        for n in [1, 2, 7, 64, 128, 130] {
+            check_circuit(&KoggeStone, n);
+        }
+    }
+
+    #[test]
+    fn brent_kung_matches_reference() {
+        for n in [1, 2, 7, 64, 128, 130] {
+            check_circuit(&BrentKung, n);
+        }
+    }
+
+    #[test]
+    fn brent_kung_trades_depth_for_area() {
+        let bk = BrentKung.stats(128);
+        let skl = Sklansky.stats(128);
+        // Deeper than Sklansky but with fewer adders.
+        assert!(bk.depth > skl.depth);
+        assert!(
+            bk.adders < skl.adders,
+            "bk {} vs sklansky {}",
+            bk.adders,
+            skl.adders
+        );
+        // Canonical count for 2^k width: 2n − log2(n) − 2 = 247.
+        assert_eq!(bk.adders, 2 * 128 - 7 - 2);
+    }
+
+    #[test]
+    fn log_depth_beats_linear_depth() {
+        // The paper's point: logarithmic vs ripple-carry linear delay at the
+        // 128-bit SparseMap width.
+        let ripple = Ripple.stats(128);
+        let skl = Sklansky.stats(128);
+        let ks = KoggeStone.stats(128);
+        assert_eq!(ripple.depth, 127);
+        assert_eq!(skl.depth, 7);
+        assert_eq!(ks.depth, 7);
+        // Kogge-Stone trades more adders for bounded fan-out.
+        assert!(ks.adders > skl.adders);
+        assert!(skl.adders < 128 * 7);
+    }
+
+    #[test]
+    fn sklansky_adder_count_formula() {
+        // Sklansky over 2^k bits uses (k/2)·2^k adders: 128 → 7·64 = 448.
+        assert_eq!(Sklansky.stats(128).adders, 448);
+    }
+
+    #[test]
+    fn kogge_stone_adder_count_formula() {
+        // Σ (n − 2^i) for 2^i < n: 128·7 − 127 = 769.
+        assert_eq!(KoggeStone.stats(128).adders, 128 * 7 - 127);
+    }
+
+    #[test]
+    fn exclusive_prefix_matches_mask_prefix_count() {
+        let m = mask_from_pattern(130, |i| i % 3 == 0);
+        let inc = Sklansky.prefix_sums(&m);
+        let exc = exclusive_from_inclusive(&inc, &m);
+        for (i, &e) in exc.iter().enumerate() {
+            assert_eq!(e as usize, m.prefix_count(i));
+        }
+    }
+
+    #[test]
+    fn width_one_is_free() {
+        for s in [Ripple.stats(1), Sklansky.stats(1), KoggeStone.stats(1)] {
+            assert_eq!(
+                s,
+                PrefixStats {
+                    depth: 0,
+                    adders: 0
+                }
+            );
+        }
+    }
+}

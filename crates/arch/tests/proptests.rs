@@ -1,0 +1,113 @@
+//! Property-based tests over the circuit models: structural evaluations
+//! must equal functional references on arbitrary inputs, and the join
+//! sequencer must be an exact dot product.
+
+use proptest::prelude::*;
+use sparten_arch::{
+    InnerJoinSequencer, KoggeStone, OutputCompactor, PermutationNetwork, PrefixCircuit,
+    PriorityEncoder, Ripple, Sklansky,
+};
+use sparten_tensor::{SparseChunk, SparseMap};
+
+fn sparse_values(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => Just(0.0f32),
+            1 => (-50i32..50).prop_map(|v| v as f32 / 2.0),
+        ],
+        len..=len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn prefix_circuits_agree_with_reference(bits in prop::collection::vec(any::<bool>(), 1..260)) {
+        let m = SparseMap::from_bools(&bits);
+        let reference = sparten_arch::prefix::reference_prefix_sums(&m);
+        prop_assert_eq!(Ripple.prefix_sums(&m), reference.clone());
+        prop_assert_eq!(Sklansky.prefix_sums(&m), reference.clone());
+        prop_assert_eq!(KoggeStone.prefix_sums(&m), reference);
+    }
+
+    #[test]
+    fn encoder_finds_first_set_bit(bits in prop::collection::vec(any::<bool>(), 1..260)) {
+        let m = SparseMap::from_bools(&bits);
+        let enc = PriorityEncoder::new(bits.len());
+        prop_assert_eq!(enc.first_one(&m), bits.iter().position(|&b| b));
+    }
+
+    #[test]
+    fn sequencer_is_exact_dot_product(
+        pair in (8usize..200).prop_flat_map(|n| (sparse_values(n), sparse_values(n))),
+    ) {
+        let (a, b) = pair;
+        let ca = SparseChunk::from_dense(&a);
+        let cb = SparseChunk::from_dense(&b);
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let mut seq = InnerJoinSequencer::new(&ca, &cb);
+        let steps = seq.by_ref().count();
+        prop_assert!((seq.accumulator() - expect).abs() < 1e-2);
+        prop_assert_eq!(steps, ca.join_work(&cb));
+    }
+
+    #[test]
+    fn sequencer_positions_strictly_increase(
+        pair in (8usize..128).prop_flat_map(|n| (sparse_values(n), sparse_values(n))),
+    ) {
+        let (a, b) = pair;
+        let ca = SparseChunk::from_dense(&a);
+        let cb = SparseChunk::from_dense(&b);
+        let positions: Vec<usize> = InnerJoinSequencer::new(&ca, &cb).map(|s| s.position).collect();
+        prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn compactor_equals_software_conversion(values in sparse_values(64)) {
+        let c = OutputCompactor::new(values.len());
+        prop_assert_eq!(c.compact(&values), SparseChunk::from_dense(&values));
+    }
+
+    #[test]
+    fn network_routes_arbitrary_permutations(
+        perm_seed in any::<u64>(),
+        log_size in 2u32..6,
+        bisection in 1usize..8,
+    ) {
+        let size = 1usize << log_size;
+        // Deterministic Fisher-Yates from the seed.
+        let mut perm: Vec<usize> = (0..size).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..size).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mapping: Vec<(usize, usize)> = perm.iter().enumerate().map(|(s, &d)| (s, d)).collect();
+        let net = PermutationNetwork::new(size, bisection);
+        let stats = net.route(&mapping);
+        prop_assert_eq!(stats.routed, size);
+        // A full permutation can always route within size waves on a
+        // butterfly with per-value greedy scheduling.
+        prop_assert!(stats.waves <= size, "waves {}", stats.waves);
+        // Functional application delivers every value to its destination.
+        let values: Vec<usize> = (0..size).collect();
+        let out = net.apply(&values, &mapping);
+        for (src, &dst) in perm.iter().enumerate() {
+            prop_assert_eq!(out[dst], Some(src));
+        }
+    }
+
+    #[test]
+    fn thinner_bisection_never_routes_faster(
+        log_size in 2u32..6,
+    ) {
+        let size = 1usize << log_size;
+        let mapping: Vec<(usize, usize)> = (0..size).map(|i| (i, size - 1 - i)).collect();
+        let mut last_waves = usize::MAX;
+        for bisection in [1usize, 2, 4, size] {
+            let stats = PermutationNetwork::new(size, bisection).route(&mapping);
+            prop_assert!(stats.waves <= last_waves);
+            last_waves = stats.waves;
+        }
+    }
+}

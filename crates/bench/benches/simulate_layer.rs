@@ -1,0 +1,37 @@
+//! End-to-end simulator throughput: one scaled AlexNet-Layer2-like layer
+//! through each architecture model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparten::nn::generate::workload;
+use sparten::nn::ConvShape;
+use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_layer");
+    group.sample_size(10);
+    let shape = ConvShape::new(192, 14, 14, 3, 128, 1, 1);
+    let w = workload(&shape, 0.24, 0.35, 1);
+    let cfg = SimConfig::small();
+    let model = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+    model.total_sparse_macs(); // warm the cache so schemes are comparable
+    for scheme in [
+        Scheme::Dense,
+        Scheme::OneSided,
+        Scheme::SpartenNoGb,
+        Scheme::SpartenGbH,
+        Scheme::Scnn,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", scheme.label()),
+            &scheme,
+            |bench, &s| bench.iter(|| std::hint::black_box(simulate_layer(&w, &model, &cfg, s))),
+        );
+    }
+    group.bench_function("mask_model_build", |bench| {
+        bench.iter(|| std::hint::black_box(MaskModel::new(&w, 128)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library holds the common pieces:
+//! table formatting, per-network experiment drivers, and JSON row dumps.
+
+pub mod experiments;
+pub mod tables;
+
+pub use experiments::{
+    dump_json, geomean_excluding, network_config, print_breakdown_figure, print_speedup_figure,
+    run_network, LayerResult, SEED,
+};
+pub use tables::{print_series, print_table};

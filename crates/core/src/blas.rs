@@ -1,0 +1,244 @@
+//! The accelerator's BLAS-like interface (§3.2).
+//!
+//! "The accelerator exposes BLAS-like interfaces for matrix-vector
+//! (`C ← Ax + y`) and matrix-matrix multiplications (`C ← A × B`) with some
+//! simplifications. The interface allows for incremental construction of
+//! vectors to handle non-contiguous layout of tensors." [`VectorBuilder`]
+//! is that incremental construction; [`SparseMatrix`] wraps the filter rows
+//! and executes via the same inner-join chunks the clusters use.
+
+use sparten_tensor::SparseVector;
+
+/// Incrementally assembles a logical vector from non-contiguous tensor
+/// segments, then finalizes it into the chunked sparse representation.
+///
+/// # Example
+///
+/// ```
+/// use sparten_core::VectorBuilder;
+///
+/// let mut b = VectorBuilder::new(4);
+/// b.append(&[1.0, 0.0]);
+/// b.append_zeros(3);
+/// b.append(&[2.0]);
+/// let v = b.finish();
+/// assert_eq!(v.logical_len(), 6);
+/// assert_eq!(v.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VectorBuilder {
+    data: Vec<f32>,
+    chunk_size: usize,
+}
+
+impl VectorBuilder {
+    /// Starts a builder producing chunks of `chunk_size` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        VectorBuilder {
+            data: Vec::new(),
+            chunk_size,
+        }
+    }
+
+    /// Appends a dense segment.
+    pub fn append(&mut self, segment: &[f32]) -> &mut Self {
+        self.data.extend_from_slice(segment);
+        self
+    }
+
+    /// Appends `count` zeros (a gap in the linearized layout).
+    pub fn append_zeros(&mut self, count: usize) -> &mut Self {
+        self.data.extend(std::iter::repeat_n(0.0, count));
+        self
+    }
+
+    /// Pads to the next chunk boundary (tap alignment, §3.1).
+    pub fn align_to_chunk(&mut self) -> &mut Self {
+        let rem = self.data.len() % self.chunk_size;
+        if rem != 0 {
+            self.append_zeros(self.chunk_size - rem);
+        }
+        self
+    }
+
+    /// Current logical length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Finalizes into the chunked sparse representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was appended.
+    pub fn finish(&self) -> SparseVector {
+        assert!(!self.data.is_empty(), "cannot finish an empty vector");
+        SparseVector::from_dense(&self.data, self.chunk_size)
+    }
+}
+
+/// A sparse matrix as rows of chunked sparse vectors — the form in which a
+/// cluster sees "all the filters".
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    rows: Vec<SparseVector>,
+    num_cols: usize,
+    chunk_size: usize,
+}
+
+impl SparseMatrix {
+    /// Builds a matrix from dense rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, rows are ragged, or `chunk_size == 0`.
+    pub fn from_rows(rows: &[Vec<f32>], chunk_size: usize) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let num_cols = rows[0].len();
+        let rows: Vec<SparseVector> = rows
+            .iter()
+            .map(|r| {
+                assert_eq!(r.len(), num_cols, "ragged rows are not allowed");
+                SparseVector::from_dense(r, chunk_size)
+            })
+            .collect();
+        SparseMatrix {
+            rows,
+            num_cols,
+            chunk_size,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (logical row length).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// The rows as sparse vectors.
+    pub fn rows(&self) -> &[SparseVector] {
+        &self.rows
+    }
+
+    /// `C ← A·x + y`: sparse matrix-vector multiply-accumulate via per-row
+    /// inner joins. `y` may be `None` for a plain product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different logical length or chunk size, or `y`
+    /// (when given) has a different length than the row count.
+    pub fn spmv(&self, x: &SparseVector, y: Option<&[f32]>) -> Vec<f32> {
+        assert_eq!(x.logical_len(), self.num_cols, "dimension mismatch");
+        assert_eq!(x.chunk_size(), self.chunk_size, "chunk size mismatch");
+        if let Some(y) = y {
+            assert_eq!(y.len(), self.rows.len(), "y length mismatch");
+        }
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row.dot(x) + y.map_or(0.0, |y| y[i]))
+            .collect()
+    }
+
+    /// `C ← A × B`: sparse matrix-matrix product where `B` is given as
+    /// columns. Returns `C` as dense row-major `num_rows × B.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`SparseMatrix::spmv`] per column.
+    pub fn spmm(&self, b_cols: &[SparseVector]) -> Vec<Vec<f32>> {
+        let per_col: Vec<Vec<f32>> = b_cols.iter().map(|col| self.spmv(col, None)).collect();
+        (0..self.num_rows())
+            .map(|r| per_col.iter().map(|col| col[r]).collect())
+            .collect()
+    }
+
+    /// Total inner-join MAC work of `A·x` — what the accelerator would
+    /// execute (both operands non-zero).
+    pub fn spmv_work(&self, x: &SparseVector) -> usize {
+        self.rows.iter().map(|r| r.join_work(x)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_segments() {
+        let mut b = VectorBuilder::new(4);
+        b.append(&[1.0, 2.0]).append_zeros(2).append(&[3.0]);
+        let v = b.finish();
+        assert_eq!(v.to_dense(), vec![1.0, 2.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn builder_chunk_alignment() {
+        let mut b = VectorBuilder::new(4);
+        b.append(&[1.0]).align_to_chunk().append(&[2.0]);
+        let v = b.finish();
+        assert_eq!(v.logical_len(), 5);
+        assert_eq!(v.chunks()[1].value_at(0), 2.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense_algebra() {
+        let rows = vec![
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 3.0, 0.0, 4.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+        ];
+        let m = SparseMatrix::from_rows(&rows, 2);
+        let x = SparseVector::from_dense(&[5.0, 0.0, 6.0, 7.0], 2);
+        let y = [10.0, 20.0, 30.0];
+        let c = m.spmv(&x, Some(&y));
+        assert_eq!(c, vec![5.0 + 12.0 + 10.0, 28.0 + 20.0, 30.0]);
+    }
+
+    #[test]
+    fn spmv_without_y() {
+        let m = SparseMatrix::from_rows(&[vec![2.0, 0.0]], 2);
+        let x = SparseVector::from_dense(&[3.0, 9.0], 2);
+        assert_eq!(m.spmv(&x, None), vec![6.0]);
+    }
+
+    #[test]
+    fn spmm_matches_column_spmv() {
+        let m = SparseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]], 2);
+        let cols = vec![
+            SparseVector::from_dense(&[1.0, 1.0], 2),
+            SparseVector::from_dense(&[0.0, 3.0], 2),
+        ];
+        let c = m.spmm(&cols);
+        assert_eq!(c, vec![vec![1.0, 0.0], vec![2.0, 6.0]]);
+    }
+
+    #[test]
+    fn spmv_work_counts_matches_only() {
+        let m = SparseMatrix::from_rows(&[vec![1.0, 1.0, 0.0, 0.0]], 4);
+        let x = SparseVector::from_dense(&[0.0, 1.0, 1.0, 0.0], 4);
+        assert_eq!(m.spmv_work(&x), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn spmv_dimension_mismatch_panics() {
+        let m = SparseMatrix::from_rows(&[vec![1.0, 1.0]], 2);
+        let x = SparseVector::from_dense(&[1.0], 2);
+        m.spmv(&x, None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Hardware configurations (Table 2 of the paper).
+//!
+//! The paper evaluates an aggressive "large" configuration for AlexNet and
+//! VGGNet (32 MACs/cluster × 32 clusters = 1K MACs) and a scaled-down
+//! "small" one (16 × 16) for GoogLeNet, keeping resources matched across the
+//! compared architectures. The chunk size is 128; the GB-H permutation
+//! network bisection is thinned to 4 values per cycle (1/8 provisioning).
+
+/// Configuration of a single SparTen cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterConfig {
+    /// Compute units (multiply-accumulate units) per cluster.
+    pub compute_units: usize,
+    /// Chunk size n (SparseMap width), 128 in the paper.
+    pub chunk_size: usize,
+    /// Per-wave bisection budget of the GB-H permutation network.
+    pub bisection_limit: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's cluster: 32 compute units, 128-wide chunks, bisection 4.
+    pub fn paper() -> Self {
+        ClusterConfig {
+            compute_units: 32,
+            chunk_size: 128,
+            bisection_limit: 4,
+        }
+    }
+
+    /// Per-cluster buffering in bytes with collocation (GB-S/GB-H), per
+    /// §3.3's arithmetic: `[input (128 B + 128 b) + 2 filters (128 B + 128 b
+    /// each) + 2 outputs (32 B)] × units × 2 (double buffering)` ≈ 31 KB for
+    /// the paper configuration.
+    pub fn buffer_bytes_collocated(&self) -> usize {
+        let mask_bytes = self.chunk_size / 8;
+        let data_bytes = self.chunk_size; // 1-byte values in the paper
+        let input = data_bytes + mask_bytes;
+        let filters = 2 * (data_bytes + mask_bytes);
+        let outputs = 2 * self.compute_units; // one byte per cell per filter
+        (input + filters + outputs) * self.compute_units * 2
+    }
+
+    /// Per-cluster buffering without collocation (§3.2's 20 KB figure).
+    pub fn buffer_bytes_plain(&self) -> usize {
+        let mask_bytes = self.chunk_size / 8;
+        let data_bytes = self.chunk_size;
+        let input = data_bytes + mask_bytes;
+        let filter = data_bytes + mask_bytes;
+        let output = self.compute_units;
+        (input + filter + output) * self.compute_units * 2
+    }
+}
+
+/// Configuration of the whole accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// Per-cluster configuration.
+    pub cluster: ClusterConfig,
+    /// Number of clusters.
+    pub num_clusters: usize,
+}
+
+impl AcceleratorConfig {
+    /// Table 2 "large": 32 MACs/cluster × 32 clusters (AlexNet, VGGNet).
+    pub fn large() -> Self {
+        AcceleratorConfig {
+            cluster: ClusterConfig::paper(),
+            num_clusters: 32,
+        }
+    }
+
+    /// Table 2 "small": 16 MACs/cluster × 16 clusters (GoogLeNet).
+    pub fn small() -> Self {
+        AcceleratorConfig {
+            cluster: ClusterConfig {
+                compute_units: 16,
+                chunk_size: 128,
+                bisection_limit: 4,
+            },
+            num_clusters: 16,
+        }
+    }
+
+    /// The FPGA prototype: one 32-unit cluster (§4's Cyclone IV build).
+    pub fn fpga() -> Self {
+        AcceleratorConfig {
+            cluster: ClusterConfig::paper(),
+            num_clusters: 1,
+        }
+    }
+
+    /// Total multiply-accumulate units.
+    pub fn total_macs(&self) -> usize {
+        self.cluster.compute_units * self.num_clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_config_has_1k_macs() {
+        assert_eq!(AcceleratorConfig::large().total_macs(), 1024);
+    }
+
+    #[test]
+    fn small_config_has_256_macs() {
+        assert_eq!(AcceleratorConfig::small().total_macs(), 256);
+    }
+
+    #[test]
+    fn collocated_buffering_matches_paper_31kb() {
+        // §3.3: 31 KB total for a 32-unit cluster (≈ 992 B per multiplier).
+        let b = ClusterConfig::paper().buffer_bytes_collocated();
+        assert_eq!(b, 31 * 1024);
+        assert_eq!(b / 32, 992);
+    }
+
+    #[test]
+    fn plain_buffering_matches_paper_20kb() {
+        // §3.2: 20 KB total (640 B per multiplier).
+        let b = ClusterConfig::paper().buffer_bytes_plain();
+        assert_eq!(b, 20 * 1024);
+        assert_eq!(b / 32, 640);
+    }
+
+    #[test]
+    fn fpga_is_single_cluster() {
+        assert_eq!(AcceleratorConfig::fpga().num_clusters, 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! The CPU-side controller: the accelerator's command stream (§3.2).
+//!
+//! "At the start of a CNN layer, the CPU instructs each compute unit of a
+//! cluster to fetch and hold a chunk of a filter ... The CPU then issues a
+//! fetch of an input map chunk ... which is broadcast to the cluster's
+//! compute units ... The CPU then issues the rest of the input chunks ...
+//! The cluster returns the count of the non-zero output values to the CPU
+//! to increment the output map value array pointer."
+//!
+//! This module reifies that interface: a [`Command`] stream generated from
+//! a layer's balance assignment, and an interpreter that executes it
+//! against per-unit state, producing outputs identical to the engine's.
+//! It pins down the control protocol the prose describes — including the
+//! output-pointer bookkeeping against the per-cluster memory regions.
+
+use sparten_arch::OutputCompactor;
+use sparten_nn::generate::Workload;
+use sparten_tensor::{SparseVector, Tensor3};
+
+use crate::balance::{BalanceMode, LayerBalance};
+use crate::chunking::{filter_to_chunks, linearize_window_padded};
+use crate::config::AcceleratorConfig;
+
+/// One command the CPU issues to a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Load filter `filter` as unit `unit`'s collocation slot `slot`
+    /// (the unit then fetches its chunks as they are needed).
+    LoadFilter {
+        /// Target compute unit within the cluster.
+        unit: usize,
+        /// Collocation slot on that unit.
+        slot: usize,
+        /// Global filter id.
+        filter: usize,
+    },
+    /// Broadcast chunk `chunk` of the window at output `(ox, oy)` to every
+    /// unit; each unit joins it against its held filter chunks.
+    Broadcast {
+        /// Output-cell x coordinate.
+        ox: usize,
+        /// Output-cell y coordinate.
+        oy: usize,
+        /// Chunk index within the window.
+        chunk: usize,
+    },
+    /// Collect the group's accumulated output cells for `(ox, oy)`:
+    /// apply ReLU if configured, compact, and write to the region.
+    Collect {
+        /// Output-cell x coordinate.
+        ox: usize,
+        /// Output-cell y coordinate.
+        oy: usize,
+    },
+    /// Group boundary: drop held filters (the next `LoadFilter`s follow).
+    DrainGroup,
+}
+
+/// Generates the full command stream for one cluster's position slice.
+pub fn command_stream(
+    balance: &LayerBalance,
+    positions: &[(usize, usize)],
+    chunks_per_window: usize,
+) -> Vec<Command> {
+    let mut out = Vec::new();
+    for group in &balance.groups {
+        for (u, slots) in group.per_cu.iter().enumerate() {
+            for (s, &f) in slots.iter().enumerate() {
+                out.push(Command::LoadFilter {
+                    unit: u,
+                    slot: s,
+                    filter: f,
+                });
+            }
+        }
+        for &(ox, oy) in positions {
+            for c in 0..chunks_per_window {
+                out.push(Command::Broadcast { ox, oy, chunk: c });
+            }
+            out.push(Command::Collect { ox, oy });
+        }
+        out.push(Command::DrainGroup);
+    }
+    out
+}
+
+/// Statistics the interpreter returns to the CPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Commands executed.
+    pub commands: usize,
+    /// Input-chunk broadcasts issued.
+    pub broadcasts: usize,
+    /// Filter (re)loads issued.
+    pub filter_loads: usize,
+    /// Non-zero output values reported back (the pointer increments).
+    pub output_values: usize,
+}
+
+/// Executes a command stream against compute-unit state, filling `output`
+/// (produced channel order) for the given positions.
+///
+/// # Panics
+///
+/// Panics if the stream is malformed (collect before loads, unknown
+/// filters, etc.) — the controller must issue a well-formed protocol.
+pub fn execute(
+    workload: &Workload,
+    config: &AcceleratorConfig,
+    balance: &LayerBalance,
+    commands: &[Command],
+    apply_relu: bool,
+    output: &mut Tensor3,
+) -> ControllerStats {
+    let shape = &workload.shape;
+    let units = config.cluster.compute_units;
+    let chunk_size = config.cluster.chunk_size;
+    let filter_chunks: Vec<SparseVector> = workload
+        .filters
+        .iter()
+        .map(|f| filter_to_chunks(f, chunk_size))
+        .collect();
+
+    // Per-unit held filters (slot → global id) and accumulators.
+    let mut held: Vec<Vec<usize>> = vec![Vec::new(); units];
+    let mut acc: Vec<Vec<f32>> = vec![Vec::new(); units];
+    let mut group_index = 0usize;
+    let mut stats = ControllerStats::default();
+    // Cached window per (ox, oy) while broadcasting.
+    let mut window_cache: Option<((usize, usize), SparseVector)> = None;
+
+    for cmd in commands {
+        stats.commands += 1;
+        match *cmd {
+            Command::LoadFilter { unit, slot, filter } => {
+                assert!(unit < units, "unit out of range");
+                assert_eq!(held[unit].len(), slot, "slots must load in order");
+                held[unit].push(filter);
+                acc[unit].push(0.0);
+                stats.filter_loads += 1;
+            }
+            Command::Broadcast { ox, oy, chunk } => {
+                stats.broadcasts += 1;
+                let window = match &window_cache {
+                    Some(((cx, cy), w)) if (*cx, *cy) == (ox, oy) => w,
+                    _ => {
+                        let dense = linearize_window_padded(
+                            &workload.input,
+                            ox,
+                            oy,
+                            shape.kernel,
+                            shape.stride,
+                            shape.pad,
+                            chunk_size,
+                        );
+                        window_cache =
+                            Some(((ox, oy), SparseVector::from_dense(&dense, chunk_size)));
+                        &window_cache.as_ref().expect("just set").1
+                    }
+                };
+                let in_chunk = &window.chunks()[chunk];
+                for (u, filters) in held.iter().enumerate() {
+                    for (s, &f) in filters.iter().enumerate() {
+                        acc[u][s] += in_chunk.dot(&filter_chunks[f].chunks()[chunk]);
+                    }
+                }
+            }
+            Command::Collect { ox, oy } => {
+                let group = &balance.groups[group_index];
+                let m = group.num_filters();
+                // Gather accumulators in owner-slot (produced) order.
+                let mut cells = vec![0.0f32; m];
+                for (u, filters) in held.iter().enumerate() {
+                    for (s, &f) in filters.iter().enumerate() {
+                        cells[group.owner_slot(f)] = acc[u][s];
+                    }
+                }
+                if apply_relu {
+                    for v in &mut cells {
+                        *v = v.max(0.0);
+                    }
+                }
+                let compacted = OutputCompactor::new(m).compact(&cells);
+                stats.output_values += compacted.nnz();
+                let base: usize = balance
+                    .groups
+                    .iter()
+                    .take(group_index)
+                    .map(|g| g.num_filters())
+                    .sum();
+                for (j, &v) in compacted.to_dense().iter().enumerate() {
+                    output.set(base + j, ox, oy, v);
+                }
+                // Reset accumulators for the next position.
+                for a in &mut acc {
+                    a.iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+            Command::DrainGroup => {
+                held.iter_mut().for_each(Vec::clear);
+                acc.iter_mut().for_each(Vec::clear);
+                group_index += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Convenience: runs one layer entirely through the command-stream path
+/// (single logical cluster covering all positions), returning the produced
+/// tensor and controller statistics.
+pub fn run_via_commands(
+    workload: &Workload,
+    config: &AcceleratorConfig,
+    mode: BalanceMode,
+    apply_relu: bool,
+) -> (Tensor3, LayerBalance, ControllerStats) {
+    let shape = &workload.shape;
+    let units = config.cluster.compute_units;
+    let balance = LayerBalance::new(&workload.filters, units, config.cluster.chunk_size, mode);
+    let chunks = crate::chunking::chunks_per_window(
+        shape.in_channels,
+        shape.kernel,
+        config.cluster.chunk_size,
+    );
+    let positions: Vec<(usize, usize)> = (0..shape.out_height() * shape.out_width())
+        .map(|p| (p % shape.out_height(), p / shape.out_height()))
+        .collect();
+    let commands = command_stream(&balance, &positions, chunks);
+    let mut output = Tensor3::zeros(shape.num_filters, shape.out_height(), shape.out_width());
+    let stats = execute(
+        workload,
+        config,
+        &balance,
+        &commands,
+        apply_relu,
+        &mut output,
+    );
+    (output, balance, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::engine::SparTenEngine;
+    use sparten_nn::generate::workload;
+    use sparten_nn::ConvShape;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig {
+            cluster: ClusterConfig {
+                compute_units: 4,
+                chunk_size: 64,
+                bisection_limit: 4,
+            },
+            num_clusters: 1,
+        }
+    }
+
+    #[test]
+    fn command_path_matches_engine_output() {
+        let shape = ConvShape::new(24, 6, 6, 3, 10, 1, 1);
+        let w = workload(&shape, 0.5, 0.4, 61);
+        for mode in [BalanceMode::None, BalanceMode::GbS] {
+            let (produced, _, _) = run_via_commands(&w, &config(), mode, true);
+            let engine = SparTenEngine::new(config());
+            let reference = engine.run_layer(&w, mode, true);
+            for (a, b) in produced
+                .as_slice()
+                .iter()
+                .zip(reference.produced.as_slice())
+            {
+                assert!((a - b).abs() < 1e-3, "{mode:?}: command {a} vs engine {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_shape_matches_protocol() {
+        let shape = ConvShape::new(16, 4, 4, 1, 8, 1, 0);
+        let w = workload(&shape, 0.5, 0.5, 62);
+        let balance = LayerBalance::new(&w.filters, 4, 64, BalanceMode::None);
+        let positions = vec![(0, 0), (1, 0)];
+        let stream = command_stream(&balance, &positions, 1);
+        // 2 groups × (4 loads + 2 positions × (1 broadcast + 1 collect) + drain).
+        assert_eq!(stream.len(), 2 * (4 + 2 * 2 + 1));
+        assert!(matches!(stream[0], Command::LoadFilter { .. }));
+        assert!(matches!(stream.last(), Some(Command::DrainGroup)));
+    }
+
+    #[test]
+    fn stats_count_the_protocol_traffic() {
+        let shape = ConvShape::new(16, 4, 4, 1, 8, 1, 0);
+        let w = workload(&shape, 0.6, 0.5, 63);
+        let (_, balance, stats) = run_via_commands(&w, &config(), BalanceMode::GbS, true);
+        // One collocated group of 8 filters on 4 units.
+        assert_eq!(balance.groups.len(), 1);
+        assert_eq!(stats.filter_loads, 8);
+        assert_eq!(stats.broadcasts, 16); // 16 positions × 1 chunk
+        assert!(stats.output_values > 0);
+    }
+
+    #[test]
+    fn output_pointer_increments_match_region_usage() {
+        use sparten_tensor::ClusterRegion;
+        let shape = ConvShape::new(16, 5, 5, 3, 8, 1, 1);
+        let w = workload(&shape, 0.5, 0.5, 64);
+        let (produced, _, stats) = run_via_commands(&w, &config(), BalanceMode::GbS, true);
+        // Feeding the reported counts into a region reproduces its fill.
+        let mut region = ClusterRegion::new(stats.output_values, 0.10, 0.9);
+        region.append(stats.output_values);
+        assert_eq!(region.used(), produced.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "slots must load in order")]
+    fn out_of_order_slot_load_panics() {
+        let shape = ConvShape::new(8, 3, 3, 1, 4, 1, 0);
+        let w = workload(&shape, 0.5, 0.5, 65);
+        let balance = LayerBalance::new(&w.filters, 4, 64, BalanceMode::None);
+        let bad = vec![Command::LoadFilter {
+            unit: 0,
+            slot: 1,
+            filter: 0,
+        }];
+        let mut out = Tensor3::zeros(4, 3, 3);
+        execute(&w, &config(), &balance, &bad, false, &mut out);
+    }
+}

@@ -1,0 +1,498 @@
+//! The functional SparTen engine: numerically exact layer execution.
+//!
+//! This is the paper's §3.2 microarchitecture run as software: clusters own
+//! contiguous spatial slices of the output map; within a cluster each
+//! compute unit holds its assigned filter chunk(s) and inner-joins them
+//! against the broadcast input-window chunks; GB-H partial sums travel
+//! through the permutation network; the output collector compacts each
+//! produced output group on the fly.
+//!
+//! The engine doubles as the correctness oracle (its output must equal the
+//! dense reference convolution for every mode and stride) and as the source
+//! of exact per-unit work traces that the cycle-level simulators in
+//! `sparten-sim` cross-check against.
+
+use sparten_arch::{OutputCompactor, PermutationNetwork};
+use sparten_nn::generate::Workload;
+use sparten_tensor::{SparseVector, Tensor3};
+
+use crate::balance::{BalanceMode, LayerBalance};
+use crate::chunking::{filter_to_chunks, linearize_window_padded};
+use crate::config::AcceleratorConfig;
+
+/// Exact per-cluster work accounting from a functional run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterTrace {
+    /// Σ over (group, position, chunk) of the slowest unit's join work —
+    /// the cluster's compute time under per-chunk broadcast barriers.
+    pub barrier_cycles: u64,
+    /// Per-unit total join work (useful MAC cycles).
+    pub unit_busy: Vec<u64>,
+    /// Partial sums routed through the permutation network (GB-H only).
+    pub routed_values: u64,
+    /// Total permutation-network waves consumed (GB-H only).
+    pub route_waves: u64,
+    /// Non-zero output values this cluster wrote.
+    pub output_nnz: u64,
+}
+
+/// Whole-accelerator work trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkTrace {
+    /// One trace per cluster.
+    pub clusters: Vec<ClusterTrace>,
+}
+
+impl WorkTrace {
+    /// Total useful multiply-accumulates across the accelerator.
+    pub fn total_macs(&self) -> u64 {
+        self.clusters
+            .iter()
+            .map(|c| c.unit_busy.iter().sum::<u64>())
+            .sum()
+    }
+
+    /// The slowest cluster's barrier time — the layer's compute makespan.
+    pub fn makespan(&self) -> u64 {
+        self.clusters
+            .iter()
+            .map(|c| c.barrier_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Result of running one layer on the functional engine.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// Output tensor with channels in *produced* order (post-GB shuffle).
+    pub produced: Tensor3,
+    /// The balance assignment used.
+    pub balance: LayerBalance,
+    /// Exact work accounting.
+    pub trace: WorkTrace,
+}
+
+impl LayerRun {
+    /// Reorders the produced channels back to logical filter order —
+    /// equivalent to what GB-S's static next-layer unshuffle absorbs.
+    pub fn logical_output(&self) -> Tensor3 {
+        let p = &self.produced;
+        let mut out = Tensor3::zeros(p.channels(), p.height(), p.width());
+        for (pos, &logical) in self.balance.produced_channels.iter().enumerate() {
+            for y in 0..p.width() {
+                for x in 0..p.height() {
+                    out.set(logical, x, y, p.get(pos, x, y));
+                }
+            }
+        }
+        out
+    }
+
+    /// The produced output in SparTen's chunked storage format (one
+    /// `(SparseMap, pointer)` directory entry per fiber chunk) — what the
+    /// next layer's input fetch actually reads.
+    pub fn produced_sparse(&self, chunk_size: usize) -> sparten_tensor::SparseTensor3 {
+        sparten_tensor::SparseTensor3::from_dense(&self.produced, chunk_size)
+    }
+}
+
+/// The functional SparTen accelerator.
+///
+/// # Example
+///
+/// ```
+/// use sparten_core::{AcceleratorConfig, BalanceMode, SparTenEngine};
+/// use sparten_nn::{conv2d, ConvShape};
+/// use sparten_nn::generate::workload;
+///
+/// let shape = ConvShape::new(8, 6, 6, 3, 4, 1, 1);
+/// let w = workload(&shape, 0.5, 0.4, 1);
+/// let engine = SparTenEngine::new(AcceleratorConfig::small());
+/// let run = engine.run_layer(&w, BalanceMode::GbS, false);
+/// let reference = conv2d(&w.input, &w.filters, &shape);
+/// let got = run.logical_output();
+/// for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+///     assert!((a - b).abs() < 1e-3);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparTenEngine {
+    config: AcceleratorConfig,
+}
+
+impl SparTenEngine {
+    /// Creates an engine with the given hardware configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        SparTenEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Runs one convolution layer functionally.
+    ///
+    /// Produces the output tensor (channels in produced order — apply
+    /// [`LayerRun::logical_output`] or unshuffle the next layer's weights),
+    /// the balance assignment, and the exact work trace. `apply_relu`
+    /// applies ReLU before output collection, as the hardware does.
+    pub fn run_layer(&self, workload: &Workload, mode: BalanceMode, apply_relu: bool) -> LayerRun {
+        let units = self.config.cluster.compute_units;
+        let chunk_size = self.config.cluster.chunk_size;
+        let balance = LayerBalance::new(&workload.filters, units, chunk_size, mode);
+        self.run_layer_with_balance(workload, balance, apply_relu)
+    }
+
+    /// Runs one layer with an explicitly constructed balance assignment —
+    /// e.g. [`LayerBalance::with_collocation`] for k-way collocation.
+    pub fn run_layer_with_balance(
+        &self,
+        workload: &Workload,
+        balance: LayerBalance,
+        apply_relu: bool,
+    ) -> LayerRun {
+        let shape = &workload.shape;
+        let units = self.config.cluster.compute_units;
+        let chunk_size = self.config.cluster.chunk_size;
+        let filter_chunks: Vec<SparseVector> = workload
+            .filters
+            .iter()
+            .map(|f| filter_to_chunks(f, chunk_size))
+            .collect();
+        let num_chunks = filter_chunks[0].num_chunks();
+
+        let (oh, ow) = (shape.out_height(), shape.out_width());
+        let positions = oh * ow;
+        let num_clusters = self.config.num_clusters;
+        // Network endpoints: one per collocation slot (2·units for the
+        // paper's pairing; k·units under deeper collocation).
+        let max_slots = balance
+            .groups
+            .iter()
+            .flat_map(|g| g.per_cu.iter().map(Vec::len))
+            .max()
+            .unwrap_or(1)
+            .max(2);
+        let network =
+            PermutationNetwork::new(max_slots * units, self.config.cluster.bisection_limit);
+
+        // Pre-compute per-(group, chunk) routing and its cost once; every
+        // output position reuses the same schedule.
+        type ChunkRouting = (Vec<(usize, usize)>, sparten_arch::RouteStats);
+        let routing: Vec<Vec<ChunkRouting>> = balance
+            .groups
+            .iter()
+            .map(|g| {
+                (0..g.per_chunk_cu.len())
+                    .map(|c| {
+                        let mapping = g.chunk_routing(c);
+                        let stats = network.route(&mapping);
+                        (mapping, stats)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut produced = Tensor3::zeros(shape.num_filters, oh, ow);
+        let mut clusters = Vec::with_capacity(num_clusters);
+
+        for cluster in 0..num_clusters {
+            let lo = positions * cluster / num_clusters;
+            let hi = positions * (cluster + 1) / num_clusters;
+            let mut trace = ClusterTrace {
+                unit_busy: vec![0; units],
+                ..ClusterTrace::default()
+            };
+            for p in lo..hi {
+                let (ox, oy) = (p % oh, p / oh);
+                let window = linearize_window_padded(
+                    &workload.input,
+                    ox,
+                    oy,
+                    shape.kernel,
+                    shape.stride,
+                    shape.pad,
+                    chunk_size,
+                );
+                let window = SparseVector::from_dense(&window, chunk_size);
+                for (gi, group) in balance.groups.iter().enumerate() {
+                    let m = group.num_filters();
+                    let mut acc = vec![0.0f32; m];
+                    #[allow(clippy::needless_range_loop)] // c indexes three parallel structures
+                    for c in 0..num_chunks {
+                        let in_chunk = &window.chunks()[c];
+                        if group.per_chunk_cu.is_empty() {
+                            // Static assignment: each unit accumulates its
+                            // own filters locally.
+                            let mut chunk_max = 0u64;
+                            for (u, slots) in group.per_cu.iter().enumerate() {
+                                let mut w = 0u64;
+                                for &f in slots {
+                                    let fc = &filter_chunks[f].chunks()[c];
+                                    acc[group.owner_slot(f)] += in_chunk.dot(fc);
+                                    w += in_chunk.join_work(fc) as u64;
+                                }
+                                trace.unit_busy[u] += w;
+                                chunk_max = chunk_max.max(w);
+                            }
+                            trace.barrier_cycles += chunk_max;
+                        } else {
+                            // GB-H: per-chunk assignment; partials travel
+                            // through the permutation network.
+                            let (mapping, stats) = &routing[gi][c];
+                            let mut by_src = vec![0.0f32; max_slots * units];
+                            let mut chunk_max = 0u64;
+                            for (u, slots) in group.per_chunk_cu[c].iter().enumerate() {
+                                let mut w = 0u64;
+                                for (s, &f) in slots.iter().enumerate() {
+                                    let fc = &filter_chunks[f].chunks()[c];
+                                    by_src[s * units + u] = in_chunk.dot(fc);
+                                    w += in_chunk.join_work(fc) as u64;
+                                }
+                                trace.unit_busy[u] += w;
+                                chunk_max = chunk_max.max(w);
+                            }
+                            trace.barrier_cycles += chunk_max;
+                            let routed = network.apply(&by_src, mapping);
+                            for (dst, v) in routed.into_iter().enumerate() {
+                                if let (true, Some(v)) = (dst < m, v) {
+                                    acc[dst] += v;
+                                }
+                            }
+                            trace.routed_values += mapping.len() as u64;
+                            trace.route_waves += stats.waves as u64;
+                        }
+                    }
+                    if apply_relu {
+                        for v in &mut acc {
+                            if *v < 0.0 {
+                                *v = 0.0;
+                            }
+                        }
+                    }
+                    // Output collector: compact on the fly, then store.
+                    let compactor = OutputCompactor::new(m);
+                    let compacted = compactor.compact(&acc);
+                    trace.output_nnz += compacted.nnz() as u64;
+                    let dense = compacted.to_dense();
+                    let base = balance
+                        .groups
+                        .iter()
+                        .take(gi)
+                        .map(|g| g.num_filters())
+                        .sum::<usize>();
+                    for (j, &v) in dense.iter().enumerate() {
+                        produced.set(base + j, ox, oy, v);
+                    }
+                }
+            }
+            clusters.push(trace);
+        }
+
+        LayerRun {
+            produced,
+            balance,
+            trace: WorkTrace { clusters },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparten_nn::generate::workload;
+    use sparten_nn::{conv2d, ConvShape};
+
+    fn small_config(units: usize, clusters: usize) -> AcceleratorConfig {
+        AcceleratorConfig {
+            cluster: crate::config::ClusterConfig {
+                compute_units: units,
+                chunk_size: 16,
+                bisection_limit: 4,
+            },
+            num_clusters: clusters,
+        }
+    }
+
+    fn assert_matches_reference(
+        shape: ConvShape,
+        mode: BalanceMode,
+        config: AcceleratorConfig,
+        seed: u64,
+    ) {
+        let w = workload(&shape, 0.5, 0.4, seed);
+        let engine = SparTenEngine::new(config);
+        let run = engine.run_layer(&w, mode, false);
+        let reference = conv2d(&w.input, &w.filters, &shape);
+        let got = run.logical_output();
+        for (i, (a, b)) in got.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3,
+                "cell {i}: engine {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_gb_matches_reference() {
+        let shape = ConvShape::new(8, 6, 6, 3, 10, 1, 1);
+        assert_matches_reference(shape, BalanceMode::None, small_config(4, 3), 1);
+    }
+
+    #[test]
+    fn gbs_matches_reference() {
+        let shape = ConvShape::new(8, 6, 6, 3, 10, 1, 1);
+        assert_matches_reference(shape, BalanceMode::GbS, small_config(4, 3), 2);
+    }
+
+    #[test]
+    fn gbh_matches_reference() {
+        let shape = ConvShape::new(8, 6, 6, 3, 10, 1, 1);
+        assert_matches_reference(shape, BalanceMode::GbH, small_config(4, 3), 3);
+    }
+
+    #[test]
+    fn gbs_nocolloc_matches_reference() {
+        let shape = ConvShape::new(8, 6, 6, 3, 10, 1, 1);
+        assert_matches_reference(shape, BalanceMode::GbSNoColloc, small_config(4, 3), 9);
+    }
+
+    #[test]
+    fn non_unit_stride_matches_reference() {
+        // The capability SCNN lacks (§2.1.1): stride 2 and stride 4.
+        for stride in [2, 4] {
+            let shape = ConvShape::new(6, 9, 9, 3, 7, stride, 1);
+            assert_matches_reference(shape, BalanceMode::GbH, small_config(4, 2), 4);
+        }
+    }
+
+    #[test]
+    fn one_by_one_filters_match_reference() {
+        let shape = ConvShape::new(24, 5, 5, 1, 9, 1, 0);
+        assert_matches_reference(shape, BalanceMode::GbS, small_config(4, 2), 5);
+    }
+
+    #[test]
+    fn relu_is_applied_before_collection() {
+        let shape = ConvShape::new(4, 4, 4, 3, 4, 1, 1);
+        let w = workload(&shape, 0.8, 0.8, 6);
+        let engine = SparTenEngine::new(small_config(4, 2));
+        let run = engine.run_layer(&w, BalanceMode::None, true);
+        assert!(run.produced.as_slice().iter().all(|&v| v >= 0.0));
+        let mut reference = conv2d(&w.input, &w.filters, &shape);
+        reference.relu();
+        let got = run.logical_output();
+        for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn trace_accounts_every_mac() {
+        let shape = ConvShape::new(8, 5, 5, 3, 8, 1, 1);
+        let w = workload(&shape, 0.5, 0.4, 7);
+        let engine = SparTenEngine::new(small_config(4, 2));
+        let run = engine.run_layer(&w, BalanceMode::None, false);
+        // Total MACs must equal the true both-non-zero pair count.
+        let mut expect = 0u64;
+        for oy in 0..shape.out_width() {
+            for ox in 0..shape.out_height() {
+                let win = w.input.window_vector(ox, oy, 3, 3, 1, 1);
+                for f in &w.filters {
+                    let lin = f.linearize();
+                    expect += win
+                        .iter()
+                        .zip(&lin)
+                        .filter(|(a, b)| **a != 0.0 && **b != 0.0)
+                        .count() as u64;
+                }
+            }
+        }
+        assert_eq!(run.trace.total_macs(), expect);
+    }
+
+    #[test]
+    fn barrier_cycles_at_least_max_unit_busy() {
+        let shape = ConvShape::new(16, 6, 6, 3, 12, 1, 1);
+        let w = workload(&shape, 0.4, 0.35, 8);
+        let engine = SparTenEngine::new(small_config(4, 2));
+        for mode in [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH] {
+            let run = engine.run_layer(&w, mode, false);
+            for c in &run.trace.clusters {
+                let max_busy = c.unit_busy.iter().copied().max().unwrap_or(0);
+                assert!(c.barrier_cycles >= max_busy);
+            }
+        }
+    }
+
+    #[test]
+    fn gb_reduces_barrier_cycles() {
+        // With high filter-density spread, GB-S and GB-H should cut the
+        // barrier time versus no balancing.
+        let shape = ConvShape::new(32, 6, 6, 3, 16, 1, 1);
+        let w = workload(&shape, 0.5, 0.35, 9);
+        let engine = SparTenEngine::new(small_config(8, 1));
+        let t = |mode| engine.run_layer(&w, mode, false).trace.makespan();
+        let none = t(BalanceMode::None);
+        let gbs = t(BalanceMode::GbS);
+        let gbh = t(BalanceMode::GbH);
+        assert!(gbs < none, "GB-S {gbs} !< none {none}");
+        assert!(gbh <= gbs, "GB-H {gbh} !<= GB-S {gbs}");
+    }
+
+    #[test]
+    fn k_way_collocation_matches_reference() {
+        use crate::balance::LayerBalance;
+        let shape = ConvShape::new(8, 6, 6, 3, 16, 1, 1);
+        let w = workload(&shape, 0.5, 0.4, 12);
+        let cfg = small_config(4, 2);
+        let engine = SparTenEngine::new(cfg);
+        let reference = conv2d(&w.input, &w.filters, &shape);
+        for (k, per_chunk) in [(1usize, false), (4, false), (4, true)] {
+            let balance = LayerBalance::with_collocation(&w.filters, 4, 16, k, per_chunk);
+            let run = engine.run_layer_with_balance(&w, balance, false);
+            let got = run.logical_output();
+            for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "k={k} per_chunk={per_chunk}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn produced_sparse_roundtrips_and_counts() {
+        let shape = ConvShape::new(8, 5, 5, 3, 8, 1, 1);
+        let w = workload(&shape, 0.6, 0.5, 11);
+        let engine = SparTenEngine::new(small_config(4, 2));
+        let run = engine.run_layer(&w, BalanceMode::GbS, true);
+        let sparse = run.produced_sparse(16);
+        assert_eq!(sparse.to_dense(), run.produced);
+        // The engine's per-cluster output counts must sum to the stored nnz.
+        let traced: u64 = run.trace.clusters.iter().map(|c| c.output_nnz).sum();
+        assert_eq!(sparse.nnz() as u64, traced);
+    }
+
+    #[test]
+    fn gbh_routes_values() {
+        let shape = ConvShape::new(16, 4, 4, 3, 8, 1, 1);
+        let w = workload(&shape, 0.5, 0.4, 10);
+        let engine = SparTenEngine::new(small_config(4, 1));
+        let run = engine.run_layer(&w, BalanceMode::GbH, false);
+        let routed: u64 = run.trace.clusters.iter().map(|c| c.routed_values).sum();
+        assert!(routed > 0);
+        let plain = engine.run_layer(&w, BalanceMode::GbS, false);
+        assert_eq!(
+            plain
+                .trace
+                .clusters
+                .iter()
+                .map(|c| c.routed_values)
+                .sum::<u64>(),
+            0
+        );
+    }
+}

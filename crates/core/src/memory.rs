@@ -1,0 +1,173 @@
+//! Output-map memory management (§3.1, second half).
+//!
+//! Each cluster writes its output values into its own contiguous memory
+//! region so value writes never serialize across clusters. Regions are
+//! provisioned for the average case plus padding (~10 %), with a
+//! watermark-triggered background fallback allocation. This module wires
+//! the engine's per-cluster output counts through the
+//! [`sparten_tensor::RegionAllocator`] and reports what the layer actually
+//! needed — fallbacks, emergency stalls, and fragmentation slack.
+
+use sparten_nn::ConvShape;
+use sparten_tensor::RegionAllocator;
+
+use crate::config::AcceleratorConfig;
+use crate::engine::LayerRun;
+
+/// What happened while writing one layer's outputs to memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Output values written across all clusters.
+    pub values_written: usize,
+    /// Background fallback allocations serviced (watermark crossings).
+    pub fallbacks_serviced: usize,
+    /// Emergency extents taken synchronously (a provisioning miss — the
+    /// cluster would have stalled).
+    pub emergency_extents: usize,
+    /// Unused capacity left across regions (internal fragmentation).
+    pub slack: usize,
+}
+
+/// Per-cluster output regions for one layer.
+#[derive(Debug, Clone)]
+pub struct OutputMemory {
+    allocator: RegionAllocator,
+    fallback_extent: usize,
+}
+
+impl OutputMemory {
+    /// Provisions regions for a layer: each cluster expects its share of
+    /// `num_outputs × expected_density` values, padded by `padding`
+    /// (the paper suggests ~10 %), with fallback allocation triggered at
+    /// `watermark` fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_density` is not in `[0, 1]` (padding/watermark
+    /// validity is checked by the allocator).
+    pub fn for_layer(
+        config: &AcceleratorConfig,
+        shape: &ConvShape,
+        expected_density: f64,
+        padding: f64,
+        watermark: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&expected_density),
+            "density must be in [0, 1]"
+        );
+        let per_cluster = (shape.num_outputs() as f64 * expected_density
+            / config.num_clusters as f64)
+            .ceil() as usize;
+        OutputMemory {
+            allocator: RegionAllocator::new(config.num_clusters, per_cluster, padding, watermark),
+            fallback_extent: (per_cluster / 4).max(1),
+        }
+    }
+
+    /// The underlying allocator.
+    pub fn allocator(&self) -> &RegionAllocator {
+        &self.allocator
+    }
+
+    /// Writes one functional run's outputs through the regions, servicing
+    /// watermark fallbacks as the CPU would, and reports the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has a different cluster count.
+    pub fn commit_run(&mut self, run: &LayerRun) -> MemoryReport {
+        assert_eq!(
+            run.trace.clusters.len(),
+            self.allocator.num_regions(),
+            "cluster count mismatch"
+        );
+        let mut report = MemoryReport::default();
+        for (c, trace) in run.trace.clusters.iter().enumerate() {
+            let region = self.allocator.region_mut(c);
+            let extents_before = region.num_fallback_extents();
+            let mut serviced_here = 0usize;
+            // Stream the cluster's output in collector-sized bursts (one
+            // group of cells at a time) so the watermark logic engages the
+            // way it would online.
+            let mut remaining = trace.output_nnz as usize;
+            while remaining > 0 {
+                let burst = remaining.min(32);
+                region.append(burst);
+                remaining -= burst;
+                report.values_written += burst;
+                if region.fallback_pending() {
+                    region.grant_fallback(self.fallback_extent);
+                    serviced_here += 1;
+                }
+            }
+            // Any extent we did not grant ourselves was an emergency
+            // (synchronous) allocation — a provisioning miss.
+            let extents_added = region.num_fallback_extents() - extents_before;
+            report.fallbacks_serviced += serviced_here;
+            report.emergency_extents += extents_added - serviced_here;
+        }
+        report.slack = self.allocator.total_slack();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::BalanceMode;
+    use crate::config::ClusterConfig;
+    use crate::engine::SparTenEngine;
+    use sparten_nn::generate::workload;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig {
+            cluster: ClusterConfig {
+                compute_units: 4,
+                chunk_size: 64,
+                bisection_limit: 4,
+            },
+            num_clusters: 2,
+        }
+    }
+
+    fn run_layer(seed: u64) -> (ConvShape, LayerRun) {
+        let shape = ConvShape::new(16, 8, 8, 3, 12, 1, 1);
+        let w = workload(&shape, 0.5, 0.4, seed);
+        let engine = SparTenEngine::new(config());
+        (shape, engine.run_layer(&w, BalanceMode::GbS, true))
+    }
+
+    #[test]
+    fn well_provisioned_regions_take_no_emergency_extents() {
+        let (shape, run) = run_layer(1);
+        let actual: u64 = run.trace.clusters.iter().map(|c| c.output_nnz).sum();
+        let density = actual as f64 / shape.num_outputs() as f64;
+        // Provision at the true density + 10 % padding.
+        let mut mem = OutputMemory::for_layer(&config(), &shape, density, 0.10, 0.9);
+        let report = mem.commit_run(&run);
+        assert_eq!(report.values_written as u64, actual);
+        assert_eq!(report.emergency_extents, 0, "{report:?}");
+    }
+
+    #[test]
+    fn underprovisioning_triggers_fallbacks() {
+        let (shape, run) = run_layer(2);
+        // Provision for a quarter of the real output.
+        let actual: u64 = run.trace.clusters.iter().map(|c| c.output_nnz).sum();
+        let density = actual as f64 / shape.num_outputs() as f64 / 4.0;
+        let mut mem = OutputMemory::for_layer(&config(), &shape, density, 0.10, 0.9);
+        let report = mem.commit_run(&run);
+        assert!(report.fallbacks_serviced > 0, "{report:?}");
+        assert_eq!(report.values_written as u64, actual);
+    }
+
+    #[test]
+    fn slack_reflects_overprovisioning() {
+        let (shape, run) = run_layer(3);
+        let mut mem = OutputMemory::for_layer(&config(), &shape, 1.0, 0.10, 0.95);
+        let report = mem.commit_run(&run);
+        assert!(report.slack > 0);
+        assert_eq!(report.emergency_extents, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-layer execution: chaining layers with automatic unshuffling.
+//!
+//! Greedy balancing shuffles each layer's output channels; §3.3's scheme is
+//! to absorb that shuffle *statically* into the next layer's weights so
+//! nothing moves at run time. [`SparseNetwork`] packages the bookkeeping:
+//! it carries the produced channel order from each convolution into the
+//! next stage (through channel-local pooling untouched), unshuffles each
+//! conv stage's weights once, and returns the final output in logical
+//! order — so a whole CNN runs on the engine with GB enabled everywhere
+//! and bit-identical results to the dense reference.
+
+use sparten_nn::generate::Workload;
+use sparten_nn::{conv2d, max_pool, ConvShape, Filter};
+use sparten_tensor::Tensor3;
+
+use crate::balance::{unshuffle_next_layer, BalanceMode};
+use crate::engine::SparTenEngine;
+
+/// One stage of a sparse network.
+#[derive(Debug, Clone)]
+pub enum Stage {
+    /// A convolution on the accelerator.
+    Conv {
+        /// The layer's filters (logical channel order).
+        filters: Vec<Filter>,
+        /// The layer shape (its input dims must match the incoming tensor).
+        shape: ConvShape,
+        /// Balance mode for this layer.
+        mode: BalanceMode,
+        /// Whether ReLU is applied before output collection.
+        relu: bool,
+    },
+    /// Channel-local max pooling (runs on the CPU side).
+    MaxPool {
+        /// Pool window edge.
+        k: usize,
+        /// Pool stride.
+        stride: usize,
+    },
+}
+
+/// Aggregate statistics of a multi-layer run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Useful MACs across all conv stages.
+    pub total_macs: u64,
+    /// Sum of the conv stages' compute makespans.
+    pub total_cycles: u64,
+    /// Conv stages executed.
+    pub conv_stages: usize,
+}
+
+/// A chain of stages executed on one engine.
+#[derive(Debug, Clone)]
+pub struct SparseNetwork {
+    stages: Vec<Stage>,
+}
+
+impl SparseNetwork {
+    /// Builds a network from stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "need at least one stage");
+        SparseNetwork { stages }
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Runs the network on the engine, carrying produced channel order
+    /// between stages and returning the final output in *logical* order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if stage shapes do not chain with the input.
+    pub fn run(&self, engine: &SparTenEngine, input: &Tensor3) -> (Tensor3, PipelineStats) {
+        let mut act = input.clone();
+        // produced order of the current activation: position p holds
+        // logical channel carried[p].
+        let mut carried: Vec<usize> = (0..input.channels()).collect();
+        let mut stats = PipelineStats::default();
+        for stage in &self.stages {
+            match stage {
+                Stage::Conv {
+                    filters,
+                    shape,
+                    mode,
+                    relu,
+                } => {
+                    assert_eq!(act.channels(), shape.in_channels, "stage channels");
+                    // Absorb the carried shuffle into this layer's weights.
+                    let mut weights = filters.clone();
+                    unshuffle_next_layer(&mut weights, &carried);
+                    let w = Workload {
+                        input: act,
+                        filters: weights,
+                        shape: *shape,
+                    };
+                    let run = engine.run_layer(&w, *mode, *relu);
+                    stats.total_macs += run.trace.total_macs();
+                    stats.total_cycles += run.trace.makespan();
+                    stats.conv_stages += 1;
+                    carried = run.balance.produced_channels.clone();
+                    act = run.produced;
+                }
+                Stage::MaxPool { k, stride } => {
+                    // Channel-local: the carried order passes through.
+                    act = max_pool(&act, *k, *stride);
+                }
+            }
+        }
+        // Reorder the final activation to logical channel order.
+        let mut out = Tensor3::zeros(act.channels(), act.height(), act.width());
+        for (pos, &logical) in carried.iter().enumerate() {
+            for y in 0..act.width() {
+                for x in 0..act.height() {
+                    out.set(logical, x, y, act.get(pos, x, y));
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// Dense reference forward pass (logical order throughout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if stage shapes do not chain with the input.
+    pub fn reference(&self, input: &Tensor3) -> Tensor3 {
+        let mut act = input.clone();
+        for stage in &self.stages {
+            match stage {
+                Stage::Conv {
+                    filters,
+                    shape,
+                    relu,
+                    ..
+                } => {
+                    act = conv2d(&act, filters, shape);
+                    if *relu {
+                        act.relu();
+                    }
+                }
+                Stage::MaxPool { k, stride } => {
+                    act = max_pool(&act, *k, *stride);
+                }
+            }
+        }
+        act
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AcceleratorConfig, ClusterConfig};
+    use sparten_nn::generate::{random_filters, random_tensor};
+
+    fn engine() -> SparTenEngine {
+        SparTenEngine::new(AcceleratorConfig {
+            cluster: ClusterConfig {
+                compute_units: 4,
+                chunk_size: 64,
+                bisection_limit: 4,
+            },
+            num_clusters: 2,
+        })
+    }
+
+    fn three_stage_network(modes: [BalanceMode; 2]) -> (SparseNetwork, Tensor3) {
+        let c1 = ConvShape::new(8, 10, 10, 3, 12, 1, 1);
+        let c2 = ConvShape::new(12, 5, 5, 3, 6, 1, 1);
+        let net = SparseNetwork::new(vec![
+            Stage::Conv {
+                filters: random_filters(&c1, 0.5, 0.4, 1),
+                shape: c1,
+                mode: modes[0],
+                relu: true,
+            },
+            Stage::MaxPool { k: 2, stride: 2 },
+            Stage::Conv {
+                filters: random_filters(&c2, 0.4, 0.4, 2),
+                shape: c2,
+                mode: modes[1],
+                relu: true,
+            },
+        ]);
+        let input = random_tensor(8, 10, 10, 0.6, 3);
+        (net, input)
+    }
+
+    #[test]
+    fn chained_gb_matches_reference() {
+        for modes in [
+            [BalanceMode::None, BalanceMode::None],
+            [BalanceMode::GbS, BalanceMode::GbS],
+            [BalanceMode::GbH, BalanceMode::GbS],
+            [BalanceMode::GbS, BalanceMode::GbH],
+        ] {
+            let (net, input) = three_stage_network(modes);
+            let (got, stats) = net.run(&engine(), &input);
+            let reference = net.reference(&input);
+            assert_eq!(stats.conv_stages, 2);
+            assert!(stats.total_macs > 0);
+            for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+                assert!((a - b).abs() < 1e-2, "{modes:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn balance_modes_do_not_change_results_or_macs() {
+        let (plain, input) = three_stage_network([BalanceMode::None, BalanceMode::None]);
+        let (balanced, _) = three_stage_network([BalanceMode::GbH, BalanceMode::GbH]);
+        let (out_a, stats_a) = plain.run(&engine(), &input);
+        let (out_b, stats_b) = balanced.run(&engine(), &input);
+        assert_eq!(stats_a.total_macs, stats_b.total_macs);
+        for (a, b) in out_a.as_slice().iter().zip(out_b.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        // GB must not be slower on this spread.
+        assert!(stats_b.total_cycles <= stats_a.total_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage channels")]
+    fn mismatched_chain_panics() {
+        let c1 = ConvShape::new(8, 6, 6, 3, 12, 1, 1);
+        let c2 = ConvShape::new(99, 6, 6, 3, 6, 1, 1); // wrong in_channels
+        let net = SparseNetwork::new(vec![
+            Stage::Conv {
+                filters: random_filters(&c1, 0.5, 0.4, 1),
+                shape: c1,
+                mode: BalanceMode::None,
+                relu: false,
+            },
+            Stage::Conv {
+                filters: random_filters(&c2, 0.5, 0.4, 2),
+                shape: c2,
+                mode: BalanceMode::None,
+                relu: false,
+            },
+        ]);
+        let input = random_tensor(8, 6, 6, 0.6, 3);
+        net.run(&engine(), &input);
+    }
+}

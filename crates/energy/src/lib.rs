@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Energy and area models for the SparTen reproduction.
+//!
+//! Two models back the paper's Figure 13 and Table 4:
+//!
+//! * [`model`] — per-operation energy accounting (45 nm class constants)
+//!   applied to the simulators' operation counts, with the zero/non-zero
+//!   split and the buffer-capacity sensitivity that separates Dense from
+//!   Dense-naive;
+//! * [`area`] — an analytical component-wise area/power estimate of one
+//!   32-unit SparTen cluster, calibrated to the paper's Synopsys DC +
+//!   FreePDK45 + Cacti synthesis (Table 4).
+
+pub mod area;
+pub mod model;
+
+pub use area::{cluster_asic_estimate, sram_offset, AsicEstimate, ComponentEstimate, SramOffset};
+pub use model::{ComponentEnergy, EnergyModel, EnergyReport};

@@ -1,0 +1,336 @@
+//! Per-operation energy accounting (Figure 13).
+//!
+//! Figure 13 compares compute and memory energy — each split into zero and
+//! non-zero components — for Dense-naive (Dense with SparTen-sized
+//! buffers), Dense, One-sided, and the SparTen variants. The shape of that
+//! figure depends on operation *counts* (from the simulators) and the rough
+//! ratios between per-op energies, not on absolute picojoules. The
+//! constants here are 45 nm-class values (Horowitz-style) with buffer access
+//! energy growing with the square root of buffer capacity (the Cacti trend),
+//! which is exactly what separates Dense (8 B/MAC) from Dense-naive
+//! (SparTen-sized buffering, §5.3).
+
+use sparten_sim::{OpCounts, SimResult};
+
+/// Energy of one simulated layer, in picojoules, split as Figure 13 does.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Compute energy spent on non-zero work (includes the sparse-datapath
+    /// overheads: inner join, permutation network, output compaction).
+    pub compute_nonzero_pj: f64,
+    /// Compute energy wasted on zero operands (dense/one-sided only).
+    pub compute_zero_pj: f64,
+    /// Memory energy moving non-zero data and metadata (masks/pointers).
+    pub memory_nonzero_pj: f64,
+    /// Memory energy moving zero values.
+    pub memory_zero_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total compute energy.
+    pub fn compute_pj(&self) -> f64 {
+        self.compute_nonzero_pj + self.compute_zero_pj
+    }
+
+    /// Total memory energy.
+    pub fn memory_pj(&self) -> f64 {
+        self.memory_nonzero_pj + self.memory_zero_pj
+    }
+
+    /// Total energy.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj() + self.memory_pj()
+    }
+
+    /// Adds two reports component-wise (for network-level averages).
+    pub fn add(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport {
+            compute_nonzero_pj: self.compute_nonzero_pj + other.compute_nonzero_pj,
+            compute_zero_pj: self.compute_zero_pj + other.compute_zero_pj,
+            memory_nonzero_pj: self.memory_nonzero_pj + other.memory_nonzero_pj,
+            memory_zero_pj: self.memory_zero_pj + other.memory_zero_pj,
+        }
+    }
+}
+
+/// 45 nm-class per-operation energy constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One 8-bit multiply-accumulate (pJ).
+    pub mac_pj: f64,
+    /// Buffer access coefficient: access energy = `coeff · √bytes` (pJ).
+    pub buffer_coeff_pj: f64,
+    /// One adder node of a prefix-sum circuit (pJ).
+    pub prefix_adder_pj: f64,
+    /// Adder nodes evaluated per prefix-sum circuit pass (128-bit Sklansky).
+    pub prefix_adders_per_op: f64,
+    /// One priority-encoder resolution (pJ).
+    pub encoder_pj: f64,
+    /// Routing one value through the permutation network (pJ).
+    pub permute_pj: f64,
+    /// Compacting one output cell (pJ).
+    pub compact_pj: f64,
+    /// One SCNN crossbar traversal (pJ).
+    pub crossbar_pj: f64,
+    /// Moving one byte to/from DRAM (pJ).
+    pub dram_pj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// The default 45 nm model.
+    pub fn nm45() -> Self {
+        EnergyModel {
+            mac_pj: 0.2,
+            buffer_coeff_pj: 0.04,
+            prefix_adder_pj: 0.01,
+            prefix_adders_per_op: 448.0,
+            encoder_pj: 0.6,
+            permute_pj: 0.8,
+            compact_pj: 0.5,
+            crossbar_pj: 1.2,
+            dram_pj_per_byte: 650.0,
+        }
+    }
+
+    /// Access energy of a buffer with `bytes` capacity.
+    pub fn buffer_access_pj(&self, bytes: usize) -> f64 {
+        self.buffer_coeff_pj * (bytes as f64).sqrt()
+    }
+
+    /// Energy of a simulated layer given the scheme's per-MAC buffer
+    /// capacity (Table 2: 8 B for Dense, ~1 KB for the sparse schemes).
+    /// Pass a Dense result with a sparse-sized buffer to get Dense-naive.
+    pub fn layer_energy(&self, result: &SimResult, buffer_bytes_per_mac: usize) -> EnergyReport {
+        let ops = &result.ops;
+        let buf = self.buffer_access_pj(buffer_bytes_per_mac);
+        let per_mac = self.mac_pj + buf * (ops.buffer_accesses as f64 / macs_total(ops).max(1.0));
+
+        let overhead = ops.prefix_ops as f64 * self.prefix_adder_pj * self.prefix_adders_per_op
+            + ops.encoder_ops as f64 * self.encoder_pj
+            + ops.permute_values as f64 * self.permute_pj
+            + ops.compact_ops as f64 * self.compact_pj
+            + ops.crossbar_ops as f64 * self.crossbar_pj;
+        // Overheads split pro-rata between the zero and non-zero MACs that
+        // flowed through the datapath.
+        let total_macs = macs_total(ops).max(1.0);
+        let nz_share = ops.macs_nonzero as f64 / total_macs;
+
+        let compute_nonzero_pj = ops.macs_nonzero as f64 * per_mac + overhead * nz_share;
+        let compute_zero_pj = ops.macs_zero as f64 * per_mac + overhead * (1.0 - nz_share);
+
+        let zero_bytes = result.traffic.zero_value_bytes;
+        let total_bytes = result.traffic.total_bytes();
+        let memory_zero_pj = zero_bytes * self.dram_pj_per_byte;
+        let memory_nonzero_pj = (total_bytes - zero_bytes).max(0.0) * self.dram_pj_per_byte;
+
+        EnergyReport {
+            compute_nonzero_pj,
+            compute_zero_pj,
+            memory_nonzero_pj,
+            memory_zero_pj,
+        }
+    }
+}
+
+/// Per-component compute-energy attribution of one layer (pJ).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentEnergy {
+    /// Multiplier-accumulator switching energy.
+    pub mac_pj: f64,
+    /// Operand/partial-sum buffer accesses.
+    pub buffer_pj: f64,
+    /// Prefix-sum circuit evaluations.
+    pub prefix_pj: f64,
+    /// Priority-encoder steps.
+    pub encoder_pj: f64,
+    /// Permutation-network routing.
+    pub permute_pj: f64,
+    /// Output compaction.
+    pub compact_pj: f64,
+    /// SCNN crossbar traversals.
+    pub crossbar_pj: f64,
+}
+
+impl ComponentEnergy {
+    /// Total compute energy.
+    pub fn total_pj(&self) -> f64 {
+        self.mac_pj
+            + self.buffer_pj
+            + self.prefix_pj
+            + self.encoder_pj
+            + self.permute_pj
+            + self.compact_pj
+            + self.crossbar_pj
+    }
+}
+
+impl EnergyModel {
+    /// Attributes a layer's compute energy to datapath components — §5.3's
+    /// qualitative claim ("extra buffering, inner-join and output compaction
+    /// (to a much smaller extent) incur more energy") as numbers.
+    pub fn component_energy(
+        &self,
+        result: &SimResult,
+        buffer_bytes_per_mac: usize,
+    ) -> ComponentEnergy {
+        let ops = &result.ops;
+        let macs = macs_total(ops);
+        ComponentEnergy {
+            mac_pj: macs * self.mac_pj,
+            buffer_pj: ops.buffer_accesses as f64 * self.buffer_access_pj(buffer_bytes_per_mac),
+            prefix_pj: ops.prefix_ops as f64 * self.prefix_adder_pj * self.prefix_adders_per_op,
+            encoder_pj: ops.encoder_ops as f64 * self.encoder_pj,
+            permute_pj: ops.permute_values as f64 * self.permute_pj,
+            compact_pj: ops.compact_ops as f64 * self.compact_pj,
+            crossbar_pj: ops.crossbar_ops as f64 * self.crossbar_pj,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::nm45()
+    }
+}
+
+fn macs_total(ops: &OpCounts) -> f64 {
+    (ops.macs_nonzero + ops.macs_zero) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparten_nn::generate::workload;
+    use sparten_nn::ConvShape;
+    use sparten_sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+
+    fn results() -> Vec<(Scheme, SimResult)> {
+        let shape = ConvShape::new(192, 10, 10, 3, 64, 1, 1);
+        let w = workload(&shape, 0.25, 0.35, 41);
+        let cfg = SimConfig::small();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        [Scheme::Dense, Scheme::OneSided, Scheme::SpartenGbH]
+            .into_iter()
+            .map(|s| (s, simulate_layer(&w, &m, &cfg, s)))
+            .collect()
+    }
+
+    fn energy_for(scheme: Scheme, results: &[(Scheme, SimResult)]) -> EnergyReport {
+        let model = EnergyModel::nm45();
+        let (_, r) = results.iter().find(|(s, _)| *s == scheme).expect("scheme");
+        let buffer = if scheme == Scheme::Dense { 8 } else { 992 };
+        model.layer_energy(r, buffer)
+    }
+
+    #[test]
+    fn buffer_energy_grows_with_capacity() {
+        let m = EnergyModel::nm45();
+        assert!(m.buffer_access_pj(992) > 10.0 * m.buffer_access_pj(8));
+    }
+
+    #[test]
+    fn dense_naive_costs_more_than_dense() {
+        let rs = results();
+        let model = EnergyModel::nm45();
+        let (_, dense) = rs.iter().find(|(s, _)| *s == Scheme::Dense).unwrap();
+        let naive = model.layer_energy(dense, 992);
+        let lean = model.layer_energy(dense, 8);
+        assert!(naive.compute_pj() > lean.compute_pj() * 2.0);
+        // Memory energy is buffer-independent.
+        assert!((naive.memory_pj() - lean.memory_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_compute_is_dominated_by_zeros_on_sparse_layers() {
+        let rs = results();
+        let e = energy_for(Scheme::Dense, &rs);
+        assert!(e.compute_zero_pj > e.compute_nonzero_pj);
+    }
+
+    #[test]
+    fn sparten_eliminates_zero_compute_energy() {
+        let rs = results();
+        let e = energy_for(Scheme::SpartenGbH, &rs);
+        assert_eq!(e.compute_zero_pj, 0.0);
+        assert_eq!(e.memory_zero_pj, 0.0);
+    }
+
+    #[test]
+    fn sparten_beats_one_sided_compute_energy() {
+        // The paper's 1.5× compute-energy reduction over One-sided.
+        let rs = results();
+        let one = energy_for(Scheme::OneSided, &rs);
+        let two = energy_for(Scheme::SpartenGbH, &rs);
+        let ratio = one.compute_pj() / two.compute_pj();
+        assert!(ratio > 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sparten_compute_costs_more_than_dense_per_paper() {
+        // §5.3: SparTen ≈ 2× Dense compute energy (sparse overheads don't
+        // pipeline away). Accept a broad band around the paper's 2×.
+        let rs = results();
+        let dense = energy_for(Scheme::Dense, &rs);
+        let sparten = energy_for(Scheme::SpartenGbH, &rs);
+        let ratio = sparten.compute_pj() / dense.compute_pj();
+        assert!(
+            (0.8..6.0).contains(&ratio),
+            "SparTen/Dense compute ratio {ratio} out of band"
+        );
+    }
+
+    #[test]
+    fn sparten_memory_beats_dense_and_one_sided() {
+        let rs = results();
+        let dense = energy_for(Scheme::Dense, &rs);
+        let one = energy_for(Scheme::OneSided, &rs);
+        let two = energy_for(Scheme::SpartenGbH, &rs);
+        assert!(two.memory_pj() < one.memory_pj());
+        assert!(one.memory_pj() < dense.memory_pj());
+    }
+
+    #[test]
+    fn component_energy_sums_to_layer_compute_energy() {
+        let rs = results();
+        let model = EnergyModel::nm45();
+        for (scheme, r) in &rs {
+            let buffer = if *scheme == Scheme::Dense { 8 } else { 992 };
+            let comp = model.component_energy(r, buffer);
+            let layer = model.layer_energy(r, buffer);
+            let diff = (comp.total_pj() - layer.compute_pj()).abs();
+            assert!(
+                diff / layer.compute_pj().max(1.0) < 1e-9,
+                "{scheme:?}: components {} vs layer {}",
+                comp.total_pj(),
+                layer.compute_pj()
+            );
+        }
+    }
+
+    #[test]
+    fn buffers_dominate_sparten_compute_energy() {
+        // §5.3: buffering and the inner join, not the MACs, dominate.
+        let rs = results();
+        let model = EnergyModel::nm45();
+        let (_, r) = rs.iter().find(|(s, _)| *s == Scheme::SpartenGbH).unwrap();
+        let comp = model.component_energy(r, 992);
+        assert!(comp.buffer_pj > comp.mac_pj);
+        assert!(comp.prefix_pj + comp.encoder_pj > comp.mac_pj);
+        assert!(
+            comp.compact_pj < 0.2 * comp.total_pj(),
+            "compaction is minor"
+        );
+    }
+
+    #[test]
+    fn report_addition() {
+        let a = EnergyReport {
+            compute_nonzero_pj: 1.0,
+            compute_zero_pj: 2.0,
+            memory_nonzero_pj: 3.0,
+            memory_zero_pj: 4.0,
+        };
+        let s = a.add(&a);
+        assert_eq!(s.total_pj(), 20.0);
+    }
+}

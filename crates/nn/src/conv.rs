@@ -1,0 +1,268 @@
+//! Reference convolutions: the numerical oracle for every accelerator model.
+//!
+//! Two independent implementations — a window-vector dot-product form
+//! ([`conv2d`], matching how the accelerator linearizes work) and a
+//! brute-force nested loop ([`conv2d_direct`]) — are tested against each
+//! other, plus [`im2col`] lowering, ReLU, and max pooling.
+
+use crate::filter::Filter;
+use crate::shape::ConvShape;
+use sparten_tensor::Tensor3;
+
+/// 2-D convolution via linearized window vectors (the accelerator's view).
+///
+/// Returns an output tensor of shape `num_filters × out_h × out_w`.
+///
+/// # Panics
+///
+/// Panics if the input or filters disagree with `shape`.
+///
+/// # Example
+///
+/// ```
+/// use sparten_nn::{conv2d, ConvShape, Filter};
+/// use sparten_tensor::Tensor3;
+///
+/// let shape = ConvShape::new(1, 3, 3, 2, 1, 1, 0);
+/// let input = Tensor3::from_vec(vec![1.0; 9], 1, 3, 3);
+/// let filter = Filter::new(Tensor3::from_vec(vec![1.0; 4], 1, 2, 2));
+/// let out = conv2d(&input, &[filter], &shape);
+/// assert_eq!(out.get(0, 0, 0), 4.0);
+/// ```
+pub fn conv2d(input: &Tensor3, filters: &[Filter], shape: &ConvShape) -> Tensor3 {
+    validate(input, filters, shape);
+    let (oh, ow) = (shape.out_height(), shape.out_width());
+    let mut out = Tensor3::zeros(shape.num_filters, oh, ow);
+    let linearized: Vec<Vec<f32>> = filters.iter().map(Filter::linearize).collect();
+    for oy in 0..ow {
+        for ox in 0..oh {
+            let window =
+                input.window_vector(ox, oy, shape.kernel, shape.kernel, shape.stride, shape.pad);
+            for (f, lin) in linearized.iter().enumerate() {
+                let dot: f32 = window.iter().zip(lin).map(|(a, b)| a * b).sum();
+                out.set(f, ox, oy, dot);
+            }
+        }
+    }
+    out
+}
+
+/// Brute-force 2-D convolution with explicit nested loops — a second,
+/// structurally different implementation used to cross-check [`conv2d`].
+///
+/// # Panics
+///
+/// Panics if the input or filters disagree with `shape`.
+pub fn conv2d_direct(input: &Tensor3, filters: &[Filter], shape: &ConvShape) -> Tensor3 {
+    validate(input, filters, shape);
+    let (oh, ow) = (shape.out_height(), shape.out_width());
+    let mut out = Tensor3::zeros(shape.num_filters, oh, ow);
+    for (f, filter) in filters.iter().enumerate() {
+        let w = filter.weights();
+        for oy in 0..ow {
+            for ox in 0..oh {
+                let mut acc = 0.0f32;
+                for fy in 0..shape.kernel {
+                    for fx in 0..shape.kernel {
+                        let ix = (ox * shape.stride + fx) as isize - shape.pad as isize;
+                        let iy = (oy * shape.stride + fy) as isize - shape.pad as isize;
+                        if ix < 0
+                            || iy < 0
+                            || ix as usize >= shape.in_height
+                            || iy as usize >= shape.in_width
+                        {
+                            continue;
+                        }
+                        for z in 0..shape.in_channels {
+                            acc += input.get(z, ix as usize, iy as usize) * w.get(z, fx, fy);
+                        }
+                    }
+                }
+                out.set(f, ox, oy, acc);
+            }
+        }
+    }
+    out
+}
+
+/// im2col lowering: each output position becomes a row holding its
+/// linearized window, so convolution is a matrix-matrix product. Returns a
+/// `num_outputs × window_len` row-major matrix.
+///
+/// # Panics
+///
+/// Panics if the input disagrees with `shape`.
+pub fn im2col(input: &Tensor3, shape: &ConvShape) -> Vec<Vec<f32>> {
+    assert_eq!(input.channels(), shape.in_channels, "channel mismatch");
+    let (oh, ow) = (shape.out_height(), shape.out_width());
+    let mut rows = Vec::with_capacity(oh * ow);
+    for oy in 0..ow {
+        for ox in 0..oh {
+            rows.push(input.window_vector(
+                ox,
+                oy,
+                shape.kernel,
+                shape.kernel,
+                shape.stride,
+                shape.pad,
+            ));
+        }
+    }
+    rows
+}
+
+/// Max pooling with a `k × k` window and the given stride.
+///
+/// # Panics
+///
+/// Panics if the window does not fit the input.
+pub fn max_pool(input: &Tensor3, k: usize, stride: usize) -> Tensor3 {
+    assert!(k > 0 && stride > 0, "pool parameters must be positive");
+    assert!(
+        input.height() >= k && input.width() >= k,
+        "pool window larger than input"
+    );
+    let oh = (input.height() - k) / stride + 1;
+    let ow = (input.width() - k) / stride + 1;
+    let mut out = Tensor3::zeros(input.channels(), oh, ow);
+    for z in 0..input.channels() {
+        for oy in 0..ow {
+            for ox in 0..oh {
+                let mut m = f32::NEG_INFINITY;
+                for fy in 0..k {
+                    for fx in 0..k {
+                        m = m.max(input.get(z, ox * stride + fx, oy * stride + fy));
+                    }
+                }
+                out.set(z, ox, oy, m);
+            }
+        }
+    }
+    out
+}
+
+fn validate(input: &Tensor3, filters: &[Filter], shape: &ConvShape) {
+    assert_eq!(input.channels(), shape.in_channels, "channel mismatch");
+    assert_eq!(input.height(), shape.in_height, "height mismatch");
+    assert_eq!(input.width(), shape.in_width, "width mismatch");
+    assert_eq!(filters.len(), shape.num_filters, "filter count mismatch");
+    for f in filters {
+        assert_eq!(f.kernel(), shape.kernel, "kernel size mismatch");
+        assert_eq!(f.channels(), shape.in_channels, "filter channel mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_filters, random_tensor};
+
+    fn close(a: &Tensor3, b: &Tensor3) -> bool {
+        a.channels() == b.channels()
+            && a.height() == b.height()
+            && a.width() == b.width()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() < 1e-3)
+    }
+
+    #[test]
+    fn conv_implementations_agree_unit_stride() {
+        let shape = ConvShape::new(4, 7, 7, 3, 5, 1, 1);
+        let input = random_tensor(4, 7, 7, 0.5, 11);
+        let filters = random_filters(&shape, 0.4, 0.0, 22);
+        assert!(close(
+            &conv2d(&input, &filters, &shape),
+            &conv2d_direct(&input, &filters, &shape)
+        ));
+    }
+
+    #[test]
+    fn conv_implementations_agree_stride_two() {
+        let shape = ConvShape::new(3, 9, 9, 3, 4, 2, 0);
+        let input = random_tensor(3, 9, 9, 0.6, 33);
+        let filters = random_filters(&shape, 0.5, 0.0, 44);
+        assert!(close(
+            &conv2d(&input, &filters, &shape),
+            &conv2d_direct(&input, &filters, &shape)
+        ));
+    }
+
+    #[test]
+    fn conv_implementations_agree_stride_four_11x11() {
+        // AlexNet Layer0 in miniature: non-unit stride, big kernel.
+        let shape = ConvShape::new(3, 23, 23, 11, 2, 4, 2);
+        let input = random_tensor(3, 23, 23, 1.0, 5);
+        let filters = random_filters(&shape, 0.84, 0.0, 6);
+        assert!(close(
+            &conv2d(&input, &filters, &shape),
+            &conv2d_direct(&input, &filters, &shape)
+        ));
+    }
+
+    #[test]
+    fn im2col_times_filter_equals_conv() {
+        let shape = ConvShape::new(2, 5, 5, 3, 3, 1, 0);
+        let input = random_tensor(2, 5, 5, 0.7, 7);
+        let filters = random_filters(&shape, 0.6, 0.0, 8);
+        let rows = im2col(&input, &shape);
+        let reference = conv2d(&input, &filters, &shape);
+        let (oh, _ow) = (shape.out_height(), shape.out_width());
+        for (r, row) in rows.iter().enumerate() {
+            let (oy, ox) = (r / oh, r % oh);
+            for (f, filter) in filters.iter().enumerate() {
+                let lin = filter.linearize();
+                let dot: f32 = row.iter().zip(&lin).map(|(a, b)| a * b).sum();
+                assert!((dot - reference.get(f, ox, oy)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_one_by_one_conv() {
+        let shape = ConvShape::new(1, 3, 3, 1, 1, 1, 0);
+        let input = random_tensor(1, 3, 3, 1.0, 9);
+        let mut w = Tensor3::zeros(1, 1, 1);
+        w.set(0, 0, 0, 1.0);
+        let out = conv2d(&input, &[Filter::new(w)], &shape);
+        assert!(close(&out, &input));
+    }
+
+    #[test]
+    fn max_pool_3x3_stride2() {
+        let mut input = Tensor3::zeros(1, 5, 5);
+        input.set(0, 2, 2, 9.0);
+        input.set(0, 0, 0, 1.0);
+        let out = max_pool(&input, 3, 2);
+        assert_eq!((out.height(), out.width()), (2, 2));
+        assert_eq!(out.get(0, 0, 0), 9.0); // window [0..3)² contains the 9
+        assert_eq!(out.get(0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn relu_then_conv_pipeline() {
+        let shape = ConvShape::new(1, 3, 3, 1, 1, 1, 0);
+        let mut input = Tensor3::from_vec(
+            vec![-1.0, 2.0, -3.0, 4.0, -5.0, 6.0, -7.0, 8.0, -9.0],
+            1,
+            3,
+            3,
+        );
+        input.relu();
+        let mut w = Tensor3::zeros(1, 1, 1);
+        w.set(0, 0, 0, 2.0);
+        let out = conv2d(&input, &[Filter::new(w)], &shape);
+        // Z-first layout: cell (x=1, y=0) holds the original 2.0 → ×2 = 4.
+        assert_eq!(out.get(0, 1, 0), 4.0);
+        assert_eq!(out.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter count mismatch")]
+    fn wrong_filter_count_panics() {
+        let shape = ConvShape::new(1, 3, 3, 1, 2, 1, 0);
+        let input = Tensor3::zeros(1, 3, 3);
+        conv2d(&input, &[], &shape);
+    }
+}

@@ -1,0 +1,236 @@
+//! Fully-connected layers and MLPs on SparTen (the paper's §7 extension).
+//!
+//! The paper leaves "extending SparTen to these other DNNs" (LSTMs, RNNs,
+//! MLPs) as future work, but notes the architecture already applies because
+//! the inner join assigns one output cell per compute unit — a
+//! fully-connected layer is exactly a 1×1 convolution over a 1×1 spatial
+//! plane. This module provides that mapping plus a dense reference, so the
+//! claim can be exercised end to end (see the `mlp_on_sparten` integration
+//! test and the FC path in `tests/end_to_end.rs`).
+
+use crate::filter::Filter;
+use crate::generate::Workload;
+use crate::shape::ConvShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparten_tensor::Tensor3;
+
+/// A fully-connected layer: `out_features × in_features` weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcLayer {
+    weights: Vec<Vec<f32>>,
+    in_features: usize,
+}
+
+impl FcLayer {
+    /// Wraps a weight matrix (one row per output feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or ragged.
+    pub fn new(weights: Vec<Vec<f32>>) -> Self {
+        assert!(!weights.is_empty(), "need at least one output feature");
+        let in_features = weights[0].len();
+        assert!(in_features > 0, "need at least one input feature");
+        for row in &weights {
+            assert_eq!(row.len(), in_features, "ragged weight matrix");
+        }
+        FcLayer {
+            weights,
+            in_features,
+        }
+    }
+
+    /// Generates a random sparse FC layer at the given weight density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    pub fn random(in_features: usize, out_features: usize, density: f64, seed: u64) -> Self {
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfc1a_7e57);
+        let weights = (0..out_features)
+            .map(|_| {
+                (0..in_features)
+                    .map(|_| {
+                        if rng.gen_bool(density) {
+                            let mag = 0.25 + rng.gen::<f32>();
+                            if rng.gen_bool(0.5) {
+                                mag
+                            } else {
+                                -mag
+                            }
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        FcLayer::new(weights)
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Fraction of non-zero weights.
+    pub fn density(&self) -> f64 {
+        let nnz: usize = self
+            .weights
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|&&v| v != 0.0)
+            .count();
+        nnz as f64 / (self.in_features * self.out_features()) as f64
+    }
+
+    /// Dense reference forward pass with optional ReLU.
+    pub fn forward(&self, x: &[f32], relu: bool) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_features, "input width mismatch");
+        self.weights
+            .iter()
+            .map(|row| {
+                let y: f32 = row.iter().zip(x).map(|(w, v)| w * v).sum();
+                if relu {
+                    y.max(0.0)
+                } else {
+                    y
+                }
+            })
+            .collect()
+    }
+
+    /// The equivalent 1×1-convolution shape over a 1×1 plane.
+    pub fn as_conv_shape(&self) -> ConvShape {
+        ConvShape::new(self.in_features, 1, 1, 1, self.out_features(), 1, 0)
+    }
+
+    /// Packages an input activation vector into a [`Workload`] the
+    /// accelerator engine and simulators can run directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_features()`.
+    pub fn to_workload(&self, x: &[f32]) -> Workload {
+        assert_eq!(x.len(), self.in_features, "input width mismatch");
+        let input = Tensor3::from_vec(x.to_vec(), self.in_features, 1, 1);
+        let filters = self
+            .weights
+            .iter()
+            .map(|row| Filter::new(Tensor3::from_vec(row.clone(), self.in_features, 1, 1)))
+            .collect();
+        Workload {
+            input,
+            filters,
+            shape: self.as_conv_shape(),
+        }
+    }
+}
+
+/// A multi-layer perceptron: FC layers with ReLU between them (not after
+/// the last).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<FcLayer>,
+}
+
+impl Mlp {
+    /// Builds an MLP from consecutive layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths do not chain or `layers` is empty.
+    pub fn new(layers: Vec<FcLayer>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_features(),
+                pair[1].in_features(),
+                "layer widths must chain"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[FcLayer] {
+        &self.layers
+    }
+
+    /// Dense reference forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let mut act = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            act = layer.forward(&act, i != last);
+        }
+        act
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let fc = FcLayer::new(vec![vec![1.0, 2.0], vec![0.0, -3.0]]);
+        assert_eq!(fc.forward(&[4.0, 5.0], false), vec![14.0, -15.0]);
+        assert_eq!(fc.forward(&[4.0, 5.0], true), vec![14.0, 0.0]);
+    }
+
+    #[test]
+    fn random_layer_hits_density() {
+        let fc = FcLayer::random(512, 128, 0.3, 1);
+        assert!((fc.density() - 0.3).abs() < 0.03, "got {}", fc.density());
+    }
+
+    #[test]
+    fn conv_shape_is_one_by_one() {
+        let fc = FcLayer::random(64, 16, 0.5, 2);
+        let shape = fc.as_conv_shape();
+        assert_eq!((shape.kernel, shape.in_height, shape.in_width), (1, 1, 1));
+        assert_eq!(shape.num_filters, 16);
+        assert_eq!(shape.dense_macs(), 64 * 16);
+    }
+
+    #[test]
+    fn workload_reference_matches_fc_forward() {
+        use crate::conv::conv2d;
+        let fc = FcLayer::random(48, 12, 0.4, 3);
+        let x: Vec<f32> = (0..48)
+            .map(|i| if i % 3 == 0 { i as f32 } else { 0.0 })
+            .collect();
+        let w = fc.to_workload(&x);
+        let out = conv2d(&w.input, &w.filters, &w.shape);
+        let expect = fc.forward(&x, false);
+        for (f, &e) in expect.iter().enumerate() {
+            assert!((out.get(f, 0, 0) - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mlp_chains_layers_with_relu() {
+        let l1 = FcLayer::new(vec![vec![1.0], vec![-1.0]]);
+        let l2 = FcLayer::new(vec![vec![1.0, 1.0]]);
+        let mlp = Mlp::new(vec![l1, l2]);
+        // x=2 → layer1 [2, -2] → relu [2, 0] → layer2 [2].
+        assert_eq!(mlp.forward(&[2.0]), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn mismatched_widths_panic() {
+        Mlp::new(vec![
+            FcLayer::random(4, 3, 1.0, 0),
+            FcLayer::random(5, 2, 1.0, 0),
+        ]);
+    }
+}

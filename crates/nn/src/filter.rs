@@ -1,0 +1,172 @@
+//! Filters and their Z-first linearization.
+//!
+//! A filter is a `channels × k × k` tensor. The accelerator computes one
+//! output cell as the dot product of a linearized input window with the
+//! linearized filter; the two linearizations must agree. Both follow the
+//! paper's Z-first order (channels fastest), iterating spatial taps in the
+//! same (fx-within-fy) order as [`sparten_tensor::Tensor3::window_vector`].
+
+use sparten_tensor::{SparseVector, Tensor3};
+
+/// One convolution filter: a `channels × k × k` weight tensor.
+///
+/// # Example
+///
+/// ```
+/// use sparten_nn::Filter;
+/// use sparten_tensor::Tensor3;
+///
+/// let f = Filter::new(Tensor3::zeros(3, 2, 2));
+/// assert_eq!(f.linearize().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    weights: Tensor3,
+}
+
+impl Filter {
+    /// Wraps a weight tensor as a filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter is not spatially square.
+    pub fn new(weights: Tensor3) -> Self {
+        assert_eq!(
+            weights.height(),
+            weights.width(),
+            "filters must be spatially square"
+        );
+        Filter { weights }
+    }
+
+    /// The underlying weight tensor.
+    pub fn weights(&self) -> &Tensor3 {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (used by pruning).
+    pub fn weights_mut(&mut self) -> &mut Tensor3 {
+        &mut self.weights
+    }
+
+    /// Kernel size k.
+    pub fn kernel(&self) -> usize {
+        self.weights.height()
+    }
+
+    /// Channel count d.
+    pub fn channels(&self) -> usize {
+        self.weights.channels()
+    }
+
+    /// Number of non-zero weights.
+    pub fn nnz(&self) -> usize {
+        self.weights.nnz()
+    }
+
+    /// Fraction of non-zero weights (whole-filter density — GB-S's sort key).
+    pub fn density(&self) -> f64 {
+        self.weights.density()
+    }
+
+    /// Linearizes the filter Z-first in window order: for each spatial tap
+    /// `(fy, fx)` (fy outer), the channel fiber. This matches
+    /// [`Tensor3::window_vector`] so `window · linearize` is the convolution
+    /// at that output position.
+    pub fn linearize(&self) -> Vec<f32> {
+        let k = self.kernel();
+        let mut out = Vec::with_capacity(self.channels() * k * k);
+        for fy in 0..k {
+            for fx in 0..k {
+                out.extend_from_slice(self.weights.fiber(fx, fy));
+            }
+        }
+        out
+    }
+
+    /// The chunked sparse representation of the linearized filter.
+    pub fn to_sparse(&self, chunk_size: usize) -> SparseVector {
+        SparseVector::from_dense(&self.linearize(), chunk_size)
+    }
+
+    /// Per-chunk densities of the linearized filter — GB-H's sort key.
+    pub fn chunk_densities(&self, chunk_size: usize) -> Vec<f64> {
+        self.to_sparse(chunk_size).chunk_densities()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize_matches_window_order() {
+        // A 2-channel 2x2 filter; compare dot(window, linearized filter)
+        // against the brute-force convolution sum at one output position.
+        let mut w = Tensor3::zeros(2, 2, 2);
+        let mut v = 1.0;
+        for y in 0..2 {
+            for x in 0..2 {
+                for z in 0..2 {
+                    w.set(z, x, y, v);
+                    v += 1.0;
+                }
+            }
+        }
+        let f = Filter::new(w.clone());
+
+        let mut input = Tensor3::zeros(2, 3, 3);
+        let mut v = 0.5;
+        for y in 0..3 {
+            for x in 0..3 {
+                for z in 0..2 {
+                    input.set(z, x, y, v);
+                    v += 0.25;
+                }
+            }
+        }
+        let window = input.window_vector(1, 1, 2, 2, 1, 0);
+        let lin = f.linearize();
+        let dot: f32 = window.iter().zip(&lin).map(|(a, b)| a * b).sum();
+
+        let mut brute = 0.0f32;
+        for fy in 0..2 {
+            for fx in 0..2 {
+                for z in 0..2 {
+                    brute += input.get(z, 1 + fx, 1 + fy) * w.get(z, fx, fy);
+                }
+            }
+        }
+        assert!((dot - brute).abs() < 1e-5);
+    }
+
+    #[test]
+    fn density_counts_nonzeros() {
+        let mut w = Tensor3::zeros(1, 2, 2);
+        w.set(0, 0, 0, 1.0);
+        let f = Filter::new(w);
+        assert_eq!(f.nnz(), 1);
+        assert_eq!(f.density(), 0.25);
+    }
+
+    #[test]
+    fn to_sparse_roundtrips() {
+        let mut w = Tensor3::zeros(3, 2, 2);
+        w.set(1, 0, 1, 4.0);
+        w.set(2, 1, 0, -1.0);
+        let f = Filter::new(w);
+        assert_eq!(f.to_sparse(8).to_dense(), f.linearize());
+    }
+
+    #[test]
+    fn chunk_densities_length() {
+        let f = Filter::new(Tensor3::zeros(16, 3, 3)); // 144 weights
+        assert_eq!(f.chunk_densities(128).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_filter_panics() {
+        Filter::new(Tensor3::zeros(1, 2, 3));
+    }
+}

@@ -1,0 +1,255 @@
+//! GoogLeNet inception modules: branch composition for the Table 3 layers.
+//!
+//! Table 3 evaluates the six sublayers of Inception 3a and 5a
+//! independently; this module composes them into a whole inception module
+//! (1×1 / 3×3-reduce→3×3 / 5×5-reduce→5×5 / pool→1×1 branches concatenated
+//! along the channel axis), so multi-layer examples and tests can run a
+//! real GoogLeNet building block end to end.
+
+use crate::conv::{conv2d, max_pool};
+use crate::filter::Filter;
+use crate::generate::{random_filters, Workload};
+use crate::networks::LayerSpec;
+use crate::shape::ConvShape;
+use sparten_tensor::Tensor3;
+
+/// One inception branch: an optional reduce convolution then the main one.
+#[derive(Debug, Clone)]
+pub struct Branch {
+    /// Optional 1×1 reduce stage.
+    pub reduce: Option<(ConvShape, Vec<Filter>)>,
+    /// The branch's main convolution.
+    pub main: (ConvShape, Vec<Filter>),
+}
+
+impl Branch {
+    fn forward(&self, input: &Tensor3) -> Tensor3 {
+        let x = match &self.reduce {
+            Some((shape, filters)) => {
+                let mut t = conv2d(input, filters, shape);
+                t.relu();
+                t
+            }
+            None => input.clone(),
+        };
+        let (shape, filters) = &self.main;
+        let mut out = conv2d(&x, filters, shape);
+        out.relu();
+        out
+    }
+
+    fn out_channels(&self) -> usize {
+        self.main.0.num_filters
+    }
+}
+
+/// A four-branch inception module.
+#[derive(Debug, Clone)]
+pub struct InceptionModule {
+    branches: Vec<Branch>,
+    pool_branch: usize,
+}
+
+impl InceptionModule {
+    /// Builds an inception module from Table 3 layer specs: `b1` (1×1),
+    /// `b3r`/`b3` (3×3 reduce + 3×3), `b5r`/`b5` (5×5 reduce + 5×5), and
+    /// `bpool` (the pool-projection 1×1, preceded by a same-size 3×3/1 max
+    /// pool). Filters are generated at the specs' densities from `seed`.
+    pub fn from_specs(
+        b1: &LayerSpec,
+        b3r: &LayerSpec,
+        b3: &LayerSpec,
+        b5r: &LayerSpec,
+        b5: &LayerSpec,
+        bpool: &LayerSpec,
+        seed: u64,
+    ) -> Self {
+        let gen = |spec: &LayerSpec, salt: u64| {
+            (
+                spec.shape,
+                random_filters(&spec.shape, spec.filter_density, 0.5, seed ^ salt),
+            )
+        };
+        InceptionModule {
+            branches: vec![
+                Branch {
+                    reduce: None,
+                    main: gen(b1, 1),
+                },
+                Branch {
+                    reduce: Some(gen(b3r, 2)),
+                    main: gen(b3, 3),
+                },
+                Branch {
+                    reduce: Some(gen(b5r, 4)),
+                    main: gen(b5, 5),
+                },
+                Branch {
+                    reduce: None,
+                    main: gen(bpool, 6),
+                },
+            ],
+            pool_branch: 3,
+        }
+    }
+
+    /// Output channel count: the sum of the branches'.
+    pub fn out_channels(&self) -> usize {
+        self.branches.iter().map(Branch::out_channels).sum()
+    }
+
+    /// The branches, in concatenation order.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// Per-branch workloads for the accelerator (each branch's main conv,
+    /// with its real intermediate input) — what the simulators consume.
+    pub fn branch_workloads(&self, input: &Tensor3) -> Vec<Workload> {
+        self.branches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let x = if i == self.pool_branch {
+                    padded_pool(input)
+                } else {
+                    match &b.reduce {
+                        Some((shape, filters)) => {
+                            let mut t = conv2d(input, filters, shape);
+                            t.relu();
+                            t
+                        }
+                        None => input.clone(),
+                    }
+                };
+                Workload {
+                    input: x,
+                    filters: b.main.1.clone(),
+                    shape: b.main.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Forward pass: run all branches and concatenate along channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branches disagree on spatial output size.
+    pub fn forward(&self, input: &Tensor3) -> Tensor3 {
+        let outputs: Vec<Tensor3> = self
+            .branches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                if i == self.pool_branch {
+                    b.forward(&padded_pool(input))
+                } else {
+                    b.forward(input)
+                }
+            })
+            .collect();
+        let (h, w) = (outputs[0].height(), outputs[0].width());
+        for o in &outputs {
+            assert_eq!((o.height(), o.width()), (h, w), "branch size mismatch");
+        }
+        let mut out = Tensor3::zeros(self.out_channels(), h, w);
+        let mut base = 0usize;
+        for o in &outputs {
+            for y in 0..w {
+                for x in 0..h {
+                    for z in 0..o.channels() {
+                        out.set(base + z, x, y, o.get(z, x, y));
+                    }
+                }
+            }
+            base += o.channels();
+        }
+        out
+    }
+}
+
+/// Same-size 3×3/1 max pooling (pad 1), as in GoogLeNet's pool branch.
+fn padded_pool(input: &Tensor3) -> Tensor3 {
+    let mut padded = Tensor3::zeros(input.channels(), input.height() + 2, input.width() + 2);
+    for y in 0..input.width() {
+        for x in 0..input.height() {
+            for z in 0..input.channels() {
+                padded.set(z, x + 1, y + 1, input.get(z, x, y));
+            }
+        }
+    }
+    max_pool(&padded, 3, 1)
+}
+
+/// Builds Inception 3a from the Table 3 specs.
+pub fn inception_3a(seed: u64) -> InceptionModule {
+    let net = crate::networks::googlenet();
+    let layer = |n: &str| net.layer(n).expect("Table 3 layer exists").clone();
+    InceptionModule::from_specs(
+        &layer("Inc3a_1x1"),
+        &layer("Inc3a_3x3red"),
+        &layer("Inc3a_3x3"),
+        &layer("Inc3a_5x5red"),
+        &layer("Inc3a_5x5"),
+        &layer("Inc3a_poolprj"),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_tensor;
+
+    #[test]
+    fn inception_3a_output_channels() {
+        // GoogLeNet 3a: 64 + 128 + 32 + 32 = 256 output channels.
+        let m = inception_3a(1);
+        assert_eq!(m.out_channels(), 256);
+    }
+
+    #[test]
+    fn forward_concatenates_spatially_aligned_branches() {
+        let m = inception_3a(2);
+        // A reduced-size input with the right channel count.
+        let input = random_tensor(192, 28, 28, 0.58, 3);
+        let out = m.forward(&input);
+        assert_eq!(out.channels(), 256);
+        assert_eq!((out.height(), out.width()), (28, 28));
+        // ReLU everywhere → non-negative.
+        assert!(out.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn branch_workloads_have_table3_shapes() {
+        let m = inception_3a(4);
+        let input = random_tensor(192, 28, 28, 0.58, 5);
+        let ws = m.branch_workloads(&input);
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0].shape.kernel, 1);
+        assert_eq!(ws[1].shape.kernel, 3);
+        assert_eq!(ws[1].shape.in_channels, 96);
+        assert_eq!(ws[2].shape.kernel, 5);
+        assert_eq!(ws[2].shape.in_channels, 16);
+        assert_eq!(ws[3].shape.num_filters, 32);
+    }
+
+    #[test]
+    fn padded_pool_preserves_size() {
+        let t = random_tensor(4, 7, 7, 0.6, 6);
+        let p = padded_pool(&t);
+        assert_eq!((p.height(), p.width()), (7, 7));
+        // Pooling never decreases any cell below the original (ReLU'd
+        // non-negative inputs): each output ≥ its own input cell.
+        for y in 0..7 {
+            for x in 0..7 {
+                for z in 0..4 {
+                    assert!(
+                        p.get(z, x, y) >= t.get(z, x, y).max(0.0) - 1e-6 || t.get(z, x, y) < 0.0
+                    );
+                }
+            }
+        }
+    }
+}

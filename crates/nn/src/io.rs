@@ -1,0 +1,197 @@
+//! Workload serialization: share the exact tensors an experiment ran on.
+//!
+//! The harness generates workloads deterministically from seeds, but
+//! cross-machine reproduction (or importing real pruned models) needs the
+//! tensors themselves. This module defines a small, self-describing binary
+//! format (`SPTN` magic, version, shape header, little-endian `f32` data)
+//! for [`Tensor3`] and whole [`Workload`]s, with no third-party
+//! dependencies.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::filter::Filter;
+use crate::generate::Workload;
+use crate::shape::ConvShape;
+use sparten_tensor::Tensor3;
+
+const MAGIC: &[u8; 4] = b"SPTN";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor3) -> io::Result<()> {
+    write_u32(w, t.channels() as u32)?;
+    write_u32(w, t.height() as u32)?;
+    write_u32(w, t.width() as u32)?;
+    for &v in t.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tensor(r: &mut impl Read) -> io::Result<Tensor3> {
+    let d = read_u32(r)? as usize;
+    let h = read_u32(r)? as usize;
+    let wd = read_u32(r)? as usize;
+    let mut data = vec![0f32; d * h * wd];
+    for v in &mut data {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *v = f32::from_le_bytes(b);
+    }
+    Ok(Tensor3::from_vec(data, d, h, wd))
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Saves a workload (shape, input tensor, filters) to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_workload(workload: &Workload, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    let s = &workload.shape;
+    for v in [
+        s.in_channels,
+        s.in_height,
+        s.in_width,
+        s.kernel,
+        s.num_filters,
+        s.stride,
+        s.pad,
+    ] {
+        write_u32(&mut w, v as u32)?;
+    }
+    write_tensor(&mut w, &workload.input)?;
+    write_u32(&mut w, workload.filters.len() as u32)?;
+    for f in &workload.filters {
+        write_tensor(&mut w, f.weights())?;
+    }
+    w.flush()
+}
+
+/// Loads a workload previously written by [`save_workload`].
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, a bad magic/version, or a payload that
+/// is inconsistent with its own shape header.
+pub fn load_workload(path: impl AsRef<Path>) -> io::Result<Workload> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad_data("not a SparTen workload file"));
+    }
+    if read_u32(&mut r)? != VERSION {
+        return Err(bad_data("unsupported workload format version"));
+    }
+    let dims: Vec<usize> = (0..7)
+        .map(|_| read_u32(&mut r).map(|v| v as usize))
+        .collect::<io::Result<_>>()?;
+    let shape = ConvShape::new(
+        dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6],
+    );
+    let input = read_tensor(&mut r)?;
+    if (input.channels(), input.height(), input.width())
+        != (shape.in_channels, shape.in_height, shape.in_width)
+    {
+        return Err(bad_data("input tensor disagrees with the shape header"));
+    }
+    let n = read_u32(&mut r)? as usize;
+    if n != shape.num_filters {
+        return Err(bad_data("filter count disagrees with the shape header"));
+    }
+    let mut filters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = read_tensor(&mut r)?;
+        if (t.channels(), t.height(), t.width()) != (shape.in_channels, shape.kernel, shape.kernel)
+        {
+            return Err(bad_data("filter tensor disagrees with the shape header"));
+        }
+        filters.push(Filter::new(t));
+    }
+    Ok(Workload {
+        input,
+        filters,
+        shape,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::workload;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sparten-io-test-{}-{name}.sptn",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let shape = ConvShape::new(12, 7, 7, 3, 9, 2, 1);
+        let w = workload(&shape, 0.4, 0.35, 99);
+        let path = temp_path("roundtrip");
+        save_workload(&w, &path).expect("save");
+        let back = load_workload(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.shape, w.shape);
+        assert_eq!(back.input, w.input);
+        assert_eq!(back.filters, w.filters);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"NOPE0000").expect("write");
+        let err = load_workload(&path).expect_err("must fail");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let shape = ConvShape::new(4, 4, 4, 1, 2, 1, 0);
+        let w = workload(&shape, 0.5, 0.5, 1);
+        let path = temp_path("trunc");
+        save_workload(&w, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(load_workload(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_workload_simulates_identically() {
+        let shape = ConvShape::new(16, 5, 5, 3, 6, 1, 1);
+        let w = workload(&shape, 0.4, 0.4, 7);
+        let path = temp_path("sim");
+        save_workload(&w, &path).expect("save");
+        let back = load_workload(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        use crate::conv::conv2d;
+        let a = conv2d(&w.input, &w.filters, &shape);
+        let b = conv2d(&back.input, &back.filters, &shape);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,216 @@
+//! LSTM cells on sparse matrix-vector products (the paper's §7 extension).
+//!
+//! §7: "SparTen is broadly applicable to ... non-convolutional deep neural
+//! networks (DNNs) such as long short-term memory (LSTMs), recurrent neural
+//! networks (RNNs), and multi-level perceptrons (MLP)" — left to future
+//! work in the paper, implemented here. An LSTM step is eight
+//! matrix-vector products (four gates × {input, hidden}), each of which is
+//! exactly the accelerator's SpMV primitive; the elementwise gate math is
+//! CPU-side. The dense reference here is checked against the SparTen
+//! functional engine in the `extensions` integration test.
+
+use crate::fc::FcLayer;
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One LSTM cell with sparse weights.
+///
+/// Gate order within the stacked matrices is `[input, forget, cell, output]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCell {
+    /// Input projection: `4·hidden × input` weights.
+    wx: FcLayer,
+    /// Recurrent projection: `4·hidden × hidden` weights.
+    wh: FcLayer,
+    /// Gate biases, length `4·hidden`.
+    bias: Vec<f32>,
+    hidden: usize,
+}
+
+/// The `(h, c)` state pair of an LSTM cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: Vec<f32>,
+    /// Cell state.
+    pub c: Vec<f32>,
+}
+
+impl LstmState {
+    /// The zero state for `hidden` units.
+    pub fn zeros(hidden: usize) -> Self {
+        LstmState {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+}
+
+impl LstmCell {
+    /// Builds a cell from stacked gate projections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent (`wx`/`wh` must both have
+    /// `4·hidden` outputs, `wh` must take `hidden` inputs, `bias` must have
+    /// `4·hidden` entries).
+    pub fn new(wx: FcLayer, wh: FcLayer, bias: Vec<f32>) -> Self {
+        let hidden = wh.in_features();
+        assert_eq!(wx.out_features(), 4 * hidden, "wx must stack four gates");
+        assert_eq!(wh.out_features(), 4 * hidden, "wh must stack four gates");
+        assert_eq!(bias.len(), 4 * hidden, "bias must cover four gates");
+        LstmCell {
+            wx,
+            wh,
+            bias,
+            hidden,
+        }
+    }
+
+    /// Generates a random sparse cell.
+    pub fn random(input: usize, hidden: usize, density: f64, seed: u64) -> Self {
+        let wx = FcLayer::random(input, 4 * hidden, density, seed);
+        let wh = FcLayer::random(hidden, 4 * hidden, density, seed.wrapping_add(1));
+        let bias = (0..4 * hidden)
+            .map(|i| ((i % 7) as f32 - 3.0) / 10.0)
+            .collect();
+        LstmCell::new(wx, wh, bias)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input(&self) -> usize {
+        self.wx.in_features()
+    }
+
+    /// The stacked input projection (run this on the accelerator).
+    pub fn wx(&self) -> &FcLayer {
+        &self.wx
+    }
+
+    /// The stacked recurrent projection (run this on the accelerator).
+    pub fn wh(&self) -> &FcLayer {
+        &self.wh
+    }
+
+    /// Completes one step given externally computed projections
+    /// `px = Wx·x` and `ph = Wh·h` (e.g. from the SparTen engine):
+    /// the CPU-side gate math of the split execution model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projections or state have the wrong width.
+    pub fn step_from_projections(&self, px: &[f32], ph: &[f32], state: &LstmState) -> LstmState {
+        assert_eq!(px.len(), 4 * self.hidden, "px width mismatch");
+        assert_eq!(ph.len(), 4 * self.hidden, "ph width mismatch");
+        assert_eq!(state.c.len(), self.hidden, "state width mismatch");
+        let h = self.hidden;
+        let gate = |g: usize, j: usize| px[g * h + j] + ph[g * h + j] + self.bias[g * h + j];
+        let mut next = LstmState::zeros(h);
+        for j in 0..h {
+            let i = sigmoid(gate(0, j));
+            let f = sigmoid(gate(1, j));
+            let g = gate(2, j).tanh();
+            let o = sigmoid(gate(3, j));
+            next.c[j] = f * state.c[j] + i * g;
+            next.h[j] = o * next.c[j].tanh();
+        }
+        next
+    }
+
+    /// Dense reference step: computes both projections on the CPU.
+    pub fn step(&self, x: &[f32], state: &LstmState) -> LstmState {
+        let px = self.wx.forward(x, false);
+        let ph = self.wh.forward(&state.h, false);
+        self.step_from_projections(&px, &ph, state)
+    }
+
+    /// Runs a sequence through the cell, returning the final state.
+    pub fn run_sequence(&self, inputs: &[Vec<f32>]) -> LstmState {
+        let mut state = LstmState::zeros(self.hidden);
+        for x in inputs {
+            state = self.step(x, &state);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_shape() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.99);
+        assert!(sigmoid(-10.0) < 0.01);
+    }
+
+    #[test]
+    fn zero_input_zero_state_is_bias_driven() {
+        let cell = LstmCell::random(8, 4, 0.5, 1);
+        let s = cell.step(&[0.0; 8], &LstmState::zeros(4));
+        // With zero projections the gates reduce to biases — finite values.
+        assert!(s.h.iter().all(|v| v.is_finite()));
+        assert!(s.c.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forget_gate_saturation_preserves_cell_state() {
+        // A cell whose weights are zero and forget bias is huge keeps c.
+        let wx = FcLayer::new(vec![vec![0.0; 2]; 8]);
+        let wh = FcLayer::new(vec![vec![0.0; 2]; 8]);
+        let mut bias = vec![-100.0; 8]; // all gates closed...
+        bias[2..4].fill(100.0); // ...except forget wide open
+        let cell = LstmCell::new(wx, wh, bias);
+        let state = LstmState {
+            h: vec![0.3, -0.2],
+            c: vec![1.5, -0.7],
+        };
+        let next = cell.step(&[0.0, 0.0], &state);
+        for (a, b) in next.c.iter().zip(&state.c) {
+            assert!((a - b).abs() < 1e-3, "cell state must persist: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn step_from_projections_matches_step() {
+        let cell = LstmCell::random(12, 6, 0.4, 2);
+        let x: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) / 5.0).collect();
+        let state = LstmState {
+            h: (0..6).map(|i| (i as f32) / 10.0).collect(),
+            c: (0..6).map(|i| (i as f32) / 7.0 - 0.4).collect(),
+        };
+        let px = cell.wx().forward(&x, false);
+        let ph = cell.wh().forward(&state.h, false);
+        let a = cell.step(&x, &state);
+        let b = cell.step_from_projections(&px, &ph, &state);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequence_state_stays_bounded() {
+        // tanh/sigmoid keep h in (-1, 1) regardless of sequence length.
+        let cell = LstmCell::random(8, 4, 0.5, 3);
+        let seq: Vec<Vec<f32>> = (0..50)
+            .map(|t| (0..8).map(|i| ((t * i) % 9) as f32 - 4.0).collect())
+            .collect();
+        let s = cell.run_sequence(&seq);
+        assert!(s.h.iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "four gates")]
+    fn mismatched_gate_stack_panics() {
+        let wx = FcLayer::random(4, 8, 1.0, 0);
+        let wh = FcLayer::random(3, 8, 1.0, 0); // hidden 3 → needs 12 outputs
+        LstmCell::new(wx, wh, vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,245 @@
+//! The paper's benchmark networks (Table 3).
+//!
+//! Each [`LayerSpec`] carries the layer shape plus the measured input and
+//! filter densities of the pruned network. The specs reproduce Table 3
+//! verbatim: AlexNet's five convolution layers, twelve GoogLeNet inception
+//! sublayers (Inception 3a and 5a), and VGGNet's thirteen convolution
+//! layers. Stride and padding follow the original network definitions
+//! (AlexNet Layer0 is the stride-4 layer on which SCNN's Cartesian product
+//! breaks down).
+
+use crate::generate::{self, Workload};
+use crate::shape::ConvShape;
+
+/// One benchmark layer: shape plus Table 3 densities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Layer name as printed in Table 3 (e.g. `"Layer2"`, `"Inc3a_3x3"`).
+    pub name: &'static str,
+    /// Convolution shape.
+    pub shape: ConvShape,
+    /// Input feature-map density (fraction of non-zeros).
+    pub input_density: f64,
+    /// Filter density after pruning.
+    pub filter_density: f64,
+}
+
+impl LayerSpec {
+    /// Generates this layer's deterministic synthetic workload.
+    pub fn workload(&self, seed: u64) -> Workload {
+        generate::workload(&self.shape, self.input_density, self.filter_density, seed)
+    }
+
+    /// Dense MAC count of the layer.
+    pub fn dense_macs(&self) -> usize {
+        self.shape.dense_macs()
+    }
+
+    /// Expected sparse (both-operands-non-zero) MAC count — density product
+    /// times the dense MACs, the quadratic reduction of §1.
+    pub fn expected_sparse_macs(&self) -> f64 {
+        self.dense_macs() as f64 * self.input_density * self.filter_density
+    }
+}
+
+/// A named benchmark network: an ordered list of layer specs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Network name ("AlexNet", "GoogLeNet", "VGGNet").
+    pub name: &'static str,
+    /// The evaluated layers in Table 3 order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl Network {
+    /// Looks up a layer by its Table 3 name.
+    pub fn layer(&self, name: &str) -> Option<&LayerSpec> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors Table 3's column order
+fn spec(
+    name: &'static str,
+    (d, h, w): (usize, usize, usize),
+    input_density: f64,
+    kernel: usize,
+    num_filters: usize,
+    filter_density: f64,
+    stride: usize,
+    pad: usize,
+) -> LayerSpec {
+    LayerSpec {
+        name,
+        shape: ConvShape::new(d, h, w, kernel, num_filters, stride, pad),
+        input_density,
+        filter_density,
+    }
+}
+
+/// AlexNet's five convolution layers (Table 3). Layer0 is the dense-input,
+/// stride-4, 11×11 layer; the rest are unit-stride.
+pub fn alexnet() -> Network {
+    Network {
+        name: "AlexNet",
+        layers: vec![
+            spec("Layer0", (3, 224, 224), 1.00, 11, 64, 0.84, 4, 2),
+            spec("Layer1", (64, 55, 55), 0.38, 5, 192, 0.38, 1, 2),
+            spec("Layer2", (192, 27, 27), 0.24, 3, 384, 0.35, 1, 1),
+            spec("Layer3", (384, 13, 13), 0.20, 3, 256, 0.37, 1, 1),
+            spec("Layer4", (256, 13, 13), 0.24, 3, 256, 0.37, 1, 1),
+        ],
+    }
+}
+
+/// GoogLeNet's Inception 3a and 5a sublayers (Table 3). All unit stride;
+/// k×k sublayers use same-padding.
+pub fn googlenet() -> Network {
+    Network {
+        name: "GoogLeNet",
+        layers: vec![
+            spec("Inc3a_1x1", (192, 28, 28), 0.58, 1, 64, 0.38, 1, 0),
+            spec("Inc3a_3x3red", (192, 28, 28), 0.58, 1, 96, 0.41, 1, 0),
+            spec("Inc3a_3x3", (96, 28, 28), 0.68, 3, 128, 0.43, 1, 1),
+            spec("Inc3a_5x5red", (192, 28, 28), 0.58, 1, 16, 0.35, 1, 0),
+            spec("Inc3a_5x5", (16, 28, 28), 0.85, 5, 32, 0.33, 1, 2),
+            spec("Inc3a_poolprj", (192, 28, 28), 0.58, 1, 32, 0.47, 1, 0),
+            spec("Inc5a_1x1", (832, 7, 7), 0.31, 1, 384, 0.37, 1, 0),
+            spec("Inc5a_3x3red", (832, 7, 7), 0.31, 1, 192, 0.38, 1, 0),
+            spec("Inc5a_3x3", (192, 7, 7), 0.42, 3, 384, 0.39, 1, 1),
+            spec("Inc5a_5x5red", (832, 7, 7), 0.31, 1, 48, 0.35, 1, 0),
+            spec("Inc5a_5x5", (48, 7, 7), 0.69, 5, 128, 0.38, 1, 2),
+            spec("Inc5a_poolprj", (832, 7, 7), 0.31, 1, 128, 0.36, 1, 0),
+        ],
+    }
+}
+
+/// VGGNet's thirteen 3×3 convolution layers (Table 3), all unit-stride with
+/// same-padding. Layer0 has the dense 3-channel image input whose shallow
+/// depth hurts SparTen (§5.1).
+pub fn vggnet() -> Network {
+    Network {
+        name: "VGGNet",
+        layers: vec![
+            spec("Layer0", (3, 224, 224), 1.00, 3, 64, 0.58, 1, 1),
+            spec("Layer1", (64, 224, 224), 0.57, 3, 64, 0.21, 1, 1),
+            spec("Layer2", (64, 224, 224), 0.49, 3, 128, 0.34, 1, 1),
+            spec("Layer3", (128, 112, 112), 0.52, 3, 128, 0.36, 1, 1),
+            spec("Layer4", (128, 112, 112), 0.36, 3, 256, 0.53, 1, 1),
+            spec("Layer5", (256, 56, 56), 0.39, 3, 256, 0.24, 1, 1),
+            spec("Layer6", (256, 56, 56), 0.49, 3, 256, 0.42, 1, 1),
+            spec("Layer7", (256, 56, 56), 0.16, 3, 512, 0.32, 1, 1),
+            spec("Layer8", (512, 28, 28), 0.27, 3, 512, 0.27, 1, 1),
+            spec("Layer9", (512, 28, 28), 0.30, 3, 512, 0.34, 1, 1),
+            spec("Layer10", (512, 28, 28), 0.13, 3, 512, 0.32, 1, 1),
+            spec("Layer11", (512, 14, 14), 0.22, 3, 512, 0.29, 1, 1),
+            spec("Layer12", (512, 14, 14), 0.28, 3, 512, 0.36, 1, 1),
+        ],
+    }
+}
+
+/// All three benchmark networks in paper order.
+pub fn all_networks() -> Vec<Network> {
+    vec![alexnet(), googlenet(), vggnet()]
+}
+
+/// ResNet-style downsampling layers (§1/§2.1.1: "this approach is not
+/// applicable to non-unit-stride convolutions in CNNs (e.g., ResNets)").
+/// Not part of Table 3 — used by the stride study to show SparTen handling
+/// what SCNN's Cartesian product cannot.
+pub fn resnet_samples() -> Network {
+    Network {
+        name: "ResNet-samples",
+        layers: vec![
+            // conv1: 7x7/2 on the dense image.
+            spec("Conv1_7x7s2", (3, 224, 224), 1.00, 7, 64, 0.70, 2, 3),
+            // A conv3_1-style 3x3/2 downsampling block entry.
+            spec("Conv3_3x3s2", (128, 28, 28), 0.35, 3, 256, 0.35, 2, 1),
+            // A conv4_1-style 1x1/2 projection shortcut.
+            spec("Conv4_1x1s2", (256, 14, 14), 0.30, 1, 512, 0.35, 2, 0),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_layer_counts() {
+        assert_eq!(alexnet().layers.len(), 5);
+        assert_eq!(googlenet().layers.len(), 12);
+        assert_eq!(vggnet().layers.len(), 13);
+    }
+
+    #[test]
+    fn alexnet_layer0_is_stride4() {
+        let net = alexnet();
+        let l0 = net.layer("Layer0").expect("Layer0 exists");
+        assert_eq!(l0.shape.stride, 4);
+        assert_eq!(l0.shape.kernel, 11);
+        assert_eq!(l0.input_density, 1.0);
+    }
+
+    #[test]
+    fn googlenet_has_one_by_one_layers() {
+        let net = googlenet();
+        let l = net.layer("Inc5a_1x1").expect("layer exists");
+        assert_eq!(l.shape.kernel, 1);
+        assert_eq!(l.shape.in_channels, 832);
+        assert_eq!(l.shape.num_filters, 384);
+    }
+
+    #[test]
+    fn googlenet_5x5red_filter_counts_are_non_multiples_of_32() {
+        // §5.1: 16 and 48 filters interact poorly with collocation.
+        let net = googlenet();
+        assert_eq!(net.layer("Inc3a_5x5red").unwrap().shape.num_filters, 16);
+        assert_eq!(net.layer("Inc5a_5x5red").unwrap().shape.num_filters, 48);
+    }
+
+    #[test]
+    fn vggnet_shapes_chain_spatially() {
+        // Successive VGG blocks halve spatial dims (pooling between blocks).
+        let net = vggnet();
+        assert_eq!(net.layers[3].shape.in_height, 112);
+        assert_eq!(net.layers[7].shape.in_height, 56);
+        assert_eq!(net.layers[12].shape.in_height, 14);
+    }
+
+    #[test]
+    fn densities_are_fractions() {
+        for net in all_networks() {
+            for l in &net.layers {
+                assert!(
+                    l.input_density > 0.0 && l.input_density <= 1.0,
+                    "{}",
+                    l.name
+                );
+                assert!(
+                    l.filter_density > 0.0 && l.filter_density <= 1.0,
+                    "{}",
+                    l.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_sparse_macs_is_quadratic_reduction() {
+        let net = alexnet();
+        let l2 = net.layer("Layer2").unwrap();
+        let ratio = l2.dense_macs() as f64 / l2.expected_sparse_macs();
+        // 1/(0.24·0.35) ≈ 11.9× compute reduction.
+        assert!((ratio - 1.0 / (0.24 * 0.35)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workloads_match_spec_densities() {
+        let net = googlenet();
+        let l = net.layer("Inc3a_3x3").unwrap();
+        let w = l.workload(1);
+        assert!((w.input_density() - l.input_density).abs() < 0.03);
+        assert!((w.filter_density() - l.filter_density).abs() < 0.05);
+    }
+}

@@ -1,0 +1,151 @@
+//! Magnitude pruning to per-layer density targets.
+//!
+//! The paper obtains its sparse networks by applying Han et al.'s pruning to
+//! the filters "using per-layer sparsity information after retraining for
+//! accuracy" (§4). Pruning zeroes the smallest-magnitude weights until the
+//! target density is reached. Retraining is a training-side concern the
+//! simulators never see, so here pruning is exact-threshold magnitude
+//! pruning with a report of what was cut.
+
+use crate::filter::Filter;
+
+/// Result of pruning a set of filters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneReport {
+    /// Weights before pruning (all, including existing zeros).
+    pub total_weights: usize,
+    /// Non-zero weights before pruning.
+    pub nnz_before: usize,
+    /// Non-zero weights after pruning.
+    pub nnz_after: usize,
+    /// The magnitude threshold applied (weights with |w| below it were cut).
+    pub threshold: f32,
+}
+
+impl PruneReport {
+    /// Achieved density after pruning.
+    pub fn density(&self) -> f64 {
+        if self.total_weights == 0 {
+            0.0
+        } else {
+            self.nnz_after as f64 / self.total_weights as f64
+        }
+    }
+}
+
+/// Prunes `filters` in place so at most `target_density` of all weights
+/// (across the whole layer, as in per-layer pruning) remain non-zero,
+/// cutting the smallest magnitudes first.
+///
+/// # Panics
+///
+/// Panics if `target_density` is not in `[0, 1]`.
+pub fn prune_to_density(filters: &mut [Filter], target_density: f64) -> PruneReport {
+    assert!(
+        (0.0..=1.0).contains(&target_density),
+        "target density must be in [0, 1]"
+    );
+    let total_weights: usize = filters.iter().map(|f| f.weights().len()).sum();
+    let mut magnitudes: Vec<f32> = filters
+        .iter()
+        .flat_map(|f| f.weights().as_slice().iter().copied())
+        .filter(|v| *v != 0.0)
+        .map(f32::abs)
+        .collect();
+    let nnz_before = magnitudes.len();
+    let keep = ((total_weights as f64) * target_density).floor() as usize;
+    let threshold = if keep >= nnz_before {
+        0.0
+    } else {
+        // Keep the `keep` largest magnitudes: threshold is the (nnz-keep)-th
+        // smallest magnitude, exclusive.
+        magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
+        let cut = nnz_before - keep;
+        magnitudes[cut - 1].max(0.0)
+    };
+    let mut nnz_after = 0usize;
+    for f in filters.iter_mut() {
+        for v in f.weights_mut().as_mut_slice() {
+            if v.abs() <= threshold {
+                *v = 0.0;
+            }
+            if *v != 0.0 {
+                nnz_after += 1;
+            }
+        }
+    }
+    PruneReport {
+        total_weights,
+        nnz_before,
+        nnz_after,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_filters;
+    use crate::shape::ConvShape;
+
+    #[test]
+    fn prune_hits_target_density() {
+        let shape = ConvShape::new(32, 8, 8, 3, 16, 1, 1);
+        let mut filters = random_filters(&shape, 1.0, 0.0, 5);
+        let report = prune_to_density(&mut filters, 0.37);
+        assert!(report.density() <= 0.37 + 1e-9);
+        assert!(report.density() > 0.30, "over-pruned: {}", report.density());
+    }
+
+    #[test]
+    fn prune_cuts_smallest_magnitudes() {
+        let shape = ConvShape::new(2, 2, 2, 2, 1, 1, 0);
+        let mut filters = random_filters(&shape, 1.0, 0.0, 1);
+        // Force known magnitudes 1..8.
+        for (i, v) in filters[0]
+            .weights_mut()
+            .as_mut_slice()
+            .iter_mut()
+            .enumerate()
+        {
+            *v = (i + 1) as f32;
+        }
+        prune_to_density(&mut filters, 0.5);
+        let survivors: Vec<f32> = filters[0]
+            .weights()
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&v| v != 0.0)
+            .collect();
+        assert_eq!(survivors, vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn pruning_to_one_is_identity() {
+        let shape = ConvShape::new(4, 4, 4, 3, 4, 1, 1);
+        let mut filters = random_filters(&shape, 0.5, 0.0, 2);
+        let before: usize = filters.iter().map(Filter::nnz).sum();
+        let report = prune_to_density(&mut filters, 1.0);
+        assert_eq!(report.nnz_after, before);
+        assert_eq!(report.threshold, 0.0);
+    }
+
+    #[test]
+    fn pruning_to_zero_clears_everything() {
+        let shape = ConvShape::new(4, 4, 4, 3, 4, 1, 1);
+        let mut filters = random_filters(&shape, 0.8, 0.0, 3);
+        let report = prune_to_density(&mut filters, 0.0);
+        assert_eq!(report.nnz_after, 0);
+        assert!(filters.iter().all(|f| f.nnz() == 0));
+    }
+
+    #[test]
+    fn already_sparse_layer_needs_no_cut() {
+        let shape = ConvShape::new(8, 4, 4, 3, 8, 1, 1);
+        let mut filters = random_filters(&shape, 0.2, 0.0, 4);
+        let before: usize = filters.iter().map(Filter::nnz).sum();
+        let report = prune_to_density(&mut filters, 0.5);
+        assert_eq!(report.nnz_after, before);
+    }
+}

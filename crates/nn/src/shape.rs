@@ -1,0 +1,179 @@
+//! Convolution shape algebra.
+//!
+//! A layer is characterized by its input tensor (channels × height × width),
+//! square filters (kernel × kernel × channels), the filter count, stride,
+//! and zero padding — exactly the parameters of the paper's Table 3 plus the
+//! stride/padding each network uses.
+
+/// Shape of a 2-D convolution layer.
+///
+/// # Example
+///
+/// ```
+/// use sparten_nn::ConvShape;
+///
+/// // AlexNet Layer0: 224×224×3 input, 11×11×3 filters, stride 4.
+/// let s = ConvShape::new(3, 224, 224, 11, 64, 4, 2);
+/// assert_eq!(s.out_height(), 55);
+/// assert_eq!(s.dense_macs(), 55 * 55 * 11 * 11 * 3 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input channel count (d, the Z axis).
+    pub in_channels: usize,
+    /// Input height (X).
+    pub in_height: usize,
+    /// Input width (Y).
+    pub in_width: usize,
+    /// Filter kernel size k (filters are k × k × d).
+    pub kernel: usize,
+    /// Number of filters (output channels).
+    pub num_filters: usize,
+    /// Convolution stride (≥ 1; SparTen handles any stride, SCNN only 1).
+    pub stride: usize,
+    /// Zero padding on each spatial border.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, the stride is zero, or the padded
+    /// input is smaller than the kernel.
+    pub fn new(
+        in_channels: usize,
+        in_height: usize,
+        in_width: usize,
+        kernel: usize,
+        num_filters: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && in_height > 0 && in_width > 0,
+            "input dimensions must be positive"
+        );
+        assert!(
+            kernel > 0 && num_filters > 0,
+            "filter dimensions must be positive"
+        );
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_height + 2 * pad >= kernel && in_width + 2 * pad >= kernel,
+            "kernel larger than padded input"
+        );
+        ConvShape {
+            in_channels,
+            in_height,
+            in_width,
+            kernel,
+            num_filters,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output height: `(h + 2·pad − k)/stride + 1`.
+    pub fn out_height(&self) -> usize {
+        (self.in_height + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        (self.in_width + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Number of output cells: `out_h · out_w · num_filters`.
+    pub fn num_outputs(&self) -> usize {
+        self.out_height() * self.out_width() * self.num_filters
+    }
+
+    /// Length of one linearized filter / window vector: `k² · d`.
+    pub fn window_len(&self) -> usize {
+        self.kernel * self.kernel * self.in_channels
+    }
+
+    /// Dense multiply-accumulate count: `out_h · out_w · k² · d · n`
+    /// (the paper's §2 formula, boundary effects folded in via `out_*`).
+    pub fn dense_macs(&self) -> usize {
+        self.num_outputs() * self.kernel * self.kernel * self.in_channels
+    }
+
+    /// Number of input cells.
+    pub fn input_cells(&self) -> usize {
+        self.in_channels * self.in_height * self.in_width
+    }
+
+    /// Number of weights across all filters.
+    pub fn weight_cells(&self) -> usize {
+        self.window_len() * self.num_filters
+    }
+
+    /// Per-filter reuse count of an input cell (`k² · n` in the dense case).
+    pub fn input_reuse(&self) -> usize {
+        self.kernel * self.kernel * self.num_filters
+    }
+
+    /// Reuse count of a filter weight (`out_h · out_w`).
+    pub fn filter_reuse(&self) -> usize {
+        self.out_height() * self.out_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_layer0_dims() {
+        let s = ConvShape::new(3, 224, 224, 11, 64, 4, 2);
+        assert_eq!((s.out_height(), s.out_width()), (55, 55));
+    }
+
+    #[test]
+    fn unit_stride_same_padding() {
+        let s = ConvShape::new(64, 56, 56, 3, 128, 1, 1);
+        assert_eq!((s.out_height(), s.out_width()), (56, 56));
+    }
+
+    #[test]
+    fn one_by_one_filter() {
+        let s = ConvShape::new(192, 28, 28, 1, 64, 1, 0);
+        assert_eq!((s.out_height(), s.out_width()), (28, 28));
+        assert_eq!(s.window_len(), 192);
+    }
+
+    #[test]
+    fn mac_count_formula() {
+        let s = ConvShape::new(2, 5, 5, 3, 4, 1, 0);
+        // out 3x3, k²d = 18, n = 4 → 3·3·18·4.
+        assert_eq!(s.dense_macs(), 9 * 18 * 4);
+    }
+
+    #[test]
+    fn reuse_counts() {
+        let s = ConvShape::new(2, 5, 5, 3, 4, 1, 0);
+        assert_eq!(s.input_reuse(), 9 * 4);
+        assert_eq!(s.filter_reuse(), 9);
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let s = ConvShape::new(3, 8, 8, 2, 1, 2, 0);
+        assert_eq!((s.out_height(), s.out_width()), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        ConvShape::new(1, 4, 4, 2, 1, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn oversized_kernel_panics() {
+        ConvShape::new(1, 2, 2, 5, 1, 1, 0);
+    }
+}

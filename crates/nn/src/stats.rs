@@ -1,0 +1,193 @@
+//! Workload sparsity statistics: the quantities the paper's arguments turn
+//! on, computable for any tensor or filter set.
+//!
+//! Figure 14 plots per-chunk filter densities; §3.3 quotes utilization
+//! ranges driven by density *variance*; §1 claims quadratic compute and
+//! linear data reduction. This module provides those statistics (summary
+//! moments, histograms, per-chunk spreads, reduction factors) as reusable
+//! API instead of ad-hoc arithmetic in each experiment.
+
+use crate::filter::Filter;
+use crate::generate::Workload;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample minimum.
+    pub min: f64,
+    /// Sample maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of an empty sample");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Summary {
+            min: values.iter().cloned().fold(f64::MAX, f64::min),
+            max: values.iter().cloned().fold(f64::MIN, f64::max),
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Coefficient of variation (σ/μ) — the imbalance driver.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+
+    /// Range (max − min).
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// A fixed-bin histogram over `[0, 1]` (densities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensityHistogram {
+    counts: Vec<usize>,
+}
+
+impl DensityHistogram {
+    /// Bins `values` (clamped to `[0, 1]`) into `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(values: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let idx = ((v.clamp(0.0, 1.0)) * bins as f64) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        DensityHistogram { counts }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Renders as a one-line sparkline-style bar string.
+    pub fn render(&self) -> String {
+        const GLYPHS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| GLYPHS[(c * (GLYPHS.len() - 1)).div_ceil(max).min(GLYPHS.len() - 1)])
+            .collect()
+    }
+}
+
+/// Whole-filter density statistics of a filter set (GB-S's sort key).
+pub fn filter_density_summary(filters: &[Filter]) -> Summary {
+    let densities: Vec<f64> = filters.iter().map(Filter::density).collect();
+    Summary::of(&densities)
+}
+
+/// Per-chunk density statistics across all filters for one chunk index
+/// (GB-H's sort key; the Figure 14 sample).
+pub fn chunk_density_summary(filters: &[Filter], chunk_size: usize, chunk: usize) -> Summary {
+    let densities: Vec<f64> = filters
+        .iter()
+        .map(|f| f.chunk_densities(chunk_size)[chunk])
+        .collect();
+    Summary::of(&densities)
+}
+
+/// The §1 reduction factors of a workload: `(compute, data)` where compute
+/// is the dense-to-sparse MAC ratio (quadratic in density) and data the
+/// dense-to-sparse value-count ratio (linear).
+pub fn reduction_factors(workload: &Workload) -> (f64, f64) {
+    let di = workload.input_density().max(1e-12);
+    let df = workload.filter_density().max(1e-12);
+    let compute = 1.0 / (di * df);
+    let total_cells = workload.shape.input_cells() + workload.shape.weight_cells();
+    let nnz = workload.input.nnz() + workload.filters.iter().map(Filter::nnz).sum::<usize>();
+    let data = total_cells as f64 / (nnz as f64).max(1.0);
+    (compute, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_filters, workload};
+    use crate::shape::ConvShape;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.spread(), 3.0);
+    }
+
+    #[test]
+    fn cv_scales_with_variance_not_mean() {
+        let tight = Summary::of(&[10.0, 10.1, 9.9]);
+        let loose = Summary::of(&[10.0, 15.0, 5.0]);
+        assert!(loose.cv() > 5.0 * tight.cv());
+    }
+
+    #[test]
+    fn histogram_bins_and_renders() {
+        let h = DensityHistogram::new(&[0.05, 0.15, 0.15, 0.95], 10);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.render().chars().count(), 10);
+    }
+
+    #[test]
+    fn filter_summaries_track_generation_parameters() {
+        let shape = ConvShape::new(64, 8, 8, 3, 64, 1, 1);
+        let spread = filter_density_summary(&random_filters(&shape, 0.35, 0.6, 1));
+        let flat = filter_density_summary(&random_filters(&shape, 0.35, 0.0, 2));
+        assert!((spread.mean - 0.35).abs() < 0.07);
+        assert!(spread.cv() > 3.0 * flat.cv());
+    }
+
+    #[test]
+    fn chunk_summary_matches_fig14_sample() {
+        let shape = ConvShape::new(192, 8, 8, 3, 96, 1, 1);
+        let fs = random_filters(&shape, 0.35, 0.5, 3);
+        let s = chunk_density_summary(&fs, 128, 0);
+        assert!(s.spread() > 0.15, "spread {}", s.spread());
+        assert!((s.mean - 0.35).abs() < 0.05);
+    }
+
+    #[test]
+    fn reduction_factors_are_quadratic_vs_linear() {
+        let shape = ConvShape::new(64, 10, 10, 3, 16, 1, 1);
+        let w = workload(&shape, 0.25, 0.25, 4);
+        let (compute, data) = reduction_factors(&w);
+        // Compute ≈ 1/(0.25²) = 16; data ≈ 1/0.25 = 4.
+        assert!((compute - 16.0).abs() < 3.0, "compute {compute}");
+        assert!((data - 4.0).abs() < 1.0, "data {data}");
+        assert!(compute > 2.5 * data);
+    }
+}

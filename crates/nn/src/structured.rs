@@ -1,0 +1,236 @@
+//! Coarse-grain (structured) pruning — the Cambricon-S / Scalpel approach
+//! the paper contrasts with in §6.
+//!
+//! Cambricon-S "clamps to zeros the values in contiguous positions in a
+//! group of filters", forcing every filter in a group to share one sparsity
+//! mask so the hardware stays regular. The price is accuracy: positions
+//! that matter to one filter get clamped because they are weak in the rest
+//! of the group, and strong group positions keep weights that unstructured
+//! magnitude pruning would have cut. This module implements group-shared
+//! pruning and *measures* that collateral damage, giving Table 1's
+//! "maintains accuracy: No" an observable.
+
+use crate::filter::Filter;
+use crate::pruning::prune_to_density;
+
+/// Outcome of coarse-grain pruning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoarsePruneReport {
+    /// Total weight positions across the layer.
+    pub total_weights: usize,
+    /// Non-zero weights after coarse pruning.
+    pub nnz_after: usize,
+    /// Weights that unstructured magnitude pruning (to the same density)
+    /// would have *kept* but the shared mask clamped — the accuracy-relevant
+    /// collateral.
+    pub clamped_keepers: usize,
+    /// Weights the shared mask kept that unstructured pruning would have
+    /// cut (wasted capacity).
+    pub kept_prunees: usize,
+}
+
+impl CoarsePruneReport {
+    /// Achieved density.
+    pub fn density(&self) -> f64 {
+        if self.total_weights == 0 {
+            0.0
+        } else {
+            self.nnz_after as f64 / self.total_weights as f64
+        }
+    }
+
+    /// Fraction of the would-be-kept weights that the structure clamped —
+    /// a proxy for the accuracy damage unstructured pruning avoids.
+    pub fn collateral_fraction(&self) -> f64 {
+        let keepers = self.nnz_after + self.clamped_keepers - self.kept_prunees;
+        if keepers == 0 {
+            0.0
+        } else {
+            self.clamped_keepers as f64 / keepers as f64
+        }
+    }
+}
+
+/// Prunes `filters` so every group of `group_size` consecutive filters
+/// shares one mask, keeping the positions with the largest group L1 norms
+/// until the target density is met. Returns the collateral report.
+///
+/// # Panics
+///
+/// Panics if `group_size == 0`, `filters` is empty, or `target_density` is
+/// not in `[0, 1]`.
+pub fn prune_coarse(
+    filters: &mut [Filter],
+    group_size: usize,
+    target_density: f64,
+) -> CoarsePruneReport {
+    assert!(group_size > 0, "group size must be positive");
+    assert!(!filters.is_empty(), "need at least one filter");
+    assert!(
+        (0.0..=1.0).contains(&target_density),
+        "target density must be in [0, 1]"
+    );
+    // What unstructured pruning would have kept, for the collateral count.
+    let mut unstructured = filters.to_vec();
+    prune_to_density(&mut unstructured, target_density);
+
+    let weights_per_filter = filters[0].weights().len();
+    let total_weights = weights_per_filter * filters.len();
+    let mut nnz_after = 0usize;
+    let mut clamped_keepers = 0usize;
+    let mut kept_prunees = 0usize;
+
+    let mut start = 0;
+    while start < filters.len() {
+        let end = (start + group_size).min(filters.len());
+        // Group L1 norm per position.
+        let mut norms: Vec<(f32, usize)> = (0..weights_per_filter)
+            .map(|p| {
+                let l1: f32 = filters[start..end]
+                    .iter()
+                    .map(|f| f.weights().as_slice()[p].abs())
+                    .sum();
+                (l1, p)
+            })
+            .collect();
+        norms.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        let keep = ((weights_per_filter as f64) * target_density).floor() as usize;
+        let mut keep_mask = vec![false; weights_per_filter];
+        for &(l1, p) in norms.iter().take(keep) {
+            // Never keep all-zero positions.
+            if l1 > 0.0 {
+                keep_mask[p] = true;
+            }
+        }
+        for (fi, f) in filters[start..end].iter_mut().enumerate() {
+            let unstructured_kept = unstructured[start + fi].weights().as_slice();
+            for (p, keep) in keep_mask.iter().enumerate() {
+                let w = &mut f.weights_mut().as_mut_slice()[p];
+                let would_keep = unstructured_kept[p] != 0.0;
+                if *keep {
+                    if *w != 0.0 {
+                        nnz_after += 1;
+                        if !would_keep {
+                            kept_prunees += 1;
+                        }
+                    }
+                } else {
+                    if *w != 0.0 && would_keep {
+                        clamped_keepers += 1;
+                    }
+                    *w = 0.0;
+                }
+            }
+        }
+        start = end;
+    }
+    CoarsePruneReport {
+        total_weights,
+        nnz_after,
+        clamped_keepers,
+        kept_prunees,
+    }
+}
+
+/// The size of each group's *common mask*: the union of non-zero positions
+/// across the group's filters. After coarse pruning this is at most the
+/// per-filter keep budget — the regularity Cambricon-S's hardware relies on
+/// (one mask shared by the whole group). Unstructured pruning typically
+/// unions to far more positions.
+pub fn group_mask_sizes(filters: &[Filter], group_size: usize) -> Vec<usize> {
+    filters
+        .chunks(group_size)
+        .map(|group| {
+            let weights = group[0].weights().len();
+            (0..weights)
+                .filter(|&p| group.iter().any(|f| f.weights().as_slice()[p] != 0.0))
+                .count()
+        })
+        .collect()
+}
+
+/// Whether every group's common mask fits the per-filter keep budget for
+/// `target_density` — i.e. the layer is coarse-grain regular.
+pub fn groups_share_masks(filters: &[Filter], group_size: usize, target_density: f64) -> bool {
+    let weights = filters[0].weights().len();
+    let budget = ((weights as f64) * target_density).floor() as usize;
+    group_mask_sizes(filters, group_size)
+        .iter()
+        .all(|&size| size <= budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_filters;
+    use crate::shape::ConvShape;
+
+    fn dense_filters(n: usize, seed: u64) -> Vec<Filter> {
+        let shape = ConvShape::new(16, 4, 4, 3, n, 1, 1);
+        random_filters(&shape, 1.0, 0.0, seed)
+    }
+
+    #[test]
+    fn coarse_pruning_hits_density() {
+        let mut fs = dense_filters(32, 1);
+        let report = prune_coarse(&mut fs, 8, 0.35);
+        assert!(report.density() <= 0.35 + 1e-9);
+        assert!(report.density() > 0.30, "got {}", report.density());
+    }
+
+    #[test]
+    fn groups_end_up_sharing_masks() {
+        let mut fs = dense_filters(32, 2);
+        prune_coarse(&mut fs, 8, 0.4);
+        assert!(groups_share_masks(&fs, 8, 0.4));
+        // Different groups pick different positions, so the layer-wide
+        // union exceeds the budget.
+        assert!(!groups_share_masks(&fs, 32, 0.4));
+        // Unstructured pruning to the same density is irregular.
+        let mut unstructured = dense_filters(32, 2);
+        prune_to_density(&mut unstructured, 0.4);
+        assert!(!groups_share_masks(&unstructured, 8, 0.4));
+    }
+
+    #[test]
+    fn structure_costs_collateral_at_small_groups_too() {
+        // Even modest grouping clamps weights magnitude pruning would keep.
+        let mut fs = dense_filters(32, 3);
+        let report = prune_coarse(&mut fs, 8, 0.35);
+        assert!(report.clamped_keepers > 0);
+        assert!(report.collateral_fraction() > 0.0);
+    }
+
+    #[test]
+    fn bigger_groups_cause_more_collateral() {
+        let mut small = dense_filters(64, 4);
+        let mut large = dense_filters(64, 4);
+        let rs = prune_coarse(&mut small, 4, 0.35);
+        let rl = prune_coarse(&mut large, 32, 0.35);
+        assert!(
+            rl.collateral_fraction() > rs.collateral_fraction(),
+            "group 32: {} !> group 4: {}",
+            rl.collateral_fraction(),
+            rs.collateral_fraction()
+        );
+    }
+
+    #[test]
+    fn group_of_one_is_least_collateral() {
+        // With singleton groups the shared-mask constraint is per filter;
+        // it still differs from global magnitude pruning (per-filter budget
+        // vs layer-wide), but collateral should be small.
+        let mut fs = dense_filters(16, 5);
+        let report = prune_coarse(&mut fs, 1, 0.5);
+        assert!(report.collateral_fraction() < 0.35, "{report:?}");
+    }
+
+    #[test]
+    fn sparse_input_filters_work() {
+        let shape = ConvShape::new(8, 4, 4, 3, 16, 1, 1);
+        let mut fs = random_filters(&shape, 0.5, 0.4, 6);
+        let report = prune_coarse(&mut fs, 4, 0.3);
+        assert!(report.density() <= 0.3 + 1e-9);
+        assert!(groups_share_masks(&fs, 4, 0.3));
+    }
+}

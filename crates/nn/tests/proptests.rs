@@ -1,0 +1,128 @@
+//! Property-based tests over the CNN substrate: the two convolution
+//! implementations agree on arbitrary shapes, pruning respects its target,
+//! pooling matches brute force, and FC layers equal their conv mapping.
+
+use proptest::prelude::*;
+use sparten_nn::generate::{random_filters, random_tensor, workload};
+use sparten_nn::pruning::prune_to_density;
+use sparten_nn::{conv2d, conv2d_direct, max_pool, ConvShape, FcLayer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_implementations_agree(
+        d in 1usize..16,
+        hw in 3usize..10,
+        k in 1usize..4,
+        n in 1usize..8,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let shape = ConvShape::new(d, hw, hw, k, n, stride, pad);
+        let w = workload(&shape, 0.5, 0.5, seed);
+        let a = conv2d(&w.input, &w.filters, &shape);
+        let b = conv2d_direct(&w.input, &w.filters, &shape);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "window {} vs direct {}", x, y);
+        }
+    }
+
+    #[test]
+    fn pruning_never_exceeds_target(
+        target in 0.05f64..1.0,
+        density in 0.2f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let shape = ConvShape::new(8, 4, 4, 3, 8, 1, 1);
+        let mut filters = random_filters(&shape, density, 0.0, seed);
+        let report = prune_to_density(&mut filters, target);
+        prop_assert!(report.density() <= target + 1e-9);
+        // Survivors all exceed the threshold.
+        for f in &filters {
+            for &v in f.weights().as_slice() {
+                prop_assert!(v == 0.0 || v.abs() > report.threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_idempotent(target in 0.1f64..0.9, seed in 0u64..1000) {
+        let shape = ConvShape::new(8, 4, 4, 3, 8, 1, 1);
+        let mut filters = random_filters(&shape, 1.0, 0.0, seed);
+        prune_to_density(&mut filters, target);
+        let snapshot = filters.clone();
+        prune_to_density(&mut filters, target);
+        prop_assert_eq!(filters, snapshot);
+    }
+
+    #[test]
+    fn max_pool_matches_brute_force(
+        d in 1usize..4,
+        hw in 3usize..9,
+        k in 1usize..4,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw >= k);
+        let input = random_tensor(d, hw, hw, 0.7, seed);
+        let out = max_pool(&input, k, stride);
+        for z in 0..d {
+            for oy in 0..out.width() {
+                for ox in 0..out.height() {
+                    let mut m = f32::NEG_INFINITY;
+                    for fy in 0..k {
+                        for fx in 0..k {
+                            m = m.max(input.get(z, ox * stride + fx, oy * stride + fy));
+                        }
+                    }
+                    prop_assert_eq!(out.get(z, ox, oy), m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fc_equals_its_conv_mapping(
+        inf in 2usize..64,
+        outf in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let fc = FcLayer::random(inf, outf, 0.5, seed);
+        let x: Vec<f32> = (0..inf).map(|i| if i % 2 == 0 { i as f32 / 3.0 } else { 0.0 }).collect();
+        let w = fc.to_workload(&x);
+        let out = conv2d(&w.input, &w.filters, &w.shape);
+        let expect = fc.forward(&x, false);
+        for (f, &e) in expect.iter().enumerate() {
+            prop_assert!((out.get(f, 0, 0) - e).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn relu_output_is_non_negative_and_idempotent(
+        d in 1usize..4,
+        hw in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut t = random_tensor(d, hw, hw, 0.8, seed);
+        t.relu();
+        prop_assert!(t.as_slice().iter().all(|&v| v >= 0.0));
+        let snapshot = t.clone();
+        t.relu();
+        prop_assert_eq!(t, snapshot);
+    }
+
+    #[test]
+    fn workload_densities_track_targets(
+        di in 0.1f64..0.9,
+        df in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let shape = ConvShape::new(64, 10, 10, 3, 16, 1, 1);
+        let w = workload(&shape, di, df, seed);
+        prop_assert!((w.input_density() - di).abs() < 0.06);
+        prop_assert!((w.filter_density() - df).abs() < 0.12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Simulation results: cycles, execution-time breakdown, traffic, op counts.
+//!
+//! The Figure 10–12 breakdown splits each architecture's execution into
+//! (a) non-zero computation, (b) zero computation, (c) intra-cluster loss
+//! (load imbalance / underutilization within a cluster or PE), and
+//! (d) inter-cluster loss (imbalance across clusters or PEs exposed by
+//! barriers). All four are in *MAC-slot cycles*: their sum equals
+//! `compute_cycles × total_mac_units`, so dividing by Dense's total gives
+//! the paper's normalized stacked bars.
+
+/// Execution-time breakdown in MAC-slot cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Slots spent multiplying two non-zero operands.
+    pub nonzero: u64,
+    /// Slots spent on multiplications involving a zero operand (or, for
+    /// SCNN at non-unit stride, products computed then discarded).
+    pub zero: u64,
+    /// Slots lost to within-cluster (within-PE) imbalance/underutilization.
+    pub intra: u64,
+    /// Slots lost to across-cluster (across-PE) imbalance at barriers.
+    pub inter: u64,
+}
+
+impl Breakdown {
+    /// Total slots: must equal `compute_cycles × units`.
+    pub fn total(&self) -> u64 {
+        self.nonzero + self.zero + self.intra + self.inter
+    }
+}
+
+/// Memory traffic in bytes (per image; filters amortized over the batch).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Traffic {
+    /// Input feature-map bytes read from DRAM (values + any metadata).
+    pub input_bytes: f64,
+    /// Filter bytes read from DRAM, already divided by the batch size.
+    pub filter_bytes: f64,
+    /// Output feature-map bytes written to DRAM.
+    pub output_bytes: f64,
+    /// Of the above, bytes that are zero values (the "zero" memory energy
+    /// component of Figure 13).
+    pub zero_value_bytes: f64,
+    /// Of the above, metadata bytes (SparseMaps, pointers, indices).
+    pub metadata_bytes: f64,
+}
+
+impl Traffic {
+    /// Total DRAM bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.input_bytes + self.filter_bytes + self.output_bytes
+    }
+}
+
+/// Operation counts consumed by the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Multiply-accumulates on two non-zero operands.
+    pub macs_nonzero: u64,
+    /// Multiply-accumulates with a zero operand (dense/one-sided only).
+    pub macs_zero: u64,
+    /// Input/filter buffer accesses (operand reads + partial-sum update).
+    pub buffer_accesses: u64,
+    /// Prefix-sum circuit evaluations (two per chunk join: one per operand).
+    pub prefix_ops: u64,
+    /// Priority-encoder steps (one per inner-join MAC).
+    pub encoder_ops: u64,
+    /// Values routed through the GB-H permutation network.
+    pub permute_values: u64,
+    /// Output-compaction operations (one per produced output cell).
+    pub compact_ops: u64,
+    /// SCNN crossbar traversals (one per Cartesian product).
+    pub crossbar_ops: u64,
+}
+
+/// The result of simulating one layer on one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Architecture label (e.g. `"SparTen"`, `"SCNN"`).
+    pub scheme: &'static str,
+    /// Compute makespan in cycles (slowest cluster/PE chain).
+    pub compute_cycles: u64,
+    /// Memory-bound lower bound in cycles (total DRAM bytes / bandwidth).
+    pub memory_cycles: u64,
+    /// Total MAC units in the configuration.
+    pub total_units: u64,
+    /// Execution-time breakdown (sums to `compute_cycles × total_units`).
+    pub breakdown: Breakdown,
+    /// DRAM traffic.
+    pub traffic: Traffic,
+    /// Operation counts for the energy model.
+    pub ops: OpCounts,
+}
+
+impl SimResult {
+    /// The layer's execution time: compute unless memory-bound.
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles.max(self.memory_cycles)
+    }
+
+    /// Whether the memory system is the bottleneck.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_cycles > self.compute_cycles
+    }
+
+    /// Speedup of `self` over `other` (by total cycles).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        baseline.cycles() as f64 / self.cycles() as f64
+    }
+
+    /// Checks the accounting identity
+    /// `nonzero + zero + intra + inter == compute_cycles × units`.
+    pub fn accounting_holds(&self) -> bool {
+        self.breakdown.total() == self.compute_cycles * self.total_units
+    }
+
+    /// The breakdown as fractions of this result's own compute slots.
+    pub fn breakdown_fractions(&self) -> [f64; 4] {
+        let t = self.breakdown.total().max(1) as f64;
+        [
+            self.breakdown.nonzero as f64 / t,
+            self.breakdown.zero as f64 / t,
+            self.breakdown.intra as f64 / t,
+            self.breakdown.inter as f64 / t,
+        ]
+    }
+}
+
+/// Geometric mean of a slice of positive numbers, the paper's summary
+/// statistic for per-layer speedups.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean needs positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(compute: u64, memory: u64) -> SimResult {
+        SimResult {
+            scheme: "test",
+            compute_cycles: compute,
+            memory_cycles: memory,
+            total_units: 4,
+            breakdown: Breakdown {
+                nonzero: compute * 4,
+                ..Breakdown::default()
+            },
+            traffic: Traffic::default(),
+            ops: OpCounts::default(),
+        }
+    }
+
+    #[test]
+    fn cycles_takes_memory_bound_into_account() {
+        assert_eq!(result(100, 50).cycles(), 100);
+        assert_eq!(result(100, 300).cycles(), 300);
+        assert!(result(100, 300).is_memory_bound());
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let fast = result(100, 0);
+        let slow = result(400, 0);
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+    }
+
+    #[test]
+    fn accounting_identity() {
+        assert!(result(10, 0).accounting_holds());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let r = SimResult {
+            breakdown: Breakdown {
+                nonzero: 10,
+                zero: 20,
+                intra: 30,
+                inter: 40,
+            },
+            ..result(25, 0)
+        };
+        let f = r.breakdown_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

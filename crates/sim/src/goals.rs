@@ -1,0 +1,110 @@
+//! The design-goal matrix of Table 1.
+//!
+//! The paper positions SparTen against the semi-sparse architectures
+//! (Cambricon-X, Cnvlutin, Cambricon-S) and SCNN along four goals:
+//! avoiding transfer of all zeros, avoiding computation with all zeros,
+//! maintaining accuracy, and efficient fully-sparse computation.
+
+/// How an architecture fares on one design goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GoalStatus {
+    /// The goal is met.
+    Yes,
+    /// The goal is not met.
+    No,
+    /// The goal does not apply (semi-sparse schemes and G4).
+    NotApplicable,
+}
+
+impl std::fmt::Display for GoalStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GoalStatus::Yes => "Yes",
+            GoalStatus::No => "No",
+            GoalStatus::NotApplicable => "N/a",
+        })
+    }
+}
+
+/// One architecture's row in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignGoals {
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// G1: avoid transfer of all zeros (feature maps *and* filters).
+    pub avoid_zero_transfer: GoalStatus,
+    /// G2: avoid computing with all zeros.
+    pub avoid_zero_compute: GoalStatus,
+    /// G3: maintain accuracy (no coarse pruning / merging losses).
+    pub maintain_accuracy: GoalStatus,
+    /// G4: efficient fully-sparse computation.
+    pub efficient_fully_sparse: GoalStatus,
+}
+
+/// Table 1 verbatim.
+pub fn design_goal_table() -> Vec<DesignGoals> {
+    use GoalStatus::{No, NotApplicable, Yes};
+    vec![
+        DesignGoals {
+            architecture: "Cambricon-X",
+            avoid_zero_transfer: No,
+            avoid_zero_compute: No,
+            maintain_accuracy: Yes,
+            efficient_fully_sparse: NotApplicable,
+        },
+        DesignGoals {
+            architecture: "Cnvlutin",
+            avoid_zero_transfer: No,
+            avoid_zero_compute: No,
+            maintain_accuracy: Yes,
+            efficient_fully_sparse: NotApplicable,
+        },
+        DesignGoals {
+            architecture: "Cambricon-S",
+            avoid_zero_transfer: No,
+            avoid_zero_compute: No,
+            maintain_accuracy: No,
+            efficient_fully_sparse: NotApplicable,
+        },
+        DesignGoals {
+            architecture: "SCNN",
+            avoid_zero_transfer: Yes,
+            avoid_zero_compute: Yes,
+            maintain_accuracy: Yes,
+            efficient_fully_sparse: No,
+        },
+        DesignGoals {
+            architecture: "SparTen",
+            avoid_zero_transfer: Yes,
+            avoid_zero_compute: Yes,
+            maintain_accuracy: Yes,
+            efficient_fully_sparse: Yes,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_architectures() {
+        assert_eq!(design_goal_table().len(), 5);
+    }
+
+    #[test]
+    fn only_sparten_meets_all_goals() {
+        for row in design_goal_table() {
+            let all_yes = row.avoid_zero_transfer == GoalStatus::Yes
+                && row.avoid_zero_compute == GoalStatus::Yes
+                && row.maintain_accuracy == GoalStatus::Yes
+                && row.efficient_fully_sparse == GoalStatus::Yes;
+            assert_eq!(all_yes, row.architecture == "SparTen");
+        }
+    }
+
+    #[test]
+    fn status_displays_like_the_paper() {
+        assert_eq!(GoalStatus::NotApplicable.to_string(), "N/a");
+    }
+}

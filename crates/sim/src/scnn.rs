@@ -1,0 +1,381 @@
+//! Cycle-level simulator for SCNN's Cartesian-product dataflow.
+//!
+//! Model (§2.1 of the paper): the input plane is partitioned spatially
+//! across a √PEs × √PEs grid (input stationary); each PE works through its
+//! region in ≤6×6 sub-tiles. For every (channel, filter-group) step the PE
+//! fetches I non-zero inputs and F non-zero weights per cycle-batch through
+//! its 4×4 multiplier array, taking `⌈I/4⌉·⌈F/4⌉` cycles and computing all
+//! I·F products, which a crossbar scatters to accumulators. The filter-group
+//! broadcast imposes an inter-PE barrier at every (channel, group) step.
+//!
+//! Captured overheads, matching §2.1.1 and the Figure 10–12 decomposition:
+//!
+//! * **intra-PE**: idle multiplier slots from the `⌈·/4⌉` quantization when
+//!   a tile or filter group has too few non-zeros (natural sparsity, small
+//!   tiles, 1×1 filters);
+//! * **inter-PE**: barrier-exposed imbalance from density variation and
+//!   truncated edge tiles (plus wholly idle PEs when the plane is small);
+//! * **stride**: the Cartesian product assumes unit stride; for stride-s
+//!   convolutions all products are computed and the ~1−1/s² that land
+//!   between outputs are discarded (counted as zero/wasted compute) —
+//!   AlexNet Layer0's pathology;
+//! * border products that fall outside the output map are likewise counted
+//!   as wasted.
+
+use sparten_nn::generate::Workload;
+
+use crate::breakdown::{Breakdown, OpCounts, SimResult, Traffic};
+use crate::config::SimConfig;
+use crate::workmodel::MaskModel;
+
+/// Sparsity handling for the SCNN variants of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScnnVariant {
+    /// Full SCNN: both inputs and filters sparse.
+    Full,
+    /// SCNN-one-sided: input maps sparse, filters dense.
+    OneSided,
+    /// SCNN-dense: everything dense (inherits the dataflow overheads).
+    Dense,
+}
+
+impl ScnnVariant {
+    fn name(self) -> &'static str {
+        match self {
+            ScnnVariant::Full => "SCNN",
+            ScnnVariant::OneSided => "SCNN-one-sided",
+            ScnnVariant::Dense => "SCNN-dense",
+        }
+    }
+}
+
+/// Splits `n` cells into `parts` contiguous, nearly equal segments (some may
+/// be empty when `n < parts`).
+fn segments(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    (0..parts)
+        .map(|i| {
+            let lo = n * i / parts;
+            let hi = n * (i + 1) / parts;
+            (lo, hi - lo)
+        })
+        .collect()
+}
+
+/// Splits a segment of length `len` into sub-tiles of at most `cap`.
+fn subtiles(start: usize, len: usize, cap: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off < len {
+        let piece = cap.min(len - off);
+        out.push((start + off, piece));
+        off += piece;
+    }
+    out
+}
+
+/// Simulates one layer on SCNN.
+pub fn simulate_scnn(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    variant: ScnnVariant,
+) -> SimResult {
+    let shape = &workload.shape;
+    let scnn = &config.scnn;
+    let grid = (scnn.num_pes as f64).sqrt() as usize;
+    assert_eq!(grid * grid, scnn.num_pes, "PE count must be a square");
+    let f_edge = scnn.mult_edge as u64;
+    let i_edge = scnn.mult_edge as u64;
+    let d = shape.in_channels;
+    let k = shape.kernel;
+    let groups = shape.num_filters.div_ceil(scnn.output_group);
+
+    // Per-(sub-tile, channel) input non-zero counts. Sub-tiles are the
+    // ≤tile×tile pieces of each PE's region; `tile_owner[t]` is the PE.
+    let rows = segments(shape.in_height, grid);
+    let cols = segments(shape.in_width, grid);
+    let mut tile_bounds: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut tile_owner: Vec<usize> = Vec::new();
+    for (pi, &(rx, rl)) in rows.iter().enumerate() {
+        for (pj, &(cy, cl)) in cols.iter().enumerate() {
+            for (sx, sl) in subtiles(rx, rl, scnn.tile) {
+                for (sy, swl) in subtiles(cy, cl, scnn.tile) {
+                    tile_bounds.push((sx, sl, sy, swl));
+                    tile_owner.push(pi * grid + pj);
+                }
+            }
+        }
+    }
+    let num_tiles = tile_bounds.len();
+    let mut tile_channel_nnz = vec![0u32; num_tiles * d];
+    for (t, &(sx, sl, sy, swl)) in tile_bounds.iter().enumerate() {
+        for y in sy..sy + swl {
+            for x in sx..sx + sl {
+                for (z, &v) in workload.input.fiber(x, y).iter().enumerate() {
+                    let dense_input = variant == ScnnVariant::Dense;
+                    if v != 0.0 || dense_input {
+                        tile_channel_nnz[t * d + z] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-(group, channel) filter non-zero counts (summed over the group's
+    // filters and all k² taps).
+    let mut group_channel_nnz = vec![0u32; groups * d];
+    for (f, filter) in workload.filters.iter().enumerate() {
+        let g = f / scnn.output_group;
+        let dense_filters = matches!(variant, ScnnVariant::OneSided | ScnnVariant::Dense);
+        for fy in 0..k {
+            for fx in 0..k {
+                for (z, &v) in filter.weights().fiber(fx, fy).iter().enumerate() {
+                    if v != 0.0 || dense_filters {
+                        group_channel_nnz[g * d + z] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Main timing loop: one barrier per (group, channel).
+    let mut makespan = 0u64;
+    let mut busy_slots = vec![0u64; scnn.num_pes];
+    let mut pe_cycles_total = vec![0u64; scnn.num_pes];
+    let mut total_products = 0u64;
+    let slots_per_cycle = (scnn.mult_edge * scnn.mult_edge) as u64;
+    let mut pe_cycles = vec![0u64; scnn.num_pes];
+    for g in 0..groups {
+        for c in 0..d {
+            let f_nnz = group_channel_nnz[g * d + c] as u64;
+            pe_cycles.iter_mut().for_each(|v| *v = 0);
+            if f_nnz > 0 {
+                let f_batches = f_nnz.div_ceil(f_edge);
+                for (t, &owner) in tile_owner.iter().enumerate() {
+                    let i_nnz = tile_channel_nnz[t * d + c] as u64;
+                    if i_nnz == 0 {
+                        continue;
+                    }
+                    let cycles = i_nnz.div_ceil(i_edge) * f_batches;
+                    pe_cycles[owner] += cycles;
+                    total_products += i_nnz * f_nnz;
+                }
+            }
+            let barrier = pe_cycles.iter().copied().max().unwrap_or(0);
+            makespan += barrier;
+            for (pe, &cy) in pe_cycles.iter().enumerate() {
+                busy_slots[pe] += cy * slots_per_cycle;
+                pe_cycles_total[pe] += cy;
+            }
+        }
+    }
+
+    // Useful MACs are the true stride-aware sparse MACs; the Cartesian
+    // product's surplus (stride discard + border waste + zero operands in
+    // the one-sided/dense variants) is the "zero" component.
+    let nonzero = model.total_sparse_macs().min(total_products);
+    let zero = total_products - nonzero;
+    let total_busy: u64 = busy_slots.iter().sum();
+    let intra = total_busy - total_products;
+    let inter: u64 = pe_cycles_total
+        .iter()
+        .map(|&cy| (makespan - cy) * slots_per_cycle)
+        .sum();
+
+    let traffic = scnn_traffic(workload, model, config, variant);
+    let memory_cycles = (traffic.total_bytes() / config.memory.bytes_per_cycle).ceil() as u64;
+    let total_units = (scnn.num_pes as u64) * slots_per_cycle;
+
+    SimResult {
+        scheme: variant.name(),
+        compute_cycles: makespan,
+        memory_cycles,
+        total_units,
+        breakdown: Breakdown {
+            nonzero,
+            zero,
+            intra,
+            inter,
+        },
+        traffic,
+        ops: OpCounts {
+            macs_nonzero: nonzero,
+            macs_zero: zero,
+            buffer_accesses: 3 * total_products,
+            prefix_ops: 0,
+            encoder_ops: 0,
+            permute_values: 0,
+            compact_ops: shape.num_outputs() as u64,
+            crossbar_ops: total_products,
+        },
+    }
+}
+
+/// SCNN traffic: CSR-style storage — values plus ~4-bit coordinates per
+/// non-zero (half a byte of index metadata).
+fn scnn_traffic(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    variant: ScnnVariant,
+) -> Traffic {
+    let shape = &workload.shape;
+    let elem = config.memory.element_bytes as f64;
+    let batch = config.memory.batch as f64;
+    let idx = 0.5; // bytes of coordinate metadata per stored value
+    let input_cells = shape.input_cells() as f64;
+    let weight_cells = shape.weight_cells() as f64;
+    let out_cells = shape.num_outputs() as f64;
+    let input_nnz = model.input_nnz() as f64;
+    let weight_nnz = model.weight_nnz() as f64;
+
+    let (input_bytes, input_zero, input_meta) = if variant == ScnnVariant::Dense {
+        (input_cells * elem, input_cells - input_nnz, 0.0)
+    } else {
+        (input_nnz * (elem + idx), 0.0, input_nnz * idx)
+    };
+    let (filter_bytes, filter_zero, filter_meta) = if variant == ScnnVariant::Full {
+        (
+            weight_nnz * (elem + idx) / batch,
+            0.0,
+            weight_nnz * idx / batch,
+        )
+    } else {
+        (
+            weight_cells * elem / batch,
+            (weight_cells - weight_nnz) / batch,
+            0.0,
+        )
+    };
+    let out_nnz = out_cells * config.memory.output_density;
+    let (output_bytes, output_meta) = if variant == ScnnVariant::Dense {
+        (out_cells * elem, 0.0)
+    } else {
+        (out_nnz * (elem + idx), out_nnz * idx)
+    };
+
+    Traffic {
+        input_bytes,
+        filter_bytes,
+        output_bytes,
+        zero_value_bytes: (input_zero + filter_zero) * elem,
+        metadata_bytes: input_meta + filter_meta + output_meta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparten_nn::generate::workload;
+    use sparten_nn::ConvShape;
+
+    fn test_config() -> SimConfig {
+        let mut c = SimConfig::small(); // 16 PEs, 4×4 grid
+        c.accel.num_clusters = 2;
+        c
+    }
+
+    fn unit_stride_workload() -> Workload {
+        let shape = ConvShape::new(32, 12, 12, 3, 16, 1, 1);
+        workload(&shape, 0.4, 0.35, 21)
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let w = unit_stride_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        for v in [ScnnVariant::Full, ScnnVariant::OneSided, ScnnVariant::Dense] {
+            let r = simulate_scnn(&w, &m, &cfg, v);
+            assert!(r.accounting_holds(), "{}: accounting broken", r.scheme);
+        }
+    }
+
+    #[test]
+    fn variant_ordering_full_beats_one_sided_beats_dense() {
+        let w = unit_stride_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let full = simulate_scnn(&w, &m, &cfg, ScnnVariant::Full);
+        let one = simulate_scnn(&w, &m, &cfg, ScnnVariant::OneSided);
+        let dense = simulate_scnn(&w, &m, &cfg, ScnnVariant::Dense);
+        assert!(full.cycles() < one.cycles());
+        assert!(one.cycles() < dense.cycles());
+    }
+
+    #[test]
+    fn non_unit_stride_wastes_products() {
+        // Stride 2: ~3/4 of the Cartesian product is discarded.
+        let shape = ConvShape::new(32, 12, 12, 3, 16, 2, 1);
+        let w = workload(&shape, 0.4, 0.35, 22);
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let r = simulate_scnn(&w, &m, &cfg, ScnnVariant::Full);
+        assert!(
+            r.breakdown.zero as f64 > 2.0 * r.breakdown.nonzero as f64,
+            "zero {} vs nonzero {}",
+            r.breakdown.zero,
+            r.breakdown.nonzero
+        );
+    }
+
+    #[test]
+    fn small_planes_idle_pes() {
+        // A 3×3 plane on a 4×4 PE grid: at most 9 PEs can be busy.
+        let shape = ConvShape::new(64, 3, 3, 1, 16, 1, 0);
+        let w = workload(&shape, 0.5, 0.4, 23);
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let r = simulate_scnn(&w, &m, &cfg, ScnnVariant::Full);
+        // Inter-PE loss must be at least the 7 idle PEs' share.
+        let idle_share = r.breakdown.inter as f64 / r.breakdown.total() as f64;
+        assert!(idle_share > 0.3, "idle share {idle_share}");
+    }
+
+    #[test]
+    fn products_match_channel_sums_unit_stride() {
+        // For unit stride, total products = Σ_c input_nnz_c × weight_nnz_c
+        // (all groups). Check via the breakdown identity.
+        let w = unit_stride_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let r = simulate_scnn(&w, &m, &cfg, ScnnVariant::Full);
+        let d = w.shape.in_channels;
+        let mut in_c = vec![0u64; d];
+        for y in 0..w.shape.in_width {
+            for x in 0..w.shape.in_height {
+                for (z, &v) in w.input.fiber(x, y).iter().enumerate() {
+                    if v != 0.0 {
+                        in_c[z] += 1;
+                    }
+                }
+            }
+        }
+        let mut w_c = vec![0u64; d];
+        for f in &w.filters {
+            for fy in 0..3 {
+                for fx in 0..3 {
+                    for (z, &v) in f.weights().fiber(fx, fy).iter().enumerate() {
+                        if v != 0.0 {
+                            w_c[z] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let expect: u64 = (0..d).map(|c| in_c[c] * w_c[c]).sum();
+        assert_eq!(r.breakdown.nonzero + r.breakdown.zero, expect);
+    }
+
+    #[test]
+    fn one_by_one_filters_underutilize_multipliers() {
+        // 1×1 filters: few weights per (channel, group) → heavy ⌈F/4⌉ waste.
+        let shape = ConvShape::new(128, 12, 12, 1, 16, 1, 0);
+        let w = workload(&shape, 0.5, 0.35, 24);
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let r = simulate_scnn(&w, &m, &cfg, ScnnVariant::Full);
+        let intra_share = r.breakdown.intra as f64 / r.breakdown.total() as f64;
+        assert!(intra_share > 0.2, "intra share {intra_share}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Cycle-level simulator for the SparTen family (and its one-sided proxy).
+//!
+//! Model (§3.2–3.3): each cluster owns a contiguous slice of output spatial
+//! positions and processes *all* filters for it, group by group (one or two
+//! filters per compute unit). Every input-chunk broadcast is an implicit
+//! barrier across the cluster's units: the cluster advances at the pace of
+//! its slowest unit for that chunk. A unit's chunk work is the popcount of
+//! the ANDed SparseMaps (one MAC per cycle), plus one cycle of broadcast
+//! overhead per chunk. Intra-cluster loss is the gap between the barrier
+//! time and the units' useful work (covering both density imbalance and
+//! idle units when filters run short); inter-cluster loss is the gap to the
+//! slowest cluster.
+//!
+//! Configured one-sided, filters are treated as dense: every unit's chunk
+//! work is the input chunk's popcount (no imbalance, but all filter zeros
+//! with a non-zero input are multiplied) — the paper's proxy for Cnvlutin,
+//! Cambricon-X, and EIE's zero idling.
+
+use sparten_core::balance::{BalanceMode, LayerBalance};
+use sparten_nn::generate::Workload;
+
+use crate::breakdown::{Breakdown, OpCounts, SimResult, Traffic};
+use crate::config::SimConfig;
+use crate::workmodel::MaskModel;
+
+/// Which sparsity the datapath exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sparsity {
+    /// Feature-map sparsity only (filters stored and computed dense).
+    OneSided,
+    /// Full two-sided sparsity (the real SparTen).
+    TwoSided,
+}
+
+/// Per-chunk broadcast/setup overhead in cycles.
+const CHUNK_OVERHEAD: u64 = 1;
+
+/// Simulates one layer on the SparTen microarchitecture.
+///
+/// `mode` is forced to [`BalanceMode::None`] for one-sided runs (filter
+/// density is uniform when filters are dense, so GB is moot).
+pub fn simulate_sparten(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    sparsity: Sparsity,
+    mode: BalanceMode,
+) -> SimResult {
+    let units = config.accel.cluster.compute_units;
+    let chunk_size = config.accel.cluster.chunk_size;
+    let mode = match sparsity {
+        Sparsity::OneSided => BalanceMode::None,
+        Sparsity::TwoSided => mode,
+    };
+    let balance = LayerBalance::new(&workload.filters, units, chunk_size, mode);
+    simulate_sparten_with_balance(workload, model, config, sparsity, balance)
+}
+
+/// Simulates with an explicit balance assignment (e.g. k-way collocation
+/// from [`LayerBalance::with_collocation`]).
+pub fn simulate_sparten_with_balance(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    sparsity: Sparsity,
+    balance: LayerBalance,
+) -> SimResult {
+    let shape = &workload.shape;
+    let units = config.accel.cluster.compute_units;
+    let num_clusters = config.accel.num_clusters;
+    let mode = balance.mode;
+    let chunks = model.chunks_per_window();
+    let (oh, ow) = (shape.out_height(), shape.out_width());
+    let positions = oh * ow;
+
+    let mut cluster_cycles = vec![0u64; num_clusters];
+    let mut cluster_busy = vec![0u64; num_clusters];
+    let mut total_macs = 0u64; // MACs the datapath executes
+    let mut permute_values = 0u64;
+    let mut chunk_joins = 0u64;
+
+    for cluster in 0..num_clusters {
+        let lo = positions * cluster / num_clusters;
+        let hi = positions * (cluster + 1) / num_clusters;
+        let mut cycles = 0u64;
+        let mut busy = 0u64;
+        for p in lo..hi {
+            let (ox, oy) = (p % oh, p / oh);
+            for group in &balance.groups {
+                let busy_units = group.busy_units() as u64;
+                if busy_units == 0 {
+                    continue;
+                }
+                for c in 0..chunks {
+                    match sparsity {
+                        Sparsity::OneSided => {
+                            let w = model.onesided_chunk_work(ox, oy, c) as u64;
+                            cycles += w + CHUNK_OVERHEAD;
+                            busy += w * busy_units;
+                            chunk_joins += busy_units;
+                        }
+                        Sparsity::TwoSided => {
+                            let per_unit: &[Vec<usize>] = if group.per_chunk_cu.is_empty() {
+                                &group.per_cu
+                            } else {
+                                &group.per_chunk_cu[c]
+                            };
+                            let mut chunk_max = 0u64;
+                            for slots in per_unit {
+                                let mut w = 0u64;
+                                for &f in slots {
+                                    w += model.chunk_work(ox, oy, f, c) as u64;
+                                }
+                                busy += w;
+                                chunk_max = chunk_max.max(w);
+                                chunk_joins += slots.len() as u64;
+                            }
+                            cycles += chunk_max + CHUNK_OVERHEAD;
+                            if !group.per_chunk_cu.is_empty() {
+                                permute_values += group.num_filters() as u64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cluster_cycles[cluster] = cycles;
+        cluster_busy[cluster] = busy;
+        total_macs += busy;
+    }
+
+    let makespan = cluster_cycles.iter().copied().max().unwrap_or(0);
+    let total_units = (units * num_clusters) as u64;
+
+    // Useful (both-non-zero) MACs: equal to the executed MACs for two-sided;
+    // for one-sided the gap is zero computation.
+    let nonzero_macs = match sparsity {
+        Sparsity::TwoSided => total_macs,
+        Sparsity::OneSided => model.total_sparse_macs(),
+    };
+    let zero_macs = total_macs - nonzero_macs;
+
+    // Intra: within each cluster, barrier slots minus that cluster's busy
+    // slots. Inter: slack of faster clusters against the makespan.
+    let mut intra = 0u64;
+    let mut inter = 0u64;
+    for c in 0..num_clusters {
+        intra += cluster_cycles[c] * units as u64 - cluster_busy[c];
+        inter += (makespan - cluster_cycles[c]) * units as u64;
+    }
+
+    let traffic = sparten_traffic(workload, model, config, sparsity);
+    let memory_cycles = (traffic.total_bytes() / config.memory.bytes_per_cycle).ceil() as u64;
+
+    let prefix_per_join = match sparsity {
+        Sparsity::OneSided => 1,
+        Sparsity::TwoSided => 2,
+    };
+    SimResult {
+        scheme: scheme_name(sparsity, mode),
+        compute_cycles: makespan,
+        memory_cycles,
+        total_units,
+        breakdown: Breakdown {
+            nonzero: nonzero_macs,
+            zero: zero_macs,
+            intra,
+            inter,
+        },
+        traffic,
+        ops: OpCounts {
+            macs_nonzero: nonzero_macs,
+            macs_zero: zero_macs,
+            buffer_accesses: 3 * total_macs,
+            prefix_ops: prefix_per_join * chunk_joins,
+            encoder_ops: total_macs,
+            permute_values,
+            compact_ops: (positions * shape.num_filters) as u64,
+            crossbar_ops: 0,
+        },
+    }
+}
+
+fn scheme_name(sparsity: Sparsity, mode: BalanceMode) -> &'static str {
+    match (sparsity, mode) {
+        (Sparsity::OneSided, _) => "One-sided",
+        (Sparsity::TwoSided, BalanceMode::None) => "SparTen-no-GB",
+        (Sparsity::TwoSided, BalanceMode::GbS) => "SparTen-GB-S",
+        (Sparsity::TwoSided, BalanceMode::GbH) => "SparTen",
+        (Sparsity::TwoSided, BalanceMode::GbSNoColloc) => "SparTen-GB-S-nocolloc",
+    }
+}
+
+/// DRAM traffic for the SparTen family: sparse tensors move as packed
+/// non-zero values plus per-chunk SparseMaps; one-sided keeps filters dense.
+fn sparten_traffic(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    sparsity: Sparsity,
+) -> Traffic {
+    let shape = &workload.shape;
+    let elem = config.memory.element_bytes as f64;
+    let batch = config.memory.batch as f64;
+    let chunk = config.accel.cluster.chunk_size;
+    let mask_bytes_per_chunk = (chunk / 8) as f64;
+    let chunks_per_fiber =
+        sparten_core::chunking::padded_fiber_len(shape.in_channels, chunk) / chunk;
+
+    let input_fibers = (shape.in_height * shape.in_width) as f64;
+    let input_mask_bytes = input_fibers * chunks_per_fiber as f64 * mask_bytes_per_chunk;
+    let input_bytes = model.input_nnz() as f64 * elem + input_mask_bytes;
+
+    let weight_cells = shape.weight_cells() as f64;
+    let filter_mask_bytes = (shape.num_filters * shape.kernel * shape.kernel * chunks_per_fiber)
+        as f64
+        * mask_bytes_per_chunk;
+    let (filter_bytes, filter_zero_bytes, filter_meta) = match sparsity {
+        Sparsity::TwoSided => (
+            (model.weight_nnz() as f64 * elem + filter_mask_bytes) / batch,
+            0.0,
+            filter_mask_bytes / batch,
+        ),
+        // One-sided architectures store filters dense: zeros travel.
+        Sparsity::OneSided => (
+            weight_cells * elem / batch,
+            (weight_cells - model.weight_nnz() as f64) * elem / batch,
+            0.0,
+        ),
+    };
+
+    let out_cells = shape.num_outputs() as f64;
+    let out_nnz = out_cells * config.memory.output_density;
+    let out_chunks = (shape.out_height() * shape.out_width()) as f64
+        * (shape.num_filters.div_ceil(chunk)) as f64;
+    let output_mask_bytes = out_chunks * mask_bytes_per_chunk;
+    let output_bytes = out_nnz * elem + output_mask_bytes;
+
+    Traffic {
+        input_bytes,
+        filter_bytes,
+        output_bytes,
+        zero_value_bytes: filter_zero_bytes,
+        metadata_bytes: input_mask_bytes + filter_meta + output_mask_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparten_nn::generate::workload;
+    use sparten_nn::ConvShape;
+
+    fn test_config() -> SimConfig {
+        let mut c = SimConfig::small();
+        c.accel.num_clusters = 2;
+        c.accel.cluster.compute_units = 4;
+        c
+    }
+
+    fn test_workload() -> Workload {
+        let shape = ConvShape::new(70, 6, 6, 3, 8, 1, 1);
+        workload(&shape, 0.4, 0.35, 11)
+    }
+
+    #[test]
+    fn accounting_identity_holds_for_all_modes() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        for (s, mode) in [
+            (Sparsity::OneSided, BalanceMode::None),
+            (Sparsity::TwoSided, BalanceMode::None),
+            (Sparsity::TwoSided, BalanceMode::GbS),
+            (Sparsity::TwoSided, BalanceMode::GbH),
+        ] {
+            let r = simulate_sparten(&w, &m, &cfg, s, mode);
+            assert!(r.accounting_holds(), "{}: accounting broken", r.scheme);
+        }
+    }
+
+    #[test]
+    fn two_sided_beats_one_sided() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let one = simulate_sparten(&w, &m, &cfg, Sparsity::OneSided, BalanceMode::None);
+        let two = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
+        assert!(two.cycles() < one.cycles());
+    }
+
+    #[test]
+    fn gb_improves_or_matches_makespan() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let none = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::None);
+        let gbs = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbS);
+        let gbh = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
+        assert!(gbs.compute_cycles <= none.compute_cycles);
+        assert!(gbh.compute_cycles <= gbs.compute_cycles);
+    }
+
+    #[test]
+    fn one_sided_has_zero_compute_component() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let one = simulate_sparten(&w, &m, &cfg, Sparsity::OneSided, BalanceMode::None);
+        assert!(one.breakdown.zero > 0);
+        let two = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
+        assert_eq!(two.breakdown.zero, 0);
+        assert_eq!(one.breakdown.nonzero, two.breakdown.nonzero);
+    }
+
+    #[test]
+    fn one_sided_transfers_filter_zeros() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let one = simulate_sparten(&w, &m, &cfg, Sparsity::OneSided, BalanceMode::None);
+        let two = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
+        assert!(one.traffic.zero_value_bytes > 0.0);
+        assert_eq!(two.traffic.zero_value_bytes, 0.0);
+        assert!(two.traffic.filter_bytes < one.traffic.filter_bytes);
+    }
+
+    #[test]
+    fn gbh_routes_permute_values() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let gbh = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
+        assert!(gbh.ops.permute_values > 0);
+        let gbs = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbS);
+        assert_eq!(gbs.ops.permute_values, 0);
+    }
+
+    #[test]
+    fn fpga_bandwidth_can_make_memory_bound() {
+        // A very sparse layer on the FPGA's thin memory: compute shrinks
+        // quadratically, traffic only linearly.
+        let shape = ConvShape::new(256, 8, 8, 3, 32, 1, 1);
+        let w = workload(&shape, 0.1, 0.1, 13);
+        let mut cfg = SimConfig::fpga();
+        cfg.memory.bytes_per_cycle = 0.5;
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let r = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
+        assert!(r.is_memory_bound());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests over the simulators: accounting identities, depth
+//! monotonicity, and functional/cycle-model agreement on arbitrary shapes.
+
+use proptest::prelude::*;
+use sparten_core::balance::BalanceMode;
+use sparten_core::{AcceleratorConfig, ClusterConfig};
+use sparten_nn::generate::workload;
+use sparten_nn::ConvShape;
+use sparten_sim::buffered::{simulate_buffered, BufferDepth};
+use sparten_sim::scnn_engine::scnn_cartesian_conv;
+use sparten_sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+
+fn small_config(units: usize, clusters: usize) -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.accel = AcceleratorConfig {
+        cluster: ClusterConfig {
+            compute_units: units,
+            chunk_size: 64,
+            bisection_limit: 4,
+        },
+        num_clusters: clusters,
+    };
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn accounting_identity_on_random_shapes(
+        d in 1usize..48,
+        hw in 3usize..8,
+        k in 1usize..4,
+        n in 1usize..14,
+        stride in 1usize..3,
+        units in 2usize..6,
+        clusters in 1usize..4,
+        di in 0.1f64..0.9,
+        df in 0.1f64..0.9,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(hw >= k);
+        let shape = ConvShape::new(d, hw, hw, k, n, stride, k / 2);
+        let w = workload(&shape, di, df, seed);
+        let cfg = small_config(units, clusters);
+        let model = MaskModel::new(&w, 64);
+        for scheme in Scheme::all() {
+            let r = simulate_layer(&w, &model, &cfg, scheme);
+            prop_assert!(r.accounting_holds(), "{} accounting broken", r.scheme);
+            prop_assert!(r.compute_cycles > 0 || model.total_sparse_macs() == 0);
+        }
+    }
+
+    #[test]
+    fn buffering_is_monotone_and_bounded(
+        seed in 0u64..300,
+        units in 2usize..6,
+    ) {
+        let shape = ConvShape::new(64, 6, 6, 3, 12, 1, 1);
+        let w = workload(&shape, 0.4, 0.35, seed);
+        let cfg = small_config(units, 2);
+        let model = MaskModel::new(&w, 64);
+        let mut last = u64::MAX;
+        for depth in [1usize, 2, 8] {
+            let r = simulate_buffered(&w, &model, &cfg, BalanceMode::None, BufferDepth::Bounded(depth));
+            prop_assert!(r.cycles <= last);
+            last = r.cycles;
+        }
+        let inf = simulate_buffered(&w, &model, &cfg, BalanceMode::None, BufferDepth::Unbounded);
+        prop_assert!(inf.cycles <= last);
+        // Lower bound: the slowest unit's total work within each group
+        // cannot be beaten by any buffering.
+        prop_assert!(inf.cycles * (units as u64) >= inf.useful / (units as u64).max(1));
+    }
+
+    #[test]
+    fn cartesian_engine_matches_reference_on_random_unit_stride(
+        d in 1usize..16,
+        hw in 3usize..8,
+        k in 1usize..4,
+        n in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(hw >= k);
+        let shape = ConvShape::new(d, hw, hw, k, n, 1, k / 2);
+        let w = workload(&shape, 0.5, 0.5, seed);
+        let (out, stats) = scnn_cartesian_conv(&w);
+        let reference = sparten_nn::conv2d(&w.input, &w.filters, &shape);
+        for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2, "{} vs {}", a, b);
+        }
+        // Products must account exactly.
+        prop_assert_eq!(stats.products, stats.accumulated + stats.discarded);
+        let model = MaskModel::new(&w, 64);
+        prop_assert_eq!(stats.accumulated, model.total_sparse_macs());
+    }
+
+    #[test]
+    fn gb_never_loses_to_no_gb_by_much(
+        seed in 0u64..300,
+    ) {
+        // GB is a heuristic; on multi-of-2·units filter counts it must not
+        // regress versus no balancing beyond the routing noise.
+        let shape = ConvShape::new(64, 6, 6, 3, 16, 1, 1);
+        let w = workload(&shape, 0.4, 0.35, seed);
+        let cfg = small_config(4, 2);
+        let model = MaskModel::new(&w, 64);
+        let none = simulate_layer(&w, &model, &cfg, Scheme::SpartenNoGb).compute_cycles;
+        let gbh = simulate_layer(&w, &model, &cfg, Scheme::SpartenGbH).compute_cycles;
+        prop_assert!(gbh as f64 <= none as f64 * 1.02, "GB-H {} vs none {}", gbh, none);
+    }
+}

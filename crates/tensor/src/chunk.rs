@@ -1,0 +1,217 @@
+//! A single SparTen chunk: an n-bit [`SparseMap`] plus packed non-zero values.
+//!
+//! Chunks are the unit of computation in SparTen (§3.1): each compute unit
+//! holds one filter chunk and joins it against broadcast input-map chunks.
+//! The paper uses n = 128.
+
+use crate::mask::SparseMap;
+
+/// A chunk of a sparse tensor: bit mask + packed non-zero values.
+///
+/// Invariant: `values.len() == mask.count_ones()`, with `values[i]`
+/// corresponding to the i-th set bit of `mask` in position order.
+///
+/// # Example
+///
+/// ```
+/// use sparten_tensor::SparseChunk;
+///
+/// let c = SparseChunk::from_dense(&[0.0, 3.0, 0.0, 4.0]);
+/// assert_eq!(c.nnz(), 2);
+/// assert_eq!(c.to_dense(), vec![0.0, 3.0, 0.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseChunk {
+    mask: SparseMap,
+    values: Vec<f32>,
+}
+
+impl SparseChunk {
+    /// Builds a chunk from a dense slice, zero-detecting the values.
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let mask = SparseMap::from_values(dense);
+        let values = dense.iter().copied().filter(|&v| v != 0.0).collect();
+        SparseChunk { mask, values }
+    }
+
+    /// Builds a chunk from an existing mask and packed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != mask.count_ones()`.
+    pub fn from_parts(mask: SparseMap, values: Vec<f32>) -> Self {
+        assert_eq!(
+            values.len(),
+            mask.count_ones(),
+            "packed value count must equal mask population"
+        );
+        SparseChunk { mask, values }
+    }
+
+    /// An all-zero chunk over `len` positions.
+    pub fn zeros(len: usize) -> Self {
+        SparseChunk {
+            mask: SparseMap::zeros(len),
+            values: Vec::new(),
+        }
+    }
+
+    /// The chunk's bit mask.
+    pub fn mask(&self) -> &SparseMap {
+        &self.mask
+    }
+
+    /// The packed non-zero values, in mask position order.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of positions covered (the logical length).
+    pub fn len(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Whether the chunk covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// Number of non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of non-zero positions.
+    pub fn density(&self) -> f64 {
+        self.mask.density()
+    }
+
+    /// The dense value at logical position `pos` (zero where the mask is 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn value_at(&self, pos: usize) -> f32 {
+        if self.mask.get(pos) {
+            self.values[self.mask.prefix_count(pos)]
+        } else {
+            0.0
+        }
+    }
+
+    /// Expands the chunk back to a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len()];
+        for (i, pos) in self.mask.iter_ones().enumerate() {
+            out[pos] = self.values[i];
+        }
+        out
+    }
+
+    /// Sparse dot product — the paper's inner join (§3.1, Figure 3).
+    ///
+    /// ANDs the two masks, then for each match uses prefix counts over each
+    /// operand's own mask to locate the packed values, exactly as the
+    /// hardware does. Returns the accumulated product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks have different logical lengths.
+    pub fn dot(&self, other: &SparseChunk) -> f32 {
+        assert_eq!(self.len(), other.len(), "chunk length mismatch");
+        let joined = self.mask.and(&other.mask);
+        let mut acc = 0.0f32;
+        for pos in joined.iter_ones() {
+            let a = self.values[self.mask.prefix_count(pos)];
+            let b = other.values[other.mask.prefix_count(pos)];
+            acc += a * b;
+        }
+        acc
+    }
+
+    /// Number of multiply-accumulate operations the inner join performs —
+    /// the popcount of the ANDed masks. This is the chunk's *work* in the
+    /// cycle-level model (one MAC per cycle per compute unit).
+    pub fn join_work(&self, other: &SparseChunk) -> usize {
+        self.mask.and(&other.mask).count_ones()
+    }
+
+    /// Pads the chunk with trailing zero positions up to `target_len`
+    /// (channel-count padding, §3.1). No-op if already that long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_len < self.len()`.
+    pub fn pad_to(&mut self, target_len: usize) {
+        assert!(target_len >= self.len(), "cannot shrink a chunk by padding");
+        self.mask.pad_zeros(target_len - self.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dense_packs_values() {
+        let c = SparseChunk::from_dense(&[0.0, 1.0, 0.0, 2.0, 3.0]);
+        assert_eq!(c.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.nnz(), 3);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn to_dense_roundtrips() {
+        let dense = [0.0, -1.5, 2.5, 0.0, 0.0, 7.0];
+        assert_eq!(SparseChunk::from_dense(&dense).to_dense(), dense);
+    }
+
+    #[test]
+    fn dot_matches_dense_reference() {
+        let a = [0.0, 2.0, 3.0, 0.0, 1.0];
+        let b = [5.0, 4.0, 0.0, 1.0, 2.0];
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let got = SparseChunk::from_dense(&a).dot(&SparseChunk::from_dense(&b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn dot_of_disjoint_masks_is_zero() {
+        let a = SparseChunk::from_dense(&[1.0, 0.0, 2.0, 0.0]);
+        let b = SparseChunk::from_dense(&[0.0, 3.0, 0.0, 4.0]);
+        assert_eq!(a.dot(&b), 0.0);
+        assert_eq!(a.join_work(&b), 0);
+    }
+
+    #[test]
+    fn join_work_counts_matches() {
+        let a = SparseChunk::from_dense(&[1.0, 1.0, 0.0, 1.0]);
+        let b = SparseChunk::from_dense(&[1.0, 0.0, 1.0, 1.0]);
+        assert_eq!(a.join_work(&b), 2);
+    }
+
+    #[test]
+    fn value_at_returns_dense_view() {
+        let c = SparseChunk::from_dense(&[0.0, 9.0, 0.0, 8.0]);
+        assert_eq!(c.value_at(0), 0.0);
+        assert_eq!(c.value_at(1), 9.0);
+        assert_eq!(c.value_at(3), 8.0);
+    }
+
+    #[test]
+    fn pad_to_keeps_values() {
+        let mut c = SparseChunk::from_dense(&[1.0, 2.0]);
+        c.pad_to(128);
+        assert_eq!(c.len(), 128);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.value_at(1), 2.0);
+        assert_eq!(c.value_at(127), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed value count")]
+    fn from_parts_validates() {
+        let mask = SparseMap::from_bools(&[true, true]);
+        SparseChunk::from_parts(mask, vec![1.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Format conversions, including the §3.1 dense-image special case.
+//!
+//! "An extreme special case is the initial 3-channel input image which is
+//! dense (i.e., zeroes are present). The input can be formatted into
+//! SparTen's representation by simply creating bit masks with three 1's
+//! padded by 125 0's and a pointer to the dense data (values are not
+//! padded)." This module implements that formatter plus conversions between
+//! the pointer formats and the bit-mask form.
+
+use crate::chunk::SparseChunk;
+use crate::csr::IndexVector;
+use crate::dense::Tensor3;
+use crate::layout::ChunkDirectory;
+use crate::mask::SparseMap;
+use crate::vector::SparseVector;
+
+/// The SparTen-formatted dense input image: one directory entry per spatial
+/// position, each with a mask of `channels` leading 1s padded to the chunk
+/// width, pointing into the *unpadded* dense value array.
+#[derive(Debug, Clone)]
+pub struct FormattedImage {
+    directory: ChunkDirectory,
+    values: Vec<f32>,
+    channels: usize,
+    chunk_size: usize,
+}
+
+impl FormattedImage {
+    /// Formats a dense image tensor (channels ≤ chunk size) into SparTen's
+    /// representation without touching the values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.channels() > chunk_size`.
+    pub fn from_dense(image: &Tensor3, chunk_size: usize) -> Self {
+        let d = image.channels();
+        assert!(
+            d <= chunk_size,
+            "image formatter covers the shallow-channel case only"
+        );
+        let mut mask = SparseMap::zeros(chunk_size);
+        for z in 0..d {
+            mask.set(z, true);
+        }
+        let mut directory = ChunkDirectory::new();
+        for y in 0..image.width() {
+            for x in 0..image.height() {
+                let ptr = (x + image.height() * y) * d;
+                directory.push(mask.clone(), ptr);
+            }
+        }
+        FormattedImage {
+            directory,
+            values: image.as_slice().to_vec(),
+            channels: d,
+            chunk_size,
+        }
+    }
+
+    /// The per-position chunk directory.
+    pub fn directory(&self) -> &ChunkDirectory {
+        &self.directory
+    }
+
+    /// The unpadded dense values (3 per position for an RGB image).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Reconstructs the chunk at spatial position index `p` (row-major
+    /// `x + h·y`) as a [`SparseChunk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn chunk(&self, p: usize) -> SparseChunk {
+        let entry = &self.directory.entries()[p];
+        let vals = self.values[entry.value_ptr..entry.value_ptr + self.channels].to_vec();
+        // A dense image may still contain exact zeros; the formatter keeps
+        // them (values are not packed), so zero-out mask bits to preserve
+        // the chunk invariant.
+        let mut mask = entry.mask.clone();
+        let mut packed = Vec::with_capacity(self.channels);
+        for (z, &v) in vals.iter().enumerate() {
+            if v == 0.0 {
+                mask.set(z, false);
+            } else {
+                packed.push(v);
+            }
+        }
+        SparseChunk::from_parts(mask, packed)
+    }
+
+    /// Total representation bits: masks plus unpadded 8-bit-per-`value_bits`
+    /// values (the §3.1 claim that values are not padded).
+    pub fn storage_bits(&self, value_bits: usize) -> usize {
+        self.directory.len() * self.chunk_size + self.values.len() * value_bits
+    }
+}
+
+/// Converts a pointer-format vector to the chunked bit-mask form.
+pub fn index_to_sparse(v: &IndexVector, chunk_size: usize) -> SparseVector {
+    SparseVector::from_dense(&v.to_dense(), chunk_size)
+}
+
+/// Converts a chunked bit-mask vector to the pointer format.
+pub fn sparse_to_index(v: &SparseVector) -> IndexVector {
+    IndexVector::from_dense(&v.to_dense())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rgb_image() -> Tensor3 {
+        let mut t = Tensor3::zeros(3, 2, 2);
+        let mut v = 1.0;
+        for y in 0..2 {
+            for x in 0..2 {
+                for z in 0..3 {
+                    t.set(z, x, y, v);
+                    v += 1.0;
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn formatter_builds_three_ones_masks() {
+        let img = rgb_image();
+        let f = FormattedImage::from_dense(&img, 128);
+        assert_eq!(f.directory().len(), 4);
+        for e in f.directory().entries() {
+            assert_eq!(e.mask.len(), 128);
+            assert_eq!(e.mask.count_ones(), 3);
+            assert_eq!(e.mask.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn values_are_not_padded() {
+        let img = rgb_image();
+        let f = FormattedImage::from_dense(&img, 128);
+        assert_eq!(f.values().len(), 12); // 4 positions × 3 channels, no pad
+                                          // 4 masks of 128 bits + 12 values of 8 bits.
+        assert_eq!(f.storage_bits(8), 4 * 128 + 12 * 8);
+    }
+
+    #[test]
+    fn chunks_reconstruct_fibers() {
+        let img = rgb_image();
+        let f = FormattedImage::from_dense(&img, 16);
+        for p in 0..4 {
+            let (x, y) = (p % 2, p / 2);
+            let chunk = f.chunk(p);
+            let dense = chunk.to_dense();
+            assert_eq!(&dense[..3], img.fiber(x, y));
+            assert!(dense[3..].iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn exact_zero_pixels_are_masked_out() {
+        let mut img = rgb_image();
+        img.set(1, 0, 0, 0.0);
+        let f = FormattedImage::from_dense(&img, 8);
+        let chunk = f.chunk(0);
+        assert_eq!(chunk.nnz(), 2);
+        assert_eq!(chunk.value_at(1), 0.0);
+    }
+
+    #[test]
+    fn pointer_bitmask_roundtrip() {
+        let dense = [0.0, 1.5, 0.0, 0.0, 2.5, 3.5, 0.0];
+        let iv = IndexVector::from_dense(&dense);
+        let sv = index_to_sparse(&iv, 4);
+        assert_eq!(sv.to_dense(), dense);
+        let back = sparse_to_index(&sv);
+        assert_eq!(back, iv);
+    }
+
+    #[test]
+    #[should_panic(expected = "shallow-channel")]
+    fn deep_channels_rejected() {
+        FormattedImage::from_dense(&Tensor3::zeros(256, 1, 1), 128);
+    }
+}

@@ -1,0 +1,180 @@
+//! Compressed Sparse Column — the EIE-style format (§3.1).
+//!
+//! EIE stores fully-connected weight matrices in a CSC variant so that a
+//! broadcast input activation can stream down its column of non-zero
+//! weights. It is included here as the third pointer-format point of
+//! comparison (after [`crate::csr`] and [`crate::rle`]): the column view
+//! makes *one-sided* joins cheap (skip a whole column when the activation
+//! is zero) but leaves the two-sided join as expensive as CSR's.
+
+use crate::csr::IndexVector;
+
+/// A CSC sparse matrix: `col_ptr` offsets into shared `(row, value)` arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    col_ptr: Vec<usize>,
+    rows: Vec<u32>,
+    values: Vec<f32>,
+    num_rows: usize,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from dense rows (row-major input for symmetry
+    /// with [`crate::CsrMatrix::from_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged.
+    pub fn from_rows(dense_rows: &[Vec<f32>]) -> Self {
+        let num_rows = dense_rows.len();
+        let num_cols = dense_rows.first().map_or(0, Vec::len);
+        let mut col_ptr = Vec::with_capacity(num_cols + 1);
+        let mut rows = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for c in 0..num_cols {
+            for (r, row) in dense_rows.iter().enumerate() {
+                assert_eq!(row.len(), num_cols, "ragged rows are not allowed");
+                let v = row[c];
+                if v != 0.0 {
+                    rows.push(r as u32);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(rows.len());
+        }
+        CscMatrix {
+            col_ptr,
+            rows,
+            values,
+            num_rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column `c` as `(row, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.num_cols()`.
+    pub fn col(&self, c: usize) -> (&[u32], &[f32]) {
+        assert!(c < self.num_cols(), "column {c} out of range");
+        let (lo, hi) = (self.col_ptr[c], self.col_ptr[c + 1]);
+        (&self.rows[lo..hi], &self.values[lo..hi])
+    }
+
+    /// EIE-style one-sided SpMV: for every *non-zero* activation, stream its
+    /// column and accumulate — zero activations skip their columns entirely,
+    /// but every stored weight of a live column is multiplied.
+    ///
+    /// Returns `(result, macs)` where `macs` counts the multiplications the
+    /// hardware would perform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_cols()`.
+    pub fn spmv_one_sided(&self, x: &IndexVector) -> (Vec<f32>, usize) {
+        assert_eq!(x.len(), self.num_cols(), "dimension mismatch");
+        let mut y = vec![0.0f32; self.num_rows];
+        let mut macs = 0usize;
+        for (&c, &xv) in x.indices().iter().zip(x.values()) {
+            let (rows, vals) = self.col(c as usize);
+            for (&r, &w) in rows.iter().zip(vals) {
+                y[r as usize] += w * xv;
+                macs += 1;
+            }
+        }
+        (y, macs)
+    }
+
+    /// Representation size in bits: `log2(rows)`-bit row indices plus
+    /// `value_bits` per non-zero, plus a `log2(nnz)`-bit pointer per column.
+    pub fn storage_bits(&self, value_bits: usize) -> usize {
+        let row_bits = (self.num_rows.max(2) as f64).log2().ceil() as usize;
+        let ptr_bits = (self.nnz().max(2) as f64).log2().ceil() as usize;
+        self.nnz() * (row_bits + value_bits) + self.num_cols() * ptr_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 3.0, 0.0, 0.0],
+            vec![4.0, 0.0, 0.0, 5.0],
+        ]
+    }
+
+    #[test]
+    fn construction_and_columns() {
+        let m = CscMatrix::from_rows(&sample());
+        assert_eq!((m.num_rows(), m.num_cols(), m.nnz()), (3, 4, 5));
+        let (rows, vals) = m.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+        let (rows, _) = m.col(1);
+        assert_eq!(rows, &[1]);
+    }
+
+    #[test]
+    fn one_sided_spmv_matches_dense() {
+        let m = CscMatrix::from_rows(&sample());
+        let x = IndexVector::from_dense(&[2.0, 0.0, 1.0, 3.0]);
+        let (y, macs) = m.spmv_one_sided(&x);
+        assert_eq!(y, vec![2.0 + 2.0, 0.0, 8.0 + 15.0]);
+        // Columns 0, 2, 3 are live: 2 + 1 + 1 = 4 multiplications.
+        assert_eq!(macs, 4);
+    }
+
+    #[test]
+    fn zero_activation_skips_whole_column() {
+        let m = CscMatrix::from_rows(&sample());
+        let dense_x = IndexVector::from_dense(&[1.0, 1.0, 1.0, 1.0]);
+        let sparse_x = IndexVector::from_dense(&[1.0, 0.0, 0.0, 0.0]);
+        let (_, dense_macs) = m.spmv_one_sided(&dense_x);
+        let (_, sparse_macs) = m.spmv_one_sided(&sparse_x);
+        assert_eq!(dense_macs, m.nnz());
+        assert_eq!(sparse_macs, 2);
+    }
+
+    #[test]
+    fn one_sided_still_multiplies_matched_weights_only_by_column() {
+        // Two-sided inefficiency: even a one-element output needs the whole
+        // column streamed — MACs equal column nnz, not join matches.
+        let m = CscMatrix::from_rows(&vec![vec![1.0; 8]; 8]);
+        let x = IndexVector::from_dense(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let (_, macs) = m.spmv_one_sided(&x);
+        assert_eq!(macs, 8);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = CscMatrix::from_rows(&sample());
+        // 5 nnz × (2-bit rows + 8-bit values) + 4 cols × 3-bit pointers.
+        assert_eq!(m.storage_bits(8), 5 * 10 + 4 * 3);
+    }
+
+    #[test]
+    fn empty_columns_are_fine() {
+        let m = CscMatrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]);
+        let (rows, _) = m.col(0);
+        assert!(rows.is_empty());
+    }
+}

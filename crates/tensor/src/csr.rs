@@ -1,0 +1,300 @@
+//! HPC-style pointer representations: index vectors and CSR matrices.
+//!
+//! SCNN, Cnvlutin, and Cambricon-X use CSR; EIE a CSC variant (§3.1). SparTen
+//! argues the bit-mask representation beats pointers at machine-learning
+//! densities (f ≈ 1/3–1/2). These types exist to (a) implement the
+//! merge-based inner join the paper calls inefficient, for comparison
+//! benchmarks, and (b) back the representation-size analysis in [`crate::size`].
+
+/// A sparse vector as parallel `(indices, values)` arrays, indices strictly
+/// increasing — the one-dimensional analogue of a CSR row.
+///
+/// # Example
+///
+/// ```
+/// use sparten_tensor::IndexVector;
+///
+/// let a = IndexVector::from_dense(&[0.0, 2.0, 0.0, 3.0]);
+/// let b = IndexVector::from_dense(&[1.0, 4.0, 5.0, 0.0]);
+/// assert_eq!(a.dot(&b), 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexVector {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    len: usize,
+}
+
+impl IndexVector {
+    /// Builds the pointer representation of a dense slice.
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        IndexVector {
+            indices,
+            values,
+            len: dense.len(),
+        }
+    }
+
+    /// Builds from parallel arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays differ in length, indices are not strictly
+    /// increasing, or any index is ≥ `len`.
+    pub fn from_parts(indices: Vec<u32>, values: Vec<f32>, len: usize) -> Self {
+        assert_eq!(indices.len(), values.len(), "parallel array mismatch");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        assert!(
+            indices.last().is_none_or(|&i| (i as usize) < len),
+            "index out of range"
+        );
+        IndexVector {
+            indices,
+            values,
+            len,
+        }
+    }
+
+    /// Logical (dense) length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The non-zero positions.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The non-zero values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Expands to a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Pointer-based inner join by incremental merge — the two-sided join
+    /// the paper describes as inefficient with CSR (§2.1, Figure 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logical lengths differ.
+    pub fn dot(&self, other: &IndexVector) -> f32 {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0f32;
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[i] * other.values[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Number of pointer comparisons the merge join performs — the search
+    /// cost the bit-mask join avoids.
+    pub fn join_comparisons(&self, other: &IndexVector) -> usize {
+        let (mut i, mut j, mut cmps) = (0usize, 0usize, 0usize);
+        while i < self.indices.len() && j < other.indices.len() {
+            cmps += 1;
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        cmps
+    }
+
+    /// Representation size in bits using `log2(len)`-bit pointers and
+    /// `value_bits`-bit values — §3.1's `f·n·log2(n) + f·n·l`.
+    pub fn storage_bits(&self, value_bits: usize) -> usize {
+        let ptr_bits = (self.len.max(2) as f64).log2().ceil() as usize;
+        self.nnz() * (ptr_bits + value_bits)
+    }
+}
+
+/// A CSR sparse matrix: `row_ptr` offsets into shared `(col, value)` arrays.
+///
+/// Rows are the paper's filters (each row one linearized filter), columns the
+/// flattened weight positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    values: Vec<f32>,
+    num_cols: usize,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from dense rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let num_cols = rows.first().map_or(0, Vec::len);
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut cols = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in rows {
+            assert_eq!(row.len(), num_cols, "ragged rows are not allowed");
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    cols.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        CsrMatrix {
+            row_ptr,
+            cols,
+            values,
+            num_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row `r` as an [`IndexVector`] view (copies the row's slices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.num_rows()`.
+    pub fn row(&self, r: usize) -> IndexVector {
+        assert!(r < self.num_rows(), "row {r} out of range");
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        IndexVector::from_parts(
+            self.cols[lo..hi].to_vec(),
+            self.values[lo..hi].to_vec(),
+            self.num_cols,
+        )
+    }
+
+    /// Sparse matrix × sparse vector via per-row merge joins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_cols()`.
+    pub fn spmv(&self, x: &IndexVector) -> Vec<f32> {
+        assert_eq!(x.len(), self.num_cols, "dimension mismatch");
+        (0..self.num_rows()).map(|r| self.row(r).dot(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_vector_roundtrip() {
+        let dense = [0.0, 5.0, 0.0, 0.0, -2.0];
+        let v = IndexVector::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn merge_dot_matches_dense() {
+        let a = [1.0, 0.0, 2.0, 3.0, 0.0, 4.0];
+        let b = [0.0, 5.0, 6.0, 0.0, 7.0, 8.0];
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let got = IndexVector::from_dense(&a).dot(&IndexVector::from_dense(&b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_comparisons_at_least_matches() {
+        let a = IndexVector::from_dense(&[1.0, 1.0, 0.0, 0.0]);
+        let b = IndexVector::from_dense(&[0.0, 1.0, 1.0, 0.0]);
+        // Merge must compare at least once per match, usually more.
+        assert!(a.join_comparisons(&b) >= 1);
+    }
+
+    #[test]
+    fn storage_bits_uses_log2_pointers() {
+        let v = IndexVector::from_dense(&[1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // 8 positions → 3-bit pointers; 2 nnz × (3 + 8).
+        assert_eq!(v.storage_bits(8), 2 * (3 + 8));
+    }
+
+    #[test]
+    fn csr_row_extraction() {
+        let m = CsrMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+        ]);
+        assert_eq!(m.num_rows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0).to_dense(), vec![1.0, 0.0, 2.0]);
+        assert_eq!(m.row(1).nnz(), 0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let rows = vec![vec![1.0, 0.0, 2.0], vec![0.0, 4.0, 0.0]];
+        let x = [3.0, 0.0, 5.0];
+        let m = CsrMatrix::from_rows(&rows);
+        let xd = IndexVector::from_dense(&x);
+        let y = m.spmv(&xd);
+        assert_eq!(y, vec![13.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_parts_validates_order() {
+        IndexVector::from_parts(vec![2, 1], vec![1.0, 2.0], 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! Dense 3-D tensors in the paper's Z-first (Z, X, Y) memory order.
+//!
+//! §3.1: "All the data is stored in the axes order of Z, X and Y. The Z-first
+//! format ensures that the SparseMaps for an input map tensor or filter are
+//! contiguous for a compute unit access." Here Z is the channel axis, X the
+//! height and Y the width, matching the paper's Figure 1.
+
+use crate::vector::SparseVector;
+
+/// A dense tensor of shape `channels × height × width`, stored Z-first:
+/// `index(z, x, y) = z + channels·(x + height·y)`.
+///
+/// # Example
+///
+/// ```
+/// use sparten_tensor::Tensor3;
+///
+/// let mut t = Tensor3::zeros(3, 2, 2);
+/// t.set(1, 0, 1, 5.0);
+/// assert_eq!(t.get(1, 0, 1), 5.0);
+/// assert_eq!(t.len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    data: Vec<f32>,
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl Tensor3 {
+    /// An all-zero tensor of the given shape.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Tensor3 {
+            data: vec![0.0; channels * height * width],
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Wraps an existing Z-first buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != channels * height * width`.
+    pub fn from_vec(data: Vec<f32>, channels: usize, height: usize, width: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            channels * height * width,
+            "buffer length must match shape"
+        );
+        Tensor3 {
+            data,
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Number of channels (the Z axis).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Height (the X axis in the paper's convention).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width (the Y axis).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn index(&self, z: usize, x: usize, y: usize) -> usize {
+        debug_assert!(z < self.channels && x < self.height && y < self.width);
+        z + self.channels * (x + self.height * y)
+    }
+
+    /// Reads cell `(z, x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any coordinate is out of range.
+    pub fn get(&self, z: usize, x: usize, y: usize) -> f32 {
+        self.data[self.index(z, x, y)]
+    }
+
+    /// Writes cell `(z, x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any coordinate is out of range.
+    pub fn set(&mut self, z: usize, x: usize, y: usize, value: f32) {
+        let i = self.index(z, x, y);
+        self.data[i] = value;
+    }
+
+    /// The raw Z-first buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw Z-first buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The contiguous channel fiber at spatial position `(x, y)` — exactly
+    /// what a SparTen chunk captures.
+    pub fn fiber(&self, x: usize, y: usize) -> &[f32] {
+        let start = self.index(0, x, y);
+        &self.data[start..start + self.channels]
+    }
+
+    /// Number of non-zero cells.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of non-zero cells.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Applies ReLU in place (negative values become zero) — the source of
+    /// natural feature-map sparsity (§1).
+    pub fn relu(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Linearizes the window of a `kh × kw` filter anchored at output
+    /// position `(ox, oy)` with the given stride into a Z-first vector of
+    /// length `channels · kh · kw`. Out-of-bounds taps (implicit zero
+    /// padding of `pad` cells) contribute zeros.
+    ///
+    /// This is the on-the-fly vector construction of §3.2: the dot product
+    /// of this window vector with a linearized filter is one output cell.
+    pub fn window_vector(
+        &self,
+        ox: usize,
+        oy: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.channels * kh * kw);
+        for fy in 0..kw {
+            for fx in 0..kh {
+                let ix = (ox * stride + fx) as isize - pad as isize;
+                let iy = (oy * stride + fy) as isize - pad as isize;
+                if ix >= 0 && iy >= 0 && (ix as usize) < self.height && (iy as usize) < self.width {
+                    out.extend_from_slice(self.fiber(ix as usize, iy as usize));
+                } else {
+                    out.extend(std::iter::repeat_n(0.0, self.channels));
+                }
+            }
+        }
+        out
+    }
+
+    /// Linearizes the whole tensor (Z-first) into a chunked sparse vector.
+    pub fn to_sparse(&self, chunk_size: usize) -> SparseVector {
+        SparseVector::from_dense(&self.data, chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_first_layout_is_channel_contiguous() {
+        let mut t = Tensor3::zeros(2, 2, 2);
+        t.set(0, 0, 0, 1.0);
+        t.set(1, 0, 0, 2.0);
+        t.set(0, 1, 0, 3.0);
+        assert_eq!(&t.as_slice()[..3], &[1.0, 2.0, 3.0]);
+        assert_eq!(t.fiber(0, 0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor3::zeros(3, 4, 5);
+        t.set(2, 3, 4, 9.0);
+        assert_eq!(t.get(2, 3, 4), 9.0);
+        assert_eq!(t.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let mut t = Tensor3::from_vec(vec![-1.0, 2.0, -3.0, 4.0], 1, 2, 2);
+        t.relu();
+        assert_eq!(t.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.density(), 0.5);
+    }
+
+    #[test]
+    fn window_vector_unit_stride_no_pad() {
+        // 1 channel, 3x3 input, values 1..9 column-major in (x,y).
+        let mut t = Tensor3::zeros(1, 3, 3);
+        let mut v = 1.0;
+        for y in 0..3 {
+            for x in 0..3 {
+                t.set(0, x, y, v);
+                v += 1.0;
+            }
+        }
+        // 2x2 window at output (0,0), stride 1: cells (0,0),(1,0),(0,1),(1,1).
+        let w = t.window_vector(0, 0, 2, 2, 1, 0);
+        assert_eq!(w, vec![1.0, 2.0, 4.0, 5.0]);
+        // Output (1,1): cells (1,1),(2,1),(1,2),(2,2).
+        let w = t.window_vector(1, 1, 2, 2, 1, 0);
+        assert_eq!(w, vec![5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn window_vector_stride_two() {
+        let mut t = Tensor3::zeros(1, 4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                t.set(0, x, y, (x * 4 + y) as f32 + 1.0);
+            }
+        }
+        // stride-2 1x1 filter at output (1,1) → input cell (2,2).
+        let w = t.window_vector(1, 1, 1, 1, 2, 0);
+        assert_eq!(w, vec![t.get(0, 2, 2)]);
+    }
+
+    #[test]
+    fn window_vector_padding_yields_zeros() {
+        let t = Tensor3::from_vec(vec![1.0], 1, 1, 1);
+        // 3x3 window with pad 1 centred on the single cell.
+        let w = t.window_vector(0, 0, 3, 3, 1, 1);
+        assert_eq!(w.len(), 9);
+        assert_eq!(w.iter().filter(|&&v| v != 0.0).count(), 1);
+        assert_eq!(w[4], 1.0); // centre tap
+    }
+
+    #[test]
+    fn to_sparse_preserves_values() {
+        let t = Tensor3::from_vec(vec![0.0, 1.0, 0.0, 2.0], 2, 2, 1);
+        let s = t.to_sparse(4);
+        assert_eq!(s.to_dense(), t.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match shape")]
+    fn from_vec_validates_shape() {
+        Tensor3::from_vec(vec![0.0; 5], 2, 2, 2);
+    }
+}

@@ -1,0 +1,380 @@
+//! The SparTen `SparseMap`: a fixed-width bit mask marking non-zero positions.
+//!
+//! The mask is the heart of the paper's efficient inner join (§3.1): ANDing
+//! two masks yields the matching non-zero positions, a priority encoder walks
+//! the set bits, and prefix sums over each operand mask give the offsets of
+//! the packed values. This module provides the mask itself; the circuit-level
+//! models of the priority encoder and prefix sum live in `sparten-arch`.
+
+use std::fmt;
+
+/// A bit mask over `len` positions, 1 where the tensor value is non-zero.
+///
+/// Bit order follows the paper's Figure 3: position 0 is the "top" of the
+/// vector and has the highest priority in the priority encoder.
+///
+/// # Example
+///
+/// ```
+/// use sparten_tensor::SparseMap;
+///
+/// let a = SparseMap::from_bools(&[true, false, true, true]);
+/// let b = SparseMap::from_bools(&[true, true, false, true]);
+/// let joined = a.and(&b);
+/// assert_eq!(joined.count_ones(), 2); // positions 0 and 3 match
+/// assert_eq!(a.prefix_count(3), 2);   // two non-zeros before position 3
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SparseMap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SparseMap {
+    /// Creates an all-zero mask over `len` positions.
+    pub fn zeros(len: usize) -> Self {
+        SparseMap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-one mask over `len` positions (a dense chunk).
+    pub fn ones(len: usize) -> Self {
+        let mut m = Self::zeros(len);
+        for i in 0..len {
+            m.set(i, true);
+        }
+        m
+    }
+
+    /// Builds a mask from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut m = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            m.set(i, b);
+        }
+        m
+    }
+
+    /// Builds a mask by zero-detecting a slice of values (the EXNOR gates of
+    /// the paper's Figure 5).
+    pub fn from_values(values: &[f32]) -> Self {
+        let mut m = Self::zeros(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            m.set(i, v != 0.0);
+        }
+        m
+    }
+
+    /// Number of positions covered by the mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn get(&self, pos: usize) -> bool {
+        assert!(pos < self.len, "bit {pos} out of range {}", self.len);
+        self.words[pos / 64] >> (pos % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn set(&mut self, pos: usize, value: bool) {
+        assert!(pos < self.len, "bit {pos} out of range {}", self.len);
+        let (w, b) = (pos / 64, pos % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Bitwise AND — the match-finding step of the inner join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different lengths.
+    pub fn and(&self, other: &SparseMap) -> SparseMap {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        SparseMap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different lengths.
+    pub fn or(&self, other: &SparseMap) -> SparseMap {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        SparseMap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Number of set bits (non-zero values) in the whole mask.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits strictly before `pos` — the prefix-sum step that
+    /// yields a packed-value offset during the inner join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > self.len()` (`pos == len` is allowed and counts the
+    /// whole mask).
+    pub fn prefix_count(&self, pos: usize) -> usize {
+        assert!(pos <= self.len, "prefix position {pos} out of range");
+        let full_words = pos / 64;
+        let mut count: usize = self.words[..full_words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let rem = pos % 64;
+        if rem > 0 {
+            count += (self.words[full_words] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Position of the first (highest-priority) set bit at or after `from`,
+    /// mirroring the priority encoder's scan order.
+    pub fn next_one(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from / 64;
+        // Mask off bits below `from` in the first word.
+        let below = if from.is_multiple_of(64) {
+            0
+        } else {
+            (1u64 << (from % 64)) - 1
+        };
+        let mut word = self.words[w] & !below;
+        loop {
+            if word != 0 {
+                let pos = w * 64 + word.trailing_zeros() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Iterator over the positions of set bits, in increasing position order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes { mask: self, pos: 0 }
+    }
+
+    /// Fraction of set bits (the *density* of the chunk).
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Extends the mask with `extra` zero bits (channel-count padding, §3.1).
+    pub fn pad_zeros(&mut self, extra: usize) {
+        let new_len = self.len + extra;
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len;
+    }
+
+    /// Raw 64-bit words backing the mask (low bit = position 0).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for SparseMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SparseMap[{}; ", self.len)?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Binary for SparseMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over set-bit positions of a [`SparseMap`], produced by
+/// [`SparseMap::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    mask: &'a SparseMap,
+    pos: usize,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let found = self.mask.next_one(self.pos)?;
+        self.pos = found + 1;
+        Some(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let m = SparseMap::zeros(130);
+        assert_eq!(m.count_ones(), 0);
+        assert_eq!(m.len(), 130);
+        assert!(!m.is_empty());
+        assert!(m.next_one(0).is_none());
+    }
+
+    #[test]
+    fn ones_is_fully_set() {
+        let m = SparseMap::ones(130);
+        assert_eq!(m.count_ones(), 130);
+        assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = SparseMap::zeros(200);
+        m.set(0, true);
+        m.set(63, true);
+        m.set(64, true);
+        m.set(199, true);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(199));
+        assert!(!m.get(1) && !m.get(65));
+        m.set(64, false);
+        assert!(!m.get(64));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn and_finds_matches() {
+        let a = SparseMap::from_bools(&[true, true, false, true, false]);
+        let b = SparseMap::from_bools(&[true, false, false, true, true]);
+        let j = a.and(&b);
+        assert_eq!(j.iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn or_unions() {
+        let a = SparseMap::from_bools(&[true, false, false]);
+        let b = SparseMap::from_bools(&[false, false, true]);
+        assert_eq!(a.or(&b).count_ones(), 2);
+    }
+
+    #[test]
+    fn prefix_count_matches_manual() {
+        let m = SparseMap::from_bools(&[true, false, true, true, false, true]);
+        assert_eq!(m.prefix_count(0), 0);
+        assert_eq!(m.prefix_count(1), 1);
+        assert_eq!(m.prefix_count(3), 2);
+        assert_eq!(m.prefix_count(6), 4);
+    }
+
+    #[test]
+    fn prefix_count_across_word_boundary() {
+        let mut m = SparseMap::zeros(128);
+        for i in [0, 63, 64, 100, 127] {
+            m.set(i, true);
+        }
+        assert_eq!(m.prefix_count(64), 2);
+        assert_eq!(m.prefix_count(65), 3);
+        assert_eq!(m.prefix_count(128), 5);
+    }
+
+    #[test]
+    fn next_one_walks_in_order() {
+        let mut m = SparseMap::zeros(150);
+        for i in [5, 64, 149] {
+            m.set(i, true);
+        }
+        assert_eq!(m.next_one(0), Some(5));
+        assert_eq!(m.next_one(5), Some(5));
+        assert_eq!(m.next_one(6), Some(64));
+        assert_eq!(m.next_one(65), Some(149));
+        assert_eq!(m.next_one(150), None);
+    }
+
+    #[test]
+    fn iter_ones_collects_all() {
+        let m = SparseMap::from_bools(&[false, true, true, false, true]);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn from_values_zero_detects() {
+        let m = SparseMap::from_values(&[0.0, 1.5, -2.0, 0.0]);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn pad_zeros_extends_length_only() {
+        let mut m = SparseMap::from_bools(&[true, true]);
+        m.pad_zeros(126);
+        assert_eq!(m.len(), 128);
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn binary_format_is_positional() {
+        let m = SparseMap::from_bools(&[true, false, true]);
+        assert_eq!(format!("{m:b}"), "101");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        SparseMap::zeros(4).get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        SparseMap::zeros(4).and(&SparseMap::zeros(5));
+    }
+}

@@ -1,0 +1,171 @@
+//! Zero-run-length-encoded pointer format (EIE-style).
+//!
+//! §3.1: "Some CSC or CSR formats use zero-string run-length encoding to
+//! compress the pointers (e.g., EIE). However, shorter run lengths achieve
+//! higher compression but incur (1) redundant pointers for strings of zeroes
+//! longer than the run length ... and (2) redundant zero compute for such
+//! redundant pointers." This module implements that format, including the
+//! *padding zeros* (explicitly stored zero values that break up long runs),
+//! so the overhead analysis can be measured rather than asserted.
+
+/// A sparse vector encoded as `(run, value)` pairs, where `run` is the count
+/// of zeros preceding `value` and is capped at `2^run_bits - 1`. Runs longer
+/// than the cap force an explicitly stored *padding zero* value.
+///
+/// # Example
+///
+/// ```
+/// use sparten_tensor::RleVector;
+///
+/// // run cap = 3 (2 bits): the 5-zero gap needs one padding zero.
+/// let v = RleVector::from_dense(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0], 2);
+/// assert_eq!(v.padding_zeros(), 1);
+/// assert_eq!(v.to_dense(), vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RleVector {
+    /// `(zeros_before, value)` pairs; `value` may be an explicit 0.0 pad.
+    entries: Vec<(u32, f32)>,
+    run_bits: u32,
+    len: usize,
+}
+
+impl RleVector {
+    /// Encodes a dense slice with `run_bits`-bit run lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run_bits == 0` or `run_bits > 16`.
+    pub fn from_dense(dense: &[f32], run_bits: u32) -> Self {
+        assert!((1..=16).contains(&run_bits), "run_bits must be in 1..=16");
+        let cap = (1u32 << run_bits) - 1;
+        let mut entries = Vec::new();
+        let mut run = 0u32;
+        for &v in dense {
+            if v == 0.0 {
+                if run == cap {
+                    // Run overflow: emit a padding zero entry.
+                    entries.push((run, 0.0));
+                    run = 0;
+                } else {
+                    run += 1;
+                }
+            } else {
+                entries.push((run, v));
+                run = 0;
+            }
+        }
+        // Trailing zeros shorter than a full run are dropped (recovered from
+        // the known logical length); full runs still need pads so decode can
+        // place later values — there are none, so drop them too.
+        RleVector {
+            entries,
+            run_bits,
+            len: dense.len(),
+        }
+    }
+
+    /// Logical (dense) length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored entries, including padding zeros.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of *padding zero* entries — the redundant pointers of §3.1
+    /// that also cost redundant zero computation.
+    pub fn padding_zeros(&self) -> usize {
+        self.entries.iter().filter(|&&(_, v)| v == 0.0).count()
+    }
+
+    /// Number of genuine non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.entries.len() - self.padding_zeros()
+    }
+
+    /// Decodes back to a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len];
+        let mut pos = 0usize;
+        for &(run, v) in &self.entries {
+            pos += run as usize;
+            out[pos] = v; // padding zeros rewrite a zero, harmless
+            pos += 1;
+        }
+        out
+    }
+
+    /// Representation size in bits: each entry stores a `run_bits` run plus a
+    /// `value_bits` value.
+    pub fn storage_bits(&self, value_bits: usize) -> usize {
+        self.entries.len() * (self.run_bits as usize + value_bits)
+    }
+
+    /// Multiply count of a one-sided join against a dense operand: every
+    /// stored entry (including pads) is multiplied, as in EIE.
+    pub fn one_sided_work(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_no_overflow() {
+        let dense = [0.0, 1.0, 0.0, 0.0, 2.0, 3.0];
+        let v = RleVector::from_dense(&dense, 4);
+        assert_eq!(v.padding_zeros(), 0);
+        assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn long_run_inserts_pads() {
+        let mut dense = vec![0.0; 20];
+        dense[19] = 7.0;
+        // cap = 3 → 19 zeros need ⌊19/4⌋ = 4 pads (each pad consumes run 3 + itself).
+        let v = RleVector::from_dense(&dense, 2);
+        assert!(v.padding_zeros() >= 4);
+        assert_eq!(v.to_dense(), dense);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn trailing_zeros_recovered_from_length() {
+        let dense = [5.0, 0.0, 0.0];
+        let v = RleVector::from_dense(&dense, 4);
+        assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn storage_accounts_pads() {
+        let mut dense = vec![0.0; 10];
+        dense[9] = 1.0;
+        let tight = RleVector::from_dense(&dense, 4); // cap 15, no pads
+        let loose = RleVector::from_dense(&dense, 1); // cap 1, many pads
+        assert!(loose.storage_bits(8) > tight.storage_bits(8) / 2);
+        assert!(loose.one_sided_work() > tight.one_sided_work());
+    }
+
+    #[test]
+    fn all_zero_vector() {
+        let v = RleVector::from_dense(&[0.0; 7], 2);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.to_dense(), vec![0.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "run_bits")]
+    fn zero_run_bits_panics() {
+        RleVector::from_dense(&[1.0], 0);
+    }
+}

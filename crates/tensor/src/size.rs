@@ -1,0 +1,120 @@
+//! The representation-size analysis of §3.1.
+//!
+//! "If we assume that a fraction f is non-zero in a set of n l-bit values,
+//! then a pointer representation needs `f·n·log2(n) + f·n·l` bits whereas the
+//! bit-mask representation needs `n + f·n·l` bits. ... For the pointer scheme
+//! to be smaller, `f < 1/log2(n)`." At CNN densities (f ≈ 1/3–1/2) and
+//! multi-million-value filter sets, the bit mask wins.
+
+/// Bits needed by the pointer (index) representation for `n` values of
+/// `value_bits` bits each at density `f`: `f·n·log2(n) + f·n·l`.
+///
+/// # Panics
+///
+/// Panics if `f` is not in `[0, 1]` or `n < 2`.
+pub fn pointer_bits(n: usize, f: f64, value_bits: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "density must be in [0, 1]");
+    assert!(n >= 2, "need at least two positions");
+    let log2n = (n as f64).log2();
+    f * n as f64 * log2n + f * n as f64 * value_bits as f64
+}
+
+/// Bits needed by the bit-mask representation: `n + f·n·l`.
+///
+/// # Panics
+///
+/// Panics if `f` is not in `[0, 1]`.
+pub fn bitmask_bits(n: usize, f: f64, value_bits: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "density must be in [0, 1]");
+    n as f64 + f * n as f64 * value_bits as f64
+}
+
+/// The density below which the pointer representation becomes smaller than
+/// the bit mask: `f < 1/log2(n)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn crossover_density(n: usize) -> f64 {
+    assert!(n >= 2, "need at least two positions");
+    1.0 / (n as f64).log2()
+}
+
+/// Which representation is smaller at the given parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmallerFormat {
+    /// The pointer representation wins (extreme HPC-style sparsity).
+    Pointer,
+    /// The SparTen bit mask wins (typical CNN density).
+    BitMask,
+    /// Both need the same number of bits.
+    Tie,
+}
+
+/// Compares the two formats at the given parameters.
+pub fn smaller_format(n: usize, f: f64, value_bits: usize) -> SmallerFormat {
+    let p = pointer_bits(n, f, value_bits);
+    let b = bitmask_bits(n, f, value_bits);
+    if p < b {
+        SmallerFormat::Pointer
+    } else if b < p {
+        SmallerFormat::BitMask
+    } else {
+        SmallerFormat::Tie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_formula() {
+        // n = 2^20 (a million values) → crossover at f = 1/20 = 5 %.
+        let n = 1 << 20;
+        assert!((crossover_density(n) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnn_density_favours_bitmask() {
+        // Paper: observed f around 1/3 to 1/2 with millions of filter values.
+        let n = 4_000_000;
+        for f in [1.0 / 3.0, 0.5] {
+            assert_eq!(smaller_format(n, f, 8), SmallerFormat::BitMask);
+        }
+    }
+
+    #[test]
+    fn hpc_sparsity_favours_pointers() {
+        // HPC: 0.1% non-zero.
+        assert_eq!(smaller_format(1 << 20, 0.001, 32), SmallerFormat::Pointer);
+    }
+
+    #[test]
+    fn crossover_is_exact_boundary() {
+        let n = 1 << 10; // log2 = 10
+        let fc = crossover_density(n);
+        let below = pointer_bits(n, fc * 0.99, 8) < bitmask_bits(n, fc * 0.99, 8);
+        let above = pointer_bits(n, fc * 1.01, 8) > bitmask_bits(n, fc * 1.01, 8);
+        assert!(below && above);
+    }
+
+    #[test]
+    fn formulas_match_concrete_encodings() {
+        use crate::{IndexVector, SparseVector};
+        // 1024 positions, 25% dense, deterministic pattern.
+        let n = 1024usize;
+        let dense: Vec<f32> = (0..n).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let f = 0.25;
+        let iv = IndexVector::from_dense(&dense);
+        let sv = SparseVector::from_dense(&dense, n); // single chunk of n bits
+        assert_eq!(iv.storage_bits(8) as f64, pointer_bits(n, f, 8));
+        assert_eq!(sv.storage_bits(8) as f64, bitmask_bits(n, f, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn invalid_density_panics() {
+        pointer_bits(16, 1.5, 8);
+    }
+}

@@ -1,0 +1,258 @@
+//! Chunked sparse 3-D tensors: the full §3.1 storage format in one type.
+//!
+//! A [`SparseTensor3`] holds a feature map exactly as SparTen's memory
+//! does: a [`ChunkDirectory`] with one `(SparseMap, pointer)` entry per
+//! chunk (Z-first, per-fiber padded), and one packed value array. It is the
+//! bridge between the dense [`Tensor3`] the reference model uses and the
+//! per-chunk view the accelerator consumes, and it reports its own storage
+//! footprint so layer-level memory numbers come from real encodings.
+
+use crate::chunk::SparseChunk;
+use crate::dense::Tensor3;
+use crate::layout::ChunkDirectory;
+use crate::mask::SparseMap;
+
+/// A sparse `channels × height × width` tensor in chunked bit-mask form.
+///
+/// # Example
+///
+/// ```
+/// use sparten_tensor::{SparseTensor3, Tensor3};
+///
+/// let mut dense = Tensor3::zeros(3, 2, 2);
+/// dense.set(1, 0, 0, 5.0);
+/// let sparse = SparseTensor3::from_dense(&dense, 128);
+/// assert_eq!(sparse.nnz(), 1);
+/// assert_eq!(sparse.to_dense(), dense);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseTensor3 {
+    directory: ChunkDirectory,
+    values: Vec<f32>,
+    channels: usize,
+    height: usize,
+    width: usize,
+    chunk_size: usize,
+    chunks_per_fiber: usize,
+}
+
+impl SparseTensor3 {
+    /// Encodes a dense tensor: each spatial fiber is padded to a whole
+    /// number of chunks and split into `(mask, pointer)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn from_dense(dense: &Tensor3, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let d = dense.channels();
+        let chunks_per_fiber = d.div_ceil(chunk_size).max(1);
+        let mut directory = ChunkDirectory::new();
+        let mut values = Vec::new();
+        for y in 0..dense.width() {
+            for x in 0..dense.height() {
+                let fiber = dense.fiber(x, y);
+                for c in 0..chunks_per_fiber {
+                    let lo = c * chunk_size;
+                    let hi = (lo + chunk_size).min(d);
+                    let mut mask = SparseMap::zeros(chunk_size);
+                    let ptr = values.len();
+                    if lo < d {
+                        for (i, &v) in fiber[lo..hi].iter().enumerate() {
+                            if v != 0.0 {
+                                mask.set(i, true);
+                                values.push(v);
+                            }
+                        }
+                    }
+                    directory.push(mask, ptr);
+                }
+            }
+        }
+        SparseTensor3 {
+            directory,
+            values,
+            channels: d,
+            height: dense.height(),
+            width: dense.width(),
+            chunk_size,
+            chunks_per_fiber,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Chunks per spatial fiber (`⌈channels / chunk⌉`).
+    pub fn chunks_per_fiber(&self) -> usize {
+        self.chunks_per_fiber
+    }
+
+    /// Total non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The chunk directory.
+    pub fn directory(&self) -> &ChunkDirectory {
+        &self.directory
+    }
+
+    /// The `c`-th chunk of the fiber at `(x, y)` as a [`SparseChunk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn fiber_chunk(&self, x: usize, y: usize, c: usize) -> SparseChunk {
+        assert!(x < self.height && y < self.width, "position out of range");
+        assert!(c < self.chunks_per_fiber, "chunk index out of range");
+        let idx = (x + self.height * y) * self.chunks_per_fiber + c;
+        let entry = &self.directory.entries()[idx];
+        let n = entry.mask.count_ones();
+        SparseChunk::from_parts(
+            entry.mask.clone(),
+            self.values[entry.value_ptr..entry.value_ptr + n].to_vec(),
+        )
+    }
+
+    /// Decodes back to a dense tensor.
+    pub fn to_dense(&self) -> Tensor3 {
+        let mut out = Tensor3::zeros(self.channels, self.height, self.width);
+        for y in 0..self.width {
+            for x in 0..self.height {
+                for c in 0..self.chunks_per_fiber {
+                    let chunk = self.fiber_chunk(x, y, c);
+                    for (i, pos) in chunk.mask().iter_ones().enumerate() {
+                        let z = c * self.chunk_size + pos;
+                        if z < self.channels {
+                            out.set(z, x, y, chunk.values()[i]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Storage bits: directory (mask + pointer per chunk) plus packed
+    /// values — the real encoding size behind the §3.1 formulas.
+    pub fn storage_bits(&self, value_bits: usize, ptr_bits: usize) -> usize {
+        self.directory.storage_bits(self.chunk_size, ptr_bits) + self.nnz() * value_bits
+    }
+
+    /// Density over the *logical* (unpadded) cells.
+    pub fn density(&self) -> f64 {
+        let cells = self.channels * self.height * self.width;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+}
+
+impl PartialEq for SparseTensor3 {
+    fn eq(&self, other: &Self) -> bool {
+        self.channels == other.channels
+            && self.height == other.height
+            && self.width == other.width
+            && self.chunk_size == other.chunk_size
+            && self.values == other.values
+            && self
+                .directory
+                .entries()
+                .iter()
+                .zip(other.directory.entries())
+                .all(|(a, b)| a.mask == b.mask && a.value_ptr == b.value_ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(d: usize, h: usize, w: usize) -> Tensor3 {
+        let mut t = Tensor3::zeros(d, h, w);
+        for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = (i % 17) as f32 + 1.0;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let dense = sample(5, 3, 4);
+        let sparse = SparseTensor3::from_dense(&dense, 4);
+        assert_eq!(sparse.to_dense(), dense);
+        assert_eq!(sparse.nnz(), dense.nnz());
+    }
+
+    #[test]
+    fn fiber_chunks_align_with_dense_fibers() {
+        let dense = sample(6, 3, 3);
+        let sparse = SparseTensor3::from_dense(&dense, 4);
+        assert_eq!(sparse.chunks_per_fiber(), 2);
+        for y in 0..3 {
+            for x in 0..3 {
+                let fiber = dense.fiber(x, y);
+                let c0 = sparse.fiber_chunk(x, y, 0).to_dense();
+                let c1 = sparse.fiber_chunk(x, y, 1).to_dense();
+                assert_eq!(&c0[..], &fiber[..4]);
+                assert_eq!(&c1[..2], &fiber[4..]);
+                assert_eq!(&c1[2..], &[0.0, 0.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn directory_has_one_entry_per_chunk() {
+        let dense = sample(130, 2, 2);
+        let sparse = SparseTensor3::from_dense(&dense, 128);
+        assert_eq!(sparse.chunks_per_fiber(), 2);
+        assert_eq!(sparse.directory().len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn storage_counts_masks_pointers_values() {
+        let dense = sample(4, 2, 2);
+        let sparse = SparseTensor3::from_dense(&dense, 4);
+        // 4 chunks × (4-bit mask + 32-bit ptr) + nnz × 8.
+        let expect = 4 * (4 + 32) + sparse.nnz() * 8;
+        assert_eq!(sparse.storage_bits(8, 32), expect);
+    }
+
+    #[test]
+    fn density_uses_logical_cells() {
+        let mut dense = Tensor3::zeros(3, 2, 2);
+        dense.set(0, 0, 0, 1.0);
+        dense.set(1, 1, 1, 1.0);
+        let sparse = SparseTensor3::from_dense(&dense, 128);
+        assert!((sparse.density() - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_tensor() {
+        let sparse = SparseTensor3::from_dense(&Tensor3::zeros(4, 2, 2), 4);
+        assert_eq!(sparse.nnz(), 0);
+        assert_eq!(sparse.to_dense(), Tensor3::zeros(4, 2, 2));
+    }
+}

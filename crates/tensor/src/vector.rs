@@ -1,0 +1,239 @@
+//! Logical sparse vectors composed of fixed-size chunks.
+//!
+//! SparTen linearizes tensors on the fly into vectors for its BLAS-like
+//! matrix-vector and matrix-matrix interface (§3.2). A [`SparseVector`] is
+//! the chunked bit-mask representation of one such vector: the concatenation
+//! of [`SparseChunk`]s, each `chunk_size` positions long, with the final
+//! chunk zero-padded to a full chunk as §3.1 prescribes.
+
+use crate::chunk::SparseChunk;
+
+/// A sparse vector stored as consecutive fixed-size chunks.
+///
+/// # Example
+///
+/// ```
+/// use sparten_tensor::SparseVector;
+///
+/// let v = SparseVector::from_dense(&[0.0, 1.0, 0.0, 2.0, 0.0], 4);
+/// assert_eq!(v.num_chunks(), 2);      // 5 positions → two 4-wide chunks
+/// assert_eq!(v.logical_len(), 5);
+/// assert_eq!(v.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector {
+    chunks: Vec<SparseChunk>,
+    chunk_size: usize,
+    logical_len: usize,
+}
+
+impl SparseVector {
+    /// Builds a chunked sparse vector from a dense slice. The final chunk is
+    /// zero-padded to `chunk_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn from_dense(dense: &[f32], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let mut chunks = Vec::with_capacity(dense.len().div_ceil(chunk_size));
+        for piece in dense.chunks(chunk_size) {
+            let mut c = SparseChunk::from_dense(piece);
+            c.pad_to(chunk_size);
+            chunks.push(c);
+        }
+        SparseVector {
+            chunks,
+            chunk_size,
+            logical_len: dense.len(),
+        }
+    }
+
+    /// Builds a vector from pre-made chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any chunk's length differs from `chunk_size`, or if
+    /// `logical_len` does not fit in the chunks
+    /// (`chunks.len() * chunk_size` must be ≥ `logical_len` and the last
+    /// chunk must be needed).
+    pub fn from_chunks(chunks: Vec<SparseChunk>, chunk_size: usize, logical_len: usize) -> Self {
+        for c in &chunks {
+            assert_eq!(c.len(), chunk_size, "chunk width mismatch");
+        }
+        assert!(
+            chunks.len() * chunk_size >= logical_len,
+            "chunks too short for logical length"
+        );
+        assert!(
+            logical_len > chunks.len().saturating_sub(1) * chunk_size,
+            "trailing empty chunks not allowed"
+        );
+        SparseVector {
+            chunks,
+            chunk_size,
+            logical_len,
+        }
+    }
+
+    /// An all-zero vector of `logical_len` positions.
+    pub fn zeros(logical_len: usize, chunk_size: usize) -> Self {
+        Self::from_dense(&vec![0.0; logical_len], chunk_size)
+    }
+
+    /// The chunks making up the vector.
+    pub fn chunks(&self) -> &[SparseChunk] {
+        &self.chunks
+    }
+
+    /// The configured chunk size (n in the paper; 128 by default).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The unpadded logical length of the vector.
+    pub fn logical_len(&self) -> usize {
+        self.logical_len
+    }
+
+    /// Total number of non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.chunks.iter().map(SparseChunk::nnz).sum()
+    }
+
+    /// Fraction of non-zero values over the logical length.
+    pub fn density(&self) -> f64 {
+        if self.logical_len == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.logical_len as f64
+        }
+    }
+
+    /// Expands to a dense vector of `logical_len` values.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_chunks() * self.chunk_size);
+        for c in &self.chunks {
+            out.extend(c.to_dense());
+        }
+        out.truncate(self.logical_len);
+        out
+    }
+
+    /// Full sparse dot product: inner join chunk by chunk (§3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different logical lengths or chunk sizes.
+    pub fn dot(&self, other: &SparseVector) -> f32 {
+        assert_eq!(self.logical_len, other.logical_len, "length mismatch");
+        assert_eq!(self.chunk_size, other.chunk_size, "chunk size mismatch");
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .map(|(a, b)| a.dot(b))
+            .sum()
+    }
+
+    /// Total multiply-accumulate count of the inner join against `other`
+    /// (sum of per-chunk joined popcounts).
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`SparseVector::dot`].
+    pub fn join_work(&self, other: &SparseVector) -> usize {
+        assert_eq!(self.logical_len, other.logical_len, "length mismatch");
+        assert_eq!(self.chunk_size, other.chunk_size, "chunk size mismatch");
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .map(|(a, b)| a.join_work(b))
+            .sum()
+    }
+
+    /// Per-chunk densities — the quantity GB-H sorts on (§3.3).
+    pub fn chunk_densities(&self) -> Vec<f64> {
+        self.chunks.iter().map(SparseChunk::density).collect()
+    }
+
+    /// Size of the representation in bits: one mask bit per padded position
+    /// plus `value_bits` per non-zero (§3.1's `n + f·n·l`).
+    pub fn storage_bits(&self, value_bits: usize) -> usize {
+        self.num_chunks() * self.chunk_size + self.nnz() * value_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn chunking_pads_last_chunk() {
+        let v = SparseVector::from_dense(&[1.0; 10], 4);
+        assert_eq!(v.num_chunks(), 3);
+        assert_eq!(v.chunks()[2].len(), 4);
+        assert_eq!(v.chunks()[2].nnz(), 2);
+        assert_eq!(v.logical_len(), 10);
+    }
+
+    #[test]
+    fn to_dense_roundtrips_with_padding() {
+        let dense = vec![0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 0.0];
+        let v = SparseVector::from_dense(&dense, 3);
+        assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let a = vec![0.0, 1.0, 2.0, 0.0, 5.0, 0.0, 7.0];
+        let b = vec![3.0, 0.0, 2.0, 2.0, 5.0, 1.0, 0.0];
+        let va = SparseVector::from_dense(&a, 4);
+        let vb = SparseVector::from_dense(&b, 4);
+        assert_eq!(va.dot(&vb), dense_dot(&a, &b));
+    }
+
+    #[test]
+    fn join_work_counts_both_nonzero_pairs() {
+        let a = vec![1.0, 0.0, 1.0, 1.0, 0.0];
+        let b = vec![1.0, 1.0, 0.0, 1.0, 0.0];
+        let va = SparseVector::from_dense(&a, 2);
+        let vb = SparseVector::from_dense(&b, 2);
+        assert_eq!(va.join_work(&vb), 2);
+    }
+
+    #[test]
+    fn density_uses_logical_length() {
+        let v = SparseVector::from_dense(&[1.0, 0.0, 1.0, 0.0, 1.0], 4);
+        assert!((v.density() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_bits_formula() {
+        // 5 logical positions, chunk 4 → 2 chunks → 8 mask bits; 3 nnz × 8.
+        let v = SparseVector::from_dense(&[1.0, 0.0, 1.0, 0.0, 1.0], 4);
+        assert_eq!(v.storage_bits(8), 8 + 3 * 8);
+    }
+
+    #[test]
+    fn chunk_densities_reports_per_chunk() {
+        let v = SparseVector::from_dense(&[1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0], 4);
+        assert_eq!(v.chunk_densities(), vec![0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let a = SparseVector::from_dense(&[1.0; 4], 4);
+        let b = SparseVector::from_dense(&[1.0; 5], 4);
+        a.dot(&b);
+    }
+}

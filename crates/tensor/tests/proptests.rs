@@ -1,0 +1,143 @@
+//! Property-based tests over the sparse-tensor substrate: every format
+//! round-trips, every dot product agrees with the dense reference, and the
+//! storage formulas match concrete encodings.
+
+use proptest::prelude::*;
+use sparten_tensor::size::{bitmask_bits, pointer_bits};
+use sparten_tensor::{
+    CscMatrix, CsrMatrix, IndexVector, RleVector, SparseChunk, SparseMap, SparseVector,
+};
+
+/// A sparse value vector with mixed densities.
+fn sparse_values(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(0.0f32),
+            2 => (-100i32..100).prop_map(|v| v as f32 / 4.0),
+        ],
+        1..max_len,
+    )
+}
+
+fn dense_dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+proptest! {
+    #[test]
+    fn sparse_vector_roundtrips(dense in sparse_values(300), chunk in 1usize..70) {
+        let v = SparseVector::from_dense(&dense, chunk);
+        prop_assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn chunk_roundtrips_and_counts(dense in sparse_values(200)) {
+        let c = SparseChunk::from_dense(&dense);
+        prop_assert_eq!(c.to_dense(), dense.clone());
+        prop_assert_eq!(c.nnz(), dense.iter().filter(|&&v| v != 0.0).count());
+    }
+
+    #[test]
+    fn rle_roundtrips(dense in sparse_values(300), run_bits in 1u32..8) {
+        let v = RleVector::from_dense(&dense, run_bits);
+        prop_assert_eq!(v.to_dense(), dense.clone());
+        prop_assert_eq!(v.nnz(), dense.iter().filter(|&&v| v != 0.0).count());
+    }
+
+    #[test]
+    fn index_vector_roundtrips(dense in sparse_values(300)) {
+        let v = IndexVector::from_dense(&dense);
+        prop_assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn all_dot_products_agree(
+        pair in sparse_values(256).prop_flat_map(|a| {
+            let n = a.len();
+            (Just(a), sparse_values(n + 1).prop_map(move |mut b| {
+                b.resize(n, 0.0);
+                b
+            }))
+        }),
+        chunk in 1usize..40,
+    ) {
+        let (a, b) = pair;
+        let expect = dense_dot(&a, &b);
+        let sv = SparseVector::from_dense(&a, chunk).dot(&SparseVector::from_dense(&b, chunk));
+        let iv = IndexVector::from_dense(&a).dot(&IndexVector::from_dense(&b));
+        prop_assert!((sv - expect).abs() < 1e-2, "bitmask {} vs dense {}", sv, expect);
+        prop_assert!((iv - expect).abs() < 1e-2, "pointer {} vs dense {}", iv, expect);
+    }
+
+    #[test]
+    fn join_work_counts_both_nonzero_pairs(
+        pair in sparse_values(256).prop_flat_map(|a| {
+            let n = a.len();
+            (Just(a), sparse_values(n + 1).prop_map(move |mut b| {
+                b.resize(n, 0.0);
+                b
+            }))
+        }),
+    ) {
+        let (a, b) = pair;
+        let expect = a.iter().zip(&b).filter(|(x, y)| **x != 0.0 && **y != 0.0).count();
+        let got = SparseVector::from_dense(&a, 32).join_work(&SparseVector::from_dense(&b, 32));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn prefix_count_equals_iter_count(bits in prop::collection::vec(any::<bool>(), 1..300), pos_frac in 0.0f64..1.0) {
+        let m = SparseMap::from_bools(&bits);
+        let pos = ((bits.len() as f64) * pos_frac) as usize;
+        let expect = m.iter_ones().take_while(|&p| p < pos).count();
+        prop_assert_eq!(m.prefix_count(pos), expect);
+    }
+
+    #[test]
+    fn mask_and_is_intersection(
+        a in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let b: Vec<bool> = a.iter().map(|&x| !x).collect();
+        let ma = SparseMap::from_bools(&a);
+        let mb = SparseMap::from_bools(&b);
+        prop_assert_eq!(ma.and(&mb).count_ones(), 0);
+        prop_assert_eq!(ma.or(&mb).count_ones(), a.len());
+    }
+
+    #[test]
+    fn storage_formulas_match_encodings(period in 2usize..64) {
+        let n = 4096usize;
+        let dense: Vec<f32> = (0..n).map(|i| if i % period == 0 { 1.0 } else { 0.0 }).collect();
+        let f = dense.iter().filter(|&&v| v != 0.0).count() as f64 / n as f64;
+        let bitmask = SparseVector::from_dense(&dense, n);
+        let pointer = IndexVector::from_dense(&dense);
+        prop_assert_eq!(bitmask.storage_bits(8) as f64, bitmask_bits(n, f, 8));
+        prop_assert_eq!(pointer.storage_bits(8) as f64, pointer_bits(n, f, 8));
+    }
+
+    #[test]
+    fn csr_and_csc_spmv_agree(
+        rows in prop::collection::vec(sparse_values(24).prop_map(|mut r| { r.resize(24, 0.0); r }), 1..12),
+        x in sparse_values(25).prop_map(|mut v| { v.resize(24, 0.0); v }),
+    ) {
+        let csr = CsrMatrix::from_rows(&rows);
+        let csc = CscMatrix::from_rows(&rows);
+        let xi = IndexVector::from_dense(&x);
+        let y_csr = csr.spmv(&xi);
+        let (y_csc, _macs) = csc.spmv_one_sided(&xi);
+        for (a, b) in y_csr.iter().zip(&y_csc) {
+            prop_assert!((a - b).abs() < 1e-2, "csr {} vs csc {}", a, b);
+        }
+    }
+
+    #[test]
+    fn csc_one_sided_macs_bounded_by_nnz(
+        rows in prop::collection::vec(sparse_values(16).prop_map(|mut r| { r.resize(16, 0.0); r }), 1..8),
+        x in sparse_values(17).prop_map(|mut v| { v.resize(16, 0.0); v }),
+    ) {
+        let csc = CscMatrix::from_rows(&rows);
+        let xi = IndexVector::from_dense(&x);
+        let (_, macs) = csc.spmv_one_sided(&xi);
+        prop_assert!(macs <= csc.nnz());
+    }
+}

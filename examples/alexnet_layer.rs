@@ -1,0 +1,66 @@
+//! Runs a miniaturized AlexNet-style layer through the *functional* SparTen
+//! engine and checks it against the dense reference convolution, then
+//! prints the execution-time breakdown of the cycle-level simulators.
+//!
+//! Run with: `cargo run --release -p sparten --example alexnet_layer`
+
+use sparten::core::{AcceleratorConfig, BalanceMode, SparTenEngine};
+use sparten::nn::generate::workload;
+use sparten::nn::{conv2d, ConvShape};
+use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+
+fn main() {
+    // AlexNet Layer2 shrunk to engine-friendly size: same densities,
+    // 3x3x192 filters, smaller plane and filter count.
+    let shape = ConvShape::new(192, 13, 13, 3, 64, 1, 1);
+    let w = workload(&shape, 0.24, 0.35, 7);
+
+    // Functional execution on the real datapath model (inner-join
+    // sequencers, GB-H permutation routing, output compaction).
+    let engine = SparTenEngine::new(AcceleratorConfig::small());
+    let run = engine.run_layer(&w, BalanceMode::GbH, false);
+    let reference = conv2d(&w.input, &w.filters, &shape);
+    let got = run.logical_output();
+    let max_err = got
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "functional engine vs dense reference: {} outputs, max |err| = {:.2e}",
+        reference.len(),
+        max_err
+    );
+    assert!(max_err < 1e-2, "engine must match the reference");
+    println!(
+        "engine trace: {} useful MACs, makespan {} cycles",
+        run.trace.total_macs(),
+        run.trace.makespan()
+    );
+
+    // Cycle-level simulation of the same layer across schemes.
+    let cfg = SimConfig::small();
+    let model = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+    println!("\nscheme          cycles     nonzero/zero/intra/inter (fraction of own slots)");
+    for scheme in [
+        Scheme::Dense,
+        Scheme::OneSided,
+        Scheme::SpartenNoGb,
+        Scheme::SpartenGbS,
+        Scheme::SpartenGbH,
+        Scheme::Scnn,
+    ] {
+        let r = simulate_layer(&w, &model, &cfg, scheme);
+        let f = r.breakdown_fractions();
+        println!(
+            "{:<14} {:>9}   {:.2}/{:.2}/{:.2}/{:.2}",
+            r.scheme,
+            r.cycles(),
+            f[0],
+            f[1],
+            f[2],
+            f[3]
+        );
+    }
+}

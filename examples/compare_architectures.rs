@@ -1,0 +1,45 @@
+//! Compares all eight architectures of §5.1 on one GoogLeNet inception
+//! layer and prints speedups, breakdowns, traffic, and energy.
+//!
+//! Run with: `cargo run --release -p sparten --example compare_architectures`
+
+use sparten::energy::EnergyModel;
+use sparten::nn::googlenet;
+use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+
+fn main() {
+    let net = googlenet();
+    let layer = net.layer("Inc3a_3x3").expect("layer exists");
+    let cfg = SimConfig::small();
+    let w = layer.workload(2019);
+    let model = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+    let energy = EnergyModel::nm45();
+
+    println!(
+        "GoogLeNet {} — {} dense MACs, {} true sparse MACs ({:.1}x reduction)\n",
+        layer.name,
+        layer.dense_macs(),
+        model.total_sparse_macs(),
+        layer.dense_macs() as f64 / model.total_sparse_macs() as f64
+    );
+
+    let dense = simulate_layer(&w, &model, &cfg, Scheme::Dense);
+    println!(
+        "{:<15} {:>10} {:>8} {:>10} {:>12} {:>12}",
+        "scheme", "cycles", "speedup", "mem-bound", "DRAM KB", "energy (uJ)"
+    );
+    for scheme in Scheme::all() {
+        let r = simulate_layer(&w, &model, &cfg, scheme);
+        let buffer = if scheme == Scheme::Dense { 8 } else { 992 };
+        let e = energy.layer_energy(&r, buffer);
+        println!(
+            "{:<15} {:>10} {:>7.2}x {:>10} {:>12.1} {:>12.2}",
+            r.scheme,
+            r.cycles(),
+            r.speedup_over(&dense),
+            r.is_memory_bound(),
+            r.traffic.total_bytes() / 1024.0,
+            e.total_pj() / 1e6,
+        );
+    }
+}

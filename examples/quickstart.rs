@@ -1,0 +1,50 @@
+//! Quickstart: sparse tensors, an inner join, and one simulated layer.
+//!
+//! Run with: `cargo run --release -p sparten --example quickstart`
+
+use sparten::nn::alexnet;
+use sparten::sim::{simulate_spec, Scheme, SimConfig};
+use sparten::tensor::{SparseVector, CHUNK_SIZE};
+
+fn main() {
+    // 1. The bit-mask representation: build two sparse vectors and take
+    //    their dot product — the inner join of the paper's §3.1.
+    let a = SparseVector::from_dense(&[0.0, 2.0, 0.0, 3.0, 1.0, 0.0], CHUNK_SIZE);
+    let b = SparseVector::from_dense(&[1.0, 4.0, 5.0, 0.0, 2.0, 9.0], CHUNK_SIZE);
+    println!("inner join: a · b = {}", a.dot(&b));
+    println!(
+        "a: {} non-zeros in {} positions ({} bits with 8-bit values)",
+        a.nnz(),
+        a.logical_len(),
+        a.storage_bits(8)
+    );
+
+    // 2. Simulate AlexNet Layer2 on Dense, One-sided, and SparTen, at the
+    //    paper's Table 3 densities.
+    let net = alexnet();
+    let layer = net.layer("Layer2").expect("AlexNet has Layer2");
+    let cfg = SimConfig::large();
+    println!(
+        "\nAlexNet {} ({}x{}x{} input @ {:.0}%, {} {}x{}x{} filters @ {:.0}%):",
+        layer.name,
+        layer.shape.in_height,
+        layer.shape.in_width,
+        layer.shape.in_channels,
+        layer.input_density * 100.0,
+        layer.shape.num_filters,
+        layer.shape.kernel,
+        layer.shape.kernel,
+        layer.shape.in_channels,
+        layer.filter_density * 100.0,
+    );
+    let dense = simulate_spec(layer, &cfg, Scheme::Dense, 1);
+    for scheme in [Scheme::Dense, Scheme::OneSided, Scheme::SpartenGbH] {
+        let r = simulate_spec(layer, &cfg, scheme, 1);
+        println!(
+            "  {:<14} {:>12} cycles   {:.2}x over Dense",
+            r.scheme,
+            r.cycles(),
+            r.speedup_over(&dense)
+        );
+    }
+}

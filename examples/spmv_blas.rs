@@ -1,0 +1,57 @@
+//! The accelerator's BLAS-like interface (§3.2): incremental vector
+//! construction and sparse `C ← A·x + y` / `C ← A × B`, plus the inner-join
+//! work the accelerator would execute versus a dense machine.
+//!
+//! Run with: `cargo run --release -p sparten --example spmv_blas`
+
+use sparten::core::{SparseMatrix, VectorBuilder};
+use sparten::tensor::CHUNK_SIZE;
+
+fn main() {
+    // Build a sparse 4x512 matrix (e.g. four linearized filters).
+    let n = 512;
+    let rows: Vec<Vec<f32>> = (0..4)
+        .map(|r| {
+            (0..n)
+                .map(|i| {
+                    if (i + r * 3) % 5 == 0 {
+                        (i % 7 + 1) as f32
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let a = SparseMatrix::from_rows(&rows, CHUNK_SIZE);
+
+    // Assemble x incrementally from non-contiguous segments, as the CPU
+    // does when linearizing a tensor window on the fly.
+    let mut builder = VectorBuilder::new(CHUNK_SIZE);
+    for seg in 0..4 {
+        let segment: Vec<f32> = (0..n / 4)
+            .map(|i| if i % 3 == 0 { (seg + 1) as f32 } else { 0.0 })
+            .collect();
+        builder.append(&segment);
+    }
+    let x = builder.finish();
+
+    let y = vec![10.0; a.num_rows()];
+    let c = a.spmv(&x, Some(&y));
+    println!("C = A·x + y = {c:?}");
+    println!(
+        "inner-join MACs: {} (a dense machine would do {})",
+        a.spmv_work(&x),
+        a.num_rows() * n
+    );
+
+    // Matrix-matrix: B given as columns.
+    let b_cols = vec![x.clone(), x];
+    let cc = a.spmm(&b_cols);
+    println!(
+        "C = A × B: {} rows x {} cols, row 0 = {:?}",
+        cc.len(),
+        cc[0].len(),
+        cc[0]
+    );
+}

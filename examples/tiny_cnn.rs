@@ -1,0 +1,111 @@
+//! A complete tiny CNN — conv → ReLU → pool → conv → ReLU → pool → FC —
+//! running every multiply on the SparTen functional engine, with GB-S's
+//! static weight unshuffling carrying the shuffled channel order from each
+//! conv layer into the next. The whole pipeline is verified against the
+//! dense reference.
+//!
+//! Run with: `cargo run --release -p sparten --example tiny_cnn`
+
+use sparten::core::balance::{unshuffle_next_layer, BalanceMode, LayerBalance};
+use sparten::core::{AcceleratorConfig, BalanceMode as Mode, ClusterConfig, SparTenEngine};
+use sparten::nn::generate::{random_filters, random_tensor, Workload};
+use sparten::nn::{conv2d, max_pool, ConvShape, FcLayer};
+
+fn main() {
+    let units = 8;
+    let engine = SparTenEngine::new(AcceleratorConfig {
+        cluster: ClusterConfig {
+            compute_units: units,
+            chunk_size: 128,
+            bisection_limit: 4,
+        },
+        num_clusters: 4,
+    });
+
+    // A 16x16 8-channel "image" with natural sparsity.
+    let image = random_tensor(8, 16, 16, 0.6, 1);
+    let c1 = ConvShape::new(8, 16, 16, 3, 16, 1, 1);
+    let c1_filters = random_filters(&c1, 0.5, 0.4, 2);
+    let c2 = ConvShape::new(16, 8, 8, 3, 32, 1, 1);
+    let c2_filters = random_filters(&c2, 0.4, 0.4, 3);
+    let fc = FcLayer::random(32 * 4 * 4, 10, 0.4, 4);
+
+    // ---- Reference path (dense, logical channel order everywhere).
+    let mut r1 = conv2d(&image, &c1_filters, &c1);
+    r1.relu();
+    let r1p = max_pool(&r1, 2, 2);
+    let mut r2 = conv2d(&r1p, &c2_filters, &c2);
+    r2.relu();
+    let r2p = max_pool(&r2, 2, 2);
+    let reference = fc.forward(r2p.as_slice(), false);
+
+    // ---- Accelerator path: conv1 runs GB-S (shuffled output channels);
+    // conv2's weights are statically unshuffled so it consumes the produced
+    // order directly; conv2 itself runs GB-H, and the FC layer's weights
+    // absorb conv2's shuffle the same way.
+    let b1 = LayerBalance::new(&c1_filters, units, 128, BalanceMode::GbS);
+    let run1 = engine.run_layer(
+        &Workload {
+            input: image.clone(),
+            filters: c1_filters.clone(),
+            shape: c1,
+        },
+        Mode::GbS,
+        true,
+    );
+    let a1p = max_pool(&run1.produced, 2, 2); // pooling is channel-local
+
+    let mut c2_unshuffled = c2_filters.clone();
+    unshuffle_next_layer(&mut c2_unshuffled, &b1.produced_channels);
+    let b2 = LayerBalance::new(&c2_unshuffled, units, 128, BalanceMode::GbH);
+    let run2 = engine.run_layer(
+        &Workload {
+            input: a1p,
+            filters: c2_unshuffled,
+            shape: c2,
+        },
+        Mode::GbH,
+        true,
+    );
+    let a2p = max_pool(&run2.produced, 2, 2);
+
+    // The FC layer sees channels in conv2's produced order: permute its
+    // input features accordingly (channel-major within each position, so
+    // this is a per-channel gather — GB-S's unshuffle generalized to FC).
+    let fc_as_conv = fc.to_workload(&vec![0.0; fc.in_features()]);
+    let fc_rows: Vec<Vec<f32>> = (0..10)
+        .map(|o| {
+            let orig = fc_as_conv.filters[o].weights().as_slice();
+            let mut w = vec![0.0f32; fc.in_features()];
+            for (p, &logical) in b2.produced_channels.iter().enumerate() {
+                for pos in 0..16 {
+                    // Z-first layout: feature index = z + 32 · position.
+                    w[p + 32 * pos] = orig[logical + 32 * pos];
+                }
+            }
+            w
+        })
+        .collect();
+    let fc_unshuffled = FcLayer::new(fc_rows);
+    let got = {
+        let w = fc_unshuffled.to_workload(a2p.as_slice());
+        let run = engine.run_layer(&w, Mode::GbH, false);
+        let out = run.logical_output();
+        (0..10).map(|f| out.get(f, 0, 0)).collect::<Vec<f32>>()
+    };
+
+    let max_err = got
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("class scores (engine):    {got:?}");
+    println!("class scores (reference): {reference:?}");
+    println!("max |err| = {max_err:.2e}");
+    assert!(max_err < 1e-2, "pipeline must match the reference");
+    println!(
+        "\nengine MACs: conv1 {} + conv2 {} — every layer sparse, every shuffle absorbed statically",
+        run1.trace.total_macs(),
+        run2.trace.total_macs()
+    );
+}

@@ -1,0 +1,178 @@
+//! Greedy-balancing pipeline properties: permutation invariants, static
+//! unshuffling across engine-executed layers, and GB-H's dynamic routing
+//! through the permutation network.
+
+use proptest::prelude::*;
+use sparten::arch::PermutationNetwork;
+use sparten::core::balance::{unshuffle_next_layer, BalanceMode, LayerBalance};
+use sparten::core::{AcceleratorConfig, ClusterConfig, SparTenEngine};
+use sparten::nn::generate::{random_filters, workload};
+use sparten::nn::ConvShape;
+
+fn filters(n: usize, seed: u64) -> Vec<sparten::nn::Filter> {
+    let shape = ConvShape::new(32, 6, 6, 3, n, 1, 1);
+    random_filters(&shape, 0.35, 0.6, seed)
+}
+
+fn engine(units: usize, clusters: usize) -> SparTenEngine {
+    SparTenEngine::new(AcceleratorConfig {
+        cluster: ClusterConfig {
+            compute_units: units,
+            chunk_size: 64,
+            bisection_limit: 4,
+        },
+        num_clusters: clusters,
+    })
+}
+
+#[test]
+fn gbs_then_unshuffled_next_layer_equals_plain_two_layer_network() {
+    // Full two-layer pipeline through the engine on both paths.
+    let l1 = ConvShape::new(24, 8, 8, 3, 16, 1, 1);
+    let w1 = workload(&l1, 0.5, 0.4, 10);
+    let eng = engine(4, 2);
+
+    let balance = LayerBalance::new(&w1.filters, 4, 64, BalanceMode::GbS);
+    let l2 = ConvShape::new(16, 8, 8, 3, 6, 1, 1);
+    let l2_filters = random_filters(&l2, 0.5, 0.4, 11);
+
+    // Plain path: unbalanced layer 1, original layer 2.
+    let run_plain = eng.run_layer(&w1, BalanceMode::None, true);
+    let mut w2_plain = workload(&l2, 0.5, 0.4, 12);
+    w2_plain.input = run_plain.logical_output();
+    w2_plain.filters = l2_filters.clone();
+    let out_plain = eng
+        .run_layer(&w2_plain, BalanceMode::None, true)
+        .logical_output();
+
+    // GB path: GB-S layer 1 (produced order!), unshuffled layer 2.
+    let run_gb = eng.run_layer(&w1, BalanceMode::GbS, true);
+    let mut unshuffled = l2_filters;
+    unshuffle_next_layer(&mut unshuffled, &balance.produced_channels);
+    let mut w2_gb = workload(&l2, 0.5, 0.4, 13);
+    w2_gb.input = run_gb.produced.clone();
+    w2_gb.filters = unshuffled;
+    let out_gb = eng
+        .run_layer(&w2_gb, BalanceMode::GbH, true)
+        .logical_output();
+
+    for (a, b) in out_plain.as_slice().iter().zip(out_gb.as_slice()) {
+        assert!((a - b).abs() < 1e-2, "plain {a} vs GB {b}");
+    }
+}
+
+#[test]
+fn gbh_and_gbs_produce_identical_tensors() {
+    // GB-H only changes *which unit computes what*; after network routing
+    // the produced tensor must equal GB-S's (same whole-filter order).
+    let shape = ConvShape::new(32, 7, 7, 3, 16, 1, 1);
+    let w = workload(&shape, 0.45, 0.4, 20);
+    let eng = engine(4, 2);
+    let gbs = eng.run_layer(&w, BalanceMode::GbS, false);
+    let gbh = eng.run_layer(&w, BalanceMode::GbH, false);
+    assert_eq!(gbs.balance.produced_channels, gbh.balance.produced_channels);
+    for (a, b) in gbs.produced.as_slice().iter().zip(gbh.produced.as_slice()) {
+        assert!((a - b).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn gbh_routing_fits_the_thinned_network() {
+    // Every per-chunk GB-H mapping must route on the real butterfly with
+    // the paper's bisection limit of 4, in a bounded number of waves.
+    let fs = filters(64, 30);
+    let b = LayerBalance::new(&fs, 32, 64, BalanceMode::GbH);
+    let net = PermutationNetwork::new(64, 4);
+    for g in &b.groups {
+        for c in 0..g.per_chunk_cu.len() {
+            let mapping = g.chunk_routing(c);
+            let stats = net.route(&mapping);
+            assert_eq!(stats.routed, mapping.len());
+            // 64 values, ≥4 per wave across the bisection, plus conflicts:
+            // generous bound that still catches pathological schedules.
+            assert!(stats.waves <= 64, "waves {}", stats.waves);
+        }
+    }
+}
+
+#[test]
+fn balance_preserves_engine_mac_count() {
+    // Balancing moves work around; it must never change total useful MACs.
+    let shape = ConvShape::new(48, 6, 6, 3, 24, 1, 1);
+    let w = workload(&shape, 0.4, 0.35, 40);
+    let eng = engine(8, 2);
+    let macs: Vec<u64> = [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH]
+        .iter()
+        .map(|&m| eng.run_layer(&w, m, false).trace.total_macs())
+        .collect();
+    assert_eq!(macs[0], macs[1]);
+    assert_eq!(macs[1], macs[2]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn produced_channels_is_always_a_permutation(
+        n in 1usize..80,
+        units in 1usize..9,
+        mode_pick in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let fs = filters(n, seed);
+        let mode = [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH][mode_pick];
+        let b = LayerBalance::new(&fs, units, 64, mode);
+        let mut seen = vec![false; n];
+        prop_assert_eq!(b.produced_channels.len(), n);
+        for &f in &b.produced_channels {
+            prop_assert!(!seen[f], "duplicate {}", f);
+            seen[f] = true;
+        }
+        // position_of_channel must be the inverse map.
+        let inv = b.position_of_channel();
+        for (p, &f) in b.produced_channels.iter().enumerate() {
+            prop_assert_eq!(inv[f], p);
+        }
+    }
+
+    #[test]
+    fn gbh_chunk_routing_is_bijective(
+        n in 2usize..66,
+        units in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        let fs = filters(n, seed);
+        let b = LayerBalance::new(&fs, units, 64, BalanceMode::GbH);
+        for g in &b.groups {
+            let m = g.num_filters();
+            for c in 0..g.per_chunk_cu.len() {
+                let mapping = g.chunk_routing(c);
+                prop_assert_eq!(mapping.len(), m);
+                let mut dsts: Vec<usize> = mapping.iter().map(|&(_, d)| d).collect();
+                dsts.sort_unstable();
+                prop_assert_eq!(dsts, (0..m).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn unshuffle_is_inverse_of_shuffle(
+        n in 1usize..48,
+        seed in 0u64..500,
+    ) {
+        let fs = filters(n, seed);
+        let b = LayerBalance::new(&fs, 4, 64, BalanceMode::GbS);
+        // A next-layer filter whose channel z holds the constant z.
+        let next_shape = ConvShape::new(n, 4, 4, 1, 1, 1, 0);
+        let mut next = random_filters(&next_shape, 1.0, 0.0, seed + 1);
+        for z in 0..n {
+            next[0].weights_mut().set(z, 0, 0, z as f32);
+        }
+        let mut unshuffled = next.clone();
+        unshuffle_next_layer(&mut unshuffled, &b.produced_channels);
+        // Channel p of the unshuffled filter must hold produced_channels[p].
+        for (p, &logical) in b.produced_channels.iter().enumerate() {
+            prop_assert_eq!(unshuffled[0].weights().get(p, 0, 0), logical as f32);
+        }
+    }
+}

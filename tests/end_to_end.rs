@@ -1,0 +1,147 @@
+//! End-to-end numerical correctness: the functional SparTen engine must
+//! reproduce the dense reference convolution exactly (within f32 rounding)
+//! for every balance mode, stride, kernel size, and cluster configuration —
+//! including multi-layer pipelines with ReLU.
+
+use proptest::prelude::*;
+use sparten::core::{AcceleratorConfig, BalanceMode, ClusterConfig, SparTenEngine};
+use sparten::nn::generate::workload;
+use sparten::nn::{conv2d, max_pool, ConvShape};
+
+fn config(units: usize, clusters: usize, chunk: usize) -> AcceleratorConfig {
+    AcceleratorConfig {
+        cluster: ClusterConfig {
+            compute_units: units,
+            chunk_size: chunk,
+            bisection_limit: 4,
+        },
+        num_clusters: clusters,
+    }
+}
+
+fn check(shape: ConvShape, mode: BalanceMode, cfg: AcceleratorConfig, seed: u64) {
+    let w = workload(&shape, 0.45, 0.4, seed);
+    let engine = SparTenEngine::new(cfg);
+    let run = engine.run_layer(&w, mode, false);
+    let reference = conv2d(&w.input, &w.filters, &shape);
+    let got = run.logical_output();
+    for (i, (a, b)) in got.as_slice().iter().zip(reference.as_slice()).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-2,
+            "mode {mode:?}, cell {i}: engine {a} vs reference {b}"
+        );
+    }
+}
+
+#[test]
+fn all_modes_match_reference_on_a_mid_size_layer() {
+    let shape = ConvShape::new(40, 9, 9, 3, 20, 1, 1);
+    for mode in [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH] {
+        check(shape, mode, config(8, 3, 64), 100);
+    }
+}
+
+#[test]
+fn strides_two_three_four_match_reference() {
+    for (stride, seed) in [(2, 200), (3, 300), (4, 400)] {
+        let shape = ConvShape::new(24, 13, 13, 3, 10, stride, 1);
+        check(shape, BalanceMode::GbH, config(4, 2, 64), seed);
+    }
+}
+
+#[test]
+fn kernel_sizes_match_reference() {
+    for (k, pad, seed) in [(1usize, 0usize, 1u64), (5, 2, 2), (7, 3, 3)] {
+        let shape = ConvShape::new(16, 11, 11, k, 6, 1, pad);
+        check(shape, BalanceMode::GbS, config(4, 2, 64), seed);
+    }
+}
+
+#[test]
+fn shallow_channels_with_heavy_padding_match_reference() {
+    // The VGG Layer0 pathology: 3 channels padded to a 64-wide chunk.
+    let shape = ConvShape::new(3, 10, 10, 3, 8, 1, 1);
+    check(shape, BalanceMode::GbH, config(4, 2, 64), 500);
+}
+
+#[test]
+fn more_clusters_than_positions_still_correct() {
+    let shape = ConvShape::new(8, 3, 3, 1, 4, 1, 0);
+    check(shape, BalanceMode::None, config(4, 16, 64), 600);
+}
+
+#[test]
+fn fully_connected_as_one_by_one_conv() {
+    // The paper's claim that SparTen handles non-convolutional layers: an
+    // FC layer is a 1x1 convolution over a 1x1 plane.
+    let shape = ConvShape::new(256, 1, 1, 1, 32, 1, 0);
+    check(shape, BalanceMode::GbH, config(8, 1, 128), 700);
+}
+
+#[test]
+fn two_layer_pipeline_with_relu_and_pool() {
+    // conv → ReLU → maxpool → conv, engine vs reference at every stage.
+    let l1 = ConvShape::new(12, 12, 12, 3, 16, 1, 1);
+    let w1 = workload(&l1, 0.5, 0.4, 800);
+    let engine = SparTenEngine::new(config(8, 2, 64));
+
+    let run1 = engine.run_layer(&w1, BalanceMode::GbS, true);
+    let mut ref1 = conv2d(&w1.input, &w1.filters, &l1);
+    ref1.relu();
+    let eng1 = run1.logical_output();
+    for (a, b) in eng1.as_slice().iter().zip(ref1.as_slice()) {
+        assert!((a - b).abs() < 1e-2);
+    }
+
+    let pooled = max_pool(&eng1, 2, 2);
+    let l2 = ConvShape::new(16, pooled.height(), pooled.width(), 3, 8, 1, 1);
+    let mut w2 = workload(&l2, 0.5, 0.4, 801);
+    w2.input = pooled.clone();
+    let run2 = engine.run_layer(&w2, BalanceMode::GbH, true);
+    let mut ref2 = conv2d(&pooled, &w2.filters, &l2);
+    ref2.relu();
+    for (a, b) in run2.logical_output().as_slice().iter().zip(ref2.as_slice()) {
+        assert!((a - b).abs() < 1e-2);
+    }
+}
+
+#[test]
+fn relu_output_is_sparser_than_raw() {
+    let shape = ConvShape::new(24, 8, 8, 3, 16, 1, 1);
+    let w = workload(&shape, 0.6, 0.5, 900);
+    let engine = SparTenEngine::new(config(8, 2, 64));
+    let raw = engine.run_layer(&w, BalanceMode::None, false);
+    let relu = engine.run_layer(&w, BalanceMode::None, true);
+    assert!(relu.produced.nnz() < raw.produced.nnz());
+    // ReLU turns roughly half the outputs to zero on symmetric values.
+    let density = relu.produced.density();
+    assert!((0.2..0.8).contains(&density), "density {density}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_matches_reference_on_random_shapes(
+        d in 1usize..24,
+        hw in 3usize..9,
+        k in 1usize..4,
+        n in 1usize..12,
+        stride in 1usize..3,
+        mode_pick in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw >= k);
+        let pad = k / 2;
+        let shape = ConvShape::new(d, hw, hw, k, n, stride, pad);
+        let mode = [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH][mode_pick];
+        let w = workload(&shape, 0.5, 0.45, seed);
+        let engine = SparTenEngine::new(config(4, 2, 64));
+        let run = engine.run_layer(&w, mode, false);
+        let reference = conv2d(&w.input, &w.filters, &shape);
+        let got = run.logical_output();
+        for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2, "engine {a} vs reference {b}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-crate hardware invariants: the circuit models, the pipeline
+//! timing, the permutation networks, and the area model must all tell one
+//! consistent story about the same hardware.
+
+use sparten::arch::{
+    BenesNetwork, BrentKung, InnerJoinSequencer, JoinPipeline, KoggeStone, OutputCompactor,
+    PermutationNetwork, PrefixCircuit, PriorityEncoder, Ripple, Sklansky,
+};
+use sparten::core::ClusterConfig;
+use sparten::energy::cluster_asic_estimate;
+use sparten::tensor::{SparseChunk, SparseMap};
+
+#[test]
+fn every_prefix_circuit_computes_the_same_function() {
+    let circuits: [&dyn PrefixCircuit; 4] = [&Ripple, &Sklansky, &KoggeStone, &BrentKung];
+    for width in [1usize, 5, 64, 128, 200] {
+        let bools: Vec<bool> = (0..width).map(|i| (i * 13 + 7) % 3 == 0).collect();
+        let m = SparseMap::from_bools(&bools);
+        let reference = sparten::arch::prefix::reference_prefix_sums(&m);
+        for c in circuits {
+            assert_eq!(
+                c.prefix_sums(&m),
+                reference,
+                "{} at width {width}",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn depth_area_tradeoff_is_a_real_pareto_front() {
+    // At the 128-bit chunk width: ripple is smallest+slowest, Sklansky and
+    // Kogge-Stone are fastest, Brent-Kung sits between — no circuit
+    // dominates on both axes.
+    let stats = [
+        Ripple.stats(128),
+        BrentKung.stats(128),
+        Sklansky.stats(128),
+        KoggeStone.stats(128),
+    ];
+    assert!(stats[0].adders < stats[1].adders);
+    assert!(stats[1].adders < stats[2].adders);
+    assert!(stats[2].adders < stats[3].adders);
+    assert!(stats[0].depth > stats[1].depth);
+    assert!(stats[1].depth > stats[2].depth);
+    assert_eq!(stats[2].depth, stats[3].depth);
+}
+
+#[test]
+fn pipeline_critical_path_uses_the_deepest_circuit() {
+    for chunk in [64usize, 128, 256] {
+        let p = JoinPipeline::new(chunk);
+        let enc = PriorityEncoder::new(chunk).depth();
+        let prefix = Sklansky.stats(chunk).depth;
+        assert_eq!(p.critical_stage_depth(), enc.max(prefix));
+    }
+}
+
+#[test]
+fn sequencer_cycles_match_pipeline_model() {
+    // The join sequencer retires exactly one match per step; the pipeline
+    // model's chunk cycles are that count plus fill.
+    let a = SparseChunk::from_dense(&(0..128).map(|i| (i % 3) as f32).collect::<Vec<_>>());
+    let b = SparseChunk::from_dense(&(0..128).map(|i| (i % 2) as f32).collect::<Vec<_>>());
+    let matches = InnerJoinSequencer::new(&a, &b).count();
+    let p = JoinPipeline::new(128);
+    assert_eq!(p.chunk_cycles(matches), matches + p.stages());
+}
+
+#[test]
+fn thinned_butterfly_is_cheaper_than_benes_and_slower_on_worst_case() {
+    let butterfly = PermutationNetwork::new(64, 4);
+    let benes = BenesNetwork::new(64);
+    assert!(butterfly.switch_count() < benes.switch_count());
+    // Worst case (full reversal): the thinned network takes multiple waves,
+    // the Beneš one — that is the bandwidth it pays area for.
+    let reversal: Vec<(usize, usize)> = (0..64).map(|i| (i, 63 - i)).collect();
+    assert!(butterfly.route(&reversal).waves > 1);
+    let perm: Vec<usize> = (0..64).rev().collect();
+    assert_eq!(benes.route_permutation(&perm), 1);
+}
+
+#[test]
+fn area_model_counts_match_circuit_structures() {
+    // The Table 4 estimate must be built from the same structural counts
+    // the circuit models report.
+    let cluster = ClusterConfig::paper();
+    let est = cluster_asic_estimate(&cluster);
+    let prefix_row = est
+        .components
+        .iter()
+        .find(|c| c.name == "Prefix-sum")
+        .expect("row exists");
+    // 2 circuits per CU × 32 CUs × Sklansky adders at 128 bits.
+    let adders = 2 * 32 * Sklansky.stats(128).adders;
+    let per_adder_um2 = prefix_row.area_mm2 * 1e6 / adders as f64;
+    assert!(
+        (14.0..16.0).contains(&per_adder_um2),
+        "per-adder area {per_adder_um2} µm² out of the calibrated band"
+    );
+
+    let encoder_row = est
+        .components
+        .iter()
+        .find(|c| c.name == "Priority Encoder")
+        .expect("row exists");
+    let nodes = 32 * PriorityEncoder::new(128).nodes();
+    let per_node = encoder_row.area_mm2 * 1e6 / nodes as f64;
+    assert!((14.0..17.0).contains(&per_node), "per-node area {per_node}");
+}
+
+#[test]
+fn compactor_and_sequencer_compose_into_a_round_trip() {
+    // A chunk joined against an all-ones chunk, written out through the
+    // compactor, must reproduce the original chunk's packed values.
+    let dense: Vec<f32> = (0..32)
+        .map(|i| if i % 3 == 0 { (i + 1) as f32 } else { 0.0 })
+        .collect();
+    let chunk = SparseChunk::from_dense(&dense);
+    let ones = SparseChunk::from_dense(&[1.0; 32]);
+    let mut outputs = vec![0.0f32; 32];
+    for step in InnerJoinSequencer::new(&chunk, &ones) {
+        outputs[step.position] = step.product;
+    }
+    let compacted = OutputCompactor::new(32).compact(&outputs);
+    assert_eq!(compacted, chunk);
+}

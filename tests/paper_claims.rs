@@ -1,0 +1,146 @@
+//! The paper's qualitative claims, verified on scaled-down workloads:
+//! representation-size crossover (§3.1), the inner join vs CSR cost
+//! structure, buffering arithmetic (§3.2–3.3), and the speedup orderings
+//! of §5.
+
+use sparten::core::ClusterConfig;
+use sparten::nn::generate::workload;
+use sparten::nn::ConvShape;
+use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+use sparten::tensor::size::{crossover_density, smaller_format, SmallerFormat};
+use sparten::tensor::{IndexVector, RleVector, SparseVector};
+
+#[test]
+fn bitmask_beats_pointers_at_cnn_densities() {
+    // §3.1: at f ≈ 1/3..1/2 over millions of values the bit mask is
+    // smaller; at HPC's 0.1% the pointer format wins.
+    for f in [1.0 / 3.0, 0.5] {
+        assert_eq!(smaller_format(4_000_000, f, 8), SmallerFormat::BitMask);
+    }
+    assert_eq!(smaller_format(4_000_000, 0.001, 8), SmallerFormat::Pointer);
+    // The crossover for n with log2(n)=20 is exactly 5%.
+    assert!((crossover_density(1 << 20) - 0.05).abs() < 1e-12);
+}
+
+#[test]
+fn concrete_encodings_agree_with_the_formulas() {
+    // Encode the same vector three ways and compare real sizes.
+    let n = 2048usize;
+    let dense: Vec<f32> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+    let bitmask = SparseVector::from_dense(&dense, n);
+    let pointer = IndexVector::from_dense(&dense);
+    let rle = RleVector::from_dense(&dense, 4);
+    // At 33% density the bit mask is the smallest of the three.
+    assert!(bitmask.storage_bits(8) < pointer.storage_bits(8));
+    assert!(bitmask.storage_bits(8) < rle.storage_bits(8));
+}
+
+#[test]
+fn rle_pays_for_long_zero_runs() {
+    // §3.1: short run fields force redundant padding-zero entries (and
+    // redundant zero compute) on long runs.
+    let mut dense = vec![0.0f32; 1000];
+    for i in (0..1000).step_by(100) {
+        dense[i] = 1.0;
+    }
+    let rle = RleVector::from_dense(&dense, 4); // 4-bit runs, cap 15
+    assert!(rle.padding_zeros() > 0);
+    assert!(rle.one_sided_work() > rle.nnz());
+    assert_eq!(rle.to_dense(), dense);
+}
+
+#[test]
+fn inner_join_work_is_symmetric_and_minimal() {
+    // The bit-mask join touches exactly the both-non-zero pairs; the CSR
+    // merge join compares at least that many pointers.
+    let a: Vec<f32> = (0..512)
+        .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let b: Vec<f32> = (0..512)
+        .map(|i| if i % 3 == 0 { 2.0 } else { 0.0 })
+        .collect();
+    let va = SparseVector::from_dense(&a, 128);
+    let vb = SparseVector::from_dense(&b, 128);
+    let matches = va.join_work(&vb);
+    assert_eq!(matches, vb.join_work(&va));
+    let ia = IndexVector::from_dense(&a);
+    let ib = IndexVector::from_dense(&b);
+    assert!(ia.join_comparisons(&ib) >= matches);
+    assert_eq!(va.dot(&vb), ia.dot(&ib));
+}
+
+#[test]
+fn buffering_arithmetic_matches_section3() {
+    let c = ClusterConfig::paper();
+    assert_eq!(c.buffer_bytes_plain(), 20 * 1024); // §3.2: 20 KB
+    assert_eq!(c.buffer_bytes_collocated(), 31 * 1024); // §3.3: 31 KB
+                                                        // Per-multiplier: 640 B plain, 992 B collocated, both under SCNN's
+                                                        // 1.625 KB (Table 2).
+    assert!(c.buffer_bytes_collocated() / 32 < 1664);
+}
+
+#[test]
+fn speedup_ordering_on_table3_densities() {
+    // A layer at AlexNet Layer2 densities, scaled: the §5.1 ordering
+    // Dense < One-sided < SparTen-no-GB ≤ GB-S ≤ GB-H must hold.
+    let shape = ConvShape::new(192, 9, 9, 3, 48, 1, 1);
+    let w = workload(&shape, 0.24, 0.35, 2019);
+    let cfg = SimConfig::small();
+    let model = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+    let cycles: Vec<u64> = [
+        Scheme::Dense,
+        Scheme::OneSided,
+        Scheme::SpartenNoGb,
+        Scheme::SpartenGbS,
+        Scheme::SpartenGbH,
+    ]
+    .iter()
+    .map(|&s| simulate_layer(&w, &model, &cfg, s).cycles())
+    .collect();
+    assert!(cycles[0] > cycles[1], "Dense !> One-sided");
+    assert!(cycles[1] > cycles[2], "One-sided !> no-GB");
+    assert!(cycles[2] >= cycles[3], "no-GB !>= GB-S");
+    assert!(cycles[3] >= cycles[4], "GB-S !>= GB-H");
+}
+
+#[test]
+fn quadratic_compute_vs_linear_memory_reduction() {
+    // §1/§5.5: compute shrinks with the density *product*, traffic only
+    // linearly — compare a dense-ish and a sparse workload.
+    let shape = ConvShape::new(64, 10, 10, 3, 16, 1, 1);
+    let cfg = SimConfig::small();
+    let runs: Vec<_> = [(0.8, 0.8, 1u64), (0.2, 0.2, 2u64)]
+        .iter()
+        .map(|&(di, df, seed)| {
+            let w = workload(&shape, di, df, seed);
+            let model = MaskModel::new(&w, 128);
+            simulate_layer(&w, &model, &cfg, Scheme::SpartenGbH)
+        })
+        .collect();
+    let compute_ratio = runs[0].compute_cycles as f64 / runs[1].compute_cycles as f64;
+    let traffic_ratio = runs[0].traffic.input_bytes / runs[1].traffic.input_bytes;
+    assert!(
+        compute_ratio > 2.0 * traffic_ratio,
+        "compute {compute_ratio} vs traffic {traffic_ratio}"
+    );
+}
+
+#[test]
+fn sparten_handles_what_scnn_cannot() {
+    // Any stride and fully-connected shapes run on SparTen with zero
+    // wasted compute; SCNN wastes most of its products at stride 4.
+    let fc = ConvShape::new(512, 1, 1, 1, 64, 1, 0);
+    let strided = ConvShape::new(16, 21, 21, 11, 8, 4, 2);
+    let cfg = SimConfig::small();
+    for (shape, seed) in [(fc, 3u64), (strided, 4u64)] {
+        let w = workload(&shape, 0.4, 0.4, seed);
+        let model = MaskModel::new(&w, 128);
+        let r = simulate_layer(&w, &model, &cfg, Scheme::SpartenGbH);
+        assert_eq!(r.breakdown.zero, 0, "{shape:?}");
+        assert!(r.accounting_holds());
+    }
+    let w = workload(&strided, 0.4, 0.4, 5);
+    let model = MaskModel::new(&w, 128);
+    let scnn = simulate_layer(&w, &model, &cfg, Scheme::Scnn);
+    assert!(scnn.breakdown.zero > scnn.breakdown.nonzero);
+}

@@ -1,0 +1,195 @@
+//! Cross-checks between the fast cycle-level simulators and the exact
+//! functional engine, plus the paper-shape sanity properties every
+//! simulated layer must satisfy.
+
+use sparten::core::{AcceleratorConfig, BalanceMode, ClusterConfig, SparTenEngine};
+use sparten::nn::generate::workload;
+use sparten::nn::ConvShape;
+use sparten::sim::sparten::{simulate_sparten, Sparsity};
+use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+
+fn sim_config(units: usize, clusters: usize) -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.accel = AcceleratorConfig {
+        cluster: ClusterConfig {
+            compute_units: units,
+            chunk_size: 64,
+            bisection_limit: 4,
+        },
+        num_clusters: clusters,
+    };
+    cfg
+}
+
+/// The fast simulator's useful-MAC total must equal the exact engine's
+/// work trace, and its compute makespan must equal the engine's barrier
+/// time plus the per-chunk broadcast overhead.
+#[test]
+fn simulator_work_matches_engine_trace_exactly() {
+    let shape = ConvShape::new(40, 7, 7, 3, 12, 1, 1);
+    let w = workload(&shape, 0.45, 0.4, 55);
+    let cfg = sim_config(4, 1); // single cluster for exact comparison
+    let model = MaskModel::new(&w, 64);
+    let engine = SparTenEngine::new(cfg.accel);
+
+    for mode in [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH] {
+        let run = engine.run_layer(&w, mode, false);
+        let sim = simulate_sparten(&w, &model, &cfg, Sparsity::TwoSided, mode);
+        assert_eq!(
+            sim.breakdown.nonzero,
+            run.trace.total_macs(),
+            "{mode:?}: useful MACs disagree"
+        );
+        // Per-chunk broadcast overhead: one cycle per (position, group,
+        // chunk) processed by the cluster.
+        let positions = (shape.out_height() * shape.out_width()) as u64;
+        let groups = run.balance.groups.len() as u64;
+        let chunks = model.chunks_per_window() as u64;
+        let overhead = positions * groups * chunks;
+        assert_eq!(
+            sim.compute_cycles,
+            run.trace.makespan() + overhead,
+            "{mode:?}: makespan disagrees"
+        );
+    }
+}
+
+#[test]
+fn accounting_identity_across_schemes_and_shapes() {
+    let shapes = [
+        ConvShape::new(16, 6, 6, 3, 8, 1, 1),
+        ConvShape::new(96, 5, 5, 1, 20, 1, 0),
+        ConvShape::new(24, 11, 11, 5, 6, 2, 2),
+    ];
+    for (i, shape) in shapes.iter().enumerate() {
+        let w = workload(shape, 0.4, 0.35, 60 + i as u64);
+        let cfg = sim_config(4, 3);
+        let model = MaskModel::new(&w, 64);
+        for scheme in Scheme::all() {
+            let r = simulate_layer(&w, &model, &cfg, scheme);
+            assert!(
+                r.accounting_holds(),
+                "shape {i}, {}: {} + {} + {} + {} != {} * {}",
+                r.scheme,
+                r.breakdown.nonzero,
+                r.breakdown.zero,
+                r.breakdown.intra,
+                r.breakdown.inter,
+                r.compute_cycles,
+                r.total_units
+            );
+        }
+    }
+}
+
+#[test]
+fn denser_workloads_take_longer() {
+    let shape = ConvShape::new(64, 8, 8, 3, 16, 1, 1);
+    let cfg = sim_config(8, 2);
+    let mut last = 0u64;
+    for (i, density) in [0.15, 0.35, 0.6, 0.9].iter().enumerate() {
+        let w = workload(&shape, *density, *density, 70 + i as u64);
+        let model = MaskModel::new(&w, 64);
+        let r = simulate_layer(&w, &model, &cfg, Scheme::SpartenGbH);
+        assert!(
+            r.compute_cycles > last,
+            "density {density}: {} !> {last}",
+            r.compute_cycles
+        );
+        last = r.compute_cycles;
+    }
+}
+
+#[test]
+fn dense_simulator_is_density_independent() {
+    let shape = ConvShape::new(64, 8, 8, 3, 16, 1, 1);
+    let cfg = sim_config(8, 2);
+    let sparse = workload(&shape, 0.2, 0.2, 71);
+    let dense = workload(&shape, 0.9, 0.9, 72);
+    let rs = simulate_layer(&sparse, &MaskModel::new(&sparse, 64), &cfg, Scheme::Dense);
+    let rd = simulate_layer(&dense, &MaskModel::new(&dense, 64), &cfg, Scheme::Dense);
+    assert_eq!(rs.compute_cycles, rd.compute_cycles);
+}
+
+#[test]
+fn scnn_stride_pathology() {
+    // At stride 4 SCNN computes ~16x the needed products; SparTen doesn't.
+    let unit = ConvShape::new(32, 16, 16, 3, 8, 1, 1);
+    let strided = ConvShape::new(32, 16, 16, 3, 8, 4, 1);
+    let cfg = sim_config(8, 2);
+    for (shape, min_waste_ratio) in [(unit, 0.0), (strided, 5.0)] {
+        let w = workload(&shape, 0.4, 0.4, 80);
+        let model = MaskModel::new(&w, 64);
+        let scnn = simulate_layer(&w, &model, &cfg, Scheme::Scnn);
+        let waste = scnn.breakdown.zero as f64 / scnn.breakdown.nonzero.max(1) as f64;
+        assert!(
+            waste >= min_waste_ratio,
+            "stride {}: waste ratio {waste}",
+            shape.stride
+        );
+        let sparten = simulate_layer(&w, &model, &cfg, Scheme::SpartenGbH);
+        assert_eq!(sparten.breakdown.zero, 0);
+    }
+}
+
+#[test]
+fn gb_ordering_holds_at_table3_densities() {
+    // SparTen ≥ GB-S ≥ no-GB ≥ One-sided in performance on a layer shaped
+    // like AlexNet Layer3 (scaled down).
+    let shape = ConvShape::new(96, 8, 8, 3, 32, 1, 1);
+    let w = workload(&shape, 0.20, 0.37, 90);
+    let cfg = sim_config(8, 2);
+    let model = MaskModel::new(&w, 64);
+    let cycles = |s| simulate_layer(&w, &model, &cfg, s).cycles();
+    let one = cycles(Scheme::OneSided);
+    let no_gb = cycles(Scheme::SpartenNoGb);
+    let gbs = cycles(Scheme::SpartenGbS);
+    let gbh = cycles(Scheme::SpartenGbH);
+    assert!(no_gb < one, "no-GB {no_gb} !< one-sided {one}");
+    assert!(gbs <= no_gb, "GB-S {gbs} !<= no-GB {no_gb}");
+    assert!(gbh <= gbs, "GB-H {gbh} !<= GB-S {gbs}");
+}
+
+#[test]
+fn fpga_memory_bound_reduces_sparse_speedup() {
+    // §5.5: compute shrinks quadratically with sparsity but traffic only
+    // linearly, so thin memory clips the sparsest layers' speedups.
+    let shape = ConvShape::new(128, 12, 12, 3, 32, 1, 1);
+    let w = workload(&shape, 0.13, 0.32, 95);
+    let model = MaskModel::new(&w, 128);
+
+    let asic = SimConfig::large();
+    let mut fpga = SimConfig::fpga();
+    fpga.memory.bytes_per_cycle = 0.25; // scaled to the tiny layer
+
+    let speedup = |cfg: &SimConfig| {
+        let d = simulate_layer(&w, &model, cfg, Scheme::Dense);
+        let s = simulate_layer(&w, &model, cfg, Scheme::SpartenGbH);
+        s.speedup_over(&d)
+    };
+    let asic_speedup = speedup(&asic);
+    let fpga_speedup = speedup(&fpga);
+    assert!(
+        fpga_speedup < asic_speedup,
+        "fpga {fpga_speedup} !< asic {asic_speedup}"
+    );
+}
+
+#[test]
+fn collocation_pathology_on_16_filters() {
+    // GoogLeNet 5x5red: 16 filters on 16 units — collocation idles half
+    // the units, so no-GB beats GB-S there (§5.1).
+    let shape = ConvShape::new(128, 6, 6, 1, 16, 1, 0);
+    let w = workload(&shape, 0.58, 0.35, 96);
+    let mut cfg = SimConfig::small();
+    cfg.accel.num_clusters = 2;
+    let model = MaskModel::new(&w, 128);
+    let no_gb = simulate_layer(&w, &model, &cfg, Scheme::SpartenNoGb);
+    let gbs = simulate_layer(&w, &model, &cfg, Scheme::SpartenGbS);
+    assert!(
+        no_gb.cycles() < gbs.cycles(),
+        "no-GB {} !< GB-S {}",
+        no_gb.cycles(),
+        gbs.cycles()
+    );
+}
