@@ -1,28 +1,23 @@
 //! Microbenchmark: on-the-fly output compaction (Figure 5) vs the plain
 //! software conversion, across output widths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparten::arch::OutputCompactor;
 use sparten::tensor::SparseChunk;
+use sparten_bench::timing;
 
-fn bench_compaction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compaction");
+fn main() {
+    let mut group = timing::group("compaction");
     for width in [32usize, 128] {
         let values: Vec<f32> = (0..width)
             .map(|i| if i % 2 == 0 { (i + 1) as f32 } else { 0.0 })
             .collect();
         let compactor = OutputCompactor::new(width);
-        group.bench_with_input(
-            BenchmarkId::new("hardware_model", width),
-            &values,
-            |bench, v| bench.iter(|| std::hint::black_box(compactor.compact(v))),
-        );
-        group.bench_with_input(BenchmarkId::new("software", width), &values, |bench, v| {
-            bench.iter(|| std::hint::black_box(SparseChunk::from_dense(v)))
+        group.bench(&format!("hardware_model/{width}"), || {
+            std::hint::black_box(compactor.compact(&values))
+        });
+        group.bench(&format!("software/{width}"), || {
+            std::hint::black_box(SparseChunk::from_dense(&values))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_compaction);
-criterion_main!(benches);

@@ -1,30 +1,27 @@
 //! Reference-convolution throughput: the window-vector form vs the direct
 //! nested loops, and the functional SparTen engine on the same layer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sparten::core::{AcceleratorConfig, BalanceMode, SparTenEngine};
 use sparten::nn::generate::workload;
 use sparten::nn::{conv2d, conv2d_direct, ConvShape};
+use sparten_bench::timing;
 
-fn bench_conv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conv_reference");
-    group.sample_size(10);
+fn main() {
+    let mut group = timing::group("conv_reference");
+    group.budget_ms(300);
     let shape = ConvShape::new(32, 14, 14, 3, 32, 1, 1);
     let w = workload(&shape, 0.4, 0.35, 1);
 
-    group.bench_function("conv2d_window", |bench| {
-        bench.iter(|| std::hint::black_box(conv2d(&w.input, &w.filters, &shape)))
+    group.bench("conv2d_window", || {
+        std::hint::black_box(conv2d(&w.input, &w.filters, &shape))
     });
-    group.bench_function("conv2d_direct", |bench| {
-        bench.iter(|| std::hint::black_box(conv2d_direct(&w.input, &w.filters, &shape)))
+    group.bench("conv2d_direct", || {
+        std::hint::black_box(conv2d_direct(&w.input, &w.filters, &shape))
     });
 
     let engine = SparTenEngine::new(AcceleratorConfig::small());
-    group.bench_function("functional_engine_gbh", |bench| {
-        bench.iter(|| std::hint::black_box(engine.run_layer(&w, BalanceMode::GbH, false)))
+    group.bench("functional_engine_gbh", || {
+        std::hint::black_box(engine.run_layer(&w, BalanceMode::GbH, false))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_conv);
-criterion_main!(benches);

@@ -2,37 +2,30 @@
 //! sorting/pairing, and the next-layer unshuffle) — the cost the paper
 //! amortizes "over numerous input images".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparten::core::balance::{unshuffle_next_layer, BalanceMode, LayerBalance};
 use sparten::nn::generate::random_filters;
 use sparten::nn::ConvShape;
+use sparten_bench::timing;
 
-fn bench_balance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("greedy_balancing");
-    group.sample_size(20);
+fn main() {
+    let mut group = timing::group("greedy_balancing");
+    group.budget_ms(200);
     // AlexNet Layer2-sized filter set: 384 filters of 3x3x192.
     let shape = ConvShape::new(192, 27, 27, 3, 384, 1, 1);
     let filters = random_filters(&shape, 0.35, 0.5, 1);
     for mode in [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH] {
-        group.bench_with_input(
-            BenchmarkId::new("assign", format!("{mode:?}")),
-            &filters,
-            |bench, fs| bench.iter(|| std::hint::black_box(LayerBalance::new(fs, 32, 128, mode))),
-        );
+        group.bench(&format!("assign/{mode:?}"), || {
+            std::hint::black_box(LayerBalance::new(&filters, 32, 128, mode))
+        });
     }
 
     let balance = LayerBalance::new(&filters, 32, 128, BalanceMode::GbS);
     let next_shape = ConvShape::new(384, 13, 13, 3, 64, 1, 1);
     let next = random_filters(&next_shape, 0.37, 0.4, 2);
-    group.bench_function("unshuffle_next_layer", |bench| {
-        bench.iter(|| {
-            let mut fs = next.clone();
-            unshuffle_next_layer(&mut fs, &balance.produced_channels);
-            std::hint::black_box(fs)
-        })
+    group.bench("unshuffle_next_layer", || {
+        let mut fs = next.clone();
+        unshuffle_next_layer(&mut fs, &balance.produced_channels);
+        std::hint::black_box(fs)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_balance);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Microbenchmark: the bit-mask inner join (§3.1) against the CSR merge
 //! join and a dense dot product, across densities.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparten::tensor::{IndexVector, SparseVector};
+use sparten_bench::timing;
 
 const LEN: usize = 4096;
 
@@ -19,41 +19,28 @@ fn vector(density: f64, phase: usize) -> Vec<f32> {
         .collect()
 }
 
-fn bench_inner_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inner_join");
+fn main() {
+    let mut group = timing::group("inner_join");
     for density in [0.1, 0.33, 0.5] {
         let a = vector(density, 0);
         let b = vector(density, 1);
 
         let sa = SparseVector::from_dense(&a, 128);
         let sb = SparseVector::from_dense(&b, 128);
-        group.bench_with_input(
-            BenchmarkId::new("bitmask", format!("{density:.2}")),
-            &(&sa, &sb),
-            |bench, (x, y)| bench.iter(|| std::hint::black_box(x.dot(y))),
-        );
+        group.bench(&format!("bitmask/{density:.2}"), || {
+            std::hint::black_box(sa.dot(&sb))
+        });
 
         let ia = IndexVector::from_dense(&a);
         let ib = IndexVector::from_dense(&b);
-        group.bench_with_input(
-            BenchmarkId::new("csr_merge", format!("{density:.2}")),
-            &(&ia, &ib),
-            |bench, (x, y)| bench.iter(|| std::hint::black_box(x.dot(y))),
-        );
+        group.bench(&format!("csr_merge/{density:.2}"), || {
+            std::hint::black_box(ia.dot(&ib))
+        });
 
-        group.bench_with_input(
-            BenchmarkId::new("dense", format!("{density:.2}")),
-            &(&a, &b),
-            |bench, (x, y)| {
-                bench.iter(|| {
-                    let dot: f32 = x.iter().zip(y.iter()).map(|(p, q)| p * q).sum();
-                    std::hint::black_box(dot)
-                })
-            },
-        );
+        group.bench(&format!("dense/{density:.2}"), || {
+            let dot: f32 = a.iter().zip(b.iter()).map(|(p, q)| p * q).sum();
+            std::hint::black_box(dot)
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_inner_join);
-criterion_main!(benches);

@@ -1,31 +1,24 @@
 //! Microbenchmark: the three prefix-sum circuit models over the 128-bit
 //! SparseMap width (the paper's chunk size) and wider.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparten::arch::{BrentKung, KoggeStone, PrefixCircuit, Ripple, Sklansky};
 use sparten::tensor::SparseMap;
+use sparten_bench::timing;
 
-fn bench_prefix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prefix_sum");
+fn main() {
+    let mut group = timing::group("prefix_sum");
     for width in [128usize, 512] {
         let bools: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
         let mask = SparseMap::from_bools(&bools);
         let circuits: [&dyn PrefixCircuit; 4] = [&Ripple, &Sklansky, &KoggeStone, &BrentKung];
         for circuit in circuits {
-            group.bench_with_input(
-                BenchmarkId::new(circuit.name(), width),
-                &mask,
-                |bench, m| bench.iter(|| std::hint::black_box(circuit.prefix_sums(m))),
-            );
+            group.bench(&format!("{}/{width}", circuit.name()), || {
+                std::hint::black_box(circuit.prefix_sums(&mask))
+            });
         }
-        group.bench_with_input(
-            BenchmarkId::new("word_popcount", width),
-            &mask,
-            |bench, m| bench.iter(|| std::hint::black_box(m.prefix_count(width - 1))),
-        );
+        group.bench(&format!("word_popcount/{width}"), || {
+            std::hint::black_box(mask.prefix_count(width - 1))
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_prefix);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
 //! End-to-end simulator throughput: one scaled AlexNet-Layer2-like layer
 //! through each architecture model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparten::nn::generate::workload;
 use sparten::nn::ConvShape;
 use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig};
+use sparten_bench::timing;
 
-fn bench_simulate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_layer");
-    group.sample_size(10);
+fn main() {
+    let mut group = timing::group("simulate_layer");
+    group.budget_ms(300);
     let shape = ConvShape::new(192, 14, 14, 3, 128, 1, 1);
     let w = workload(&shape, 0.24, 0.35, 1);
     let cfg = SimConfig::small();
@@ -21,17 +21,12 @@ fn bench_simulate(c: &mut Criterion) {
         Scheme::SpartenGbH,
         Scheme::Scnn,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("scheme", scheme.label()),
-            &scheme,
-            |bench, &s| bench.iter(|| std::hint::black_box(simulate_layer(&w, &model, &cfg, s))),
-        );
+        group.bench(&format!("scheme/{}", scheme.label()), || {
+            std::hint::black_box(simulate_layer(&w, &model, &cfg, scheme))
+        });
     }
-    group.bench_function("mask_model_build", |bench| {
-        bench.iter(|| std::hint::black_box(MaskModel::new(&w, 128)))
+    group.bench("mask_model_build", || {
+        std::hint::black_box(MaskModel::new(&w, 128))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_simulate);
-criterion_main!(benches);

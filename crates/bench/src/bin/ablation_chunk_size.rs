@@ -6,49 +6,6 @@
 //! hardware superlinearly (Table 4 scaling). This sweep quantifies both
 //! sides on a representative layer.
 
-use sparten::core::balance::BalanceMode;
-use sparten::core::ClusterConfig;
-use sparten::energy::cluster_asic_estimate;
-use sparten::nn::alexnet;
-use sparten::sim::sparten::{simulate_sparten, Sparsity};
-use sparten::sim::{MaskModel, SimConfig};
-use sparten_bench::{print_table, SEED};
-
 fn main() {
-    println!("== Ablation: chunk size (AlexNet Layer2, SparTen GB-H) ==\n");
-    let net = alexnet();
-    let spec = net.layer("Layer2").expect("Layer2 exists");
-    let w = spec.workload(SEED);
-
-    let mut rows = Vec::new();
-    for chunk in [64usize, 128, 256, 512] {
-        let mut cfg = SimConfig::large();
-        cfg.accel.cluster.chunk_size = chunk;
-        let model = MaskModel::new(&w, chunk);
-        let r = simulate_sparten(&w, &model, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
-        let cluster = ClusterConfig {
-            compute_units: 32,
-            chunk_size: chunk,
-            bisection_limit: 4,
-        };
-        let asic = cluster_asic_estimate(&cluster);
-        rows.push(vec![
-            chunk.to_string(),
-            r.cycles().to_string(),
-            format!("{:.3}", r.traffic.metadata_bytes / 1024.0),
-            format!("{:.3}", asic.total_area_mm2()),
-            format!("{:.1}", asic.total_power_mw()),
-        ]);
-    }
-    print_table(
-        &[
-            "chunk",
-            "cycles",
-            "mask KB moved",
-            "cluster area mm^2",
-            "cluster power mW",
-        ],
-        &rows,
-    );
-    println!("\nThe paper's 128 balances per-chunk overhead against join-circuit area.");
+    sparten_bench::exps::ablation_chunk_size::run();
 }

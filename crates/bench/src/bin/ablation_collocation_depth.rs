@@ -6,52 +6,6 @@
 //! whole-filter (GB-S-style) and per-chunk (GB-H-style) sorting on a
 //! high-spread layer, reporting cycles and per-cluster buffer bytes.
 
-use sparten::core::balance::LayerBalance;
-use sparten::nn::alexnet;
-use sparten::sim::sparten::{simulate_sparten_with_balance, Sparsity};
-use sparten::sim::{MaskModel, SimConfig};
-use sparten_bench::{print_table, SEED};
-
-/// §3.3 buffering generalized to k collocated filters per unit.
-fn buffer_bytes(units: usize, chunk: usize, k: usize) -> usize {
-    let mask_bytes = chunk / 8;
-    let data_bytes = chunk;
-    let input = data_bytes + mask_bytes;
-    let filters = k * (data_bytes + mask_bytes);
-    let outputs = k * units;
-    (input + filters + outputs) * units * 2
-}
-
 fn main() {
-    println!("== Ablation: collocation depth k (AlexNet Layer2) ==\n");
-    let net = alexnet();
-    let spec = net.layer("Layer2").expect("Layer2 exists");
-    let w = spec.workload(SEED);
-    let cfg = SimConfig::large();
-    let units = cfg.accel.cluster.compute_units;
-    let chunk = cfg.accel.cluster.chunk_size;
-    let model = MaskModel::new(&w, chunk);
-
-    let mut rows = Vec::new();
-    for k in [1usize, 2, 4, 8] {
-        for (style, per_chunk) in [("whole-filter", false), ("per-chunk", true)] {
-            let balance = LayerBalance::with_collocation(&w.filters, units, chunk, k, per_chunk);
-            let r = simulate_sparten_with_balance(&w, &model, &cfg, Sparsity::TwoSided, balance);
-            rows.push(vec![
-                k.to_string(),
-                style.to_string(),
-                r.cycles().to_string(),
-                format!("{:.1}", buffer_bytes(units, chunk, k) as f64 / 1024.0),
-            ]);
-        }
-    }
-    print_table(
-        &["k", "sort granularity", "cycles", "buffer KB/cluster"],
-        &rows,
-    );
-    println!("\nThe paper's k = 2 captures most of the balance win at 31 KB; k = 4 buys a");
-    println!("little more for 1.7x the buffering, and k = 8 *loses* ground: groups of k x units");
-    println!(
-        "filters stop dividing the layer evenly, idling units (the 5x5red pathology at scale)."
-    );
+    sparten_bench::exps::ablation_collocation_depth::run();
 }

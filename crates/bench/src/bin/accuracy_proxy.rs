@@ -10,134 +10,6 @@
 //! report the relative L2 distortion of the logits. Unstructured pruning is
 //! the baseline every scheme is normalized against.
 
-use sparten::core::column_combine::combine_columns;
-use sparten::nn::generate::{random_filters, random_tensor};
-use sparten::nn::structured::prune_coarse;
-use sparten::nn::{conv2d, prune_to_density, ConvShape, Filter};
-use sparten_bench::print_table;
-
-const TARGET_DENSITY: f64 = 0.35;
-
-fn logits(input: &sparten::tensor::Tensor3, f1: &[Filter], f2: &[Filter]) -> Vec<f32> {
-    let c1 = ConvShape::new(16, 12, 12, 3, 24, 1, 1);
-    let c2 = ConvShape::new(24, 12, 12, 3, 10, 1, 1);
-    let mut h = conv2d(input, f1, &c1);
-    h.relu();
-    let out = conv2d(&h, f2, &c2);
-    // Global average per output channel = the class logits.
-    (0..10)
-        .map(|z| {
-            let mut acc = 0.0f32;
-            for y in 0..out.width() {
-                for x in 0..out.height() {
-                    acc += out.get(z, x, y);
-                }
-            }
-            acc / (out.height() * out.width()) as f32
-        })
-        .collect()
-}
-
-fn rel_l2(a: &[f32], b: &[f32]) -> f64 {
-    let num: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| ((x - y) as f64).powi(2))
-        .sum::<f64>()
-        .sqrt();
-    let den: f64 = a.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
-    num / den.max(1e-9)
-}
-
-fn apply_cc(filters: &[Filter], group: usize) -> Vec<Filter> {
-    // Column combining prunes conflicting weights; reconstruct the
-    // surviving per-filter weights from the combine report.
-    let report = combine_columns(filters, group);
-    let mut out = filters.to_vec();
-    for col in &report.columns {
-        for (p, owner) in col.owner.iter().enumerate() {
-            for (m, &f) in col.members.iter().enumerate() {
-                if *owner != Some(m) {
-                    out[f].weights_mut().as_mut_slice()[p] = 0.0;
-                }
-            }
-        }
-    }
-    out
-}
-
 fn main() {
-    println!("== Accuracy proxy: logit distortion at matched weight budget ==\n");
-    let c1 = ConvShape::new(16, 12, 12, 3, 24, 1, 1);
-    let c2 = ConvShape::new(24, 12, 12, 3, 10, 1, 1);
-    let dense_f1 = random_filters(&c1, 1.0, 0.0, 1);
-    let f2 = {
-        let mut f = random_filters(&c2, 1.0, 0.0, 2);
-        prune_to_density(&mut f, TARGET_DENSITY);
-        f
-    };
-
-    // Average distortion over a batch of inputs.
-    let inputs: Vec<_> = (0..8)
-        .map(|i| random_tensor(16, 12, 12, 0.6, 10 + i))
-        .collect();
-    let reference: Vec<Vec<f32>> = inputs.iter().map(|x| logits(x, &dense_f1, &f2)).collect();
-
-    let variants: Vec<(&str, Vec<Filter>)> = vec![
-        ("unstructured (Han et al.)", {
-            let mut f = dense_f1.clone();
-            prune_to_density(&mut f, TARGET_DENSITY);
-            f
-        }),
-        ("coarse, group 4", {
-            let mut f = dense_f1.clone();
-            prune_coarse(&mut f, 4, TARGET_DENSITY);
-            f
-        }),
-        ("coarse, group 8 (Cambricon-S)", {
-            let mut f = dense_f1.clone();
-            prune_coarse(&mut f, 8, TARGET_DENSITY);
-            f
-        }),
-        ("coarse, group 24", {
-            let mut f = dense_f1.clone();
-            prune_coarse(&mut f, 24, TARGET_DENSITY);
-            f
-        }),
-        ("column combining, 3-way", {
-            let mut f = dense_f1.clone();
-            prune_to_density(&mut f, TARGET_DENSITY);
-            apply_cc(&f, 3)
-        }),
-    ];
-
-    let mut rows = Vec::new();
-    let mut unstructured_distortion = None;
-    for (label, f1) in &variants {
-        let distortion: f64 = inputs
-            .iter()
-            .zip(&reference)
-            .map(|(x, r)| rel_l2(r, &logits(x, f1, &f2)))
-            .sum::<f64>()
-            / inputs.len() as f64;
-        let base = *unstructured_distortion.get_or_insert(distortion);
-        let density: f64 = f1.iter().map(Filter::density).sum::<f64>() / f1.len() as f64;
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.1}%", density * 100.0),
-            format!("{:.3}", distortion),
-            format!("{:.2}x", distortion / base),
-        ]);
-    }
-    print_table(
-        &[
-            "pruning scheme",
-            "density",
-            "logit rel-L2 error",
-            "vs unstructured",
-        ],
-        &rows,
-    );
-    println!("\nGreedy balancing itself appears nowhere in this table: it permutes");
-    println!("filters without touching a single weight (distortion exactly 0).");
+    sparten_bench::exps::accuracy_proxy::run();
 }

@@ -3,51 +3,6 @@
 //! much smaller extent) incur more energy than Dense's simple
 //! multiply-accumulate", quantified per component and scheme.
 
-use sparten::energy::EnergyModel;
-use sparten::nn::alexnet;
-use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig};
-use sparten_bench::{print_table, SEED};
-
 fn main() {
-    println!("== Compute-energy components (AlexNet Layer2, % of scheme total) ==\n");
-    let net = alexnet();
-    let spec = net.layer("Layer2").expect("Layer2 exists");
-    let w = spec.workload(SEED);
-    let cfg = SimConfig::large();
-    let model = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
-    let energy = EnergyModel::nm45();
-
-    let mut rows = Vec::new();
-    for scheme in [
-        Scheme::Dense,
-        Scheme::OneSided,
-        Scheme::SpartenGbH,
-        Scheme::Scnn,
-    ] {
-        let r = simulate_layer(&w, &model, &cfg, scheme);
-        let buffer = if scheme == Scheme::Dense { 8 } else { 992 };
-        let c = energy.component_energy(&r, buffer);
-        let pct = |v: f64| format!("{:.0}%", 100.0 * v / c.total_pj());
-        rows.push(vec![
-            r.scheme.to_string(),
-            format!("{:.1}", c.total_pj() / 1e6),
-            pct(c.mac_pj),
-            pct(c.buffer_pj),
-            pct(c.prefix_pj),
-            pct(c.encoder_pj),
-            pct(c.permute_pj),
-            pct(c.compact_pj),
-            pct(c.crossbar_pj),
-        ]);
-    }
-    print_table(
-        &[
-            "Scheme", "total uJ", "MACs", "buffers", "prefix", "encoder", "permute", "compact",
-            "crossbar",
-        ],
-        &rows,
-    );
-    println!("\nDense is MAC/buffer only; SparTen pays for the inner join (prefix +");
-    println!("encoder) and big buffers but on far fewer operations; compaction and the");
-    println!("GB-H permutation network are minor, as §5.3 observes.");
+    sparten_bench::exps::energy_components::run();
 }

@@ -1,28 +1,6 @@
 //! Regenerates Figure 10: AlexNet execution-time breakdown, normalized to
 //! Dense. Layer0 is omitted (SCNN's non-unit-stride pathology, §5.2).
 
-use sparten::nn::alexnet;
-use sparten::sim::Scheme;
-use sparten_bench::{dump_json, network_config, print_breakdown_figure, run_network};
-
-const SCHEMES: [Scheme; 6] = [
-    Scheme::Dense,
-    Scheme::OneSided,
-    Scheme::SpartenNoGb,
-    Scheme::SpartenGbS,
-    Scheme::SpartenGbH,
-    Scheme::Scnn,
-];
-
 fn main() {
-    let net = alexnet();
-    let cfg = network_config(&net);
-    let layers = run_network(&net, &SCHEMES, &cfg);
-    print_breakdown_figure(
-        "Figure 10: AlexNet Execution Time Breakdown",
-        &layers,
-        &SCHEMES,
-        &["Layer0"],
-    );
-    dump_json("fig10_alexnet_breakdown", &layers, &SCHEMES);
+    sparten_bench::exps::fig10_alexnet_breakdown::run();
 }

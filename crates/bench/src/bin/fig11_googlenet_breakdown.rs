@@ -1,27 +1,5 @@
 //! Regenerates Figure 11: GoogLeNet execution-time breakdown.
 
-use sparten::nn::googlenet;
-use sparten::sim::Scheme;
-use sparten_bench::{dump_json, network_config, print_breakdown_figure, run_network};
-
-const SCHEMES: [Scheme; 6] = [
-    Scheme::Dense,
-    Scheme::OneSided,
-    Scheme::SpartenNoGb,
-    Scheme::SpartenGbS,
-    Scheme::SpartenGbH,
-    Scheme::Scnn,
-];
-
 fn main() {
-    let net = googlenet();
-    let cfg = network_config(&net);
-    let layers = run_network(&net, &SCHEMES, &cfg);
-    print_breakdown_figure(
-        "Figure 11: GoogLeNet Execution Time Breakdown",
-        &layers,
-        &SCHEMES,
-        &[],
-    );
-    dump_json("fig11_googlenet_breakdown", &layers, &SCHEMES);
+    sparten_bench::exps::fig11_googlenet_breakdown::run();
 }

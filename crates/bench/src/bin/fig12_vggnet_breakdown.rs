@@ -1,28 +1,6 @@
 //! Regenerates Figure 12: VGGNet execution-time breakdown (Layer0 has high
 //! intra-cluster loss from the shallow 3-channel input, as §5.2 notes).
 
-use sparten::nn::vggnet;
-use sparten::sim::Scheme;
-use sparten_bench::{dump_json, network_config, print_breakdown_figure, run_network};
-
-const SCHEMES: [Scheme; 6] = [
-    Scheme::Dense,
-    Scheme::OneSided,
-    Scheme::SpartenNoGb,
-    Scheme::SpartenGbS,
-    Scheme::SpartenGbH,
-    Scheme::Scnn,
-];
-
 fn main() {
-    let net = vggnet();
-    let cfg = network_config(&net);
-    let layers = run_network(&net, &SCHEMES, &cfg);
-    print_breakdown_figure(
-        "Figure 12: VGGNet Execution Time Breakdown",
-        &layers,
-        &SCHEMES,
-        &[],
-    );
-    dump_json("fig12_vggnet_breakdown", &layers, &SCHEMES);
+    sparten_bench::exps::fig12_vggnet_breakdown::run();
 }

@@ -4,84 +4,6 @@
 //! Dense-naive is Dense with SparTen-sized buffering; Dense keeps its lean
 //! 8 B/MAC buffers. SCNN is omitted as in the paper (§5.3).
 
-use sparten::energy::{EnergyModel, EnergyReport};
-use sparten::nn::all_networks;
-use sparten::sim::Scheme;
-use sparten_bench::{network_config, print_table, run_network};
-
-const SCHEMES: [Scheme; 5] = [
-    Scheme::Dense,
-    Scheme::OneSided,
-    Scheme::SpartenNoGb,
-    Scheme::SpartenGbS,
-    Scheme::SpartenGbH,
-];
-
 fn main() {
-    println!("== Figure 13: Energy (normalized to Dense-naive, per network) ==");
-    println!("(columns: compute nonzero / compute zero | memory nonzero / memory zero)");
-    let model = EnergyModel::nm45();
-    let sparse_buffer = 992; // §3.3: per-MAC buffering with collocation
-    let mut rows = Vec::new();
-    for net in all_networks() {
-        let cfg = network_config(&net);
-        let layers = run_network(&net, &SCHEMES, &cfg);
-
-        // Average (sum) energy across layers per scheme.
-        let mut naive = EnergyReport::default();
-        let mut per_scheme = vec![EnergyReport::default(); SCHEMES.len()];
-        for layer in &layers {
-            for (si, r) in layer.results.iter().enumerate() {
-                let buffer = if SCHEMES[si] == Scheme::Dense {
-                    8
-                } else {
-                    sparse_buffer
-                };
-                per_scheme[si] = per_scheme[si].add(&model.layer_energy(r, buffer));
-            }
-            // Dense-naive: the Dense result charged at sparse buffering.
-            naive = naive.add(&model.layer_energy(&layer.results[0], sparse_buffer));
-        }
-
-        let norm_c = naive.compute_pj();
-        let norm_m = naive.memory_pj();
-        let fmt = |e: &EnergyReport| {
-            format!(
-                "{:.2}/{:.2} | {:.2}/{:.2}",
-                e.compute_nonzero_pj / norm_c,
-                e.compute_zero_pj / norm_c,
-                e.memory_nonzero_pj / norm_m,
-                e.memory_zero_pj / norm_m,
-            )
-        };
-        rows.push(vec![
-            net.name.to_string(),
-            "Dense-naive".into(),
-            fmt(&naive),
-        ]);
-        for (si, s) in SCHEMES.iter().enumerate() {
-            rows.push(vec![
-                net.name.to_string(),
-                s.label().to_string(),
-                fmt(&per_scheme[si]),
-            ]);
-        }
-
-        let sparten = &per_scheme[4];
-        let dense = &per_scheme[0];
-        let one = &per_scheme[1];
-        println!(
-            "{}: SparTen compute = {:.2}x Dense, {:.2}x lower than One-sided; \
-             memory = {:.2}x lower than Dense, {:.2}x lower than One-sided",
-            net.name,
-            sparten.compute_pj() / dense.compute_pj(),
-            one.compute_pj() / sparten.compute_pj(),
-            dense.memory_pj() / sparten.memory_pj(),
-            one.memory_pj() / sparten.memory_pj(),
-        );
-    }
-    println!();
-    print_table(&["Network", "Scheme", "compute nz/z | memory nz/z"], &rows);
-    println!("\nPaper reference: SparTen ≈ 2x Dense compute energy, 1.5x lower than One-sided;");
-    println!("1.4x lower memory energy than Dense, 1.3x lower than One-sided.");
+    sparten_bench::exps::fig13_energy::run();
 }

@@ -1,21 +1,6 @@
 //! Regenerates Figure 15: AlexNet speedups on the FPGA prototype (one
 //! 32-unit cluster against 2.8 Gbps SDRAM — layers can go memory-bound).
 
-use sparten::nn::alexnet;
-use sparten::sim::{Scheme, SimConfig};
-use sparten_bench::{dump_json, print_speedup_figure, run_network};
-
-const SCHEMES: [Scheme; 4] = [
-    Scheme::Dense,
-    Scheme::OneSided,
-    Scheme::SpartenNoGb,
-    Scheme::SpartenGbH,
-];
-
 fn main() {
-    let net = alexnet();
-    let cfg = SimConfig::fpga();
-    let layers = run_network(&net, &SCHEMES, &cfg);
-    print_speedup_figure("Figure 15: AlexNet Speedup on FPGA", &layers, &SCHEMES, &[]);
-    dump_json("fig15_alexnet_fpga", &layers, &SCHEMES);
+    sparten_bench::exps::fig15_alexnet_fpga::run();
 }

@@ -1,25 +1,5 @@
 //! Regenerates Figure 16: GoogLeNet speedups on the FPGA prototype.
 
-use sparten::nn::googlenet;
-use sparten::sim::{Scheme, SimConfig};
-use sparten_bench::{dump_json, print_speedup_figure, run_network};
-
-const SCHEMES: [Scheme; 4] = [
-    Scheme::Dense,
-    Scheme::OneSided,
-    Scheme::SpartenNoGb,
-    Scheme::SpartenGbH,
-];
-
 fn main() {
-    let net = googlenet();
-    let cfg = SimConfig::fpga();
-    let layers = run_network(&net, &SCHEMES, &cfg);
-    print_speedup_figure(
-        "Figure 16: GoogLeNet Speedup on FPGA",
-        &layers,
-        &SCHEMES,
-        &[],
-    );
-    dump_json("fig16_googlenet_fpga", &layers, &SCHEMES);
+    sparten_bench::exps::fig16_googlenet_fpga::run();
 }

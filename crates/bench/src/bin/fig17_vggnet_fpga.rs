@@ -1,20 +1,5 @@
 //! Regenerates Figure 17: VGGNet speedups on the FPGA prototype.
 
-use sparten::nn::vggnet;
-use sparten::sim::{Scheme, SimConfig};
-use sparten_bench::{dump_json, print_speedup_figure, run_network};
-
-const SCHEMES: [Scheme; 4] = [
-    Scheme::Dense,
-    Scheme::OneSided,
-    Scheme::SpartenNoGb,
-    Scheme::SpartenGbH,
-];
-
 fn main() {
-    let net = vggnet();
-    let cfg = SimConfig::fpga();
-    let layers = run_network(&net, &SCHEMES, &cfg);
-    print_speedup_figure("Figure 17: VGGNet Speedup on FPGA", &layers, &SCHEMES, &[]);
-    dump_json("fig17_vggnet_fpga", &layers, &SCHEMES);
+    sparten_bench::exps::fig17_vggnet_fpga::run();
 }

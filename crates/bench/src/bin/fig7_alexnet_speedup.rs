@@ -1,25 +1,6 @@
 //! Regenerates Figure 7: AlexNet speedups over Dense for all eight schemes.
 //! As in the paper, SCNN-family means exclude Layer0 (non-unit stride).
 
-use sparten::nn::alexnet;
-use sparten::sim::Scheme;
-use sparten_bench::{dump_json, network_config, print_speedup_figure, run_network};
-
 fn main() {
-    let net = alexnet();
-    let cfg = network_config(&net);
-    let schemes = Scheme::all();
-    let layers = run_network(&net, &schemes, &cfg);
-    let excl: &[&str] = &["Layer0"];
-    print_speedup_figure(
-        "Figure 7: AlexNet Speedup (normalized to Dense)",
-        &layers,
-        &schemes,
-        &[
-            ("SCNN", excl),
-            ("SCNN-one-sided", excl),
-            ("SCNN-dense", excl),
-        ],
-    );
-    dump_json("fig7_alexnet_speedup", &layers, &schemes);
+    sparten_bench::exps::fig7_alexnet_speedup::run();
 }

@@ -1,19 +1,5 @@
 //! Regenerates Figure 8: GoogLeNet speedups over Dense (small config).
 
-use sparten::nn::googlenet;
-use sparten::sim::Scheme;
-use sparten_bench::{dump_json, network_config, print_speedup_figure, run_network};
-
 fn main() {
-    let net = googlenet();
-    let cfg = network_config(&net);
-    let schemes = Scheme::all();
-    let layers = run_network(&net, &schemes, &cfg);
-    print_speedup_figure(
-        "Figure 8: GoogLeNet Speedup (normalized to Dense)",
-        &layers,
-        &schemes,
-        &[],
-    );
-    dump_json("fig8_googlenet_speedup", &layers, &schemes);
+    sparten_bench::exps::fig8_googlenet_speedup::run();
 }

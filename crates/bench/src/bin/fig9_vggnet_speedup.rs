@@ -1,29 +1,6 @@
 //! Regenerates Figure 9: VGGNet speedups over Dense. As in the paper, the
 //! mean excludes Layer0 (dense 3-channel input hurts SparTen there).
 
-use sparten::nn::vggnet;
-use sparten::sim::Scheme;
-use sparten_bench::{dump_json, network_config, print_speedup_figure, run_network};
-
 fn main() {
-    let net = vggnet();
-    let cfg = network_config(&net);
-    let schemes = Scheme::all();
-    let layers = run_network(&net, &schemes, &cfg);
-    let excl: &[&str] = &["Layer0"];
-    print_speedup_figure(
-        "Figure 9: VGGNet Speedup (normalized to Dense)",
-        &layers,
-        &schemes,
-        &[
-            ("One-sided", excl),
-            ("SparTen-no-GB", excl),
-            ("SparTen-GB-S", excl),
-            ("SparTen", excl),
-            ("SCNN", excl),
-            ("SCNN-one-sided", excl),
-            ("SCNN-dense", excl),
-        ],
-    );
-    dump_json("fig9_vggnet_speedup", &layers, &schemes);
+    sparten_bench::exps::fig9_vggnet_speedup::run();
 }

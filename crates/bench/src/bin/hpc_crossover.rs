@@ -3,59 +3,6 @@
 //! the bits each format actually uses, the analytic formulas, and the
 //! crossover point — plus the SpMV join work each representation implies.
 
-use sparten::tensor::size::{bitmask_bits, crossover_density, pointer_bits};
-use sparten::tensor::{IndexVector, RleVector, SparseVector};
-use sparten_bench::print_table;
-
-const N: usize = 1 << 16; // 65 536 positions → crossover at 1/16 = 6.25 %
-
-fn vector_at(density: f64) -> Vec<f32> {
-    let period = (1.0 / density).round().max(1.0) as usize;
-    (0..N)
-        .map(|i| if i % period == 0 { 1.0 } else { 0.0 })
-        .collect()
-}
-
 fn main() {
-    println!("== Representation-size crossover (n = {N}, 8-bit values) ==");
-    println!(
-        "analytic crossover density: {:.4} (pointer wins below, bit mask above)\n",
-        crossover_density(N)
-    );
-    let mut rows = Vec::new();
-    for density in [0.001, 0.01, 0.03, crossover_density(N), 0.1, 0.33, 0.5] {
-        let dense = vector_at(density);
-        let f = dense.iter().filter(|&&v| v != 0.0).count() as f64 / N as f64;
-        let bitmask = SparseVector::from_dense(&dense, N); // single-chunk mask
-        let pointer = IndexVector::from_dense(&dense);
-        let rle = RleVector::from_dense(&dense, 4);
-        let winner = if pointer.storage_bits(8) < bitmask.storage_bits(8) {
-            "pointer"
-        } else {
-            "bitmask"
-        };
-        rows.push(vec![
-            format!("{f:.4}"),
-            bitmask.storage_bits(8).to_string(),
-            pointer.storage_bits(8).to_string(),
-            rle.storage_bits(8).to_string(),
-            format!("{:.0}", bitmask_bits(N, f, 8)),
-            format!("{:.0}", pointer_bits(N, f, 8)),
-            winner.to_string(),
-        ]);
-    }
-    print_table(
-        &[
-            "density",
-            "bitmask bits",
-            "pointer bits",
-            "rle4 bits",
-            "formula bitmask",
-            "formula pointer",
-            "smaller",
-        ],
-        &rows,
-    );
-    println!("\nCNN densities (33-50%) sit far above the crossover: the bit mask wins,");
-    println!("which is the paper's case for SparseMaps over HPC's CSR/CSC (§3.1).");
+    sparten_bench::exps::hpc_crossover::run();
 }

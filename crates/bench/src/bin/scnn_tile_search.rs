@@ -4,48 +4,6 @@
 //! per-channel non-zero counts; larger tiles exceed the 1K-accumulator
 //! budget (tile+halo squared × output group).
 
-use sparten::nn::alexnet;
-use sparten::sim::scnn::{simulate_scnn, ScnnVariant};
-use sparten::sim::{MaskModel, SimConfig};
-use sparten_bench::{print_table, SEED};
-
 fn main() {
-    println!("== SCNN input-tile-size search (AlexNet Layer2) ==\n");
-    let net = alexnet();
-    let spec = net.layer("Layer2").expect("Layer2 exists");
-    let w = spec.workload(SEED);
-    let cfg_base = SimConfig::large();
-    let model = MaskModel::new(&w, cfg_base.accel.cluster.chunk_size);
-
-    let mut rows = Vec::new();
-    for tile in [2usize, 3, 4, 6, 8, 10] {
-        let mut cfg = cfg_base;
-        cfg.scnn.tile = tile;
-        let r = simulate_scnn(&w, &model, &cfg, ScnnVariant::Full);
-        // Accumulator demand: (tile + k − 1)² outputs × output group of 8.
-        let k = spec.shape.kernel;
-        let accumulators = (tile + k - 1) * (tile + k - 1) * cfg.scnn.output_group;
-        let f = r.breakdown_fractions();
-        rows.push(vec![
-            format!("{tile}x{tile}"),
-            r.cycles().to_string(),
-            format!("{:.0}%", f[2] * 100.0),
-            format!("{:.0}%", f[3] * 100.0),
-            accumulators.to_string(),
-            (accumulators <= 1024).to_string(),
-        ]);
-    }
-    print_table(
-        &[
-            "tile",
-            "cycles",
-            "intra-PE loss",
-            "inter-PE loss",
-            "accumulators needed",
-            "fits 1K budget",
-        ],
-        &rows,
-    );
-    println!("\n6x6 is the largest tile that fits the 1K-accumulator budget for 3x3");
-    println!("filters — matching the paper's search result.");
+    sparten_bench::exps::scnn_tile_search::run();
 }

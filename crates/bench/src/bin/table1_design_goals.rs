@@ -1,30 +1,5 @@
 //! Regenerates Table 1: the design-goal matrix.
 
-use sparten::sim::design_goal_table;
-use sparten_bench::print_table;
-
 fn main() {
-    println!("== Table 1: Design Goals ==");
-    let rows: Vec<Vec<String>> = design_goal_table()
-        .into_iter()
-        .map(|g| {
-            vec![
-                g.architecture.to_string(),
-                g.avoid_zero_transfer.to_string(),
-                g.avoid_zero_compute.to_string(),
-                g.maintain_accuracy.to_string(),
-                g.efficient_fully_sparse.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "Architecture",
-            "Avoid transfer of all zeros",
-            "Avoid computing with all zeros",
-            "Maintain accuracy",
-            "Efficient fully-sparse",
-        ],
-        &rows,
-    );
+    sparten_bench::exps::table1_design_goals::run();
 }

@@ -1,57 +1,5 @@
 //! Regenerates Table 2: hardware parameters of the compared architectures.
 
-use sparten::sim::SimConfig;
-use sparten_bench::print_table;
-
 fn main() {
-    println!("== Table 2: Hardware parameters ==");
-    let large = SimConfig::large();
-    let small = SimConfig::small();
-    let rows = vec![
-        vec![
-            "Dense".to_string(),
-            large.accel.cluster.compute_units.to_string(),
-            small.accel.cluster.compute_units.to_string(),
-            large.accel.num_clusters.to_string(),
-            small.accel.num_clusters.to_string(),
-            "8 B".to_string(),
-        ],
-        vec![
-            "SCNN".to_string(),
-            (large.scnn.mult_edge * large.scnn.mult_edge).to_string(),
-            (small.scnn.mult_edge * small.scnn.mult_edge).to_string(),
-            large.scnn.num_pes.to_string(),
-            small.scnn.num_pes.to_string(),
-            "1.63 KB".to_string(),
-        ],
-        vec![
-            "SparTen".to_string(),
-            large.accel.cluster.compute_units.to_string(),
-            small.accel.cluster.compute_units.to_string(),
-            large.accel.num_clusters.to_string(),
-            small.accel.num_clusters.to_string(),
-            format!(
-                "{:.2} KB",
-                large.accel.cluster.buffer_bytes_collocated() as f64
-                    / large.accel.cluster.compute_units as f64
-                    / 1024.0
-            ),
-        ],
-    ];
-    print_table(
-        &[
-            "Architecture",
-            "MACs/cluster (large)",
-            "MACs/cluster (small)",
-            "#clusters (large)",
-            "#clusters (small)",
-            "buffer/MAC",
-        ],
-        &rows,
-    );
-    println!(
-        "\nTotal MACs: large = {}, small = {} (matched across architectures)",
-        large.accel.total_macs(),
-        small.accel.total_macs()
-    );
+    sparten_bench::exps::table2_hw_params::run();
 }

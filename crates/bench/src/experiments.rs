@@ -43,7 +43,10 @@ pub fn run_network(network: &Network, schemes: &[Scheme], config: &SimConfig) ->
         .collect()
 }
 
-fn run_layer(spec: &LayerSpec, schemes: &[Scheme], config: &SimConfig) -> LayerResult {
+/// Runs one Table 3 layer through the given schemes. This is the unit of
+/// work the harness parallelizes: independent layers of one figure run on
+/// different workers and are recombined in layer order.
+pub fn run_layer(spec: &LayerSpec, schemes: &[Scheme], config: &SimConfig) -> LayerResult {
     let workload = spec.workload(SEED);
     let model = MaskModel::new(&workload, config.accel.cluster.chunk_size);
     LayerResult {
@@ -72,39 +75,43 @@ pub fn geomean_excluding(
 
 /// Writes per-layer results as JSON rows next to the printed table, under
 /// `results/<name>.json`, so plots can be regenerated without re-running.
+/// Under the harness the rows are captured as an artifact instead of
+/// written directly, so cached and live runs produce identical files.
 pub fn dump_json(name: &str, layers: &[LayerResult], schemes: &[Scheme]) {
-    let rows: Vec<serde_json::Value> = layers
-        .iter()
-        .map(|l| {
-            let per_scheme: Vec<serde_json::Value> = schemes
-                .iter()
-                .zip(&l.results)
-                .map(|(s, r)| {
-                    serde_json::json!({
-                        "scheme": s.label(),
-                        "cycles": r.cycles(),
-                        "compute_cycles": r.compute_cycles,
-                        "memory_cycles": r.memory_cycles,
-                        "memory_bound": r.is_memory_bound(),
-                        "breakdown": {
-                            "nonzero": r.breakdown.nonzero,
-                            "zero": r.breakdown.zero,
-                            "intra": r.breakdown.intra,
-                            "inter": r.breakdown.inter,
-                        },
-                    })
-                })
-                .collect();
-            serde_json::json!({ "layer": l.layer, "results": per_scheme })
-        })
-        .collect();
-    if std::fs::create_dir_all("results").is_ok() {
-        let path = format!("results/{name}.json");
-        if let Ok(s) = serde_json::to_string_pretty(&rows) {
-            let _ = std::fs::write(&path, s);
-            eprintln!("(wrote {path})");
-        }
-    }
+    use crate::json::Json;
+    let rows = Json::Arr(
+        layers
+            .iter()
+            .map(|l| {
+                let per_scheme = Json::Arr(
+                    schemes
+                        .iter()
+                        .zip(&l.results)
+                        .map(|(s, r)| {
+                            Json::obj([
+                                ("scheme", Json::str(s.label())),
+                                ("cycles", Json::UInt(r.cycles())),
+                                ("compute_cycles", Json::UInt(r.compute_cycles)),
+                                ("memory_cycles", Json::UInt(r.memory_cycles)),
+                                ("memory_bound", Json::Bool(r.is_memory_bound())),
+                                (
+                                    "breakdown",
+                                    Json::obj([
+                                        ("nonzero", Json::UInt(r.breakdown.nonzero)),
+                                        ("zero", Json::UInt(r.breakdown.zero)),
+                                        ("intra", Json::UInt(r.breakdown.intra)),
+                                        ("inter", Json::UInt(r.breakdown.inter)),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                );
+                Json::obj([("layer", Json::str(l.layer)), ("results", per_scheme)])
+            })
+            .collect(),
+    );
+    crate::sink::artifact(&format!("results/{name}.json"), &rows.pretty());
 }
 
 /// Prints a speedup figure: per-layer speedups over Dense for each scheme,
@@ -116,7 +123,7 @@ pub fn print_speedup_figure(
     schemes: &[Scheme],
     mean_excludes: &[(&str, &[&str])],
 ) {
-    println!("== {title} ==");
+    crate::outln!("== {title} ==");
     let header: Vec<&str> = std::iter::once("Layer")
         .chain(schemes.iter().map(|s| s.label()))
         .collect();
@@ -129,7 +136,7 @@ pub fn print_speedup_figure(
         })
         .collect();
     crate::tables::print_table(&header, &rows);
-    println!();
+    crate::outln!();
     for (si, s) in schemes.iter().enumerate() {
         let exclude = mean_excludes
             .iter()
@@ -142,9 +149,9 @@ pub fn print_speedup_figure(
         } else {
             format!(" (mean excludes {})", exclude.join(", "))
         };
-        println!("geomean {:<16} {:.2}x{}", s.label(), mean, note);
+        crate::outln!("geomean {:<16} {:.2}x{}", s.label(), mean, note);
     }
-    println!();
+    crate::outln!();
 }
 
 /// Prints a breakdown figure: each scheme's execution-time components
@@ -155,8 +162,8 @@ pub fn print_breakdown_figure(
     schemes: &[Scheme],
     skip_layers: &[&str],
 ) {
-    println!("== {title} ==");
-    println!("(components normalized to Dense = 1.0: nonzero/zero/intra/inter)");
+    crate::outln!("== {title} ==");
+    crate::outln!("(components normalized to Dense = 1.0: nonzero/zero/intra/inter)");
     let header: Vec<&str> = std::iter::once("Layer")
         .chain(schemes.iter().map(|s| s.label()))
         .collect();
@@ -180,7 +187,7 @@ pub fn print_breakdown_figure(
         })
         .collect();
     crate::tables::print_table(&header, &rows);
-    println!();
+    crate::outln!();
 }
 
 #[cfg(test)]

@@ -1,0 +1,66 @@
+//! Performance per Joule: §5.3's closing argument, computed per network.
+//!
+//! "SparTen is better than Dense in performance per Joule (4.7x better in
+//! performance and 2x worse in compute energy, ignoring SparTen's memory
+//! energy advantage)." This report combines the speedups of Figures 7–9
+//! with the energies of Figure 13 into throughput-per-energy, with and
+//! without the memory component, plus the SRAM-offset area note.
+
+use sparten::energy::{sram_offset, EnergyModel, EnergyReport};
+use sparten::nn::all_networks;
+use sparten::sim::Scheme;
+use crate::{network_config, print_table, run_network};
+
+const SCHEMES: [Scheme; 3] = [Scheme::Dense, Scheme::OneSided, Scheme::SpartenGbH];
+
+pub fn run() {
+    crate::outln!("== Performance per Joule (normalized to Dense, per network) ==\n");
+    let model = EnergyModel::nm45();
+    let mut rows = Vec::new();
+    for net in all_networks() {
+        let cfg = network_config(&net);
+        let layers = run_network(&net, &SCHEMES, &cfg);
+        let mut cycles = [0u64; 3];
+        let mut energy = [EnergyReport::default(); 3];
+        for layer in &layers {
+            for (si, r) in layer.results.iter().enumerate() {
+                cycles[si] += r.cycles();
+                let buffer = if SCHEMES[si] == Scheme::Dense { 8 } else { 992 };
+                energy[si] = energy[si].add(&model.layer_energy(r, buffer));
+            }
+        }
+        // Throughput per Joule relative to Dense: (t_d / t_s) · (E_d / E_s).
+        for (si, scheme) in SCHEMES.iter().enumerate() {
+            let speedup = cycles[0] as f64 / cycles[si] as f64;
+            let compute_ratio = energy[0].compute_pj() / energy[si].compute_pj();
+            let total_ratio = energy[0].total_pj() / energy[si].total_pj();
+            rows.push(vec![
+                net.name.to_string(),
+                scheme.label().to_string(),
+                format!("{speedup:.2}x"),
+                format!("{:.2}x", speedup * compute_ratio),
+                format!("{:.2}x", speedup * total_ratio),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "Network",
+            "Scheme",
+            "speedup",
+            "perf/J (compute only)",
+            "perf/J (incl. memory)",
+        ],
+        &rows,
+    );
+
+    let offset = sram_offset(1024, 20.0, 0.72);
+    crate::outln!(
+        "\nSRAM offset (§5.3): a TPU-scale 20 MB SRAM stored sparse saves \
+         {:.1} mm^2,\nagainst {:.1} mm^2 of SparTen buffer bloat — net {:.1} mm^2 \
+         in SparTen's favour.",
+        offset.dense_sram_mm2 - offset.sparten_sram_mm2,
+        offset.buffer_bloat_mm2,
+        -offset.net_mm2()
+    );
+}

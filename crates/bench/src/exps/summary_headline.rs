@@ -1,0 +1,61 @@
+//! Regenerates the paper's headline numbers (§1/§7): mean SparTen speedups
+//! over Dense, One-sided, and SCNN in simulation, and over Dense and
+//! One-sided on the FPGA configuration.
+
+use sparten::nn::all_networks;
+use sparten::sim::breakdown::geometric_mean;
+use sparten::sim::{Scheme, SimConfig};
+use crate::{network_config, run_network};
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Dense,
+    Scheme::OneSided,
+    Scheme::SpartenGbH,
+    Scheme::Scnn,
+];
+
+pub fn run() {
+    crate::outln!("== Headline means (geometric, across all benchmark layers) ==\n");
+
+    let mut vs_dense = Vec::new();
+    let mut vs_one = Vec::new();
+    let mut vs_scnn = Vec::new();
+    for net in all_networks() {
+        let cfg = network_config(&net);
+        for layer in run_network(&net, &SCHEMES, &cfg) {
+            let dense = layer.results[0].cycles() as f64;
+            let one = layer.results[1].cycles() as f64;
+            let sparten = layer.results[2].cycles() as f64;
+            let scnn = layer.results[3].cycles() as f64;
+            vs_dense.push(dense / sparten);
+            vs_one.push(one / sparten);
+            // The paper excludes AlexNet Layer0 from SCNN comparisons.
+            if !(net.name == "AlexNet" && layer.layer == "Layer0") {
+                vs_scnn.push(scnn / sparten);
+            }
+        }
+    }
+    crate::outln!("Simulation (paper: 4.7x / 1.8x / 3x):");
+    crate::outln!("  SparTen vs Dense     : {:.2}x", geometric_mean(&vs_dense));
+    crate::outln!("  SparTen vs One-sided : {:.2}x", geometric_mean(&vs_one));
+    crate::outln!(
+        "  SparTen vs SCNN      : {:.2}x (excl. AlexNet Layer0)",
+        geometric_mean(&vs_scnn)
+    );
+
+    let mut f_dense = Vec::new();
+    let mut f_one = Vec::new();
+    let fpga = SimConfig::fpga();
+    for net in all_networks() {
+        for layer in run_network(&net, &SCHEMES[..3], &fpga) {
+            let dense = layer.results[0].cycles() as f64;
+            let one = layer.results[1].cycles() as f64;
+            let sparten = layer.results[2].cycles() as f64;
+            f_dense.push(dense / sparten);
+            f_one.push(one / sparten);
+        }
+    }
+    crate::outln!("\nFPGA configuration (paper: 4.3x / 1.9x):");
+    crate::outln!("  SparTen vs Dense     : {:.2}x", geometric_mean(&f_dense));
+    crate::outln!("  SparTen vs One-sided : {:.2}x", geometric_mean(&f_one));
+}

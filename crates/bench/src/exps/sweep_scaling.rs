@@ -1,0 +1,39 @@
+//! Strong-scaling sweep: SparTen from 1 to 64 clusters on one layer, with
+//! parallel efficiency and the memory-bound ceiling.
+
+use sparten::nn::ConvShape;
+use sparten::sim::{scaling_sweep, Scheme, SimConfig};
+use crate::{print_table, SEED};
+
+pub fn run() {
+    crate::outln!("== Strong scaling (VGG-Layer8-shaped layer, SparTen GB-H) ==\n");
+    let shape = ConvShape::new(512, 28, 28, 3, 512, 1, 1);
+    let cfg = SimConfig::large();
+    let points = scaling_sweep(&shape, Scheme::SpartenGbH, &cfg, 64, SEED);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.clusters.to_string(),
+                p.result.cycles().to_string(),
+                format!(
+                    "{:.2}",
+                    points[0].result.cycles() as f64 / p.result.cycles() as f64
+                ),
+                format!("{:.0}%", p.efficiency * 100.0),
+                p.result.is_memory_bound().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "clusters",
+            "cycles",
+            "speedup",
+            "efficiency",
+            "memory-bound",
+        ],
+        &rows,
+    );
+    crate::outln!("\nEfficiency falls as inter-cluster slack and the bandwidth ceiling bite.");
+}

@@ -1,0 +1,43 @@
+//! Regenerates Table 3: the benchmark layers with measured densities of the
+//! generated synthetic workloads next to the paper's targets.
+
+use sparten::nn::all_networks;
+use crate::{print_table, SEED};
+
+pub fn run() {
+    crate::outln!("== Table 3: Benchmarks (target vs generated density) ==");
+    let mut rows = Vec::new();
+    for net in all_networks() {
+        for l in &net.layers {
+            let s = &l.shape;
+            let w = l.workload(SEED);
+            rows.push(vec![
+                net.name.to_string(),
+                l.name.to_string(),
+                format!("{}x{}x{}", s.in_height, s.in_width, s.in_channels),
+                format!("{:.0}%", l.input_density * 100.0),
+                format!("{:.1}%", w.input_density() * 100.0),
+                format!("{0}x{0}x{1}", s.kernel, s.in_channels),
+                s.num_filters.to_string(),
+                format!("{:.0}%", l.filter_density * 100.0),
+                format!("{:.1}%", w.filter_density() * 100.0),
+                s.stride.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "Network",
+            "Layer",
+            "input",
+            "in-dens (paper)",
+            "in-dens (gen)",
+            "filter",
+            "#filters",
+            "f-dens (paper)",
+            "f-dens (gen)",
+            "stride",
+        ],
+        &rows,
+    );
+}

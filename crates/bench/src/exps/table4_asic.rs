@@ -1,0 +1,29 @@
+//! Regenerates Table 4: ASIC area and power for one SparTen cluster (45 nm).
+
+use sparten::core::ClusterConfig;
+use sparten::energy::cluster_asic_estimate;
+use crate::print_table;
+
+pub fn run() {
+    crate::outln!("== Table 4: ASIC Area and Power for SparTen (45nm) ==");
+    let est = cluster_asic_estimate(&ClusterConfig::paper());
+    let mut rows: Vec<Vec<String>> = est
+        .components
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                format!("{:.4}", c.area_mm2),
+                format!("{:.2}", c.power_mw),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Total".to_string(),
+        format!("{:.3}", est.total_area_mm2()),
+        format!("{:.2}", est.total_power_mw()),
+    ]);
+    print_table(&["Component", "Area (mm^2)", "Power (mW)"], &rows);
+    crate::outln!("\nSynthesis clock: {} MHz", est.clock_mhz);
+    crate::outln!("Paper reference totals: 0.766 mm^2, 118.30 mW @ 800 MHz");
+}

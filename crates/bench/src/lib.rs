@@ -1,14 +1,39 @@
 //! Shared helpers for the benchmark harness binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md §4 for the index). This library holds the common pieces:
-//! table formatting, per-network experiment drivers, and JSON row dumps.
+//! (see DESIGN.md §4 for the index); the binaries are thin wrappers around
+//! the experiment modules in [`exps`], which the parallel orchestration
+//! harness (`sparten-harness`) drives directly. This library holds the
+//! common pieces: table formatting, per-network experiment drivers, the
+//! capturable output sink, a hand-rolled JSON writer, the std-only
+//! micro-benchmark timer, and the experiment registry.
 
+pub mod exps;
 pub mod experiments;
+pub mod json;
+pub mod registry;
+pub mod sink;
 pub mod tables;
+pub mod timing;
 
 pub use experiments::{
     dump_json, geomean_excluding, network_config, print_breakdown_figure, print_speedup_figure,
-    run_network, LayerResult, SEED,
+    run_layer, run_network, LayerResult, SEED,
 };
+pub use registry::{all_experiments, ExperimentKind, ExperimentSpec};
+pub use sink::{artifact, begin_capture, end_capture, Capture};
 pub use tables::{print_series, print_table};
+
+/// Writes a line of experiment output: to the active capture if the
+/// harness installed one on this thread, to stdout otherwise.
+#[macro_export]
+macro_rules! outln {
+    () => { $crate::sink::outln_args(format_args!("")) };
+    ($($arg:tt)*) => { $crate::sink::outln_args(format_args!($($arg)*)) };
+}
+
+/// Writes experiment output without a trailing newline (see [`outln!`]).
+#[macro_export]
+macro_rules! out {
+    ($($arg:tt)*) => { $crate::sink::out_args(format_args!($($arg)*)) };
+}

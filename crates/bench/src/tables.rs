@@ -16,7 +16,7 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         for (i, cell) in cells.iter().enumerate() {
             s.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
         }
-        println!("{}", s.trim_end());
+        crate::outln!("{}", s.trim_end());
     };
     line(header.iter().map(|h| h.to_string()).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
@@ -28,7 +28,7 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
 /// Prints a named numeric series (one figure curve) as `label: v1 v2 …`.
 pub fn print_series(label: &str, values: &[f64]) {
     let rendered: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
-    println!("{label}: {}", rendered.join(" "));
+    crate::outln!("{label}: {}", rendered.join(" "));
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! A std-only micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so the benches cannot use `criterion`.
+//! This is the minimal replacement: warm up, run timed batches until a
+//! fixed wall-clock budget is spent, and report the per-iteration time for
+//! the fastest batch (the usual low-noise estimator for micro-benchmarks).
+//! Targets keep `harness = false` and call [`group`] from `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One named benchmark group; prints results as `group/id  …` lines.
+pub struct Group {
+    name: String,
+    budget: Duration,
+}
+
+/// Opens a benchmark group with the default 100 ms per-benchmark budget.
+pub fn group(name: &str) -> Group {
+    Group {
+        name: name.to_string(),
+        budget: Duration::from_millis(100),
+    }
+}
+
+impl Group {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn budget_ms(&mut self, ms: u64) -> &mut Self {
+        self.budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Measures `f`, reporting nanoseconds per iteration under `id`.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) {
+        // Warm-up: one untimed call, then size the batch so a batch takes
+        // roughly 1/10 of the budget.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = ((self.budget.as_nanos() / 10 / once.as_nanos()).max(1)) as u64;
+
+        let mut best_ns_per_iter = f64::INFINITY;
+        let mut iters_total = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let b0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = b0.elapsed().as_nanos() as f64 / batch as f64;
+            best_ns_per_iter = best_ns_per_iter.min(ns);
+            iters_total += batch;
+        }
+        println!(
+            "{}/{:<32} {:>14} ns/iter  ({} iters)",
+            self.name,
+            id,
+            format_ns(best_ns_per_iter),
+            iters_total,
+        );
+    }
+
+    /// Ends the group (prints a separator, mirrors the criterion API).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}e9", ns / 1e9)
+    } else {
+        let v = ns.round() as u64;
+        // Thousands separators for readability.
+        let s = v.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i) % 3 == 0 {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_iters() {
+        let mut g = group("t");
+        g.budget_ms(5);
+        let mut calls = 0u64;
+        g.bench("noop", || calls += 1);
+        assert!(calls > 0);
+        g.finish();
+    }
+
+    #[test]
+    fn formats_thousands() {
+        assert_eq!(format_ns(1234567.0), "1,234,567");
+        assert_eq!(format_ns(12.0), "12");
+    }
+}

@@ -1,0 +1,294 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every experiment *point* (one layer of a per-layer figure, or one whole
+//! single-shot experiment) is cached under a key derived from everything
+//! that determines its result: the experiment name, its configuration
+//! fingerprint, the global workload seed, the point index, and the cache
+//! format version. The key is in the file *name*, so a fingerprint change
+//! (different network, schemes, or simulator config) makes old entries
+//! unreachable rather than wrong; `clean` garbage-collects them.
+//!
+//! Entries are plain text with length-prefixed sections so cached payloads
+//! can contain arbitrary lines. Any malformed entry — truncated file, bad
+//! header, stale format version — is treated as a cache miss, never an
+//! error: the point is simply recomputed and the entry rewritten.
+
+use crate::PointPayload;
+use sparten_bench::Capture;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bump to invalidate every existing cache entry (e.g. when the PRNG, the
+/// record format, or simulator semantics change).
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &str = "sparten-cache v1";
+
+/// FNV-1a 64-bit over `\x1f`-separated parts: stable, dependency-free, and
+/// good enough for cache addressing (collisions are survivable — the entry
+/// header repeats the key and the payload is validated by the consumer).
+pub fn fnv1a_parts(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        for &b in p.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The on-disk cache at a directory (conventionally `results/cache/`).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Opens (without creating) a cache at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Cache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content key of one experiment point.
+    pub fn key(name: &str, fingerprint: &str, seed: u64, point: usize) -> u64 {
+        fnv1a_parts(&[
+            &CACHE_FORMAT_VERSION.to_string(),
+            name,
+            fingerprint,
+            &seed.to_string(),
+            &point.to_string(),
+        ])
+    }
+
+    fn entry_path(&self, name: &str, point: usize, key: u64) -> PathBuf {
+        self.dir.join(format!("{name}.p{point:03}.{key:016x}.cache"))
+    }
+
+    /// Loads the payload for `key`, or `None` on miss or malformed entry.
+    pub fn load(&self, name: &str, point: usize, key: u64) -> Option<PointPayload> {
+        let bytes = fs::read(self.entry_path(name, point, key)).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
+        parse_entry(&text, key)
+    }
+
+    /// Stores `payload` under `key`, creating the cache directory if
+    /// needed. Interrupted writes cannot corrupt a warm cache: the entry is
+    /// written to a temporary file first and renamed into place.
+    pub fn store(
+        &self,
+        name: &str,
+        point: usize,
+        key: u64,
+        payload: &PointPayload,
+    ) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(name, point, key);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, serialize_entry(key, payload))?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Removes every cache entry (and stray temp file); returns how many
+    /// files were deleted. Missing directory counts as already clean.
+    pub fn clean(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            if matches!(ext, Some("cache") | Some("tmp")) {
+                fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+fn serialize_entry(key: u64, payload: &PointPayload) -> String {
+    let mut s = format!("{MAGIC}\nkey={key:016x}\n");
+    match payload {
+        PointPayload::Record(blob) => {
+            s.push_str(&format!("kind=record\nlen={}\n", blob.len()));
+            s.push_str(blob);
+        }
+        PointPayload::Capture(c) => {
+            s.push_str(&format!("kind=capture\ntext={}\n", c.text.len()));
+            s.push_str(&c.text);
+            s.push_str(&format!("artifacts={}\n", c.artifacts.len()));
+            for (path, contents) in &c.artifacts {
+                s.push_str(&format!("path={path}\nlen={}\n", contents.len()));
+                s.push_str(contents);
+                s.push('\n');
+            }
+        }
+    }
+    s
+}
+
+/// A tiny cursor over the entry text, reading `\n`-terminated header lines
+/// and exact-length payload sections (lengths are in bytes).
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn line(&mut self) -> Option<&'a str> {
+        let nl = self.rest.find('\n')?;
+        let (line, rest) = self.rest.split_at(nl);
+        self.rest = &rest[1..];
+        Some(line)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a str> {
+        if !self.rest.is_char_boundary(n) || n > self.rest.len() {
+            return None;
+        }
+        let (chunk, rest) = self.rest.split_at(n);
+        self.rest = rest;
+        Some(chunk)
+    }
+
+    fn field(&mut self, key: &str) -> Option<&'a str> {
+        self.line()?.strip_prefix(key)
+    }
+}
+
+fn parse_entry(text: &str, expect_key: u64) -> Option<PointPayload> {
+    let mut c = Cursor { rest: text };
+    if c.line()? != MAGIC {
+        return None;
+    }
+    let key = u64::from_str_radix(c.field("key=")?, 16).ok()?;
+    if key != expect_key {
+        return None;
+    }
+    match c.field("kind=")? {
+        "record" => {
+            let len: usize = c.field("len=")?.parse().ok()?;
+            let blob = c.take(len)?;
+            Some(PointPayload::Record(blob.to_string()))
+        }
+        "capture" => {
+            let text_len: usize = c.field("text=")?.parse().ok()?;
+            let body = c.take(text_len)?.to_string();
+            let n_artifacts: usize = c.field("artifacts=")?.parse().ok()?;
+            let mut artifacts = Vec::with_capacity(n_artifacts);
+            for _ in 0..n_artifacts {
+                let path = c.field("path=")?.to_string();
+                let len: usize = c.field("len=")?.parse().ok()?;
+                let contents = c.take(len)?.to_string();
+                if c.take(1)? != "\n" {
+                    return None;
+                }
+                artifacts.push((path, contents));
+            }
+            Some(PointPayload::Capture(Capture {
+                text: body,
+                artifacts,
+            }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cache(tag: &str) -> Cache {
+        let dir = std::env::temp_dir().join(format!("sparten-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Cache::new(dir)
+    }
+
+    #[test]
+    fn record_payloads_roundtrip() {
+        let cache = tmp_cache("record");
+        let key = Cache::key("exp", "fp", 2019, 0);
+        let payload = PointPayload::Record("scheme=Dense compute=1\nline two\n".into());
+        cache.store("exp", 0, key, &payload).unwrap();
+        match cache.load("exp", 0, key) {
+            Some(PointPayload::Record(blob)) => {
+                assert_eq!(blob, "scheme=Dense compute=1\nline two\n");
+            }
+            other => panic!("bad load: {other:?}"),
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn capture_payloads_roundtrip_with_artifacts() {
+        let cache = tmp_cache("capture");
+        let key = Cache::key("exp", "fp", 2019, 0);
+        let payload = PointPayload::Capture(Capture {
+            text: "a table\nwith\nlen=7 traps\n".into(),
+            artifacts: vec![
+                ("results/a.json".into(), "{\n  \"x\": 1\n}".into()),
+                ("results/b.json".into(), String::new()),
+            ],
+        });
+        cache.store("exp", 0, key, &payload).unwrap();
+        let back = cache.load("exp", 0, key).expect("hit");
+        match (&payload, &back) {
+            (PointPayload::Capture(a), PointPayload::Capture(b)) => assert_eq!(a, b),
+            _ => panic!("kind changed"),
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_depends_on_every_component() {
+        let base = Cache::key("exp", "fp", 2019, 0);
+        assert_ne!(base, Cache::key("exp2", "fp", 2019, 0));
+        assert_ne!(base, Cache::key("exp", "fp2", 2019, 0));
+        assert_ne!(base, Cache::key("exp", "fp", 2020, 0));
+        assert_ne!(base, Cache::key("exp", "fp", 2019, 1));
+    }
+
+    #[test]
+    fn malformed_entries_are_misses() {
+        let cache = tmp_cache("malformed");
+        fs::create_dir_all(cache.dir()).unwrap();
+        let key = Cache::key("exp", "fp", 2019, 0);
+        let path = cache.dir().join(format!("exp.p000.{key:016x}.cache"));
+
+        for bad in [
+            "",
+            "garbage",
+            "sparten-cache v1\nkey=0000000000000000\nkind=record\nlen=4\nabcd", // wrong key
+            &format!("{MAGIC}\nkey={key:016x}\nkind=record\nlen=999\nshort"),
+            &format!("{MAGIC}\nkey={key:016x}\nkind=weird\n"),
+        ] {
+            fs::write(&path, bad).unwrap();
+            assert!(cache.load("exp", 0, key).is_none(), "accepted: {bad:?}");
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn clean_removes_entries_and_tolerates_missing_dir() {
+        let cache = tmp_cache("clean");
+        assert_eq!(cache.clean().unwrap(), 0);
+        let key = Cache::key("exp", "fp", 2019, 0);
+        cache
+            .store("exp", 0, key, &PointPayload::Record("x\n".into()))
+            .unwrap();
+        assert_eq!(cache.clean().unwrap(), 1);
+        assert!(cache.load("exp", 0, key).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

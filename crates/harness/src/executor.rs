@@ -1,0 +1,413 @@
+//! The worker-pool executor: schedules experiment points across threads,
+//! consults the cache, and emits per-job output in deterministic order.
+//!
+//! Scheduling model:
+//!
+//! * the *scheduler* (calling thread) owns the job graph and the cache;
+//! * `jobs` worker threads pull `(job, point)` tasks from a shared queue
+//!   and compute payloads — points of different jobs and of the same job
+//!   interleave freely;
+//! * completed payloads flow back to the scheduler, which writes cache
+//!   entries, fires dependent jobs when their dependencies finish, and
+//!   renders each finished job exactly once;
+//! * job output (text and artifacts) is emitted in *registry order*, not
+//!   completion order, so a run's transcript is bit-identical no matter
+//!   how many workers raced on it.
+//!
+//! A panicking point is caught on the worker, reported as a failed job,
+//! and does not poison the rest of the run.
+
+use crate::cache::Cache;
+use crate::{Experiment, PointPayload};
+use sparten_bench::ExperimentKind;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Options for one [`run`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Case-sensitive substring filter on experiment names; `None` runs
+    /// everything. Dependencies on filtered-out jobs are waived (they are
+    /// reporting-order constraints, not data dependencies).
+    pub filter: Option<String>,
+    /// Worker thread count (≥ 1).
+    pub jobs: usize,
+    /// Ignore cache hits and recompute every point (entries are rewritten).
+    pub force: bool,
+    /// Cache directory, conventionally `results/cache/`.
+    pub cache_dir: std::path::PathBuf,
+    /// Write each job's artifacts (`results/*.json`) to disk.
+    pub write_artifacts: bool,
+    /// Print each job's captured output (in registry order) as it becomes
+    /// available. Tests turn this off and read the report instead.
+    pub stream_output: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            filter: None,
+            jobs: default_jobs(),
+            force: false,
+            cache_dir: "results/cache".into(),
+            write_artifacts: true,
+            stream_output: true,
+        }
+    }
+}
+
+/// The default worker count: available parallelism, or 1 if unknown.
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Experiment name.
+    pub name: &'static str,
+    /// Artifact kind.
+    pub kind: ExperimentKind,
+    /// Number of points.
+    pub points: usize,
+    /// How many points were served from the cache.
+    pub cache_hits: usize,
+    /// Wall time attributable to this job: point compute time (summed
+    /// across workers) plus the render step.
+    pub wall: Duration,
+    /// The job's final captured stdout text.
+    pub output: String,
+    /// The job's file artifacts as `(path, contents)` pairs.
+    pub artifacts: Vec<(String, String)>,
+    /// Panic message if any point failed; the job then has no output.
+    pub error: Option<String>,
+}
+
+/// Outcome of one [`run`]: per-job reports in registry order.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Reports in registry (deterministic emission) order.
+    pub jobs: Vec<JobReport>,
+    /// End-to-end elapsed time of the run.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl RunReport {
+    /// Total points across all jobs.
+    pub fn total_points(&self) -> usize {
+        self.jobs.iter().map(|j| j.points).sum()
+    }
+
+    /// Total cache hits across all jobs.
+    pub fn total_hits(&self) -> usize {
+        self.jobs.iter().map(|j| j.cache_hits).sum()
+    }
+
+    /// Whether every job succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(|j| j.error.is_none())
+    }
+}
+
+struct Task {
+    job: usize,
+    point: usize,
+}
+
+struct Done {
+    job: usize,
+    point: usize,
+    payload: Result<PointPayload, String>,
+    took: Duration,
+}
+
+struct JobState {
+    remaining_deps: usize,
+    dependents: Vec<usize>,
+    pending_points: usize,
+    points: Vec<Option<PointPayload>>,
+    cache_hits: usize,
+    compute_time: Duration,
+    error: Option<String>,
+    finished: bool,
+}
+
+/// Runs `experiments` (filtered per `opts`) and returns per-job reports in
+/// registry order.
+///
+/// # Panics
+///
+/// Panics if `opts.jobs` is 0 or the dependency graph has a cycle.
+pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport {
+    assert!(opts.jobs >= 1, "--jobs must be at least 1");
+    let start = Instant::now();
+    let cache = Cache::new(opts.cache_dir.clone());
+
+    // Filter, then restrict deps to the selected set.
+    let selected: Vec<Arc<dyn Experiment>> = experiments
+        .iter()
+        .filter(|e| {
+            opts.filter
+                .as_deref()
+                .is_none_or(|f| e.name().contains(f))
+        })
+        .cloned()
+        .collect();
+    let index: HashMap<&str, usize> = selected
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.name(), i))
+        .collect();
+
+    let mut states: Vec<JobState> = selected
+        .iter()
+        .map(|e| JobState {
+            remaining_deps: 0,
+            dependents: Vec::new(),
+            pending_points: e.num_points(),
+            points: vec![None; e.num_points()],
+            cache_hits: 0,
+            compute_time: Duration::ZERO,
+            error: None,
+            finished: false,
+        })
+        .collect();
+    for (i, e) in selected.iter().enumerate() {
+        for d in e.deps() {
+            if let Some(&j) = index.get(d) {
+                states[i].remaining_deps += 1;
+                states[j].dependents.push(i);
+            }
+        }
+    }
+
+    // Worker pool over a shared task queue.
+    let (task_tx, task_rx) = mpsc::channel::<Task>();
+    let task_rx = Arc::new(Mutex::new(task_rx));
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let workers: Vec<_> = (0..opts.jobs)
+        .map(|_| {
+            let rx = Arc::clone(&task_rx);
+            let tx = done_tx.clone();
+            let exps: Vec<Arc<dyn Experiment>> = selected.clone();
+            thread::spawn(move || loop {
+                let task = match rx.lock().expect("task queue").recv() {
+                    Ok(t) => t,
+                    Err(_) => break,
+                };
+                let exp = Arc::clone(&exps[task.job]);
+                let t0 = Instant::now();
+                let payload = catch_unwind(AssertUnwindSafe(|| exp.compute_point(task.point)))
+                    .map_err(|p| panic_message(&p));
+                let send = tx.send(Done {
+                    job: task.job,
+                    point: task.point,
+                    payload,
+                    took: t0.elapsed(),
+                });
+                if send.is_err() {
+                    break;
+                }
+            })
+        })
+        .collect();
+    drop(done_tx);
+
+    let mut reports: Vec<Option<JobReport>> = (0..selected.len()).map(|_| None).collect();
+    let mut emit_cursor = 0usize;
+    let mut outstanding = 0usize; // tasks dispatched, not yet completed
+    let mut unfinished = selected.len();
+
+    // Schedule a job: serve points from the cache, dispatch the misses.
+    // Returns true if the job completed entirely from cache.
+    let schedule = |job: usize,
+                    states: &mut Vec<JobState>,
+                    outstanding: &mut usize|
+     -> bool {
+        let exp = &selected[job];
+        let fp = exp.fingerprint();
+        for point in 0..exp.num_points() {
+            let key = Cache::key(exp.name(), &fp, crate::SEED, point);
+            let hit = if opts.force {
+                None
+            } else {
+                cache
+                    .load(exp.name(), point, key)
+                    .filter(|p| exp.validate(point, p))
+            };
+            match hit {
+                Some(payload) => {
+                    states[job].points[point] = Some(payload);
+                    states[job].cache_hits += 1;
+                    states[job].pending_points -= 1;
+                }
+                None => {
+                    task_tx.send(Task { job, point }).expect("workers alive");
+                    *outstanding += 1;
+                }
+            }
+        }
+        states[job].pending_points == 0
+    };
+
+    // Finish a job: render, record the report, and fire dependents.
+    // Newly-ready dependents are returned for scheduling.
+    fn finish(
+        job: usize,
+        selected: &[Arc<dyn Experiment>],
+        states: &mut [JobState],
+        reports: &mut [Option<JobReport>],
+        unfinished: &mut usize,
+    ) -> Vec<usize> {
+        let exp = &selected[job];
+        let (output, artifacts, error) = if let Some(e) = states[job].error.take() {
+            (String::new(), Vec::new(), Some(e))
+        } else {
+            let points: Vec<PointPayload> = states[job]
+                .points
+                .iter()
+                .map(|p| p.clone().expect("all points complete"))
+                .collect();
+            let t0 = Instant::now();
+            let capture = exp.render(&points);
+            states[job].compute_time += t0.elapsed();
+            (capture.text, capture.artifacts, None)
+        };
+        reports[job] = Some(JobReport {
+            name: exp.name(),
+            kind: exp.kind(),
+            points: exp.num_points(),
+            cache_hits: states[job].cache_hits,
+            wall: states[job].compute_time,
+            output,
+            artifacts,
+            error,
+        });
+        states[job].finished = true;
+        *unfinished -= 1;
+        let mut ready = Vec::new();
+        let dependents = states[job].dependents.clone();
+        for d in dependents {
+            states[d].remaining_deps -= 1;
+            if states[d].remaining_deps == 0 {
+                ready.push(d);
+            }
+        }
+        ready
+    }
+
+    // Seed the queue with dependency-free jobs; drain completions, firing
+    // dependents as their dependencies finish.
+    let mut ready: Vec<usize> = (0..selected.len())
+        .filter(|&i| states[i].remaining_deps == 0)
+        .collect();
+    while !ready.is_empty() || unfinished > 0 {
+        for job in std::mem::take(&mut ready) {
+            if schedule(job, &mut states, &mut outstanding) {
+                let newly = finish(job, &selected, &mut states, &mut reports, &mut unfinished);
+                ready.extend(newly);
+            }
+        }
+        if !ready.is_empty() {
+            continue; // fully-cached chains resolve without touching workers
+        }
+        if unfinished == 0 {
+            break;
+        }
+        assert!(
+            outstanding > 0,
+            "dependency cycle: jobs remain but nothing is runnable"
+        );
+        let done = done_rx.recv().expect("workers alive");
+        outstanding -= 1;
+        let state = &mut states[done.job];
+        state.compute_time += done.took;
+        state.pending_points -= 1;
+        match done.payload {
+            Ok(payload) => {
+                let exp = &selected[done.job];
+                let key = Cache::key(exp.name(), &exp.fingerprint(), crate::SEED, done.point);
+                if let Err(e) = cache.store(exp.name(), done.point, key, &payload) {
+                    eprintln!("warning: cache write failed for {}: {e}", exp.name());
+                }
+                state.points[done.point] = Some(payload);
+            }
+            Err(msg) => {
+                let name = selected[done.job].name();
+                let point = done.point;
+                state
+                    .error
+                    .get_or_insert_with(|| format!("point {point} of {name} panicked: {msg}"));
+            }
+        }
+        if state.pending_points == 0 {
+            let newly = finish(done.job, &selected, &mut states, &mut reports, &mut unfinished);
+            ready.extend(newly);
+        }
+
+        // Emit finished jobs in registry order as they become available.
+        if opts.stream_output {
+            emit_ready(&mut emit_cursor, &reports);
+        }
+    }
+    if opts.stream_output {
+        emit_ready(&mut emit_cursor, &reports);
+    }
+
+    drop(task_tx);
+    for w in workers {
+        let _ = w.join();
+    }
+
+    let jobs: Vec<JobReport> = reports.into_iter().map(|r| r.expect("finished")).collect();
+    if opts.write_artifacts {
+        for job in &jobs {
+            for (path, contents) in &job.artifacts {
+                write_artifact(path, contents);
+            }
+        }
+    }
+    RunReport {
+        jobs,
+        elapsed: start.elapsed(),
+        workers: opts.jobs,
+    }
+}
+
+fn emit_ready(cursor: &mut usize, reports: &[Option<JobReport>]) {
+    while *cursor < reports.len() {
+        let Some(report) = &reports[*cursor] else { break };
+        match &report.error {
+            Some(e) => println!("== {} == FAILED: {e}\n", report.name),
+            None => print!("{}", report.output),
+        }
+        *cursor += 1;
+    }
+}
+
+fn write_artifact(path: &str, contents: &str) {
+    let p = Path::new(path);
+    if let Some(parent) = p.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(p, contents) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}

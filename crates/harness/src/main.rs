@@ -1,0 +1,224 @@
+//! The `sparten-harness` CLI: one entry point for the whole evaluation.
+//!
+//! ```text
+//! cargo run --release -p sparten-harness -- run --filter fig7 --jobs 8
+//! cargo run --release -p sparten-harness -- list
+//! cargo run --release -p sparten-harness -- clean
+//! ```
+
+use sparten_harness::cache::Cache;
+use sparten_harness::executor::{self, RunOptions};
+use sparten_harness::registry;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sparten-harness — parallel experiment orchestration with result caching
+
+USAGE:
+    sparten-harness run [--filter SUBSTR] [--jobs N] [--force]
+                        [--cache-dir PATH] [--no-artifacts]
+    sparten-harness list [--filter SUBSTR]
+    sparten-harness clean [--cache-dir PATH]
+
+COMMANDS:
+    run      Run experiments (all, or those whose name contains --filter),
+             skipping points already in the cache, then print a per-job
+             wall-time/cache-hit summary.
+    list     List registered experiments with kind, points, and deps.
+    clean    Delete every cache entry.
+
+OPTIONS:
+    --filter SUBSTR   Only experiments whose name contains SUBSTR.
+    --jobs N          Worker threads (default: available parallelism).
+    --force           Recompute every point, overwriting cache entries.
+    --cache-dir PATH  Cache location (default: results/cache).
+    --no-artifacts    Do not write results/*.json artifacts to disk.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "list" => cmd_list(&args[1..]),
+        "clean" => cmd_clean(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` / bare-flag options shared by the subcommands.
+struct Flags {
+    filter: Option<String>,
+    jobs: Option<usize>,
+    force: bool,
+    cache_dir: Option<String>,
+    no_artifacts: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        filter: None,
+        jobs: None,
+        force: false,
+        cache_dir: None,
+        no_artifacts: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--filter" => {
+                f.filter = Some(it.next().ok_or("--filter needs a value")?.clone());
+            }
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                f.jobs = Some(n);
+            }
+            "--force" => f.force = true,
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a value")?;
+                if v.is_empty() {
+                    return Err("--cache-dir must not be empty".into());
+                }
+                f.cache_dir = Some(v.clone());
+            }
+            "--no-artifacts" => f.no_artifacts = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(f)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = RunOptions {
+        filter: flags.filter,
+        force: flags.force,
+        write_artifacts: !flags.no_artifacts,
+        ..RunOptions::default()
+    };
+    if let Some(j) = flags.jobs {
+        opts.jobs = j;
+    }
+    if let Some(d) = flags.cache_dir {
+        opts.cache_dir = d.into();
+    }
+
+    let report = executor::run(&registry(), &opts);
+    if report.jobs.is_empty() {
+        eprintln!("no experiments match the filter");
+        return ExitCode::FAILURE;
+    }
+
+    // Per-job summary: name, kind, points, cache hits, wall time.
+    println!("== Run summary ==\n");
+    println!(
+        "{:<28} {:<10} {:>6} {:>6} {:>9}  status",
+        "experiment", "kind", "points", "hits", "time"
+    );
+    for j in &report.jobs {
+        println!(
+            "{:<28} {:<10} {:>6} {:>6} {:>8.3}s  {}",
+            j.name,
+            j.kind.label(),
+            j.points,
+            j.cache_hits,
+            j.wall.as_secs_f64(),
+            if j.error.is_some() { "FAILED" } else { "ok" },
+        );
+    }
+    let hits = report.total_hits();
+    let points = report.total_points();
+    println!(
+        "\n{} jobs, {points} points, {hits} cache hits ({:.0}%), {:.3}s wall on {} workers",
+        report.jobs.len(),
+        if points == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / points as f64
+        },
+        report.elapsed.as_secs_f64(),
+        report.workers,
+    );
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<28} {:<10} {:>6}  deps",
+        "experiment", "kind", "points"
+    );
+    for e in registry() {
+        if flags
+            .filter
+            .as_deref()
+            .is_some_and(|f| !e.name().contains(f))
+        {
+            continue;
+        }
+        println!(
+            "{:<28} {:<10} {:>6}  {}",
+            e.name(),
+            e.kind().label(),
+            e.num_points(),
+            if e.deps().is_empty() {
+                "-".to_string()
+            } else {
+                e.deps().join(", ")
+            },
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_clean(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = flags.cache_dir.unwrap_or_else(|| "results/cache".into());
+    match Cache::new(dir).clean() {
+        Ok(n) => {
+            println!("removed {n} cache entries");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Integration tests for the orchestration harness: determinism across
+//! worker counts and cache states, dependency ordering, cache-hit
+//! accounting, and failure isolation.
+
+use sparten::nn::{ConvShape, LayerSpec};
+use sparten::sim::{Scheme, SimConfig, SimResult};
+use sparten_bench::registry::layer_record;
+use sparten_bench::{run_layer, Capture, ExperimentKind};
+use sparten_harness::executor::{run, RunOptions};
+use sparten_harness::{registry, Experiment, PointPayload};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// A small experiment over synthetic layers; each point simulates one
+/// small layer across all eight schemes, exactly like the real figures.
+struct TestExp {
+    name: &'static str,
+    deps: &'static [&'static str],
+    points: usize,
+    /// Channel-count knob so different experiments do different work.
+    depth: usize,
+    /// Optional completion log for ordering assertions.
+    log: Option<Arc<Mutex<Vec<&'static str>>>>,
+    /// Panic on compute, to test failure isolation.
+    poisoned: bool,
+}
+
+impl TestExp {
+    fn new(name: &'static str, points: usize, depth: usize) -> Self {
+        TestExp {
+            name,
+            deps: &[],
+            points,
+            depth,
+            log: None,
+            poisoned: false,
+        }
+    }
+
+    fn layer(&self, point: usize) -> LayerSpec {
+        LayerSpec {
+            name: ["P0", "P1", "P2", "P3"][point],
+            shape: ConvShape::new(self.depth + point, 5, 5, 3, 4, 1, 1),
+            input_density: 0.5,
+            filter_density: 0.4,
+        }
+    }
+}
+
+impl Experiment for TestExp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn kind(&self) -> ExperimentKind {
+        ExperimentKind::Study
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        self.deps
+    }
+
+    fn num_points(&self) -> usize {
+        self.points
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("test:{}:{}:{}", self.name, self.points, self.depth)
+    }
+
+    fn compute_point(&self, point: usize) -> PointPayload {
+        assert!(!self.poisoned, "poisoned experiment");
+        let spec = self.layer(point);
+        let result = run_layer(&spec, &Scheme::all(), &SimConfig::small());
+        PointPayload::Record(layer_record(&result))
+    }
+
+    fn render(&self, points: &[PointPayload]) -> Capture {
+        if let Some(log) = &self.log {
+            log.lock().unwrap().push(self.name);
+        }
+        let mut text = format!("== {} ==\n", self.name);
+        for p in points {
+            match p {
+                PointPayload::Record(blob) => text.push_str(blob),
+                PointPayload::Capture(_) => unreachable!(),
+            }
+        }
+        Capture {
+            text,
+            artifacts: Vec::new(),
+        }
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sparten-harness-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
+    RunOptions {
+        filter: None,
+        jobs,
+        force: false,
+        cache_dir,
+        write_artifacts: false,
+        stream_output: false,
+    }
+}
+
+fn outputs(report: &sparten_harness::executor::RunReport) -> Vec<String> {
+    report.jobs.iter().map(|j| j.output.clone()).collect()
+}
+
+#[test]
+fn results_are_bit_identical_across_jobs_and_cache_states() {
+    // Same seed ⇒ bit-identical SimResults for all 8 schemes on small
+    // layers, for --jobs 1 vs N and cold vs warm cache.
+    let exps: Vec<Arc<dyn Experiment>> = vec![
+        Arc::new(TestExp::new("det_a", 4, 8)),
+        Arc::new(TestExp::new("det_b", 3, 12)),
+    ];
+    let dir_serial = fresh_dir("det-serial");
+    let dir_parallel = fresh_dir("det-parallel");
+
+    let serial_cold = run(&exps, &opts(dir_serial.clone(), 1));
+    let parallel_cold = run(&exps, &opts(dir_parallel.clone(), 4));
+    let parallel_warm = run(&exps, &opts(dir_parallel.clone(), 4));
+
+    assert_eq!(outputs(&serial_cold), outputs(&parallel_cold));
+    assert_eq!(outputs(&parallel_cold), outputs(&parallel_warm));
+    assert_eq!(serial_cold.total_hits(), 0);
+    assert_eq!(parallel_warm.total_hits(), 7);
+
+    // The outputs really are SimResult records that parse bit-exactly.
+    let body = serial_cold.jobs[0]
+        .output
+        .strip_prefix("== det_a ==\n")
+        .unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 4 * Scheme::all().len());
+    for line in lines {
+        let r = SimResult::from_record(line).expect("record parses");
+        assert_eq!(r.to_record(), line);
+    }
+
+    let _ = std::fs::remove_dir_all(dir_serial);
+    let _ = std::fs::remove_dir_all(dir_parallel);
+}
+
+#[test]
+fn direct_recomputation_is_bit_identical() {
+    // The underlying guarantee the cache rests on, without the executor.
+    let exp = TestExp::new("direct", 1, 16);
+    let a = run_layer(&exp.layer(0), &Scheme::all(), &SimConfig::small());
+    let b = run_layer(&exp.layer(0), &Scheme::all(), &SimConfig::small());
+    assert_eq!(a.results, b.results);
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.to_record(), y.to_record());
+    }
+}
+
+#[test]
+fn output_is_emitted_in_registry_order_not_completion_order() {
+    // Big job first in the registry, tiny jobs later: under 4 workers the
+    // tiny jobs finish first, but reports stay in registry order.
+    let exps: Vec<Arc<dyn Experiment>> = vec![
+        Arc::new(TestExp::new("order_big", 4, 40)),
+        Arc::new(TestExp::new("order_t1", 1, 4)),
+        Arc::new(TestExp::new("order_t2", 1, 5)),
+    ];
+    let dir = fresh_dir("order");
+    let report = run(&exps, &opts(dir.clone(), 4));
+    let names: Vec<&str> = report.jobs.iter().map(|j| j.name).collect();
+    assert_eq!(names, vec!["order_big", "order_t1", "order_t2"]);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn dependencies_complete_before_dependents_start() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut first = TestExp::new("dep_first", 2, 20);
+    first.log = Some(Arc::clone(&log));
+    let mut second = TestExp::new("dep_second", 1, 4);
+    second.deps = &["dep_first"];
+    second.log = Some(Arc::clone(&log));
+    // Registry order puts the dependent first to prove scheduling, not
+    // listing order, is what delays it.
+    let exps: Vec<Arc<dyn Experiment>> = vec![Arc::new(second), Arc::new(first)];
+    let dir = fresh_dir("deps");
+    let report = run(&exps, &opts(dir.clone(), 4));
+    assert!(report.all_ok());
+    assert_eq!(*log.lock().unwrap(), vec!["dep_first", "dep_second"]);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn force_recomputes_despite_a_warm_cache() {
+    let exps: Vec<Arc<dyn Experiment>> = vec![Arc::new(TestExp::new("force_me", 2, 8))];
+    let dir = fresh_dir("force");
+    let cold = run(&exps, &opts(dir.clone(), 2));
+    assert_eq!(cold.total_hits(), 0);
+    let warm = run(&exps, &opts(dir.clone(), 2));
+    assert_eq!(warm.total_hits(), 2);
+    let mut forced_opts = opts(dir.clone(), 2);
+    forced_opts.force = true;
+    let forced = run(&exps, &forced_opts);
+    assert_eq!(forced.total_hits(), 0);
+    assert_eq!(outputs(&cold), outputs(&forced));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn filter_selects_by_substring_and_waives_missing_deps() {
+    let mut dependent = TestExp::new("solo_dependent", 1, 6);
+    dependent.deps = &["solo_missing"];
+    let exps: Vec<Arc<dyn Experiment>> = vec![
+        Arc::new(TestExp::new("solo_missing", 1, 6)),
+        Arc::new(dependent),
+    ];
+    let dir = fresh_dir("filter");
+    let mut o = opts(dir.clone(), 2);
+    o.filter = Some("dependent".into());
+    let report = run(&exps, &o);
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(report.jobs[0].name, "solo_dependent");
+    assert!(report.all_ok());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_panicking_job_fails_alone() {
+    let mut bad = TestExp::new("poison", 2, 8);
+    bad.poisoned = true;
+    let exps: Vec<Arc<dyn Experiment>> = vec![
+        Arc::new(bad),
+        Arc::new(TestExp::new("survivor", 2, 8)),
+    ];
+    let dir = fresh_dir("poison");
+    let report = run(&exps, &opts(dir.clone(), 2));
+    assert!(!report.all_ok());
+    assert!(report.jobs[0].error.as_deref().unwrap().contains("poison"));
+    assert!(report.jobs[1].error.is_none());
+    assert!(report.jobs[1].output.starts_with("== survivor =="));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn real_registry_experiment_is_cacheable_and_stable() {
+    // The cheapest real experiment end-to-end: cold vs warm byte-identity.
+    let dir = fresh_dir("real");
+    let mut o = opts(dir.clone(), 2);
+    o.filter = Some("table2_hw_params".into());
+    let cold = run(&registry(), &o);
+    assert_eq!(cold.jobs.len(), 1);
+    assert!(cold.all_ok());
+    assert_eq!(cold.total_hits(), 0);
+    let warm = run(&registry(), &o);
+    assert_eq!(warm.total_hits(), 1);
+    assert_eq!(outputs(&cold), outputs(&warm));
+    assert!(cold.jobs[0].output.contains("Table 2"));
+    let _ = std::fs::remove_dir_all(dir);
+}

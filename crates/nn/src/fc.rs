@@ -10,9 +10,8 @@
 
 use crate::filter::Filter;
 use crate::generate::Workload;
+use crate::prng::Rng64;
 use crate::shape::ConvShape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sparten_tensor::Tensor3;
 
 /// A fully-connected layer: `out_features × in_features` weights.
@@ -48,13 +47,13 @@ impl FcLayer {
     /// Panics if `density` is not in `(0, 1]`.
     pub fn random(in_features: usize, out_features: usize, density: f64, seed: u64) -> Self {
         assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xfc1a_7e57);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0xfc1a_7e57);
         let weights = (0..out_features)
             .map(|_| {
                 (0..in_features)
                     .map(|_| {
                         if rng.gen_bool(density) {
-                            let mag = 0.25 + rng.gen::<f32>();
+                            let mag = 0.25 + rng.gen_f32();
                             if rng.gen_bool(0.5) {
                                 mag
                             } else {

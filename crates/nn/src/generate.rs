@@ -9,9 +9,8 @@
 //! an explicit seed.
 
 use crate::filter::Filter;
+use crate::prng::Rng64;
 use crate::shape::ConvShape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sparten_tensor::Tensor3;
 
 /// A complete layer workload: one input tensor and the layer's filters.
@@ -54,11 +53,11 @@ pub fn random_tensor(
     seed: u64,
 ) -> Tensor3 {
     assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut t = Tensor3::zeros(channels, height, width);
     for v in t.as_mut_slice() {
         if rng.gen_bool(density) {
-            let mag = 0.25 + rng.gen::<f32>();
+            let mag = 0.25 + rng.gen_f32();
             *v = if rng.gen_bool(0.5) { mag } else { -mag };
         }
     }
@@ -77,18 +76,18 @@ pub fn random_tensor(
 pub fn random_filters(shape: &ConvShape, density: f64, spread: f64, seed: u64) -> Vec<Filter> {
     assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
     assert!(spread >= 0.0, "spread must be non-negative");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f117);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x5eed_f117);
     (0..shape.num_filters)
         .map(|_| {
             // Clamp the upper bound at 1.0 and mirror the lower bound so
             // the per-filter mean stays on target even near full density.
             let hi = (density * (1.0 + spread)).min(1.0);
             let lo = (2.0 * density - hi).max(0.02).min(hi);
-            let d = if lo < hi { rng.gen_range(lo..hi) } else { lo };
+            let d = if lo < hi { rng.gen_range_f64(lo, hi) } else { lo };
             let mut w = Tensor3::zeros(shape.in_channels, shape.kernel, shape.kernel);
             for v in w.as_mut_slice() {
                 if rng.gen_bool(d) {
-                    let mag = 0.25 + rng.gen::<f32>();
+                    let mag = 0.25 + rng.gen_f32();
                     *v = if rng.gen_bool(0.5) { mag } else { -mag };
                 }
             }

@@ -33,6 +33,7 @@ pub mod stats;
 pub mod structured;
 
 pub use conv::{conv2d, conv2d_direct, im2col, max_pool};
+pub use sparten_tensor::{prng, Rng64};
 pub use fc::{FcLayer, Mlp};
 pub use filter::Filter;
 pub use generate::{random_filters, random_tensor, workload, Workload};

@@ -126,6 +126,128 @@ impl SimResult {
     }
 }
 
+/// Looks up (or interns) a scheme label as a `&'static str`, so records
+/// read back from the on-disk cache can rebuild `SimResult::scheme`.
+/// Known labels resolve without allocation; unknown labels are leaked once
+/// each and memoized, bounding the leak to the set of distinct labels.
+pub fn intern_scheme_label(label: &str) -> &'static str {
+    const KNOWN: [&str; 11] = [
+        "Dense",
+        "One-sided",
+        "SparTen-no-GB",
+        "SparTen-GB-S",
+        "SparTen",
+        "SCNN",
+        "SCNN-one-sided",
+        "SCNN-dense",
+        "Dense-naive",
+        "Bit-serial",
+        "Cambricon-S-like",
+    ];
+    if let Some(k) = KNOWN.iter().find(|k| **k == label) {
+        return k;
+    }
+    use std::sync::Mutex;
+    static EXTRA: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut extra = EXTRA.lock().expect("label intern lock");
+    if let Some(k) = extra.iter().find(|k| **k == label) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(label.to_string().into_boxed_str());
+    extra.push(leaked);
+    leaked
+}
+
+impl SimResult {
+    /// Serializes to the experiment cache's stable single-line record
+    /// format: ordered `key=value` pairs. Floats use Rust's
+    /// shortest-roundtrip formatting, so [`SimResult::from_record`]
+    /// reconstructs the result *bit-identically* — the property the
+    /// harness's determinism tests assert across cache round-trips.
+    pub fn to_record(&self) -> String {
+        format!(
+            "scheme={} compute={} memory={} units={} nonzero={} zero={} intra={} inter={} \
+             input_bytes={} filter_bytes={} output_bytes={} zero_value_bytes={} \
+             metadata_bytes={} macs_nonzero={} macs_zero={} buffer_accesses={} \
+             prefix_ops={} encoder_ops={} permute_values={} compact_ops={} crossbar_ops={}",
+            self.scheme,
+            self.compute_cycles,
+            self.memory_cycles,
+            self.total_units,
+            self.breakdown.nonzero,
+            self.breakdown.zero,
+            self.breakdown.intra,
+            self.breakdown.inter,
+            self.traffic.input_bytes,
+            self.traffic.filter_bytes,
+            self.traffic.output_bytes,
+            self.traffic.zero_value_bytes,
+            self.traffic.metadata_bytes,
+            self.ops.macs_nonzero,
+            self.ops.macs_zero,
+            self.ops.buffer_accesses,
+            self.ops.prefix_ops,
+            self.ops.encoder_ops,
+            self.ops.permute_values,
+            self.ops.compact_ops,
+            self.ops.crossbar_ops,
+        )
+    }
+
+    /// Parses a record produced by [`SimResult::to_record`]. Returns `None`
+    /// on any malformed or missing field (a stale or corrupt cache entry —
+    /// the harness treats that as a miss and recomputes).
+    pub fn from_record(record: &str) -> Option<SimResult> {
+        let mut fields = std::collections::HashMap::new();
+        for pair in record.split_whitespace() {
+            let (k, v) = pair.split_once('=')?;
+            fields.insert(k, v);
+        }
+        let u = |k: &str| -> Option<u64> { fields.get(k)?.parse().ok() };
+        let f = |k: &str| -> Option<f64> { fields.get(k)?.parse().ok() };
+        Some(SimResult {
+            scheme: intern_scheme_label(fields.get("scheme")?),
+            compute_cycles: u("compute")?,
+            memory_cycles: u("memory")?,
+            total_units: u("units")?,
+            breakdown: Breakdown {
+                nonzero: u("nonzero")?,
+                zero: u("zero")?,
+                intra: u("intra")?,
+                inter: u("inter")?,
+            },
+            traffic: Traffic {
+                input_bytes: f("input_bytes")?,
+                filter_bytes: f("filter_bytes")?,
+                output_bytes: f("output_bytes")?,
+                zero_value_bytes: f("zero_value_bytes")?,
+                metadata_bytes: f("metadata_bytes")?,
+            },
+            ops: OpCounts {
+                macs_nonzero: u("macs_nonzero")?,
+                macs_zero: u("macs_zero")?,
+                buffer_accesses: u("buffer_accesses")?,
+                prefix_ops: u("prefix_ops")?,
+                encoder_ops: u("encoder_ops")?,
+                permute_values: u("permute_values")?,
+                compact_ops: u("compact_ops")?,
+                crossbar_ops: u("crossbar_ops")?,
+            },
+        })
+    }
+}
+
+// The harness fans simulation work out across worker threads and clones
+// results into the cache; these bounds are part of the crate's API
+// contract, so breakages surface here rather than deep in the harness.
+const _: fn() = || {
+    fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+    assert_send_sync_clone::<SimResult>();
+    assert_send_sync_clone::<Breakdown>();
+    assert_send_sync_clone::<Traffic>();
+    assert_send_sync_clone::<OpCounts>();
+};
+
 /// Geometric mean of a slice of positive numbers, the paper's summary
 /// statistic for per-layer speedups.
 ///
@@ -205,5 +327,58 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geometric_mean_rejects_zero() {
         geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn record_roundtrip_is_bit_identical() {
+        let r = SimResult {
+            scheme: "SparTen",
+            compute_cycles: 123_456_789,
+            memory_cycles: 42,
+            total_units: 1024,
+            breakdown: Breakdown {
+                nonzero: 1,
+                zero: 2,
+                intra: 3,
+                inter: 4,
+            },
+            traffic: Traffic {
+                input_bytes: 0.1 + 0.2, // deliberately non-representable
+                filter_bytes: 1e300,
+                output_bytes: 7.0,
+                zero_value_bytes: 0.0,
+                metadata_bytes: 123.456,
+            },
+            ops: OpCounts {
+                macs_nonzero: 9,
+                macs_zero: 8,
+                buffer_accesses: 7,
+                prefix_ops: 6,
+                encoder_ops: 5,
+                permute_values: 4,
+                compact_ops: 3,
+                crossbar_ops: 2,
+            },
+        };
+        let back = SimResult::from_record(&r.to_record()).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.traffic.input_bytes.to_bits(), (0.1 + 0.2f64).to_bits());
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(SimResult::from_record("").is_none());
+        assert!(SimResult::from_record("scheme=Dense compute=abc").is_none());
+        let r = result(10, 0).to_record();
+        assert!(SimResult::from_record(&r.replace("units=", "unitz=")).is_none());
+    }
+
+    #[test]
+    fn known_labels_intern_without_leaking() {
+        let a = intern_scheme_label("SparTen");
+        assert_eq!(a, "SparTen");
+        let b = intern_scheme_label("some-new-scheme");
+        let c = intern_scheme_label("some-new-scheme");
+        assert!(std::ptr::eq(b.as_ptr(), c.as_ptr()), "memoized leak");
     }
 }

@@ -124,6 +124,30 @@ impl SimConfig {
             memory: MemoryConfig::fpga(),
         }
     }
+
+    /// A stable, human-readable digest of every parameter that can change
+    /// simulation results. The experiment cache hashes this string into its
+    /// keys, so two runs share cache entries exactly when their configs are
+    /// identical — and any config change invalidates the right entries.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "accel(cu={},chunk={},bisect={},clusters={}) \
+             scnn(pes={},edge={},tile={},group={}) \
+             mem(bpc={},eb={},batch={},outd={})",
+            self.accel.cluster.compute_units,
+            self.accel.cluster.chunk_size,
+            self.accel.cluster.bisection_limit,
+            self.accel.num_clusters,
+            self.scnn.num_pes,
+            self.scnn.mult_edge,
+            self.scnn.tile,
+            self.scnn.output_group,
+            self.memory.bytes_per_cycle,
+            self.memory.element_bytes,
+            self.memory.batch,
+            self.memory.output_density,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +170,18 @@ mod tests {
     #[test]
     fn fpga_bandwidth_is_seven_bytes_per_cycle() {
         assert!((MemoryConfig::fpga().bytes_per_cycle - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs() {
+        let a = SimConfig::large().fingerprint();
+        let b = SimConfig::small().fingerprint();
+        let c = SimConfig::fpga().fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, SimConfig::large().fingerprint());
+        let mut tweaked = SimConfig::large();
+        tweaked.memory.batch = 17;
+        assert_ne!(a, tweaked.fingerprint());
     }
 }

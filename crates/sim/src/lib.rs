@@ -37,7 +37,7 @@ pub mod validate;
 pub mod workmodel;
 
 pub use bitserial::{booth_digits, simulate_bitserial};
-pub use breakdown::{Breakdown, OpCounts, SimResult, Traffic};
+pub use breakdown::{intern_scheme_label, Breakdown, OpCounts, SimResult, Traffic};
 pub use buffered::{simulate_buffered, BufferDepth, BufferedResult};
 pub use cambricon::{simulate_cambricon, CambriconResult};
 pub use config::{MemoryConfig, ScnnConfig, SimConfig};

@@ -47,6 +47,12 @@ impl Scheme {
         ]
     }
 
+    /// The inverse of [`Scheme::label`], for rebuilding schemes from cache
+    /// records and CLI filters.
+    pub fn from_label(label: &str) -> Option<Scheme> {
+        Scheme::all().into_iter().find(|s| s.label() == label)
+    }
+
     /// The label used in the paper's figures.
     pub fn label(self) -> &'static str {
         match self {

@@ -42,6 +42,7 @@ pub mod csr;
 pub mod dense;
 pub mod layout;
 pub mod mask;
+pub mod prng;
 pub mod rle;
 pub mod size;
 pub mod sparse3;
@@ -54,6 +55,7 @@ pub use csr::{CsrMatrix, IndexVector};
 pub use dense::Tensor3;
 pub use layout::{ChunkDirectory, ClusterRegion, RegionAllocator};
 pub use mask::SparseMap;
+pub use prng::Rng64;
 pub use rle::RleVector;
 pub use sparse3::SparseTensor3;
 pub use vector::SparseVector;

@@ -1,0 +1,146 @@
+//! A small, dependency-free deterministic PRNG for workload generation.
+//!
+//! The build must work fully offline, so the synthetic-workload generators
+//! cannot pull in the `rand` crate. This module provides a seeded
+//! xorshift64* generator (Vigna 2016) with splitmix64 seed scrambling —
+//! more than enough statistical quality for Bernoulli sparsity masks and
+//! uniform density draws, and *bit-stable across platforms and releases*,
+//! which is what the experiment cache keys on: the same seed must produce
+//! the same workload forever.
+
+/// A seeded xorshift64* generator.
+///
+/// Streams are fully determined by the seed; two generators built from the
+/// same seed produce identical sequences on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Builds a generator from a seed. The seed is scrambled through
+    /// splitmix64 so that nearby seeds (0, 1, 2, …) give unrelated streams
+    /// and a zero seed is safe.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 finalizer (Steele et al.), guarantees non-zero state.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Rng64 {
+            state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z },
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[0, 1)` built from the top 24 bits.
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            // Still consume a draw so density 1.0 and 0.999… stay aligned.
+            self.next_u64();
+            return true;
+        }
+        if p <= 0.0 {
+            self.next_u64();
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// A uniform `usize` in `[lo, hi)` (by multiply-shift, bias < 2⁻⁶⁴·n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_first_draws_are_stable() {
+        // Pin the stream so cache keys can rely on it: if this ever fails,
+        // the generator changed and every cached workload is invalid.
+        let mut r = Rng64::seed_from_u64(2019);
+        assert_eq!(r.next_u64(), 0x49d7_3b6e_03c1_8f8d);
+        assert_eq!(r.next_u64(), 0x5695_11db_20cf_c41f);
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.gen_f32();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn bernoulli_hits_rate() {
+        let mut r = Rng64::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = r.gen_range_f64(0.25, 0.75);
+            assert!((0.25..0.75).contains(&v));
+            let u = r.gen_range_usize(3, 9);
+            assert!((3..9).contains(&u));
+        }
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+}

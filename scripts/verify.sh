@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Offline tier-1 verification: build, test, and a small parallel smoke run
+# of the orchestration harness (cold cache, 2 workers, then warm re-run).
+# No network access required; the workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== harness smoke run (cold, 2 jobs) =="
+SMOKE_CACHE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE"' EXIT
+cargo run -q --release -p sparten-harness -- \
+  run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" --no-artifacts
+
+echo "== harness smoke run (warm, 2 jobs) =="
+cargo run -q --release -p sparten-harness -- \
+  run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" --no-artifacts
+
+echo "verify: OK"

@@ -2,12 +2,13 @@
 //! unshuffling across engine-executed layers, and GB-H's dynamic routing
 //! through the permutation network.
 
-use proptest::prelude::*;
 use sparten::arch::PermutationNetwork;
 use sparten::core::balance::{unshuffle_next_layer, BalanceMode, LayerBalance};
 use sparten::core::{AcceleratorConfig, ClusterConfig, SparTenEngine};
 use sparten::nn::generate::{random_filters, workload};
-use sparten::nn::ConvShape;
+use sparten::nn::{ConvShape, Rng64};
+
+const CASES: usize = if cfg!(feature = "exhaustive-tests") { 64 } else { 16 };
 
 fn filters(n: usize, seed: u64) -> Vec<sparten::nn::Filter> {
     let shape = ConvShape::new(32, 6, 6, 3, n, 1, 1);
@@ -109,57 +110,59 @@ fn balance_preserves_engine_mac_count() {
     assert_eq!(macs[1], macs[2]);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn produced_channels_is_always_a_permutation(
-        n in 1usize..80,
-        units in 1usize..9,
-        mode_pick in 0usize..3,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn produced_channels_is_always_a_permutation() {
+    let mut rng = Rng64::seed_from_u64(0xba1a_0001);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 80);
+        let units = rng.gen_range_usize(1, 9);
+        let mode_pick = rng.gen_range_usize(0, 3);
+        let seed = rng.gen_range_usize(0, 500) as u64;
         let fs = filters(n, seed);
         let mode = [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH][mode_pick];
         let b = LayerBalance::new(&fs, units, 64, mode);
         let mut seen = vec![false; n];
-        prop_assert_eq!(b.produced_channels.len(), n);
+        assert_eq!(b.produced_channels.len(), n);
         for &f in &b.produced_channels {
-            prop_assert!(!seen[f], "duplicate {}", f);
+            assert!(!seen[f], "duplicate {f}");
             seen[f] = true;
         }
         // position_of_channel must be the inverse map.
         let inv = b.position_of_channel();
         for (p, &f) in b.produced_channels.iter().enumerate() {
-            prop_assert_eq!(inv[f], p);
+            assert_eq!(inv[f], p);
         }
     }
+}
 
-    #[test]
-    fn gbh_chunk_routing_is_bijective(
-        n in 2usize..66,
-        units in 2usize..9,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn gbh_chunk_routing_is_bijective() {
+    let mut rng = Rng64::seed_from_u64(0xba1a_0002);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(2, 66);
+        let units = rng.gen_range_usize(2, 9);
+        let seed = rng.gen_range_usize(0, 500) as u64;
         let fs = filters(n, seed);
         let b = LayerBalance::new(&fs, units, 64, BalanceMode::GbH);
         for g in &b.groups {
             let m = g.num_filters();
             for c in 0..g.per_chunk_cu.len() {
                 let mapping = g.chunk_routing(c);
-                prop_assert_eq!(mapping.len(), m);
+                assert_eq!(mapping.len(), m);
                 let mut dsts: Vec<usize> = mapping.iter().map(|&(_, d)| d).collect();
                 dsts.sort_unstable();
-                prop_assert_eq!(dsts, (0..m).collect::<Vec<_>>());
+                assert_eq!(dsts, (0..m).collect::<Vec<_>>());
             }
         }
     }
+}
 
-    #[test]
-    fn unshuffle_is_inverse_of_shuffle(
-        n in 1usize..48,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn unshuffle_is_inverse_of_shuffle() {
+    let mut rng = Rng64::seed_from_u64(0xba1a_0003);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 48);
+        let seed = rng.gen_range_usize(0, 500) as u64;
         let fs = filters(n, seed);
         let b = LayerBalance::new(&fs, 4, 64, BalanceMode::GbS);
         // A next-layer filter whose channel z holds the constant z.
@@ -172,7 +175,7 @@ proptest! {
         unshuffle_next_layer(&mut unshuffled, &b.produced_channels);
         // Channel p of the unshuffled filter must hold produced_channels[p].
         for (p, &logical) in b.produced_channels.iter().enumerate() {
-            prop_assert_eq!(unshuffled[0].weights().get(p, 0, 0), logical as f32);
+            assert_eq!(unshuffled[0].weights().get(p, 0, 0), logical as f32);
         }
     }
 }

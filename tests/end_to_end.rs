@@ -3,10 +3,9 @@
 //! for every balance mode, stride, kernel size, and cluster configuration —
 //! including multi-layer pipelines with ReLU.
 
-use proptest::prelude::*;
 use sparten::core::{AcceleratorConfig, BalanceMode, ClusterConfig, SparTenEngine};
 use sparten::nn::generate::workload;
-use sparten::nn::{conv2d, max_pool, ConvShape};
+use sparten::nn::{conv2d, max_pool, ConvShape, Rng64};
 
 fn config(units: usize, clusters: usize, chunk: usize) -> AcceleratorConfig {
     AcceleratorConfig {
@@ -118,20 +117,22 @@ fn relu_output_is_sparser_than_raw() {
     assert!((0.2..0.8).contains(&density), "density {density}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn engine_matches_reference_on_random_shapes(
-        d in 1usize..24,
-        hw in 3usize..9,
-        k in 1usize..4,
-        n in 1usize..12,
-        stride in 1usize..3,
-        mode_pick in 0usize..3,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(hw >= k);
+#[test]
+fn engine_matches_reference_on_random_shapes() {
+    // Deterministic property sweep (see exhaustive-tests feature).
+    const CASES: usize = if cfg!(feature = "exhaustive-tests") { 48 } else { 12 };
+    let mut rng = Rng64::seed_from_u64(0xe2e0_0001);
+    for _ in 0..CASES {
+        let d = rng.gen_range_usize(1, 24);
+        let hw = rng.gen_range_usize(3, 9);
+        let k = rng.gen_range_usize(1, 4);
+        let n = rng.gen_range_usize(1, 12);
+        let stride = rng.gen_range_usize(1, 3);
+        let mode_pick = rng.gen_range_usize(0, 3);
+        let seed = rng.gen_range_usize(0, 1000) as u64;
+        if hw < k {
+            continue;
+        }
         let pad = k / 2;
         let shape = ConvShape::new(d, hw, hw, k, n, stride, pad);
         let mode = [BalanceMode::None, BalanceMode::GbS, BalanceMode::GbH][mode_pick];
@@ -141,7 +142,7 @@ proptest! {
         let reference = conv2d(&w.input, &w.filters, &shape);
         let got = run.logical_output();
         for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-2, "engine {a} vs reference {b}");
+            assert!((a - b).abs() < 1e-2, "engine {a} vs reference {b}");
         }
     }
 }

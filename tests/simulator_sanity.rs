@@ -193,3 +193,52 @@ fn collocation_pathology_on_16_filters() {
         gbs.cycles()
     );
 }
+
+/// Golden snapshot: cycle counts and energy for every scheme on one
+/// AlexNet conv layer (Table 3 Layer4, seed 2019, large ASIC config).
+///
+/// These values pin the full simulation pipeline bit-for-bit — the PRNG,
+/// workload generation, every scheme's cycle model, and the 45 nm energy
+/// model. The experiment cache keys on this determinism, so if the test
+/// fails after an intentional change, bump the harness cache format
+/// version (see `crates/harness/src/cache.rs`) and update the snapshot
+/// from the test's failure output.
+#[test]
+fn golden_values_alexnet_layer4() {
+    use sparten::energy::EnergyModel;
+    use sparten::nn::alexnet;
+
+    let spec = &alexnet().layers[4];
+    assert_eq!(spec.name, "Layer4");
+    let w = spec.workload(2019);
+    let cfg = SimConfig::large();
+    let model = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+    let energy = EnergyModel::nm45();
+
+    let mut got = String::new();
+    for scheme in Scheme::all() {
+        let r = simulate_layer(&w, &model, &cfg, scheme);
+        let buffer = if scheme == Scheme::Dense { 8 } else { 992 };
+        let e = energy.layer_energy(&r, buffer);
+        got.push_str(&format!(
+            "{} compute={} memory={} cycles={} energy_uj={:.6}\n",
+            r.scheme,
+            r.compute_cycles,
+            r.memory_cycles,
+            r.cycles(),
+            e.total_pj() / 1e6,
+        ));
+    }
+
+    let expected = "\
+Dense compute=110592 memory=1928 cycles=110592 energy_uj=133.973452
+One-sided compute=28264 memory=1246 cycles=28264 energy_uj=154.361150
+SparTen-no-GB compute=18589 memory=955 cycles=18589 energy_uj=83.280926
+SparTen-GB-S compute=13886 memory=955 cycles=13886 energy_uj=83.280926
+SparTen compute=13462 memory=955 cycles=13462 energy_uj=83.903928
+SCNN compute=57527 memory=1071 cycles=57527 energy_uj=90.513620
+SCNN-one-sided compute=147456 memory=1328 cycles=147456 energy_uj=179.685550
+SCNN-dense compute=147456 memory=1928 cycles=147456 energy_uj=596.522688
+";
+    assert_eq!(got, expected, "golden snapshot drifted; actual:\n{got}");
+}
