@@ -1,7 +1,8 @@
 //! Experiment drivers shared by the figure binaries.
 
 use sparten::nn::{LayerSpec, Network};
-use sparten::sim::{simulate_layer, MaskModel, Scheme, SimConfig, SimResult};
+use sparten::sim::{simulate_layer, simulate_layer_telemetry, MaskModel, Scheme, SimConfig, SimResult};
+use sparten::telemetry::Telemetry;
 
 /// The seed every harness run uses, for reproducible tables.
 pub const SEED: u64 = 2019;
@@ -54,6 +55,37 @@ pub fn run_layer(spec: &LayerSpec, schemes: &[Scheme], config: &SimConfig) -> La
         results: schemes
             .iter()
             .map(|&s| simulate_layer(&workload, &model, config, s))
+            .collect(),
+    }
+}
+
+/// [`run_layer`] with telemetry: every scheme's simulation records
+/// work/stall counters and timeline spans into `session` (Perfetto tracks
+/// prefixed `"<layer>:"`), with the stall counters reconciled *exactly*
+/// against each returned breakdown before they are merged in.
+///
+/// # Panics
+///
+/// Panics if any scheme's counters fail to reconcile with its breakdown —
+/// that is a simulator-instrumentation bug, never a data condition, and
+/// the harness surfaces it as a failed job.
+pub fn run_layer_telemetry(
+    spec: &LayerSpec,
+    schemes: &[Scheme],
+    config: &SimConfig,
+    session: &Telemetry,
+) -> LayerResult {
+    let workload = spec.workload(SEED);
+    let model = MaskModel::new(&workload, config.accel.cluster.chunk_size);
+    let prefix = format!("{}:", spec.name);
+    LayerResult {
+        layer: spec.name,
+        results: schemes
+            .iter()
+            .map(|&s| {
+                simulate_layer_telemetry(&workload, &model, config, s, session, &prefix)
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name))
+            })
             .collect(),
     }
 }

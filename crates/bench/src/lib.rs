@@ -18,7 +18,7 @@ pub mod timing;
 
 pub use experiments::{
     dump_json, geomean_excluding, network_config, print_breakdown_figure, print_speedup_figure,
-    run_layer, run_network, LayerResult, SEED,
+    run_layer, run_layer_telemetry, run_network, LayerResult, SEED,
 };
 pub use registry::{all_experiments, ExperimentKind, ExperimentSpec};
 pub use sink::{artifact, begin_capture, end_capture, Capture};

@@ -11,10 +11,11 @@
 //! what guarantees harness output is byte-identical to the standalone
 //! binaries.
 
-use crate::experiments::{run_layer, LayerResult};
+use crate::experiments::{run_layer, run_layer_telemetry, LayerResult};
 use crate::exps;
 use sparten::nn::Network;
 use sparten::sim::{Scheme, SimConfig, SimResult};
+use sparten::telemetry::Telemetry;
 
 /// What kind of artifact an experiment regenerates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,20 @@ impl NetworkFigure {
         let net = (self.network)();
         let cfg = (self.config)(&net);
         run_layer(&net.layers[i], &(self.schemes)(), &cfg)
+    }
+
+    /// [`compute_point`](Self::compute_point) with telemetry: counters and
+    /// timeline spans for every scheme land in `session`, reconciled
+    /// exactly against the returned breakdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or a scheme's counters fail to
+    /// reconcile (an instrumentation bug).
+    pub fn compute_point_telemetry(&self, i: usize, session: &Telemetry) -> LayerResult {
+        let net = (self.network)();
+        let cfg = (self.config)(&net);
+        run_layer_telemetry(&net.layers[i], &(self.schemes)(), &cfg, session)
     }
 
     /// The cache-key fingerprint shared by all of this figure's points:

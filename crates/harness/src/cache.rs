@@ -41,6 +41,18 @@ pub fn fnv1a_parts(parts: &[&str]) -> u64 {
     h
 }
 
+/// The classified outcome of one cache [`Cache::lookup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// The entry existed and parsed; here is its payload.
+    Hit(PointPayload),
+    /// No entry file exists for this key.
+    Miss,
+    /// An entry file exists but is unusable (truncated, corrupt, wrong
+    /// key, or a stale format); it will be recomputed and overwritten.
+    Malformed,
+}
+
 /// The on-disk cache at a directory (conventionally `results/cache/`).
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -75,9 +87,30 @@ impl Cache {
 
     /// Loads the payload for `key`, or `None` on miss or malformed entry.
     pub fn load(&self, name: &str, point: usize, key: u64) -> Option<PointPayload> {
-        let bytes = fs::read(self.entry_path(name, point, key)).ok()?;
-        let text = String::from_utf8(bytes).ok()?;
-        parse_entry(&text, key)
+        match self.lookup(name, point, key) {
+            Lookup::Hit(payload) => Some(payload),
+            Lookup::Miss | Lookup::Malformed => None,
+        }
+    }
+
+    /// [`load`](Self::load) with the outcome classified: a missing entry
+    /// file is a [`Lookup::Miss`], while a file that exists but cannot be
+    /// parsed (truncated, wrong key, stale format) is [`Lookup::Malformed`].
+    /// Both are recomputed identically; the harness counts them separately
+    /// so a corrupted or stale cache is visible in the run summary instead
+    /// of silently degrading hit rates.
+    pub fn lookup(&self, name: &str, point: usize, key: u64) -> Lookup {
+        let bytes = match fs::read(self.entry_path(name, point, key)) {
+            Ok(b) => b,
+            Err(_) => return Lookup::Miss,
+        };
+        let Ok(text) = String::from_utf8(bytes) else {
+            return Lookup::Malformed;
+        };
+        match parse_entry(&text, key) {
+            Some(payload) => Lookup::Hit(payload),
+            None => Lookup::Malformed,
+        }
     }
 
     /// Stores `payload` under `key`, creating the cache directory if
@@ -276,6 +309,24 @@ mod tests {
             fs::write(&path, bad).unwrap();
             assert!(cache.load("exp", 0, key).is_none(), "accepted: {bad:?}");
         }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn lookup_classifies_miss_hit_and_malformed() {
+        let cache = tmp_cache("classify");
+        let key = Cache::key("exp", "fp", 2019, 0);
+        assert_eq!(cache.lookup("exp", 0, key), Lookup::Miss);
+
+        let payload = PointPayload::Record("r\n".into());
+        cache.store("exp", 0, key, &payload).unwrap();
+        assert_eq!(cache.lookup("exp", 0, key), Lookup::Hit(payload));
+
+        let path = cache.dir().join(format!("exp.p000.{key:016x}.cache"));
+        fs::write(&path, "garbage").unwrap();
+        assert_eq!(cache.lookup("exp", 0, key), Lookup::Malformed);
+        fs::write(&path, [0xff, 0xfe]).unwrap(); // not UTF-8
+        assert_eq!(cache.lookup("exp", 0, key), Lookup::Malformed);
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -17,9 +17,10 @@
 //! A panicking point is caught on the worker, reported as a failed job,
 //! and does not poison the rest of the run.
 
-use crate::cache::Cache;
+use crate::cache::{Cache, Lookup};
 use crate::{Experiment, PointPayload};
 use sparten_bench::ExperimentKind;
+use sparten_telemetry::{chrome_trace, text_report, Telemetry};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -46,6 +47,13 @@ pub struct RunOptions {
     /// Print each job's captured output (in registry order) as it becomes
     /// available. Tests turn this off and read the report instead.
     pub stream_output: bool,
+    /// When set, collect telemetry for every job and write one Chrome
+    /// trace (`<job>.json`, loadable in Perfetto) plus one plain-text
+    /// report (`<job>.txt`) per job into this directory. Telemetry implies
+    /// a cache bypass: every point is recomputed so the counters describe
+    /// the *whole* run, not just the cache misses (entries are still
+    /// rewritten, so the cache stays warm).
+    pub telemetry_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -57,7 +65,30 @@ impl Default for RunOptions {
             cache_dir: "results/cache".into(),
             write_artifacts: true,
             stream_output: true,
+            telemetry_dir: None,
         }
+    }
+}
+
+/// Classified cache-lookup totals for one run (the `cache.rs` diagnostics
+/// surfaced in the end-of-run summary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries that existed, parsed, and validated.
+    pub hits: usize,
+    /// Keys with no entry file (first computation or post-`clean`).
+    pub misses: usize,
+    /// Entry files that existed but were unusable — truncated, corrupt,
+    /// stale format, or rejected by the experiment's validator. These are
+    /// recomputed like misses but indicate cache damage, so they are
+    /// counted apart.
+    pub malformed: usize,
+}
+
+impl CacheStats {
+    /// Total lookups performed.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses + self.malformed
     }
 }
 
@@ -86,6 +117,17 @@ pub struct JobReport {
     pub artifacts: Vec<(String, String)>,
     /// Panic message if any point failed; the job then has no output.
     pub error: Option<String>,
+    /// The job's exported telemetry, when the run collected it.
+    pub telemetry: Option<JobTelemetry>,
+}
+
+/// One job's serialized telemetry, ready to write to disk.
+#[derive(Debug, Clone)]
+pub struct JobTelemetry {
+    /// Chrome trace-event JSON (load at ui.perfetto.dev).
+    pub chrome_json: String,
+    /// Plain-text report (parses back via `sparten_telemetry::parse_report`).
+    pub report_text: String,
 }
 
 /// Outcome of one [`run`]: per-job reports in registry order.
@@ -97,6 +139,9 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Worker threads used.
     pub workers: usize,
+    /// Classified cache-lookup totals (all zero when the cache was
+    /// bypassed by `--force` or telemetry collection).
+    pub cache: CacheStats,
 }
 
 impl RunReport {
@@ -125,6 +170,7 @@ struct Done {
     job: usize,
     point: usize,
     payload: Result<PointPayload, String>,
+    telemetry: Option<Telemetry>,
     took: Duration,
 }
 
@@ -133,6 +179,7 @@ struct JobState {
     dependents: Vec<usize>,
     pending_points: usize,
     points: Vec<Option<PointPayload>>,
+    telemetry: Vec<Option<Telemetry>>,
     cache_hits: usize,
     compute_time: Duration,
     error: Option<String>,
@@ -173,6 +220,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
             dependents: Vec::new(),
             pending_points: e.num_points(),
             points: vec![None; e.num_points()],
+            telemetry: (0..e.num_points()).map(|_| None).collect(),
             cache_hits: 0,
             compute_time: Duration::ZERO,
             error: None,
@@ -192,6 +240,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
     let (task_tx, task_rx) = mpsc::channel::<Task>();
     let task_rx = Arc::new(Mutex::new(task_rx));
     let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let want_telemetry = opts.telemetry_dir.is_some();
     let workers: Vec<_> = (0..opts.jobs)
         .map(|_| {
             let rx = Arc::clone(&task_rx);
@@ -204,12 +253,23 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                 };
                 let exp = Arc::clone(&exps[task.job]);
                 let t0 = Instant::now();
-                let payload = catch_unwind(AssertUnwindSafe(|| exp.compute_point(task.point)))
-                    .map_err(|p| panic_message(&p));
+                let computed = catch_unwind(AssertUnwindSafe(|| {
+                    if want_telemetry {
+                        exp.compute_point_telemetry(task.point)
+                    } else {
+                        (exp.compute_point(task.point), None)
+                    }
+                }))
+                .map_err(|p| panic_message(&p));
+                let (payload, telemetry) = match computed {
+                    Ok((p, t)) => (Ok(p), t),
+                    Err(e) => (Err(e), None),
+                };
                 let send = tx.send(Done {
                     job: task.job,
                     point: task.point,
                     payload,
+                    telemetry,
                     took: t0.elapsed(),
                 });
                 if send.is_err() {
@@ -226,21 +286,37 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
     let mut unfinished = selected.len();
 
     // Schedule a job: serve points from the cache, dispatch the misses.
-    // Returns true if the job completed entirely from cache.
+    // Returns true if the job completed entirely from cache. Telemetry
+    // runs bypass cache reads so the recorded counters cover every point.
+    let use_cache = !opts.force && !want_telemetry;
     let schedule = |job: usize,
                     states: &mut Vec<JobState>,
-                    outstanding: &mut usize|
+                    outstanding: &mut usize,
+                    cache_stats: &mut CacheStats|
      -> bool {
         let exp = &selected[job];
         let fp = exp.fingerprint();
         for point in 0..exp.num_points() {
             let key = Cache::key(exp.name(), &fp, crate::SEED, point);
-            let hit = if opts.force {
-                None
+            let hit = if use_cache {
+                match cache.lookup(exp.name(), point, key) {
+                    Lookup::Hit(p) if exp.validate(point, &p) => {
+                        cache_stats.hits += 1;
+                        Some(p)
+                    }
+                    // Parsed but rejected by the experiment: the entry is
+                    // present-but-unusable, same bucket as a corrupt file.
+                    Lookup::Hit(_) | Lookup::Malformed => {
+                        cache_stats.malformed += 1;
+                        None
+                    }
+                    Lookup::Miss => {
+                        cache_stats.misses += 1;
+                        None
+                    }
+                }
             } else {
-                cache
-                    .load(exp.name(), point, key)
-                    .filter(|p| exp.validate(point, p))
+                None
             };
             match hit {
                 Some(payload) => {
@@ -289,6 +365,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
             output,
             artifacts,
             error,
+            telemetry: None,
         });
         states[job].finished = true;
         *unfinished -= 1;
@@ -303,15 +380,58 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
         ready
     }
 
+    // Fold a finished job's per-point sessions (in point order, so the
+    // exported trace is deterministic regardless of worker interleaving)
+    // into one session, stamp the harness's own job-level metrics on it,
+    // and serialize both exporters into the report.
+    fn attach_telemetry(
+        job: usize,
+        selected: &[Arc<dyn Experiment>],
+        states: &mut [JobState],
+        reports: &mut [Option<JobReport>],
+    ) {
+        let report = reports[job].as_mut().expect("job finished");
+        if report.error.is_some() {
+            return;
+        }
+        let merged = Telemetry::new();
+        for slot in states[job].telemetry.iter_mut() {
+            if let Some(point_session) = slot.take() {
+                merged.merge(point_session, "");
+            }
+        }
+        merged
+            .metrics
+            .counter("harness/points")
+            .add(report.points as u64);
+        merged
+            .metrics
+            .counter("harness/cache.hits")
+            .add(report.cache_hits as u64);
+        merged
+            .metrics
+            .gauge("harness/wall_seconds")
+            .observe(report.wall.as_secs_f64());
+        let snap = merged.metrics.snapshot();
+        report.telemetry = Some(JobTelemetry {
+            chrome_json: chrome_trace(&snap, &merged.recorder),
+            report_text: text_report(selected[job].name(), &snap, &merged.recorder),
+        });
+    }
+
     // Seed the queue with dependency-free jobs; drain completions, firing
     // dependents as their dependencies finish.
+    let mut cache_stats = CacheStats::default();
     let mut ready: Vec<usize> = (0..selected.len())
         .filter(|&i| states[i].remaining_deps == 0)
         .collect();
     while !ready.is_empty() || unfinished > 0 {
         for job in std::mem::take(&mut ready) {
-            if schedule(job, &mut states, &mut outstanding) {
+            if schedule(job, &mut states, &mut outstanding, &mut cache_stats) {
                 let newly = finish(job, &selected, &mut states, &mut reports, &mut unfinished);
+                if want_telemetry {
+                    attach_telemetry(job, &selected, &mut states, &mut reports);
+                }
                 ready.extend(newly);
             }
         }
@@ -338,6 +458,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                     eprintln!("warning: cache write failed for {}: {e}", exp.name());
                 }
                 state.points[done.point] = Some(payload);
+                state.telemetry[done.point] = done.telemetry;
             }
             Err(msg) => {
                 let name = selected[done.job].name();
@@ -349,6 +470,9 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
         }
         if state.pending_points == 0 {
             let newly = finish(done.job, &selected, &mut states, &mut reports, &mut unfinished);
+            if want_telemetry {
+                attach_telemetry(done.job, &selected, &mut states, &mut reports);
+            }
             ready.extend(newly);
         }
 
@@ -374,10 +498,27 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
             }
         }
     }
+    if let Some(dir) = &opts.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        } else {
+            for job in &jobs {
+                if let Some(t) = &job.telemetry {
+                    for (ext, contents) in [("json", &t.chrome_json), ("txt", &t.report_text)] {
+                        let path = dir.join(format!("{}.{ext}", job.name));
+                        if let Err(e) = std::fs::write(&path, contents) {
+                            eprintln!("warning: could not write {}: {e}", path.display());
+                        }
+                    }
+                }
+            }
+        }
+    }
     RunReport {
         jobs,
         elapsed: start.elapsed(),
         workers: opts.jobs,
+        cache: cache_stats,
     }
 }
 

@@ -29,6 +29,7 @@ pub mod executor;
 
 use sparten_bench::registry::{layer_from_record, layer_record, NetworkFigure, Runner};
 use sparten_bench::{all_experiments, begin_capture, end_capture, Capture, ExperimentKind};
+use sparten_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// The global workload seed (re-exported from the bench crate so cache
@@ -71,6 +72,18 @@ pub trait Experiment: Send + Sync {
 
     /// Computes point `point` (called on a worker thread).
     fn compute_point(&self, point: usize) -> PointPayload;
+
+    /// Computes point `point` with telemetry: the payload plus a per-point
+    /// [`Telemetry`] session the executor merges (in point order) into one
+    /// per-job session and exports under `results/telemetry/`.
+    ///
+    /// The default delegates to [`compute_point`](Self::compute_point) and
+    /// records nothing — experiments whose compute path is not
+    /// instrumented still run under `--telemetry`, they just contribute
+    /// only the harness's own job-level metrics.
+    fn compute_point_telemetry(&self, point: usize) -> (PointPayload, Option<Telemetry>) {
+        (self.compute_point(point), None)
+    }
 
     /// Whether a cached payload is usable for `point`. The executor treats
     /// `false` as a cache miss and recomputes.
@@ -186,6 +199,12 @@ impl Experiment for PerLayerJob {
 
     fn compute_point(&self, point: usize) -> PointPayload {
         PointPayload::Record(layer_record(&self.figure.compute_point(point)))
+    }
+
+    fn compute_point_telemetry(&self, point: usize) -> (PointPayload, Option<Telemetry>) {
+        let session = Telemetry::new();
+        let layer = self.figure.compute_point_telemetry(point, &session);
+        (PointPayload::Record(layer_record(&layer)), Some(session))
     }
 
     fn validate(&self, point: usize, payload: &PointPayload) -> bool {

@@ -17,7 +17,9 @@ sparten-harness — parallel experiment orchestration with result caching
 USAGE:
     sparten-harness run [--filter SUBSTR] [--jobs N] [--force]
                         [--cache-dir PATH] [--no-artifacts]
+                        [--telemetry] [--telemetry-dir PATH]
     sparten-harness list [--filter SUBSTR]
+    sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH]
     sparten-harness clean [--cache-dir PATH]
 
 COMMANDS:
@@ -25,14 +27,22 @@ COMMANDS:
              skipping points already in the cache, then print a per-job
              wall-time/cache-hit summary.
     list     List registered experiments with kind, points, and deps.
+    report   Summarize telemetry written by a previous `run --telemetry`:
+             per-scope work/stall cycle totals and the dominant stall cause.
     clean    Delete every cache entry.
 
 OPTIONS:
-    --filter SUBSTR   Only experiments whose name contains SUBSTR.
-    --jobs N          Worker threads (default: available parallelism).
-    --force           Recompute every point, overwriting cache entries.
-    --cache-dir PATH  Cache location (default: results/cache).
-    --no-artifacts    Do not write results/*.json artifacts to disk.
+    --filter SUBSTR       Only experiments whose name contains SUBSTR.
+    --jobs N              Worker threads (default: available parallelism).
+    --force               Recompute every point, overwriting cache entries.
+    --cache-dir PATH      Cache location (default: results/cache).
+    --no-artifacts        Do not write results/*.json artifacts to disk.
+    --telemetry           Collect cycle-level counters and timeline spans;
+                          write one Chrome trace (<job>.json, loadable at
+                          ui.perfetto.dev) and one text report (<job>.txt)
+                          per job. Implies recomputing every point so the
+                          counters cover the whole run.
+    --telemetry-dir PATH  Telemetry location (default: results/telemetry).
 ";
 
 fn main() -> ExitCode {
@@ -44,6 +54,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "run" => cmd_run(&args[1..]),
         "list" => cmd_list(&args[1..]),
+        "report" => cmd_report(&args[1..]),
         "clean" => cmd_clean(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -64,6 +75,8 @@ struct Flags {
     force: bool,
     cache_dir: Option<String>,
     no_artifacts: bool,
+    telemetry: bool,
+    telemetry_dir: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -73,6 +86,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         force: false,
         cache_dir: None,
         no_artifacts: false,
+        telemetry: false,
+        telemetry_dir: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -97,6 +112,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.cache_dir = Some(v.clone());
             }
             "--no-artifacts" => f.no_artifacts = true,
+            "--telemetry" => f.telemetry = true,
+            "--telemetry-dir" => {
+                let v = it.next().ok_or("--telemetry-dir needs a value")?;
+                if v.is_empty() {
+                    return Err("--telemetry-dir must not be empty".into());
+                }
+                f.telemetry_dir = Some(v.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -122,6 +145,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     if let Some(d) = flags.cache_dir {
         opts.cache_dir = d.into();
+    }
+    if flags.telemetry || flags.telemetry_dir.is_some() {
+        opts.telemetry_dir = Some(
+            flags
+                .telemetry_dir
+                .unwrap_or_else(|| "results/telemetry".into())
+                .into(),
+        );
     }
 
     let report = executor::run(&registry(), &opts);
@@ -160,7 +191,137 @@ fn cmd_run(args: &[String]) -> ExitCode {
         report.elapsed.as_secs_f64(),
         report.workers,
     );
+    let c = report.cache;
+    if c.lookups() > 0 {
+        println!(
+            "cache lookups: {} hit, {} miss, {} malformed",
+            c.hits, c.misses, c.malformed
+        );
+        if c.malformed > 0 {
+            println!("  ({} unusable entries were recomputed and rewritten)", c.malformed);
+        }
+    }
+    if let Some(dir) = &opts.telemetry_dir {
+        let traced = report.jobs.iter().filter(|j| j.telemetry.is_some()).count();
+        println!(
+            "telemetry: {traced} jobs exported to {}/ (<job>.json loads at ui.perfetto.dev; \
+             summarize with `sparten-harness report`)",
+            dir.display()
+        );
+    }
     if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Summarizes the `.txt` telemetry reports in the telemetry directory:
+/// per job, the retained/dropped event counts, then per recorded scope the
+/// Figure 10–12 cycle decomposition (work/stall counter totals) and the
+/// single largest stall cause.
+fn cmd_report(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = flags
+        .telemetry_dir
+        .unwrap_or_else(|| "results/telemetry".into());
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot read {dir}: {e} (run with --telemetry first)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("txt"))
+        .filter(|p| {
+            flags.filter.as_deref().is_none_or(|f| {
+                p.file_stem()
+                    .and_then(|s| s.to_str())
+                    .is_some_and(|s| s.contains(f))
+            })
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no telemetry reports match in {dir}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("== Telemetry report ({dir}) ==");
+    let mut ok = true;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("warning: cannot read {}: {e}", path.display());
+                ok = false;
+                continue;
+            }
+        };
+        let parsed = match sparten_telemetry::parse_report(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("warning: {} does not parse: {e}", path.display());
+                ok = false;
+                continue;
+            }
+        };
+        println!(
+            "\n{}: {} events ({} dropped)",
+            parsed.job, parsed.events, parsed.dropped
+        );
+        // Every scope that recorded work or stall cycles, in name order.
+        let mut scopes: Vec<&str> = parsed
+            .counters
+            .keys()
+            .filter_map(|name| {
+                let (scope, rest) = name.split_once('/')?;
+                (rest.starts_with("work.") || rest.starts_with("stall.")).then_some(scope)
+            })
+            .collect();
+        scopes.dedup();
+        if scopes.is_empty() {
+            continue;
+        }
+        println!(
+            "  {:<22} {:>14} {:>14} {:>14} {:>14}  dominant stall",
+            "scope", "nonzero", "zero", "intra", "inter"
+        );
+        for scope in scopes {
+            let counter = |suffix: &str| {
+                parsed
+                    .counters
+                    .get(&format!("{scope}/{suffix}"))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            let stall_prefix = format!("{scope}/stall.");
+            let dominant = parsed
+                .counters
+                .iter()
+                .filter(|(n, v)| n.starts_with(&stall_prefix) && **v > 0)
+                .max_by_key(|(_, v)| **v)
+                .map(|(n, v)| format!("{} ({v})", &n[stall_prefix.len()..]))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "  {:<22} {:>14} {:>14} {:>14} {:>14}  {dominant}",
+                scope,
+                counter("work.nonzero"),
+                counter("work.zero"),
+                parsed.counter_sum(&format!("{scope}/stall.intra.")),
+                parsed.counter_sum(&format!("{scope}/stall.inter.")),
+            );
+        }
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

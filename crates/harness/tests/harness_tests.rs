@@ -5,9 +5,10 @@
 use sparten::nn::{ConvShape, LayerSpec};
 use sparten::sim::{Scheme, SimConfig, SimResult};
 use sparten_bench::registry::layer_record;
-use sparten_bench::{run_layer, Capture, ExperimentKind};
+use sparten_bench::{run_layer, run_layer_telemetry, Capture, ExperimentKind};
 use sparten_harness::executor::{run, RunOptions};
 use sparten_harness::{registry, Experiment, PointPayload};
+use sparten_telemetry::{parse_report, Telemetry};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -75,6 +76,14 @@ impl Experiment for TestExp {
         PointPayload::Record(layer_record(&result))
     }
 
+    fn compute_point_telemetry(&self, point: usize) -> (PointPayload, Option<Telemetry>) {
+        assert!(!self.poisoned, "poisoned experiment");
+        let spec = self.layer(point);
+        let session = Telemetry::new();
+        let result = run_layer_telemetry(&spec, &Scheme::all(), &SimConfig::small(), &session);
+        (PointPayload::Record(layer_record(&result)), Some(session))
+    }
+
     fn render(&self, points: &[PointPayload]) -> Capture {
         if let Some(log) = &self.log {
             log.lock().unwrap().push(self.name);
@@ -110,6 +119,7 @@ fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
         cache_dir,
         write_artifacts: false,
         stream_output: false,
+        telemetry_dir: None,
     }
 }
 
@@ -247,6 +257,87 @@ fn a_panicking_job_fails_alone() {
     assert!(report.jobs[0].error.as_deref().unwrap().contains("poison"));
     assert!(report.jobs[1].error.is_none());
     assert!(report.jobs[1].output.starts_with("== survivor =="));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn telemetry_runs_export_reconciled_counters_and_valid_traces() {
+    let exps: Vec<Arc<dyn Experiment>> = vec![Arc::new(TestExp::new("tel_job", 2, 8))];
+    let cache_dir = fresh_dir("tel-cache");
+    let tel_dir = fresh_dir("tel-out");
+
+    // Warm the cache first: telemetry must bypass it so counters are
+    // complete, and the payload output must still be byte-identical.
+    let plain = run(&exps, &opts(cache_dir.clone(), 2));
+    let mut o = opts(cache_dir.clone(), 2);
+    o.telemetry_dir = Some(tel_dir.clone());
+    let traced = run(&exps, &o);
+    assert_eq!(traced.total_hits(), 0, "telemetry bypasses the cache");
+    assert_eq!(outputs(&plain), outputs(&traced));
+
+    let tel = traced.jobs[0].telemetry.as_ref().expect("telemetry attached");
+
+    // The text report parses and its counters reconcile with the payload:
+    // per-scheme work.nonzero sums across both points.
+    let parsed = parse_report(&tel.report_text).expect("report parses");
+    assert_eq!(parsed.job, "tel_job");
+    let mut expect_nonzero = 0u64;
+    for point in 0..2 {
+        let exp = TestExp::new("tel_job", 2, 8);
+        let spec = exp.layer(point);
+        let r = run_layer(&spec, &[Scheme::SpartenGbH], &SimConfig::small());
+        expect_nonzero += r.results[0].breakdown.nonzero;
+    }
+    assert_eq!(parsed.counters["SparTen/work.nonzero"], expect_nonzero);
+    assert_eq!(parsed.counters["harness/points"], 2);
+    assert_eq!(parsed.counters["harness/cache.hits"], 0);
+
+    // The Chrome trace is structurally sound JSON with per-point tracks.
+    assert!(tel.chrome_json.starts_with('{'));
+    assert!(tel.chrome_json.contains("\"displayTimeUnit\""));
+    assert!(tel.chrome_json.contains("\"traceEvents\""));
+    assert!(tel.chrome_json.contains("P0:SparTen"));
+    assert!(tel.chrome_json.contains("P1:SparTen"));
+    assert!(tel.chrome_json.trim_end().ends_with('}'));
+
+    // Both exporter files landed on disk.
+    let json = std::fs::read_to_string(tel_dir.join("tel_job.json")).expect("json written");
+    let text = std::fs::read_to_string(tel_dir.join("tel_job.txt")).expect("txt written");
+    assert_eq!(json, tel.chrome_json);
+    assert_eq!(text, tel.report_text);
+
+    let _ = std::fs::remove_dir_all(cache_dir);
+    let _ = std::fs::remove_dir_all(tel_dir);
+}
+
+#[test]
+fn cache_lookups_are_classified_in_the_run_report() {
+    let exps: Vec<Arc<dyn Experiment>> = vec![Arc::new(TestExp::new("stats_job", 2, 8))];
+    let dir = fresh_dir("cache-stats");
+
+    let cold = run(&exps, &opts(dir.clone(), 2));
+    assert_eq!(cold.cache.misses, 2);
+    assert_eq!((cold.cache.hits, cold.cache.malformed), (0, 0));
+
+    let warm = run(&exps, &opts(dir.clone(), 2));
+    assert_eq!(warm.cache.hits, 2);
+    assert_eq!((warm.cache.misses, warm.cache.malformed), (0, 0));
+
+    // Corrupt one entry: it is counted as malformed, recomputed, and the
+    // rewritten entry hits again on the next run.
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("cache"))
+        .expect("a cache entry exists");
+    std::fs::write(&entry, "truncated garbage").unwrap();
+    let repaired = run(&exps, &opts(dir.clone(), 2));
+    assert_eq!(repaired.cache.malformed, 1);
+    assert_eq!(repaired.cache.hits, 1);
+    assert!(repaired.all_ok());
+    let again = run(&exps, &opts(dir.clone(), 2));
+    assert_eq!(again.cache.hits, 2);
+
     let _ = std::fs::remove_dir_all(dir);
 }
 

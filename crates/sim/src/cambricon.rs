@@ -12,9 +12,11 @@
 
 use sparten_nn::generate::Workload;
 use sparten_nn::structured::{prune_coarse, CoarsePruneReport};
+use sparten_telemetry::{ReconcileError, StallCause, Telemetry};
 
 use crate::breakdown::{Breakdown, OpCounts, SimResult, Traffic};
 use crate::config::SimConfig;
+use crate::probe::{Probe, StallTally};
 use crate::workmodel::MaskModel;
 
 /// Per-chunk setup overhead, matching the SparTen-family model.
@@ -34,6 +36,15 @@ pub struct CambriconResult {
 /// filters coarsely (shared mask per group of `units` filters) to the
 /// layer's own density so the comparison is density-matched.
 pub fn simulate_cambricon(workload: &Workload, config: &SimConfig) -> CambriconResult {
+    simulate_cambricon_telemetry(workload, config, None)
+}
+
+/// [`simulate_cambricon`] with an optional telemetry session.
+pub fn simulate_cambricon_telemetry(
+    workload: &Workload,
+    config: &SimConfig,
+    tel: Option<&Telemetry>,
+) -> CambriconResult {
     let shape = &workload.shape;
     let units = config.accel.cluster.compute_units;
     let chunk_size = config.accel.cluster.chunk_size;
@@ -71,6 +82,9 @@ pub fn simulate_cambricon(workload: &Workload, config: &SimConfig) -> CambriconR
     let chunks = executed_model.chunks_per_window();
     let num_groups = shape.num_filters.div_ceil(units);
 
+    let probe = tel.map(|t| Probe::new(t, "Cambricon-S-like"));
+    let hist_chunk = probe.as_ref().map(|p| p.histogram("hist.chunk_work"));
+
     let mut cluster_cycles = vec![0u64; num_clusters];
     let mut cluster_busy = vec![0u64; num_clusters];
     for cluster in 0..num_clusters {
@@ -78,6 +92,7 @@ pub fn simulate_cambricon(workload: &Workload, config: &SimConfig) -> CambriconR
         let hi = positions * (cluster + 1) / num_clusters;
         let mut cycles = 0u64;
         let mut busy = 0u64;
+        let mut tally = StallTally::default();
         for p in lo..hi {
             let (ox, oy) = (p % oh, p / oh);
             for g in 0..num_groups {
@@ -90,11 +105,31 @@ pub fn simulate_cambricon(workload: &Workload, config: &SimConfig) -> CambriconR
                     let w = executed_model.chunk_work(ox, oy, lead, c) as u64;
                     cycles += w + CHUNK_OVERHEAD;
                     busy += w * group_filters;
+                    if let Some(h) = &hist_chunk {
+                        // Shared masks make every occupied unit identical:
+                        // the only intra losses are the broadcast overhead
+                        // and the partially filled last group.
+                        tally.prefix_encoder_wait += CHUNK_OVERHEAD * units as u64;
+                        tally.unit_underfill += w * (units as u64 - group_filters);
+                        h.record(w);
+                    }
                 }
             }
         }
         cluster_cycles[cluster] = cycles;
         cluster_busy[cluster] = busy;
+        if let Some(pr) = &probe {
+            pr.thread(cluster as u32, &format!("cluster{cluster}"));
+            pr.span(cluster as u32, "cluster", 0, cycles, &[("busy", busy)]);
+            if cycles > 0 {
+                pr.gauge(
+                    "occupancy.cluster_util",
+                    busy as f64 / (cycles * units as u64) as f64,
+                );
+            }
+            tally.emit(pr);
+            debug_assert_eq!(tally.intra(), cycles * units as u64 - busy);
+        }
     }
 
     let makespan = cluster_cycles.iter().copied().max().unwrap_or(0);
@@ -111,6 +146,14 @@ pub fn simulate_cambricon(workload: &Workload, config: &SimConfig) -> CambriconR
 
     let traffic = cambricon_traffic(&pruned, &executed_model, config);
     let memory_cycles = (traffic.total_bytes() / config.memory.bytes_per_cycle).ceil() as u64;
+
+    if let Some(pr) = &probe {
+        pr.work(nonzero, zero);
+        pr.stall(StallCause::ClusterIdle, inter);
+        pr.traffic(&traffic);
+        pr.gauge("occupancy.makespan_cycles", makespan as f64);
+        pr.count("prune.clamped_keepers", prune_report.clamped_keepers as u64);
+    }
 
     CambriconResult {
         sim: SimResult {
@@ -138,6 +181,21 @@ pub fn simulate_cambricon(workload: &Workload, config: &SimConfig) -> CambriconR
         },
         prune_report,
     }
+}
+
+/// Runs the Cambricon-S-like simulator into a fresh telemetry session,
+/// checks that the recorded counters reconcile exactly with the breakdown,
+/// then folds the session into `session` under `track_prefix`.
+pub fn simulate_cambricon_checked(
+    workload: &Workload,
+    config: &SimConfig,
+    session: &Telemetry,
+    track_prefix: &str,
+) -> Result<CambriconResult, ReconcileError> {
+    let local = Telemetry::new();
+    let result = simulate_cambricon_telemetry(workload, config, Some(&local));
+    crate::probe::reconcile_and_merge(local, &result.sim, session, track_prefix)?;
+    Ok(result)
 }
 
 /// Cambricon-S traffic: feature maps travel *dense* (zeros included, no

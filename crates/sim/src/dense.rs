@@ -9,13 +9,25 @@
 //! when filters run out and inter-cluster slack from uneven spatial slices.
 
 use sparten_nn::generate::Workload;
+use sparten_telemetry::{StallCause, Telemetry};
 
 use crate::breakdown::{Breakdown, OpCounts, SimResult, Traffic};
 use crate::config::SimConfig;
+use crate::probe::Probe;
 use crate::workmodel::MaskModel;
 
 /// Simulates one layer on the dense baseline.
 pub fn simulate_dense(workload: &Workload, model: &MaskModel, config: &SimConfig) -> SimResult {
+    simulate_dense_telemetry(workload, model, config, None)
+}
+
+/// [`simulate_dense`] with an optional telemetry session.
+pub fn simulate_dense_telemetry(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    tel: Option<&Telemetry>,
+) -> SimResult {
     let shape = &workload.shape;
     let units = config.accel.cluster.compute_units;
     let num_clusters = config.accel.num_clusters;
@@ -51,6 +63,33 @@ pub fn simulate_dense(workload: &Workload, model: &MaskModel, config: &SimConfig
 
     let traffic = dense_traffic(workload, model, config);
     let memory_cycles = (traffic.total_bytes() / config.memory.bytes_per_cycle).ceil() as u64;
+
+    if let Some(t) = tel {
+        let probe = Probe::new(t, "Dense");
+        for c in 0..num_clusters {
+            probe.thread(c as u32, &format!("cluster{c}"));
+            probe.span(
+                c as u32,
+                "cluster",
+                0,
+                cluster_cycles[c],
+                &[("busy", cluster_busy[c])],
+            );
+            if cluster_cycles[c] > 0 {
+                probe.gauge(
+                    "occupancy.cluster_util",
+                    cluster_busy[c] as f64 / (cluster_cycles[c] * units as u64) as f64,
+                );
+            }
+        }
+        probe.work(nonzero, zero);
+        // Dense lockstep clusters have exactly one intra loss: partially
+        // filled filter groups leaving units idle.
+        probe.stall(StallCause::UnitUnderfill, intra);
+        probe.stall(StallCause::ClusterIdle, inter);
+        probe.traffic(&traffic);
+        probe.gauge("occupancy.makespan_cycles", makespan as f64);
+    }
 
     SimResult {
         scheme: "Dense",

@@ -27,6 +27,7 @@ pub mod cambricon;
 pub mod config;
 pub mod dense;
 pub mod goals;
+pub mod probe;
 pub mod runner;
 pub mod scnn;
 pub mod scnn_engine;
@@ -39,12 +40,16 @@ pub mod workmodel;
 pub use bitserial::{booth_digits, simulate_bitserial};
 pub use breakdown::{intern_scheme_label, Breakdown, OpCounts, SimResult, Traffic};
 pub use buffered::{simulate_buffered, BufferDepth, BufferedResult};
-pub use cambricon::{simulate_cambricon, CambriconResult};
+pub use cambricon::{simulate_cambricon, simulate_cambricon_checked, CambriconResult};
 pub use config::{MemoryConfig, ScnnConfig, SimConfig};
 pub use goals::{design_goal_table, DesignGoals};
-pub use runner::{simulate_layer, simulate_spec, simulate_spec_batch, BatchResult, Scheme};
-pub use scnn_engine::{scnn_cartesian_conv, CartesianStats};
+pub use probe::{reconcile_and_merge, Probe, StallTally};
+pub use runner::{
+    simulate_layer, simulate_layer_telemetry, simulate_spec, simulate_spec_batch, BatchResult,
+    Scheme,
+};
+pub use scnn_engine::{scnn_cartesian_conv, scnn_cartesian_conv_telemetry, CartesianStats};
 pub use sweeps::{density_sweep, scaling_sweep, DensityPoint, ScalingPoint};
-pub use trace::{trace_cluster, ChunkEvent, ClusterTraceLog};
+pub use trace::{trace_cluster, trace_cluster_telemetry, ChunkEvent, ClusterTraceLog};
 pub use validate::{standard_battery, validate_layer, ValidationReport};
 pub use workmodel::MaskModel;

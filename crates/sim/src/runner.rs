@@ -3,12 +3,14 @@
 use sparten_core::balance::BalanceMode;
 use sparten_nn::generate::Workload;
 use sparten_nn::LayerSpec;
+use sparten_telemetry::{ReconcileError, Telemetry};
 
 use crate::breakdown::SimResult;
 use crate::config::SimConfig;
-use crate::dense::simulate_dense;
-use crate::scnn::{simulate_scnn, ScnnVariant};
-use crate::sparten::{simulate_sparten, Sparsity};
+use crate::dense::{simulate_dense, simulate_dense_telemetry};
+use crate::probe::reconcile_and_merge;
+use crate::scnn::{simulate_scnn, simulate_scnn_telemetry, ScnnVariant};
+use crate::sparten::{simulate_sparten, simulate_sparten_telemetry, Sparsity};
 use crate::workmodel::MaskModel;
 
 /// The eight architectures compared in §5.1.
@@ -110,6 +112,71 @@ pub fn simulate_layer(
         Scheme::ScnnOneSided => simulate_scnn(workload, model, config, ScnnVariant::OneSided),
         Scheme::ScnnDense => simulate_scnn(workload, model, config, ScnnVariant::Dense),
     }
+}
+
+/// [`simulate_layer`] with telemetry: runs the scheme's instrumented
+/// simulator into a fresh local session, checks that the recorded stall
+/// and work counters reconcile *exactly* with the returned breakdown
+/// (`nonzero + zero + intra + inter == compute_cycles × units`), and only
+/// then folds the session into `session` (Perfetto tracks prefixed with
+/// `track_prefix`, e.g. `"conv1:"`).
+///
+/// The local-session-then-merge dance keeps the invariant exact even when
+/// many layers record into one shared session from worker threads.
+pub fn simulate_layer_telemetry(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    scheme: Scheme,
+    session: &Telemetry,
+    track_prefix: &str,
+) -> Result<SimResult, ReconcileError> {
+    let local = Telemetry::new();
+    let tel = Some(&local);
+    let result = match scheme {
+        Scheme::Dense => simulate_dense_telemetry(workload, model, config, tel),
+        Scheme::OneSided => simulate_sparten_telemetry(
+            workload,
+            model,
+            config,
+            Sparsity::OneSided,
+            BalanceMode::None,
+            tel,
+        ),
+        Scheme::SpartenNoGb => simulate_sparten_telemetry(
+            workload,
+            model,
+            config,
+            Sparsity::TwoSided,
+            BalanceMode::None,
+            tel,
+        ),
+        Scheme::SpartenGbS => simulate_sparten_telemetry(
+            workload,
+            model,
+            config,
+            Sparsity::TwoSided,
+            BalanceMode::GbS,
+            tel,
+        ),
+        Scheme::SpartenGbH => simulate_sparten_telemetry(
+            workload,
+            model,
+            config,
+            Sparsity::TwoSided,
+            BalanceMode::GbH,
+            tel,
+        ),
+        Scheme::Scnn => simulate_scnn_telemetry(workload, model, config, ScnnVariant::Full, tel),
+        Scheme::ScnnOneSided => {
+            simulate_scnn_telemetry(workload, model, config, ScnnVariant::OneSided, tel)
+        }
+        Scheme::ScnnDense => {
+            simulate_scnn_telemetry(workload, model, config, ScnnVariant::Dense, tel)
+        }
+    };
+    reconcile_and_merge(local, &result, session, track_prefix)?;
+    Ok(result)
 }
 
 /// Generates a Table 3 layer's synthetic workload and simulates it.

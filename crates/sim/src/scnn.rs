@@ -23,9 +23,11 @@
 //!   as wasted.
 
 use sparten_nn::generate::Workload;
+use sparten_telemetry::{StallCause, Telemetry};
 
 use crate::breakdown::{Breakdown, OpCounts, SimResult, Traffic};
 use crate::config::SimConfig;
+use crate::probe::{Probe, StallTally};
 use crate::workmodel::MaskModel;
 
 /// Sparsity handling for the SCNN variants of §5.1.
@@ -79,6 +81,17 @@ pub fn simulate_scnn(
     model: &MaskModel,
     config: &SimConfig,
     variant: ScnnVariant,
+) -> SimResult {
+    simulate_scnn_telemetry(workload, model, config, variant, None)
+}
+
+/// [`simulate_scnn`] with an optional telemetry session.
+pub fn simulate_scnn_telemetry(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    variant: ScnnVariant,
+    tel: Option<&Telemetry>,
 ) -> SimResult {
     let shape = &workload.shape;
     let scnn = &config.scnn;
@@ -139,6 +152,10 @@ pub fn simulate_scnn(
     }
 
     // Main timing loop: one barrier per (group, channel).
+    let probe = tel.map(|t| Probe::new(t, variant.name()));
+    let hist_step = probe.as_ref().map(|p| p.histogram("hist.step_cycles"));
+    let mut tally = StallTally::default();
+
     let mut makespan = 0u64;
     let mut busy_slots = vec![0u64; scnn.num_pes];
     let mut pe_cycles_total = vec![0u64; scnn.num_pes];
@@ -159,6 +176,13 @@ pub fn simulate_scnn(
                     let cycles = i_nnz.div_ceil(i_edge) * f_batches;
                     pe_cycles[owner] += cycles;
                     total_products += i_nnz * f_nnz;
+                    if let Some(h) = &hist_step {
+                        // Idle multiplier-array slots from the ⌈I/4⌉·⌈F/4⌉
+                        // quantization of this tile's batch.
+                        tally.multiplier_quantization +=
+                            cycles * slots_per_cycle - i_nnz * f_nnz;
+                        h.record(cycles);
+                    }
                 }
             }
             let barrier = pe_cycles.iter().copied().max().unwrap_or(0);
@@ -185,6 +209,29 @@ pub fn simulate_scnn(
     let traffic = scnn_traffic(workload, model, config, variant);
     let memory_cycles = (traffic.total_bytes() / config.memory.bytes_per_cycle).ceil() as u64;
     let total_units = (scnn.num_pes as u64) * slots_per_cycle;
+
+    if let Some(pr) = &probe {
+        for (pe, &cy) in pe_cycles_total.iter().enumerate() {
+            pr.thread(pe as u32, &format!("pe{pe}"));
+            pr.span(pe as u32, "pe", 0, cy, &[("busy_slots", busy_slots[pe])]);
+            if makespan > 0 {
+                pr.gauge(
+                    "occupancy.pe_util",
+                    busy_slots[pe] as f64 / (makespan * slots_per_cycle) as f64,
+                );
+            }
+        }
+        debug_assert_eq!(tally.multiplier_quantization, intra);
+        tally.pe_barrier_idle = inter;
+        tally.emit(pr);
+        pr.work(nonzero, zero);
+        // Crossbar/accumulator-bank contention is not modelled (perfect
+        // collector assumption); the taxonomy slot stays visible at zero.
+        pr.stall(StallCause::OutputBackpressure, 0);
+        pr.traffic(&traffic);
+        pr.count("trace.products", total_products);
+        pr.gauge("occupancy.makespan_cycles", makespan as f64);
+    }
 
     SimResult {
         scheme: variant.name(),

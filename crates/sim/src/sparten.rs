@@ -18,9 +18,11 @@
 
 use sparten_core::balance::{BalanceMode, LayerBalance};
 use sparten_nn::generate::Workload;
+use sparten_telemetry::{StallCause, Telemetry};
 
 use crate::breakdown::{Breakdown, OpCounts, SimResult, Traffic};
 use crate::config::SimConfig;
+use crate::probe::{Probe, StallTally, POSITION_SPAN_LIMIT};
 use crate::workmodel::MaskModel;
 
 /// Which sparsity the datapath exploits.
@@ -46,6 +48,20 @@ pub fn simulate_sparten(
     sparsity: Sparsity,
     mode: BalanceMode,
 ) -> SimResult {
+    simulate_sparten_telemetry(workload, model, config, sparsity, mode, None)
+}
+
+/// [`simulate_sparten`] with an optional telemetry session: stall-cause
+/// counters, occupancy gauges, chunk-barrier histograms, and sampled
+/// per-cluster timeline spans are recorded when `tel` is `Some`.
+pub fn simulate_sparten_telemetry(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    sparsity: Sparsity,
+    mode: BalanceMode,
+    tel: Option<&Telemetry>,
+) -> SimResult {
     let units = config.accel.cluster.compute_units;
     let chunk_size = config.accel.cluster.chunk_size;
     let mode = match sparsity {
@@ -53,7 +69,7 @@ pub fn simulate_sparten(
         Sparsity::TwoSided => mode,
     };
     let balance = LayerBalance::new(&workload.filters, units, chunk_size, mode);
-    simulate_sparten_with_balance(workload, model, config, sparsity, balance)
+    simulate_sparten_with_balance_telemetry(workload, model, config, sparsity, balance, tel)
 }
 
 /// Simulates with an explicit balance assignment (e.g. k-way collocation
@@ -64,6 +80,18 @@ pub fn simulate_sparten_with_balance(
     config: &SimConfig,
     sparsity: Sparsity,
     balance: LayerBalance,
+) -> SimResult {
+    simulate_sparten_with_balance_telemetry(workload, model, config, sparsity, balance, None)
+}
+
+/// [`simulate_sparten_with_balance`] with an optional telemetry session.
+pub fn simulate_sparten_with_balance_telemetry(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    sparsity: Sparsity,
+    balance: LayerBalance,
+    tel: Option<&Telemetry>,
 ) -> SimResult {
     let shape = &workload.shape;
     let units = config.accel.cluster.compute_units;
@@ -79,12 +107,21 @@ pub fn simulate_sparten_with_balance(
     let mut permute_values = 0u64;
     let mut chunk_joins = 0u64;
 
+    let probe = tel.map(|t| Probe::new(t, scheme_name(sparsity, mode)));
+    let hist_barrier = probe.as_ref().map(|p| p.histogram("hist.chunk_barrier"));
+    // Scratch: per-unit (work, statically-empty) for the chunk just timed,
+    // filled only when probing.
+    let mut unit_scratch: Vec<(u64, bool)> = Vec::new();
+
     for cluster in 0..num_clusters {
         let lo = positions * cluster / num_clusters;
         let hi = positions * (cluster + 1) / num_clusters;
         let mut cycles = 0u64;
         let mut busy = 0u64;
+        let mut tally = StallTally::default();
+        let mut sampled_spans = 0usize;
         for p in lo..hi {
+            let pos_start = cycles;
             let (ox, oy) = (p % oh, p / oh);
             for group in &balance.groups {
                 let busy_units = group.busy_units() as u64;
@@ -98,6 +135,14 @@ pub fn simulate_sparten_with_balance(
                             cycles += w + CHUNK_OVERHEAD;
                             busy += w * busy_units;
                             chunk_joins += busy_units;
+                            if let Some(h) = &hist_barrier {
+                                // All busy units share the input's popcount;
+                                // idle lanes and the broadcast overhead are
+                                // the only intra losses.
+                                tally.prefix_encoder_wait += CHUNK_OVERHEAD * units as u64;
+                                tally.unit_underfill += w * (units as u64 - busy_units);
+                                h.record(w);
+                            }
                         }
                         Sparsity::TwoSided => {
                             let per_unit: &[Vec<usize>] = if group.per_chunk_cu.is_empty() {
@@ -105,6 +150,10 @@ pub fn simulate_sparten_with_balance(
                             } else {
                                 &group.per_chunk_cu[c]
                             };
+                            let probing = hist_barrier.is_some();
+                            if probing {
+                                unit_scratch.clear();
+                            }
                             let mut chunk_max = 0u64;
                             for slots in per_unit {
                                 let mut w = 0u64;
@@ -114,19 +163,64 @@ pub fn simulate_sparten_with_balance(
                                 busy += w;
                                 chunk_max = chunk_max.max(w);
                                 chunk_joins += slots.len() as u64;
+                                if probing {
+                                    unit_scratch.push((w, slots.is_empty()));
+                                }
                             }
                             cycles += chunk_max + CHUNK_OVERHEAD;
                             if !group.per_chunk_cu.is_empty() {
                                 permute_values += group.num_filters() as u64;
                             }
+                            if let Some(h) = &hist_barrier {
+                                tally.prefix_encoder_wait += CHUNK_OVERHEAD * units as u64;
+                                for &(w, empty_slot) in &unit_scratch {
+                                    if empty_slot {
+                                        // No filter assigned: idle lane.
+                                        tally.unit_underfill += chunk_max;
+                                    } else if w == 0 {
+                                        // Held filters, but the mask AND
+                                        // came up empty for this chunk.
+                                        tally.empty_mask_and += chunk_max;
+                                    } else {
+                                        tally.chunk_barrier_idle += chunk_max - w;
+                                    }
+                                }
+                                tally.unit_underfill +=
+                                    (units as u64 - per_unit.len() as u64) * chunk_max;
+                                h.record(chunk_max);
+                            }
                         }
                     }
+                }
+            }
+            if let Some(pr) = &probe {
+                if sampled_spans < POSITION_SPAN_LIMIT {
+                    pr.span(
+                        cluster as u32,
+                        "position",
+                        pos_start,
+                        cycles - pos_start,
+                        &[("pos", p as u64)],
+                    );
+                    sampled_spans += 1;
                 }
             }
         }
         cluster_cycles[cluster] = cycles;
         cluster_busy[cluster] = busy;
         total_macs += busy;
+        if let Some(pr) = &probe {
+            pr.thread(cluster as u32, &format!("cluster{cluster}"));
+            pr.span(cluster as u32, "cluster", 0, cycles, &[("busy", busy)]);
+            if cycles > 0 {
+                pr.gauge(
+                    "occupancy.cluster_util",
+                    busy as f64 / (cycles * units as u64) as f64,
+                );
+            }
+            tally.emit(pr);
+            debug_assert_eq!(tally.intra(), cycles * units as u64 - busy);
+        }
     }
 
     let makespan = cluster_cycles.iter().copied().max().unwrap_or(0);
@@ -151,6 +245,17 @@ pub fn simulate_sparten_with_balance(
 
     let traffic = sparten_traffic(workload, model, config, sparsity);
     let memory_cycles = (traffic.total_bytes() / config.memory.bytes_per_cycle).ceil() as u64;
+
+    if let Some(pr) = &probe {
+        pr.work(nonzero_macs, zero_macs);
+        pr.stall(StallCause::ClusterIdle, inter);
+        // Registered at zero: the analytic model assumes a perfect output
+        // collector, but the taxonomy slot stays visible in reports.
+        pr.stall(StallCause::OutputBackpressure, 0);
+        pr.traffic(&traffic);
+        pr.count("trace.chunk_joins", chunk_joins);
+        pr.gauge("occupancy.makespan_cycles", makespan as f64);
+    }
 
     let prefix_per_join = match sparsity {
         Sparsity::OneSided => 1,

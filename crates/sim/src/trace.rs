@@ -9,8 +9,10 @@
 
 use sparten_core::balance::{BalanceMode, LayerBalance};
 use sparten_nn::generate::Workload;
+use sparten_telemetry::Telemetry;
 
 use crate::config::SimConfig;
+use crate::probe::Probe;
 use crate::workmodel::MaskModel;
 
 /// One chunk barrier's record.
@@ -106,6 +108,31 @@ pub fn trace_cluster(
     mode: BalanceMode,
     max_positions: usize,
 ) -> ClusterTraceLog {
+    trace_cluster_telemetry(workload, config, mode, max_positions, None)
+}
+
+/// The telemetry scope a balance mode's trace records under.
+fn trace_scope(mode: BalanceMode) -> &'static str {
+    match mode {
+        BalanceMode::None => "Trace-no-GB",
+        BalanceMode::GbS => "Trace-GB-S",
+        BalanceMode::GbH => "Trace-GB-H",
+        BalanceMode::GbSNoColloc => "Trace-GB-S-nocolloc",
+    }
+}
+
+/// [`trace_cluster`] with an optional telemetry session: every chunk
+/// barrier is additionally emitted through the recorder — one thread track
+/// per compute unit, one span per unit per barrier (Figure 6's strips as a
+/// Perfetto timeline) — plus `trace.useful_slots` / `trace.barrier_slots`
+/// counters whose ratio is exactly [`ClusterTraceLog::utilization`].
+pub fn trace_cluster_telemetry(
+    workload: &Workload,
+    config: &SimConfig,
+    mode: BalanceMode,
+    max_positions: usize,
+    tel: Option<&Telemetry>,
+) -> ClusterTraceLog {
     let shape = &workload.shape;
     let units = config.accel.cluster.compute_units;
     let chunk_size = config.accel.cluster.chunk_size;
@@ -114,6 +141,17 @@ pub fn trace_cluster(
     let chunks = model.chunks_per_window();
     let (oh, ow) = (shape.out_height(), shape.out_width());
     let positions = (oh * ow).min(max_positions);
+
+    let probe = tel.map(|t| {
+        let p = Probe::new(t, trace_scope(mode));
+        for u in 0..units {
+            p.thread(u as u32, &format!("unit{u}"));
+        }
+        p
+    });
+    let mut now = 0u64; // barrier-aligned trace clock
+    let mut useful_slots = 0u64;
+    let mut barrier_slots = 0u64;
 
     let mut events = Vec::new();
     for p in 0..positions {
@@ -132,6 +170,25 @@ pub fn trace_cluster(
                     }
                 }
                 let barrier = unit_work.iter().copied().max().unwrap_or(0);
+                if let Some(pr) = &probe {
+                    for (u, &w) in unit_work.iter().enumerate() {
+                        useful_slots += w as u64;
+                        if w > 0 {
+                            pr.span(
+                                u as u32,
+                                "chunk",
+                                now,
+                                w as u64,
+                                &[("pos", p as u64), ("group", g as u64), ("chunk", c as u64)],
+                            );
+                        }
+                    }
+                    if barrier > 0 {
+                        pr.instant(0, "barrier", now + barrier as u64, &[]);
+                    }
+                    now += barrier as u64;
+                    barrier_slots += barrier as u64 * units as u64;
+                }
                 events.push(ChunkEvent {
                     position: p,
                     group: g,
@@ -141,6 +198,10 @@ pub fn trace_cluster(
                 });
             }
         }
+    }
+    if let Some(pr) = &probe {
+        pr.count("trace.useful_slots", useful_slots);
+        pr.count("trace.barrier_slots", barrier_slots);
     }
     ClusterTraceLog { events, units }
 }

@@ -14,7 +14,10 @@
 //! * [`sim`] — cycle-level simulators for Dense, One-sided, SparTen, and
 //!   SCNN with the paper's execution-time breakdown;
 //! * [`energy`] — the 45 nm energy model (Figure 13) and the cluster ASIC
-//!   area/power estimate (Table 4).
+//!   area/power estimate (Table 4);
+//! * [`telemetry`] — cycle-level counters, stall-cause tracing, and the
+//!   Chrome-trace/plain-text exporters behind `sparten-harness
+//!   --telemetry`.
 //!
 //! # Quickstart
 //!
@@ -35,4 +38,5 @@ pub use sparten_core as core;
 pub use sparten_energy as energy;
 pub use sparten_nn as nn;
 pub use sparten_sim as sim;
+pub use sparten_telemetry as telemetry;
 pub use sparten_tensor as tensor;

@@ -1,0 +1,186 @@
+//! The reconciliation invariant: telemetry must agree with the breakdown.
+//!
+//! Every simulator reports a Figure 10–12 style execution-time breakdown
+//! (`nonzero + zero + intra + inter == compute_cycles × units`, in MAC-slot
+//! cycles). The instrumentation in this workspace records the *same*
+//! quantities as counters — `work.nonzero`, `work.zero`, and the
+//! `stall.intra.*` / `stall.inter.*` cause taxonomy. [`check_breakdown`]
+//! asserts the two accountings agree **exactly** (integer equality, no
+//! tolerance), which turns the telemetry from decoration into a
+//! cross-check on the simulators themselves: a missed stall attribution or
+//! a double-counted slot fails the check.
+
+use crate::metrics::Snapshot;
+
+/// The breakdown a telemetry scope is expected to reconcile against, in
+/// MAC-slot cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakdownExpectation {
+    /// Slots doing useful (non-zero) multiplies.
+    pub nonzero: u64,
+    /// Slots multiplying a zero operand.
+    pub zero: u64,
+    /// Within-cluster idle slots.
+    pub intra: u64,
+    /// Across-cluster idle slots.
+    pub inter: u64,
+    /// Total compute cycles (makespan).
+    pub compute_cycles: u64,
+    /// Total MAC slots per cycle across the machine.
+    pub units: u64,
+}
+
+/// One failed reconciliation between a counter family and the breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconcileError {
+    /// The telemetry scope checked (e.g. `SparTen`).
+    pub scope: String,
+    /// Which quantity disagreed.
+    pub what: &'static str,
+    /// The value from the telemetry counters.
+    pub counted: u64,
+    /// The value from the breakdown.
+    pub expected: u64,
+}
+
+impl std::fmt::Display for ReconcileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "telemetry/breakdown mismatch in scope `{}`: {} counted {} but breakdown says {}",
+            self.scope, self.what, self.counted, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ReconcileError {}
+
+/// Checks that the counters under `scope` reconcile exactly with
+/// `expectation`:
+///
+/// * `{scope}/work.nonzero == nonzero`
+/// * `{scope}/work.zero == zero`
+/// * `Σ {scope}/stall.intra.* == intra`
+/// * `Σ {scope}/stall.inter.* == inter`
+/// * the four together `== compute_cycles × units`
+///
+/// Returns the first mismatch found, in the order above.
+pub fn check_breakdown(
+    snapshot: &Snapshot,
+    scope: &str,
+    expectation: &BreakdownExpectation,
+) -> Result<(), ReconcileError> {
+    let e = expectation;
+    let checks: [(&'static str, u64, u64); 4] = [
+        (
+            "work.nonzero",
+            snapshot.counter(&format!("{scope}/work.nonzero")).unwrap_or(0),
+            e.nonzero,
+        ),
+        (
+            "work.zero",
+            snapshot.counter(&format!("{scope}/work.zero")).unwrap_or(0),
+            e.zero,
+        ),
+        (
+            "stall.intra.*",
+            snapshot.counter_sum(&format!("{scope}/stall.intra.")),
+            e.intra,
+        ),
+        (
+            "stall.inter.*",
+            snapshot.counter_sum(&format!("{scope}/stall.inter.")),
+            e.inter,
+        ),
+    ];
+    for (what, counted, expected) in checks {
+        if counted != expected {
+            return Err(ReconcileError {
+                scope: scope.to_string(),
+                what,
+                counted,
+                expected,
+            });
+        }
+    }
+    let total = e.nonzero + e.zero + e.intra + e.inter;
+    let slots = e.compute_cycles * e.units;
+    if total != slots {
+        return Err(ReconcileError {
+            scope: scope.to_string(),
+            what: "total slots (nonzero+zero+intra+inter vs cycles×units)",
+            counted: total,
+            expected: slots,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn populated() -> Registry {
+        let r = Registry::new();
+        r.counter("S/work.nonzero").add(10);
+        r.counter("S/work.zero").add(2);
+        r.counter("S/stall.intra.chunk_barrier_idle").add(3);
+        r.counter("S/stall.intra.prefix_encoder_wait").add(1);
+        r.counter("S/stall.inter.cluster_idle").add(4);
+        r
+    }
+
+    fn expectation() -> BreakdownExpectation {
+        BreakdownExpectation {
+            nonzero: 10,
+            zero: 2,
+            intra: 4,
+            inter: 4,
+            compute_cycles: 5,
+            units: 4,
+        }
+    }
+
+    #[test]
+    fn exact_match_passes() {
+        let snap = populated().snapshot();
+        check_breakdown(&snap, "S", &expectation()).expect("should reconcile");
+    }
+
+    #[test]
+    fn intra_mismatch_is_reported() {
+        let r = populated();
+        r.counter("S/stall.intra.chunk_barrier_idle").add(1);
+        let err = check_breakdown(&r.snapshot(), "S", &expectation()).expect_err("mismatch");
+        assert_eq!(err.what, "stall.intra.*");
+        assert_eq!(err.counted, 5);
+        assert_eq!(err.expected, 4);
+        assert!(err.to_string().contains("scope `S`"));
+    }
+
+    #[test]
+    fn total_slot_mismatch_is_reported() {
+        let snap = populated().snapshot();
+        let mut e = expectation();
+        e.compute_cycles = 6;
+        let err = check_breakdown(&snap, "S", &e).expect_err("mismatch");
+        assert!(err.what.contains("total slots"));
+        assert_eq!(err.counted, 20);
+        assert_eq!(err.expected, 24);
+    }
+
+    #[test]
+    fn missing_counters_count_as_zero() {
+        let r = Registry::new();
+        let e = BreakdownExpectation {
+            nonzero: 0,
+            zero: 0,
+            intra: 0,
+            inter: 0,
+            compute_cycles: 0,
+            units: 4,
+        };
+        check_breakdown(&r.snapshot(), "S", &e).expect("empty reconciles");
+    }
+}

@@ -1,0 +1,123 @@
+#![warn(missing_docs)]
+
+//! Observability substrate for the SparTen reproduction: cycle-level
+//! counters, stall-cause tracing, and timeline export.
+//!
+//! The paper's evaluation hinges on *explaining* where cycles go — the
+//! Figure 10–12 breakdown decomposes execution into non-zero compute, zero
+//! compute, intra-cluster loss, and inter-cluster loss. This crate makes
+//! that accounting inspectable instead of opaque:
+//!
+//! * a hierarchical metric [`Registry`] of atomic [`Counter`]s,
+//!   high/low-water [`Gauge`]s, and power-of-two-bucketed [`Histogram`]s;
+//! * a cycle-stamped span/event [`Recorder`] with named process/thread
+//!   tracks and a bounded event buffer (drops are counted, never silent);
+//! * two exporters: a hand-rolled Chrome trace-event JSON writer
+//!   ([`chrome::chrome_trace`], loadable in Perfetto via ui.perfetto.dev)
+//!   and a plain-text report ([`report::text_report`]) whose stable
+//!   `key value` format parses back ([`report::parse_report`]);
+//! * a stall-cause taxonomy ([`stall::StallCause`]) shared by every
+//!   simulator, so traces from different architectures are comparable;
+//! * an invariant checker ([`invariant::check_breakdown`]) asserting that
+//!   the recorded work/stall counters reconcile *exactly* with a run's
+//!   execution-time breakdown (`nonzero + zero + intra + inter ==
+//!   compute_cycles × units`), which makes the counters a cross-check on
+//!   the simulators rather than decoration.
+//!
+//! # Metric naming scheme
+//!
+//! Names are `<scope>/<area>.<detail>` where `<scope>` is the scheme label
+//! (`SparTen`, `SCNN`, ...) or a caller-chosen prefix, and the dotted part
+//! is hierarchical:
+//!
+//! | prefix          | meaning                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `work.*`        | executed MAC slots (`work.nonzero`, `work.zero`)   |
+//! | `stall.intra.*` | within-cluster idle slots, by [`stall::StallCause`]|
+//! | `stall.inter.*` | across-cluster idle slots, by cause                |
+//! | `dram.*`        | DRAM traffic in bytes, per tensor                  |
+//! | `occupancy.*`   | buffer/structure high-water gauges                 |
+//! | `trace.*`       | recorder bookkeeping (sampling, totals)            |
+//!
+//! The crate is intentionally dependency-free and `std`-only, matching the
+//! workspace's offline build constraint.
+
+pub mod chrome;
+pub mod invariant;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod stall;
+
+pub use chrome::chrome_trace;
+pub use invariant::{check_breakdown, BreakdownExpectation, ReconcileError};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use recorder::{Phase, Recorder, TraceEvent};
+pub use report::{parse_report, text_report, ParsedReport};
+pub use stall::StallCause;
+
+/// One telemetry session: a metric registry plus a span/event recorder.
+///
+/// A `Telemetry` is cheap to create, internally synchronized (`Send +
+/// Sync`), and mergeable: per-point sessions recorded on worker threads
+/// fold into a per-job session in a deterministic order via [`merge`].
+///
+/// [`merge`]: Telemetry::merge
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Counters, gauges, and histograms.
+    pub metrics: Registry,
+    /// Cycle-stamped spans and instant events.
+    pub recorder: Recorder,
+}
+
+impl Telemetry {
+    /// Creates an empty session with the default recorder capacity.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges widen their
+    /// high/low water marks, histograms add bucket-wise, and recorded
+    /// events append with their process tracks re-allocated (and renamed
+    /// with `track_prefix`) so timelines from different layers/points
+    /// stay on distinct Perfetto tracks.
+    pub fn merge(&self, other: Telemetry, track_prefix: &str) {
+        self.metrics.merge(&other.metrics);
+        self.recorder.merge(other.recorder, track_prefix);
+    }
+}
+
+// The harness moves sessions across worker threads and shares a per-job
+// session with the scheduler; these bounds are part of the API contract.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Telemetry>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_folds_counters_and_tracks() {
+        let a = Telemetry::new();
+        a.metrics.counter("S/work.nonzero").add(5);
+        let pid = a.recorder.alloc_process("S");
+        a.recorder.span(pid, 0, "cluster", 0, 10, &[]);
+
+        let b = Telemetry::new();
+        b.metrics.counter("S/work.nonzero").add(7);
+        let bpid = b.recorder.alloc_process("S");
+        b.recorder.span(bpid, 0, "cluster", 0, 20, &[]);
+
+        a.merge(b, "p1:");
+        let snap = a.metrics.snapshot();
+        assert_eq!(snap.counter("S/work.nonzero"), Some(12));
+        let events = a.recorder.events();
+        assert_eq!(events.len(), 2);
+        // The merged event landed on a fresh, prefixed process track.
+        assert_ne!(events[0].pid, events[1].pid);
+        assert_eq!(a.recorder.process_name(events[1].pid).as_deref(), Some("p1:S"));
+    }
+}

@@ -1,0 +1,256 @@
+//! The cycle-stamped span/event recorder behind the Perfetto timelines.
+//!
+//! Events live on *tracks* addressed by `(pid, tid)` — in Chrome trace
+//! terms a process and a thread. Simulators allocate one process per
+//! scheme (or per traced structure) and use thread ids for clusters, PEs,
+//! or compute units. Timestamps are in **cycles**; the Chrome exporter
+//! maps one cycle to one microsecond so Perfetto's time axis reads
+//! directly in cycles.
+//!
+//! The buffer is bounded: events past the capacity are dropped and
+//! *counted* (never silently), so a pathological trace cannot exhaust
+//! memory while the drop is still visible in every report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default maximum number of retained events per recorder.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Event phase, mirroring the Chrome trace-event phases we emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span (`ph: "X"`) with a duration.
+    Span,
+    /// An instant event (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Process track (allocate via [`Recorder::alloc_process`]).
+    pub pid: u32,
+    /// Thread track within the process.
+    pub tid: u32,
+    /// Event name (static so the hot path never allocates).
+    pub name: &'static str,
+    /// Start cycle.
+    pub ts: u64,
+    /// Duration in cycles (0 for instants).
+    pub dur: u64,
+    /// Span or instant.
+    pub phase: Phase,
+    /// Small set of integer arguments shown in the Perfetto side panel.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    /// Process-track names, indexed by pid.
+    processes: Vec<String>,
+    /// `(pid, tid, name)` thread-track names.
+    threads: Vec<(u32, u32, String)>,
+}
+
+/// A bounded, thread-safe event buffer with named tracks.
+#[derive(Debug)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates a new process track named `name` and returns its pid.
+    pub fn alloc_process(&self, name: &str) -> u32 {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        inner.processes.push(name.to_string());
+        (inner.processes.len() - 1) as u32
+    }
+
+    /// Names thread `tid` of process `pid` (for Perfetto's track labels).
+    pub fn name_thread(&self, pid: u32, tid: u32, name: &str) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        inner.threads.push((pid, tid, name.to_string()));
+    }
+
+    /// Records a complete span of `dur` cycles starting at cycle `ts`.
+    pub fn span(
+        &self,
+        pid: u32,
+        tid: u32,
+        name: &'static str,
+        ts: u64,
+        dur: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        self.push(TraceEvent {
+            pid,
+            tid,
+            name,
+            ts,
+            dur,
+            phase: Phase::Span,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Records an instant event at cycle `ts`.
+    pub fn instant(&self, pid: u32, tid: u32, name: &'static str, ts: u64, args: &[(&'static str, u64)]) {
+        self.push(TraceEvent {
+            pid,
+            tid,
+            name,
+            ts,
+            dur: 0,
+            phase: Phase::Instant,
+            args: args.to_vec(),
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        if inner.events.len() >= self.capacity {
+            drop(inner);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        inner.events.push(event);
+    }
+
+    /// Number of events dropped at the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder lock").events.len()
+    }
+
+    /// Whether no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the retained events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("recorder lock").events.clone()
+    }
+
+    /// The name of process track `pid`, if allocated.
+    pub fn process_name(&self, pid: u32) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("recorder lock")
+            .processes
+            .get(pid as usize)
+            .cloned()
+    }
+
+    /// All process-track names, indexed by pid.
+    pub fn process_names(&self) -> Vec<String> {
+        self.inner.lock().expect("recorder lock").processes.clone()
+    }
+
+    /// All `(pid, tid, name)` thread-track names.
+    pub fn thread_names(&self) -> Vec<(u32, u32, String)> {
+        self.inner.lock().expect("recorder lock").threads.clone()
+    }
+
+    /// Appends `other`'s events, re-allocating its process tracks here
+    /// (renamed with `prefix`) so merged timelines stay on distinct
+    /// Perfetto tracks. Drop counts accumulate.
+    pub fn merge(&self, other: Recorder, prefix: &str) {
+        let other_dropped = other.dropped();
+        let other_inner = other.inner.into_inner().expect("recorder lock");
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let base = inner.processes.len() as u32;
+        for name in &other_inner.processes {
+            inner.processes.push(format!("{prefix}{name}"));
+        }
+        for (pid, tid, name) in other_inner.threads {
+            inner.threads.push((base + pid, tid, name));
+        }
+        let mut dropped_here = other_dropped;
+        for mut e in other_inner.events {
+            if inner.events.len() >= self.capacity {
+                dropped_here += 1;
+                continue;
+            }
+            e.pid += base;
+            inner.events.push(e);
+        }
+        drop(inner);
+        self.dropped.fetch_add(dropped_here, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants_are_recorded_in_order() {
+        let r = Recorder::default();
+        let pid = r.alloc_process("SparTen");
+        r.name_thread(pid, 0, "cluster0");
+        r.span(pid, 0, "cluster", 0, 100, &[("busy", 80)]);
+        r.instant(pid, 0, "barrier", 50, &[]);
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Phase::Span);
+        assert_eq!(events[0].args, vec![("busy", 80)]);
+        assert_eq!(events[1].phase, Phase::Instant);
+        assert_eq!(r.process_name(pid).as_deref(), Some("SparTen"));
+        assert_eq!(r.thread_names(), vec![(pid, 0, "cluster0".to_string())]);
+    }
+
+    #[test]
+    fn capacity_drops_are_counted_not_silent() {
+        let r = Recorder::with_capacity(2);
+        let pid = r.alloc_process("x");
+        for i in 0..5 {
+            r.span(pid, 0, "e", i, 1, &[]);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn merge_remaps_pids_and_accumulates_drops() {
+        let a = Recorder::with_capacity(3);
+        let apid = a.alloc_process("A");
+        a.span(apid, 0, "e", 0, 1, &[]);
+
+        let b = Recorder::with_capacity(1);
+        let bpid = b.alloc_process("B");
+        b.name_thread(bpid, 2, "pe2");
+        b.span(bpid, 2, "e", 0, 1, &[]);
+        b.span(bpid, 2, "e", 1, 1, &[]); // dropped in b
+
+        a.merge(b, "L3:");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped(), 1);
+        let events = a.events();
+        assert_eq!(a.process_name(events[1].pid).as_deref(), Some("L3:B"));
+        assert_eq!(a.thread_names(), vec![(events[1].pid, 2, "pe2".to_string())]);
+    }
+}

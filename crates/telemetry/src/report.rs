@@ -1,0 +1,255 @@
+//! Plain-text report exporter and parser.
+//!
+//! The format is line-oriented `key value` text, stable enough to diff and
+//! to parse back (the harness `report` subcommand re-reads these files to
+//! build cross-job summaries):
+//!
+//! ```text
+//! # sparten-telemetry report v1
+//! job fig10_alexnet
+//! counter SparTen/work.nonzero 1234
+//! gauge SparTen/occupancy.cluster hi=4.0 lo=1.0 last=2.0 n=17
+//! hist SparTen/hist.chunk_work n=9 sum=41 buckets=0:3,2:6
+//! events 128 dropped 0
+//! ```
+//!
+//! Histogram buckets serialize sparsely as `index:count` pairs; empty
+//! histograms serialize as `buckets=-`.
+
+use crate::metrics::{MetricValue, Snapshot, HISTOGRAM_BUCKETS};
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a telemetry session as the stable plain-text report format.
+pub fn text_report(job: &str, snapshot: &Snapshot, recorder: &Recorder) -> String {
+    let mut out = String::new();
+    out.push_str("# sparten-telemetry report v1\n");
+    let _ = writeln!(out, "job {job}");
+    for (name, value) in &snapshot.entries {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "counter {name} {v}");
+            }
+            MetricValue::Gauge { hi, lo, last, count } => {
+                let _ = writeln!(out, "gauge {name} hi={hi} lo={lo} last={last} n={count}");
+            }
+            MetricValue::Histogram { buckets, sum } => {
+                let n: u64 = buckets.iter().sum();
+                let _ = write!(out, "hist {name} n={n} sum={sum} buckets=");
+                let mut any = false;
+                for (i, b) in buckets.iter().enumerate() {
+                    if *b > 0 {
+                        if any {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{i}:{b}");
+                        any = true;
+                    }
+                }
+                if !any {
+                    out.push('-');
+                }
+                out.push('\n');
+            }
+        }
+    }
+    let _ = writeln!(out, "events {} dropped {}", recorder.len(), recorder.dropped());
+    out
+}
+
+/// A report read back from the plain-text format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedReport {
+    /// The `job` line's value.
+    pub job: String,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge `(hi, lo, last, count)` by name.
+    pub gauges: BTreeMap<String, (f64, f64, f64, u64)>,
+    /// Histogram `(buckets, sum)` by name.
+    pub histograms: BTreeMap<String, ([u64; HISTOGRAM_BUCKETS], u64)>,
+    /// Retained event count from the `events` line.
+    pub events: u64,
+    /// Dropped event count from the `events` line.
+    pub dropped: u64,
+}
+
+impl ParsedReport {
+    /// Sums every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+/// Parses text produced by [`text_report`]. Returns a human-readable error
+/// naming the offending line.
+pub fn parse_report(text: &str) -> Result<ParsedReport, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.starts_with("# sparten-telemetry report v1") => {}
+        other => {
+            return Err(format!(
+                "missing `# sparten-telemetry report v1` header, found {:?}",
+                other.map(|(_, l)| l)
+            ))
+        }
+    }
+    let mut report = ParsedReport::default();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let kind = parts.next().unwrap_or_default();
+        let bad = |what: &str| format!("line {lineno}: {what}: `{line}`");
+        match kind {
+            "job" => {
+                report.job = parts.next().ok_or_else(|| bad("missing job name"))?.to_string();
+            }
+            "counter" => {
+                let name = parts.next().ok_or_else(|| bad("missing counter name"))?;
+                let value: u64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad counter value"))?;
+                report.counters.insert(name.to_string(), value);
+            }
+            "gauge" => {
+                let name = parts.next().ok_or_else(|| bad("missing gauge name"))?;
+                let rest = parts.next().ok_or_else(|| bad("missing gauge fields"))?;
+                let mut hi = None;
+                let mut lo = None;
+                let mut last = None;
+                let mut n = None;
+                for field in rest.split(' ') {
+                    let (k, v) = field.split_once('=').ok_or_else(|| bad("bad gauge field"))?;
+                    match k {
+                        "hi" => hi = v.parse::<f64>().ok(),
+                        "lo" => lo = v.parse::<f64>().ok(),
+                        "last" => last = v.parse::<f64>().ok(),
+                        "n" => n = v.parse::<u64>().ok(),
+                        _ => return Err(bad("unknown gauge field")),
+                    }
+                }
+                match (hi, lo, last, n) {
+                    (Some(hi), Some(lo), Some(last), Some(n)) => {
+                        report.gauges.insert(name.to_string(), (hi, lo, last, n));
+                    }
+                    _ => return Err(bad("incomplete gauge fields")),
+                }
+            }
+            "hist" => {
+                let name = parts.next().ok_or_else(|| bad("missing hist name"))?;
+                let rest = parts.next().ok_or_else(|| bad("missing hist fields"))?;
+                let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                let mut sum = None;
+                for field in rest.split(' ') {
+                    let (k, v) = field.split_once('=').ok_or_else(|| bad("bad hist field"))?;
+                    match k {
+                        "n" => {} // redundant with buckets; validated below
+                        "sum" => sum = v.parse::<u64>().ok(),
+                        "buckets" => {
+                            if v == "-" {
+                                continue;
+                            }
+                            for pair in v.split(',') {
+                                let (i, c) = pair
+                                    .split_once(':')
+                                    .ok_or_else(|| bad("bad bucket pair"))?;
+                                let i: usize =
+                                    i.parse().map_err(|_| bad("bad bucket index"))?;
+                                if i >= HISTOGRAM_BUCKETS {
+                                    return Err(bad("bucket index out of range"));
+                                }
+                                buckets[i] = c.parse().map_err(|_| bad("bad bucket count"))?;
+                            }
+                        }
+                        _ => return Err(bad("unknown hist field")),
+                    }
+                }
+                let sum = sum.ok_or_else(|| bad("missing hist sum"))?;
+                report.histograms.insert(name.to_string(), (buckets, sum));
+            }
+            "events" => {
+                let events: u64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad events count"))?;
+                let rest = parts.next().ok_or_else(|| bad("missing dropped field"))?;
+                let dropped: u64 = rest
+                    .strip_prefix("dropped ")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad dropped count"))?;
+                report.events = events;
+                report.dropped = dropped;
+            }
+            _ => return Err(bad("unknown record kind")),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn report_round_trips() {
+        let t = Telemetry::new();
+        t.metrics.counter("S/work.nonzero").add(1234);
+        t.metrics.counter("S/stall.intra.chunk_barrier_idle").add(55);
+        let g = t.metrics.gauge("S/occupancy.cluster");
+        g.observe(1.0);
+        g.observe(4.0);
+        g.observe(2.0);
+        let h = t.metrics.histogram("S/hist.chunk_work");
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        let pid = t.recorder.alloc_process("S");
+        t.recorder.span(pid, 0, "cluster", 0, 10, &[]);
+
+        let text = text_report("fig10_alexnet", &t.metrics.snapshot(), &t.recorder);
+        let parsed = parse_report(&text).expect("parse");
+        assert_eq!(parsed.job, "fig10_alexnet");
+        assert_eq!(parsed.counters.get("S/work.nonzero"), Some(&1234));
+        assert_eq!(parsed.counter_sum("S/stall.intra."), 55);
+        assert_eq!(
+            parsed.gauges.get("S/occupancy.cluster"),
+            Some(&(4.0, 1.0, 2.0, 3))
+        );
+        let (buckets, sum) = parsed.histograms.get("S/hist.chunk_work").expect("hist");
+        assert_eq!(sum, &6);
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[2], 2);
+        assert_eq!(parsed.events, 1);
+        assert_eq!(parsed.dropped, 0);
+    }
+
+    #[test]
+    fn empty_histogram_serializes_as_dash() {
+        let t = Telemetry::new();
+        t.metrics.histogram("h");
+        let text = text_report("j", &t.metrics.snapshot(), &t.recorder);
+        assert!(text.contains("hist h n=0 sum=0 buckets=-"));
+        let parsed = parse_report(&text).expect("parse");
+        assert_eq!(parsed.histograms.get("h"), Some(&([0; HISTOGRAM_BUCKETS], 0)));
+    }
+
+    #[test]
+    fn bad_lines_name_their_line() {
+        let err = parse_report("# sparten-telemetry report v1\ncounter x notanumber\n")
+            .expect_err("should fail");
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_report("nope\n").expect_err("should fail");
+        assert!(err.contains("header"), "{err}");
+    }
+}

@@ -1,0 +1,109 @@
+//! The stall-cause taxonomy shared by every simulator.
+//!
+//! Each cause is a leaf under `stall.intra.*` or `stall.inter.*` in the
+//! metric naming scheme, in units of *MAC-slot cycles* — the same unit as
+//! the Figure 10–12 breakdown, which is what lets the invariant checker
+//! reconcile them exactly. Not every cause applies to every architecture
+//! (SCNN has no mask-AND; Dense has no prefix sums): absent causes simply
+//! never register a counter.
+
+/// Why a MAC slot went idle (or was spent on overhead) instead of doing a
+/// useful multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Intra: a unit's ANDed SparseMap chunk was empty while a sibling
+    /// unit still had work — the whole chunk barrier passed with zero
+    /// MACs on this unit.
+    EmptyMaskAnd,
+    /// Intra: per-chunk prefix-sum / priority-encoder / broadcast setup
+    /// cycles during which no unit multiplies (SparTen's chunk overhead).
+    PrefixEncoderWait,
+    /// Intra: a unit had work for the chunk but less than the barrier —
+    /// classic within-cluster density imbalance.
+    ChunkBarrierIdle,
+    /// Intra: units idle because the filter group is partially filled
+    /// (fewer filters than compute units), or because a one-sided /
+    /// shared-mask datapath leaves lanes unoccupied.
+    UnitUnderfill,
+    /// Intra: idle multiplier-array slots from SCNN's `⌈I/4⌉·⌈F/4⌉`
+    /// quantization when a tile or filter group has too few non-zeros.
+    MultiplierQuantization,
+    /// Intra: the output collector / accumulator bank could not accept
+    /// results, back-pressuring the datapath. Zero in the current
+    /// analytic models (they assume perfect collectors), but part of the
+    /// taxonomy so a future queued model reports through the same name.
+    OutputBackpressure,
+    /// Inter: slack of faster clusters against the slowest cluster's
+    /// makespan at the layer barrier.
+    ClusterIdle,
+    /// Inter: slack of faster PEs at SCNN's per-(channel, filter-group)
+    /// broadcast barriers, including wholly idle PEs on small planes.
+    PeBarrierIdle,
+}
+
+impl StallCause {
+    /// Whether the cause is within-cluster (`stall.intra.*`) or
+    /// across-cluster (`stall.inter.*`).
+    pub fn is_intra(self) -> bool {
+        !matches!(self, StallCause::ClusterIdle | StallCause::PeBarrierIdle)
+    }
+
+    /// The leaf metric name.
+    pub fn leaf(self) -> &'static str {
+        match self {
+            StallCause::EmptyMaskAnd => "empty_mask_and",
+            StallCause::PrefixEncoderWait => "prefix_encoder_wait",
+            StallCause::ChunkBarrierIdle => "chunk_barrier_idle",
+            StallCause::UnitUnderfill => "unit_underfill",
+            StallCause::MultiplierQuantization => "multiplier_quantization",
+            StallCause::OutputBackpressure => "output_backpressure",
+            StallCause::ClusterIdle => "cluster_idle",
+            StallCause::PeBarrierIdle => "pe_barrier_idle",
+        }
+    }
+
+    /// The full metric name under `scope`, e.g.
+    /// `SparTen/stall.intra.chunk_barrier_idle`.
+    pub fn metric_name(self, scope: &str) -> String {
+        let side = if self.is_intra() { "intra" } else { "inter" };
+        format!("{scope}/stall.{side}.{}", self.leaf())
+    }
+
+    /// Every cause, in documentation order.
+    pub fn all() -> [StallCause; 8] {
+        [
+            StallCause::EmptyMaskAnd,
+            StallCause::PrefixEncoderWait,
+            StallCause::ChunkBarrierIdle,
+            StallCause::UnitUnderfill,
+            StallCause::MultiplierQuantization,
+            StallCause::OutputBackpressure,
+            StallCause::ClusterIdle,
+            StallCause::PeBarrierIdle,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_sided() {
+        let names: std::collections::HashSet<String> = StallCause::all()
+            .iter()
+            .map(|c| c.metric_name("X"))
+            .collect();
+        assert_eq!(names.len(), StallCause::all().len());
+        assert_eq!(
+            StallCause::ChunkBarrierIdle.metric_name("SparTen"),
+            "SparTen/stall.intra.chunk_barrier_idle"
+        );
+        assert_eq!(
+            StallCause::ClusterIdle.metric_name("Dense"),
+            "Dense/stall.inter.cluster_idle"
+        );
+        assert!(!StallCause::PeBarrierIdle.is_intra());
+        assert!(StallCause::OutputBackpressure.is_intra());
+    }
+}

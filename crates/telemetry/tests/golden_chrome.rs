@@ -1,0 +1,90 @@
+//! Golden-file snapshot of the Chrome trace exporter.
+//!
+//! The trace-event format is consumed by an external tool (Perfetto), so
+//! accidental format drift would only surface as a silently broken viewer.
+//! This test pins the exporter's exact bytes on a small deterministic
+//! session. To bless an intentional format change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p sparten-telemetry --test golden_chrome
+//! ```
+
+use sparten_telemetry::{chrome_trace, Telemetry};
+
+const GOLDEN_PATH: &str = "tests/golden/chrome_small.json";
+
+/// A fixed session exercising every event kind the exporter emits:
+/// process/thread metadata, spans with and without args, instants, all
+/// three metric types, and characters needing JSON escaping.
+fn golden_session() -> Telemetry {
+    let tel = Telemetry::new();
+    let pid = tel.recorder.alloc_process("SparTen \"golden\"");
+    tel.recorder.name_thread(pid, 0, "cluster0");
+    tel.recorder.name_thread(pid, 1, "cluster1");
+    tel.recorder.span(pid, 0, "cluster", 0, 128, &[("busy", 100), ("units", 32)]);
+    tel.recorder.span(pid, 1, "cluster", 0, 96, &[]);
+    tel.recorder.span(pid, 0, "position", 0, 17, &[("pos", 0)]);
+    tel.recorder.instant(pid, 0, "barrier", 17, &[("chunk", 3)]);
+
+    tel.metrics.counter("SparTen/work.nonzero").add(1234);
+    tel.metrics.counter("SparTen/stall.intra.chunk_barrier_idle").add(56);
+    tel.metrics.gauge("SparTen/occupancy.cluster_util").observe(0.5);
+    tel.metrics.gauge("SparTen/occupancy.cluster_util").observe(0.75);
+    let h = tel.metrics.histogram("SparTen/hist.chunk_barrier");
+    for v in [0, 1, 2, 7, 130] {
+        h.record(v);
+    }
+    tel
+}
+
+#[test]
+fn chrome_trace_matches_the_committed_golden_file() {
+    let tel = golden_session();
+    let json = chrome_trace(&tel.metrics.snapshot(), &tel.recorder);
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("mkdir golden");
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (regenerate with BLESS=1)");
+    assert_eq!(
+        json, golden,
+        "Chrome trace output drifted from {GOLDEN_PATH}; if intentional, \
+         re-bless with BLESS=1 and eyeball the diff in Perfetto"
+    );
+}
+
+#[test]
+fn golden_file_is_balanced_json_with_expected_structure() {
+    // Structural sanity on the committed bytes themselves, so a bad bless
+    // cannot slip through: braces/brackets balance outside strings and the
+    // top-level keys exist.
+    let text = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    let (mut depth, mut max_depth) = (0i64, 0i64);
+    let (mut in_str, mut esc) = (false, false);
+    for c in text.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced braces/brackets");
+    assert!(max_depth >= 3, "suspiciously flat trace");
+    assert!(!in_str, "unterminated string");
+    for key in ["\"displayTimeUnit\"", "\"traceEvents\"", "\"otherData\"", "\"metrics\""] {
+        assert!(text.contains(key), "missing {key}");
+    }
+}

@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --workspace --release
 
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
 echo "== cargo test =="
 cargo test --workspace -q
 
@@ -21,5 +24,14 @@ cargo run -q --release -p sparten-harness -- \
 echo "== harness smoke run (warm, 2 jobs) =="
 cargo run -q --release -p sparten-harness -- \
   run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" --no-artifacts
+
+echo "== harness telemetry smoke (Chrome trace + report) =="
+SMOKE_TEL="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_TEL"' EXIT
+cargo run -q --release -p sparten-harness -- \
+  run --filter fig10_alexnet --jobs 2 --cache-dir "$SMOKE_CACHE" \
+  --no-artifacts --telemetry-dir "$SMOKE_TEL"
+test -s "$SMOKE_TEL/fig10_alexnet_breakdown.json"
+cargo run -q --release -p sparten-harness -- report --telemetry-dir "$SMOKE_TEL"
 
 echo "verify: OK"
