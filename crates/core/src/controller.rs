@@ -20,6 +20,7 @@ use sparten_tensor::{SparseVector, Tensor3};
 use crate::balance::{BalanceMode, LayerBalance};
 use crate::chunking::{filter_to_chunks, linearize_window_padded};
 use crate::config::AcceleratorConfig;
+use crate::error::SimError;
 
 /// One command the CPU issues to a cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +105,7 @@ pub struct ControllerStats {
 ///
 /// Panics if the stream is malformed (collect before loads, unknown
 /// filters, etc.) — the controller must issue a well-formed protocol.
+/// Use [`try_execute`] to get the violation as a typed error instead.
 pub fn execute(
     workload: &Workload,
     config: &AcceleratorConfig,
@@ -112,6 +114,21 @@ pub fn execute(
     apply_relu: bool,
     output: &mut Tensor3,
 ) -> ControllerStats {
+    try_execute(workload, config, balance, commands, apply_relu, output)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`execute`]: a malformed command stream returns
+/// [`SimError::Protocol`] instead of aborting, so injected protocol
+/// faults surface as values.
+pub fn try_execute(
+    workload: &Workload,
+    config: &AcceleratorConfig,
+    balance: &LayerBalance,
+    commands: &[Command],
+    apply_relu: bool,
+    output: &mut Tensor3,
+) -> Result<ControllerStats, SimError> {
     let shape = &workload.shape;
     let units = config.cluster.compute_units;
     let chunk_size = config.cluster.chunk_size;
@@ -133,8 +150,27 @@ pub fn execute(
         stats.commands += 1;
         match *cmd {
             Command::LoadFilter { unit, slot, filter } => {
-                assert!(unit < units, "unit out of range");
-                assert_eq!(held[unit].len(), slot, "slots must load in order");
+                if unit >= units {
+                    return Err(SimError::Protocol {
+                        detail: format!("unit out of range: unit {unit} of {units}"),
+                    });
+                }
+                if held[unit].len() != slot {
+                    return Err(SimError::Protocol {
+                        detail: format!(
+                            "slots must load in order: unit {unit} expected slot {}, got {slot}",
+                            held[unit].len()
+                        ),
+                    });
+                }
+                if filter >= workload.filters.len() {
+                    return Err(SimError::Protocol {
+                        detail: format!(
+                            "unknown filter {filter} (layer has {})",
+                            workload.filters.len()
+                        ),
+                    });
+                }
                 held[unit].push(filter);
                 acc[unit].push(0.0);
                 stats.filter_loads += 1;
@@ -158,7 +194,14 @@ pub fn execute(
                         &window_cache.as_ref().expect("just set").1
                     }
                 };
-                let in_chunk = &window.chunks()[chunk];
+                let Some(in_chunk) = window.chunks().get(chunk) else {
+                    return Err(SimError::Protocol {
+                        detail: format!(
+                            "broadcast chunk {chunk} out of range ({} window chunks)",
+                            window.num_chunks()
+                        ),
+                    });
+                };
                 for (u, filters) in held.iter().enumerate() {
                     for (s, &f) in filters.iter().enumerate() {
                         acc[u][s] += in_chunk.dot(&filter_chunks[f].chunks()[chunk]);
@@ -166,7 +209,14 @@ pub fn execute(
                 }
             }
             Command::Collect { ox, oy } => {
-                let group = &balance.groups[group_index];
+                let Some(group) = balance.groups.get(group_index) else {
+                    return Err(SimError::Protocol {
+                        detail: format!(
+                            "collect after the last group ({} groups)",
+                            balance.groups.len()
+                        ),
+                    });
+                };
                 let m = group.num_filters();
                 // Gather accumulators in owner-slot (produced) order.
                 let mut cells = vec![0.0f32; m];
@@ -203,7 +253,7 @@ pub fn execute(
             }
         }
     }
-    stats
+    Ok(stats)
 }
 
 /// Convenience: runs one layer entirely through the command-stream path
@@ -311,6 +361,45 @@ mod tests {
         let mut region = ClusterRegion::new(stats.output_values, 0.10, 0.9);
         region.append(stats.output_values);
         assert_eq!(region.used(), produced.nnz());
+    }
+
+    #[test]
+    fn try_execute_reports_protocol_errors() {
+        use crate::error::SimError;
+        let shape = ConvShape::new(8, 3, 3, 1, 4, 1, 0);
+        let w = workload(&shape, 0.5, 0.5, 66);
+        let balance = LayerBalance::new(&w.filters, 4, 64, BalanceMode::None);
+        let mut out = Tensor3::zeros(4, 3, 3);
+        for bad in [
+            Command::LoadFilter { unit: 9, slot: 0, filter: 0 },
+            Command::LoadFilter { unit: 0, slot: 1, filter: 0 },
+            Command::LoadFilter { unit: 0, slot: 0, filter: 99 },
+            Command::Broadcast { ox: 0, oy: 0, chunk: 7 },
+        ] {
+            let err = try_execute(&w, &config(), &balance, &[bad], false, &mut out).unwrap_err();
+            assert!(matches!(err, SimError::Protocol { .. }));
+        }
+        // A collect past the last group is also a protocol violation.
+        let stream = vec![Command::DrainGroup; balance.groups.len() + 1];
+        let mut stream = stream;
+        stream.push(Command::Collect { ox: 0, oy: 0 });
+        let err = try_execute(&w, &config(), &balance, &stream, false, &mut out).unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }));
+    }
+
+    #[test]
+    fn try_execute_matches_execute_on_clean_streams() {
+        let shape = ConvShape::new(16, 4, 4, 1, 8, 1, 0);
+        let w = workload(&shape, 0.5, 0.5, 67);
+        let balance = LayerBalance::new(&w.filters, 4, 64, BalanceMode::GbS);
+        let positions = vec![(0, 0), (1, 0)];
+        let commands = command_stream(&balance, &positions, 1);
+        let mut a = Tensor3::zeros(8, 4, 4);
+        let mut b = Tensor3::zeros(8, 4, 4);
+        let sa = execute(&w, &config(), &balance, &commands, true, &mut a);
+        let sb = try_execute(&w, &config(), &balance, &commands, true, &mut b).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a, b);
     }
 
     #[test]

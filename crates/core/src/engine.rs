@@ -13,12 +13,14 @@
 //! `sparten-sim` cross-check against.
 
 use sparten_arch::{OutputCompactor, PermutationNetwork};
+use sparten_faults::DropSpec;
 use sparten_nn::generate::Workload;
 use sparten_tensor::{SparseVector, Tensor3};
 
 use crate::balance::{BalanceMode, LayerBalance};
 use crate::chunking::{filter_to_chunks, linearize_window_padded};
 use crate::config::AcceleratorConfig;
+use crate::error::SimError;
 
 /// Exact per-cluster work accounting from a functional run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -95,6 +97,19 @@ impl LayerRun {
     pub fn produced_sparse(&self, chunk_size: usize) -> sparten_tensor::SparseTensor3 {
         sparten_tensor::SparseTensor3::from_dense(&self.produced, chunk_size)
     }
+
+    /// Cross-checks the output collector's bookkeeping: the nonzero
+    /// count the trace reported to the CPU must equal the nonzero values
+    /// actually stored (re-sparsified at `chunk_size`). A dropped
+    /// collector write breaks exactly this identity.
+    pub fn verify_output_accounting(&self, chunk_size: usize) -> Result<(), SimError> {
+        let traced: u64 = self.trace.clusters.iter().map(|c| c.output_nnz).sum();
+        let stored = self.produced_sparse(chunk_size).nnz() as u64;
+        if traced != stored {
+            return Err(SimError::OutputAccounting { traced, stored });
+        }
+        Ok(())
+    }
 }
 
 /// The functional SparTen accelerator.
@@ -145,6 +160,38 @@ impl SparTenEngine {
         self.run_layer_with_balance(workload, balance, apply_relu)
     }
 
+    /// Runs one layer and cross-checks the output collector's accounting
+    /// ([`LayerRun::verify_output_accounting`]), so a model defect in the
+    /// store path surfaces as a typed error rather than silently wrong
+    /// output.
+    pub fn try_run_layer(
+        &self,
+        workload: &Workload,
+        mode: BalanceMode,
+        apply_relu: bool,
+    ) -> Result<LayerRun, SimError> {
+        let run = self.run_layer(workload, mode, apply_relu);
+        run.verify_output_accounting(self.config.cluster.chunk_size)?;
+        Ok(run)
+    }
+
+    /// Fault hook: runs one layer with the output collector silently
+    /// dropping the write selected by `drop` (the campaign's
+    /// dropped-output fault model). Detection is the caller's job via
+    /// [`LayerRun::verify_output_accounting`].
+    pub fn run_layer_faulted(
+        &self,
+        workload: &Workload,
+        mode: BalanceMode,
+        apply_relu: bool,
+        drop: &DropSpec,
+    ) -> LayerRun {
+        let units = self.config.cluster.compute_units;
+        let chunk_size = self.config.cluster.chunk_size;
+        let balance = LayerBalance::new(&workload.filters, units, chunk_size, mode);
+        self.run_layer_inner(workload, balance, apply_relu, Some(drop))
+    }
+
     /// Runs one layer with an explicitly constructed balance assignment —
     /// e.g. [`LayerBalance::with_collocation`] for k-way collocation.
     pub fn run_layer_with_balance(
@@ -152,6 +199,16 @@ impl SparTenEngine {
         workload: &Workload,
         balance: LayerBalance,
         apply_relu: bool,
+    ) -> LayerRun {
+        self.run_layer_inner(workload, balance, apply_relu, None)
+    }
+
+    fn run_layer_inner(
+        &self,
+        workload: &Workload,
+        balance: LayerBalance,
+        apply_relu: bool,
+        drop: Option<&DropSpec>,
     ) -> LayerRun {
         let shape = &workload.shape;
         let units = self.config.cluster.compute_units;
@@ -197,6 +254,9 @@ impl SparTenEngine {
 
         let mut produced = Tensor3::zeros(shape.num_filters, oh, ow);
         let mut clusters = Vec::with_capacity(num_clusters);
+        // Nonzero collector writes so far, across the whole layer — the
+        // index space the dropped-output fault selects from.
+        let mut nonzero_writes = 0u64;
 
         for cluster in 0..num_clusters {
             let lo = positions * cluster / num_clusters;
@@ -284,6 +344,14 @@ impl SparTenEngine {
                         .map(|g| g.num_filters())
                         .sum::<usize>();
                     for (j, &v) in dense.iter().enumerate() {
+                        if v != 0.0 {
+                            let dropped =
+                                drop.is_some_and(|d| d.nth_nonzero_write == nonzero_writes);
+                            nonzero_writes += 1;
+                            if dropped {
+                                continue;
+                            }
+                        }
                         produced.set(base + j, ox, oy, v);
                     }
                 }
@@ -474,6 +542,57 @@ mod tests {
         // The engine's per-cluster output counts must sum to the stored nnz.
         let traced: u64 = run.trace.clusters.iter().map(|c| c.output_nnz).sum();
         assert_eq!(sparse.nnz() as u64, traced);
+    }
+
+    #[test]
+    fn try_run_layer_passes_accounting_when_clean() {
+        let shape = ConvShape::new(8, 5, 5, 3, 8, 1, 1);
+        let w = workload(&shape, 0.5, 0.4, 13);
+        let engine = SparTenEngine::new(small_config(4, 2));
+        let run = engine.try_run_layer(&w, BalanceMode::GbS, true).unwrap();
+        assert!(run.verify_output_accounting(16).is_ok());
+    }
+
+    #[test]
+    fn dropped_write_fails_output_accounting() {
+        use crate::error::SimError;
+        use sparten_faults::DropSpec;
+        let shape = ConvShape::new(8, 5, 5, 3, 8, 1, 1);
+        let w = workload(&shape, 0.6, 0.5, 14);
+        let engine = SparTenEngine::new(small_config(4, 2));
+        let clean = engine.run_layer(&w, BalanceMode::GbS, true);
+        let total: u64 = clean.trace.clusters.iter().map(|c| c.output_nnz).sum();
+        assert!(total > 0);
+
+        let run = engine.run_layer_faulted(
+            &w,
+            BalanceMode::GbS,
+            true,
+            &DropSpec { nth_nonzero_write: total / 2 },
+        );
+        let err = run.verify_output_accounting(16).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::OutputAccounting { traced, stored } if stored + 1 == traced
+        ));
+    }
+
+    #[test]
+    fn drop_past_last_write_is_a_noop() {
+        use sparten_faults::DropSpec;
+        let shape = ConvShape::new(8, 5, 5, 3, 8, 1, 1);
+        let w = workload(&shape, 0.6, 0.5, 14);
+        let engine = SparTenEngine::new(small_config(4, 2));
+        let clean = engine.run_layer(&w, BalanceMode::GbS, true);
+        let total: u64 = clean.trace.clusters.iter().map(|c| c.output_nnz).sum();
+        let run = engine.run_layer_faulted(
+            &w,
+            BalanceMode::GbS,
+            true,
+            &DropSpec { nth_nonzero_write: total },
+        );
+        assert!(run.verify_output_accounting(16).is_ok());
+        assert_eq!(run.produced, clean.produced);
     }
 
     #[test]

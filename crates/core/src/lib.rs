@@ -32,6 +32,7 @@ pub mod column_combine;
 pub mod config;
 pub mod controller;
 pub mod engine;
+pub mod error;
 pub mod memory;
 pub mod multilayer;
 
@@ -42,5 +43,6 @@ pub use column_combine::{combine_columns, CombineReport, CombinedColumn};
 pub use config::{AcceleratorConfig, ClusterConfig};
 pub use controller::{command_stream, run_via_commands, Command, ControllerStats};
 pub use engine::{LayerRun, SparTenEngine, WorkTrace};
+pub use error::SimError;
 pub use memory::{MemoryReport, OutputMemory};
 pub use multilayer::{PipelineStats, SparseNetwork, Stage};

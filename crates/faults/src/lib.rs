@@ -1,0 +1,28 @@
+//! Deterministic fault injection for the SparTen reproduction.
+//!
+//! This crate is dependency-free and holds everything the fault campaign
+//! needs that does *not* depend on the rest of the workspace: a seeded
+//! PRNG ([`FaultRng`]), the fault taxonomy and campaign plan
+//! ([`FaultClass`], [`FaultSpec`], [`campaign_plan`]), the injection
+//! configuration types consumed by the simulators and engine
+//! ([`UnitFault`], [`UnitFaultSpec`], [`DropSpec`]), and the outcome
+//! bookkeeping that turns per-trial verdicts into a coverage report
+//! ([`FaultOutcome`], [`CoverageReport`]).
+//!
+//! The higher layers (tensor, core, sim, harness) depend on this crate;
+//! it depends on nothing, so the fault vocabulary is shared without
+//! creating dependency cycles.
+//!
+//! Everything here is deterministic: the same campaign seed produces the
+//! same plan, the same per-trial RNG streams, and therefore (given a
+//! deterministic system under test) a byte-identical coverage report.
+
+#![warn(missing_docs)]
+
+pub mod outcome;
+pub mod plan;
+pub mod rng;
+
+pub use outcome::{ClassCoverage, CoverageReport, FaultOutcome};
+pub use plan::{campaign_plan, DropSpec, FaultClass, FaultSpec, UnitFault, UnitFaultSpec};
+pub use rng::FaultRng;

@@ -1,0 +1,186 @@
+//! Per-trial outcome classification and campaign coverage reporting.
+
+use crate::plan::FaultClass;
+use std::fmt::Write as _;
+
+/// What happened to one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The stack surfaced a typed error or a failed invariant check.
+    Detected,
+    /// The fault was provably absorbed: the observable result matches
+    /// the fault-free reference (e.g. a straggler that only moves
+    /// timing, or a drop index past the last write).
+    Masked,
+    /// The fault changed the result and nothing noticed — the failure
+    /// mode the campaign exists to rule out.
+    SilentlyWrong,
+    /// The trial aborted with a panic instead of a typed error.
+    Crashed,
+}
+
+impl FaultOutcome {
+    /// Stable label used in the rendered report.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::SilentlyWrong => "silently-wrong",
+            FaultOutcome::Crashed => "crashed",
+        }
+    }
+}
+
+/// Outcome tallies for one fault class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCoverage {
+    /// Trials that surfaced a typed error / invariant failure.
+    pub detected: u32,
+    /// Trials provably absorbed with a reference-matching result.
+    pub masked: u32,
+    /// Trials that corrupted the result without detection.
+    pub silently_wrong: u32,
+    /// Trials that panicked instead of returning a typed error.
+    pub crashed: u32,
+}
+
+impl ClassCoverage {
+    /// Total trials recorded for the class.
+    pub fn trials(&self) -> u32 {
+        self.detected + self.masked + self.silently_wrong + self.crashed
+    }
+}
+
+/// Campaign-wide coverage: one [`ClassCoverage`] per fault class, in
+/// [`FaultClass::all`] order, plus a deterministic text rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Campaign seed (reproduces the whole report).
+    pub seed: u64,
+    per_class: Vec<(FaultClass, ClassCoverage)>,
+}
+
+impl CoverageReport {
+    /// An empty report for the given campaign seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            per_class: FaultClass::all()
+                .iter()
+                .map(|&c| (c, ClassCoverage::default()))
+                .collect(),
+        }
+    }
+
+    /// Records one trial outcome.
+    pub fn record(&mut self, class: FaultClass, outcome: FaultOutcome) {
+        let entry = self
+            .per_class
+            .iter_mut()
+            .find(|(c, _)| *c == class)
+            .expect("every class is pre-registered");
+        match outcome {
+            FaultOutcome::Detected => entry.1.detected += 1,
+            FaultOutcome::Masked => entry.1.masked += 1,
+            FaultOutcome::SilentlyWrong => entry.1.silently_wrong += 1,
+            FaultOutcome::Crashed => entry.1.crashed += 1,
+        }
+    }
+
+    /// Coverage for one class.
+    pub fn class(&self, class: FaultClass) -> ClassCoverage {
+        self.per_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, cov)| *cov)
+            .expect("every class is pre-registered")
+    }
+
+    /// Total silently-wrong trials across all classes.
+    pub fn silently_wrong(&self) -> u32 {
+        self.per_class.iter().map(|(_, c)| c.silently_wrong).sum()
+    }
+
+    /// Total crashed trials across all classes.
+    pub fn crashed(&self) -> u32 {
+        self.per_class.iter().map(|(_, c)| c.crashed).sum()
+    }
+
+    /// Total trials recorded.
+    pub fn trials(&self) -> u32 {
+        self.per_class.iter().map(|(_, c)| c.trials()).sum()
+    }
+
+    /// Renders the coverage table. Deterministic: depends only on the
+    /// recorded tallies, so equal campaigns render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fault campaign (seed {}) ==", self.seed);
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>8} {:>8} {:>14} {:>8}",
+            "fault class", "trials", "detected", "masked", "silently-wrong", "crashed"
+        );
+        for (class, cov) in &self.per_class {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>8} {:>8} {:>8} {:>14} {:>8}",
+                class.label(),
+                cov.trials(),
+                cov.detected,
+                cov.masked,
+                cov.silently_wrong,
+                cov.crashed
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} trials, {} silently-wrong, {} crashed",
+            self.trials(),
+            self.silently_wrong(),
+            self.crashed()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut r = CoverageReport::new(1);
+        r.record(FaultClass::MaskBitFlip, FaultOutcome::Detected);
+        r.record(FaultClass::MaskBitFlip, FaultOutcome::Detected);
+        r.record(FaultClass::SlowUnit, FaultOutcome::Masked);
+        r.record(FaultClass::DroppedOutput, FaultOutcome::SilentlyWrong);
+        r.record(FaultClass::CacheCorruption, FaultOutcome::Crashed);
+        assert_eq!(r.class(FaultClass::MaskBitFlip).detected, 2);
+        assert_eq!(r.trials(), 5);
+        assert_eq!(r.silently_wrong(), 1);
+        assert_eq!(r.crashed(), 1);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut a = CoverageReport::new(7);
+        let mut b = CoverageReport::new(7);
+        for r in [&mut a, &mut b] {
+            r.record(FaultClass::StuckUnit, FaultOutcome::Detected);
+            r.record(FaultClass::ValueTruncation, FaultOutcome::Detected);
+        }
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("stuck-unit"));
+        assert!(a.render().contains("silently-wrong"));
+    }
+
+    #[test]
+    fn render_lists_every_class() {
+        let r = CoverageReport::new(0);
+        let text = r.render();
+        for class in FaultClass::all() {
+            assert!(text.contains(class.label()), "missing {}", class.label());
+        }
+    }
+}

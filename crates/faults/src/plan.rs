@@ -1,0 +1,180 @@
+//! Fault taxonomy, campaign planning, and injection configuration.
+//!
+//! A campaign is a flat list of [`FaultSpec`]s — one per (class, trial)
+//! pair — each carrying its own derived seed so trials can run in any
+//! order (or in parallel) and still reproduce exactly.
+
+use crate::rng::FaultRng;
+
+/// The kinds of fault the campaign can inject.
+///
+/// Data faults (mask bit flips, value corruption/truncation) perturb a
+/// `SparseTensor3` after construction; timing faults (slow/stuck units)
+/// perturb the cycle simulators; `DroppedOutput` perturbs the engine's
+/// output-collector writes; the cache faults perturb serialized harness
+/// cache entries on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Flip one bit in one chunk's `SparseMap`, desynchronizing the
+    /// popcount from the packed value count.
+    MaskBitFlip,
+    /// Overwrite one packed value with a non-canonical one (0.0 or NaN).
+    ValueCorruption,
+    /// Truncate the packed value store, leaving directory pointers
+    /// dangling past the end.
+    ValueTruncation,
+    /// One compute unit takes a multiple of its true latency (straggler).
+    SlowUnit,
+    /// One compute unit never completes assigned work.
+    StuckUnit,
+    /// The output collector silently drops one nonzero write.
+    DroppedOutput,
+    /// One byte of a serialized cache entry is XOR-corrupted on disk.
+    CacheCorruption,
+    /// A serialized cache entry is truncated on disk.
+    CacheTruncation,
+}
+
+impl FaultClass {
+    /// All fault classes, in the fixed campaign order.
+    pub fn all() -> &'static [FaultClass] {
+        &[
+            FaultClass::MaskBitFlip,
+            FaultClass::ValueCorruption,
+            FaultClass::ValueTruncation,
+            FaultClass::SlowUnit,
+            FaultClass::StuckUnit,
+            FaultClass::DroppedOutput,
+            FaultClass::CacheCorruption,
+            FaultClass::CacheTruncation,
+        ]
+    }
+
+    /// Stable human-readable label (used in reports and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::MaskBitFlip => "mask-bit-flip",
+            FaultClass::ValueCorruption => "value-corruption",
+            FaultClass::ValueTruncation => "value-truncation",
+            FaultClass::SlowUnit => "slow-unit",
+            FaultClass::StuckUnit => "stuck-unit",
+            FaultClass::DroppedOutput => "dropped-output",
+            FaultClass::CacheCorruption => "cache-corruption",
+            FaultClass::CacheTruncation => "cache-truncation",
+        }
+    }
+
+    /// Position of this class in [`FaultClass::all`].
+    fn index(self) -> u64 {
+        FaultClass::all()
+            .iter()
+            .position(|&c| c == self)
+            .expect("class listed in all()") as u64
+    }
+}
+
+/// One planned fault trial: a class, a trial index within the class,
+/// and the derived seed that makes the trial reproducible in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What kind of fault to inject.
+    pub class: FaultClass,
+    /// Trial index within the class (0-based).
+    pub trial: u32,
+    /// Seed for this trial's private RNG stream.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// The trial's private RNG, seeded from [`FaultSpec::seed`].
+    pub fn rng(&self) -> FaultRng {
+        FaultRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Builds the campaign plan: `trials_per_class` trials of every class in
+/// [`FaultClass::all`] order, each with a seed derived from the campaign
+/// seed so the plan (and everything downstream of it) is a pure function
+/// of `(seed, trials_per_class)`.
+pub fn campaign_plan(seed: u64, trials_per_class: u32) -> Vec<FaultSpec> {
+    let mut plan = Vec::with_capacity(FaultClass::all().len() * trials_per_class as usize);
+    for &class in FaultClass::all() {
+        for trial in 0..trials_per_class {
+            let stream = class.index() << 32 | u64::from(trial);
+            plan.push(FaultSpec {
+                class,
+                trial,
+                seed: FaultRng::derive(seed, stream),
+            });
+        }
+    }
+    plan
+}
+
+/// How a faulty compute unit misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitFault {
+    /// The unit's per-chunk latency is multiplied by this factor
+    /// (a straggler). Work results are still correct; only timing moves.
+    Slow(u64),
+    /// The unit never finishes: any nonzero work assigned to it makes
+    /// the simulated layer unrecoverable.
+    Stuck,
+}
+
+/// Targets one compute unit in one cluster with a [`UnitFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitFaultSpec {
+    /// Cluster index (SCNN: PE index; `cluster` is the flat PE id).
+    pub cluster: usize,
+    /// Unit index within the cluster (ignored by SCNN's PE-level model).
+    pub unit: usize,
+    /// The misbehaviour to inject.
+    pub fault: UnitFault,
+}
+
+/// Tells the engine's output collector to silently drop the `n`-th
+/// nonzero write of the layer (0-based, counted across the whole layer
+/// in write order). If fewer nonzero writes occur, nothing is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropSpec {
+    /// Index of the nonzero write to suppress.
+    pub nth_nonzero_write: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic() {
+        assert_eq!(campaign_plan(1, 4), campaign_plan(1, 4));
+        assert_ne!(campaign_plan(1, 4), campaign_plan(2, 4));
+    }
+
+    #[test]
+    fn plan_covers_every_class() {
+        let plan = campaign_plan(3, 2);
+        assert_eq!(plan.len(), FaultClass::all().len() * 2);
+        for &class in FaultClass::all() {
+            assert_eq!(plan.iter().filter(|s| s.class == class).count(), 2);
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct() {
+        let plan = campaign_plan(5, 8);
+        let mut seeds: Vec<u64> = plan.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), plan.len(), "derived seeds must not collide");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = FaultClass::all().iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FaultClass::all().len());
+    }
+}

@@ -9,9 +9,11 @@
 //! unreachable rather than wrong; `clean` garbage-collects them.
 //!
 //! Entries are plain text with length-prefixed sections so cached payloads
-//! can contain arbitrary lines. Any malformed entry — truncated file, bad
-//! header, stale format version — is treated as a cache miss, never an
-//! error: the point is simply recomputed and the entry rewritten.
+//! can contain arbitrary lines, and carry a whole-body FNV-1a checksum in
+//! the header so bit-level corruption or truncation *anywhere* in the entry
+//! is caught on read. Any malformed entry — truncated file, bad header,
+//! checksum mismatch, stale format version — is treated as a cache miss,
+//! never an error: the point is simply recomputed and the entry rewritten.
 
 use crate::PointPayload;
 use sparten_bench::Capture;
@@ -21,9 +23,9 @@ use std::path::{Path, PathBuf};
 
 /// Bump to invalidate every existing cache entry (e.g. when the PRNG, the
 /// record format, or simulator semantics change).
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
-const MAGIC: &str = "sparten-cache v1";
+const MAGIC: &str = "sparten-cache v2";
 
 /// FNV-1a 64-bit over `\x1f`-separated parts: stable, dependency-free, and
 /// good enough for cache addressing (collisions are survivable — the entry
@@ -85,6 +87,13 @@ impl Cache {
         self.dir.join(format!("{name}.p{point:03}.{key:016x}.cache"))
     }
 
+    /// The on-disk path an entry for `key` would occupy. Exposed so the
+    /// fault-injection campaign can corrupt or truncate real entry files
+    /// and assert the cache classifies them as [`Lookup::Malformed`].
+    pub fn entry_file(&self, name: &str, point: usize, key: u64) -> PathBuf {
+        self.entry_path(name, point, key)
+    }
+
     /// Loads the payload for `key`, or `None` on miss or malformed entry.
     pub fn load(&self, name: &str, point: usize, key: u64) -> Option<PointPayload> {
         match self.lookup(name, point, key) {
@@ -130,6 +139,27 @@ impl Cache {
         fs::rename(&tmp, &path)
     }
 
+    /// Removes orphaned `*.tmp` files left behind by interrupted
+    /// [`store`](Self::store) calls; returns how many were swept. Run at
+    /// cache-open time so a crashed writer never accumulates junk. Missing
+    /// directory counts as already clean.
+    pub fn sweep_tmp(&self) -> io::Result<usize> {
+        let mut swept = 0;
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                fs::remove_file(&path)?;
+                swept += 1;
+            }
+        }
+        Ok(swept)
+    }
+
     /// Removes every cache entry (and stray temp file); returns how many
     /// files were deleted. Missing directory counts as already clean.
     pub fn clean(&self) -> io::Result<usize> {
@@ -152,24 +182,28 @@ impl Cache {
 }
 
 fn serialize_entry(key: u64, payload: &PointPayload) -> String {
-    let mut s = format!("{MAGIC}\nkey={key:016x}\n");
+    let mut body = String::new();
     match payload {
         PointPayload::Record(blob) => {
-            s.push_str(&format!("kind=record\nlen={}\n", blob.len()));
-            s.push_str(blob);
+            body.push_str(&format!("kind=record\nlen={}\n", blob.len()));
+            body.push_str(blob);
         }
         PointPayload::Capture(c) => {
-            s.push_str(&format!("kind=capture\ntext={}\n", c.text.len()));
-            s.push_str(&c.text);
-            s.push_str(&format!("artifacts={}\n", c.artifacts.len()));
+            body.push_str(&format!("kind=capture\ntext={}\n", c.text.len()));
+            body.push_str(&c.text);
+            body.push_str(&format!("artifacts={}\n", c.artifacts.len()));
             for (path, contents) in &c.artifacts {
-                s.push_str(&format!("path={path}\nlen={}\n", contents.len()));
-                s.push_str(contents);
-                s.push('\n');
+                body.push_str(&format!("path={path}\nlen={}\n", contents.len()));
+                body.push_str(contents);
+                body.push('\n');
             }
         }
     }
-    s
+    // The checksum covers the whole body (everything after the `sum=`
+    // line), so a flipped bit or lost tail anywhere in the entry is caught
+    // at parse time rather than surfacing as a wrong cached result.
+    let sum = fnv1a_parts(&[&body]);
+    format!("{MAGIC}\nkey={key:016x}\nsum={sum:016x}\n{body}")
 }
 
 /// A tiny cursor over the entry text, reading `\n`-terminated header lines
@@ -207,6 +241,10 @@ fn parse_entry(text: &str, expect_key: u64) -> Option<PointPayload> {
     }
     let key = u64::from_str_radix(c.field("key=")?, 16).ok()?;
     if key != expect_key {
+        return None;
+    }
+    let sum = u64::from_str_radix(c.field("sum=")?, 16).ok()?;
+    if fnv1a_parts(&[c.rest]) != sum {
         return None;
     }
     match c.field("kind=")? {
@@ -299,16 +337,68 @@ mod tests {
         let key = Cache::key("exp", "fp", 2019, 0);
         let path = cache.dir().join(format!("exp.p000.{key:016x}.cache"));
 
+        let sum_of = |body: &str| fnv1a_parts(&[body]);
+        let truncated_body = "kind=record\nlen=999\nshort";
+        let weird_body = "kind=weird\n";
         for bad in [
-            "",
-            "garbage",
-            "sparten-cache v1\nkey=0000000000000000\nkind=record\nlen=4\nabcd", // wrong key
-            &format!("{MAGIC}\nkey={key:016x}\nkind=record\nlen=999\nshort"),
-            &format!("{MAGIC}\nkey={key:016x}\nkind=weird\n"),
+            "".to_string(),
+            "garbage".to_string(),
+            "sparten-cache v1\nkey=0000000000000000\nkind=record\nlen=4\nabcd".into(), // stale format
+            format!("{MAGIC}\nkey=0000000000000000\nsum=0\nkind=record\nlen=4\nabcd"), // wrong key
+            format!("{MAGIC}\nkey={key:016x}\nkind=record\nlen=4\nabcd"), // no checksum line
+            format!(
+                "{MAGIC}\nkey={key:016x}\nsum={:016x}\n{truncated_body}",
+                sum_of(truncated_body)
+            ),
+            format!(
+                "{MAGIC}\nkey={key:016x}\nsum={:016x}\n{weird_body}",
+                sum_of(weird_body)
+            ),
         ] {
-            fs::write(&path, bad).unwrap();
+            fs::write(&path, &bad).unwrap();
             assert!(cache.load("exp", 0, key).is_none(), "accepted: {bad:?}");
         }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn checksum_catches_corruption_and_truncation() {
+        let cache = tmp_cache("checksum");
+        let key = Cache::key("exp", "fp", 2019, 0);
+        let payload = PointPayload::Record("scheme=Dense compute=1234\n".into());
+        cache.store("exp", 0, key, &payload).unwrap();
+        let path = cache.entry_file("exp", 0, key);
+        let pristine = fs::read_to_string(&path).unwrap();
+
+        // Flip one payload byte: lengths still parse, checksum must not.
+        let corrupted = pristine.replace("compute=1234", "compute=1235");
+        assert_ne!(corrupted, pristine);
+        fs::write(&path, &corrupted).unwrap();
+        assert_eq!(cache.lookup("exp", 0, key), Lookup::Malformed);
+
+        // Drop the tail of the file.
+        fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+        assert_eq!(cache.lookup("exp", 0, key), Lookup::Malformed);
+
+        // The pristine bytes still parse.
+        fs::write(&path, &pristine).unwrap();
+        assert_eq!(cache.lookup("exp", 0, key), Lookup::Hit(payload));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn sweep_tmp_removes_only_orphaned_temp_files() {
+        let cache = tmp_cache("sweep");
+        assert_eq!(cache.sweep_tmp().unwrap(), 0); // missing dir is clean
+        let key = Cache::key("exp", "fp", 2019, 0);
+        cache
+            .store("exp", 0, key, &PointPayload::Record("x\n".into()))
+            .unwrap();
+        fs::write(cache.dir().join("exp.p001.dead.tmp"), "partial").unwrap();
+        fs::write(cache.dir().join("other.tmp"), "").unwrap();
+        assert_eq!(cache.sweep_tmp().unwrap(), 2);
+        assert_eq!(cache.sweep_tmp().unwrap(), 0);
+        assert!(cache.load("exp", 0, key).is_some(), "entries survive sweep");
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -14,11 +14,17 @@
 //!   completion order, so a run's transcript is bit-identical no matter
 //!   how many workers raced on it.
 //!
-//! A panicking point is caught on the worker, reported as a failed job,
-//! and does not poison the rest of the run.
+//! The executor *self-heals*: a panicking point is caught on the worker
+//! and retried deterministically (same inputs, bounded attempts); a point
+//! that exceeds the per-point watchdog deadline is abandoned, its worker
+//! written off and replaced, and the attempt counted as failed. A point
+//! that exhausts its attempts is *quarantined*: its job is reported failed
+//! and listed in `results/failures.json`, but every other job still runs
+//! to completion and renders byte-identical output to a clean run.
 
 use crate::cache::{Cache, Lookup};
 use crate::{Experiment, PointPayload};
+use sparten_bench::json::Json;
 use sparten_bench::ExperimentKind;
 use sparten_telemetry::{chrome_trace, text_report, Telemetry};
 use std::collections::HashMap;
@@ -54,6 +60,20 @@ pub struct RunOptions {
     /// the *whole* run, not just the cache misses (entries are still
     /// rewritten, so the cache stays warm).
     pub telemetry_dir: Option<std::path::PathBuf>,
+    /// Total attempts per point before quarantine (≥ 1). Retries are
+    /// deterministic re-invocations of the same point function, so a
+    /// transient panic (poisoned global, resource blip) heals while a
+    /// reproducible one fails fast.
+    pub max_attempts: usize,
+    /// Per-point watchdog deadline, measured from the instant a worker
+    /// starts computing the point. An expired point counts as one failed
+    /// attempt; its (possibly hung) worker is written off and replaced so
+    /// pool capacity is preserved. `None` disables the watchdog.
+    pub point_timeout: Option<Duration>,
+    /// Where to write the machine-readable quarantine report when any
+    /// point exhausts its attempts. A clean run removes a stale report at
+    /// this path. `None` skips the report entirely (tests).
+    pub failures_path: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -66,6 +86,9 @@ impl Default for RunOptions {
             write_artifacts: true,
             stream_output: true,
             telemetry_dir: None,
+            max_attempts: 2,
+            point_timeout: None,
+            failures_path: Some("results/failures.json".into()),
         }
     }
 }
@@ -83,6 +106,9 @@ pub struct CacheStats {
     /// recomputed like misses but indicate cache damage, so they are
     /// counted apart.
     pub malformed: usize,
+    /// Orphaned `*.tmp` files from interrupted writers, swept when the
+    /// cache was opened for this run.
+    pub swept_tmp: usize,
 }
 
 impl CacheStats {
@@ -130,6 +156,34 @@ pub struct JobTelemetry {
     pub report_text: String,
 }
 
+/// One quarantined point — a point that exhausted its retry budget — as
+/// written to `results/failures.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Experiment name of the failing job.
+    pub job: &'static str,
+    /// Point index within the job.
+    pub point: usize,
+    /// How many attempts were made (== the run's `max_attempts`).
+    pub attempts: usize,
+    /// Failure kind of the last attempt: `"panic"` or `"timeout"`.
+    pub kind: &'static str,
+    /// The last attempt's panic message or timeout description.
+    pub message: String,
+}
+
+impl PointFailure {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("job", Json::str(self.job)),
+            ("point", Json::UInt(self.point as u64)),
+            ("attempts", Json::UInt(self.attempts as u64)),
+            ("kind", Json::str(self.kind)),
+            ("message", Json::str(self.message.clone())),
+        ])
+    }
+}
+
 /// Outcome of one [`run`]: per-job reports in registry order.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -142,6 +196,11 @@ pub struct RunReport {
     /// Classified cache-lookup totals (all zero when the cache was
     /// bypassed by `--force` or telemetry collection).
     pub cache: CacheStats,
+    /// Points that exhausted their retry budget, in quarantine order.
+    pub failures: Vec<PointFailure>,
+    /// Failed attempts that were retried (whether or not the retry
+    /// ultimately succeeded).
+    pub retries: usize,
 }
 
 impl RunReport {
@@ -164,14 +223,29 @@ impl RunReport {
 struct Task {
     job: usize,
     point: usize,
+    attempt: usize,
 }
 
 struct Done {
     job: usize,
     point: usize,
+    attempt: usize,
     payload: Result<PointPayload, String>,
     telemetry: Option<Telemetry>,
     took: Duration,
+}
+
+/// Worker → scheduler messages. `Started` lets the scheduler's watchdog
+/// measure compute time from pickup (not dispatch), so deep task queues
+/// never trip the deadline while merely waiting for a worker.
+enum Event {
+    Started {
+        job: usize,
+        point: usize,
+        attempt: usize,
+        at: Instant,
+    },
+    Done(Box<Done>),
 }
 
 struct JobState {
@@ -194,8 +268,14 @@ struct JobState {
 /// Panics if `opts.jobs` is 0 or the dependency graph has a cycle.
 pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport {
     assert!(opts.jobs >= 1, "--jobs must be at least 1");
+    assert!(opts.max_attempts >= 1, "--retries budget must allow 1 attempt");
     let start = Instant::now();
     let cache = Cache::new(opts.cache_dir.clone());
+    let mut cache_stats = CacheStats::default();
+    match cache.sweep_tmp() {
+        Ok(n) => cache_stats.swept_tmp = n,
+        Err(e) => eprintln!("warning: tmp sweep failed: {e}"),
+    }
 
     // Filter, then restrict deps to the selected set.
     let selected: Vec<Arc<dyn Experiment>> = experiments
@@ -236,23 +316,38 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
         }
     }
 
-    // Worker pool over a shared task queue.
+    // Worker pool over a shared task queue. `spawn_worker` is kept around
+    // so the watchdog can replace a worker written off as hung.
     let (task_tx, task_rx) = mpsc::channel::<Task>();
     let task_rx = Arc::new(Mutex::new(task_rx));
-    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let (event_tx, event_rx) = mpsc::channel::<Event>();
     let want_telemetry = opts.telemetry_dir.is_some();
-    let workers: Vec<_> = (0..opts.jobs)
-        .map(|_| {
+    let spawn_worker = {
+        let task_rx = Arc::clone(&task_rx);
+        let event_tx = event_tx.clone();
+        let selected = selected.clone();
+        move || {
             let rx = Arc::clone(&task_rx);
-            let tx = done_tx.clone();
+            let tx = event_tx.clone();
             let exps: Vec<Arc<dyn Experiment>> = selected.clone();
             thread::spawn(move || loop {
                 let task = match rx.lock().expect("task queue").recv() {
                     Ok(t) => t,
                     Err(_) => break,
                 };
-                let exp = Arc::clone(&exps[task.job]);
                 let t0 = Instant::now();
+                if tx
+                    .send(Event::Started {
+                        job: task.job,
+                        point: task.point,
+                        attempt: task.attempt,
+                        at: t0,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                let exp = Arc::clone(&exps[task.job]);
                 let computed = catch_unwind(AssertUnwindSafe(|| {
                     if want_telemetry {
                         exp.compute_point_telemetry(task.point)
@@ -260,25 +355,26 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                         (exp.compute_point(task.point), None)
                     }
                 }))
-                .map_err(|p| panic_message(&p));
+                .map_err(|p| panic_message(p.as_ref()));
                 let (payload, telemetry) = match computed {
                     Ok((p, t)) => (Ok(p), t),
                     Err(e) => (Err(e), None),
                 };
-                let send = tx.send(Done {
+                let send = tx.send(Event::Done(Box::new(Done {
                     job: task.job,
                     point: task.point,
+                    attempt: task.attempt,
                     payload,
                     telemetry,
                     took: t0.elapsed(),
-                });
+                })));
                 if send.is_err() {
                     break;
                 }
             })
-        })
-        .collect();
-    drop(done_tx);
+        }
+    };
+    let mut workers: Vec<_> = (0..opts.jobs).map(|_| spawn_worker()).collect();
 
     let mut reports: Vec<Option<JobReport>> = (0..selected.len()).map(|_| None).collect();
     let mut emit_cursor = 0usize;
@@ -325,7 +421,13 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                     states[job].pending_points -= 1;
                 }
                 None => {
-                    task_tx.send(Task { job, point }).expect("workers alive");
+                    task_tx
+                        .send(Task {
+                            job,
+                            point,
+                            attempt: 1,
+                        })
+                        .expect("workers alive");
                     *outstanding += 1;
                 }
             }
@@ -380,6 +482,59 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
         ready
     }
 
+    // One attempt at (job, point) failed. Under the retry budget the point
+    // is re-dispatched verbatim; over it, the point is quarantined — the
+    // failure is recorded, the job marked failed, and the run continues.
+    // Returns true when the point was quarantined (the job may now be
+    // complete and should be checked).
+    #[allow(clippy::too_many_arguments)]
+    fn fail_attempt(
+        job: usize,
+        point: usize,
+        attempt: usize,
+        kind: &'static str,
+        msg: String,
+        max_attempts: usize,
+        selected: &[Arc<dyn Experiment>],
+        states: &mut [JobState],
+        task_tx: &mpsc::Sender<Task>,
+        outstanding: &mut usize,
+        retries: &mut usize,
+        failures: &mut Vec<PointFailure>,
+    ) -> bool {
+        if attempt < max_attempts {
+            *retries += 1;
+            task_tx
+                .send(Task {
+                    job,
+                    point,
+                    attempt: attempt + 1,
+                })
+                .expect("workers alive");
+            *outstanding += 1;
+            return false;
+        }
+        let name = selected[job].name();
+        failures.push(PointFailure {
+            job: name,
+            point,
+            attempts: attempt,
+            kind,
+            message: msg.clone(),
+        });
+        let state = &mut states[job];
+        state.pending_points -= 1;
+        let verb = if kind == "timeout" {
+            "timed out"
+        } else {
+            "panicked"
+        };
+        state
+            .error
+            .get_or_insert_with(|| format!("point {point} of {name} {verb}: {msg}"));
+        true
+    }
+
     // Fold a finished job's per-point sessions (in point order, so the
     // exported trace is deterministic regardless of worker interleaving)
     // into one session, stamp the harness's own job-level metrics on it,
@@ -421,7 +576,15 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
 
     // Seed the queue with dependency-free jobs; drain completions, firing
     // dependents as their dependencies finish.
-    let mut cache_stats = CacheStats::default();
+    let mut retries = 0usize;
+    let mut failures: Vec<PointFailure> = Vec::new();
+    // Watchdog bookkeeping, keyed by (job, point, attempt): `inflight`
+    // holds attempts a worker has started; `abandoned` remembers expired
+    // attempts so their late completions (a hung worker may eventually
+    // return) are discarded instead of double-counted.
+    let mut inflight: HashMap<(usize, usize, usize), Instant> = HashMap::new();
+    let mut abandoned: std::collections::HashSet<(usize, usize, usize)> =
+        std::collections::HashSet::new();
     let mut ready: Vec<usize> = (0..selected.len())
         .filter(|&i| states[i].remaining_deps == 0)
         .collect();
@@ -445,35 +608,133 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
             outstanding > 0,
             "dependency cycle: jobs remain but nothing is runnable"
         );
-        let done = done_rx.recv().expect("workers alive");
-        outstanding -= 1;
-        let state = &mut states[done.job];
-        state.compute_time += done.took;
-        state.pending_points -= 1;
-        match done.payload {
-            Ok(payload) => {
-                let exp = &selected[done.job];
-                let key = Cache::key(exp.name(), &exp.fingerprint(), crate::SEED, done.point);
-                if let Err(e) = cache.store(exp.name(), done.point, key, &payload) {
-                    eprintln!("warning: cache write failed for {}: {e}", exp.name());
+
+        // Receive the next worker event. With a watchdog configured, wait
+        // only until the earliest inflight deadline; on expiry, write the
+        // overdue attempts off and loop (replacement workers keep queued
+        // tasks moving even if every original worker is hung).
+        let mut check_jobs: Vec<usize> = Vec::new();
+        let event = if let Some(timeout) = opts.point_timeout {
+            let mut got = None;
+            while got.is_none() {
+                let now = Instant::now();
+                let wait = inflight
+                    .values()
+                    .map(|&at| (at + timeout).saturating_duration_since(now))
+                    .min()
+                    .unwrap_or(timeout);
+                match event_rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                    Ok(ev) => got = Some(ev),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        let now = Instant::now();
+                        let overdue: Vec<(usize, usize, usize)> = inflight
+                            .iter()
+                            .filter(|&(_, &at)| now.duration_since(at) >= timeout)
+                            .map(|(&k, _)| k)
+                            .collect();
+                        for key in overdue {
+                            let (job, point, attempt) = key;
+                            inflight.remove(&key);
+                            abandoned.insert(key);
+                            outstanding -= 1;
+                            workers.push(spawn_worker());
+                            let quarantined = fail_attempt(
+                                job,
+                                point,
+                                attempt,
+                                "timeout",
+                                format!("exceeded point deadline of {timeout:?}"),
+                                opts.max_attempts,
+                                &selected,
+                                &mut states,
+                                &task_tx,
+                                &mut outstanding,
+                                &mut retries,
+                                &mut failures,
+                            );
+                            if quarantined {
+                                check_jobs.push(job);
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("workers alive")
+                    }
                 }
-                state.points[done.point] = Some(payload);
-                state.telemetry[done.point] = done.telemetry;
+                if !check_jobs.is_empty() {
+                    break; // let quarantined jobs finish before blocking again
+                }
             }
-            Err(msg) => {
-                let name = selected[done.job].name();
-                let point = done.point;
-                state
-                    .error
-                    .get_or_insert_with(|| format!("point {point} of {name} panicked: {msg}"));
+            got
+        } else {
+            Some(event_rx.recv().expect("workers alive"))
+        };
+
+        match event {
+            Some(Event::Started {
+                job,
+                point,
+                attempt,
+                at,
+            }) => {
+                inflight.insert((job, point, attempt), at);
             }
+            Some(Event::Done(done)) => {
+                let key = (done.job, done.point, done.attempt);
+                if abandoned.remove(&key) {
+                    // A written-off worker came back after all; its result
+                    // was already replaced by the retry path. Drop it.
+                    continue;
+                }
+                inflight.remove(&key);
+                outstanding -= 1;
+                let state = &mut states[done.job];
+                state.compute_time += done.took;
+                match done.payload {
+                    Ok(payload) => {
+                        state.pending_points -= 1;
+                        let exp = &selected[done.job];
+                        let key =
+                            Cache::key(exp.name(), &exp.fingerprint(), crate::SEED, done.point);
+                        if let Err(e) = cache.store(exp.name(), done.point, key, &payload) {
+                            eprintln!("warning: cache write failed for {}: {e}", exp.name());
+                        }
+                        state.points[done.point] = Some(payload);
+                        state.telemetry[done.point] = done.telemetry;
+                        check_jobs.push(done.job);
+                    }
+                    Err(msg) => {
+                        let quarantined = fail_attempt(
+                            done.job,
+                            done.point,
+                            done.attempt,
+                            "panic",
+                            msg,
+                            opts.max_attempts,
+                            &selected,
+                            &mut states,
+                            &task_tx,
+                            &mut outstanding,
+                            &mut retries,
+                            &mut failures,
+                        );
+                        if quarantined {
+                            check_jobs.push(done.job);
+                        }
+                    }
+                }
+            }
+            None => {} // watchdog fired; quarantined jobs are in check_jobs
         }
-        if state.pending_points == 0 {
-            let newly = finish(done.job, &selected, &mut states, &mut reports, &mut unfinished);
-            if want_telemetry {
-                attach_telemetry(done.job, &selected, &mut states, &mut reports);
+
+        for job in check_jobs {
+            if states[job].pending_points == 0 && !states[job].finished {
+                let newly = finish(job, &selected, &mut states, &mut reports, &mut unfinished);
+                if want_telemetry {
+                    attach_telemetry(job, &selected, &mut states, &mut reports);
+                }
+                ready.extend(newly);
             }
-            ready.extend(newly);
         }
 
         // Emit finished jobs in registry order as they become available.
@@ -486,9 +747,14 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
     }
 
     drop(task_tx);
-    for w in workers {
-        let _ = w.join();
+    if abandoned.is_empty() {
+        for w in workers {
+            let _ = w.join();
+        }
     }
+    // With abandoned attempts, some workers may be hung forever; joining
+    // would deadlock the scheduler on a thread that cannot finish. They are
+    // detached instead — the process exits normally and reaps them.
 
     let jobs: Vec<JobReport> = reports.into_iter().map(|r| r.expect("finished")).collect();
     if opts.write_artifacts {
@@ -514,11 +780,27 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
             }
         }
     }
+    if let Some(path) = &opts.failures_path {
+        if failures.is_empty() {
+            // A clean run must not leave a stale quarantine report behind.
+            let _ = std::fs::remove_file(path);
+        } else {
+            let json = Json::Arr(failures.iter().map(PointFailure::to_json).collect());
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(path, json.pretty() + "\n") {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
     RunReport {
         jobs,
         elapsed: start.elapsed(),
         workers: opts.jobs,
         cache: cache_stats,
+        failures,
+        retries,
     }
 }
 

@@ -26,6 +26,7 @@
 
 pub mod cache;
 pub mod executor;
+pub mod faults;
 
 use sparten_bench::registry::{layer_from_record, layer_record, NetworkFigure, Runner};
 use sparten_bench::{all_experiments, begin_capture, end_capture, Capture, ExperimentKind};

@@ -8,16 +8,19 @@
 
 use sparten_harness::cache::Cache;
 use sparten_harness::executor::{self, RunOptions};
-use sparten_harness::registry;
+use sparten_harness::{faults, registry};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 sparten-harness — parallel experiment orchestration with result caching
 
 USAGE:
-    sparten-harness run [--filter SUBSTR] [--jobs N] [--force]
+    sparten-harness run [--filter SUBSTR] [--jobs N] [--force] [--strict]
+                        [--retries N] [--point-timeout SECS]
                         [--cache-dir PATH] [--no-artifacts]
                         [--telemetry] [--telemetry-dir PATH]
+    sparten-harness faults [--seed N] [--trials N] [--quick]
     sparten-harness list [--filter SUBSTR]
     sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH]
     sparten-harness clean [--cache-dir PATH]
@@ -25,7 +28,13 @@ USAGE:
 COMMANDS:
     run      Run experiments (all, or those whose name contains --filter),
              skipping points already in the cache, then print a per-job
-             wall-time/cache-hit summary.
+             wall-time/cache-hit summary. Failed points are retried, then
+             quarantined: the run completes with partial results and the
+             quarantine is written to results/failures.json.
+    faults   Run the seeded fault-injection campaign: inject every fault
+             class, classify each trial (detected / masked / silently-wrong
+             / crashed), and print the coverage table. Exits non-zero if
+             any trial was silently wrong or crashed.
     list     List registered experiments with kind, points, and deps.
     report   Summarize telemetry written by a previous `run --telemetry`:
              per-scope work/stall cycle totals and the dominant stall cause.
@@ -35,6 +44,13 @@ OPTIONS:
     --filter SUBSTR       Only experiments whose name contains SUBSTR.
     --jobs N              Worker threads (default: available parallelism).
     --force               Recompute every point, overwriting cache entries.
+    --strict              Exit non-zero when any point was quarantined
+                          (default: a degraded run still exits zero so one
+                          bad point cannot fail a whole sweep).
+    --retries N           Attempts per point before quarantine (default 2).
+    --point-timeout SECS  Watchdog deadline per point; a point exceeding it
+                          counts as a failed attempt and its worker is
+                          replaced (default: no deadline).
     --cache-dir PATH      Cache location (default: results/cache).
     --no-artifacts        Do not write results/*.json artifacts to disk.
     --telemetry           Collect cycle-level counters and timeline spans;
@@ -43,6 +59,10 @@ OPTIONS:
                           per job. Implies recomputing every point so the
                           counters cover the whole run.
     --telemetry-dir PATH  Telemetry location (default: results/telemetry).
+    --seed N              Campaign seed (default 1): same seed, same plan,
+                          byte-identical coverage report.
+    --trials N            Trials per fault class (default 6).
+    --quick               Shorthand for --trials 3 (CI smoke).
 ";
 
 fn main() -> ExitCode {
@@ -53,6 +73,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "run" => cmd_run(&args[1..]),
+        "faults" => cmd_faults(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "clean" => cmd_clean(&args[1..]),
@@ -73,10 +94,16 @@ struct Flags {
     filter: Option<String>,
     jobs: Option<usize>,
     force: bool,
+    strict: bool,
+    retries: Option<usize>,
+    point_timeout: Option<Duration>,
     cache_dir: Option<String>,
     no_artifacts: bool,
     telemetry: bool,
     telemetry_dir: Option<String>,
+    seed: Option<u64>,
+    trials: Option<u32>,
+    quick: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -84,10 +111,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         filter: None,
         jobs: None,
         force: false,
+        strict: false,
+        retries: None,
+        point_timeout: None,
         cache_dir: None,
         no_artifacts: false,
         telemetry: false,
         telemetry_dir: None,
+        seed: None,
+        trials: None,
+        quick: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -104,6 +137,38 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.jobs = Some(n);
             }
             "--force" => f.force = true,
+            "--strict" => f.strict = true,
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --retries value `{v}`"))?;
+                if n == 0 {
+                    return Err("--retries must allow at least 1 attempt".into());
+                }
+                f.retries = Some(n);
+            }
+            "--point-timeout" => {
+                let v = it.next().ok_or("--point-timeout needs a value")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --point-timeout value `{v}`"))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err("--point-timeout must be positive".into());
+                }
+                f.point_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                f.seed = Some(v.parse().map_err(|_| format!("bad --seed value `{v}`"))?);
+            }
+            "--trials" => {
+                let v = it.next().ok_or("--trials needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad --trials value `{v}`"))?;
+                if n == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+                f.trials = Some(n);
+            }
+            "--quick" => f.quick = true,
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a value")?;
                 if v.is_empty() {
@@ -143,6 +208,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(j) = flags.jobs {
         opts.jobs = j;
     }
+    if let Some(n) = flags.retries {
+        opts.max_attempts = n;
+    }
+    opts.point_timeout = flags.point_timeout;
     if let Some(d) = flags.cache_dir {
         opts.cache_dir = d.into();
     }
@@ -201,6 +270,25 @@ fn cmd_run(args: &[String]) -> ExitCode {
             println!("  ({} unusable entries were recomputed and rewritten)", c.malformed);
         }
     }
+    if c.swept_tmp > 0 {
+        println!(
+            "cache hygiene: swept {} orphaned .tmp file{} from interrupted writes",
+            c.swept_tmp,
+            if c.swept_tmp == 1 { "" } else { "s" }
+        );
+    }
+    if report.retries > 0 {
+        println!("retries: {} failed attempt(s) re-dispatched", report.retries);
+    }
+    if !report.failures.is_empty() {
+        println!(
+            "quarantined: {} point(s) exhausted their retry budget (see results/failures.json)",
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!("  {} point {} ({} after {} attempts)", f.job, f.point, f.kind, f.attempts);
+        }
+    }
     if let Some(dir) = &opts.telemetry_dir {
         let traced = report.jobs.iter().filter(|j| j.telemetry.is_some()).count();
         println!(
@@ -209,9 +297,37 @@ fn cmd_run(args: &[String]) -> ExitCode {
             dir.display()
         );
     }
-    if report.all_ok() {
+    // Graceful degradation: a run with quarantined points still completed
+    // and wrote every healthy result, so it exits zero unless the caller
+    // opted into --strict.
+    if report.all_ok() || !flags.strict {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the seeded fault-injection campaign and prints the coverage table.
+fn cmd_faults(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = flags.seed.unwrap_or(1);
+    let trials = flags.trials.unwrap_or(if flags.quick { 3 } else { 6 });
+    let report = faults::run_campaign(seed, trials);
+    print!("{}", report.render());
+    if report.silently_wrong() == 0 && report.crashed() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: {} silently-wrong and {} crashed trials — the stack let a fault through",
+            report.silently_wrong(),
+            report.crashed()
+        );
         ExitCode::FAILURE
     }
 }

@@ -10,7 +10,9 @@ use sparten_harness::executor::{run, RunOptions};
 use sparten_harness::{registry, Experiment, PointPayload};
 use sparten_telemetry::{parse_report, Telemetry};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A small experiment over synthetic layers; each point simulates one
 /// small layer across all eight schemes, exactly like the real figures.
@@ -120,6 +122,9 @@ fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
         write_artifacts: false,
         stream_output: false,
         telemetry_dir: None,
+        max_attempts: 2,
+        point_timeout: None,
+        failures_path: None,
     }
 }
 
@@ -240,6 +245,167 @@ fn filter_selects_by_substring_and_waives_missing_deps() {
     assert_eq!(report.jobs.len(), 1);
     assert_eq!(report.jobs[0].name, "solo_dependent");
     assert!(report.all_ok());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A single-point experiment that panics on its first `fail_first`
+/// compute attempts, then produces the same deterministic record a clean
+/// experiment would — the "transient fault" the retry path must heal.
+struct FlakyExp {
+    name: &'static str,
+    fail_first: usize,
+    calls: AtomicUsize,
+    /// `None` panics; `Some(d)` hangs for `d` instead (watchdog tests).
+    hang: Option<Duration>,
+}
+
+impl FlakyExp {
+    fn new(name: &'static str, fail_first: usize) -> Self {
+        FlakyExp {
+            name,
+            fail_first,
+            calls: AtomicUsize::new(0),
+            hang: None,
+        }
+    }
+}
+
+impl Experiment for FlakyExp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn kind(&self) -> ExperimentKind {
+        ExperimentKind::Study
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn num_points(&self) -> usize {
+        1
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("flaky:{}", self.name)
+    }
+
+    fn compute_point(&self, _point: usize) -> PointPayload {
+        if self.calls.fetch_add(1, Ordering::SeqCst) < self.fail_first {
+            match self.hang {
+                Some(d) => std::thread::sleep(d),
+                None => panic!("transient fault"),
+            }
+        }
+        let spec = TestExp::new(self.name, 1, 8).layer(0);
+        let result = run_layer(&spec, &Scheme::all(), &SimConfig::small());
+        PointPayload::Record(layer_record(&result))
+    }
+
+    fn compute_point_telemetry(&self, point: usize) -> (PointPayload, Option<Telemetry>) {
+        (self.compute_point(point), None)
+    }
+
+    fn render(&self, points: &[PointPayload]) -> Capture {
+        let mut text = format!("== {} ==\n", self.name);
+        for p in points {
+            match p {
+                PointPayload::Record(blob) => text.push_str(blob),
+                PointPayload::Capture(_) => unreachable!(),
+            }
+        }
+        Capture {
+            text,
+            artifacts: Vec::new(),
+        }
+    }
+}
+
+#[test]
+fn transient_panic_is_retried_and_the_job_completes() {
+    let flaky = Arc::new(FlakyExp::new("flaky_once", 1));
+    let clean = Arc::new(FlakyExp::new("flaky_once", 0));
+    let exps: Vec<Arc<dyn Experiment>> = vec![flaky];
+    let dir = fresh_dir("retry");
+    let report = run(&exps, &opts(dir.clone(), 2));
+    assert!(report.all_ok(), "retry should heal a one-shot panic");
+    assert_eq!(report.retries, 1);
+    assert!(report.failures.is_empty());
+
+    // The healed output is byte-identical to a never-failed run.
+    let dir2 = fresh_dir("retry-clean");
+    let clean_report = run(&[clean as Arc<dyn Experiment>], &opts(dir2.clone(), 2));
+    assert_eq!(outputs(&report), outputs(&clean_report));
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(dir2);
+}
+
+#[test]
+fn exhausted_retries_quarantine_the_point_but_spare_the_run() {
+    // `fail_first` above the attempt budget: every attempt panics.
+    let exps: Vec<Arc<dyn Experiment>> = vec![
+        Arc::new(FlakyExp::new("always_bad", usize::MAX)),
+        Arc::new(TestExp::new("bystander", 2, 8)),
+    ];
+    let dir = fresh_dir("quarantine");
+    let failures_json = dir.join("failures.json");
+    let mut o = opts(dir.clone(), 2);
+    o.failures_path = Some(failures_json.clone());
+    let report = run(&exps, &o);
+
+    assert!(!report.all_ok());
+    assert_eq!(report.failures.len(), 1);
+    let f = &report.failures[0];
+    assert_eq!((f.job, f.point, f.attempts, f.kind), ("always_bad", 0, 2, "panic"));
+    assert_eq!(report.retries, 1, "one re-dispatch before quarantine");
+
+    // The machine-readable report landed and names the quarantined point.
+    let written = std::fs::read_to_string(&failures_json).expect("failures.json written");
+    assert!(written.contains("\"job\": \"always_bad\""));
+    assert!(written.contains("\"kind\": \"panic\""));
+    assert!(written.contains("\"message\": \"transient fault\""));
+
+    // The bystander's output is byte-identical to a clean run of it.
+    let dir2 = fresh_dir("quarantine-clean");
+    let clean = run(
+        &[Arc::new(TestExp::new("bystander", 2, 8)) as Arc<dyn Experiment>],
+        &opts(dir2.clone(), 2),
+    );
+    assert!(report.jobs[0].error.as_deref().unwrap().contains("panicked"));
+    assert_eq!(report.jobs[1].output, clean.jobs[0].output);
+
+    // A subsequent clean run removes the stale quarantine report.
+    let clean_exps: Vec<Arc<dyn Experiment>> =
+        vec![Arc::new(TestExp::new("bystander", 2, 8))];
+    let report2 = run(&clean_exps, &o);
+    assert!(report2.all_ok());
+    assert!(!failures_json.exists(), "stale failures.json must be removed");
+
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(dir2);
+}
+
+#[test]
+fn hung_point_trips_the_watchdog_and_is_quarantined() {
+    let mut hung = FlakyExp::new("hangs", usize::MAX);
+    hung.hang = Some(Duration::from_secs(5));
+    let exps: Vec<Arc<dyn Experiment>> = vec![
+        Arc::new(hung),
+        Arc::new(TestExp::new("prompt", 1, 8)),
+    ];
+    let dir = fresh_dir("watchdog");
+    let mut o = opts(dir.clone(), 2);
+    o.max_attempts = 1; // one hang is enough; don't wait out a retry
+    o.point_timeout = Some(Duration::from_millis(100));
+    let report = run(&exps, &o);
+
+    assert!(!report.all_ok());
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].kind, "timeout");
+    assert!(report.jobs[0].error.as_deref().unwrap().contains("timed out"));
+    assert!(report.jobs[1].error.is_none(), "bystander unaffected");
+    assert!(report.jobs[1].output.starts_with("== prompt =="));
     let _ = std::fs::remove_dir_all(dir);
 }
 

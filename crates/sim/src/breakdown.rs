@@ -149,7 +149,10 @@ pub fn intern_scheme_label(label: &str) -> &'static str {
     }
     use std::sync::Mutex;
     static EXTRA: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
-    let mut extra = EXTRA.lock().expect("label intern lock");
+    // Recover from a poisoned lock rather than cascading the panic: the
+    // intern table is append-only, so a writer that panicked mid-push left
+    // at worst a fully-written extra entry — always safe to keep reading.
+    let mut extra = EXTRA.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(k) = extra.iter().find(|k| **k == label) {
         return k;
     }

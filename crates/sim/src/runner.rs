@@ -1,6 +1,8 @@
 //! High-level simulation entry points: one call per (layer, scheme).
 
 use sparten_core::balance::BalanceMode;
+use sparten_core::SimError;
+use sparten_faults::UnitFaultSpec;
 use sparten_nn::generate::Workload;
 use sparten_nn::LayerSpec;
 use sparten_telemetry::{ReconcileError, Telemetry};
@@ -9,8 +11,10 @@ use crate::breakdown::SimResult;
 use crate::config::SimConfig;
 use crate::dense::{simulate_dense, simulate_dense_telemetry};
 use crate::probe::reconcile_and_merge;
-use crate::scnn::{simulate_scnn, simulate_scnn_telemetry, ScnnVariant};
-use crate::sparten::{simulate_sparten, simulate_sparten_telemetry, Sparsity};
+use crate::scnn::{simulate_scnn, simulate_scnn_faulted, simulate_scnn_telemetry, ScnnVariant};
+use crate::sparten::{
+    simulate_sparten, simulate_sparten_faulted, simulate_sparten_telemetry, Sparsity,
+};
 use crate::workmodel::MaskModel;
 
 /// The eight architectures compared in §5.1.
@@ -112,6 +116,56 @@ pub fn simulate_layer(
         Scheme::ScnnOneSided => simulate_scnn(workload, model, config, ScnnVariant::OneSided),
         Scheme::ScnnDense => simulate_scnn(workload, model, config, ScnnVariant::Dense),
     }
+}
+
+/// Fallible [`simulate_layer`]: simulates with an optional injected compute
+/// unit fault and surfaces detection as a typed [`SimError`] instead of a
+/// panic. With `fault: None` this is exactly `Ok(simulate_layer(..))`.
+///
+/// Fault targeting follows the scheme's unit topology: SparTen-family
+/// schemes interpret `fault.cluster`/`fault.unit` directly; SCNN variants
+/// treat `fault.cluster` as the flat PE index (`fault.unit` is ignored);
+/// the Dense scheme has no sparse compute units to perturb, so faults are
+/// documented no-ops there.
+pub fn try_simulate_layer(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    scheme: Scheme,
+    fault: Option<&UnitFaultSpec>,
+) -> Result<SimResult, SimError> {
+    let Some(fault) = fault else {
+        return Ok(simulate_layer(workload, model, config, scheme));
+    };
+    let sparten = |sparsity, mode| {
+        simulate_sparten_faulted(workload, model, config, sparsity, mode, fault, None)
+    };
+    let scnn = |variant| simulate_scnn_faulted(workload, model, config, variant, fault, None);
+    match scheme {
+        Scheme::Dense => Ok(simulate_dense(workload, model, config)),
+        Scheme::OneSided => sparten(Sparsity::OneSided, BalanceMode::None),
+        Scheme::SpartenNoGb => sparten(Sparsity::TwoSided, BalanceMode::None),
+        Scheme::SpartenGbS => sparten(Sparsity::TwoSided, BalanceMode::GbS),
+        Scheme::SpartenGbH => sparten(Sparsity::TwoSided, BalanceMode::GbH),
+        Scheme::Scnn => scnn(ScnnVariant::Full),
+        Scheme::ScnnOneSided => scnn(ScnnVariant::OneSided),
+        Scheme::ScnnDense => scnn(ScnnVariant::Dense),
+    }
+}
+
+/// Fallible [`simulate_layer_telemetry`]: same contract, but reconcile
+/// failures come back as [`SimError::Invariant`] so callers can thread one
+/// error type through both simulation and telemetry checks.
+pub fn try_simulate_layer_telemetry(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    scheme: Scheme,
+    session: &Telemetry,
+    track_prefix: &str,
+) -> Result<SimResult, SimError> {
+    simulate_layer_telemetry(workload, model, config, scheme, session, track_prefix)
+        .map_err(|e| SimError::invariant("telemetry reconcile", e))
 }
 
 /// [`simulate_layer`] with telemetry: runs the scheme's instrumented

@@ -22,6 +22,8 @@
 //! * border products that fall outside the output map are likewise counted
 //!   as wasted.
 
+use sparten_core::SimError;
+use sparten_faults::{UnitFault, UnitFaultSpec};
 use sparten_nn::generate::Workload;
 use sparten_telemetry::{StallCause, Telemetry};
 
@@ -93,6 +95,36 @@ pub fn simulate_scnn_telemetry(
     variant: ScnnVariant,
     tel: Option<&Telemetry>,
 ) -> SimResult {
+    simulate_scnn_inner(workload, model, config, variant, tel, None)
+        .expect("fault-free simulation cannot fail")
+}
+
+/// [`simulate_scnn`] with a stuck/slow PE fault injected.
+///
+/// The victim is `fault.cluster` interpreted as the flat PE index
+/// (`fault.unit` is ignored — SCNN's barrier is PE-granular). A slow PE
+/// stretches only the per-step barrier, leaving work counts and the
+/// cycle-accounting identity intact; a stuck PE holding nonzero work
+/// returns [`SimError::StuckUnit`].
+pub fn simulate_scnn_faulted(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    variant: ScnnVariant,
+    fault: &UnitFaultSpec,
+    tel: Option<&Telemetry>,
+) -> Result<SimResult, SimError> {
+    simulate_scnn_inner(workload, model, config, variant, tel, Some(fault))
+}
+
+fn simulate_scnn_inner(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    variant: ScnnVariant,
+    tel: Option<&Telemetry>,
+    fault: Option<&UnitFaultSpec>,
+) -> Result<SimResult, SimError> {
     let shape = &workload.shape;
     let scnn = &config.scnn;
     let grid = (scnn.num_pes as f64).sqrt() as usize;
@@ -185,7 +217,29 @@ pub fn simulate_scnn_telemetry(
                     }
                 }
             }
-            let barrier = pe_cycles.iter().copied().max().unwrap_or(0);
+            // The (group, channel) barrier advances at the slowest PE's
+            // *latency* — a slow victim stretches only the barrier, its
+            // busy-slot accounting keeps the true cycle count.
+            let mut barrier = 0u64;
+            for (pe, &cy) in pe_cycles.iter().enumerate() {
+                let mut latency = cy;
+                if let Some(fa) = fault {
+                    if fa.cluster == pe {
+                        match fa.fault {
+                            UnitFault::Slow(k) => latency = cy * k.max(1),
+                            UnitFault::Stuck => {
+                                if cy > 0 {
+                                    return Err(SimError::StuckUnit {
+                                        cluster: pe,
+                                        unit: 0,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                barrier = barrier.max(latency);
+            }
             makespan += barrier;
             for (pe, &cy) in pe_cycles.iter().enumerate() {
                 busy_slots[pe] += cy * slots_per_cycle;
@@ -233,7 +287,7 @@ pub fn simulate_scnn_telemetry(
         pr.gauge("occupancy.makespan_cycles", makespan as f64);
     }
 
-    SimResult {
+    Ok(SimResult {
         scheme: variant.name(),
         compute_cycles: makespan,
         memory_cycles,
@@ -255,7 +309,7 @@ pub fn simulate_scnn_telemetry(
             compact_ops: shape.num_outputs() as u64,
             crossbar_ops: total_products,
         },
-    }
+    })
 }
 
 /// SCNN traffic: CSR-style storage — values plus ~4-bit coordinates per
@@ -348,6 +402,60 @@ mod tests {
         let dense = simulate_scnn(&w, &m, &cfg, ScnnVariant::Dense);
         assert!(full.cycles() < one.cycles());
         assert!(one.cycles() < dense.cycles());
+    }
+
+    #[test]
+    fn slow_pe_preserves_work_but_stretches_makespan() {
+        let w = unit_stride_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let clean = simulate_scnn(&w, &m, &cfg, ScnnVariant::Full);
+        let fault = UnitFaultSpec {
+            cluster: 0, // flat PE index for SCNN
+            unit: 0,
+            fault: UnitFault::Slow(5),
+        };
+        let slow = simulate_scnn_faulted(&w, &m, &cfg, ScnnVariant::Full, &fault, None)
+            .expect("slow PE is not a detection failure");
+        assert_eq!(slow.breakdown.nonzero, clean.breakdown.nonzero);
+        assert_eq!(slow.breakdown.zero, clean.breakdown.zero);
+        assert!(slow.compute_cycles > clean.compute_cycles);
+        assert!(slow.accounting_holds());
+    }
+
+    #[test]
+    fn stuck_pe_with_work_is_detected() {
+        let w = unit_stride_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let fault = UnitFaultSpec {
+            cluster: 0,
+            unit: 0,
+            fault: UnitFault::Stuck,
+        };
+        let err = simulate_scnn_faulted(&w, &m, &cfg, ScnnVariant::Full, &fault, None)
+            .expect_err("a stuck PE holding work must surface as an error");
+        assert!(matches!(
+            err,
+            sparten_core::SimError::StuckUnit { cluster: 0, unit: 0 }
+        ));
+    }
+
+    #[test]
+    fn fault_on_absent_pe_is_masked() {
+        let w = unit_stride_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, 128);
+        let clean = simulate_scnn(&w, &m, &cfg, ScnnVariant::Full);
+        let fault = UnitFaultSpec {
+            cluster: 9999,
+            unit: 0,
+            fault: UnitFault::Stuck,
+        };
+        let faulted = simulate_scnn_faulted(&w, &m, &cfg, ScnnVariant::Full, &fault, None)
+            .expect("a fault outside the PE grid cannot fire");
+        assert_eq!(faulted.compute_cycles, clean.compute_cycles);
+        assert_eq!(faulted.breakdown, clean.breakdown);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! Cambricon-X, and EIE's zero idling.
 
 use sparten_core::balance::{BalanceMode, LayerBalance};
+use sparten_core::SimError;
+use sparten_faults::{UnitFault, UnitFaultSpec};
 use sparten_nn::generate::Workload;
 use sparten_telemetry::{StallCause, Telemetry};
 
@@ -72,6 +74,33 @@ pub fn simulate_sparten_telemetry(
     simulate_sparten_with_balance_telemetry(workload, model, config, sparsity, balance, tel)
 }
 
+/// [`simulate_sparten`] with a stuck/slow compute-unit fault injected.
+///
+/// A [`UnitFault::Slow`] straggler stretches only the victim's per-chunk
+/// *latency*: its useful work (and every cycle-accounting identity) is
+/// unchanged, the lost time shows up as barrier idle — so a slow unit is
+/// survivable and the result stays work-equivalent to the clean run. A
+/// [`UnitFault::Stuck`] unit that holds any nonzero work makes the layer
+/// unrecoverable and returns [`SimError::StuckUnit`].
+pub fn simulate_sparten_faulted(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    sparsity: Sparsity,
+    mode: BalanceMode,
+    fault: &UnitFaultSpec,
+    tel: Option<&Telemetry>,
+) -> Result<SimResult, SimError> {
+    let units = config.accel.cluster.compute_units;
+    let chunk_size = config.accel.cluster.chunk_size;
+    let mode = match sparsity {
+        Sparsity::OneSided => BalanceMode::None,
+        Sparsity::TwoSided => mode,
+    };
+    let balance = LayerBalance::new(&workload.filters, units, chunk_size, mode);
+    simulate_sparten_inner(workload, model, config, sparsity, balance, tel, Some(fault))
+}
+
 /// Simulates with an explicit balance assignment (e.g. k-way collocation
 /// from [`LayerBalance::with_collocation`]).
 pub fn simulate_sparten_with_balance(
@@ -93,6 +122,19 @@ pub fn simulate_sparten_with_balance_telemetry(
     balance: LayerBalance,
     tel: Option<&Telemetry>,
 ) -> SimResult {
+    simulate_sparten_inner(workload, model, config, sparsity, balance, tel, None)
+        .expect("fault-free simulation cannot fail")
+}
+
+fn simulate_sparten_inner(
+    workload: &Workload,
+    model: &MaskModel,
+    config: &SimConfig,
+    sparsity: Sparsity,
+    balance: LayerBalance,
+    tel: Option<&Telemetry>,
+    fault: Option<&UnitFaultSpec>,
+) -> Result<SimResult, SimError> {
     let shape = &workload.shape;
     let units = config.accel.cluster.compute_units;
     let num_clusters = config.accel.num_clusters;
@@ -114,6 +156,7 @@ pub fn simulate_sparten_with_balance_telemetry(
     let mut unit_scratch: Vec<(u64, bool)> = Vec::new();
 
     for cluster in 0..num_clusters {
+        let unit_fault = fault.filter(|f| f.cluster == cluster);
         let lo = positions * cluster / num_clusters;
         let hi = positions * (cluster + 1) / num_clusters;
         let mut cycles = 0u64;
@@ -132,16 +175,35 @@ pub fn simulate_sparten_with_balance_telemetry(
                     match sparsity {
                         Sparsity::OneSided => {
                             let w = model.onesided_chunk_work(ox, oy, c) as u64;
-                            cycles += w + CHUNK_OVERHEAD;
+                            // The broadcast barrier advances at the victim's
+                            // stretched latency; useful work is unchanged.
+                            let mut barrier = w;
+                            if let Some(fa) = unit_fault {
+                                if (fa.unit as u64) < busy_units {
+                                    match fa.fault {
+                                        UnitFault::Slow(k) => barrier = w * k.max(1),
+                                        UnitFault::Stuck => {
+                                            if w > 0 {
+                                                return Err(SimError::StuckUnit {
+                                                    cluster,
+                                                    unit: fa.unit,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            cycles += barrier + CHUNK_OVERHEAD;
                             busy += w * busy_units;
                             chunk_joins += busy_units;
                             if let Some(h) = &hist_barrier {
                                 // All busy units share the input's popcount;
-                                // idle lanes and the broadcast overhead are
-                                // the only intra losses.
+                                // idle lanes, the broadcast overhead, and any
+                                // straggler stretch are the intra losses.
                                 tally.prefix_encoder_wait += CHUNK_OVERHEAD * units as u64;
-                                tally.unit_underfill += w * (units as u64 - busy_units);
-                                h.record(w);
+                                tally.unit_underfill += barrier * (units as u64 - busy_units);
+                                tally.chunk_barrier_idle += (barrier - w) * busy_units;
+                                h.record(barrier);
                             }
                         }
                         Sparsity::TwoSided => {
@@ -155,13 +217,31 @@ pub fn simulate_sparten_with_balance_telemetry(
                                 unit_scratch.clear();
                             }
                             let mut chunk_max = 0u64;
-                            for slots in per_unit {
+                            for (u, slots) in per_unit.iter().enumerate() {
                                 let mut w = 0u64;
                                 for &f in slots {
                                     w += model.chunk_work(ox, oy, f, c) as u64;
                                 }
                                 busy += w;
-                                chunk_max = chunk_max.max(w);
+                                // The barrier sees the unit's *latency*: its
+                                // true work, stretched for a slow victim.
+                                let mut latency = w;
+                                if let Some(fa) = unit_fault {
+                                    if fa.unit == u {
+                                        match fa.fault {
+                                            UnitFault::Slow(k) => latency = w * k.max(1),
+                                            UnitFault::Stuck => {
+                                                if w > 0 {
+                                                    return Err(SimError::StuckUnit {
+                                                        cluster,
+                                                        unit: u,
+                                                    });
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                chunk_max = chunk_max.max(latency);
                                 chunk_joins += slots.len() as u64;
                                 if probing {
                                     unit_scratch.push((w, slots.is_empty()));
@@ -261,7 +341,7 @@ pub fn simulate_sparten_with_balance_telemetry(
         Sparsity::OneSided => 1,
         Sparsity::TwoSided => 2,
     };
-    SimResult {
+    Ok(SimResult {
         scheme: scheme_name(sparsity, mode),
         compute_cycles: makespan,
         memory_cycles,
@@ -283,7 +363,7 @@ pub fn simulate_sparten_with_balance_telemetry(
             compact_ops: (positions * shape.num_filters) as u64,
             crossbar_ops: 0,
         },
-    }
+    })
 }
 
 fn scheme_name(sparsity: Sparsity, mode: BalanceMode) -> &'static str {
@@ -439,6 +519,88 @@ mod tests {
         assert!(gbh.ops.permute_values > 0);
         let gbs = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbS);
         assert_eq!(gbs.ops.permute_values, 0);
+    }
+
+    #[test]
+    fn slow_unit_preserves_work_but_stretches_latency() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let fault = UnitFaultSpec {
+            cluster: 0,
+            unit: 0,
+            fault: UnitFault::Slow(4),
+        };
+        for sparsity in [Sparsity::OneSided, Sparsity::TwoSided] {
+            let clean = simulate_sparten(&w, &m, &cfg, sparsity, BalanceMode::None);
+            let slow = simulate_sparten_faulted(
+                &w,
+                &m,
+                &cfg,
+                sparsity,
+                BalanceMode::None,
+                &fault,
+                None,
+            )
+            .expect("slow unit is not a detection failure");
+            // The straggler stretches latency only: true work is untouched,
+            // and the cycle-accounting identity still closes exactly.
+            assert_eq!(slow.breakdown.nonzero, clean.breakdown.nonzero);
+            assert_eq!(slow.breakdown.zero, clean.breakdown.zero);
+            assert!(slow.compute_cycles > clean.compute_cycles);
+            assert!(slow.accounting_holds());
+        }
+    }
+
+    #[test]
+    fn stuck_unit_with_work_is_detected() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let fault = UnitFaultSpec {
+            cluster: 0,
+            unit: 0,
+            fault: UnitFault::Stuck,
+        };
+        let err = simulate_sparten_faulted(
+            &w,
+            &m,
+            &cfg,
+            Sparsity::TwoSided,
+            BalanceMode::None,
+            &fault,
+            None,
+        )
+        .expect_err("a stuck unit holding work must surface as an error");
+        assert!(matches!(
+            err,
+            sparten_core::SimError::StuckUnit { cluster: 0, unit: 0 }
+        ));
+    }
+
+    #[test]
+    fn fault_on_absent_cluster_is_masked() {
+        let w = test_workload();
+        let cfg = test_config();
+        let m = MaskModel::new(&w, cfg.accel.cluster.chunk_size);
+        let clean = simulate_sparten(&w, &m, &cfg, Sparsity::TwoSided, BalanceMode::GbH);
+        let fault = UnitFaultSpec {
+            cluster: 999,
+            unit: 0,
+            fault: UnitFault::Stuck,
+        };
+        let faulted = simulate_sparten_faulted(
+            &w,
+            &m,
+            &cfg,
+            Sparsity::TwoSided,
+            BalanceMode::GbH,
+            &fault,
+            None,
+        )
+        .expect("a fault outside the array cannot fire");
+        assert_eq!(faulted.compute_cycles, clean.compute_cycles);
+        assert_eq!(faulted.breakdown, clean.breakdown);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   area/power estimate (Table 4);
 //! * [`telemetry`] — cycle-level counters, stall-cause tracing, and the
 //!   Chrome-trace/plain-text exporters behind `sparten-harness
-//!   --telemetry`.
+//!   --telemetry`;
+//! * [`faults`] — deterministic fault injection: seeded fault plans over
+//!   masks, packed values, compute units, output writes, and cache
+//!   entries, with the coverage report behind `sparten-harness faults`.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 
 pub use sparten_arch as arch;
 pub use sparten_core as core;
+pub use sparten_faults as faults;
 pub use sparten_energy as energy;
 pub use sparten_nn as nn;
 pub use sparten_sim as sim;

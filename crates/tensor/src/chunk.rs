@@ -4,6 +4,7 @@
 //! holds one filter chunk and joins it against broadcast input-map chunks.
 //! The paper uses n = 128.
 
+use crate::error::TensorError;
 use crate::mask::SparseMap;
 
 /// A chunk of a sparse tensor: bit mask + packed non-zero values.
@@ -36,6 +37,10 @@ impl SparseChunk {
 
     /// Builds a chunk from an existing mask and packed values.
     ///
+    /// For in-crate literals and tests; deserialization and load paths
+    /// should use [`SparseChunk::try_from_parts`] instead so corrupted
+    /// data surfaces as an `Err`, not an abort.
+    ///
     /// # Panics
     ///
     /// Panics if `values.len() != mask.count_ones()`.
@@ -46,6 +51,37 @@ impl SparseChunk {
             "packed value count must equal mask population"
         );
         SparseChunk { mask, values }
+    }
+
+    /// Fallible [`SparseChunk::from_parts`]: checks the full invariant
+    /// set (mask structure, popcount/value-count agreement, canonical
+    /// non-zero finite values) and returns a typed error on violation.
+    pub fn try_from_parts(mask: SparseMap, values: Vec<f32>) -> Result<Self, TensorError> {
+        let c = SparseChunk { mask, values };
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Checks the chunk's invariants: the mask is structurally valid,
+    /// `values.len() == mask.count_ones()`, and every packed value is
+    /// canonical (non-zero and finite).
+    pub fn validate(&self) -> Result<(), TensorError> {
+        self.mask.validate()?;
+        if self.values.len() != self.mask.count_ones() {
+            return Err(TensorError::CountMismatch {
+                expected: self.mask.count_ones(),
+                actual: self.values.len(),
+            });
+        }
+        for (index, &v) in self.values.iter().enumerate() {
+            if v == 0.0 {
+                return Err(TensorError::ZeroPackedValue { index });
+            }
+            if !v.is_finite() {
+                return Err(TensorError::NonFiniteValue { index });
+            }
+        }
+        Ok(())
     }
 
     /// An all-zero chunk over `len` positions.
@@ -213,5 +249,30 @@ mod tests {
     fn from_parts_validates() {
         let mask = SparseMap::from_bools(&[true, true]);
         SparseChunk::from_parts(mask, vec![1.0]);
+    }
+
+    #[test]
+    fn try_from_parts_accepts_valid() {
+        let mask = SparseMap::from_bools(&[true, false, true]);
+        let c = SparseChunk::try_from_parts(mask, vec![1.0, 2.0]).unwrap();
+        assert_eq!(c.to_dense(), vec![1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_count_mismatch() {
+        use crate::error::TensorError;
+        let mask = SparseMap::from_bools(&[true, true]);
+        let err = SparseChunk::try_from_parts(mask, vec![1.0]).unwrap_err();
+        assert_eq!(err, TensorError::CountMismatch { expected: 2, actual: 1 });
+    }
+
+    #[test]
+    fn try_from_parts_rejects_zero_and_nonfinite() {
+        use crate::error::TensorError;
+        let mask = SparseMap::from_bools(&[true, true]);
+        let err = SparseChunk::try_from_parts(mask.clone(), vec![1.0, 0.0]).unwrap_err();
+        assert_eq!(err, TensorError::ZeroPackedValue { index: 1 });
+        let err = SparseChunk::try_from_parts(mask, vec![f32::NAN, 1.0]).unwrap_err();
+        assert_eq!(err, TensorError::NonFiniteValue { index: 0 });
     }
 }

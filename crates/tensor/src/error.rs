@@ -1,0 +1,185 @@
+//! Typed errors for violated tensor-format invariants.
+//!
+//! SparTen's bit-mask format rests on a chain of structural invariants
+//! (§3.1): every chunk's packed value count equals its mask popcount,
+//! directory pointers tile the value store contiguously, and packed
+//! values are canonical (non-zero, finite — a zero packed value would
+//! desynchronize the mask from the data). The panicking constructors
+//! assert these for in-crate literals and tests; the `try_*`/`validate`
+//! paths added for fault tolerance return a [`TensorError`] instead, so
+//! corrupted or truncated data surfaces as an `Err` the caller can
+//! classify rather than an abort.
+
+use std::fmt;
+
+/// A violated structural invariant of the sparse tensor format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TensorError {
+    /// Packed value count differs from the mask popcount.
+    CountMismatch {
+        /// Mask popcount (the expected value count).
+        expected: usize,
+        /// Actual packed value count.
+        actual: usize,
+    },
+    /// A packed value is zero — zeros must be absent from the packing.
+    ZeroPackedValue {
+        /// Index into the packed value array.
+        index: usize,
+    },
+    /// A packed value is NaN or infinite.
+    NonFiniteValue {
+        /// Index into the packed value array.
+        index: usize,
+    },
+    /// A mask's backing word count does not match its logical length.
+    MaskWordMismatch {
+        /// Logical bit length.
+        len: usize,
+        /// Number of backing 64-bit words found.
+        words: usize,
+    },
+    /// A mask has set bits beyond its logical length.
+    StrayMaskBits {
+        /// Logical bit length.
+        len: usize,
+    },
+    /// A chunk's width differs from the container's chunk size.
+    ChunkWidthMismatch {
+        /// Chunk index within the container.
+        chunk: usize,
+        /// Expected width (the container's chunk size).
+        expected: usize,
+        /// Actual chunk width.
+        actual: usize,
+    },
+    /// A vector's logical length does not fit its chunk list.
+    BadLogicalLength {
+        /// Number of chunks.
+        chunks: usize,
+        /// Chunk width.
+        chunk_size: usize,
+        /// Claimed logical length.
+        logical_len: usize,
+    },
+    /// A directory pointer does not continue where the previous chunk's
+    /// values ended — the value store must be tiled contiguously.
+    DirectoryGap {
+        /// Chunk index with the bad pointer.
+        chunk: usize,
+        /// Where the previous chunk's values ended.
+        expected_ptr: usize,
+        /// The pointer actually stored.
+        found_ptr: usize,
+    },
+    /// A directory entry's values extend past the end of the value store
+    /// (e.g. after a truncation fault).
+    PointerOutOfBounds {
+        /// Chunk index with the dangling pointer.
+        chunk: usize,
+        /// Last value index the chunk needs, exclusive.
+        needed: usize,
+        /// Values actually available.
+        available: usize,
+    },
+    /// The directory consumes fewer values than the store holds.
+    TrailingValues {
+        /// Values accounted for by the directory.
+        consumed: usize,
+        /// Values present in the store.
+        total: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TensorError::CountMismatch { expected, actual } => write!(
+                f,
+                "packed value count must equal mask population: mask has {expected} ones, \
+                 {actual} values packed"
+            ),
+            TensorError::ZeroPackedValue { index } => {
+                write!(f, "packed value {index} is zero (zeros must be masked out)")
+            }
+            TensorError::NonFiniteValue { index } => {
+                write!(f, "packed value {index} is not finite")
+            }
+            TensorError::MaskWordMismatch { len, words } => write!(
+                f,
+                "mask of {len} bits needs {} backing words, found {words}",
+                len.div_ceil(64)
+            ),
+            TensorError::StrayMaskBits { len } => {
+                write!(f, "mask has set bits beyond its logical length {len}")
+            }
+            TensorError::ChunkWidthMismatch {
+                chunk,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "chunk {chunk} is {actual} positions wide, container expects {expected}"
+            ),
+            TensorError::BadLogicalLength {
+                chunks,
+                chunk_size,
+                logical_len,
+            } => write!(
+                f,
+                "logical length {logical_len} does not fit {chunks} chunks of {chunk_size}"
+            ),
+            TensorError::DirectoryGap {
+                chunk,
+                expected_ptr,
+                found_ptr,
+            } => write!(
+                f,
+                "directory entry {chunk} points at {found_ptr}, expected contiguous {expected_ptr}"
+            ),
+            TensorError::PointerOutOfBounds {
+                chunk,
+                needed,
+                available,
+            } => write!(
+                f,
+                "directory entry {chunk} needs values up to {needed}, store holds {available}"
+            ),
+            TensorError::TrailingValues { consumed, total } => write!(
+                f,
+                "directory accounts for {consumed} values but the store holds {total}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_panic_substring() {
+        // The `from_parts` panic message contains "packed value count";
+        // the typed error's Display must keep that substring so the
+        // panicking wrapper stays message-compatible.
+        let e = TensorError::CountMismatch {
+            expected: 3,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("packed value count"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            TensorError::StrayMaskBits { len: 8 },
+            TensorError::StrayMaskBits { len: 8 }
+        );
+        assert_ne!(
+            TensorError::ZeroPackedValue { index: 0 },
+            TensorError::NonFiniteValue { index: 0 }
+        );
+    }
+}

@@ -43,6 +43,12 @@ impl ChunkDirectory {
         &self.entries
     }
 
+    /// Mutable access to the directory entries, used by fault injection
+    /// to perturb masks and pointers in place.
+    pub fn entries_mut(&mut self) -> &mut [DirectoryEntry] {
+        &mut self.entries
+    }
+
     /// Number of chunks catalogued.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -37,6 +37,7 @@
 
 pub mod chunk;
 pub mod convert;
+pub mod error;
 pub mod csc;
 pub mod csr;
 pub mod dense;
@@ -53,6 +54,7 @@ pub use convert::FormattedImage;
 pub use csc::CscMatrix;
 pub use csr::{CsrMatrix, IndexVector};
 pub use dense::Tensor3;
+pub use error::TensorError;
 pub use layout::{ChunkDirectory, ClusterRegion, RegionAllocator};
 pub use mask::SparseMap;
 pub use prng::Rng64;

@@ -6,6 +6,7 @@
 //! the packed values. This module provides the mask itself; the circuit-level
 //! models of the priority encoder and prefix sum live in `sparten-arch`.
 
+use crate::error::TensorError;
 use std::fmt;
 
 /// A bit mask over `len` positions, 1 where the tensor value is non-zero.
@@ -216,6 +217,33 @@ impl SparseMap {
     pub fn as_words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Rebuilds a mask from raw words (the deserialization path),
+    /// checking the structural invariants instead of trusting the input.
+    pub fn try_from_words(words: Vec<u64>, len: usize) -> Result<Self, TensorError> {
+        let m = SparseMap { words, len };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checks the mask's structural invariants: the backing word count
+    /// matches the logical length, and no bit is set past the end.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        if self.words.len() != self.len.div_ceil(64) {
+            return Err(TensorError::MaskWordMismatch {
+                len: self.len,
+                words: self.words.len(),
+            });
+        }
+        let rem = self.len % 64;
+        if rem > 0 {
+            let last = self.words[self.words.len() - 1];
+            if last & !((1u64 << rem) - 1) != 0 {
+                return Err(TensorError::StrayMaskBits { len: self.len });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for SparseMap {
@@ -364,6 +392,33 @@ mod tests {
     fn binary_format_is_positional() {
         let m = SparseMap::from_bools(&[true, false, true]);
         assert_eq!(format!("{m:b}"), "101");
+    }
+
+    #[test]
+    fn try_from_words_roundtrips() {
+        let m = SparseMap::from_bools(&[true, false, true]);
+        let rebuilt = SparseMap::try_from_words(m.as_words().to_vec(), m.len()).unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn try_from_words_rejects_bad_word_count() {
+        let err = SparseMap::try_from_words(vec![0, 0], 64).unwrap_err();
+        assert!(matches!(err, TensorError::MaskWordMismatch { len: 64, words: 2 }));
+    }
+
+    #[test]
+    fn try_from_words_rejects_stray_bits() {
+        // Bit 3 set, but the mask only covers 3 positions.
+        let err = SparseMap::try_from_words(vec![0b1000], 3).unwrap_err();
+        assert_eq!(err, TensorError::StrayMaskBits { len: 3 });
+    }
+
+    #[test]
+    fn validate_accepts_constructed_masks() {
+        for len in [0, 1, 63, 64, 65, 128, 130] {
+            assert_eq!(SparseMap::ones(len).validate(), Ok(()));
+        }
     }
 
     #[test]

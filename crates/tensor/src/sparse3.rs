@@ -9,6 +9,7 @@
 
 use crate::chunk::SparseChunk;
 use crate::dense::Tensor3;
+use crate::error::TensorError;
 use crate::layout::ChunkDirectory;
 use crate::mask::SparseMap;
 
@@ -130,6 +131,117 @@ impl SparseTensor3 {
             entry.mask.clone(),
             self.values[entry.value_ptr..entry.value_ptr + n].to_vec(),
         )
+    }
+
+    /// Fallible [`SparseTensor3::fiber_chunk`]: checks the directory
+    /// pointer against the value store and validates the reconstructed
+    /// chunk, so a corrupted tensor yields a typed error rather than a
+    /// panic or an out-of-bounds abort.
+    pub fn try_fiber_chunk(&self, x: usize, y: usize, c: usize) -> Result<SparseChunk, TensorError> {
+        assert!(x < self.height && y < self.width, "position out of range");
+        assert!(c < self.chunks_per_fiber, "chunk index out of range");
+        let idx = (x + self.height * y) * self.chunks_per_fiber + c;
+        let entry = &self.directory.entries()[idx];
+        let needed = entry.value_ptr + entry.mask.count_ones();
+        if needed > self.values.len() {
+            return Err(TensorError::PointerOutOfBounds {
+                chunk: idx,
+                needed,
+                available: self.values.len(),
+            });
+        }
+        SparseChunk::try_from_parts(
+            entry.mask.clone(),
+            self.values[entry.value_ptr..needed].to_vec(),
+        )
+    }
+
+    /// Checks the whole tensor's structural invariants: every mask is
+    /// well-formed and `chunk_size` wide, directory pointers tile the
+    /// value store contiguously and in bounds, every packed value is
+    /// canonical, and the directory accounts for every stored value.
+    ///
+    /// This is the detection point for mask bit flips and value
+    /// corruption/truncation faults: any of those breaks at least one
+    /// of these checks.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let mut consumed = 0usize;
+        for (idx, entry) in self.directory.entries().iter().enumerate() {
+            if entry.mask.len() != self.chunk_size {
+                return Err(TensorError::ChunkWidthMismatch {
+                    chunk: idx,
+                    expected: self.chunk_size,
+                    actual: entry.mask.len(),
+                });
+            }
+            entry.mask.validate()?;
+            if entry.value_ptr != consumed {
+                return Err(TensorError::DirectoryGap {
+                    chunk: idx,
+                    expected_ptr: consumed,
+                    found_ptr: entry.value_ptr,
+                });
+            }
+            let needed = entry.value_ptr + entry.mask.count_ones();
+            if needed > self.values.len() {
+                return Err(TensorError::PointerOutOfBounds {
+                    chunk: idx,
+                    needed,
+                    available: self.values.len(),
+                });
+            }
+            for (i, &v) in self.values[entry.value_ptr..needed].iter().enumerate() {
+                if v == 0.0 {
+                    return Err(TensorError::ZeroPackedValue {
+                        index: entry.value_ptr + i,
+                    });
+                }
+                if !v.is_finite() {
+                    return Err(TensorError::NonFiniteValue {
+                        index: entry.value_ptr + i,
+                    });
+                }
+            }
+            consumed = needed;
+        }
+        if consumed != self.values.len() {
+            return Err(TensorError::TrailingValues {
+                consumed,
+                total: self.values.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fault hook: flips bit `bit` of directory entry `entry`'s mask.
+    ///
+    /// Any single-bit flip desynchronizes the mask popcount from the
+    /// packed value count, so [`SparseTensor3::validate`] is guaranteed
+    /// to reject the tensor afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` or `bit` is out of range.
+    pub fn flip_mask_bit(&mut self, entry: usize, bit: usize) {
+        let e = &mut self.directory.entries_mut()[entry];
+        let cur = e.mask.get(bit);
+        e.mask.set(bit, !cur);
+    }
+
+    /// Fault hook: overwrites packed value `index` with `value`
+    /// (e.g. `0.0` or NaN to model a corrupted word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn corrupt_value(&mut self, index: usize, value: f32) {
+        self.values[index] = value;
+    }
+
+    /// Fault hook: truncates the packed value store to `keep` values,
+    /// leaving directory pointers past the end dangling.
+    pub fn truncate_values(&mut self, keep: usize) {
+        self.values.truncate(keep);
     }
 
     /// Decodes back to a dense tensor.
@@ -254,5 +366,88 @@ mod tests {
         let sparse = SparseTensor3::from_dense(&Tensor3::zeros(4, 2, 2), 4);
         assert_eq!(sparse.nnz(), 0);
         assert_eq!(sparse.to_dense(), Tensor3::zeros(4, 2, 2));
+    }
+
+    #[test]
+    fn validate_accepts_clean_tensors() {
+        let sparse = SparseTensor3::from_dense(&sample(6, 3, 3), 4);
+        assert_eq!(sparse.validate(), Ok(()));
+        assert_eq!(SparseTensor3::from_dense(&Tensor3::zeros(4, 2, 2), 4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn any_mask_bit_flip_is_detected() {
+        use crate::error::TensorError;
+        let clean = SparseTensor3::from_dense(&sample(6, 2, 2), 4);
+        for entry in 0..clean.directory().len() {
+            for bit in 0..4 {
+                let mut t = clean.clone();
+                t.flip_mask_bit(entry, bit);
+                let err = t.validate().unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        TensorError::DirectoryGap { .. }
+                            | TensorError::PointerOutOfBounds { .. }
+                            | TensorError::TrailingValues { .. }
+                            | TensorError::ZeroPackedValue { .. }
+                    ),
+                    "flip of entry {entry} bit {bit} must be detected, got {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_corruption_and_truncation_are_detected() {
+        use crate::error::TensorError;
+        let clean = SparseTensor3::from_dense(&sample(6, 2, 2), 4);
+        assert!(clean.nnz() > 1);
+
+        let mut zeroed = clean.clone();
+        zeroed.corrupt_value(0, 0.0);
+        assert!(matches!(zeroed.validate(), Err(TensorError::ZeroPackedValue { index: 0 })));
+
+        let mut nan = clean.clone();
+        nan.corrupt_value(1, f32::NAN);
+        assert!(matches!(nan.validate(), Err(TensorError::NonFiniteValue { index: 1 })));
+
+        let mut cut = clean.clone();
+        cut.truncate_values(clean.nnz() - 1);
+        assert!(matches!(
+            cut.validate(),
+            Err(TensorError::PointerOutOfBounds { .. }) | Err(TensorError::TrailingValues { .. })
+        ));
+    }
+
+    #[test]
+    fn try_fiber_chunk_matches_fiber_chunk_when_clean() {
+        let sparse = SparseTensor3::from_dense(&sample(6, 2, 2), 4);
+        for x in 0..2 {
+            for y in 0..2 {
+                for c in 0..sparse.chunks_per_fiber() {
+                    assert_eq!(sparse.try_fiber_chunk(x, y, c).unwrap(), sparse.fiber_chunk(x, y, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_fiber_chunk_reports_dangling_pointer() {
+        use crate::error::TensorError;
+        let mut sparse = SparseTensor3::from_dense(&sample(6, 2, 2), 4);
+        sparse.truncate_values(0);
+        let mut saw_err = false;
+        for x in 0..2 {
+            for y in 0..2 {
+                for c in 0..sparse.chunks_per_fiber() {
+                    if let Err(e) = sparse.try_fiber_chunk(x, y, c) {
+                        assert!(matches!(e, TensorError::PointerOutOfBounds { .. }));
+                        saw_err = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_err);
     }
 }

@@ -7,6 +7,7 @@
 //! chunk zero-padded to a full chunk as §3.1 prescribes.
 
 use crate::chunk::SparseChunk;
+use crate::error::TensorError;
 
 /// A sparse vector stored as consecutive fixed-size chunks.
 ///
@@ -74,6 +75,40 @@ impl SparseVector {
             chunk_size,
             logical_len,
         }
+    }
+
+    /// Fallible [`SparseVector::from_chunks`] for load paths: checks the
+    /// container invariants *and* validates every chunk, returning a
+    /// typed error instead of panicking on corrupted input.
+    pub fn try_from_chunks(
+        chunks: Vec<SparseChunk>,
+        chunk_size: usize,
+        logical_len: usize,
+    ) -> Result<Self, TensorError> {
+        for (i, c) in chunks.iter().enumerate() {
+            if c.len() != chunk_size {
+                return Err(TensorError::ChunkWidthMismatch {
+                    chunk: i,
+                    expected: chunk_size,
+                    actual: c.len(),
+                });
+            }
+            c.validate()?;
+        }
+        let fits = chunks.len() * chunk_size >= logical_len;
+        let last_needed = logical_len > chunks.len().saturating_sub(1) * chunk_size;
+        if !fits || !last_needed {
+            return Err(TensorError::BadLogicalLength {
+                chunks: chunks.len(),
+                chunk_size,
+                logical_len,
+            });
+        }
+        Ok(SparseVector {
+            chunks,
+            chunk_size,
+            logical_len,
+        })
     }
 
     /// An all-zero vector of `logical_len` positions.
@@ -227,6 +262,23 @@ mod tests {
     fn chunk_densities_reports_per_chunk() {
         let v = SparseVector::from_dense(&[1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0], 4);
         assert_eq!(v.chunk_densities(), vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn try_from_chunks_accepts_valid() {
+        let src = SparseVector::from_dense(&[1.0, 0.0, 2.0, 0.0, 3.0], 2);
+        let rebuilt =
+            SparseVector::try_from_chunks(src.chunks().to_vec(), 2, src.logical_len()).unwrap();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn try_from_chunks_rejects_bad_width_and_length() {
+        let chunks = vec![SparseChunk::from_dense(&[1.0, 0.0])];
+        let err = SparseVector::try_from_chunks(chunks.clone(), 4, 2).unwrap_err();
+        assert!(matches!(err, TensorError::ChunkWidthMismatch { chunk: 0, .. }));
+        let err = SparseVector::try_from_chunks(chunks, 2, 5).unwrap_err();
+        assert!(matches!(err, TensorError::BadLogicalLength { .. }));
     }
 
     #[test]

@@ -34,4 +34,10 @@ cargo run -q --release -p sparten-harness -- \
 test -s "$SMOKE_TEL/fig10_alexnet_breakdown.json"
 cargo run -q --release -p sparten-harness -- report --telemetry-dir "$SMOKE_TEL"
 
+echo "== fault-campaign smoke (seeded, zero silently-wrong) =="
+# The faults command exits non-zero on any silently-wrong or crashed
+# trial; grep the coverage footer as a belt-and-braces assertion.
+cargo run -q --release -p sparten-harness -- faults --seed 1 --quick \
+  | tee /dev/stderr | grep -q "0 silently-wrong, 0 crashed"
+
 echo "verify: OK"
