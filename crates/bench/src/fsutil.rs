@@ -1,0 +1,89 @@
+//! Crash-safe filesystem helpers shared by the experiment drivers and the
+//! orchestration harness.
+//!
+//! Everything the evaluation writes under `results/` goes through
+//! [`atomic_write`]: the contents land in a `*.tmp` sibling first, are
+//! fsync'd, and are renamed into place, so a kill at any instant leaves
+//! either the old file, the new file, or an orphaned `*.tmp` — never a
+//! half-written artifact that a later run (or a human) silently trusts.
+//! Orphaned temp files are swept by `sparten-harness clean` and flagged by
+//! `sparten-harness fsck`.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Atomically replaces the file at `path` with `contents`, creating parent
+/// directories as needed.
+///
+/// The write goes to `<filename>.tmp` in the same directory (same
+/// filesystem, so the rename is atomic), the temp file is flushed and
+/// fsync'd before the rename, and the parent directory is fsync'd after it
+/// so the new directory entry survives a power cut.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p)?;
+            Some(p)
+        }
+        _ => None,
+    };
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    file_name.push(".tmp");
+    let tmp = path.with_file_name(file_name);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = parent {
+        // Directory fsync is advisory on some filesystems; a failure there
+        // does not un-write the data.
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sparten-fsutil-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_parents_and_replaces() {
+        let dir = scratch("basic");
+        let path = dir.join("nested/out.json");
+        atomic_write(&path, "[1]").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "[1]");
+        atomic_write(&path, "[2]").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "[2]");
+        // No temp residue after a successful write.
+        let leftovers: Vec<_> = fs::read_dir(dir.join("nested"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn atomic_write_rejects_directory_targets() {
+        assert!(atomic_write("/", "x").is_err());
+    }
+}

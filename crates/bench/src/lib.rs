@@ -10,6 +10,7 @@
 
 pub mod exps;
 pub mod experiments;
+pub mod fsutil;
 pub mod json;
 pub mod registry;
 pub mod sink;
@@ -20,6 +21,7 @@ pub use experiments::{
     dump_json, geomean_excluding, network_config, print_breakdown_figure, print_speedup_figure,
     run_layer, run_layer_telemetry, run_network, LayerResult, SEED,
 };
+pub use fsutil::atomic_write;
 pub use registry::{all_experiments, ExperimentKind, ExperimentSpec};
 pub use sink::{artifact, begin_capture, end_capture, Capture};
 pub use tables::{print_series, print_table};

@@ -97,10 +97,9 @@ pub fn artifact(path: &str, contents: &str) {
         }
     });
     if !captured {
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        if std::fs::write(path, contents).is_ok() {
+        // Atomic (tmp + fsync + rename) so a kill mid-experiment can never
+        // leave a half-written artifact behind.
+        if crate::fsutil::atomic_write(path, contents).is_ok() {
             eprintln!("(wrote {path})");
         }
     }

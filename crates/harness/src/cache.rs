@@ -123,8 +123,10 @@ impl Cache {
     }
 
     /// Stores `payload` under `key`, creating the cache directory if
-    /// needed. Interrupted writes cannot corrupt a warm cache: the entry is
-    /// written to a temporary file first and renamed into place.
+    /// needed. Interrupted writes cannot corrupt a warm cache: the entry
+    /// goes through [`sparten_bench::atomic_write`] (temp sibling + fsync +
+    /// rename), so a kill leaves either the old entry, the new entry, or a
+    /// sweepable `*.tmp` — never a torn file.
     pub fn store(
         &self,
         name: &str,
@@ -132,11 +134,8 @@ impl Cache {
         key: u64,
         payload: &PointPayload,
     ) -> io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(name, point, key);
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, serialize_entry(key, payload))?;
-        fs::rename(&tmp, &path)
+        sparten_bench::atomic_write(path, &serialize_entry(key, payload))
     }
 
     /// Removes orphaned `*.tmp` files left behind by interrupted
@@ -160,28 +159,75 @@ impl Cache {
         Ok(swept)
     }
 
-    /// Removes every cache entry (and stray temp file); returns how many
-    /// files were deleted. Missing directory counts as already clean.
-    pub fn clean(&self) -> io::Result<usize> {
-        let mut removed = 0;
+    /// Removes every cache entry (and stray temp file); returns per-category
+    /// deletion counts. Missing directory counts as already clean.
+    pub fn clean(&self) -> io::Result<CleanCounts> {
+        let mut counts = CleanCounts::default();
         let entries = match fs::read_dir(&self.dir) {
             Ok(e) => e,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(counts),
             Err(e) => return Err(e),
         };
         for entry in entries {
             let path = entry?.path();
-            let ext = path.extension().and_then(|e| e.to_str());
-            if matches!(ext, Some("cache") | Some("tmp")) {
-                fs::remove_file(&path)?;
-                removed += 1;
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("cache") => {
+                    fs::remove_file(&path)?;
+                    counts.entries += 1;
+                }
+                Some("tmp") => {
+                    fs::remove_file(&path)?;
+                    counts.tmp += 1;
+                }
+                _ => {}
             }
         }
-        Ok(removed)
+        Ok(counts)
     }
 }
 
-fn serialize_entry(key: u64, payload: &PointPayload) -> String {
+/// What [`Cache::clean`] deleted, by category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanCounts {
+    /// Completed `*.cache` entries.
+    pub entries: usize,
+    /// Orphaned `*.tmp` files from interrupted writers.
+    pub tmp: usize,
+}
+
+impl CleanCounts {
+    /// Total files removed.
+    pub fn total(&self) -> usize {
+        self.entries + self.tmp
+    }
+}
+
+/// Splits a cache entry file name (`<job>.p<point>.<key:016x>.cache`) into
+/// its components. Returns `None` for names the cache never produces —
+/// `fsck` treats those as foreign files, not corrupt entries.
+pub fn parse_entry_filename(file_name: &str) -> Option<(&str, usize, u64)> {
+    let stem = file_name.strip_suffix(".cache")?;
+    let (rest, key_hex) = stem.rsplit_once('.')?;
+    if key_hex.len() != 16 {
+        return None;
+    }
+    let key = u64::from_str_radix(key_hex, 16).ok()?;
+    let (name, point_part) = rest.rsplit_once('.')?;
+    let point: usize = point_part.strip_prefix('p')?.parse().ok()?;
+    Some((name, point, key))
+}
+
+/// Whether `text` is a well-formed entry for `expect_key`: magic, key, and
+/// whole-body checksum all verify and the payload parses. This is the same
+/// judgment [`Cache::lookup`] makes, exposed so `fsck` can audit entry
+/// files in place.
+pub fn verify_entry_text(text: &str, expect_key: u64) -> bool {
+    parse_entry(text, expect_key).is_some()
+}
+
+/// Serializes a payload into the length-prefixed body format shared by
+/// cache entries and the write-ahead run journal.
+pub fn serialize_payload(payload: &PointPayload) -> String {
     let mut body = String::new();
     match payload {
         PointPayload::Record(blob) => {
@@ -199,6 +245,19 @@ fn serialize_entry(key: u64, payload: &PointPayload) -> String {
             }
         }
     }
+    body
+}
+
+/// Parses a [`serialize_payload`] body back. The whole text must be
+/// consumed — trailing bytes mean truncated-then-glued data, not a payload.
+pub fn parse_payload(text: &str) -> Option<PointPayload> {
+    let mut c = Cursor { rest: text };
+    let payload = parse_payload_at(&mut c)?;
+    c.rest.is_empty().then_some(payload)
+}
+
+fn serialize_entry(key: u64, payload: &PointPayload) -> String {
+    let body = serialize_payload(payload);
     // The checksum covers the whole body (everything after the `sum=`
     // line), so a flipped bit or lost tail anywhere in the entry is caught
     // at parse time rather than surfacing as a wrong cached result.
@@ -247,6 +306,10 @@ fn parse_entry(text: &str, expect_key: u64) -> Option<PointPayload> {
     if fnv1a_parts(&[c.rest]) != sum {
         return None;
     }
+    parse_payload_at(&mut c)
+}
+
+fn parse_payload_at(c: &mut Cursor<'_>) -> Option<PointPayload> {
     match c.field("kind=")? {
         "record" => {
             let len: usize = c.field("len=")?.parse().ok()?;
@@ -423,13 +486,45 @@ mod tests {
     #[test]
     fn clean_removes_entries_and_tolerates_missing_dir() {
         let cache = tmp_cache("clean");
-        assert_eq!(cache.clean().unwrap(), 0);
+        assert_eq!(cache.clean().unwrap().total(), 0);
         let key = Cache::key("exp", "fp", 2019, 0);
         cache
             .store("exp", 0, key, &PointPayload::Record("x\n".into()))
             .unwrap();
-        assert_eq!(cache.clean().unwrap(), 1);
+        fs::write(cache.dir().join("stray.tmp"), "partial").unwrap();
+        let counts = cache.clean().unwrap();
+        assert_eq!(counts, CleanCounts { entries: 1, tmp: 1 });
         assert!(cache.load("exp", 0, key).is_none());
         let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entry_filenames_parse_back_to_their_components() {
+        let cache = tmp_cache("filename");
+        let key = Cache::key("fig7_alexnet_speedup", "fp", 2019, 3);
+        let path = cache.entry_file("fig7_alexnet_speedup", 3, key);
+        let file_name = path.file_name().unwrap().to_str().unwrap();
+        assert_eq!(
+            parse_entry_filename(file_name),
+            Some(("fig7_alexnet_speedup", 3, key))
+        );
+        assert_eq!(parse_entry_filename("notacache.txt"), None);
+        assert_eq!(parse_entry_filename("x.p000.zz.cache"), None);
+    }
+
+    #[test]
+    fn payloads_roundtrip_outside_the_cache() {
+        for payload in [
+            PointPayload::Record("r1\nr2\n".into()),
+            PointPayload::Capture(Capture {
+                text: "body\n".into(),
+                artifacts: vec![("results/x.json".into(), "[]".into())],
+            }),
+        ] {
+            let body = serialize_payload(&payload);
+            assert_eq!(parse_payload(&body), Some(payload.clone()));
+            // Trailing garbage is rejected, not silently ignored.
+            assert_eq!(parse_payload(&format!("{body}junk")), None);
+        }
     }
 }

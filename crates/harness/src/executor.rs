@@ -22,14 +22,15 @@
 //! and listed in `results/failures.json`, but every other job still runs
 //! to completion and renders byte-identical output to a clean run.
 
-use crate::cache::{Cache, Lookup};
+use crate::cache::{self, Cache, Lookup};
+use crate::journal::{self, Journal, JournalJob, Record, StartRecord};
 use crate::{Experiment, PointPayload};
 use sparten_bench::json::Json;
-use sparten_bench::ExperimentKind;
-use sparten_telemetry::{chrome_trace, text_report, Telemetry};
+use sparten_bench::{atomic_write, ExperimentKind};
+use sparten_telemetry::{chrome_trace, export_session, import_session, text_report, Telemetry};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -74,6 +75,27 @@ pub struct RunOptions {
     /// point exhausts its attempts. A clean run removes a stale report at
     /// this path. `None` skips the report entirely (tests).
     pub failures_path: Option<std::path::PathBuf>,
+    /// Directory for the write-ahead run journal (conventionally
+    /// `results/journal/`). `None` disables journaling — runs are then not
+    /// resumable after a crash (unit tests that don't exercise recovery).
+    pub journal_dir: Option<std::path::PathBuf>,
+    /// Resume from this journal: replay its completed points, verify its
+    /// pinned options and registry fingerprint against this run's, and
+    /// compute only what is missing. The journal keeps growing in place.
+    pub resume: Option<std::path::PathBuf>,
+    /// Run id override (the journal file stem). `None` generates one from
+    /// wall clock and pid.
+    pub run_id: Option<String>,
+    /// Cooperative-shutdown flag (see [`crate::signal`]): `0` run, `>= 1`
+    /// drain — stop dispatching, let in-flight points finish up to
+    /// [`drain_timeout`](Self::drain_timeout), journal a clean shutdown.
+    pub shutdown: Option<Arc<AtomicUsize>>,
+    /// How long a drain waits for in-flight points before abandoning them.
+    pub drain_timeout: Duration,
+    /// Crash-test hook: return with an error — no shutdown record, no
+    /// artifacts, journal left dangling, exactly like a `kill -9` — after
+    /// this many points have been computed and journaled.
+    pub abort_after: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -89,6 +111,12 @@ impl Default for RunOptions {
             max_attempts: 2,
             point_timeout: None,
             failures_path: Some("results/failures.json".into()),
+            journal_dir: Some("results/journal".into()),
+            resume: None,
+            run_id: None,
+            shutdown: None,
+            drain_timeout: Duration::from_secs(30),
+            abort_after: None,
         }
     }
 }
@@ -201,6 +229,13 @@ pub struct RunReport {
     /// Failed attempts that were retried (whether or not the retry
     /// ultimately succeeded).
     pub retries: usize,
+    /// Points replayed from the resume journal instead of computed.
+    pub replayed: usize,
+    /// Whether the run drained after a signal instead of completing; the
+    /// journal was kept and the run can be resumed.
+    pub interrupted: bool,
+    /// This run's journal id (resume handle), when journaling was on.
+    pub run_id: Option<String>,
 }
 
 impl RunReport {
@@ -246,6 +281,9 @@ enum Event {
         at: Instant,
     },
     Done(Box<Done>),
+    /// A worker declined a queued task because the run is draining; the
+    /// point stays pending and the scheduler only balances its books.
+    Skipped,
 }
 
 struct JobState {
@@ -263,10 +301,14 @@ struct JobState {
 /// Runs `experiments` (filtered per `opts`) and returns per-job reports in
 /// registry order.
 ///
+/// Returns an error when a resume is unsound (journal unreadable, options
+/// or registry fingerprint mismatch), when the journal cannot be started,
+/// or when the `abort_after` crash hook fires.
+///
 /// # Panics
 ///
 /// Panics if `opts.jobs` is 0 or the dependency graph has a cycle.
-pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport {
+pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<RunReport, String> {
     assert!(opts.jobs >= 1, "--jobs must be at least 1");
     assert!(opts.max_attempts >= 1, "--retries budget must allow 1 attempt");
     let start = Instant::now();
@@ -316,25 +358,151 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
         }
     }
 
+    // The run's journaled identity: what a later resume must match.
+    let want_telemetry = opts.telemetry_dir.is_some();
+    let journal_jobs: Vec<JournalJob> = selected
+        .iter()
+        .map(|e| JournalJob {
+            name: e.name().to_string(),
+            fingerprint: e.fingerprint(),
+            points: e.num_points(),
+        })
+        .collect();
+    let registry_fp = journal::registry_fingerprint(&journal_jobs);
+
+    // Open the write-ahead journal: replay an existing one (--resume) or
+    // start a fresh one. Either way, every computed point is journaled
+    // before the scheduler acts on it.
+    let mut replayed = 0usize;
+    let mut journal: Option<Journal> = None;
+    let mut run_id: Option<String> = None;
+    if let Some(path) = &opts.resume {
+        let replay = journal::replay(path)?;
+        if replay.ended {
+            return Err(format!(
+                "{} belongs to a run that already completed; nothing to resume",
+                path.display()
+            ));
+        }
+        let s = &replay.start;
+        let mismatch = |what: &str, journaled: &str, now: &str| {
+            format!(
+                "cannot resume {}: {what} changed since the journal was written \
+                 (journaled {journaled}, now {now}); rerun without --resume",
+                path.display()
+            )
+        };
+        let fmt_filter = |f: &Option<String>| f.clone().unwrap_or_else(|| "<none>".into());
+        if s.filter != opts.filter {
+            return Err(mismatch("--filter", &fmt_filter(&s.filter), &fmt_filter(&opts.filter)));
+        }
+        if s.force != opts.force {
+            return Err(mismatch("--force", &s.force.to_string(), &opts.force.to_string()));
+        }
+        if s.telemetry != want_telemetry {
+            return Err(mismatch(
+                "--telemetry",
+                &s.telemetry.to_string(),
+                &want_telemetry.to_string(),
+            ));
+        }
+        if s.seed != crate::SEED {
+            return Err(mismatch("the workload seed", &s.seed.to_string(), &crate::SEED.to_string()));
+        }
+        if s.registry_fp != registry_fp || s.jobs != journal_jobs {
+            return Err(mismatch("the experiment registry", &s.registry_fp, &registry_fp));
+        }
+        for (job_name, point, payload_body, telemetry_text) in &replay.points {
+            let Some(&job) = index.get(job_name.as_str()) else {
+                continue;
+            };
+            if *point >= states[job].points.len() {
+                continue;
+            }
+            let Some(payload) = cache::parse_payload(payload_body) else {
+                // Journal entries are fsync'd whole; an unparseable payload
+                // is damage, but a recompute fixes it, so warn and move on.
+                eprintln!(
+                    "warning: journaled payload for {job_name} point {point} \
+                     does not parse; recomputing"
+                );
+                continue;
+            };
+            if !selected[job].validate(*point, &payload) {
+                continue;
+            }
+            if states[job].points[*point].is_none() {
+                states[job].pending_points -= 1;
+                replayed += 1;
+            }
+            states[job].points[*point] = Some(payload);
+            if want_telemetry {
+                states[job].telemetry[*point] = telemetry_text.as_deref().and_then(|text| {
+                    import_session(text)
+                        .map_err(|e| {
+                            eprintln!(
+                                "warning: journaled telemetry for {job_name} point {point} \
+                                 does not parse: {e}"
+                            )
+                        })
+                        .ok()
+                });
+            }
+        }
+        journal = Some(
+            Journal::reopen(path)
+                .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?,
+        );
+        run_id = Some(s.run_id.clone());
+    } else if let Some(dir) = &opts.journal_dir {
+        let id = opts.run_id.clone().unwrap_or_else(journal::generate_run_id);
+        let record = StartRecord {
+            run_id: id.clone(),
+            filter: opts.filter.clone(),
+            force: opts.force,
+            telemetry: want_telemetry,
+            seed: crate::SEED,
+            registry_fp,
+            jobs: journal_jobs,
+        };
+        journal = Some(
+            Journal::create(dir, &record)
+                .map_err(|e| format!("cannot start run journal in {}: {e}", dir.display()))?,
+        );
+        run_id = Some(id);
+    }
+
     // Worker pool over a shared task queue. `spawn_worker` is kept around
     // so the watchdog can replace a worker written off as hung.
     let (task_tx, task_rx) = mpsc::channel::<Task>();
     let task_rx = Arc::new(Mutex::new(task_rx));
     let (event_tx, event_rx) = mpsc::channel::<Event>();
-    let want_telemetry = opts.telemetry_dir.is_some();
     let spawn_worker = {
         let task_rx = Arc::clone(&task_rx);
         let event_tx = event_tx.clone();
         let selected = selected.clone();
+        let shutdown = opts.shutdown.clone();
         move || {
             let rx = Arc::clone(&task_rx);
             let tx = event_tx.clone();
             let exps: Vec<Arc<dyn Experiment>> = selected.clone();
+            let shutdown = shutdown.clone();
             thread::spawn(move || loop {
                 let task = match rx.lock().expect("task queue").recv() {
                     Ok(t) => t,
                     Err(_) => break,
                 };
+                // A draining run computes nothing new: queued tasks bounce
+                // back so the scheduler's books balance without the work.
+                if shutdown
+                    .as_ref()
+                    .is_some_and(|f| f.load(Ordering::SeqCst) >= 1)
+                {
+                    if tx.send(Event::Skipped).is_err() {
+                        break;
+                    }
+                    continue;
+                }
                 let t0 = Instant::now();
                 if tx
                     .send(Event::Started {
@@ -393,6 +561,9 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
         let exp = &selected[job];
         let fp = exp.fingerprint();
         for point in 0..exp.num_points() {
+            if states[job].points[point].is_some() {
+                continue; // replayed from the resume journal
+            }
             let key = Cache::key(exp.name(), &fp, crate::SEED, point);
             let hit = if use_cache {
                 match cache.lookup(exp.name(), point, key) {
@@ -578,6 +749,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
     // dependents as their dependencies finish.
     let mut retries = 0usize;
     let mut failures: Vec<PointFailure> = Vec::new();
+    let mut computed_points = 0usize; // journaled completions (crash hook)
     // Watchdog bookkeeping, keyed by (job, point, attempt): `inflight`
     // holds attempts a worker has started; `abandoned` remembers expired
     // attempts so their late completions (a hung worker may eventually
@@ -585,47 +757,90 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
     let mut inflight: HashMap<(usize, usize, usize), Instant> = HashMap::new();
     let mut abandoned: std::collections::HashSet<(usize, usize, usize)> =
         std::collections::HashSet::new();
+    // Graceful drain: the first signal flips the shared flag; the
+    // scheduler stops dispatching, in-flight points run to completion (up
+    // to the drain deadline), and the journal gets a clean shutdown record.
+    let mut draining = false;
+    let mut drain_deadline: Option<Instant> = None;
+    let shutdown_requested = || {
+        opts.shutdown
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::SeqCst) >= 1)
+    };
     let mut ready: Vec<usize> = (0..selected.len())
         .filter(|&i| states[i].remaining_deps == 0)
         .collect();
     while !ready.is_empty() || unfinished > 0 {
-        for job in std::mem::take(&mut ready) {
-            if schedule(job, &mut states, &mut outstanding, &mut cache_stats) {
-                let newly = finish(job, &selected, &mut states, &mut reports, &mut unfinished);
-                if want_telemetry {
-                    attach_telemetry(job, &selected, &mut states, &mut reports);
-                }
-                ready.extend(newly);
+        if !draining && shutdown_requested() {
+            draining = true;
+            drain_deadline = Some(Instant::now() + opts.drain_timeout);
+            ready.clear(); // nothing new starts
+            eprintln!(
+                "\nshutdown requested: draining {outstanding} dispatched point(s) \
+                 (second signal aborts immediately)"
+            );
+        }
+        if draining {
+            if outstanding == 0 {
+                break;
             }
+            if drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                eprintln!("drain deadline passed: abandoning {outstanding} in-flight point(s)");
+                break;
+            }
+        } else {
+            for job in std::mem::take(&mut ready) {
+                if schedule(job, &mut states, &mut outstanding, &mut cache_stats) {
+                    let newly =
+                        finish(job, &selected, &mut states, &mut reports, &mut unfinished);
+                    if want_telemetry {
+                        attach_telemetry(job, &selected, &mut states, &mut reports);
+                    }
+                    ready.extend(newly);
+                }
+            }
+            if !ready.is_empty() {
+                continue; // fully-cached chains resolve without touching workers
+            }
+            if unfinished == 0 {
+                break;
+            }
+            assert!(
+                outstanding > 0,
+                "dependency cycle: jobs remain but nothing is runnable"
+            );
         }
-        if !ready.is_empty() {
-            continue; // fully-cached chains resolve without touching workers
-        }
-        if unfinished == 0 {
-            break;
-        }
-        assert!(
-            outstanding > 0,
-            "dependency cycle: jobs remain but nothing is runnable"
-        );
 
-        // Receive the next worker event. With a watchdog configured, wait
-        // only until the earliest inflight deadline; on expiry, write the
-        // overdue attempts off and loop (replacement workers keep queued
-        // tasks moving even if every original worker is hung).
-        let mut check_jobs: Vec<usize> = Vec::new();
-        let event = if let Some(timeout) = opts.point_timeout {
-            let mut got = None;
-            while got.is_none() {
+        // Receive the next worker event. The wait is bounded by the
+        // earliest watchdog deadline (so overdue points are written off
+        // promptly) and, when a shutdown flag exists, a polling interval
+        // (so a signal is noticed between events).
+        let wait = {
+            let watchdog = opts.point_timeout.map(|timeout| {
                 let now = Instant::now();
-                let wait = inflight
+                inflight
                     .values()
                     .map(|&at| (at + timeout).saturating_duration_since(now))
                     .min()
-                    .unwrap_or(timeout);
-                match event_rx.recv_timeout(wait.max(Duration::from_millis(1))) {
-                    Ok(ev) => got = Some(ev),
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                    .unwrap_or(timeout)
+            });
+            let poll = (opts.shutdown.is_some() || draining)
+                .then_some(Duration::from_millis(50));
+            match (watchdog, poll) {
+                (Some(w), Some(p)) => Some(w.min(p)),
+                (Some(w), None) => Some(w),
+                (None, p) => p,
+            }
+        };
+        let mut check_jobs: Vec<usize> = Vec::new();
+        let event = match wait {
+            None => Some(event_rx.recv().expect("workers alive")),
+            Some(wait) => match event_rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                Ok(ev) => Some(ev),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Write off overdue attempts; replacement workers keep
+                    // queued tasks moving even if every original is hung.
+                    if let Some(timeout) = opts.point_timeout {
                         let now = Instant::now();
                         let overdue: Vec<(usize, usize, usize)> = inflight
                             .iter()
@@ -638,12 +853,16 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                             abandoned.insert(key);
                             outstanding -= 1;
                             workers.push(spawn_worker());
+                            let msg = format!("exceeded point deadline of {timeout:?}");
+                            journal_fail(
+                                &mut journal, &selected, job, point, attempt, "timeout", &msg,
+                            );
                             let quarantined = fail_attempt(
                                 job,
                                 point,
                                 attempt,
                                 "timeout",
-                                format!("exceeded point deadline of {timeout:?}"),
+                                msg,
                                 opts.max_attempts,
                                 &selected,
                                 &mut states,
@@ -657,17 +876,12 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                             }
                         }
                     }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        unreachable!("workers alive")
-                    }
+                    None
                 }
-                if !check_jobs.is_empty() {
-                    break; // let quarantined jobs finish before blocking again
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("workers alive")
                 }
-            }
-            got
-        } else {
-            Some(event_rx.recv().expect("workers alive"))
+            },
         };
 
         match event {
@@ -677,6 +891,16 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                 attempt,
                 at,
             }) => {
+                if let Some(j) = journal.as_mut() {
+                    let record = Record::Attempt {
+                        job: selected[job].name().to_string(),
+                        point,
+                        attempt,
+                    };
+                    if let Err(e) = j.append(&record) {
+                        eprintln!("warning: journal write failed: {e}");
+                    }
+                }
                 inflight.insert((job, point, attempt), at);
             }
             Some(Event::Done(done)) => {
@@ -694,6 +918,31 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                     Ok(payload) => {
                         state.pending_points -= 1;
                         let exp = &selected[done.job];
+                        // Write-ahead: the journal entry is fsync'd before
+                        // the cache or the scheduler state sees the point,
+                        // so a crash at any instant can lose work but never
+                        // record work that did not happen.
+                        if let Some(j) = journal.as_mut() {
+                            let record = Record::Point {
+                                job: exp.name().to_string(),
+                                point: done.point,
+                                payload: cache::serialize_payload(&payload),
+                                telemetry: done.telemetry.as_ref().map(export_session),
+                            };
+                            if let Err(e) = j.append(&record) {
+                                eprintln!("warning: journal write failed: {e}");
+                            }
+                        }
+                        computed_points += 1;
+                        if opts.abort_after == Some(computed_points) {
+                            // Crash-test hook: vanish right after the
+                            // journal fsync, the worst-legal crash point —
+                            // no artifacts, no cache entry for this point,
+                            // no shutdown record, journal left dangling.
+                            return Err(format!(
+                                "aborted by crash hook after {computed_points} computed point(s)"
+                            ));
+                        }
                         let key =
                             Cache::key(exp.name(), &exp.fingerprint(), crate::SEED, done.point);
                         if let Err(e) = cache.store(exp.name(), done.point, key, &payload) {
@@ -704,6 +953,15 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                         check_jobs.push(done.job);
                     }
                     Err(msg) => {
+                        journal_fail(
+                            &mut journal,
+                            &selected,
+                            done.job,
+                            done.point,
+                            done.attempt,
+                            "panic",
+                            &msg,
+                        );
                         let quarantined = fail_attempt(
                             done.job,
                             done.point,
@@ -724,7 +982,10 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
                     }
                 }
             }
-            None => {} // watchdog fired; quarantined jobs are in check_jobs
+            Some(Event::Skipped) => {
+                outstanding -= 1; // the point stays pending for --resume
+            }
+            None => {} // timeout tick; quarantined jobs are in check_jobs
         }
 
         for job in check_jobs {
@@ -747,14 +1008,44 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
     }
 
     drop(task_tx);
-    if abandoned.is_empty() {
+    if abandoned.is_empty() && outstanding == 0 {
         for w in workers {
             let _ = w.join();
         }
     }
-    // With abandoned attempts, some workers may be hung forever; joining
-    // would deadlock the scheduler on a thread that cannot finish. They are
-    // detached instead — the process exits normally and reaps them.
+    // With abandoned attempts (watchdog write-offs or a drain deadline),
+    // some workers may be hung forever; joining would deadlock the
+    // scheduler on a thread that cannot finish. They are detached instead —
+    // the process exits normally and reaps them.
+
+    let interrupted = draining;
+    if interrupted {
+        if let Some(j) = journal.as_mut() {
+            if let Err(e) = j.append(&Record::Shutdown {
+                reason: "signal".to_string(),
+            }) {
+                eprintln!("warning: journal write failed: {e}");
+            }
+        }
+        // Jobs the drain cut short get stub reports: no output, no
+        // artifacts. Their completed points live in the journal, which is
+        // kept on disk as the --resume handle.
+        for (i, slot) in reports.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(JobReport {
+                    name: selected[i].name(),
+                    kind: selected[i].kind(),
+                    points: selected[i].num_points(),
+                    cache_hits: states[i].cache_hits,
+                    wall: states[i].compute_time,
+                    output: String::new(),
+                    artifacts: Vec::new(),
+                    error: Some("interrupted by shutdown before completion".to_string()),
+                    telemetry: None,
+                });
+            }
+        }
+    }
 
     let jobs: Vec<JobReport> = reports.into_iter().map(|r| r.expect("finished")).collect();
     if opts.write_artifacts {
@@ -765,16 +1056,12 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
         }
     }
     if let Some(dir) = &opts.telemetry_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("warning: could not create {}: {e}", dir.display());
-        } else {
-            for job in &jobs {
-                if let Some(t) = &job.telemetry {
-                    for (ext, contents) in [("json", &t.chrome_json), ("txt", &t.report_text)] {
-                        let path = dir.join(format!("{}.{ext}", job.name));
-                        if let Err(e) = std::fs::write(&path, contents) {
-                            eprintln!("warning: could not write {}: {e}", path.display());
-                        }
+        for job in &jobs {
+            if let Some(t) = &job.telemetry {
+                for (ext, contents) in [("json", &t.chrome_json), ("txt", &t.report_text)] {
+                    let path = dir.join(format!("{}.{ext}", job.name));
+                    if let Err(e) = atomic_write(&path, contents) {
+                        eprintln!("warning: could not write {}: {e}", path.display());
                     }
                 }
             }
@@ -783,24 +1070,61 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport 
     if let Some(path) = &opts.failures_path {
         if failures.is_empty() {
             // A clean run must not leave a stale quarantine report behind.
-            let _ = std::fs::remove_file(path);
+            // An interrupted run proved nothing and leaves it alone.
+            if !interrupted {
+                let _ = std::fs::remove_file(path);
+            }
         } else {
             let json = Json::Arr(failures.iter().map(PointFailure::to_json).collect());
-            if let Some(parent) = path.parent() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            if let Err(e) = std::fs::write(path, json.pretty() + "\n") {
+            if let Err(e) = atomic_write(path, &(json.pretty() + "\n")) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
     }
-    RunReport {
+    if let Some(j) = journal.take() {
+        if interrupted {
+            drop(j); // the journal outlives the run: it is the resume handle
+        } else {
+            let status = if failures.is_empty() { "ok" } else { "degraded" };
+            if let Err(e) = j.seal(status) {
+                eprintln!("warning: could not seal run journal: {e}");
+            }
+        }
+    }
+    Ok(RunReport {
         jobs,
         elapsed: start.elapsed(),
         workers: opts.jobs,
         cache: cache_stats,
         failures,
         retries,
+        replayed,
+        interrupted,
+        run_id,
+    })
+}
+
+/// Appends a `fail` record, tolerating (but reporting) journal I/O errors.
+fn journal_fail(
+    journal: &mut Option<Journal>,
+    selected: &[Arc<dyn Experiment>],
+    job: usize,
+    point: usize,
+    attempt: usize,
+    kind: &str,
+    message: &str,
+) {
+    if let Some(j) = journal.as_mut() {
+        let record = Record::Fail {
+            job: selected[job].name().to_string(),
+            point,
+            attempt,
+            kind: kind.to_string(),
+            message: message.to_string(),
+        };
+        if let Err(e) = j.append(&record) {
+            eprintln!("warning: journal write failed: {e}");
+        }
     }
 }
 
@@ -816,11 +1140,9 @@ fn emit_ready(cursor: &mut usize, reports: &[Option<JobReport>]) {
 }
 
 fn write_artifact(path: &str, contents: &str) {
-    let p = Path::new(path);
-    if let Some(parent) = p.parent() {
-        let _ = std::fs::create_dir_all(parent);
-    }
-    if let Err(e) = std::fs::write(p, contents) {
+    // Atomic (temp sibling + fsync + rename): a kill mid-run can never
+    // leave a half-written `results/*.json` that a reader would trust.
+    if let Err(e) = atomic_write(path, contents) {
         eprintln!("warning: could not write {path}: {e}");
     }
 }

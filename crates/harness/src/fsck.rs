@@ -1,0 +1,456 @@
+//! `harness fsck`: an offline auditor for the results tree.
+//!
+//! A crash-only system is allowed to die at any instant, which means the
+//! on-disk state must be *checkable*: after any sequence of kills, a single
+//! pass over `results/` should say exactly what is intact, what is damage,
+//! and what is resumable. This module is that pass. It audits
+//!
+//! * **artifacts** (`results/*.json`, `results/*.txt`, and the telemetry
+//!   exports) — stems must belong to a registered experiment (or the
+//!   quarantine report), JSON must parse, text must be newline-terminated;
+//! * **cache entries** (`results/cache/*.cache`) — file names must parse
+//!   back to `(job, point, key)`, the job must still be registered, and the
+//!   entry body must verify against its key and whole-body checksum;
+//! * **journals** (`results/journal/*.jsonl`) — interior lines must parse
+//!   (a torn *final* line is legal crash damage), and a journal without an
+//!   `end` record is a resumable run the user probably wants back;
+//! * **temp droppings** (`*.tmp` anywhere) — orphans of interrupted atomic
+//!   writes.
+//!
+//! With `--repair`, damaged files are quarantined into
+//! `results/quarantine/` (never deleted — fsck destroys no evidence) and
+//! temp droppings are removed. The scan order, findings order, and report
+//! text are all deterministic: same tree in, same report out.
+
+use crate::cache;
+use sparten_bench::json::Json;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What `--repair` did about one finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Audit-only run, or the finding needs no file action.
+    None,
+    /// Moved into `results/quarantine/` under this file name.
+    Quarantined(String),
+    /// Deleted (only ever temp droppings).
+    Deleted,
+    /// The repair itself failed; the reason.
+    Failed(String),
+}
+
+/// One defect found in the results tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Defect class (kebab-case, stable): `corrupt-cache`,
+    /// `orphan-cache`, `orphan-artifact`, `truncated-artifact`,
+    /// `malformed-journal`, `dangling-journal`, `stale-journal`,
+    /// `stale-tmp`.
+    pub category: &'static str,
+    /// Path relative to the audited root.
+    pub path: String,
+    /// Human-readable diagnosis.
+    pub detail: String,
+    /// What `--repair` did.
+    pub action: Action,
+}
+
+/// The outcome of one [`fsck`] pass.
+#[derive(Debug, Clone)]
+pub struct FsckReport {
+    /// The audited root (conventionally `results/`).
+    pub root: PathBuf,
+    /// Findings sorted by `(category, path)`.
+    pub findings: Vec<Finding>,
+    /// Files examined.
+    pub scanned: usize,
+    /// Whether this pass repaired (quarantined/deleted) what it found.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Whether the tree had no defects.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Whether any resumable (dangling) journal was found.
+    pub fn has_resumable(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.category == "dangling-journal")
+    }
+
+    /// The deterministic report text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== fsck {} ==", self.root.display());
+        for f in &self.findings {
+            let action = match &f.action {
+                Action::None => String::new(),
+                Action::Quarantined(name) => format!(" [quarantined as {name}]"),
+                Action::Deleted => " [deleted]".to_string(),
+                Action::Failed(e) => format!(" [repair failed: {e}]"),
+            };
+            let _ = writeln!(out, "{:<20} {} — {}{action}", f.category, f.path, f.detail);
+        }
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned, {} finding(s){}",
+            self.scanned,
+            self.findings.len(),
+            if self.clean() { " — tree is clean" } else { "" }
+        );
+        out
+    }
+}
+
+/// Audits the results tree at `root` against the registered experiment
+/// names. With `repair`, quarantines damaged files into
+/// `root/quarantine/` and deletes temp droppings.
+///
+/// Missing directories are clean (a fresh checkout has no `results/`);
+/// only real I/O failures error.
+pub fn fsck(root: &Path, job_names: &[&str], repair: bool) -> io::Result<FsckReport> {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0usize;
+
+    // results/*.json|*.txt|*.tmp — final artifacts plus the quarantine
+    // report. Subdirectories are audited on their own terms below.
+    for path in sorted_files(root)? {
+        scanned += 1;
+        audit_artifact(root, &path, "", job_names, &mut findings);
+    }
+    for path in sorted_files(&root.join("telemetry"))? {
+        scanned += 1;
+        audit_artifact(root, &path, "telemetry/", job_names, &mut findings);
+    }
+
+    for path in sorted_files(&root.join("cache"))? {
+        scanned += 1;
+        audit_cache_entry(root, &path, job_names, &mut findings);
+    }
+
+    for path in sorted_files(&root.join("journal"))? {
+        scanned += 1;
+        audit_journal(root, &path, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (a.category, &a.path).cmp(&(b.category, &b.path)));
+    if repair {
+        for finding in &mut findings {
+            finding.action = repair_finding(root, finding);
+        }
+    }
+    Ok(FsckReport {
+        root: root.to_path_buf(),
+        findings,
+        scanned,
+        repaired: repair,
+    })
+}
+
+/// Regular files directly under `dir`, name-sorted; missing dir is empty.
+fn sorted_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            files.push(entry.path());
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel(prefix: &str, path: &Path) -> String {
+    format!(
+        "{prefix}{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+    )
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    category: &'static str,
+    path: String,
+    detail: impl Into<String>,
+) {
+    findings.push(Finding {
+        category,
+        path,
+        detail: detail.into(),
+        action: Action::None,
+    });
+}
+
+fn audit_artifact(
+    _root: &Path,
+    path: &Path,
+    prefix: &str,
+    job_names: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    let rel_path = rel(prefix, path);
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return;
+    };
+    let Some((stem, ext)) = name.rsplit_once('.') else {
+        return;
+    };
+    match ext {
+        "tmp" => push(
+            findings,
+            "stale-tmp",
+            rel_path,
+            "orphaned temp file from an interrupted atomic write",
+        ),
+        "json" | "txt" => {
+            if stem != "failures" && !job_names.contains(&stem) {
+                push(
+                    findings,
+                    "orphan-artifact",
+                    rel_path,
+                    "no registered experiment produces this file",
+                );
+                return;
+            }
+            let Ok(text) = fs::read_to_string(path) else {
+                push(findings, "truncated-artifact", rel_path, "not valid UTF-8");
+                return;
+            };
+            if ext == "json" {
+                if let Err(e) = Json::parse(&text) {
+                    push(
+                        findings,
+                        "truncated-artifact",
+                        rel_path,
+                        format!("JSON does not parse ({e})"),
+                    );
+                }
+            } else if text.is_empty() || !text.ends_with('\n') {
+                push(
+                    findings,
+                    "truncated-artifact",
+                    rel_path,
+                    "text artifact is empty or missing its final newline",
+                );
+            }
+        }
+        _ => {} // README.md and friends are not ours to judge
+    }
+}
+
+fn audit_cache_entry(
+    _root: &Path,
+    path: &Path,
+    job_names: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    let rel_path = rel("cache/", path);
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return;
+    };
+    if name.ends_with(".tmp") {
+        push(
+            findings,
+            "stale-tmp",
+            rel_path,
+            "orphaned temp file from an interrupted cache write",
+        );
+        return;
+    }
+    if !name.ends_with(".cache") {
+        return;
+    }
+    let Some((job, _point, key)) = cache::parse_entry_filename(name) else {
+        push(
+            findings,
+            "orphan-cache",
+            rel_path,
+            "file name does not follow <job>.p<point>.<key>.cache",
+        );
+        return;
+    };
+    if !job_names.contains(&job) {
+        push(
+            findings,
+            "orphan-cache",
+            rel_path,
+            "entry belongs to no registered experiment",
+        );
+        return;
+    }
+    let ok = fs::read_to_string(path)
+        .map(|text| cache::verify_entry_text(&text, key))
+        .unwrap_or(false);
+    if !ok {
+        push(
+            findings,
+            "corrupt-cache",
+            rel_path,
+            "entry fails its key/checksum verification",
+        );
+    }
+}
+
+fn audit_journal(_root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let rel_path = rel("journal/", path);
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return;
+    };
+    if name.ends_with(".tmp") {
+        push(
+            findings,
+            "stale-tmp",
+            rel_path,
+            "orphaned temp file in the journal directory",
+        );
+        return;
+    }
+    if !name.ends_with(".jsonl") {
+        return;
+    }
+    match crate::journal::replay(path) {
+        Err(e) => push(
+            findings,
+            "malformed-journal",
+            rel_path,
+            format!("does not replay ({e})"),
+        ),
+        Ok(replay) if replay.ended => push(
+            findings,
+            "stale-journal",
+            rel_path,
+            "run completed but its journal was not removed",
+        ),
+        Ok(replay) => push(
+            findings,
+            "dangling-journal",
+            rel_path,
+            format!(
+                "interrupted run `{}` with {} completed point(s); \
+                 `run --resume {}` recovers it (repair discards it)",
+                replay.start.run_id,
+                replay.points.len(),
+                replay.start.run_id
+            ),
+        ),
+    }
+}
+
+/// Repairs one finding: temp droppings are deleted, everything else is
+/// moved (never deleted) into `root/quarantine/`.
+fn repair_finding(root: &Path, finding: &Finding) -> Action {
+    let path = root.join(&finding.path);
+    if finding.category == "stale-tmp" {
+        return match fs::remove_file(&path) {
+            Ok(()) => Action::Deleted,
+            Err(e) => Action::Failed(e.to_string()),
+        };
+    }
+    let quarantine = root.join("quarantine");
+    if let Err(e) = fs::create_dir_all(&quarantine) {
+        return Action::Failed(e.to_string());
+    }
+    // Flatten the relative path into a file name so quarantined files from
+    // different subdirectories cannot collide.
+    let flat = finding.path.replace('/', "_");
+    let dest = quarantine.join(&flat);
+    match fs::rename(&path, &dest) {
+        Ok(()) => Action::Quarantined(flat),
+        Err(e) => Action::Failed(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sparten-fsck-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn empty_and_missing_trees_are_clean() {
+        let dir = scratch("empty");
+        let report = fsck(&dir, &["job_a"], false).unwrap();
+        assert!(report.clean());
+        let report = fsck(&dir.join("never-made"), &["job_a"], false).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.scanned, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn classifies_and_repairs_seeded_damage() {
+        let dir = scratch("seeded");
+        // Good artifact, truncated artifact, orphan artifact, stale tmp.
+        fs::write(dir.join("job_a.json"), "[1, 2]").unwrap();
+        fs::write(dir.join("job_b.json"), "[1, 2").unwrap(); // truncated
+        fs::write(dir.join("gone_job.json"), "[]").unwrap(); // orphan
+        fs::write(dir.join("job_a.json.tmp"), "half").unwrap();
+        // Journal damage: interior corruption vs a resumable dangler.
+        fs::create_dir_all(dir.join("journal")).unwrap();
+        fs::write(dir.join("journal/run-bad.jsonl"), "not json\nat all\n").unwrap();
+
+        let report = fsck(&dir, &["job_a", "job_b"], false).unwrap();
+        let cats: Vec<&str> = report.findings.iter().map(|f| f.category).collect();
+        assert_eq!(
+            cats,
+            vec![
+                "malformed-journal",
+                "orphan-artifact",
+                "stale-tmp",
+                "truncated-artifact"
+            ]
+        );
+        // Deterministic: a second audit renders the identical report.
+        let again = fsck(&dir, &["job_a", "job_b"], false).unwrap();
+        assert_eq!(report.render(), again.render());
+
+        let repaired = fsck(&dir, &["job_a", "job_b"], true).unwrap();
+        assert_eq!(repaired.findings.len(), 4);
+        for f in &repaired.findings {
+            assert!(
+                matches!(f.action, Action::Quarantined(_) | Action::Deleted),
+                "{f:?}"
+            );
+        }
+        assert!(!dir.join("job_a.json.tmp").exists());
+        assert!(dir.join("quarantine/gone_job.json").exists());
+        assert!(dir.join("quarantine/journal_run-bad.jsonl").exists());
+        assert!(dir.join("job_a.json").exists(), "healthy files untouched");
+
+        // After repair the tree is clean (quarantine is not audited).
+        let after = fsck(&dir, &["job_a", "job_b"], false).unwrap();
+        assert!(after.clean(), "{}", after.render());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn text_artifacts_need_their_final_newline() {
+        let dir = scratch("text");
+        fs::write(dir.join("job_a.txt"), "complete line\n").unwrap();
+        fs::write(dir.join("job_b.txt"), "torn lin").unwrap();
+        let report = fsck(&dir, &["job_a", "job_b"], false).unwrap();
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].category, "truncated-artifact");
+        assert_eq!(report.findings[0].path, "job_b.txt");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,640 @@
+//! The write-ahead run journal behind `run --resume`.
+//!
+//! Before a run computes anything it appends a *start record* — the run
+//! options that affect results (filter, force, telemetry, seed) plus a
+//! fingerprint of every selected job — to
+//! `results/journal/<run-id>.jsonl`. Every completed point is then
+//! journaled (payload and, when collected, its serialized telemetry
+//! session) with an fsync before the scheduler acts on it, so the journal
+//! on disk is always a faithful prefix of the run. A process that dies at
+//! any instant — `kill -9`, OOM, power cut — leaves a journal from which
+//! `run --resume` replays the completed points and computes only the rest,
+//! producing final artifacts byte-identical to an uninterrupted run.
+//!
+//! Records are one compact JSON object per line (the repo's own
+//! hand-rolled `Json`, like everything else). The final line of a crashed
+//! journal may be torn mid-write; readers tolerate exactly that — an
+//! unparseable *last* line is discarded, an unparseable interior line is
+//! an error (that file did not come from a crash, it is corrupt).
+//!
+//! Lifecycle: a run that completes (successfully or degraded) appends an
+//! `end` record and deletes its journal. Any journal still on disk
+//! therefore belongs to a crashed or drained run; `harness fsck` reports
+//! journals without an `end` record as resumable and everything else as
+//! damage.
+
+use crate::cache::fnv1a_parts;
+use sparten_bench::json::Json;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Bump when the journal record format changes incompatibly; a resume
+/// across formats is refused rather than misread.
+pub const JOURNAL_FORMAT: u64 = 1;
+
+/// One selected job as pinned by the start record. A resume recomputes
+/// nothing unless every pinned job matches the live registry exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalJob {
+    /// Experiment name.
+    pub name: String,
+    /// The experiment's configuration fingerprint at journal time.
+    pub fingerprint: String,
+    /// Point count at journal time.
+    pub points: usize,
+}
+
+/// The first record of every journal: everything that must match for a
+/// resume to be sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartRecord {
+    /// The run id (also the journal's file stem).
+    pub run_id: String,
+    /// The run's `--filter`, if any.
+    pub filter: Option<String>,
+    /// Whether the run bypassed the cache with `--force`.
+    pub force: bool,
+    /// Whether the run collected telemetry.
+    pub telemetry: bool,
+    /// The global workload seed.
+    pub seed: u64,
+    /// [`registry_fingerprint`] over `jobs`.
+    pub registry_fp: String,
+    /// The selected jobs, in registry order.
+    pub jobs: Vec<JournalJob>,
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Run header; always the first record.
+    Start(StartRecord),
+    /// A worker began computing `(job, point)` (attempt counts from 1).
+    Attempt {
+        /// Experiment name.
+        job: String,
+        /// Point index.
+        point: usize,
+        /// Attempt number.
+        attempt: usize,
+    },
+    /// `(job, point)` completed; `payload` is the serialized
+    /// [`crate::cache::serialize_payload`] body and `telemetry` the
+    /// exported per-point session, when one was collected.
+    Point {
+        /// Experiment name.
+        job: String,
+        /// Point index.
+        point: usize,
+        /// Serialized payload body.
+        payload: String,
+        /// Serialized telemetry session, if collected.
+        telemetry: Option<String>,
+    },
+    /// One attempt at `(job, point)` failed.
+    Fail {
+        /// Experiment name.
+        job: String,
+        /// Point index.
+        point: usize,
+        /// Attempt number.
+        attempt: usize,
+        /// `"panic"` or `"timeout"`.
+        kind: String,
+        /// The panic message or timeout description.
+        message: String,
+    },
+    /// The run drained cleanly after a signal instead of finishing.
+    Shutdown {
+        /// Why the run stopped early (e.g. `"signal"`).
+        reason: String,
+    },
+    /// The run completed; the journal is about to be deleted.
+    End {
+        /// `"ok"` or `"degraded"` (quarantined points).
+        status: String,
+    },
+}
+
+/// Fingerprints a job list: any change to names, fingerprints, point
+/// counts, or order changes the value, which is what makes a stale journal
+/// refuse to resume against a changed registry.
+pub fn registry_fingerprint(jobs: &[JournalJob]) -> String {
+    let parts: Vec<String> = jobs
+        .iter()
+        .map(|j| format!("{}\u{1f}{}\u{1f}{}", j.name, j.fingerprint, j.points))
+        .collect();
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    format!("{:016x}", fnv1a_parts(&refs))
+}
+
+/// A fresh run id: wall-clock nanoseconds plus pid, unique enough for a
+/// directory of journals and sortable by creation time.
+pub fn generate_run_id() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("run-{nanos:025}-{}", std::process::id())
+}
+
+/// The journal file a run id maps to under `dir`.
+pub fn journal_path(dir: &Path, run_id: &str) -> PathBuf {
+    dir.join(format!("{run_id}.jsonl"))
+}
+
+/// The most recently modified `*.jsonl` journal under `dir` (what a bare
+/// `--resume` resumes). Missing directory means no journals.
+pub fn latest_journal(dir: &Path) -> io::Result<Option<PathBuf>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let modified = entry.metadata()?.modified()?;
+        // Ties (same mtime granularity) break toward the larger file name,
+        // which for generated run ids is the later run.
+        let newer = match &best {
+            None => true,
+            Some((t, p)) => modified > *t || (modified == *t && path > *p),
+        };
+        if newer {
+            best = Some((modified, path));
+        }
+    }
+    Ok(best.map(|(_, p)| p))
+}
+
+/// An open journal being appended to. Every [`append`](Journal::append) is
+/// fsync'd before it returns — the write-ahead guarantee costs one
+/// `fdatasync` per point, which is noise next to computing the point.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: fs::File,
+}
+
+impl Journal {
+    /// Creates `dir/<run-id>.jsonl` and writes the start record. Refuses
+    /// to overwrite an existing journal (run ids must be fresh).
+    pub fn create(dir: &Path, start: &StartRecord) -> io::Result<Journal> {
+        fs::create_dir_all(dir)?;
+        let path = journal_path(dir, &start.run_id);
+        let file = fs::OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        let mut journal = Journal { path, file };
+        journal.append(&Record::Start(start.clone()))?;
+        Ok(journal)
+    }
+
+    /// Reopens an existing journal for appending (the resume path).
+    pub fn reopen(path: &Path) -> io::Result<Journal> {
+        let file = fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs it.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        let mut line = record_to_json(record).compact();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// Seals a completed run: appends the `end` record, then deletes the
+    /// journal — a journal left on disk always means an unfinished run.
+    pub fn seal(mut self, status: &str) -> io::Result<()> {
+        self.append(&Record::End {
+            status: status.to_string(),
+        })?;
+        fs::remove_file(&self.path)
+    }
+}
+
+/// A journal read back for resumption.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// The pinned start record.
+    pub start: StartRecord,
+    /// Completed points in journal order: `(job, point, payload body,
+    /// telemetry session text)`.
+    pub points: Vec<(String, usize, String, Option<String>)>,
+    /// Whether an `end` record is present (the run finished; there is
+    /// nothing to resume).
+    pub ended: bool,
+    /// The `shutdown` reason, when the run drained instead of crashing.
+    pub shutdown: Option<String>,
+}
+
+/// Reads a journal's records, tolerating a torn final line (the crash the
+/// journal exists to survive). An unparseable interior line is corruption
+/// and fails the read.
+pub fn read_records(path: &Path) -> Result<Vec<Record>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match parse_record(line) {
+            Ok(r) => records.push(r),
+            Err(_) if i + 1 == lines.len() => break, // torn tail from a crash mid-append
+            Err(e) => {
+                return Err(format!("{} line {}: {e}", path.display(), i + 1));
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Reads and structures a journal for `--resume`.
+pub fn replay(path: &Path) -> Result<Replay, String> {
+    let records = read_records(path)?;
+    let mut it = records.into_iter();
+    let start = match it.next() {
+        Some(Record::Start(s)) => s,
+        Some(_) => {
+            return Err(format!(
+                "{} does not begin with a start record",
+                path.display()
+            ))
+        }
+        None => return Err(format!("{} is empty", path.display())),
+    };
+    let mut replay = Replay {
+        start,
+        points: Vec::new(),
+        ended: false,
+        shutdown: None,
+    };
+    for record in it {
+        match record {
+            Record::Start(_) => {
+                return Err(format!("{} has a second start record", path.display()))
+            }
+            Record::Point {
+                job,
+                point,
+                payload,
+                telemetry,
+            } => replay.points.push((job, point, payload, telemetry)),
+            Record::Shutdown { reason } => replay.shutdown = Some(reason),
+            Record::End { .. } => replay.ended = true,
+            Record::Attempt { .. } | Record::Fail { .. } => {}
+        }
+    }
+    Ok(replay)
+}
+
+fn opt_str(v: &Option<String>) -> Json {
+    match v {
+        Some(s) => Json::str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+fn record_to_json(record: &Record) -> Json {
+    match record {
+        Record::Start(s) => Json::obj([
+            ("type", Json::str("start")),
+            ("format", Json::UInt(JOURNAL_FORMAT)),
+            ("run", Json::str(s.run_id.clone())),
+            ("filter", opt_str(&s.filter)),
+            ("force", Json::Bool(s.force)),
+            ("telemetry", Json::Bool(s.telemetry)),
+            ("seed", Json::UInt(s.seed)),
+            ("registry", Json::str(s.registry_fp.clone())),
+            (
+                "jobs",
+                Json::Arr(
+                    s.jobs
+                        .iter()
+                        .map(|j| {
+                            Json::obj([
+                                ("name", Json::str(j.name.clone())),
+                                ("fingerprint", Json::str(j.fingerprint.clone())),
+                                ("points", Json::UInt(j.points as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Record::Attempt {
+            job,
+            point,
+            attempt,
+        } => Json::obj([
+            ("type", Json::str("attempt")),
+            ("job", Json::str(job.clone())),
+            ("point", Json::UInt(*point as u64)),
+            ("attempt", Json::UInt(*attempt as u64)),
+        ]),
+        Record::Point {
+            job,
+            point,
+            payload,
+            telemetry,
+        } => Json::obj([
+            ("type", Json::str("point")),
+            ("job", Json::str(job.clone())),
+            ("point", Json::UInt(*point as u64)),
+            ("payload", Json::str(payload.clone())),
+            ("telemetry", opt_str(telemetry)),
+        ]),
+        Record::Fail {
+            job,
+            point,
+            attempt,
+            kind,
+            message,
+        } => Json::obj([
+            ("type", Json::str("fail")),
+            ("job", Json::str(job.clone())),
+            ("point", Json::UInt(*point as u64)),
+            ("attempt", Json::UInt(*attempt as u64)),
+            ("kind", Json::str(kind.clone())),
+            ("message", Json::str(message.clone())),
+        ]),
+        Record::Shutdown { reason } => Json::obj([
+            ("type", Json::str("shutdown")),
+            ("reason", Json::str(reason.clone())),
+        ]),
+        Record::End { status } => Json::obj([
+            ("type", Json::str("end")),
+            ("status", Json::str(status.clone())),
+        ]),
+    }
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let json = Json::parse(line)?;
+    let field_str = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let field_usize = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
+    };
+    let field_opt_str = |key: &str| match json.get(key) {
+        Some(Json::Null) | None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("field `{key}` is not a string")),
+    };
+    match json.get("type").and_then(Json::as_str) {
+        Some("start") => {
+            let format = json.get("format").and_then(Json::as_u64).unwrap_or(0);
+            if format != JOURNAL_FORMAT {
+                return Err(format!(
+                    "journal format {format} (this build reads {JOURNAL_FORMAT})"
+                ));
+            }
+            let jobs_json = json
+                .get("jobs")
+                .and_then(Json::as_arr)
+                .ok_or("missing `jobs` array")?;
+            let mut jobs = Vec::with_capacity(jobs_json.len());
+            for j in jobs_json {
+                jobs.push(JournalJob {
+                    name: j
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("job without name")?
+                        .to_string(),
+                    fingerprint: j
+                        .get("fingerprint")
+                        .and_then(Json::as_str)
+                        .ok_or("job without fingerprint")?
+                        .to_string(),
+                    points: j
+                        .get("points")
+                        .and_then(Json::as_u64)
+                        .ok_or("job without points")? as usize,
+                });
+            }
+            Ok(Record::Start(StartRecord {
+                run_id: field_str("run")?,
+                filter: field_opt_str("filter")?,
+                force: json
+                    .get("force")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing `force`")?,
+                telemetry: json
+                    .get("telemetry")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing `telemetry`")?,
+                seed: json.get("seed").and_then(Json::as_u64).ok_or("missing `seed`")?,
+                registry_fp: field_str("registry")?,
+                jobs,
+            }))
+        }
+        Some("attempt") => Ok(Record::Attempt {
+            job: field_str("job")?,
+            point: field_usize("point")?,
+            attempt: field_usize("attempt")?,
+        }),
+        Some("point") => Ok(Record::Point {
+            job: field_str("job")?,
+            point: field_usize("point")?,
+            payload: field_str("payload")?,
+            telemetry: field_opt_str("telemetry")?,
+        }),
+        Some("fail") => Ok(Record::Fail {
+            job: field_str("job")?,
+            point: field_usize("point")?,
+            attempt: field_usize("attempt")?,
+            kind: field_str("kind")?,
+            message: field_str("message")?,
+        }),
+        Some("shutdown") => Ok(Record::Shutdown {
+            reason: field_str("reason")?,
+        }),
+        Some("end") => Ok(Record::End {
+            status: field_str("status")?,
+        }),
+        Some(other) => Err(format!("unknown record type `{other}`")),
+        None => Err("record without a `type` field".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sparten-journal-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_start(run_id: &str) -> StartRecord {
+        let jobs = vec![
+            JournalJob {
+                name: "fig7_alexnet_speedup".into(),
+                fingerprint: "fp-a".into(),
+                points: 5,
+            },
+            JournalJob {
+                name: "table4_density".into(),
+                fingerprint: "fp-b".into(),
+                points: 1,
+            },
+        ];
+        StartRecord {
+            run_id: run_id.into(),
+            filter: Some("fig7".into()),
+            force: false,
+            telemetry: true,
+            seed: 2019,
+            registry_fp: registry_fingerprint(&jobs),
+            jobs,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_their_json_lines() {
+        let records = vec![
+            Record::Start(sample_start("run-1")),
+            Record::Attempt {
+                job: "fig7_alexnet_speedup".into(),
+                point: 2,
+                attempt: 1,
+            },
+            Record::Point {
+                job: "fig7_alexnet_speedup".into(),
+                point: 2,
+                payload: "kind=record\nlen=2\nx\n".into(),
+                telemetry: Some("# session\nwith \"quotes\"".into()),
+            },
+            Record::Fail {
+                job: "fig7_alexnet_speedup".into(),
+                point: 3,
+                attempt: 1,
+                kind: "panic".into(),
+                message: "boom\nsecond line".into(),
+            },
+            Record::Shutdown {
+                reason: "signal".into(),
+            },
+            Record::End { status: "ok".into() },
+        ];
+        for record in records {
+            let line = record_to_json(&record).compact();
+            assert!(!line.contains('\n'), "journal lines must be single lines");
+            assert_eq!(parse_record(&line), Ok(record));
+        }
+    }
+
+    #[test]
+    fn journal_files_replay_and_tolerate_torn_tails() {
+        let dir = scratch("replay");
+        let start = sample_start("run-torn");
+        let mut journal = Journal::create(&dir, &start).unwrap();
+        journal
+            .append(&Record::Point {
+                job: "fig7_alexnet_speedup".into(),
+                point: 0,
+                payload: "p0".into(),
+                telemetry: None,
+            })
+            .unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"type\":\"point\",\"job\":\"fi");
+        fs::write(&path, &bytes).unwrap();
+
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.start, start);
+        assert_eq!(replay.points.len(), 1);
+        assert_eq!(replay.points[0].0, "fig7_alexnet_speedup");
+        assert!(!replay.ended);
+        assert!(replay.shutdown.is_none());
+
+        // An interior corrupt line is *not* a torn tail; it must fail.
+        let mut lines: Vec<String> = fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines[1] = "corrupt {".into();
+        fs::write(&path, lines.join("\n")).unwrap();
+        assert!(replay_err_contains(&path, "line 2"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn replay_err_contains(path: &Path, needle: &str) -> bool {
+        matches!(replay(path), Err(e) if e.contains(needle))
+    }
+
+    #[test]
+    fn sealed_journals_disappear() {
+        let dir = scratch("seal");
+        let journal = Journal::create(&dir, &sample_start("run-seal")).unwrap();
+        let path = journal.path().to_path_buf();
+        assert!(path.exists());
+        journal.seal("ok").unwrap();
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_journal_prefers_newer_runs() {
+        let dir = scratch("latest");
+        assert_eq!(latest_journal(&dir).unwrap(), None);
+        let a = Journal::create(&dir, &sample_start("run-aaa")).unwrap();
+        let b = Journal::create(&dir, &sample_start("run-bbb")).unwrap();
+        let latest = latest_journal(&dir).unwrap().unwrap();
+        // Same-mtime ties break toward the later (lexically larger) run id.
+        assert_eq!(latest, b.path());
+        drop((a, b));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_fingerprint_pins_every_component() {
+        let jobs = sample_start("x").jobs;
+        let base = registry_fingerprint(&jobs);
+        let mut renamed = jobs.clone();
+        renamed[0].name = "other".into();
+        assert_ne!(base, registry_fingerprint(&renamed));
+        let mut refp = jobs.clone();
+        refp[1].fingerprint = "fp-c".into();
+        assert_ne!(base, registry_fingerprint(&refp));
+        let mut repointed = jobs.clone();
+        repointed[0].points = 6;
+        assert_ne!(base, registry_fingerprint(&repointed));
+        let mut reordered = jobs.clone();
+        reordered.swap(0, 1);
+        assert_ne!(base, registry_fingerprint(&reordered));
+    }
+}

@@ -27,6 +27,9 @@
 pub mod cache;
 pub mod executor;
 pub mod faults;
+pub mod fsck;
+pub mod journal;
+pub mod signal;
 
 use sparten_bench::registry::{layer_from_record, layer_record, NetworkFigure, Runner};
 use sparten_bench::{all_experiments, begin_capture, end_capture, Capture, ExperimentKind};

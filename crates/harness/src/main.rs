@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! cargo run --release -p sparten-harness -- run --filter fig7 --jobs 8
+//! cargo run --release -p sparten-harness -- run --resume
+//! cargo run --release -p sparten-harness -- fsck --repair
 //! cargo run --release -p sparten-harness -- list
 //! cargo run --release -p sparten-harness -- clean
 //! ```
 
 use sparten_harness::cache::Cache;
 use sparten_harness::executor::{self, RunOptions};
-use sparten_harness::{faults, registry};
+use sparten_harness::{faults, fsck, journal, registry, signal};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -20,25 +23,41 @@ USAGE:
                         [--retries N] [--point-timeout SECS]
                         [--cache-dir PATH] [--no-artifacts]
                         [--telemetry] [--telemetry-dir PATH]
-    sparten-harness faults [--seed N] [--trials N] [--quick]
+                        [--resume [RUN_ID]] [--journal-dir PATH]
+                        [--drain-timeout SECS] [--abort-after N]
+    sparten-harness faults [--seed N] [--trials N] [--quick] [--report PATH]
+    sparten-harness fsck [--repair] [--results-dir PATH]
     sparten-harness list [--filter SUBSTR]
     sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH]
-    sparten-harness clean [--cache-dir PATH]
+    sparten-harness clean [--results-dir PATH] [--cache-dir PATH]
+                          [--journal-dir PATH]
 
 COMMANDS:
     run      Run experiments (all, or those whose name contains --filter),
              skipping points already in the cache, then print a per-job
              wall-time/cache-hit summary. Failed points are retried, then
              quarantined: the run completes with partial results and the
-             quarantine is written to results/failures.json.
+             quarantine is written to results/failures.json. Every run
+             keeps a write-ahead journal under results/journal/, so an
+             interrupted run (crash, SIGINT, SIGTERM) resumes with
+             `run --resume`. On SIGINT/SIGTERM the run drains: in-flight
+             points finish, the journal records a clean shutdown, and the
+             exit code is 75 (resumable). A second signal aborts at once.
     faults   Run the seeded fault-injection campaign: inject every fault
              class, classify each trial (detected / masked / silently-wrong
              / crashed), and print the coverage table. Exits non-zero if
              any trial was silently wrong or crashed.
+    fsck     Audit the results tree: artifacts that no experiment produces
+             or that no longer parse, cache entries failing their checksum,
+             journals that are malformed / resumable / stale, and leftover
+             *.tmp files. Exits non-zero when defects are found; with
+             --repair, quarantines damage into results/quarantine/ (temp
+             droppings are deleted) and exits zero on success.
     list     List registered experiments with kind, points, and deps.
     report   Summarize telemetry written by a previous `run --telemetry`:
              per-scope work/stall cycle totals and the dominant stall cause.
-    clean    Delete every cache entry.
+    clean    Delete every cache entry, stale journals, and orphaned *.tmp
+             files, printing per-category counts.
 
 OPTIONS:
     --filter SUBSTR       Only experiments whose name contains SUBSTR.
@@ -59,6 +78,23 @@ OPTIONS:
                           per job. Implies recomputing every point so the
                           counters cover the whole run.
     --telemetry-dir PATH  Telemetry location (default: results/telemetry).
+    --resume [RUN_ID]     Resume an interrupted run from its journal
+                          (default: the most recent journal). The journaled
+                          options and experiment registry must match this
+                          invocation; completed points are replayed, not
+                          recomputed, and the final artifacts are identical
+                          to an uninterrupted run's.
+    --journal-dir PATH    Journal location (default: results/journal).
+    --drain-timeout SECS  How long a signal-initiated drain waits for
+                          in-flight points before abandoning them
+                          (default 30).
+    --abort-after N       Crash-test hook: die (journal left dangling, like
+                          kill -9) after N points have been computed and
+                          journaled. Used by the interrupted-run CI smoke.
+    --repair              fsck: quarantine damaged files instead of only
+                          reporting them.
+    --results-dir PATH    Results tree root (default: results).
+    --report PATH         faults: also write the coverage table to PATH.
     --seed N              Campaign seed (default 1): same seed, same plan,
                           byte-identical coverage report.
     --trials N            Trials per fault class (default 6).
@@ -74,6 +110,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "run" => cmd_run(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
+        "fsck" => cmd_fsck(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "clean" => cmd_clean(&args[1..]),
@@ -104,6 +141,15 @@ struct Flags {
     seed: Option<u64>,
     trials: Option<u32>,
     quick: bool,
+    /// `Some(None)` = `--resume` (latest journal); `Some(Some(id))` =
+    /// `--resume RUN_ID`.
+    resume: Option<Option<String>>,
+    journal_dir: Option<String>,
+    drain_timeout: Option<Duration>,
+    abort_after: Option<usize>,
+    repair: bool,
+    results_dir: Option<String>,
+    report_path: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -121,8 +167,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         seed: None,
         trials: None,
         quick: false,
+        resume: None,
+        journal_dir: None,
+        drain_timeout: None,
+        abort_after: None,
+        repair: false,
+        results_dir: None,
+        report_path: None,
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--filter" => {
@@ -185,6 +238,60 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 f.telemetry_dir = Some(v.clone());
             }
+            "--resume" => {
+                // The run id is optional: a following token that is not a
+                // flag is the id, otherwise the latest journal is used.
+                let id = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if id.is_some() {
+                    it.next();
+                }
+                f.resume = Some(id);
+            }
+            "--journal-dir" => {
+                let v = it.next().ok_or("--journal-dir needs a value")?;
+                if v.is_empty() {
+                    return Err("--journal-dir must not be empty".into());
+                }
+                f.journal_dir = Some(v.clone());
+            }
+            "--drain-timeout" => {
+                let v = it.next().ok_or("--drain-timeout needs a value")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --drain-timeout value `{v}`"))?;
+                if secs < 0.0 || !secs.is_finite() {
+                    return Err("--drain-timeout must be non-negative".into());
+                }
+                f.drain_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--abort-after" => {
+                let v = it.next().ok_or("--abort-after needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --abort-after value `{v}`"))?;
+                if n == 0 {
+                    return Err("--abort-after must be at least 1".into());
+                }
+                f.abort_after = Some(n);
+            }
+            "--repair" => f.repair = true,
+            "--results-dir" => {
+                let v = it.next().ok_or("--results-dir needs a value")?;
+                if v.is_empty() {
+                    return Err("--results-dir must not be empty".into());
+                }
+                f.results_dir = Some(v.clone());
+            }
+            "--report" => {
+                let v = it.next().ok_or("--report needs a value")?;
+                if v.is_empty() {
+                    return Err("--report must not be empty".into());
+                }
+                f.report_path = Some(v.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -223,8 +330,59 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 .into(),
         );
     }
+    if let Some(d) = flags.journal_dir {
+        opts.journal_dir = Some(d.into());
+    }
+    if let Some(t) = flags.drain_timeout {
+        opts.drain_timeout = t;
+    }
+    opts.abort_after = flags.abort_after;
 
-    let report = executor::run(&registry(), &opts);
+    // Resolve `--resume [RUN_ID]` to a journal path up front so a typo'd
+    // run id fails with a one-line diagnostic, not mid-run.
+    if let Some(resume) = flags.resume {
+        let dir = opts
+            .journal_dir
+            .clone()
+            .expect("run always journals unless tests disable it");
+        let path = match resume {
+            Some(id) => {
+                let p = journal::journal_path(&dir, &id);
+                if !p.exists() {
+                    eprintln!("error: no journal for run id `{id}` in {}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                p
+            }
+            None => match journal::latest_journal(&dir) {
+                Ok(Some(p)) => p,
+                Ok(None) => {
+                    eprintln!(
+                        "error: nothing to resume — no journal in {} \
+                         (interrupted runs leave one behind)",
+                        dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("error: cannot scan {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        opts.resume = Some(path);
+    }
+
+    // Cooperative shutdown: first SIGINT/SIGTERM drains, second aborts.
+    opts.shutdown = Some(signal::install());
+
+    let report = match executor::run(&registry(), &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if report.jobs.is_empty() {
         eprintln!("no experiments match the filter");
         return ExitCode::FAILURE;
@@ -277,6 +435,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
             if c.swept_tmp == 1 { "" } else { "s" }
         );
     }
+    if report.replayed > 0 {
+        println!(
+            "resumed: {} completed point(s) replayed from the journal instead of recomputed",
+            report.replayed
+        );
+    }
     if report.retries > 0 {
         println!("retries: {} failed attempt(s) re-dispatched", report.retries);
     }
@@ -296,6 +460,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
              summarize with `sparten-harness report`)",
             dir.display()
         );
+    }
+    if report.interrupted {
+        let hint = report
+            .run_id
+            .as_deref()
+            .map(|id| format!("sparten-harness run --resume {id}"))
+            .unwrap_or_else(|| "sparten-harness run --resume".into());
+        eprintln!(
+            "interrupted: drained after a shutdown signal; completed work is journaled.\n\
+             resume with: {hint}"
+        );
+        return ExitCode::from(signal::DRAINED_EXIT_CODE);
     }
     // Graceful degradation: a run with quarantined points still completed
     // and wrote every healthy result, so it exits zero unless the caller
@@ -319,7 +495,15 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     let seed = flags.seed.unwrap_or(1);
     let trials = flags.trials.unwrap_or(if flags.quick { 3 } else { 6 });
     let report = faults::run_campaign(seed, trials);
-    print!("{}", report.render());
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(path) = &flags.report_path {
+        if let Err(e) = sparten_bench::atomic_write(path, &rendered) {
+            eprintln!("error: cannot write coverage report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("coverage report written to {path}");
+    }
     if report.silently_wrong() == 0 && report.crashed() == 0 {
         ExitCode::SUCCESS
     } else {
@@ -329,6 +513,50 @@ fn cmd_faults(args: &[String]) -> ExitCode {
             report.crashed()
         );
         ExitCode::FAILURE
+    }
+}
+
+/// Audits (and with `--repair`, quarantines damage in) the results tree.
+fn cmd_fsck(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = PathBuf::from(flags.results_dir.unwrap_or_else(|| "results".into()));
+    let jobs = registry();
+    let names: Vec<&str> = jobs.iter().map(|j| j.name()).collect();
+    let report = match fsck::fsck(&root, &names, flags.repair) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot audit {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if report.clean() {
+        return ExitCode::SUCCESS;
+    }
+    if !flags.repair {
+        if report.has_resumable() {
+            eprintln!(
+                "note: a dangling journal is a resumable run — prefer \
+                 `sparten-harness run --resume` over --repair"
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    // Repaired: success unless some repair itself failed.
+    let failed = report
+        .findings
+        .iter()
+        .any(|f| matches!(f.action, fsck::Action::Failed(_)));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -479,6 +707,29 @@ fn cmd_list(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Removes files matching `pred` directly under `dir`; missing dir = 0.
+fn sweep_files(dir: &Path, pred: impl Fn(&str) -> bool) -> std::io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if pred(name) {
+            std::fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 fn cmd_clean(args: &[String]) -> ExitCode {
     let flags = match parse_flags(args) {
         Ok(f) => f,
@@ -487,15 +738,47 @@ fn cmd_clean(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let dir = flags.cache_dir.unwrap_or_else(|| "results/cache".into());
-    match Cache::new(dir).clean() {
-        Ok(n) => {
-            println!("removed {n} cache entries");
-            ExitCode::SUCCESS
-        }
+    let results = PathBuf::from(flags.results_dir.unwrap_or_else(|| "results".into()));
+    let cache_dir = flags
+        .cache_dir
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results.join("cache"));
+    let journal_dir = flags
+        .journal_dir
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results.join("journal"));
+
+    let counts = match Cache::new(&cache_dir).clean() {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: cannot clean {}: {e}", cache_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let journals = sweep_files(&journal_dir, |n| {
+        n.ends_with(".jsonl") || n.ends_with(".tmp")
+    });
+    let journals = match journals {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: cannot clean {}: {e}", journal_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Orphaned atomic-write temps directly under results/ and telemetry/.
+    let mut tmp = counts.tmp;
+    for dir in [results.clone(), results.join("telemetry")] {
+        match sweep_files(&dir, |n| n.ends_with(".tmp")) {
+            Ok(n) => tmp += n,
+            Err(e) => {
+                eprintln!("error: cannot clean {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
+    println!(
+        "removed {} cache entries, {} journal(s), {} orphaned .tmp file(s)",
+        counts.entries, journals, tmp
+    );
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,78 @@
+//! Cooperative shutdown on SIGINT/SIGTERM, with no external crates.
+//!
+//! The workspace builds offline against std alone, so there is no `libc`
+//! or `signal-hook` to lean on. Instead the handler is registered through
+//! the C runtime's `signal(2)` — std links libc anyway — and does the only
+//! thing that is async-signal-safe: bump an atomic. The executor polls the
+//! atomic between worker events and turns the first signal into a *drain*
+//! (stop dispatching, let in-flight points finish, journal a clean
+//! shutdown); a second signal while draining hard-aborts via `_exit` so an
+//! impatient ^C^C still kills a wedged run immediately.
+//!
+//! The escalation contract is the [`ShutdownFlag`] value: `0` = run, `1` =
+//! drain, `>= 2` = abort. Tests drive a drain by handing the executor their
+//! own flag and storing into it mid-run — no real signals required.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Shared shutdown state: `0` running, `1` draining, `>= 2` hard abort.
+pub type ShutdownFlag = Arc<AtomicUsize>;
+
+/// Exit code of a run that drained cleanly after a signal (mirrors BSD's
+/// `EX_TEMPFAIL`: the run is incomplete but resumable, not wrong).
+pub const DRAINED_EXIT_CODE: u8 = 75;
+
+/// Exit code of a second-signal hard abort (conventional 128 + SIGINT).
+pub const ABORT_EXIT_CODE: i32 = 130;
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    fn _exit(code: i32) -> !;
+}
+
+static FLAG: OnceLock<ShutdownFlag> = OnceLock::new();
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only atomics and `_exit` here: anything else (allocation, locks,
+    // stdio) is not async-signal-safe.
+    if let Some(flag) = FLAG.get() {
+        if flag.fetch_add(1, Ordering::SeqCst) >= 1 {
+            unsafe { _exit(ABORT_EXIT_CODE) }
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the shared
+/// flag to pass as [`RunOptions::shutdown`].
+///
+/// [`RunOptions::shutdown`]: crate::executor::RunOptions::shutdown
+pub fn install() -> ShutdownFlag {
+    let flag = FLAG.get_or_init(|| Arc::new(AtomicUsize::new(0)));
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    Arc::clone(flag)
+}
+
+/// Reads a flag's current escalation level.
+pub fn level(flag: &AtomicUsize) -> usize {
+    flag.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_shares_one_flag() {
+        let a = install();
+        let b = install();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(level(&a), 0);
+    }
+}

@@ -6,7 +6,7 @@ use sparten::nn::{ConvShape, LayerSpec};
 use sparten::sim::{Scheme, SimConfig, SimResult};
 use sparten_bench::registry::layer_record;
 use sparten_bench::{run_layer, run_layer_telemetry, Capture, ExperimentKind};
-use sparten_harness::executor::{run, RunOptions};
+use sparten_harness::executor::{self, RunOptions, RunReport};
 use sparten_harness::{registry, Experiment, PointPayload};
 use sparten_telemetry::{parse_report, Telemetry};
 use std::path::PathBuf;
@@ -125,7 +125,21 @@ fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
         max_attempts: 2,
         point_timeout: None,
         failures_path: None,
+        // Journaling/resume/drain are exercised by crash_tests.rs; these
+        // tests run journal-free so they leave no results/journal behind.
+        journal_dir: None,
+        resume: None,
+        run_id: None,
+        shutdown: None,
+        drain_timeout: Duration::from_secs(30),
+        abort_after: None,
     }
+}
+
+/// These tests never interrupt a run, so the executor's `Result` is
+/// always `Ok`; unwrap it once here instead of at every call site.
+fn run(exps: &[Arc<dyn Experiment>], opts: &RunOptions) -> RunReport {
+    executor::run(exps, opts).expect("uninterrupted run succeeds")
 }
 
 fn outputs(report: &sparten_harness::executor::RunReport) -> Vec<String> {

@@ -47,6 +47,7 @@ pub mod invariant;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod session;
 pub mod stall;
 
 pub use chrome::chrome_trace;
@@ -54,6 +55,7 @@ pub use invariant::{check_breakdown, BreakdownExpectation, ReconcileError};
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
 pub use recorder::{Phase, Recorder, TraceEvent};
 pub use report::{parse_report, text_report, ParsedReport};
+pub use session::{export_session, import_session};
 pub use stall::StallCause;
 
 /// One telemetry session: a metric registry plus a span/event recorder.

@@ -89,6 +89,20 @@ impl Gauge {
             Some(f64::from_bits(cell.load(Ordering::Relaxed)))
         }
     }
+
+    /// Restores a gauge from exported state (session import): widens the
+    /// water marks with `hi`/`lo`, sets `last`, and *adds* `count` to the
+    /// observation count, so a round-tripped session is indistinguishable
+    /// from the original.
+    pub(crate) fn restore_raw(&self, hi: f64, lo: f64, last: f64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        update_extreme(&self.hi, hi, |cur, new| new > cur);
+        update_extreme(&self.lo, lo, |cur, new| new < cur);
+        self.last.store(last.to_bits(), Ordering::Relaxed);
+        self.seen.fetch_add(count, Ordering::Relaxed);
+    }
 }
 
 fn update_extreme(cell: &AtomicU64, v: f64, wins: impl Fn(f64, f64) -> bool) {
@@ -149,8 +163,9 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    /// Adds pre-bucketed counts and a sample sum (merge path).
-    fn add_raw(&self, buckets: &[u64; HISTOGRAM_BUCKETS], sum: u64) {
+    /// Adds pre-bucketed counts and a sample sum (merge and session-import
+    /// paths).
+    pub(crate) fn add_raw(&self, buckets: &[u64; HISTOGRAM_BUCKETS], sum: u64) {
         for (cell, &count) in self.buckets.iter().zip(buckets) {
             if count > 0 {
                 cell.fetch_add(count, Ordering::Relaxed);

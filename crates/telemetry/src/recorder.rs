@@ -125,6 +125,12 @@ impl Recorder {
         });
     }
 
+    /// Pushes a fully-formed event (session import rebuilds events with
+    /// their original pids/tids instead of re-allocating tracks).
+    pub(crate) fn push_raw(&self, event: TraceEvent) {
+        self.push(event);
+    }
+
     fn push(&self, event: TraceEvent) {
         let mut inner = self.inner.lock().expect("recorder lock");
         if inner.events.len() >= self.capacity {
@@ -138,6 +144,12 @@ impl Recorder {
     /// Number of events dropped at the capacity bound.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Adds to the drop count (session import restores the original
+    /// recorder's tally so round-tripped sessions report identically).
+    pub(crate) fn add_dropped(&self, n: u64) {
+        self.dropped.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Number of retained events.

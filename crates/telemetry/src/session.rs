@@ -1,0 +1,345 @@
+//! Whole-session serialization: export a [`Telemetry`] session to a stable
+//! text form and import it back, state-identical.
+//!
+//! The harness's crash-only execution layer journals every completed
+//! experiment point to a write-ahead log so an interrupted `--telemetry`
+//! run can resume without recomputing. Counters alone are not enough —
+//! resumed runs must rebuild the *full* per-point session (metrics, track
+//! names, timeline events, drop counts) so the merged per-job Chrome trace
+//! is structured exactly as an uninterrupted run's. This module is that
+//! round trip.
+//!
+//! The format is line-oriented; any name that may contain spaces (metric,
+//! track, and event names) is the *last* field of its line:
+//!
+//! ```text
+//! # sparten-telemetry session v1
+//! counter 1234 SparTen/work.nonzero
+//! gauge 4 1 2 3 SparTen/occupancy.cluster
+//! hist 41 0:3,2:6 SparTen/hist.chunk_work
+//! process 0 P0:SparTen
+//! thread 0 2 cluster2
+//! event 0 2 S 0 10 1 busy=80 chunk
+//! dropped 0
+//! ```
+//!
+//! Event and argument names are `&'static str` on the hot path; import
+//! re-materializes them through a small global intern table (bounded by
+//! the recorder's fixed vocabulary, so the leak is a one-time cost).
+
+use crate::metrics::{MetricValue, HISTOGRAM_BUCKETS};
+use crate::recorder::{Phase, TraceEvent};
+use crate::Telemetry;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+const HEADER: &str = "# sparten-telemetry session v1";
+
+/// Serializes a session: every metric, every track name, every retained
+/// event in recording order, and the drop count.
+pub fn export_session(t: &Telemetry) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for (name, value) in &t.metrics.snapshot().entries {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "counter {v} {name}");
+            }
+            MetricValue::Gauge { hi, lo, last, count } => {
+                let _ = writeln!(out, "gauge {hi} {lo} {last} {count} {name}");
+            }
+            MetricValue::Histogram { buckets, sum } => {
+                let _ = write!(out, "hist {sum} ");
+                let mut any = false;
+                for (i, b) in buckets.iter().enumerate() {
+                    if *b > 0 {
+                        if any {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{i}:{b}");
+                        any = true;
+                    }
+                }
+                if !any {
+                    out.push('-');
+                }
+                let _ = writeln!(out, " {name}");
+            }
+        }
+    }
+    for (pid, name) in t.recorder.process_names().iter().enumerate() {
+        let _ = writeln!(out, "process {pid} {name}");
+    }
+    for (pid, tid, name) in t.recorder.thread_names() {
+        let _ = writeln!(out, "thread {pid} {tid} {name}");
+    }
+    for e in t.recorder.events() {
+        let phase = match e.phase {
+            Phase::Span => 'S',
+            Phase::Instant => 'I',
+        };
+        let _ = write!(
+            out,
+            "event {} {} {phase} {} {} {}",
+            e.pid,
+            e.tid,
+            e.ts,
+            e.dur,
+            e.args.len()
+        );
+        for (k, v) in &e.args {
+            let _ = write!(out, " {k}={v}");
+        }
+        let _ = writeln!(out, " {}", e.name);
+    }
+    let _ = writeln!(out, "dropped {}", t.recorder.dropped());
+    out
+}
+
+/// Parses text produced by [`export_session`] back into a session whose
+/// exports (text report, Chrome trace) are byte-identical to the
+/// original's. Returns a human-readable error naming the offending line.
+pub fn import_session(text: &str) -> Result<Telemetry, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l == HEADER => {}
+        other => {
+            return Err(format!(
+                "missing `{HEADER}` header, found {:?}",
+                other.map(|(_, l)| l)
+            ))
+        }
+    }
+    let t = Telemetry::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |what: &str| format!("line {lineno}: {what}: `{line}`");
+        let (kind, rest) = line.split_once(' ').ok_or_else(|| bad("missing fields"))?;
+        match kind {
+            "counter" => {
+                let (v, name) = rest.split_once(' ').ok_or_else(|| bad("missing name"))?;
+                let v: u64 = v.parse().map_err(|_| bad("bad counter value"))?;
+                t.metrics.counter(name).add(v);
+            }
+            "gauge" => {
+                let mut it = rest.splitn(5, ' ');
+                let mut num = |what| {
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .ok_or_else(|| bad(what))
+                };
+                let hi = num("bad gauge hi")?;
+                let lo = num("bad gauge lo")?;
+                let last = num("bad gauge last")?;
+                let count = num("bad gauge count")? as u64;
+                let name = it.next().ok_or_else(|| bad("missing gauge name"))?;
+                t.metrics.gauge(name).restore_raw(hi, lo, last, count);
+            }
+            "hist" => {
+                let mut it = rest.splitn(3, ' ');
+                let sum: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad hist sum"))?;
+                let spec = it.next().ok_or_else(|| bad("missing hist buckets"))?;
+                let name = it.next().ok_or_else(|| bad("missing hist name"))?;
+                let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                if spec != "-" {
+                    for pair in spec.split(',') {
+                        let (i, c) = pair.split_once(':').ok_or_else(|| bad("bad bucket pair"))?;
+                        let i: usize = i.parse().map_err(|_| bad("bad bucket index"))?;
+                        if i >= HISTOGRAM_BUCKETS {
+                            return Err(bad("bucket index out of range"));
+                        }
+                        buckets[i] = c.parse().map_err(|_| bad("bad bucket count"))?;
+                    }
+                }
+                t.metrics.histogram(name).add_raw(&buckets, sum);
+            }
+            "process" => {
+                let (pid, name) = rest.split_once(' ').ok_or_else(|| bad("missing name"))?;
+                let pid: u32 = pid.parse().map_err(|_| bad("bad pid"))?;
+                // Processes serialize in pid order, so re-allocation must
+                // hand back the same ids for events to stay attached.
+                let got = t.recorder.alloc_process(name);
+                if got != pid {
+                    return Err(bad("process records out of order"));
+                }
+            }
+            "thread" => {
+                let mut it = rest.splitn(3, ' ');
+                let pid: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad thread pid"))?;
+                let tid: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad thread tid"))?;
+                let name = it.next().ok_or_else(|| bad("missing thread name"))?;
+                t.recorder.name_thread(pid, tid, name);
+            }
+            "event" => {
+                let mut it = rest.splitn(6, ' ');
+                let mut num = |what| {
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| bad(what))
+                };
+                let pid = num("bad event pid")? as u32;
+                let tid = num("bad event tid")? as u32;
+                let phase = match it.next() {
+                    Some("S") => Phase::Span,
+                    Some("I") => Phase::Instant,
+                    _ => return Err(bad("bad event phase")),
+                };
+                let mut num = |what| {
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| bad(what))
+                };
+                let ts = num("bad event ts")?;
+                let dur = num("bad event dur")?;
+                let tail = it.next().ok_or_else(|| bad("missing event name"))?;
+                // `nargs` space-separated `k=v` pairs, then the name.
+                let (nargs, mut tail) =
+                    tail.split_once(' ').ok_or_else(|| bad("missing event name"))?;
+                let nargs: usize = nargs.parse().map_err(|_| bad("bad event arg count"))?;
+                let mut args = Vec::with_capacity(nargs);
+                for _ in 0..nargs {
+                    let (pair, rest) =
+                        tail.split_once(' ').ok_or_else(|| bad("truncated event args"))?;
+                    let (k, v) = pair.split_once('=').ok_or_else(|| bad("bad event arg"))?;
+                    let v: u64 = v.parse().map_err(|_| bad("bad event arg value"))?;
+                    args.push((intern(k), v));
+                    tail = rest;
+                }
+                t.recorder.push_raw(TraceEvent {
+                    pid,
+                    tid,
+                    name: intern(tail),
+                    ts,
+                    dur,
+                    phase,
+                    args,
+                });
+            }
+            "dropped" => {
+                let n: u64 = rest.parse().map_err(|_| bad("bad dropped count"))?;
+                t.recorder.add_dropped(n);
+            }
+            _ => return Err(bad("unknown record kind")),
+        }
+    }
+    Ok(t)
+}
+
+/// Interns a string as `&'static str`. Event and argument names come from
+/// a small fixed vocabulary (the recorder takes `&'static str` so the hot
+/// path never allocates), so the table — and the one-time leak backing it —
+/// stays bounded.
+fn intern(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut table = table.lock().expect("intern table");
+    if let Some(hit) = table.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chrome_trace, text_report};
+
+    fn sample_session() -> Telemetry {
+        let t = Telemetry::new();
+        t.metrics.counter("S/work.nonzero").add(1234);
+        t.metrics.counter("S/stall.intra.chunk_barrier_idle").add(55);
+        let g = t.metrics.gauge("S/occupancy.cluster");
+        g.observe(1.25);
+        g.observe(4.5);
+        g.observe(2.0);
+        let h = t.metrics.histogram("S/hist.chunk_work");
+        h.record(0);
+        h.record(3);
+        h.record(1024);
+        let pid = t.recorder.alloc_process("P0:SparTen");
+        t.recorder.name_thread(pid, 0, "cluster0");
+        t.recorder.span(pid, 0, "chunk", 0, 10, &[("busy", 8), ("w", 3)]);
+        t.recorder.instant(pid, 0, "barrier", 10, &[]);
+        t
+    }
+
+    #[test]
+    fn session_round_trip_is_export_identical() {
+        let original = sample_session();
+        let text = export_session(&original);
+        let back = import_session(&text).expect("imports");
+        // Strongest check available: every exporter output is identical.
+        assert_eq!(export_session(&back), text);
+        assert_eq!(
+            text_report("j", &back.metrics.snapshot(), &back.recorder),
+            text_report("j", &original.metrics.snapshot(), &original.recorder),
+        );
+        assert_eq!(
+            chrome_trace(&back.metrics.snapshot(), &back.recorder),
+            chrome_trace(&original.metrics.snapshot(), &original.recorder),
+        );
+    }
+
+    #[test]
+    fn merged_imports_equal_merged_originals() {
+        // The resume path: per-point sessions are imported from the journal
+        // and merged in point order; the merged exports must match a merge
+        // of the live sessions.
+        let live = Telemetry::new();
+        live.merge(sample_session(), "P0:");
+        live.merge(sample_session(), "P1:");
+
+        let resumed = Telemetry::new();
+        for prefix in ["P0:", "P1:"] {
+            let text = export_session(&sample_session());
+            resumed.merge(import_session(&text).expect("imports"), prefix);
+        }
+        assert_eq!(
+            chrome_trace(&resumed.metrics.snapshot(), &resumed.recorder),
+            chrome_trace(&live.metrics.snapshot(), &live.recorder),
+        );
+    }
+
+    #[test]
+    fn drop_counts_survive_the_round_trip() {
+        let t = Telemetry::new();
+        let small = crate::Recorder::with_capacity(1);
+        let pid = small.alloc_process("x");
+        small.span(pid, 0, "e", 0, 1, &[]);
+        small.span(pid, 0, "e", 1, 1, &[]); // dropped
+        t.recorder.merge(small, "");
+        let back = import_session(&export_session(&t)).expect("imports");
+        assert_eq!(back.recorder.dropped(), 1);
+    }
+
+    #[test]
+    fn malformed_sessions_name_their_line() {
+        for (bad, needle) in [
+            ("no header\n", "header"),
+            ("# sparten-telemetry session v1\ncounter notanumber x\n", "line 2"),
+            ("# sparten-telemetry session v1\nprocess 5 late\n", "out of order"),
+            ("# sparten-telemetry session v1\nwhat 1 2\n", "unknown record"),
+            ("# sparten-telemetry session v1\nevent 0 0 S 1 2 1 k=v\n", "truncated event args"),
+        ] {
+            let err = import_session(bad).expect_err("must fail");
+            assert!(err.contains(needle), "{bad:?} -> {err}");
+        }
+    }
+}

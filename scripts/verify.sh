@@ -17,22 +17,51 @@ cargo test --workspace -q
 
 echo "== harness smoke run (cold, 2 jobs) =="
 SMOKE_CACHE="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE"' EXIT
+SMOKE_JOURNAL="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL"' EXIT
 cargo run -q --release -p sparten-harness -- \
-  run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" --no-artifacts
+  run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" \
+  --journal-dir "$SMOKE_JOURNAL" --no-artifacts
 
 echo "== harness smoke run (warm, 2 jobs) =="
 cargo run -q --release -p sparten-harness -- \
-  run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" --no-artifacts
+  run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" \
+  --journal-dir "$SMOKE_JOURNAL" --no-artifacts
 
 echo "== harness telemetry smoke (Chrome trace + report) =="
 SMOKE_TEL="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_TEL"' EXIT
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL"' EXIT
 cargo run -q --release -p sparten-harness -- \
   run --filter fig10_alexnet --jobs 2 --cache-dir "$SMOKE_CACHE" \
-  --no-artifacts --telemetry-dir "$SMOKE_TEL"
+  --journal-dir "$SMOKE_JOURNAL" --no-artifacts --telemetry-dir "$SMOKE_TEL"
 test -s "$SMOKE_TEL/fig10_alexnet_breakdown.json"
 cargo run -q --release -p sparten-harness -- report --telemetry-dir "$SMOKE_TEL"
+
+echo "== interrupted-run smoke (crash -> resume -> byte-identical, fsck clean) =="
+SMOKE_CRASH="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL" "$SMOKE_CRASH"' EXIT
+HARNESS_BIN="$PWD/target/release/sparten-harness"
+mkdir -p "$SMOKE_CRASH/interrupted" "$SMOKE_CRASH/clean"
+# Crash at the worst legal instant (point journaled, not yet cached):
+# the run must exit non-zero and leave a dangling journal behind.
+( cd "$SMOKE_CRASH/interrupted" && \
+  ! "$HARNESS_BIN" run --filter fig7_alexnet_speedup --jobs 2 \
+      --abort-after 2 >/dev/null 2>&1 )
+# fsck sees the crashed tree as defective (the resumable journal).
+( cd "$SMOKE_CRASH/interrupted" && ! "$HARNESS_BIN" fsck >/dev/null )
+# Resume replays the two journaled points and finishes the run.
+( cd "$SMOKE_CRASH/interrupted" && \
+  "$HARNESS_BIN" run --filter fig7_alexnet_speedup --jobs 2 --resume \
+    > resume.out )
+grep -q "resumed: 2 completed point(s)" "$SMOKE_CRASH/interrupted/resume.out"
+# The recovered artifacts are byte-identical to an uninterrupted run's.
+( cd "$SMOKE_CRASH/clean" && \
+  "$HARNESS_BIN" run --filter fig7_alexnet_speedup --jobs 2 >/dev/null )
+diff -r -x cache -x journal \
+  "$SMOKE_CRASH/interrupted/results" "$SMOKE_CRASH/clean/results"
+# Both trees audit clean afterwards.
+( cd "$SMOKE_CRASH/interrupted" && "$HARNESS_BIN" fsck >/dev/null )
+( cd "$SMOKE_CRASH/clean" && "$HARNESS_BIN" fsck >/dev/null )
 
 echo "== fault-campaign smoke (seeded, zero silently-wrong) =="
 # The faults command exits non-zero on any silently-wrong or crashed
