@@ -10,7 +10,7 @@
 
 use crate::encoder::PriorityEncoder;
 use crate::prefix::{PrefixCircuit, Sklansky};
-use sparten_tensor::{SparseChunk, SparseMap};
+use sparten_tensor::{SparseChunk, SparseMap, TensorError};
 
 /// One multiply-accumulate step of an inner join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,9 +60,30 @@ impl<'a> InnerJoinSequencer<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the chunks differ in length or are zero-length.
+    /// Panics if the chunks differ in length or are zero-length; use
+    /// [`InnerJoinSequencer::try_new`] for the fallible path.
     pub fn new(a: &'a SparseChunk, b: &'a SparseChunk) -> Self {
         assert_eq!(a.len(), b.len(), "chunk length mismatch");
+        Self::build(a, b)
+    }
+
+    /// Fallible [`InnerJoinSequencer::new`]: rejects zero-length and
+    /// mismatched chunks with a typed [`TensorError`] instead of a panic,
+    /// matching the `try_*` plumbing of the tensor formats.
+    pub fn try_new(a: &'a SparseChunk, b: &'a SparseChunk) -> Result<Self, TensorError> {
+        if a.len() != b.len() {
+            return Err(TensorError::JoinWidthMismatch {
+                a: a.len(),
+                b: b.len(),
+            });
+        }
+        if a.is_empty() {
+            return Err(TensorError::EmptyChunk);
+        }
+        Ok(Self::build(a, b))
+    }
+
+    fn build(a: &'a SparseChunk, b: &'a SparseChunk) -> Self {
         let circuit = Sklansky;
         let inc_a = circuit.prefix_sums(a.mask());
         let inc_b = circuit.prefix_sums(b.mask());
@@ -178,6 +199,36 @@ mod tests {
         let a = chunk(&[1.0, 0.0]);
         let b = chunk(&[0.0, 1.0]);
         assert_eq!(InnerJoinSequencer::new(&a, &b).count(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_length_chunks() {
+        // Regression: `new` used to be the only path and panicked inside
+        // the priority encoder on zero-width chunks; the fallible
+        // constructor must surface a typed error instead.
+        let empty = SparseChunk::from_dense(&[]);
+        assert_eq!(
+            InnerJoinSequencer::try_new(&empty, &empty).err(),
+            Some(TensorError::EmptyChunk)
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_width_mismatch() {
+        let a = chunk(&[1.0, 2.0]);
+        let b = chunk(&[1.0, 2.0, 3.0]);
+        assert_eq!(
+            InnerJoinSequencer::try_new(&a, &b).err(),
+            Some(TensorError::JoinWidthMismatch { a: 2, b: 3 })
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_valid_chunks() {
+        let a = chunk(&[1.0, 0.0, 2.0]);
+        let b = chunk(&[3.0, 4.0, 5.0]);
+        let seq = InnerJoinSequencer::try_new(&a, &b).expect("valid operands");
+        assert_eq!(seq.run(), a.dot(&b));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod benes;
 pub mod compact;
 pub mod encoder;
+pub mod fast;
 pub mod join;
 pub mod permute;
 pub mod pipeline;
@@ -32,6 +33,7 @@ pub mod prefix;
 pub use benes::BenesNetwork;
 pub use compact::OutputCompactor;
 pub use encoder::PriorityEncoder;
+pub use fast::{compact_values, fast_join, join_eval, try_fast_join, FastJoin};
 pub use join::{InnerJoinSequencer, JoinStep};
 pub use permute::{PermutationNetwork, RouteStats};
 pub use pipeline::JoinPipeline;

@@ -100,6 +100,17 @@ impl Json {
         }
     }
 
+    /// A numeric value as `f64` ([`Json::Float`], [`Json::UInt`], or
+    /// [`Json::Int`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::UInt(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
     /// The boolean payload of a [`Json::Bool`].
     pub fn as_bool(&self) -> Option<bool> {
         match self {

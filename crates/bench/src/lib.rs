@@ -12,6 +12,7 @@ pub mod exps;
 pub mod experiments;
 pub mod fsutil;
 pub mod json;
+pub mod perf;
 pub mod registry;
 pub mod sink;
 pub mod tables;
@@ -22,6 +23,10 @@ pub use experiments::{
     run_layer, run_layer_telemetry, run_network, LayerResult, SEED,
 };
 pub use fsutil::atomic_write;
+pub use perf::{
+    check_schema, non_timing_fingerprint, run_benchmarks, BenchOptions, BenchReport, ExtraBench,
+    BENCH_SCHEMA, DEFAULT_OUT_PATH, DEFAULT_THRESHOLD,
+};
 pub use registry::{all_experiments, ExperimentKind, ExperimentSpec};
 pub use sink::{artifact, begin_capture, end_capture, Capture};
 pub use tables::{print_series, print_table};

@@ -9,6 +9,45 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// One timed measurement: the best-batch per-iteration estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Nanoseconds per iteration for the fastest batch.
+    pub ns_per_iter: f64,
+    /// Total iterations executed across all batches.
+    pub iters: u64,
+}
+
+/// Measures `f` under a wall-clock budget and returns the estimate
+/// instead of printing it — the programmatic core shared by the
+/// `benches/` targets (via [`Group::bench`]) and the `harness bench`
+/// perf-regression registry.
+pub fn measure<T, F: FnMut() -> T>(budget: Duration, mut f: F) -> Measurement {
+    // Warm-up: one untimed call, then size the batch so a batch takes
+    // roughly 1/10 of the budget.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let batch = ((budget.as_nanos() / 10 / once.as_nanos()).max(1)) as u64;
+
+    let mut best_ns_per_iter = f64::INFINITY;
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let b0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let ns = b0.elapsed().as_nanos() as f64 / batch as f64;
+        best_ns_per_iter = best_ns_per_iter.min(ns);
+        iters += batch;
+    }
+    Measurement {
+        ns_per_iter: best_ns_per_iter,
+        iters,
+    }
+}
+
 /// One named benchmark group; prints results as `group/id  …` lines.
 pub struct Group {
     name: String,
@@ -31,32 +70,14 @@ impl Group {
     }
 
     /// Measures `f`, reporting nanoseconds per iteration under `id`.
-    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) {
-        // Warm-up: one untimed call, then size the batch so a batch takes
-        // roughly 1/10 of the budget.
-        let t0 = Instant::now();
-        black_box(f());
-        let once = t0.elapsed().max(Duration::from_nanos(1));
-        let batch = ((self.budget.as_nanos() / 10 / once.as_nanos()).max(1)) as u64;
-
-        let mut best_ns_per_iter = f64::INFINITY;
-        let mut iters_total = 0u64;
-        let start = Instant::now();
-        while start.elapsed() < self.budget {
-            let b0 = Instant::now();
-            for _ in 0..batch {
-                black_box(f());
-            }
-            let ns = b0.elapsed().as_nanos() as f64 / batch as f64;
-            best_ns_per_iter = best_ns_per_iter.min(ns);
-            iters_total += batch;
-        }
+    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, f: F) {
+        let m = measure(self.budget, f);
         println!(
             "{}/{:<32} {:>14} ns/iter  ({} iters)",
             self.name,
             id,
-            format_ns(best_ns_per_iter),
-            iters_total,
+            format_ns(m.ns_per_iter),
+            m.iters,
         );
     }
 
@@ -96,6 +117,13 @@ mod tests {
         g.bench("noop", || calls += 1);
         assert!(calls > 0);
         g.finish();
+    }
+
+    #[test]
+    fn measure_returns_finite_estimate() {
+        let m = measure(Duration::from_millis(5), || 2u64 + 2);
+        assert!(m.ns_per_iter.is_finite() && m.ns_per_iter >= 0.0);
+        assert!(m.iters > 0);
     }
 
     #[test]

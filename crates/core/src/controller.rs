@@ -13,7 +13,7 @@
 //! It pins down the control protocol the prose describes — including the
 //! output-pointer bookkeeping against the per-cluster memory regions.
 
-use sparten_arch::OutputCompactor;
+use sparten_arch::fast;
 use sparten_nn::generate::Workload;
 use sparten_tensor::{SparseVector, Tensor3};
 
@@ -204,7 +204,8 @@ pub fn try_execute(
                 };
                 for (u, filters) in held.iter().enumerate() {
                     for (s, &f) in filters.iter().enumerate() {
-                        acc[u][s] += in_chunk.dot(&filter_chunks[f].chunks()[chunk]);
+                        let (dot, _macs) = fast::join_eval(in_chunk, &filter_chunks[f].chunks()[chunk]);
+                        acc[u][s] += dot;
                     }
                 }
             }
@@ -230,7 +231,7 @@ pub fn try_execute(
                         *v = v.max(0.0);
                     }
                 }
-                let compacted = OutputCompactor::new(m).compact(&cells);
+                let compacted = fast::compact_values(&cells);
                 stats.output_values += compacted.nnz();
                 let base: usize = balance
                     .groups

@@ -12,7 +12,8 @@
 //! of exact per-unit work traces that the cycle-level simulators in
 //! `sparten-sim` cross-check against.
 
-use sparten_arch::{OutputCompactor, PermutationNetwork};
+use sparten_arch::fast;
+use sparten_arch::PermutationNetwork;
 use sparten_faults::DropSpec;
 use sparten_nn::generate::Workload;
 use sparten_tensor::{SparseVector, Tensor3};
@@ -291,8 +292,9 @@ impl SparTenEngine {
                                 let mut w = 0u64;
                                 for &f in slots {
                                     let fc = &filter_chunks[f].chunks()[c];
-                                    acc[group.owner_slot(f)] += in_chunk.dot(fc);
-                                    w += in_chunk.join_work(fc) as u64;
+                                    let (dot, macs) = fast::join_eval(in_chunk, fc);
+                                    acc[group.owner_slot(f)] += dot;
+                                    w += macs as u64;
                                 }
                                 trace.unit_busy[u] += w;
                                 chunk_max = chunk_max.max(w);
@@ -308,8 +310,9 @@ impl SparTenEngine {
                                 let mut w = 0u64;
                                 for (s, &f) in slots.iter().enumerate() {
                                     let fc = &filter_chunks[f].chunks()[c];
-                                    by_src[s * units + u] = in_chunk.dot(fc);
-                                    w += in_chunk.join_work(fc) as u64;
+                                    let (dot, macs) = fast::join_eval(in_chunk, fc);
+                                    by_src[s * units + u] = dot;
+                                    w += macs as u64;
                                 }
                                 trace.unit_busy[u] += w;
                                 chunk_max = chunk_max.max(w);
@@ -332,9 +335,10 @@ impl SparTenEngine {
                             }
                         }
                     }
-                    // Output collector: compact on the fly, then store.
-                    let compactor = OutputCompactor::new(m);
-                    let compacted = compactor.compact(&acc);
+                    // Output collector: compact on the fly, then store
+                    // (word-parallel fast path; the structural
+                    // OutputCompactor is its oracle).
+                    let compacted = fast::compact_values(&acc);
                     trace.output_nnz += compacted.nnz() as u64;
                     let dense = compacted.to_dense();
                     let base = balance

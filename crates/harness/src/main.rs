@@ -25,6 +25,8 @@ USAGE:
                         [--telemetry] [--telemetry-dir PATH]
                         [--resume [RUN_ID]] [--journal-dir PATH]
                         [--drain-timeout SECS] [--abort-after N]
+    sparten-harness bench [--quick] [--filter SUBSTR] [--threshold X]
+                          [--out PATH] [--check-schema] [--enforce]
     sparten-harness faults [--seed N] [--trials N] [--quick] [--report PATH]
     sparten-harness fsck [--repair] [--results-dir PATH]
     sparten-harness list [--filter SUBSTR]
@@ -43,6 +45,14 @@ COMMANDS:
              `run --resume`. On SIGINT/SIGTERM the run drains: in-flight
              points finish, the journal records a clean shutdown, and the
              exit code is 75 (resumable). A second signal aborts at once.
+    bench    Run the deterministic micro+macro benchmark registry: each
+             word-parallel fast-path kernel against its structural-circuit
+             oracle, one cycle-simulated layer per architecture, the
+             functional engine, and the harness cache hit path. Prints the
+             speedup table, writes BENCH_sim.json (atomic), and compares
+             against the previous BENCH_sim.json if one exists, reporting
+             any benchmark slower than --threshold times its baseline
+             (a warning by default; an error with --enforce).
     faults   Run the seeded fault-injection campaign: inject every fault
              class, classify each trial (detected / masked / silently-wrong
              / crashed), and print the coverage table. Exits non-zero if
@@ -98,7 +108,17 @@ OPTIONS:
     --seed N              Campaign seed (default 1): same seed, same plan,
                           byte-identical coverage report.
     --trials N            Trials per fault class (default 6).
-    --quick               Shorthand for --trials 3 (CI smoke).
+    --quick               faults: shorthand for --trials 3; bench: ~5 ms
+                          measurement budget per benchmark (CI smoke).
+    --threshold X         bench: regression threshold as a new/old time
+                          ratio (default 1.5).
+    --out PATH            bench: artifact path (default BENCH_sim.json).
+    --check-schema        bench: after writing, parse the artifact back and
+                          validate it against the pinned schema; exit
+                          non-zero if malformed.
+    --enforce             bench: exit non-zero when any benchmark regressed
+                          past the threshold (default: warn only, since
+                          shared CI runners time noisily).
 ";
 
 fn main() -> ExitCode {
@@ -109,6 +129,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "run" => cmd_run(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
         "fsck" => cmd_fsck(&args[1..]),
         "list" => cmd_list(&args[1..]),
@@ -150,6 +171,10 @@ struct Flags {
     repair: bool,
     results_dir: Option<String>,
     report_path: Option<String>,
+    threshold: Option<f64>,
+    out_path: Option<String>,
+    check_schema: bool,
+    enforce: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -174,6 +199,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         repair: false,
         results_dir: None,
         report_path: None,
+        threshold: None,
+        out_path: None,
+        check_schema: false,
+        enforce: false,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -277,6 +306,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 f.abort_after = Some(n);
             }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                let t: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold value `{v}`"))?;
+                if !t.is_finite() || t <= 0.0 {
+                    return Err("--threshold must be finite and positive".into());
+                }
+                f.threshold = Some(t);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                if v.is_empty() {
+                    return Err("--out must not be empty".into());
+                }
+                f.out_path = Some(v.clone());
+            }
+            "--check-schema" => f.check_schema = true,
+            "--enforce" => f.enforce = true,
             "--repair" => f.repair = true,
             "--results-dir" => {
                 let v = it.next().ok_or("--results-dir needs a value")?;
@@ -514,6 +562,119 @@ fn cmd_faults(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Runs the deterministic benchmark registry and the perf-regression check.
+///
+/// The kernel and layer benchmarks live in `sparten_bench::perf`; the one
+/// benchmark that cannot (the cache hit path — `sparten-bench` must not
+/// depend back on this crate) is injected here as an [`ExtraBench`]: a
+/// throwaway cache directory is seeded with one stored point, and the
+/// benchmark times the hit path (`lookup` + `load`) against it.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = sparten_bench::BenchOptions {
+        quick: flags.quick,
+        filter: flags.filter.clone(),
+        threshold: flags.threshold.unwrap_or(sparten_bench::DEFAULT_THRESHOLD),
+    };
+    let out_path = flags
+        .out_path
+        .clone()
+        .unwrap_or_else(|| sparten_bench::DEFAULT_OUT_PATH.to_string());
+
+    // Seed a scratch cache with one point so the extra bench times a hit.
+    let cache_dir = std::env::temp_dir().join(format!(
+        "sparten-harness-bench-cache-{}",
+        std::process::id()
+    ));
+    let cache = Cache::new(&cache_dir);
+    let key = Cache::key("bench-probe", "bench-fingerprint", sparten_bench::SEED, 0);
+    let payload = sparten_harness::PointPayload::Record(
+        "harness/cache-hit probe record: a representative experiment line\n".repeat(16),
+    );
+    if let Err(e) = cache.store("bench-probe", 0, key, &payload) {
+        eprintln!("error: cannot seed bench cache in {}: {e}", cache_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let extras = vec![sparten_bench::ExtraBench {
+        name: "harness/cache-hit".to_string(),
+        run: Box::new(|| {
+            let hit = cache.load("bench-probe", 0, key);
+            assert!(hit.is_some(), "seeded cache point must hit");
+        }),
+    }];
+    let report = sparten_bench::run_benchmarks(&opts, extras);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    print!("{}", report.render_table());
+
+    // Compare against the previous artifact before overwriting it.
+    let mut regressed = false;
+    if let Ok(prev) = std::fs::read_to_string(&out_path) {
+        match sparten_bench::json::Json::parse(&prev) {
+            Ok(baseline) => {
+                let regressions = report.compare_with_baseline(&baseline);
+                for r in &regressions {
+                    eprintln!(
+                        "regression: {} went {:.0} -> {:.0} ns/iter ({:.2}x, threshold {:.2}x)",
+                        r.name, r.old_ns, r.new_ns, r.ratio, opts.threshold
+                    );
+                }
+                if regressions.is_empty() {
+                    println!(
+                        "no regressions past {:.2}x against baseline {out_path}",
+                        opts.threshold
+                    );
+                } else {
+                    regressed = true;
+                }
+            }
+            Err(e) => eprintln!("warning: ignoring unparseable baseline {out_path}: {e}"),
+        }
+    }
+
+    let mut body = report.to_json().pretty();
+    body.push('\n');
+    if let Err(e) = sparten_bench::atomic_write(&out_path, &body) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("benchmark report written to {out_path}");
+
+    if flags.check_schema {
+        let written = match std::fs::read_to_string(&out_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read back {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = match sparten_bench::json::Json::parse(&written) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {out_path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = sparten_bench::check_schema(&parsed) {
+            eprintln!("error: {out_path} fails schema check: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("schema check passed ({})", sparten_bench::BENCH_SCHEMA);
+    }
+
+    if regressed && flags.enforce {
+        eprintln!("error: perf regressions past the threshold (--enforce)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Audits (and with `--repair`, quarantines damage in) the results tree.

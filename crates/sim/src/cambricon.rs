@@ -8,7 +8,9 @@
 //! individually zero ("No" on avoiding zero compute), and (c) costs
 //! accuracy because clamping is group-wide ("No" on maintaining accuracy,
 //! quantified here by the collateral report from
-//! [`sparten_nn::structured::prune_coarse`]).
+//! [`sparten_nn::structured::prune_coarse`]). Chunk work for both the
+//! saturated and useful models comes from [`MaskModel`], whose inner loops
+//! run on the word-parallel `sparten_arch::fast` kernels.
 
 use sparten_nn::generate::Workload;
 use sparten_nn::structured::{prune_coarse, CoarsePruneReport};

@@ -7,6 +7,8 @@
 //! its 4×4 multiplier array, taking `⌈I/4⌉·⌈F/4⌉` cycles and computing all
 //! I·F products, which a crossbar scatters to accumulators. The filter-group
 //! broadcast imposes an inter-PE barrier at every (channel, group) step.
+//! Per-region non-zero counts come from [`MaskModel`], whose inner loops
+//! run on the word-parallel `sparten_arch::fast` kernels.
 //!
 //! Captured overheads, matching §2.1.1 and the Figure 10–12 decomposition:
 //!

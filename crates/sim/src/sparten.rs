@@ -15,6 +15,11 @@
 //! work is the input chunk's popcount (no imbalance, but all filter zeros
 //! with a non-zero input are multiplied) — the paper's proxy for Cnvlutin,
 //! Cambricon-X, and EIE's zero idling.
+//!
+//! Chunk work is obtained from [`MaskModel`], whose inner loops run on the
+//! word-parallel kernels in `sparten_arch::fast` (AND + popcount per `u64`
+//! word); the structural circuit models remain the oracle those kernels
+//! are differentially tested against.
 
 use sparten_core::balance::{BalanceMode, LayerBalance};
 use sparten_core::SimError;

@@ -11,6 +11,7 @@
 
 use std::sync::OnceLock;
 
+use sparten_arch::fast::{and_popcount_words, popcount_words};
 use sparten_core::chunking::padded_fiber_len;
 use sparten_nn::generate::Workload;
 use sparten_nn::ConvShape;
@@ -153,11 +154,10 @@ impl MaskModel {
         let fiber = self.tap_fiber(ox, oy, tap_x, tap_y);
         let fbase = (f * k * k + tap) * self.words_per_fiber + sub * self.words_per_chunk;
         let ibase = sub * self.words_per_chunk;
-        let mut acc = 0u32;
-        for w in 0..self.words_per_chunk {
-            acc += (fiber[ibase + w] & self.filter_words[fbase + w]).count_ones();
-        }
-        acc
+        and_popcount_words(
+            &fiber[ibase..ibase + self.words_per_chunk],
+            &self.filter_words[fbase..fbase + self.words_per_chunk],
+        )
     }
 
     /// One-sided work of chunk `c` for output `(ox, oy)`: the input chunk's
@@ -169,11 +169,7 @@ impl MaskModel {
         let (tap_y, tap_x) = (tap / k, tap % k);
         let fiber = self.tap_fiber(ox, oy, tap_x, tap_y);
         let ibase = sub * self.words_per_chunk;
-        let mut acc = 0u32;
-        for w in 0..self.words_per_chunk {
-            acc += fiber[ibase + w].count_ones();
-        }
-        acc
+        popcount_words(&fiber[ibase..ibase + self.words_per_chunk])
     }
 
     /// Two-sided join work of a whole window for filter `f`.
@@ -215,10 +211,7 @@ impl MaskModel {
             .map(|c| {
                 let (tap, sub) = (c / self.chunks_per_fiber, c % self.chunks_per_fiber);
                 let fbase = (f * k * k + tap) * self.words_per_fiber + sub * self.words_per_chunk;
-                self.filter_words[fbase..fbase + self.words_per_chunk]
-                    .iter()
-                    .map(|w| w.count_ones())
-                    .sum()
+                popcount_words(&self.filter_words[fbase..fbase + self.words_per_chunk])
             })
             .collect()
     }

@@ -169,7 +169,7 @@ impl SparseChunk {
     /// the popcount of the ANDed masks. This is the chunk's *work* in the
     /// cycle-level model (one MAC per cycle per compute unit).
     pub fn join_work(&self, other: &SparseChunk) -> usize {
-        self.mask.and(&other.mask).count_ones()
+        self.mask.and_count_ones(&other.mask)
     }
 
     /// Pads the chunk with trailing zero positions up to `target_len`

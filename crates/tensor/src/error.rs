@@ -89,6 +89,16 @@ pub enum TensorError {
         /// Values present in the store.
         total: usize,
     },
+    /// An inner join was requested over zero-width operands — the priority
+    /// encoder and prefix circuits are undefined over zero bits.
+    EmptyChunk,
+    /// Inner-join operands differ in width.
+    JoinWidthMismatch {
+        /// Width of the first operand.
+        a: usize,
+        /// Width of the second operand.
+        b: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -149,6 +159,12 @@ impl fmt::Display for TensorError {
                 f,
                 "directory accounts for {consumed} values but the store holds {total}"
             ),
+            TensorError::EmptyChunk => {
+                write!(f, "inner join requires positive-width chunks")
+            }
+            TensorError::JoinWidthMismatch { a, b } => {
+                write!(f, "inner-join operand widths differ: {a} vs {b}")
+            }
         }
     }
 }

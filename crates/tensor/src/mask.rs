@@ -218,6 +218,35 @@ impl SparseMap {
         &self.words
     }
 
+    /// Number of backing 64-bit words (`⌈len/64⌉`).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The `i`-th backing word (low bit = position `64·i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.word_count()`.
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Popcount of the AND of two masks without materializing the joined
+    /// mask — the word-parallel form of `self.and(other).count_ones()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different lengths.
+    pub fn and_count_ones(&self, other: &SparseMap) -> usize {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// Rebuilds a mask from raw words (the deserialization path),
     /// checking the structural invariants instead of trusting the input.
     pub fn try_from_words(words: Vec<u64>, len: usize) -> Result<Self, TensorError> {
@@ -419,6 +448,28 @@ mod tests {
         for len in [0, 1, 63, 64, 65, 128, 130] {
             assert_eq!(SparseMap::ones(len).validate(), Ok(()));
         }
+    }
+
+    #[test]
+    fn word_accessors_expose_backing_storage() {
+        let mut m = SparseMap::zeros(130);
+        for i in [0, 63, 64, 129] {
+            m.set(i, true);
+        }
+        assert_eq!(m.word_count(), 3);
+        assert_eq!(m.word(0), (1 << 0) | (1 << 63));
+        assert_eq!(m.word(1), 1);
+        assert_eq!(m.word(2), 1 << (129 - 128));
+        assert_eq!(m.as_words(), &[m.word(0), m.word(1), m.word(2)]);
+    }
+
+    #[test]
+    fn and_count_ones_matches_materialized_and() {
+        let a = SparseMap::from_bools(&[true, true, false, true, false]);
+        let b = SparseMap::from_bools(&[true, false, false, true, true]);
+        assert_eq!(a.and_count_ones(&b), a.and(&b).count_ones());
+        let z = SparseMap::zeros(5);
+        assert_eq!(a.and_count_ones(&z), 0);
     }
 
     #[test]

@@ -63,6 +63,15 @@ diff -r -x cache -x journal \
 ( cd "$SMOKE_CRASH/interrupted" && "$HARNESS_BIN" fsck >/dev/null )
 ( cd "$SMOKE_CRASH/clean" && "$HARNESS_BIN" fsck >/dev/null )
 
+echo "== bench smoke (quick registry, pinned schema, kernel speedups) =="
+# Write to a scratch path so the smoke never clobbers the committed
+# BENCH_sim.json baseline; --check-schema parses the artifact back.
+SMOKE_BENCH="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH"' EXIT
+cargo run -q --release -p sparten-harness -- bench --quick --check-schema \
+  --out "$SMOKE_BENCH/BENCH_sim.json"
+test -s "$SMOKE_BENCH/BENCH_sim.json"
+
 echo "== fault-campaign smoke (seeded, zero silently-wrong) =="
 # The faults command exits non-zero on any silently-wrong or crashed
 # trial; grep the coverage footer as a belt-and-braces assertion.
