@@ -143,17 +143,45 @@ impl Cache {
     /// cache-open time so a crashed writer never accumulates junk. Missing
     /// directory counts as already clean.
     pub fn sweep_tmp(&self) -> io::Result<usize> {
+        self.sweep_tmp_older_than(std::time::Duration::ZERO)
+    }
+
+    /// Like [`sweep_tmp`](Self::sweep_tmp), but only removes temp files
+    /// whose mtime is at least `min_age` old. The executor sweeps with a
+    /// grace period because the serve daemon runs several executors over
+    /// one shared cache directory: a crashed writer's orphan is minutes
+    /// old, while a *live* sibling's in-flight atomic write is
+    /// milliseconds old — sweeping it would fail the sibling's rename.
+    pub fn sweep_tmp_older_than(&self, min_age: std::time::Duration) -> io::Result<usize> {
         let mut swept = 0;
         let entries = match fs::read_dir(&self.dir) {
             Ok(e) => e,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
             Err(e) => return Err(e),
         };
+        let now = std::time::SystemTime::now();
         for entry in entries {
             let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
-                fs::remove_file(&path)?;
-                swept += 1;
+            if path.extension().and_then(|e| e.to_str()) != Some("tmp") {
+                continue;
+            }
+            if !min_age.is_zero() {
+                let age = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| now.duration_since(mtime).ok());
+                // Unreadable metadata or a future mtime: leave the file
+                // for a later sweep rather than risk a live write.
+                if age.is_none_or(|a| a < min_age) {
+                    continue;
+                }
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => swept += 1,
+                // A sibling's rename can complete (or its own sweep win)
+                // between readdir and unlink; already-gone is swept.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
             }
         }
         Ok(swept)

@@ -36,6 +36,31 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// Where a completed point's payload came from, for [`ProgressHook`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointOrigin {
+    /// Served from the content-addressed cache without computing.
+    Cache,
+    /// Computed by a worker this run.
+    Computed,
+}
+
+/// The callable a [`ProgressHook`] wraps: `(job_name, point, origin)`.
+pub type ProgressFn = dyn Fn(&str, usize, PointOrigin) + Send + Sync;
+
+/// Per-point progress callback, invoked on the scheduler thread as
+/// `(job_name, point, origin)` the moment each point is resolved —
+/// whether served from cache or computed. Consumers (the serve daemon's
+/// streaming sessions) must return quickly; the scheduler blocks on it.
+#[derive(Clone)]
+pub struct ProgressHook(pub Arc<ProgressFn>);
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Options for one [`run`].
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -96,6 +121,9 @@ pub struct RunOptions {
     /// artifacts, journal left dangling, exactly like a `kill -9` — after
     /// this many points have been computed and journaled.
     pub abort_after: Option<usize>,
+    /// Per-point progress callback (see [`ProgressHook`]); `None` for
+    /// batch runs.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for RunOptions {
@@ -117,6 +145,7 @@ impl Default for RunOptions {
             shutdown: None,
             drain_timeout: Duration::from_secs(30),
             abort_after: None,
+            progress: None,
         }
     }
 }
@@ -314,7 +343,10 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     let start = Instant::now();
     let cache = Cache::new(opts.cache_dir.clone());
     let mut cache_stats = CacheStats::default();
-    match cache.sweep_tmp() {
+    // Graced sweep: under the serve daemon several executors share this
+    // cache directory, and an ungraced sweep would delete a sibling
+    // run's in-flight atomic write out from under its rename.
+    match cache.sweep_tmp_older_than(Duration::from_secs(60)) {
         Ok(n) => cache_stats.swept_tmp = n,
         Err(e) => eprintln!("warning: tmp sweep failed: {e}"),
     }
@@ -590,6 +622,9 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                     states[job].points[point] = Some(payload);
                     states[job].cache_hits += 1;
                     states[job].pending_points -= 1;
+                    if let Some(hook) = &opts.progress {
+                        hook.0(exp.name(), point, PointOrigin::Cache);
+                    }
                 }
                 None => {
                     task_tx
@@ -950,6 +985,9 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                         }
                         state.points[done.point] = Some(payload);
                         state.telemetry[done.point] = done.telemetry;
+                        if let Some(hook) = &opts.progress {
+                            hook.0(exp.name(), done.point, PointOrigin::Computed);
+                        }
                         check_jobs.push(done.job);
                     }
                     Err(msg) => {

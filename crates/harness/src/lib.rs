@@ -29,6 +29,7 @@ pub mod executor;
 pub mod faults;
 pub mod fsck;
 pub mod journal;
+pub mod serve;
 pub mod signal;
 
 use sparten_bench::registry::{layer_from_record, layer_record, NetworkFigure, Runner};

@@ -31,6 +31,10 @@ USAGE:
     sparten-harness fsck [--repair] [--results-dir PATH]
     sparten-harness list [--filter SUBSTR]
     sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH]
+    sparten-harness serve [--addr HOST:PORT] [--port-file PATH] [--jobs N]
+                          [--max-active N] [--max-queue N] [--cache-dir PATH]
+                          [--journal-dir PATH] [--no-artifacts]
+                          [--drain-timeout SECS]
     sparten-harness clean [--results-dir PATH] [--cache-dir PATH]
                           [--journal-dir PATH]
 
@@ -66,8 +70,22 @@ COMMANDS:
     list     List registered experiments with kind, points, and deps.
     report   Summarize telemetry written by a previous `run --telemetry`:
              per-scope work/stall cycle totals and the dominant stall cause.
-    clean    Delete every cache entry, stale journals, and orphaned *.tmp
-             files, printing per-category counts.
+    serve    Run the multi-tenant simulation daemon: accepts job requests
+             over HTTP, coalesces concurrent duplicates onto one shared
+             execution (keyed by the content-addressed cache key), serves
+             fully cached jobs at memory speed without touching the
+             executor, streams per-point progress as chunked NDJSON, and
+             sheds load with 429 + Retry-After once the admission budget
+             (--max-active + --max-queue runs) is spent. Endpoints:
+             GET /healthz, GET /metrics (telemetry counter report),
+             GET /jobs, GET /result?job=NAME (cache-only, raw output),
+             POST /run?job=NAME (or JSON body {\"job\": \"NAME\"}).
+             On SIGINT/SIGTERM the daemon drains: stops accepting,
+             finishes every accepted request, journals the shutdown, and
+             exits 75. A second signal aborts at once.
+    clean    Delete every cache entry, stale journals, quarantined files
+             left by `fsck --repair`, and orphaned *.tmp files, printing
+             per-category counts.
 
 OPTIONS:
     --filter SUBSTR       Only experiments whose name contains SUBSTR.
@@ -119,6 +137,14 @@ OPTIONS:
     --enforce             bench: exit non-zero when any benchmark regressed
                           past the threshold (default: warn only, since
                           shared CI runners time noisily).
+    --addr HOST:PORT      serve: bind address (default 127.0.0.1:7070;
+                          port 0 picks an ephemeral port).
+    --port-file PATH      serve: write the bound HOST:PORT to PATH once
+                          listening (how scripts find an ephemeral port).
+    --max-active N        serve: concurrent executor runs (default 2).
+    --max-queue N         serve: admitted runs allowed to wait for a slot
+                          beyond --max-active; a new job arriving past that
+                          budget is answered 429 (default 8).
 ";
 
 fn main() -> ExitCode {
@@ -134,6 +160,7 @@ fn main() -> ExitCode {
         "fsck" => cmd_fsck(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "clean" => cmd_clean(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -143,6 +170,136 @@ fn main() -> ExitCode {
             eprintln!("unknown command `{other}`\n");
             eprint!("{USAGE}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Which options each subcommand accepts, plus its one-line synopsis —
+/// the source of truth for rejecting an inapplicable flag (previously
+/// `list --force` was parsed and silently ignored).
+struct CommandSpec {
+    usage: &'static str,
+    allowed: &'static [&'static str],
+}
+
+fn command_spec(cmd: &str) -> CommandSpec {
+    match cmd {
+        "run" => CommandSpec {
+            usage: "sparten-harness run [--filter SUBSTR] [--jobs N] [--force] [--strict]\n\
+                    \x20                   [--retries N] [--point-timeout SECS]\n\
+                    \x20                   [--cache-dir PATH] [--no-artifacts]\n\
+                    \x20                   [--telemetry] [--telemetry-dir PATH]\n\
+                    \x20                   [--resume [RUN_ID]] [--journal-dir PATH]\n\
+                    \x20                   [--drain-timeout SECS] [--abort-after N]",
+            allowed: &[
+                "--filter",
+                "--jobs",
+                "-j",
+                "--force",
+                "--strict",
+                "--retries",
+                "--point-timeout",
+                "--cache-dir",
+                "--no-artifacts",
+                "--telemetry",
+                "--telemetry-dir",
+                "--resume",
+                "--journal-dir",
+                "--drain-timeout",
+                "--abort-after",
+            ],
+        },
+        "bench" => CommandSpec {
+            usage: "sparten-harness bench [--quick] [--filter SUBSTR] [--threshold X]\n\
+                    \x20                     [--out PATH] [--check-schema] [--enforce]",
+            allowed: &[
+                "--quick",
+                "--filter",
+                "--threshold",
+                "--out",
+                "--check-schema",
+                "--enforce",
+            ],
+        },
+        "faults" => CommandSpec {
+            usage: "sparten-harness faults [--seed N] [--trials N] [--quick] [--report PATH]",
+            allowed: &["--seed", "--trials", "--quick", "--report"],
+        },
+        "fsck" => CommandSpec {
+            usage: "sparten-harness fsck [--repair] [--results-dir PATH]",
+            allowed: &["--repair", "--results-dir"],
+        },
+        "list" => CommandSpec {
+            usage: "sparten-harness list [--filter SUBSTR]",
+            allowed: &["--filter"],
+        },
+        "report" => CommandSpec {
+            usage: "sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH]",
+            allowed: &["--filter", "--telemetry-dir"],
+        },
+        "serve" => CommandSpec {
+            usage: "sparten-harness serve [--addr HOST:PORT] [--port-file PATH] [--jobs N]\n\
+                    \x20                     [--max-active N] [--max-queue N] [--cache-dir PATH]\n\
+                    \x20                     [--journal-dir PATH] [--no-artifacts]\n\
+                    \x20                     [--drain-timeout SECS]",
+            allowed: &[
+                "--addr",
+                "--port-file",
+                "--jobs",
+                "-j",
+                "--max-active",
+                "--max-queue",
+                "--cache-dir",
+                "--journal-dir",
+                "--no-artifacts",
+                "--drain-timeout",
+            ],
+        },
+        "clean" => CommandSpec {
+            usage: "sparten-harness clean [--results-dir PATH] [--cache-dir PATH]\n\
+                    \x20                     [--journal-dir PATH]",
+            allowed: &["--results-dir", "--cache-dir", "--journal-dir"],
+        },
+        _ => unreachable!("command_spec called for unrouted command `{cmd}`"),
+    }
+}
+
+/// How flag parsing failed.
+enum FlagsError {
+    /// A flag this subcommand does not accept (or not a flag at all):
+    /// name it, show the subcommand's usage, exit 2.
+    Unknown(String),
+    /// A recognized flag with a missing or unparseable value: exit 1.
+    Invalid(String),
+}
+
+impl From<String> for FlagsError {
+    fn from(message: String) -> Self {
+        FlagsError::Invalid(message)
+    }
+}
+
+impl From<&'static str> for FlagsError {
+    fn from(message: &'static str) -> Self {
+        FlagsError::Invalid(message.to_string())
+    }
+}
+
+/// Parses `cmd`'s flags or prints the right diagnostic: unknown options
+/// name the flag and the subcommand usage and exit 2; malformed values
+/// keep the historical exit 1.
+fn parse_cmd_flags(cmd: &str, args: &[String]) -> Result<Flags, ExitCode> {
+    let spec = command_spec(cmd);
+    match parse_flags(args, spec.allowed) {
+        Ok(flags) => Ok(flags),
+        Err(FlagsError::Unknown(flag)) => {
+            eprintln!("error: unknown option `{flag}` for `sparten-harness {cmd}`\n");
+            eprintln!("USAGE:\n    {}", spec.usage);
+            Err(ExitCode::from(2))
+        }
+        Err(FlagsError::Invalid(message)) => {
+            eprintln!("error: {message}");
+            Err(ExitCode::FAILURE)
         }
     }
 }
@@ -175,9 +332,13 @@ struct Flags {
     out_path: Option<String>,
     check_schema: bool,
     enforce: bool,
+    addr: Option<String>,
+    port_file: Option<String>,
+    max_active: Option<usize>,
+    max_queue: Option<usize>,
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, FlagsError> {
     let mut f = Flags {
         filter: None,
         jobs: None,
@@ -203,9 +364,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out_path: None,
         check_schema: false,
         enforce: false,
+        addr: None,
+        port_file: None,
+        max_active: None,
+        max_queue: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
+        if !allowed.contains(&arg.as_str()) {
+            return Err(FlagsError::Unknown(arg.clone()));
+        }
         match arg.as_str() {
             "--filter" => {
                 f.filter = Some(it.next().ok_or("--filter needs a value")?.clone());
@@ -340,19 +508,45 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 f.report_path = Some(v.clone());
             }
-            other => return Err(format!("unknown option `{other}`")),
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs a value")?;
+                if v.is_empty() {
+                    return Err("--addr must not be empty".into());
+                }
+                f.addr = Some(v.clone());
+            }
+            "--port-file" => {
+                let v = it.next().ok_or("--port-file needs a value")?;
+                if v.is_empty() {
+                    return Err("--port-file must not be empty".into());
+                }
+                f.port_file = Some(v.clone());
+            }
+            "--max-active" => {
+                let v = it.next().ok_or("--max-active needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-active value `{v}`"))?;
+                if n == 0 {
+                    return Err("--max-active must be at least 1".into());
+                }
+                f.max_active = Some(n);
+            }
+            "--max-queue" => {
+                let v = it.next().ok_or("--max-queue needs a value")?;
+                f.max_queue =
+                    Some(v.parse().map_err(|_| format!("bad --max-queue value `{v}`"))?);
+            }
+            other => return Err(FlagsError::Unknown(other.to_string())),
         }
     }
     Ok(f)
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_cmd_flags("run", args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let mut opts = RunOptions {
         filter: flags.filter,
@@ -533,12 +727,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
 /// Runs the seeded fault-injection campaign and prints the coverage table.
 fn cmd_faults(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_cmd_flags("faults", args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let seed = flags.seed.unwrap_or(1);
     let trials = flags.trials.unwrap_or(if flags.quick { 3 } else { 6 });
@@ -564,6 +755,53 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     }
 }
 
+/// One-point synthetic experiment for the serve cache-hit benchmark: its
+/// single record is pre-stored in the scratch cache, so `GET /result`
+/// against it exercises exactly the daemon's warm path.
+struct ServeProbe;
+
+impl sparten_harness::Experiment for ServeProbe {
+    fn name(&self) -> &'static str {
+        "serve-probe"
+    }
+
+    fn kind(&self) -> sparten_bench::ExperimentKind {
+        sparten_bench::ExperimentKind::Study
+    }
+
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn num_points(&self) -> usize {
+        1
+    }
+
+    fn fingerprint(&self) -> String {
+        "serve-probe:v1".into()
+    }
+
+    fn compute_point(&self, _point: usize) -> sparten_harness::PointPayload {
+        sparten_harness::PointPayload::Record(
+            "serve-probe record: a representative experiment line\n".repeat(16),
+        )
+    }
+
+    fn render(&self, points: &[sparten_harness::PointPayload]) -> sparten_bench::Capture {
+        let text = points
+            .iter()
+            .map(|p| match p {
+                sparten_harness::PointPayload::Record(blob) => blob.as_str(),
+                sparten_harness::PointPayload::Capture(c) => c.text.as_str(),
+            })
+            .collect::<String>();
+        sparten_bench::Capture {
+            text,
+            artifacts: Vec::new(),
+        }
+    }
+}
+
 /// Runs the deterministic benchmark registry and the perf-regression check.
 ///
 /// The kernel and layer benchmarks live in `sparten_bench::perf`; the one
@@ -572,12 +810,9 @@ fn cmd_faults(args: &[String]) -> ExitCode {
 /// throwaway cache directory is seeded with one stored point, and the
 /// benchmark times the hit path (`lookup` + `load`) against it.
 fn cmd_bench(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_cmd_flags("bench", args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let opts = sparten_bench::BenchOptions {
         quick: flags.quick,
@@ -603,14 +838,80 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         eprintln!("error: cannot seed bench cache in {}: {e}", cache_dir.display());
         return ExitCode::FAILURE;
     }
-    let extras = vec![sparten_bench::ExtraBench {
+    let mut extras = vec![sparten_bench::ExtraBench {
         name: "harness/cache-hit".to_string(),
         run: Box::new(|| {
             let hit = cache.load("bench-probe", 0, key);
             assert!(hit.is_some(), "seeded cache point must hit");
         }),
     }];
+
+    // The serve hot path: one full HTTP round trip for a fully-cached job
+    // against an in-process daemon on an ephemeral port. The scratch cache
+    // is warmed with the probe experiment's single point, so every
+    // iteration measures connect + parse + lookup + render + response —
+    // the latency a duplicate tenant sees when the answer is already warm.
+    let probe: std::sync::Arc<dyn sparten_harness::Experiment> = std::sync::Arc::new(ServeProbe);
+    let probe_key = Cache::key(
+        probe.name(),
+        &probe.fingerprint(),
+        sparten_harness::SEED,
+        0,
+    );
+    if let Err(e) = cache.store(probe.name(), 0, probe_key, &probe.compute_point(0)) {
+        eprintln!("error: cannot warm serve bench cache: {e}");
+        return ExitCode::FAILURE;
+    }
+    let serve_shutdown = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let backend = std::sync::Arc::new(sparten_harness::serve::HarnessBackend::new(
+        vec![probe],
+        &cache_dir,
+        None,
+        false,
+        1,
+    ));
+    let serve_opts = sparten_serve::ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        max_active: 1,
+        max_queued: 4,
+        read_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(5),
+        shutdown: std::sync::Arc::clone(&serve_shutdown),
+    };
+    let telemetry = std::sync::Arc::new(sparten_telemetry::Telemetry::new());
+    let (serve_addr, serve_thread) =
+        match sparten_serve::Server::bind(backend, telemetry, serve_opts) {
+            Ok(server) => match server.local_addr() {
+                Ok(a) => {
+                    let addr = a.to_string();
+                    (addr, std::thread::spawn(move || server.serve()))
+                }
+                Err(e) => {
+                    eprintln!("error: cannot resolve serve bench address: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot bind serve bench daemon: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let bench_addr = serve_addr.clone();
+    extras.push(sparten_bench::ExtraBench {
+        name: "serve/cache-hit-latency".to_string(),
+        run: Box::new(move || {
+            let response =
+                sparten_serve::client::request(&bench_addr, "GET", "/result?job=serve-probe", None)
+                    .expect("serve bench round trip");
+            assert_eq!(response.status, 200, "warmed probe must be a cache hit");
+        }),
+    });
+
     let report = sparten_bench::run_benchmarks(&opts, extras);
+    serve_shutdown.store(1, std::sync::atomic::Ordering::SeqCst);
+    if serve_thread.join().is_err() {
+        eprintln!("warning: serve bench daemon panicked during drain");
+    }
     let _ = std::fs::remove_dir_all(&cache_dir);
 
     print!("{}", report.render_table());
@@ -679,12 +980,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
 /// Audits (and with `--repair`, quarantines damage in) the results tree.
 fn cmd_fsck(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_cmd_flags("fsck", args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let root = PathBuf::from(flags.results_dir.unwrap_or_else(|| "results".into()));
     let jobs = registry();
@@ -726,12 +1024,9 @@ fn cmd_fsck(args: &[String]) -> ExitCode {
 /// Figure 10–12 cycle decomposition (work/stall counter totals) and the
 /// single largest stall cause.
 fn cmd_report(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_cmd_flags("report", args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let dir = flags
         .telemetry_dir
@@ -834,12 +1129,9 @@ fn cmd_report(args: &[String]) -> ExitCode {
 }
 
 fn cmd_list(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_cmd_flags("list", args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     println!(
         "{:<28} {:<10} {:>6}  deps",
@@ -868,6 +1160,116 @@ fn cmd_list(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the multi-tenant simulation daemon until a SIGINT/SIGTERM drain.
+///
+/// The daemon wraps the registry, cache, executor, and journal in an
+/// HTTP service (see `sparten-serve`): duplicate concurrent requests
+/// coalesce onto one execution, fully cached jobs answer at memory
+/// speed, and saturation sheds load with 429. A serve-session journal is
+/// created at bind and sealed on a clean drain, so a `kill -9`'d daemon
+/// leaves a dangling journal for `fsck` to flag — the same crash-only
+/// contract as `run`.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let flags = match parse_cmd_flags("serve", args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let cache_dir = PathBuf::from(flags.cache_dir.unwrap_or_else(|| "results/cache".into()));
+    let journal_dir =
+        PathBuf::from(flags.journal_dir.unwrap_or_else(|| "results/journal".into()));
+    let exec_jobs = flags.jobs.unwrap_or_else(executor::default_jobs);
+    let experiments = registry();
+
+    // The serve-session journal pins the registry at bind time.
+    let jobs: Vec<journal::JournalJob> = experiments
+        .iter()
+        .map(|e| journal::JournalJob {
+            name: e.name().to_string(),
+            fingerprint: e.fingerprint(),
+            points: e.num_points(),
+        })
+        .collect();
+    let run_id = format!("serve-{}", journal::generate_run_id());
+    let start = journal::StartRecord {
+        run_id: run_id.clone(),
+        filter: None,
+        force: false,
+        telemetry: false,
+        seed: sparten_harness::SEED,
+        registry_fp: journal::registry_fingerprint(&jobs),
+        jobs,
+    };
+    let mut session_journal = match journal::Journal::create(&journal_dir, &start) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: cannot journal in {}: {e}", journal_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let backend = std::sync::Arc::new(sparten_harness::serve::HarnessBackend::new(
+        experiments,
+        &cache_dir,
+        Some(journal_dir.clone()),
+        !flags.no_artifacts,
+        exec_jobs,
+    ));
+    let telemetry = std::sync::Arc::new(sparten_telemetry::Telemetry::new());
+    let opts = sparten_serve::ServeOptions {
+        addr: flags.addr.unwrap_or_else(|| "127.0.0.1:7070".into()),
+        max_active: flags.max_active.unwrap_or(2),
+        max_queued: flags.max_queue.unwrap_or(8),
+        read_timeout: Duration::from_secs(10),
+        drain_timeout: flags.drain_timeout.unwrap_or(Duration::from_secs(30)),
+        // First SIGINT/SIGTERM drains, second aborts — same as `run`.
+        shutdown: signal::install(),
+    };
+    let server = match sparten_serve::Server::bind(backend, telemetry, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving on http://{addr} (run id {run_id}, {exec_jobs} workers per run)");
+    println!("endpoints: GET /healthz /metrics /jobs /result?job=NAME; POST /run?job=NAME");
+    if let Some(path) = &flags.port_file {
+        if let Err(e) = sparten_bench::atomic_write(path, &format!("{addr}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = server.serve();
+
+    // Drained: journal the shutdown, seal, exit 75 like an interrupted run.
+    if let Err(e) = session_journal.append(&journal::Record::Shutdown {
+        reason: "signal".into(),
+    }) {
+        eprintln!("warning: journal write failed: {e}");
+    }
+    let status = if report.clean() { "ok" } else { "degraded" };
+    if let Err(e) = session_journal.seal(status) {
+        eprintln!("warning: journal seal failed: {e}");
+    }
+    if report.clean() {
+        println!("drained: {} session(s) served, none dropped", report.sessions_served);
+    } else {
+        eprintln!(
+            "drained: {} session(s) served, {} still open at the drain deadline",
+            report.sessions_served, report.abandoned
+        );
+    }
+    ExitCode::from(signal::DRAINED_EXIT_CODE)
+}
+
 /// Removes files matching `pred` directly under `dir`; missing dir = 0.
 fn sweep_files(dir: &Path, pred: impl Fn(&str) -> bool) -> std::io::Result<usize> {
     let entries = match std::fs::read_dir(dir) {
@@ -892,12 +1294,9 @@ fn sweep_files(dir: &Path, pred: impl Fn(&str) -> bool) -> std::io::Result<usize
 }
 
 fn cmd_clean(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_cmd_flags("clean", args) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let results = PathBuf::from(flags.results_dir.unwrap_or_else(|| "results".into()));
     let cache_dir = flags
@@ -937,9 +1336,22 @@ fn cmd_clean(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Files quarantined by `fsck --repair` are dead evidence once the
+    // operator cleans: sweep them like any other residue.
+    let quarantine_dir = results.join("quarantine");
+    let quarantined = match sweep_files(&quarantine_dir, |_| true) {
+        Ok(n) => {
+            let _ = std::fs::remove_dir(&quarantine_dir); // rmdir only if now empty
+            n
+        }
+        Err(e) => {
+            eprintln!("error: cannot clean {}: {e}", quarantine_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
-        "removed {} cache entries, {} journal(s), {} orphaned .tmp file(s)",
-        counts.entries, journals, tmp
+        "removed {} cache entries, {} journal(s), {} quarantined file(s), {} orphaned .tmp file(s)",
+        counts.entries, journals, quarantined, tmp
     );
     ExitCode::SUCCESS
 }

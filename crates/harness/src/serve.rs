@@ -1,0 +1,203 @@
+//! The harness side of the serve daemon: a [`Backend`] over the
+//! experiment registry, the content-addressed cache, and the worker-pool
+//! executor.
+//!
+//! The `sparten-serve` crate schedules requests and speaks HTTP but knows
+//! nothing about experiments. This module supplies the three capabilities
+//! it needs:
+//!
+//! * **identity** — each job's coalescing key is derived from the same
+//!   material as its cache keys (name, fingerprint, seed), so "identical
+//!   request" in the server means exactly "would produce byte-identical
+//!   results";
+//! * **the memory-speed hit path** — [`HarnessBackend::cached`] assembles
+//!   a whole job from validated cache entries and renders it without
+//!   touching the executor;
+//! * **execution** — [`HarnessBackend::execute`] runs one job through
+//!   [`executor::run`] with the same options `harness run` uses (journaled,
+//!   self-healing, artifact-writing), wiring the executor's per-point
+//!   [`ProgressHook`] into the server's broadcast stream.
+//!
+//! Concurrent `execute` calls are safe by construction: the server
+//! coalesces duplicates, so two executor runs never compute the same job
+//! at once, and distinct jobs touch distinct cache entries, artifact
+//! files, and journals (run ids carry a process-wide sequence number).
+
+use crate::cache::{fnv1a_parts, Cache, Lookup};
+use crate::executor::{self, PointOrigin, ProgressHook, RunOptions};
+use crate::{Experiment, PointPayload};
+use sparten_serve::{Backend, JobInfo, JobOutput, PointSource};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// [`Backend`] implementation over the harness registry and machinery.
+pub struct HarnessBackend {
+    experiments: Vec<Arc<dyn Experiment>>,
+    cache_dir: PathBuf,
+    journal_dir: Option<PathBuf>,
+    write_artifacts: bool,
+    exec_jobs: usize,
+    run_seq: AtomicUsize,
+}
+
+impl HarnessBackend {
+    /// A backend serving `experiments`, reading/writing the cache at
+    /// `cache_dir`, journaling executor runs under `journal_dir` (`None`
+    /// disables journaling, for tests), writing `results/*` artifacts iff
+    /// `write_artifacts`, and giving each executor run `exec_jobs` worker
+    /// threads.
+    pub fn new(
+        experiments: Vec<Arc<dyn Experiment>>,
+        cache_dir: impl Into<PathBuf>,
+        journal_dir: Option<PathBuf>,
+        write_artifacts: bool,
+        exec_jobs: usize,
+    ) -> HarnessBackend {
+        HarnessBackend {
+            experiments,
+            cache_dir: cache_dir.into(),
+            journal_dir,
+            write_artifacts,
+            exec_jobs: exec_jobs.max(1),
+            run_seq: AtomicUsize::new(0),
+        }
+    }
+
+    fn find(&self, name: &str) -> Option<&Arc<dyn Experiment>> {
+        self.experiments.iter().find(|e| e.name() == name)
+    }
+
+    /// The job-level coalescing key: same material as the per-point cache
+    /// keys, so it changes exactly when a rerun could produce different
+    /// bytes.
+    fn coalesce_key(exp: &Arc<dyn Experiment>) -> u64 {
+        fnv1a_parts(&[
+            exp.name(),
+            &exp.fingerprint(),
+            &format!("seed={}", crate::SEED),
+        ])
+    }
+
+    fn info(exp: &Arc<dyn Experiment>) -> JobInfo {
+        JobInfo {
+            name: exp.name().to_string(),
+            kind: exp.kind().label().to_string(),
+            points: exp.num_points(),
+            key: Self::coalesce_key(exp),
+        }
+    }
+}
+
+impl Backend for HarnessBackend {
+    fn jobs(&self) -> Vec<JobInfo> {
+        self.experiments.iter().map(Self::info).collect()
+    }
+
+    fn job(&self, name: &str) -> Option<JobInfo> {
+        self.find(name).map(Self::info)
+    }
+
+    fn cached(&self, name: &str) -> Option<JobOutput> {
+        let exp = self.find(name)?;
+        let cache = Cache::new(&self.cache_dir);
+        let fp = exp.fingerprint();
+        let mut points: Vec<PointPayload> = Vec::with_capacity(exp.num_points());
+        for point in 0..exp.num_points() {
+            let key = Cache::key(exp.name(), &fp, crate::SEED, point);
+            match cache.lookup(exp.name(), point, key) {
+                Lookup::Hit(payload) if exp.validate(point, &payload) => points.push(payload),
+                _ => return None,
+            }
+        }
+        let capture = exp.render(&points);
+        Some(JobOutput {
+            text: capture.text,
+            artifacts: capture.artifacts,
+        })
+    }
+
+    fn execute(
+        &self,
+        name: &str,
+        progress: Arc<dyn Fn(usize, PointSource) + Send + Sync>,
+    ) -> Result<JobOutput, String> {
+        let exp = Arc::clone(self.find(name).ok_or_else(|| format!("unknown job `{name}`"))?);
+        let seq = self.run_seq.fetch_add(1, Ordering::SeqCst);
+        let opts = RunOptions {
+            filter: None,
+            jobs: self.exec_jobs,
+            force: false,
+            cache_dir: self.cache_dir.clone(),
+            write_artifacts: self.write_artifacts,
+            stream_output: false,
+            telemetry_dir: None,
+            max_attempts: 2,
+            point_timeout: None,
+            // Quarantine reporting is per-request here (the error flows
+            // back over HTTP); a shared failures.json would be a write
+            // race between concurrent runs.
+            failures_path: None,
+            journal_dir: self.journal_dir.clone(),
+            resume: None,
+            run_id: Some(format!("{}-s{seq:04}", crate::journal::generate_run_id())),
+            // In-flight runs complete fully during a drain; the server
+            // stops new admissions instead.
+            shutdown: None,
+            drain_timeout: Duration::from_secs(30),
+            abort_after: None,
+            progress: Some(ProgressHook(Arc::new(move |_job, point, origin| {
+                progress(
+                    point,
+                    match origin {
+                        PointOrigin::Cache => PointSource::Cache,
+                        PointOrigin::Computed => PointSource::Computed,
+                    },
+                )
+            }))),
+        };
+        let report = executor::run(&[exp], &opts)?;
+        let job = report
+            .jobs
+            .into_iter()
+            .next()
+            .ok_or_else(|| "executor returned no job report".to_string())?;
+        match job.error {
+            Some(e) => Err(e),
+            None => Ok(JobOutput {
+                text: job.output,
+                artifacts: job.artifacts,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn coalescing_keys_are_stable_and_distinct() {
+        let experiments = registry();
+        let backend = HarnessBackend::new(experiments.clone(), "results/cache", None, false, 1);
+        let jobs = backend.jobs();
+        assert_eq!(jobs.len(), experiments.len());
+        // Distinct jobs get distinct keys; the same job keys identically
+        // across calls (the whole point of coalescing on it).
+        let mut keys: Vec<u64> = jobs.iter().map(|j| j.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), jobs.len());
+        let again = backend.jobs();
+        assert_eq!(jobs, again);
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_none() {
+        let backend = HarnessBackend::new(registry(), "results/cache", None, false, 1);
+        assert!(backend.job("no_such_job").is_none());
+        assert!(backend.cached("no_such_job").is_none());
+    }
+}

@@ -129,6 +129,7 @@ fn opts(tree: &Path, jobs: usize) -> RunOptions {
         shutdown: None,
         drain_timeout: Duration::from_secs(30),
         abort_after: None,
+        progress: None,
     }
 }
 

@@ -133,6 +133,7 @@ fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
         shutdown: None,
         drain_timeout: Duration::from_secs(30),
         abort_after: None,
+        progress: None,
     }
 }
 

@@ -1,0 +1,442 @@
+//! End-to-end tests for `harness serve` over real sockets.
+//!
+//! Each test binds a [`Server`] on an ephemeral port with a
+//! [`HarnessBackend`] over cheap synthetic experiments, drives it with
+//! the `sparten_serve::client`, and asserts the acceptance properties:
+//! concurrent duplicate requests share exactly one execution, saturation
+//! answers 429 + `Retry-After`, cache hits are byte-identical to a direct
+//! executor run, and a drain completes in-flight requests, refuses new
+//! connections, and leaves no dangling journal. (The real-signal path —
+//! SIGTERM against the binary exiting 75 — is covered by the serve smoke
+//! in `scripts/verify.sh`, which this suite cannot do in-process.)
+
+use sparten_bench::json::Json;
+use sparten_bench::{Capture, ExperimentKind};
+use sparten_harness::executor::{self, RunOptions};
+use sparten_harness::serve::HarnessBackend;
+use sparten_harness::{Experiment, PointPayload};
+use sparten_serve::client::{request, Response};
+use sparten_serve::{ServeOptions, Server};
+use sparten_telemetry::Telemetry;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A synthetic experiment: deterministic payloads, optional per-point
+/// delay (to hold the admission budget in the saturation/drain tests).
+struct TestExp {
+    name: &'static str,
+    points: usize,
+    delay: Duration,
+}
+
+impl Experiment for TestExp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn kind(&self) -> ExperimentKind {
+        ExperimentKind::Study
+    }
+    fn deps(&self) -> &'static [&'static str] {
+        &[]
+    }
+    fn num_points(&self) -> usize {
+        self.points
+    }
+    fn fingerprint(&self) -> String {
+        format!("serve-test:{}:{}", self.name, self.points)
+    }
+    fn compute_point(&self, point: usize) -> PointPayload {
+        if !self.delay.is_zero() {
+            thread::sleep(self.delay);
+        }
+        PointPayload::Record(format!("{} computed point {point}\n", self.name))
+    }
+    fn render(&self, points: &[PointPayload]) -> Capture {
+        let mut text = format!("== {} ==\n", self.name);
+        for p in points {
+            match p {
+                PointPayload::Record(blob) => text.push_str(blob),
+                PointPayload::Capture(_) => unreachable!(),
+            }
+        }
+        Capture {
+            text,
+            artifacts: Vec::new(),
+        }
+    }
+}
+
+fn exp(name: &'static str, points: usize) -> Arc<dyn Experiment> {
+    Arc::new(TestExp {
+        name,
+        points,
+        delay: Duration::ZERO,
+    })
+}
+
+fn slow_exp(name: &'static str, points: usize, delay: Duration) -> Arc<dyn Experiment> {
+    Arc::new(TestExp {
+        name,
+        points,
+        delay,
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sparten-serve-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Binds a server over `experiments`, returning the bound address, the
+/// shared telemetry (for direct metric assertions), the shutdown flag,
+/// and the server thread's join handle.
+#[allow(clippy::type_complexity)]
+fn start_server(
+    experiments: Vec<Arc<dyn Experiment>>,
+    cache_dir: &Path,
+    journal_dir: Option<PathBuf>,
+    max_active: usize,
+    max_queued: usize,
+) -> (
+    String,
+    Arc<Telemetry>,
+    Arc<AtomicUsize>,
+    thread::JoinHandle<sparten_serve::DrainReport>,
+) {
+    let backend = Arc::new(HarnessBackend::new(
+        experiments,
+        cache_dir.to_path_buf(),
+        journal_dir,
+        false,
+        2,
+    ));
+    let telemetry = Arc::new(Telemetry::new());
+    let shutdown = Arc::new(AtomicUsize::new(0));
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        max_active,
+        max_queued,
+        read_timeout: Duration::from_secs(30),
+        drain_timeout: Duration::from_secs(30),
+        shutdown: Arc::clone(&shutdown),
+    };
+    let server = Server::bind(backend, Arc::clone(&telemetry), opts).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = thread::spawn(move || server.serve());
+    (addr, telemetry, shutdown, handle)
+}
+
+fn counter(telemetry: &Telemetry, name: &str) -> u64 {
+    telemetry.metrics.snapshot().counter(name).unwrap_or(0)
+}
+
+/// The `output` field of the final NDJSON `done` event of a streamed run.
+fn done_output(response: &Response) -> String {
+    let lines = response.lines();
+    let last = lines.last().expect("stream has events");
+    let event = Json::parse(last).expect("done event parses");
+    assert_eq!(
+        event.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "run must succeed: {last}"
+    );
+    event
+        .get("output")
+        .and_then(Json::as_str)
+        .expect("done carries output")
+        .to_string()
+}
+
+/// What `harness run` would print for `name`: a direct executor run over
+/// the same experiments with its own scratch cache.
+fn direct_output(experiments: &[Arc<dyn Experiment>], name: &str, tag: &str) -> String {
+    let opts = RunOptions {
+        filter: Some(name.to_string()),
+        jobs: 2,
+        force: false,
+        cache_dir: fresh_dir(tag),
+        write_artifacts: false,
+        stream_output: false,
+        telemetry_dir: None,
+        max_attempts: 2,
+        point_timeout: None,
+        failures_path: None,
+        journal_dir: None,
+        resume: None,
+        run_id: None,
+        shutdown: None,
+        drain_timeout: Duration::from_secs(30),
+        abort_after: None,
+        progress: None,
+    };
+    let report = executor::run(experiments, &opts).expect("direct run succeeds");
+    let job = report
+        .jobs
+        .iter()
+        .find(|j| j.name == name)
+        .expect("job present");
+    assert!(job.error.is_none());
+    job.output.clone()
+}
+
+/// The acceptance-criteria load test: 8 concurrent clients, over half of
+/// them duplicates, against 3 unique jobs. Exactly one executor run per
+/// unique cache key, zero dropped (non-200) accepted requests, and every
+/// payload byte-identical to a direct `harness run` of the same job.
+#[test]
+fn concurrent_duplicate_requests_share_one_execution() {
+    let experiments = vec![exp("srv_a", 2), exp("srv_b", 3), exp("srv_c", 1)];
+    let cache_dir = fresh_dir("load-cache");
+    let (addr, telemetry, shutdown, handle) =
+        start_server(experiments.clone(), &cache_dir, None, 2, 8);
+
+    // 8 clients, 3 unique jobs => 5 of 8 are duplicates (>= 50%).
+    let wanted = ["srv_a", "srv_a", "srv_a", "srv_b", "srv_b", "srv_b", "srv_c", "srv_c"];
+    let clients: Vec<_> = wanted
+        .iter()
+        .map(|job| {
+            let addr = addr.clone();
+            let target = format!("/run?job={job}");
+            thread::spawn(move || request(&addr, "POST", &target, None).expect("request"))
+        })
+        .collect();
+    let responses: Vec<Response> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    // Zero dropped accepted requests: every client streamed to completion.
+    for response in &responses {
+        assert_eq!(response.status, 200);
+    }
+    // Exactly one executor run per unique key. (Concurrency makes *which*
+    // clients coalesce nondeterministic — a late duplicate may arrive
+    // after its twin finished and hit the cache instead — but the run
+    // count per key cannot exceed one because the first run warms the
+    // cache for everyone after it.)
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 3);
+    assert_eq!(counter(&telemetry, "serve/exec.failures"), 0);
+    assert_eq!(counter(&telemetry, "serve/rejected.saturated"), 0);
+    let coalesced = counter(&telemetry, "serve/coalesced");
+    let full_hits = counter(&telemetry, "serve/cache.full_hits");
+    assert_eq!(coalesced + full_hits, 5, "the 5 duplicates joined or hit");
+
+    // Byte-identical payloads: every duplicate agrees, and each matches a
+    // direct executor run of the same job.
+    for (job, response) in wanted.iter().zip(&responses) {
+        let served = done_output(response);
+        let direct = direct_output(&experiments, job, &format!("load-direct-{job}"));
+        assert_eq!(served, direct, "served output for {job} must match harness run");
+    }
+
+    // The cache now holds every unique point exactly once: 2 + 3 + 1.
+    let entries = std::fs::read_dir(&cache_dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "cache"))
+        .count();
+    assert_eq!(entries, 6, "one cache store per unique point");
+
+    shutdown.store(1, Ordering::SeqCst);
+    let report = handle.join().unwrap();
+    assert!(report.clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn saturation_rejects_new_jobs_with_429_and_retry_after() {
+    let experiments = vec![
+        slow_exp("srv_slow_x", 1, Duration::from_millis(700)),
+        slow_exp("srv_slow_y", 1, Duration::from_millis(700)),
+    ];
+    let cache_dir = fresh_dir("saturation-cache");
+    // Budget of exactly one admitted run: the second unique job bounces.
+    let (addr, telemetry, shutdown, handle) =
+        start_server(experiments, &cache_dir, None, 1, 0);
+
+    let runner = {
+        let addr = addr.clone();
+        thread::spawn(move || request(&addr, "POST", "/run?job=srv_slow_x", None).expect("runner"))
+    };
+    // Wait until the run is admitted and executing, so the saturation
+    // answer below is deterministic, not a race with the runner's accept.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while counter(&telemetry, "serve/exec.runs") == 0 {
+        assert!(Instant::now() < deadline, "runner never started");
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    let bounced = request(&addr, "POST", "/run?job=srv_slow_y", None).expect("reject");
+    assert_eq!(bounced.status, 429);
+    assert_eq!(bounced.header("retry-after"), Some("1"));
+    assert_eq!(counter(&telemetry, "serve/rejected.saturated"), 1);
+
+    // A duplicate of the in-flight job is NOT load: it coalesces fine
+    // even though the admission budget is spent.
+    let follower = request(&addr, "POST", "/run?job=srv_slow_x", None).expect("follower");
+    assert_eq!(follower.status, 200);
+
+    assert_eq!(runner.join().unwrap().status, 200);
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 1);
+
+    shutdown.store(1, Ordering::SeqCst);
+    assert!(handle.join().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn cache_hits_bypass_the_executor_and_match_harness_run_bytes() {
+    let experiments = vec![exp("srv_warm", 3)];
+    let cache_dir = fresh_dir("warm-cache");
+
+    // Warm the cache exactly the way `harness run` does: a direct
+    // executor run into the same cache directory.
+    let opts = RunOptions {
+        filter: None,
+        jobs: 2,
+        force: false,
+        cache_dir: cache_dir.clone(),
+        write_artifacts: false,
+        stream_output: false,
+        telemetry_dir: None,
+        max_attempts: 2,
+        point_timeout: None,
+        failures_path: None,
+        journal_dir: None,
+        resume: None,
+        run_id: None,
+        shutdown: None,
+        drain_timeout: Duration::from_secs(30),
+        abort_after: None,
+        progress: None,
+    };
+    let direct = executor::run(&experiments, &opts).expect("warming run");
+    let direct_text = direct.jobs[0].output.clone();
+
+    let (addr, telemetry, shutdown, handle) =
+        start_server(experiments, &cache_dir, None, 2, 8);
+
+    // The raw-output endpoint is the byte-identity surface.
+    let raw = request(&addr, "GET", "/result?job=srv_warm", None).expect("result");
+    assert_eq!(raw.status, 200);
+    assert_eq!(raw.body, direct_text);
+
+    // The streamed path serves the same bytes in its done event.
+    let streamed = request(&addr, "POST", "/run?job=srv_warm", None).expect("run");
+    assert_eq!(streamed.status, 200);
+    assert_eq!(done_output(&streamed), direct_text);
+
+    // Memory speed means the executor was never touched.
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 0);
+    assert_eq!(counter(&telemetry, "serve/cache.full_hits"), 2);
+
+    // /metrics round-trips through the telemetry text format.
+    let metrics = request(&addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let parsed = sparten_telemetry::parse_report(&metrics.body).expect("report parses");
+    assert_eq!(parsed.counters.get("serve/cache.full_hits"), Some(&2));
+
+    shutdown.store(1, Ordering::SeqCst);
+    assert!(handle.join().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Drain: an in-flight request finishes and streams its result, new
+/// connections are refused, the executor's journal is sealed (no dangling
+/// `*.jsonl`), and the drain report is clean.
+#[test]
+fn drain_finishes_inflight_requests_and_seals_the_journal() {
+    let experiments = vec![slow_exp("srv_drain", 2, Duration::from_millis(400))];
+    let cache_dir = fresh_dir("drain-cache");
+    let journal_dir = fresh_dir("drain-journal");
+    let (addr, telemetry, shutdown, handle) = start_server(
+        experiments,
+        &cache_dir,
+        Some(journal_dir.clone()),
+        2,
+        8,
+    );
+
+    let inflight = {
+        let addr = addr.clone();
+        thread::spawn(move || request(&addr, "POST", "/run?job=srv_drain", None).expect("inflight"))
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while counter(&telemetry, "serve/exec.runs") == 0 {
+        assert!(Instant::now() < deadline, "run never started");
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // Raise the drain flag mid-run: the accepted request must complete.
+    shutdown.store(1, Ordering::SeqCst);
+    let response = inflight.join().unwrap();
+    assert_eq!(response.status, 200);
+    let output = done_output(&response);
+    assert!(output.contains("srv_drain computed point"), "{output}");
+
+    let report = handle.join().unwrap();
+    assert!(report.clean(), "drain abandoned sessions: {report:?}");
+    assert!(report.sessions_served >= 1);
+
+    // New connections are refused once drained.
+    assert!(request(&addr, "GET", "/healthz", None).is_err());
+
+    // The executor journaled the run and sealed it on completion: a
+    // drained daemon leaves no dangling journal behind.
+    let dangling = std::fs::read_dir(&journal_dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(dangling, 0, "journal must be sealed after a clean drain");
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+/// Router behavior for the non-run endpoints and malformed input.
+#[test]
+fn router_answers_health_jobs_and_rejects_garbage() {
+    let experiments = vec![exp("srv_meta", 1)];
+    let cache_dir = fresh_dir("router-cache");
+    let (addr, telemetry, shutdown, handle) =
+        start_server(experiments, &cache_dir, None, 2, 8);
+
+    let health = request(&addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+
+    let jobs = request(&addr, "GET", "/jobs", None).expect("jobs");
+    assert_eq!(jobs.status, 200);
+    let parsed = Json::parse(jobs.body.trim()).expect("jobs JSON");
+    let Json::Arr(list) = parsed else { panic!("jobs must be an array") };
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].get("name").and_then(Json::as_str), Some("srv_meta"));
+
+    let missing = request(&addr, "POST", "/run?job=unknown_job", None).expect("404");
+    assert_eq!(missing.status, 404);
+    assert_eq!(counter(&telemetry, "serve/rejected.unknown_job"), 1);
+
+    let no_job = request(&addr, "POST", "/run", None).expect("400");
+    assert_eq!(no_job.status, 400);
+
+    let body_run = request(&addr, "POST", "/run", Some("{\"job\": \"srv_meta\"}"))
+        .expect("JSON body run");
+    assert_eq!(body_run.status, 200);
+
+    let wrong_method = request(&addr, "GET", "/run?job=srv_meta", None).expect("405");
+    assert_eq!(wrong_method.status, 405);
+
+    let nowhere = request(&addr, "GET", "/nowhere", None).expect("404 endpoint");
+    assert_eq!(nowhere.status, 404);
+
+    shutdown.store(1, Ordering::SeqCst);
+    assert!(handle.join().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

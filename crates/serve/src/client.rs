@@ -1,0 +1,127 @@
+//! A minimal blocking HTTP client for tests and benchmarks.
+//!
+//! Just enough protocol to drive the daemon from the same process:
+//! one request per connection, `Content-Length` and chunked bodies
+//! decoded. Not a general client — no redirects, no keep-alive, no TLS —
+//! and deliberately independent of the server code so a codec bug cannot
+//! cancel itself out in round-trip tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A fully-read response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (chunked framing removed).
+    pub body: String,
+}
+
+impl Response {
+    /// First header value for `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (*k == want).then_some(v.as_str()))
+    }
+
+    /// The body split into non-empty NDJSON lines.
+    pub fn lines(&self) -> Vec<&str> {
+        self.body.lines().filter(|l| !l.is_empty()).collect()
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    Ok(line.trim_end_matches(['\r', '\n']).to_string())
+}
+
+/// Sends `method target` to `addr` and reads the whole response,
+/// blocking until the server finishes the body (so a streamed `/run`
+/// returns only once the run is done).
+pub fn request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {target} HTTP/1.1\r\nHost: sparten-serve\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| e.to_string())?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_line(&mut reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size `{size_line}`"))?;
+            if size == 0 {
+                let _ = read_line(&mut reader); // trailing CRLF after last chunk
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| format!("chunk read: {e}"))?;
+            body.extend_from_slice(&chunk);
+            let _ = read_line(&mut reader)?; // chunk's trailing CRLF
+        }
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body.resize(len, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("body read: {e}"))?;
+    } else {
+        reader
+            .read_to_end(&mut body)
+            .map_err(|e| format!("body read: {e}"))?;
+    }
+    Ok(Response {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}

@@ -1,0 +1,324 @@
+//! Request coalescing and admission control, as one gate.
+//!
+//! The two concerns share a single lock on purpose. If coalescing and
+//! admission were separate structures, a request could join an in-flight
+//! run at the exact moment that run's admission was rejected — stranding
+//! the follower forever. Here every request makes one atomic decision in
+//! [`Gate::enter`]:
+//!
+//! * the key is already in flight → **follow** it (always admitted —
+//!   a follower adds no executor load, only a subscriber channel);
+//! * the key is new and the admission budget (`max_active + max_queued`
+//!   runs) has room → **run** it, holding a [`RunPermit`];
+//! * the key is new and the budget is full → **saturated**, reported to
+//!   the client as 429 + `Retry-After`. No entry is created, so nobody
+//!   can coalesce onto work that will never start.
+//!
+//! An admitted runner then blocks in [`RunPermit::wait_for_slot`] until
+//! one of the `max_active` execution slots frees — a bounded FIFO-by-
+//! condvar queue, which is what makes "zero dropped accepted requests"
+//! hold: once `enter` says run, the run *will* execute (or every waiter
+//! is notified of its failure via the permit's drop guard).
+
+use crate::{JobOutput, PointSource};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One progress or completion event, broadcast to every subscriber of a
+/// coalesced run.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// One sweep point finished; `done` of `total` points are complete.
+    Point {
+        /// Index of the point that finished.
+        point: usize,
+        /// Points complete so far (monotonic under the broadcast lock).
+        done: usize,
+        /// Total points in the job.
+        total: usize,
+        /// Whether the point was computed or served from the cache.
+        source: PointSource,
+    },
+    /// The run finished; shared so a large output is not cloned per
+    /// follower.
+    Done(Arc<Result<JobOutput, String>>),
+}
+
+/// The gate's verdict for one request.
+pub enum Ticket {
+    /// Caller owns the execution: spawn the run, then stream `rx` (the
+    /// runner subscribes to its own broadcast, so runner and followers
+    /// observe identical event sequences).
+    Runner(RunPermit, Receiver<Event>),
+    /// An identical run is in flight; stream its events from `rx`.
+    Follower(Receiver<Event>),
+    /// The admission budget is full; answer 429.
+    Saturated,
+}
+
+struct Inflight {
+    subscribers: Vec<Sender<Event>>,
+    points_done: usize,
+}
+
+struct State {
+    inflight: HashMap<u64, Inflight>,
+    /// Admitted runs: in flight entries that consume admission budget
+    /// (equal to `inflight.len()` today, tracked separately for clarity
+    /// against the active count).
+    admitted: usize,
+    /// Runs currently holding an execution slot.
+    active: usize,
+}
+
+/// The combined coalescer + admission gate. See the module docs for the
+/// decision table.
+pub struct Gate {
+    state: Mutex<State>,
+    slot_free: Condvar,
+    max_active: usize,
+    max_queued: usize,
+}
+
+impl Gate {
+    /// A gate running at most `max_active` executions with at most
+    /// `max_queued` more admitted and waiting. Both are clamped to ≥ 1
+    /// active so the gate can always make progress.
+    pub fn new(max_active: usize, max_queued: usize) -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new(State {
+                inflight: HashMap::new(),
+                admitted: 0,
+                active: 0,
+            }),
+            slot_free: Condvar::new(),
+            max_active: max_active.max(1),
+            max_queued,
+        })
+    }
+
+    /// Makes the atomic run / follow / reject decision for `key`.
+    pub fn enter(self: &Arc<Gate>, key: u64) -> Ticket {
+        let mut state = self.state.lock().unwrap();
+        if let Some(entry) = state.inflight.get_mut(&key) {
+            let (tx, rx) = channel();
+            entry.subscribers.push(tx);
+            return Ticket::Follower(rx);
+        }
+        if state.admitted >= self.max_active + self.max_queued {
+            return Ticket::Saturated;
+        }
+        let (tx, rx) = channel();
+        state.inflight.insert(
+            key,
+            Inflight {
+                subscribers: vec![tx],
+                points_done: 0,
+            },
+        );
+        state.admitted += 1;
+        Ticket::Runner(
+            RunPermit {
+                gate: Arc::clone(self),
+                key,
+                finished: false,
+            },
+            rx,
+        )
+    }
+
+    /// Broadcasts a finished point for `key` to every subscriber,
+    /// assigning the monotonic `done` count under the lock.
+    pub fn point_done(&self, key: u64, point: usize, total: usize, source: PointSource) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(entry) = state.inflight.get_mut(&key) {
+            entry.points_done += 1;
+            let event = Event::Point {
+                point,
+                done: entry.points_done,
+                total,
+                source,
+            };
+            // A dropped receiver (client hung up) just fails the send.
+            entry
+                .subscribers
+                .retain(|tx| tx.send(event.clone()).is_ok());
+        }
+    }
+
+    /// Number of runs currently holding an execution slot (test hook).
+    pub fn active(&self) -> usize {
+        self.state.lock().unwrap().active
+    }
+
+    fn finish(&self, key: u64, result: Arc<Result<JobOutput, String>>, held_slot: bool) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(entry) = state.inflight.remove(&key) {
+            for tx in entry.subscribers {
+                let _ = tx.send(Event::Done(Arc::clone(&result)));
+            }
+        }
+        state.admitted -= 1;
+        if held_slot {
+            state.active -= 1;
+        }
+        drop(state);
+        self.slot_free.notify_all();
+    }
+}
+
+/// Proof that a request was admitted as the runner for its key. The
+/// holder must call [`wait_for_slot`](RunPermit::wait_for_slot), execute,
+/// and then [`finish`](RunPermit::finish); if it is dropped early (runner
+/// thread panicked), the drop guard fails the run so followers are never
+/// stranded waiting on a ghost.
+pub struct RunPermit {
+    gate: Arc<Gate>,
+    key: u64,
+    finished: bool,
+}
+
+impl RunPermit {
+    /// The key this permit runs.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Blocks until an execution slot is free, then claims it. Returns
+    /// the number of microseconds spent waiting.
+    pub fn wait_for_slot(&self) -> u64 {
+        let started = std::time::Instant::now();
+        let mut state = self.gate.state.lock().unwrap();
+        while state.active >= self.gate.max_active {
+            state = self.gate.slot_free.wait(state).unwrap();
+        }
+        state.active += 1;
+        started.elapsed().as_micros() as u64
+    }
+
+    /// Reports a finished point to every subscriber of this run.
+    pub fn point_done(&self, point: usize, total: usize, source: PointSource) {
+        self.gate.point_done(self.key, point, total, source);
+    }
+
+    /// Completes the run: broadcasts `Done` to all subscribers, frees the
+    /// execution slot, and releases the admission budget.
+    pub fn finish(mut self, result: Result<JobOutput, String>) {
+        self.finished = true;
+        self.gate.finish(self.key, Arc::new(result), true);
+    }
+}
+
+impl Drop for RunPermit {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Runner died without finishing (panic between enter and
+            // finish). Whether it held a slot is unknowable here, so the
+            // guard assumes not — wait_for_slot + execute + finish is one
+            // straight-line path in the server, and a panic before
+            // wait_for_slot is the only survivable early exit.
+            self.gate.finish(
+                self.key,
+                Arc::new(Err("runner aborted before completing".to_string())),
+                false,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn output(text: &str) -> JobOutput {
+        JobOutput {
+            text: text.to_string(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_coalesce_onto_one_runner() {
+        let gate = Gate::new(2, 2);
+        let Ticket::Runner(permit, runner_rx) = gate.enter(42) else {
+            panic!("first entrant must run");
+        };
+        let Ticket::Follower(follower_rx) = gate.enter(42) else {
+            panic!("second entrant must follow");
+        };
+        permit.wait_for_slot();
+        permit.point_done(0, 1, PointSource::Computed);
+        permit.finish(Ok(output("result")));
+        for rx in [runner_rx, follower_rx] {
+            let events: Vec<Event> = rx.iter().collect();
+            assert_eq!(events.len(), 2, "point + done");
+            assert!(matches!(
+                events[0],
+                Event::Point { point: 0, done: 1, total: 1, .. }
+            ));
+            let Event::Done(result) = &events[1] else {
+                panic!("last event must be Done");
+            };
+            assert_eq!(result.as_ref().as_ref().unwrap().text, "result");
+        }
+        // The key is free again: the next entrant is a fresh runner.
+        assert!(matches!(gate.enter(42), Ticket::Runner(..)));
+    }
+
+    #[test]
+    fn new_keys_beyond_the_budget_are_saturated_but_followers_never_are() {
+        let gate = Gate::new(1, 1);
+        let Ticket::Runner(a, _rx_a) = gate.enter(1) else { panic!() };
+        let Ticket::Runner(b, _rx_b) = gate.enter(2) else { panic!() };
+        // Budget (1 active + 1 queued) is spent: a third key bounces...
+        assert!(matches!(gate.enter(3), Ticket::Saturated));
+        // ...but joining either in-flight key is still free.
+        assert!(matches!(gate.enter(1), Ticket::Follower(_)));
+        assert!(matches!(gate.enter(2), Ticket::Follower(_)));
+        a.wait_for_slot();
+        a.finish(Ok(output("a")));
+        b.wait_for_slot();
+        b.finish(Ok(output("b")));
+        // Budget released.
+        assert!(matches!(gate.enter(3), Ticket::Runner(..)));
+    }
+
+    #[test]
+    fn slots_serialize_execution_to_max_active() {
+        let gate = Gate::new(1, 4);
+        let Ticket::Runner(first, _rx1) = gate.enter(10) else { panic!() };
+        let Ticket::Runner(second, rx2) = gate.enter(11) else { panic!() };
+        first.wait_for_slot();
+        assert_eq!(gate.active(), 1);
+        let waiter = thread::spawn(move || {
+            second.wait_for_slot();
+            second.finish(Ok(output("second")));
+        });
+        // The queued runner cannot take a slot while the first holds it.
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(gate.active(), 1);
+        first.finish(Ok(output("first")));
+        waiter.join().unwrap();
+        let Event::Done(result) = rx2.iter().last().unwrap() else {
+            panic!("second run must complete");
+        };
+        assert_eq!(result.as_ref().as_ref().unwrap().text, "second");
+    }
+
+    #[test]
+    fn dropped_permit_fails_followers_instead_of_stranding_them() {
+        let gate = Gate::new(1, 0);
+        let Ticket::Runner(permit, _rx) = gate.enter(7) else { panic!() };
+        let Ticket::Follower(rx) = gate.enter(7) else { panic!() };
+        drop(permit); // simulated runner panic
+        let Event::Done(result) = rx.recv().unwrap() else {
+            panic!("follower must be notified");
+        };
+        assert!(result.as_ref().as_ref().unwrap_err().contains("aborted"));
+        // Budget was released despite the abort.
+        assert!(matches!(gate.enter(8), Ticket::Runner(..)));
+    }
+}

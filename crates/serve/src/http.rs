@@ -1,0 +1,358 @@
+//! A hand-rolled HTTP/1.1 codec, in the same spirit as the repo's in-tree
+//! JSON and RNG: std-only, small, and exactly as much protocol as the
+//! daemon needs.
+//!
+//! One request per connection (`Connection: close` on every response), a
+//! bounded request line / header block / body, and two response shapes:
+//! a fixed [`respond`] with `Content-Length`, and a [`ChunkedWriter`] for
+//! streamed progress (`Transfer-Encoding: chunked`). Anything malformed is
+//! a typed [`HttpError`] the router turns into a 400 — a bad client must
+//! never panic a worker or wedge the accept loop (reads are bounded by the
+//! caller's socket timeout).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Upper bound on a request body in bytes (requests are tiny job specs).
+const MAX_BODY: usize = 1024 * 1024;
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed before a full request arrived.
+    UnexpectedEof,
+    /// The request line / headers / body violate the grammar or a bound.
+    Malformed(String),
+    /// The underlying socket failed.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::Io(m) => write!(f, "socket error: {m}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::UnexpectedEof
+        } else {
+            HttpError::Io(e.to_string())
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path component (`/run`), without the query string.
+    pub path: String,
+    /// Decoded `key=value` query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(lowercased-name, value)` pairs, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v.as_str()))
+    }
+
+    /// First header value for `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (*k == want).then_some(v.as_str()))
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, bounded by `budget`.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Err(HttpError::UnexpectedEof);
+    }
+    if n > *budget {
+        return Err(HttpError::Malformed("request head too large".into()));
+    }
+    *budget -= n;
+    if raw.last() != Some(&b'\n') {
+        return Err(HttpError::UnexpectedEof);
+    }
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))
+}
+
+/// Decodes `%XX` escapes and `+` (as space) in a query component.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into its decoded path and query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let pairs = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (percent_decode(path), pairs)
+}
+
+/// Parses one request off `reader`.
+pub fn parse_request(reader: &mut BufReader<impl Read>) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("unsupported version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+    {
+        None => 0,
+        Some(Ok(n)) if n <= MAX_BODY => n,
+        Some(Ok(_)) => return Err(HttpError::Malformed("request body too large".into())),
+        Some(Err(_)) => return Err(HttpError::Malformed("bad Content-Length".into())),
+    };
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::Malformed("non-UTF-8 body".into()))?;
+    let (path, query) = parse_target(target);
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Reason phrase for the handful of status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes it. `extra_headers`
+/// are emitted verbatim (e.g. `("Retry-After", "1")`).
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A chunked-transfer response being streamed. Each [`chunk`] is flushed
+/// immediately so clients observe progress live; [`finish`] writes the
+/// terminal zero chunk.
+///
+/// [`chunk`]: ChunkedWriter::chunk
+/// [`finish`]: ChunkedWriter::finish
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head for a chunked `status` response.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\n\r\n",
+            reason(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one non-empty chunk and flushes it.
+    pub fn chunk(&mut self, data: &str) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the stream with the zero-length chunk.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        parse_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn requests_parse_with_query_and_body() {
+        let r = parse(
+            "POST /run?job=fig7_alexnet_speedup&x=a%20b HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 11\r\n\r\n{\"job\":\"x\"}",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/run");
+        assert_eq!(r.query_param("job"), Some("fig7_alexnet_speedup"));
+        assert_eq!(r.query_param("x"), Some("a b"));
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert_eq!(r.header("Host"), Some("localhost"));
+        assert_eq!(r.body, "{\"job\":\"x\"}");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let r = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(matches!(parse(""), Err(HttpError::UnexpectedEof)));
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // A body shorter than its Content-Length is a truncated request.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_not_buffered() {
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD));
+        assert!(matches!(parse(&huge), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_junk() {
+        assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,484 @@
+//! The serve daemon: listener, router, session streaming, and drain.
+//!
+//! # Request flow
+//!
+//! Every connection is one request. `POST /run` resolves the job, tries
+//! the whole-job cache first (memory-speed, executor untouched), then
+//! takes a ticket from the [`Gate`]:
+//!
+//! * **Runner** — spawns the execution on a worker thread (which waits
+//!   for one of `max_active` slots, runs the [`Backend`], and broadcasts
+//!   completion), then streams its own subscription like any follower.
+//! * **Follower** — streams the in-flight run's events; no new work.
+//! * **Saturated** — answers `429` with `Retry-After` immediately.
+//!
+//! Progress is chunked NDJSON: an `accepted` event, one `point` event per
+//! finished sweep point, and a terminal `done` event carrying the full
+//! output. The runner and every follower observe identical sequences.
+//!
+//! # Drain state machine
+//!
+//! The accept loop polls a shared shutdown flag (the harness wires in the
+//! `signal.rs` flag, tests inject their own):
+//!
+//! ```text
+//! ACCEPTING --flag>=1--> DRAINING --sessions==0--> DRAINED (exit 75)
+//!                            |                        ^
+//!                            +--drain_timeout reached-+  (timed_out)
+//! ```
+//!
+//! In `DRAINING` the listener closes, so new connections are refused at
+//! the TCP layer, while every accepted session — including runs still
+//! queued for a slot — completes normally. That is what "zero dropped
+//! accepted requests" means under shutdown.
+
+use crate::coalesce::{Event, Gate, Ticket};
+use crate::http::{parse_request, respond, ChunkedWriter, HttpError, Request};
+use crate::{Backend, JobInfo, PointSource};
+use sparten_bench::json::Json;
+use sparten_telemetry::{text_report, ServerMetrics, Telemetry};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How the daemon listens and drains.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Executor runs allowed concurrently.
+    pub max_active: usize,
+    /// Additional admitted runs allowed to queue for a slot.
+    pub max_queued: usize,
+    /// Per-socket read timeout (bounds a stalled client).
+    pub read_timeout: Duration,
+    /// How long drain waits for in-flight sessions before giving up.
+    pub drain_timeout: Duration,
+    /// Shared shutdown flag: 0 = run, ≥ 1 = drain. The harness passes the
+    /// `signal.rs` flag; tests store into their own.
+    pub shutdown: Arc<AtomicUsize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            max_active: 2,
+            max_queued: 8,
+            read_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(30),
+            shutdown: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+}
+
+/// What happened by the time [`Server::serve`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Sessions fully served over the server's lifetime.
+    pub sessions_served: u64,
+    /// Sessions still open when the drain timeout expired (0 on a clean
+    /// drain).
+    pub abandoned: u64,
+}
+
+impl DrainReport {
+    /// True when every accepted session completed before shutdown.
+    pub fn clean(&self) -> bool {
+        self.abandoned == 0
+    }
+}
+
+struct Shared {
+    backend: Arc<dyn Backend>,
+    telemetry: Arc<Telemetry>,
+    metrics: ServerMetrics,
+    gate: Arc<Gate>,
+    open_sessions: AtomicUsize,
+    served: AtomicUsize,
+}
+
+/// A bound, not-yet-serving daemon. `bind` then `serve`; tests grab
+/// [`local_addr`](Server::local_addr) in between.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    opts: ServeOptions,
+}
+
+impl Server {
+    /// Binds the listener and interns the server metrics in `telemetry`.
+    pub fn bind(
+        backend: Arc<dyn Backend>,
+        telemetry: Arc<Telemetry>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let metrics = ServerMetrics::new(&telemetry.metrics);
+        let gate = Gate::new(opts.max_active, opts.max_queued);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                backend,
+                telemetry,
+                metrics,
+                gate,
+                open_sessions: AtomicUsize::new(0),
+                served: AtomicUsize::new(0),
+            }),
+            opts,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until the shutdown flag is raised, then
+    /// drains. Blocks; run on a dedicated thread when embedding.
+    pub fn serve(self) -> DrainReport {
+        let Server {
+            listener,
+            shared,
+            opts,
+        } = self;
+        while opts.shutdown.load(Ordering::SeqCst) == 0 {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    let read_timeout = opts.read_timeout;
+                    shared.open_sessions.fetch_add(1, Ordering::SeqCst);
+                    thread::spawn(move || {
+                        handle_connection(&shared, stream, read_timeout);
+                        shared.open_sessions.fetch_sub(1, Ordering::SeqCst);
+                        shared.served.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                // The nonblocking listener doubles as the shutdown poll;
+                // a 1ms nap bounds per-connection accept latency without
+                // measurable idle cost (the OS coalesces the wakeups).
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        // DRAINING: close the listener so new connections are refused,
+        // then wait for every accepted session (running or queued).
+        drop(listener);
+        let deadline = Instant::now() + opts.drain_timeout;
+        while shared.open_sessions.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        DrainReport {
+            sessions_served: shared.served.load(Ordering::SeqCst) as u64,
+            abandoned: shared.open_sessions.load(Ordering::SeqCst) as u64,
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    shared.metrics.sessions_inflight.observe(
+        shared.open_sessions.load(Ordering::SeqCst) as f64,
+    );
+    let request = {
+        let Ok(reader) = stream.try_clone() else {
+            return;
+        };
+        parse_request(&mut BufReader::new(reader))
+    };
+    match request {
+        Ok(request) => {
+            shared.metrics.requests.inc();
+            route(shared, &mut stream, &request);
+        }
+        Err(HttpError::UnexpectedEof) => {} // client gave up; nothing to answer
+        Err(e) => {
+            shared.metrics.bad_requests.inc();
+            let _ = respond(
+                &mut stream,
+                400,
+                "text/plain",
+                &[],
+                &format!("{e}\n"),
+            );
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = respond(stream, 200, "text/plain", &[], "ok\n");
+        }
+        ("GET", "/metrics") => {
+            let report = text_report(
+                "serve",
+                &shared.telemetry.metrics.snapshot(),
+                &shared.telemetry.recorder,
+            );
+            let _ = respond(stream, 200, "text/plain", &[], &report);
+        }
+        ("GET", "/jobs") => {
+            let jobs = Json::Arr(shared.backend.jobs().iter().map(job_json).collect());
+            let _ = respond(stream, 200, "application/json", &[], &(jobs.pretty() + "\n"));
+        }
+        ("GET", "/result") => handle_result(shared, stream, request),
+        ("POST", "/run") => handle_run(shared, stream, request),
+        ("GET", "/run") => {
+            let _ = respond(
+                stream,
+                405,
+                "text/plain",
+                &[("Allow", "POST")],
+                "use POST /run\n",
+            );
+        }
+        _ => {
+            let _ = respond(stream, 404, "text/plain", &[], "no such endpoint\n");
+        }
+    }
+}
+
+fn job_json(job: &JobInfo) -> Json {
+    Json::obj([
+        ("name", Json::str(&job.name)),
+        ("kind", Json::str(&job.kind)),
+        ("points", Json::UInt(job.points as u64)),
+        ("key", Json::str(format!("{:016x}", job.key))),
+    ])
+}
+
+/// Pulls the requested job name from `?job=` or a `{"job": "..."}` body.
+fn requested_job(request: &Request) -> Result<String, String> {
+    if let Some(name) = request.query_param("job") {
+        if !name.is_empty() {
+            return Ok(name.to_string());
+        }
+    }
+    if !request.body.trim().is_empty() {
+        let body = Json::parse(&request.body).map_err(|e| format!("bad JSON body: {e}"))?;
+        if let Some(Json::Str(name)) = body.get("job") {
+            return Ok(name.clone());
+        }
+        return Err("JSON body missing string field `job`".to_string());
+    }
+    Err("no job requested: pass ?job=NAME or a JSON body {\"job\": \"NAME\"}".to_string())
+}
+
+/// `GET /result?job=NAME`: the raw rendered output, cache-only. This is
+/// the byte-identity endpoint — the body is exactly what `harness run`
+/// prints for the job — and the hot path the cache-hit latency bench
+/// times.
+fn handle_result(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    let name = match requested_job(request) {
+        Ok(name) => name,
+        Err(e) => {
+            shared.metrics.bad_requests.inc();
+            let _ = respond(stream, 400, "text/plain", &[], &format!("{e}\n"));
+            return;
+        }
+    };
+    if shared.backend.job(&name).is_none() {
+        shared.metrics.rejected_unknown_job.inc();
+        let _ = respond(stream, 404, "text/plain", &[], &format!("unknown job `{name}`\n"));
+        return;
+    }
+    let started = Instant::now();
+    match shared.backend.cached(&name) {
+        Some(output) => {
+            shared.metrics.cache_full_hits.inc();
+            shared
+                .metrics
+                .cache_hit_latency_us
+                .record(started.elapsed().as_micros() as u64);
+            let _ = respond(stream, 200, "text/plain", &[], &output.text);
+        }
+        None => {
+            let _ = respond(
+                stream,
+                404,
+                "text/plain",
+                &[],
+                &format!("job `{name}` not fully cached; POST /run to compute it\n"),
+            );
+        }
+    }
+}
+
+/// `POST /run?job=NAME`: compute (or join, or fetch) a job, streaming
+/// NDJSON progress.
+fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    let name = match requested_job(request) {
+        Ok(name) => name,
+        Err(e) => {
+            shared.metrics.bad_requests.inc();
+            let _ = respond(stream, 400, "text/plain", &[], &format!("{e}\n"));
+            return;
+        }
+    };
+    let Some(job) = shared.backend.job(&name) else {
+        shared.metrics.rejected_unknown_job.inc();
+        let _ = respond(stream, 404, "text/plain", &[], &format!("unknown job `{name}`\n"));
+        return;
+    };
+
+    // Fast path: the whole job is in the result cache — answer at memory
+    // speed without consuming admission budget or touching the executor.
+    let started = Instant::now();
+    if let Some(output) = shared.backend.cached(&name) {
+        shared.metrics.cache_full_hits.inc();
+        shared
+            .metrics
+            .cache_hit_latency_us
+            .record(started.elapsed().as_micros() as u64);
+        stream_events(
+            stream,
+            &job,
+            "cache",
+            std::iter::once(Event::Done(Arc::new(Ok(output)))),
+        );
+        return;
+    }
+
+    match shared.gate.enter(job.key) {
+        Ticket::Saturated => {
+            shared.metrics.rejected_saturated.inc();
+            let _ = respond(
+                stream,
+                429,
+                "text/plain",
+                &[("Retry-After", "1")],
+                "saturated: admission queue is full, retry shortly\n",
+            );
+        }
+        Ticket::Follower(rx) => {
+            shared.metrics.coalesced.inc();
+            stream_events(stream, &job, "follower", rx.into_iter());
+        }
+        Ticket::Runner(permit, rx) => {
+            let runner_shared = Arc::clone(shared);
+            let runner_job = job.clone();
+            thread::spawn(move || {
+                let waited_us = permit.wait_for_slot();
+                runner_shared.metrics.queue_wait_us.record(waited_us);
+                // Double-check the cache under the run permit: the
+                // handler's check can race a just-finishing twin run —
+                // miss, twin completes and leaves the gate, then this
+                // request becomes a fresh runner for work that is now
+                // fully cached. Without this, "one executor run per
+                // unique key" would only hold absent that interleaving.
+                let result = match runner_shared.backend.cached(&runner_job.name) {
+                    Some(output) => {
+                        runner_shared.metrics.cache_full_hits.inc();
+                        Ok(output)
+                    }
+                    None => {
+                        runner_shared.metrics.exec_runs.inc();
+                        // The progress closure goes through the gate, not
+                        // the permit, so the permit stays solely owned
+                        // here and its drop guard cannot misfire on a
+                        // leaked clone.
+                        let gate = Arc::clone(&runner_shared.gate);
+                        let (key, total) = (runner_job.key, runner_job.points);
+                        let progress: Arc<dyn Fn(usize, PointSource) + Send + Sync> =
+                            Arc::new(move |point, source| {
+                                gate.point_done(key, point, total, source)
+                            });
+                        let result = runner_shared.backend.execute(&runner_job.name, progress);
+                        if result.is_err() {
+                            runner_shared.metrics.exec_failures.inc();
+                        }
+                        result
+                    }
+                };
+                permit.finish(result);
+            });
+            stream_events(stream, &job, "runner", rx.into_iter());
+        }
+    }
+}
+
+/// Streams `accepted` + per-point + `done` NDJSON events over a chunked
+/// response. Client hangups are ignored: the run itself is owned by the
+/// runner thread and completes regardless.
+fn stream_events(
+    stream: &mut TcpStream,
+    job: &JobInfo,
+    role: &str,
+    events: impl Iterator<Item = Event>,
+) {
+    let Ok(mut writer) = ChunkedWriter::begin(stream, 200, "application/x-ndjson") else {
+        return;
+    };
+    let accepted = Json::obj([
+        ("event", Json::str("accepted")),
+        ("job", Json::str(&job.name)),
+        ("points", Json::UInt(job.points as u64)),
+        ("key", Json::str(format!("{:016x}", job.key))),
+        ("role", Json::str(role)),
+    ]);
+    if writer.chunk(&(accepted.compact() + "\n")).is_err() {
+        return;
+    }
+    for event in events {
+        let line = match event {
+            Event::Point {
+                point,
+                done,
+                total,
+                source,
+            } => Json::obj([
+                ("event", Json::str("point")),
+                ("point", Json::UInt(point as u64)),
+                ("done", Json::UInt(done as u64)),
+                ("total", Json::UInt(total as u64)),
+                ("source", Json::str(source.label())),
+            ]),
+            Event::Done(result) => {
+                let line = match result.as_ref() {
+                    Ok(output) => Json::obj([
+                        ("event", Json::str("done")),
+                        ("status", Json::str("ok")),
+                        ("output", Json::str(&output.text)),
+                        (
+                            "artifacts",
+                            Json::Arr(
+                                output
+                                    .artifacts
+                                    .iter()
+                                    .map(|(name, data)| {
+                                        Json::obj([
+                                            ("name", Json::str(name)),
+                                            ("data", Json::str(data)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                    Err(error) => Json::obj([
+                        ("event", Json::str("done")),
+                        ("status", Json::str("error")),
+                        ("error", Json::str(error)),
+                    ]),
+                };
+                let _ = writer.chunk(&(line.compact() + "\n"));
+                let _ = writer.finish();
+                return;
+            }
+        };
+        if writer.chunk(&(line.compact() + "\n")).is_err() {
+            return; // client hung up; runner thread finishes regardless
+        }
+    }
+    // Event stream ended without Done (runner vanished) — terminate the
+    // response so the client is not left waiting on a dead chunk stream.
+    let _ = writer.finish();
+}

@@ -47,6 +47,7 @@ pub mod invariant;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod stall;
 
@@ -55,6 +56,7 @@ pub use invariant::{check_breakdown, BreakdownExpectation, ReconcileError};
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
 pub use recorder::{Phase, Recorder, TraceEvent};
 pub use report::{parse_report, text_report, ParsedReport};
+pub use serve::ServerMetrics;
 pub use session::{export_session, import_session};
 pub use stall::StallCause;
 

@@ -1,0 +1,98 @@
+//! Standard server-side counters for the simulation service.
+//!
+//! The serve daemon reports through the same metric [`Registry`] the
+//! simulators use, so one `/metrics` scrape (or one `parse_report` call in
+//! a test) sees the whole stack. This module pins the *names*: every
+//! server counter lives under the `serve/` scope, following the crate's
+//! `<scope>/<area>.<detail>` convention, and is bundled into one
+//! [`ServerMetrics`] value so the daemon cannot typo a name and split a
+//! series.
+//!
+//! | metric                        | kind      | meaning                              |
+//! |-------------------------------|-----------|--------------------------------------|
+//! | `serve/http.requests`         | counter   | HTTP requests parsed                 |
+//! | `serve/http.bad_request`      | counter   | malformed requests answered 400      |
+//! | `serve/exec.runs`             | counter   | executor runs started (unique keys)  |
+//! | `serve/exec.failures`         | counter   | executor runs that failed            |
+//! | `serve/coalesced`             | counter   | requests attached to an in-flight run|
+//! | `serve/cache.full_hits`       | counter   | jobs served whole from the cache     |
+//! | `serve/rejected.saturated`    | counter   | submissions answered 429             |
+//! | `serve/rejected.unknown_job`  | counter   | submissions answered 404             |
+//! | `serve/queue.wait_us`         | histogram | admission-queue wait per run         |
+//! | `serve/latency.cache_hit_us`  | histogram | time to first byte on the hit path   |
+//! | `serve/sessions.inflight`     | gauge     | concurrently open sessions           |
+
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// The serve daemon's counter bundle, interned once over a [`Registry`].
+///
+/// Handles are shared atomics: cloning the struct (or the `Arc`s inside)
+/// never forks a series.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// HTTP requests successfully parsed off a connection.
+    pub requests: Arc<Counter>,
+    /// Requests rejected as malformed (400).
+    pub bad_requests: Arc<Counter>,
+    /// Executor runs started — exactly one per unique admitted cache key.
+    pub exec_runs: Arc<Counter>,
+    /// Executor runs that returned an error.
+    pub exec_failures: Arc<Counter>,
+    /// Requests that shared another request's in-flight execution.
+    pub coalesced: Arc<Counter>,
+    /// Jobs answered entirely from the result cache (executor untouched).
+    pub cache_full_hits: Arc<Counter>,
+    /// Submissions bounced with 429 + Retry-After (admission queue full).
+    pub rejected_saturated: Arc<Counter>,
+    /// Submissions for names not in the registry (404).
+    pub rejected_unknown_job: Arc<Counter>,
+    /// Microseconds an admitted run waited for an execution slot.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Microseconds to serve a whole-job cache hit.
+    pub cache_hit_latency_us: Arc<Histogram>,
+    /// Open sessions high/low-water gauge.
+    pub sessions_inflight: Arc<Gauge>,
+}
+
+impl ServerMetrics {
+    /// Interns every server metric in `registry` and returns the bundle.
+    pub fn new(registry: &Registry) -> Self {
+        ServerMetrics {
+            requests: registry.counter("serve/http.requests"),
+            bad_requests: registry.counter("serve/http.bad_request"),
+            exec_runs: registry.counter("serve/exec.runs"),
+            exec_failures: registry.counter("serve/exec.failures"),
+            coalesced: registry.counter("serve/coalesced"),
+            cache_full_hits: registry.counter("serve/cache.full_hits"),
+            rejected_saturated: registry.counter("serve/rejected.saturated"),
+            rejected_unknown_job: registry.counter("serve/rejected.unknown_job"),
+            queue_wait_us: registry.histogram("serve/queue.wait_us"),
+            cache_hit_latency_us: registry.histogram("serve/latency.cache_hit_us"),
+            sessions_inflight: registry.gauge("serve/sessions.inflight"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_intern_under_the_serve_scope() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        m.requests.add(3);
+        m.exec_runs.inc();
+        m.sessions_inflight.observe(2.0);
+        m.queue_wait_us.record(150);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve/http.requests"), Some(3));
+        assert_eq!(snap.counter("serve/exec.runs"), Some(1));
+        assert_eq!(snap.counter_sum("serve/"), 4);
+        // All handles are shared: a second bundle sees the same series.
+        let again = ServerMetrics::new(&registry);
+        again.requests.inc();
+        assert_eq!(registry.snapshot().counter("serve/http.requests"), Some(4));
+    }
+}

@@ -72,6 +72,53 @@ cargo run -q --release -p sparten-harness -- bench --quick --check-schema \
   --out "$SMOKE_BENCH/BENCH_sim.json"
 test -s "$SMOKE_BENCH/BENCH_sim.json"
 
+echo "== unknown-flag handling (exit 2 + subcommand usage) =="
+# A bad flag after a valid subcommand must name the flag, print that
+# subcommand's usage, and exit 2 (not 1, which is reserved for bad values).
+set +e
+"$PWD/target/release/sparten-harness" run --no-such-flag \
+  > "$SMOKE_BENCH/badflag.out" 2>&1
+BADFLAG_STATUS=$?
+set -e
+test "$BADFLAG_STATUS" -eq 2
+grep -q -- "--no-such-flag" "$SMOKE_BENCH/badflag.out"
+grep -q "sparten-harness run" "$SMOKE_BENCH/badflag.out"
+
+echo "== serve smoke (ephemeral port, streamed run, metrics, SIGTERM drain) =="
+SMOKE_SERVE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH" "$SMOKE_SERVE"' EXIT
+"$PWD/target/release/sparten-harness" serve --addr 127.0.0.1:0 \
+  --port-file "$SMOKE_SERVE/port" --jobs 2 \
+  --cache-dir "$SMOKE_SERVE/cache" --journal-dir "$SMOKE_SERVE/journal" \
+  --no-artifacts > "$SMOKE_SERVE/serve.out" 2>&1 &
+SERVE_PID=$!
+# The daemon writes its bound address atomically once the socket is live.
+for _ in $(seq 1 100); do
+  test -s "$SMOKE_SERVE/port" && break
+  sleep 0.1
+done
+test -s "$SMOKE_SERVE/port"
+SERVE_ADDR="$(cat "$SMOKE_SERVE/port")"
+curl -sf "http://$SERVE_ADDR/healthz" | grep -q ok
+# A submitted job streams NDJSON progress and ends with a done event.
+curl -sf -X POST "http://$SERVE_ADDR/run?job=table1_design_goals" \
+  | tee "$SMOKE_SERVE/run.ndjson" | grep -q '"event":"done"'
+grep -q '"status":"ok"' "$SMOKE_SERVE/run.ndjson"
+# A repeat of the same job is answered from the cache, off the executor.
+curl -sf -X POST "http://$SERVE_ADDR/run?job=table1_design_goals" \
+  | grep -q '"role":"cache"'
+curl -sf "http://$SERVE_ADDR/metrics" | grep -q "serve/exec.runs"
+# SIGTERM drains: in-flight work finishes and the exit code is 75.
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+SERVE_STATUS=$?
+set -e
+test "$SERVE_STATUS" -eq 75
+grep -q "drained" "$SMOKE_SERVE/serve.out"
+# The drain seals every journal: no dangling .jsonl survives.
+test -z "$(find "$SMOKE_SERVE/journal" -name '*.jsonl' 2>/dev/null)"
+
 echo "== fault-campaign smoke (seeded, zero silently-wrong) =="
 # The faults command exits non-zero on any silently-wrong or crashed
 # trial; grep the coverage footer as a belt-and-braces assertion.
