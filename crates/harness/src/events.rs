@@ -1,0 +1,413 @@
+//! Structured, leveled wide-event log for the harness.
+//!
+//! Every diagnostic the harness used to print to stderr is a typed event: one
+//! compact JSON object per line carrying a monotonic sequence number, a
+//! microsecond timestamp, a severity, a machine-readable kind, the
+//! human-readable message, and — when the emitting code runs under a
+//! trace context — the request/run trace and span ids. Events flow into
+//! one process-wide sink that:
+//!
+//! * **mirrors to stderr** with the historical prefixes (`error: …`,
+//!   `warning: …`, plain text for notices), so operators and the verify
+//!   smokes see exactly what they always saw;
+//! * keeps a **bounded in-memory ring** (oldest dropped, drops counted —
+//!   the same never-silent contract as the telemetry recorder);
+//! * optionally appends to `results/events/<run-id>.jsonl` —
+//!   **write-through** for `harness run` (each event is durable the
+//!   moment it happens, matching the journal's crash-only posture) and
+//!   **buffered** for `harness serve` (flushed on drain and from a
+//!   chained panic hook, so the hot request path never waits on disk).
+//!
+//! The sink works before any `init_*` call: events mirror to stderr and
+//! fill the ring, nothing is written to disk. That lets CLI parse errors
+//! route through the same API as deep executor diagnostics.
+//!
+//! `harness events` reads the files back, filtering by level and trace.
+
+use sparten_bench::json::Json;
+use sparten_telemetry::TraceContext;
+use std::collections::VecDeque;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default bound on the in-memory ring.
+pub const DEFAULT_RING_CAP: usize = 4096;
+
+/// Event severity, ordered from chattiest to most serious.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Lifecycle breadcrumbs (run started, point computed). Not mirrored
+    /// to stderr.
+    Debug,
+    /// Operator notices; mirrored to stderr verbatim.
+    Info,
+    /// Recoverable problems; mirrored as `warning: …`.
+    Warn,
+    /// Failures; mirrored as `error: …`.
+    Error,
+}
+
+impl Level {
+    /// Stable lowercase label used in the JSONL `level` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a label back (for `events --level`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// How the sink persists lines to its file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Persistence {
+    /// No file; ring + stderr only (the pre-init default).
+    None,
+    /// Append and flush each line as it is emitted (`harness run`).
+    WriteThrough,
+    /// Hold lines in the ring until [`Sink::flush`] (`harness serve`).
+    Buffered,
+}
+
+#[derive(Debug)]
+struct Inner {
+    seq: u64,
+    /// Unflushed (buffered mode) or most recent (otherwise) lines.
+    ring: VecDeque<String>,
+    cap: usize,
+    /// Lines evicted from the ring before reaching disk.
+    dropped: u64,
+    persistence: Persistence,
+    path: Option<PathBuf>,
+    file: Option<fs::File>,
+    mirror: bool,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            seq: 0,
+            ring: VecDeque::new(),
+            cap: DEFAULT_RING_CAP,
+            dropped: 0,
+            persistence: Persistence::None,
+            path: None,
+            file: None,
+            mirror: true,
+        }
+    }
+}
+
+/// A structured event sink. Most callers use the process-wide instance
+/// via the module-level functions; tests construct their own.
+#[derive(Debug, Default)]
+pub struct Sink {
+    inner: Mutex<Inner>,
+}
+
+impl Sink {
+    /// A fresh, file-less sink (ring + stderr mirror only).
+    pub fn new() -> Sink {
+        Sink::default()
+    }
+
+    fn open_file(dir: &Path, run_id: &str) -> std::io::Result<(PathBuf, fs::File)> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{run_id}.jsonl"));
+        let file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((path, file))
+    }
+
+    /// Points the sink at `dir/<run_id>.jsonl`, write-through: every
+    /// event is appended (and flushed) as it happens.
+    pub fn init_write_through(&self, dir: &Path, run_id: &str) -> std::io::Result<PathBuf> {
+        let (path, file) = Sink::open_file(dir, run_id)?;
+        let mut inner = self.inner.lock().expect("events lock");
+        inner.persistence = Persistence::WriteThrough;
+        inner.path = Some(path.clone());
+        inner.file = Some(file);
+        Ok(path)
+    }
+
+    /// Points the sink at `dir/<run_id>.jsonl`, buffered: events
+    /// accumulate in the ring until [`flush`](Sink::flush).
+    pub fn init_buffered(&self, dir: &Path, run_id: &str) -> std::io::Result<PathBuf> {
+        let (path, file) = Sink::open_file(dir, run_id)?;
+        let mut inner = self.inner.lock().expect("events lock");
+        inner.persistence = Persistence::Buffered;
+        inner.path = Some(path.clone());
+        inner.file = Some(file);
+        Ok(path)
+    }
+
+    /// Disables the stderr mirror (tests).
+    pub fn set_mirror(&self, on: bool) {
+        self.inner.lock().expect("events lock").mirror = on;
+    }
+
+    /// Emits one event. `extras` append as additional JSON fields.
+    pub fn emit(
+        &self,
+        level: Level,
+        kind: &str,
+        msg: &str,
+        trace: Option<TraceContext>,
+        extras: &[(&str, Json)],
+    ) {
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock().expect("events lock");
+        inner.seq += 1;
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("seq", Json::UInt(inner.seq)),
+            ("ts_us", Json::UInt(ts_us)),
+            ("level", Json::str(level.label())),
+            ("kind", Json::str(kind)),
+            ("msg", Json::str(msg)),
+        ];
+        if let Some(ctx) = trace {
+            pairs.push(("trace", Json::str(ctx.trace_hex())));
+            pairs.push(("span", Json::str(format!("{:016x}", ctx.span_id))));
+        }
+        let mut obj = Json::obj(pairs);
+        if let Json::Obj(fields) = &mut obj {
+            for (k, v) in extras {
+                fields.push((k.to_string(), v.clone()));
+            }
+        }
+        let line = obj.compact();
+
+        match inner.persistence {
+            Persistence::WriteThrough => {
+                if let Some(file) = inner.file.as_mut() {
+                    let _ = writeln!(file, "{line}");
+                    let _ = file.flush();
+                }
+            }
+            Persistence::Buffered | Persistence::None => {
+                if inner.ring.len() >= inner.cap {
+                    inner.ring.pop_front();
+                    inner.dropped += 1;
+                }
+                inner.ring.push_back(line);
+            }
+        }
+
+        if inner.mirror && level >= Level::Info {
+            let prefix = match level {
+                Level::Error => "error: ",
+                Level::Warn => "warning: ",
+                _ => "",
+            };
+            // One write_all so concurrent workers don't interleave
+            // mid-line, matching what line-buffered stderr guaranteed.
+            let _ = std::io::stderr().write_all(format!("{prefix}{msg}\n").as_bytes());
+        }
+    }
+
+    /// Writes buffered lines (and a terminal `events.dropped` record if
+    /// any were evicted) to the file. No-op in other modes.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().expect("events lock");
+        if inner.persistence != Persistence::Buffered {
+            return;
+        }
+        let lines: Vec<String> = inner.ring.drain(..).collect();
+        let dropped = inner.dropped;
+        inner.dropped = 0;
+        if dropped > 0 {
+            inner.seq += 1;
+        }
+        let seq = inner.seq;
+        if let Some(file) = inner.file.as_mut() {
+            for line in &lines {
+                let _ = writeln!(file, "{line}");
+            }
+            if dropped > 0 {
+                let note = Json::obj([
+                    ("seq", Json::UInt(seq)),
+                    ("level", Json::str("warn")),
+                    ("kind", Json::str("events.dropped")),
+                    (
+                        "msg",
+                        Json::str(format!("{dropped} event(s) evicted before flush")),
+                    ),
+                    ("dropped", Json::UInt(dropped)),
+                ]);
+                let _ = writeln!(file, "{}", note.compact());
+            }
+            let _ = file.flush();
+        }
+    }
+
+    /// Lines dropped from the ring so far (test hook).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("events lock").dropped
+    }
+
+    /// The sink's file path, when one was initialised.
+    pub fn path(&self) -> Option<PathBuf> {
+        self.inner.lock().expect("events lock").path.clone()
+    }
+
+    #[cfg(test)]
+    fn set_cap(&self, cap: usize) {
+        self.inner.lock().expect("events lock").cap = cap;
+    }
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(Sink::default)
+}
+
+/// Initialises the process-wide sink in write-through mode
+/// (`harness run`): `dir/<run_id>.jsonl`, one durable line per event.
+pub fn init_run(dir: &Path, run_id: &str) -> std::io::Result<PathBuf> {
+    sink().init_write_through(dir, run_id)
+}
+
+/// Initialises the process-wide sink in buffered mode (`harness serve`)
+/// and chains a panic hook so a crashing daemon still flushes its ring.
+pub fn init_serve(dir: &Path, run_id: &str) -> std::io::Result<PathBuf> {
+    let path = sink().init_buffered(dir, run_id)?;
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        sink().flush();
+        previous(info);
+    }));
+    Ok(path)
+}
+
+/// Flushes the process-wide sink (buffered mode only).
+pub fn flush() {
+    sink().flush();
+}
+
+/// Emits one event on the process-wide sink, with optional trace context
+/// and extra JSON fields.
+pub fn emit(
+    level: Level,
+    kind: &str,
+    msg: &str,
+    trace: Option<TraceContext>,
+    extras: &[(&str, Json)],
+) {
+    sink().emit(level, kind, msg, trace, extras);
+}
+
+/// Debug-level breadcrumb (file/ring only, never mirrored to stderr).
+pub fn debug(kind: &str, msg: &str, trace: Option<TraceContext>) {
+    emit(Level::Debug, kind, msg, trace, &[]);
+}
+
+/// Info-level notice, mirrored to stderr verbatim.
+pub fn info(kind: &str, msg: impl AsRef<str>) {
+    emit(Level::Info, kind, msg.as_ref(), None, &[]);
+}
+
+/// Warning, mirrored to stderr as `warning: …`.
+pub fn warn(kind: &str, msg: impl AsRef<str>) {
+    emit(Level::Warn, kind, msg.as_ref(), None, &[]);
+}
+
+/// Warning carrying trace context.
+pub fn warn_traced(kind: &str, msg: impl AsRef<str>, trace: Option<TraceContext>) {
+    emit(Level::Warn, kind, msg.as_ref(), trace, &[]);
+}
+
+/// Error, mirrored to stderr as `error: …`.
+pub fn error(kind: &str, msg: impl AsRef<str>) {
+    emit(Level::Error, kind, msg.as_ref(), None, &[]);
+}
+
+/// Writes raw text to stderr, bypassing the event log (usage banners —
+/// not diagnostics, so they never belong in the JSONL).
+pub fn raw_stderr(text: &str) {
+    let _ = std::io::stderr().write_all(text.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let s = Sink::new();
+        s.set_mirror(false);
+        s.set_cap(2);
+        for i in 0..5 {
+            s.emit(Level::Debug, "t", &format!("m{i}"), None, &[]);
+        }
+        assert_eq!(s.dropped(), 3);
+        let inner = s.inner.lock().unwrap();
+        assert_eq!(inner.ring.len(), 2);
+        assert!(inner.ring[0].contains("\"msg\":\"m3\""), "{}", inner.ring[0]);
+    }
+
+    #[test]
+    fn write_through_lines_parse_and_carry_trace() {
+        let dir = std::env::temp_dir().join(format!("sparten-events-{}", std::process::id()));
+        let s = Sink::new();
+        s.set_mirror(false);
+        let path = s.init_write_through(&dir, "run-test").expect("init");
+        let ctx = TraceContext::from_ids(0xabcd, 0x1234);
+        s.emit(
+            Level::Warn,
+            "cache.write_failed",
+            "disk full",
+            Some(ctx),
+            &[("job", Json::str("fig7"))],
+        );
+        let text = fs::read_to_string(&path).expect("read");
+        let line = text.lines().next().expect("one line");
+        let parsed = Json::parse(line).expect("parse");
+        assert_eq!(parsed.get("level").and_then(Json::as_str), Some("warn"));
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("cache.write_failed"));
+        assert_eq!(
+            parsed.get("trace").and_then(Json::as_str),
+            Some("000000000000abcd")
+        );
+        assert_eq!(parsed.get("job").and_then(Json::as_str), Some("fig7"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn buffered_mode_holds_lines_until_flush_and_reports_drops() {
+        let dir = std::env::temp_dir().join(format!("sparten-events-b-{}", std::process::id()));
+        let s = Sink::new();
+        s.set_mirror(false);
+        s.set_cap(2);
+        let path = s.init_buffered(&dir, "serve-test").expect("init");
+        for i in 0..4 {
+            s.emit(Level::Info, "t", &format!("m{i}"), None, &[]);
+        }
+        assert_eq!(fs::read_to_string(&path).expect("read"), "");
+        s.flush();
+        let text = fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        // 2 retained + the events.dropped record for the 2 evicted.
+        assert_eq!(lines.len(), 3, "{text}");
+        let last = Json::parse(lines[2]).expect("parse");
+        assert_eq!(last.get("kind").and_then(Json::as_str), Some("events.dropped"));
+        assert_eq!(last.get("dropped").and_then(Json::as_u64), Some(2));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

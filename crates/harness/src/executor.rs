@@ -23,11 +23,14 @@
 //! to completion and renders byte-identical output to a clean run.
 
 use crate::cache::{self, Cache, Lookup};
+use crate::events;
 use crate::journal::{self, Journal, JournalJob, Record, StartRecord};
 use crate::{Experiment, PointPayload};
 use sparten_bench::json::Json;
 use sparten_bench::{atomic_write, ExperimentKind};
-use sparten_telemetry::{chrome_trace, export_session, import_session, text_report, Telemetry};
+use sparten_telemetry::{
+    chrome_trace, export_session, import_session, text_report, Telemetry, TraceContext,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,6 +127,25 @@ pub struct RunOptions {
     /// Per-point progress callback (see [`ProgressHook`]); `None` for
     /// batch runs.
     pub progress: Option<ProgressHook>,
+    /// The trace context this run executes under (minted per serve
+    /// request or CLI invocation). Stamped onto the journal's start
+    /// record and every structured event, and used to derive per-point
+    /// child spans recorded into [`trace_sink`](Self::trace_sink).
+    pub trace: Option<TraceContext>,
+    /// Shared telemetry session receiving *wall-clock* spans for this
+    /// run: one span per computed point, a cache-hit instant per cached
+    /// point, and each point's merged simulator session — all stamped
+    /// with child contexts of [`trace`](Self::trace). The serve daemon
+    /// passes its server-wide session here so one `/trace` export shows
+    /// request → gate → queue wait → point → chunk on a single
+    /// timeline. Unlike [`telemetry_dir`](Self::telemetry_dir), a trace
+    /// sink does **not** bypass the cache: it observes the run the
+    /// service actually performed, cache hits included.
+    pub trace_sink: Option<Arc<Telemetry>>,
+    /// Time base for trace-sink span timestamps (µs since this instant),
+    /// so executor spans align with the owning server's timeline. `None`
+    /// uses the run's own start.
+    pub trace_epoch: Option<Instant>,
 }
 
 impl Default for RunOptions {
@@ -146,6 +168,9 @@ impl Default for RunOptions {
             drain_timeout: Duration::from_secs(30),
             abort_after: None,
             progress: None,
+            trace: None,
+            trace_sink: None,
+            trace_epoch: None,
         }
     }
 }
@@ -348,7 +373,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     // run's in-flight atomic write out from under its rename.
     match cache.sweep_tmp_older_than(Duration::from_secs(60)) {
         Ok(n) => cache_stats.swept_tmp = n,
-        Err(e) => eprintln!("warning: tmp sweep failed: {e}"),
+        Err(e) => events::warn_traced("cache.sweep_failed", format!("tmp sweep failed: {e}"), opts.trace),
     }
 
     // Filter, then restrict deps to the selected set.
@@ -392,6 +417,11 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
 
     // The run's journaled identity: what a later resume must match.
     let want_telemetry = opts.telemetry_dir.is_some();
+    // Per-point simulator sessions are collected for *either* consumer:
+    // telemetry exports (per-job files) or the shared trace sink (one
+    // correlated timeline). Only the former changes cache behaviour.
+    let want_sessions = want_telemetry || opts.trace_sink.is_some();
+    let trace_epoch = opts.trace_epoch.unwrap_or(start);
     let journal_jobs: Vec<JournalJob> = selected
         .iter()
         .map(|e| JournalJob {
@@ -454,9 +484,13 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             let Some(payload) = cache::parse_payload(payload_body) else {
                 // Journal entries are fsync'd whole; an unparseable payload
                 // is damage, but a recompute fixes it, so warn and move on.
-                eprintln!(
-                    "warning: journaled payload for {job_name} point {point} \
-                     does not parse; recomputing"
+                events::warn_traced(
+                    "journal.payload_unparseable",
+                    format!(
+                        "journaled payload for {job_name} point {point} \
+                         does not parse; recomputing"
+                    ),
+                    opts.trace,
                 );
                 continue;
             };
@@ -472,9 +506,13 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                 states[job].telemetry[*point] = telemetry_text.as_deref().and_then(|text| {
                     import_session(text)
                         .map_err(|e| {
-                            eprintln!(
-                                "warning: journaled telemetry for {job_name} point {point} \
-                                 does not parse: {e}"
+                            events::warn_traced(
+                                "journal.telemetry_unparseable",
+                                format!(
+                                    "journaled telemetry for {job_name} point {point} \
+                                     does not parse: {e}"
+                                ),
+                                opts.trace,
                             )
                         })
                         .ok()
@@ -496,6 +534,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             seed: crate::SEED,
             registry_fp,
             jobs: journal_jobs,
+            trace: opts.trace.map(|t| t.trace_hex()),
         };
         journal = Some(
             Journal::create(dir, &record)
@@ -503,6 +542,27 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
         );
         run_id = Some(id);
     }
+
+    // Per-job process tracks in the trace sink, allocated up front so
+    // the schedule and completion paths below record without allocating
+    // under the scheduler's hot loop.
+    let trace_pids: Vec<u32> = match &opts.trace_sink {
+        Some(sink) => selected
+            .iter()
+            .map(|e| sink.recorder.alloc_process(&format!("exec:{}", e.name())))
+            .collect(),
+        None => Vec::new(),
+    };
+    events::debug(
+        "run.start",
+        &format!(
+            "run {} started: {} job(s), {} worker(s)",
+            run_id.as_deref().unwrap_or("<unjournaled>"),
+            selected.len(),
+            opts.jobs
+        ),
+        opts.trace,
+    );
 
     // Worker pool over a shared task queue. `spawn_worker` is kept around
     // so the watchdog can replace a worker written off as hung.
@@ -549,7 +609,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                 }
                 let exp = Arc::clone(&exps[task.job]);
                 let computed = catch_unwind(AssertUnwindSafe(|| {
-                    if want_telemetry {
+                    if want_sessions {
                         exp.compute_point_telemetry(task.point)
                     } else {
                         (exp.compute_point(task.point), None)
@@ -622,6 +682,19 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                     states[job].points[point] = Some(payload);
                     states[job].cache_hits += 1;
                     states[job].pending_points -= 1;
+                    if let Some(sink) = &opts.trace_sink {
+                        let mut args = vec![("point", point as u64)];
+                        if let Some(t) = &opts.trace {
+                            args.extend(t.child(exp.name(), point as u64).args());
+                        }
+                        sink.recorder.instant(
+                            trace_pids[job],
+                            point as u32,
+                            "point.cache",
+                            trace_epoch.elapsed().as_micros() as u64,
+                            &args,
+                        );
+                    }
                     if let Some(hook) = &opts.progress {
                         hook.0(exp.name(), point, PointOrigin::Cache);
                     }
@@ -810,9 +883,15 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             draining = true;
             drain_deadline = Some(Instant::now() + opts.drain_timeout);
             ready.clear(); // nothing new starts
-            eprintln!(
-                "\nshutdown requested: draining {outstanding} dispatched point(s) \
-                 (second signal aborts immediately)"
+            events::emit(
+                events::Level::Info,
+                "run.draining",
+                &format!(
+                    "\nshutdown requested: draining {outstanding} dispatched point(s) \
+                     (second signal aborts immediately)"
+                ),
+                opts.trace,
+                &[],
             );
         }
         if draining {
@@ -820,7 +899,15 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                 break;
             }
             if drain_deadline.is_some_and(|d| Instant::now() >= d) {
-                eprintln!("drain deadline passed: abandoning {outstanding} in-flight point(s)");
+                events::emit(
+                    events::Level::Info,
+                    "run.drain_deadline",
+                    &format!(
+                        "drain deadline passed: abandoning {outstanding} in-flight point(s)"
+                    ),
+                    opts.trace,
+                    &[],
+                );
                 break;
             }
         } else {
@@ -933,7 +1020,11 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                         attempt,
                     };
                     if let Err(e) = j.append(&record) {
-                        eprintln!("warning: journal write failed: {e}");
+                        events::warn_traced(
+                            "journal.write_failed",
+                            format!("journal write failed: {e}"),
+                            opts.trace,
+                        );
                     }
                 }
                 inflight.insert((job, point, attempt), at);
@@ -953,19 +1044,31 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                     Ok(payload) => {
                         state.pending_points -= 1;
                         let exp = &selected[done.job];
+                        let mut point_session = done.telemetry;
                         // Write-ahead: the journal entry is fsync'd before
                         // the cache or the scheduler state sees the point,
                         // so a crash at any instant can lose work but never
-                        // record work that did not happen.
+                        // record work that did not happen. Sessions bound
+                        // for the trace sink are wall-clock correlation
+                        // material, not replayable state, so only
+                        // telemetry-export runs journal them.
                         if let Some(j) = journal.as_mut() {
                             let record = Record::Point {
                                 job: exp.name().to_string(),
                                 point: done.point,
                                 payload: cache::serialize_payload(&payload),
-                                telemetry: done.telemetry.as_ref().map(export_session),
+                                telemetry: if want_telemetry {
+                                    point_session.as_ref().map(export_session)
+                                } else {
+                                    None
+                                },
                             };
                             if let Err(e) = j.append(&record) {
-                                eprintln!("warning: journal write failed: {e}");
+                                events::warn_traced(
+                                    "journal.write_failed",
+                                    format!("journal write failed: {e}"),
+                                    opts.trace,
+                                );
                             }
                         }
                         computed_points += 1;
@@ -981,10 +1084,69 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                         let key =
                             Cache::key(exp.name(), &exp.fingerprint(), crate::SEED, done.point);
                         if let Err(e) = cache.store(exp.name(), done.point, key, &payload) {
-                            eprintln!("warning: cache write failed for {}: {e}", exp.name());
+                            events::warn_traced(
+                                "cache.write_failed",
+                                format!("cache write failed for {}: {e}", exp.name()),
+                                opts.trace,
+                            );
                         }
                         state.points[done.point] = Some(payload);
-                        state.telemetry[done.point] = done.telemetry;
+                        let child = opts
+                            .trace
+                            .map(|t| t.child(exp.name(), done.point as u64));
+                        if let Some(sink) = &opts.trace_sink {
+                            // The point's wall-clock execution span, on
+                            // the server's timeline, stamped with the
+                            // request's trace context.
+                            let took_us = done.took.as_micros() as u64;
+                            let end_us = trace_epoch.elapsed().as_micros() as u64;
+                            let mut args = vec![("point", done.point as u64)];
+                            if let Some(c) = &child {
+                                args.extend(c.args());
+                            }
+                            sink.recorder.span(
+                                trace_pids[done.job],
+                                done.point as u32,
+                                "point",
+                                end_us.saturating_sub(took_us),
+                                took_us,
+                                &args,
+                            );
+                        }
+                        if want_telemetry {
+                            state.telemetry[done.point] = point_session.take();
+                        } else if let Some(sink) = &opts.trace_sink {
+                            // Per-chunk simulator spans fold into the
+                            // shared sink, each event stamped with the
+                            // point's child context so Perfetto can slice
+                            // the whole causal chain by trace id.
+                            if let Some(session) = point_session.take() {
+                                let stamp: Vec<(&'static str, u64)> =
+                                    child.as_ref().map(|c| c.args()).unwrap_or_default();
+                                sink.metrics.merge(&session.metrics);
+                                sink.recorder.merge_with_args(
+                                    session.recorder,
+                                    &format!("{}:p{}:", exp.name(), done.point),
+                                    &stamp,
+                                );
+                            }
+                        }
+                        events::emit(
+                            events::Level::Debug,
+                            "point.computed",
+                            &format!(
+                                "{} point {} computed in {:?}",
+                                exp.name(),
+                                done.point,
+                                done.took
+                            ),
+                            child.or(opts.trace),
+                            &[
+                                ("job", Json::str(exp.name())),
+                                ("point", Json::UInt(done.point as u64)),
+                                ("took_us", Json::UInt(done.took.as_micros() as u64)),
+                            ],
+                        );
                         if let Some(hook) = &opts.progress {
                             hook.0(exp.name(), done.point, PointOrigin::Computed);
                         }
@@ -1062,7 +1224,11 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             if let Err(e) = j.append(&Record::Shutdown {
                 reason: "signal".to_string(),
             }) {
-                eprintln!("warning: journal write failed: {e}");
+                events::warn_traced(
+                    "journal.write_failed",
+                    format!("journal write failed: {e}"),
+                    opts.trace,
+                );
             }
         }
         // Jobs the drain cut short get stub reports: no output, no
@@ -1089,7 +1255,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     if opts.write_artifacts {
         for job in &jobs {
             for (path, contents) in &job.artifacts {
-                write_artifact(path, contents);
+                write_artifact(path, contents, opts.trace);
             }
         }
     }
@@ -1099,7 +1265,11 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                 for (ext, contents) in [("json", &t.chrome_json), ("txt", &t.report_text)] {
                     let path = dir.join(format!("{}.{ext}", job.name));
                     if let Err(e) = atomic_write(&path, contents) {
-                        eprintln!("warning: could not write {}: {e}", path.display());
+                        events::warn_traced(
+                            "telemetry.write_failed",
+                            format!("could not write {}: {e}", path.display()),
+                            opts.trace,
+                        );
                     }
                 }
             }
@@ -1115,7 +1285,11 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
         } else {
             let json = Json::Arr(failures.iter().map(PointFailure::to_json).collect());
             if let Err(e) = atomic_write(path, &(json.pretty() + "\n")) {
-                eprintln!("warning: could not write {}: {e}", path.display());
+                events::warn_traced(
+                    "failures.write_failed",
+                    format!("could not write {}: {e}", path.display()),
+                    opts.trace,
+                );
             }
         }
     }
@@ -1125,10 +1299,32 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
         } else {
             let status = if failures.is_empty() { "ok" } else { "degraded" };
             if let Err(e) = j.seal(status) {
-                eprintln!("warning: could not seal run journal: {e}");
+                events::warn_traced(
+                    "journal.seal_failed",
+                    format!("could not seal run journal: {e}"),
+                    opts.trace,
+                );
             }
         }
     }
+    events::emit(
+        events::Level::Debug,
+        "run.done",
+        &format!(
+            "run {} finished: {computed_points} computed, {} cache hit(s), \
+             {} failure(s){}",
+            run_id.as_deref().unwrap_or("<unjournaled>"),
+            cache_stats.hits,
+            failures.len(),
+            if interrupted { ", interrupted" } else { "" }
+        ),
+        opts.trace,
+        &[
+            ("computed", Json::UInt(computed_points as u64)),
+            ("cache_hits", Json::UInt(cache_stats.hits as u64)),
+            ("failures", Json::UInt(failures.len() as u64)),
+        ],
+    );
     Ok(RunReport {
         jobs,
         elapsed: start.elapsed(),
@@ -1161,7 +1357,10 @@ fn journal_fail(
             message: message.to_string(),
         };
         if let Err(e) = j.append(&record) {
-            eprintln!("warning: journal write failed: {e}");
+            events::warn(
+                "journal.write_failed",
+                format!("journal write failed: {e}"),
+            );
         }
     }
 }
@@ -1177,11 +1376,15 @@ fn emit_ready(cursor: &mut usize, reports: &[Option<JobReport>]) {
     }
 }
 
-fn write_artifact(path: &str, contents: &str) {
+fn write_artifact(path: &str, contents: &str, trace: Option<TraceContext>) {
     // Atomic (temp sibling + fsync + rename): a kill mid-run can never
     // leave a half-written `results/*.json` that a reader would trust.
     if let Err(e) = atomic_write(path, contents) {
-        eprintln!("warning: could not write {path}: {e}");
+        events::warn_traced(
+            "artifact.write_failed",
+            format!("could not write {path}: {e}"),
+            trace,
+        );
     }
 }
 

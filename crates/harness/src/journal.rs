@@ -63,6 +63,10 @@ pub struct StartRecord {
     pub registry_fp: String,
     /// The selected jobs, in registry order.
     pub jobs: Vec<JournalJob>,
+    /// The run's trace id (lowercase hex), when it executed under a
+    /// trace context. Correlation material only — a resume never has to
+    /// match it — and optional on the wire so older journals still parse.
+    pub trace: Option<String>,
 }
 
 /// One journal record.
@@ -321,6 +325,7 @@ fn record_to_json(record: &Record) -> Json {
             ("telemetry", Json::Bool(s.telemetry)),
             ("seed", Json::UInt(s.seed)),
             ("registry", Json::str(s.registry_fp.clone())),
+            ("trace", opt_str(&s.trace)),
             (
                 "jobs",
                 Json::Arr(
@@ -450,6 +455,7 @@ fn parse_record(line: &str) -> Result<Record, String> {
                 seed: json.get("seed").and_then(Json::as_u64).ok_or("missing `seed`")?,
                 registry_fp: field_str("registry")?,
                 jobs,
+                trace: field_opt_str("trace")?,
             }))
         }
         Some("attempt") => Ok(Record::Attempt {
@@ -515,6 +521,7 @@ mod tests {
             seed: 2019,
             registry_fp: registry_fingerprint(&jobs),
             jobs,
+            trace: Some("00000000deadbeef".into()),
         }
     }
 

@@ -8,9 +8,11 @@
 //! cargo run --release -p sparten-harness -- clean
 //! ```
 
+use sparten_bench::json::Json;
 use sparten_harness::cache::Cache;
 use sparten_harness::executor::{self, RunOptions};
-use sparten_harness::{faults, fsck, journal, registry, signal};
+use sparten_harness::{events, faults, fsck, journal, registry, signal};
+use sparten_telemetry::TraceContext;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -25,16 +27,20 @@ USAGE:
                         [--telemetry] [--telemetry-dir PATH]
                         [--resume [RUN_ID]] [--journal-dir PATH]
                         [--drain-timeout SECS] [--abort-after N]
+                        [--events-dir PATH]
     sparten-harness bench [--quick] [--filter SUBSTR] [--threshold X]
                           [--out PATH] [--check-schema] [--enforce]
     sparten-harness faults [--seed N] [--trials N] [--quick] [--report PATH]
     sparten-harness fsck [--repair] [--results-dir PATH]
     sparten-harness list [--filter SUBSTR]
-    sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH]
+    sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH] [--json]
+    sparten-harness events [--events-dir PATH] [--run RUN_ID] [--level L]
+                           [--trace HEX] [--follow]
+    sparten-harness promlint [--file PATH]
     sparten-harness serve [--addr HOST:PORT] [--port-file PATH] [--jobs N]
                           [--max-active N] [--max-queue N] [--cache-dir PATH]
                           [--journal-dir PATH] [--no-artifacts]
-                          [--drain-timeout SECS]
+                          [--drain-timeout SECS] [--events-dir PATH]
     sparten-harness clean [--results-dir PATH] [--cache-dir PATH]
                           [--journal-dir PATH]
 
@@ -70,6 +76,19 @@ COMMANDS:
     list     List registered experiments with kind, points, and deps.
     report   Summarize telemetry written by a previous `run --telemetry`:
              per-scope work/stall cycle totals and the dominant stall cause.
+             With --json, emit the same data (plus p50/p95/p99 latency
+             estimates per histogram) as a JSON array on stdout.
+    events   Read a structured event log written by `run` or `serve`
+             (results/events/<run-id>.jsonl by default, latest run unless
+             --run names one), printing each JSONL event; filter by
+             severity (--level debug|info|warn|error) or by trace id
+             (--trace HEX, as printed in /run responses and event records),
+             and tail live logs with --follow. Exits non-zero on a
+             malformed event line.
+    promlint Validate Prometheus text exposition read from stdin (or
+             --file PATH): TYPE declarations, sample syntax, histogram
+             bucket monotonicity. The CI smoke pipes `GET /metrics`
+             (with `Accept: text/plain; version=0.0.4`) through this.
     serve    Run the multi-tenant simulation daemon: accepts job requests
              over HTTP, coalesces concurrent duplicates onto one shared
              execution (keyed by the content-addressed cache key), serves
@@ -77,9 +96,13 @@ COMMANDS:
              executor, streams per-point progress as chunked NDJSON, and
              sheds load with 429 + Retry-After once the admission budget
              (--max-active + --max-queue runs) is spent. Endpoints:
-             GET /healthz, GET /metrics (telemetry counter report),
-             GET /jobs, GET /result?job=NAME (cache-only, raw output),
-             POST /run?job=NAME (or JSON body {\"job\": \"NAME\"}).
+             GET /healthz, GET /metrics (text report by default;
+             Prometheus exposition under `Accept: text/plain;
+             version=0.0.4` or ?format=prometheus), GET /trace (Chrome
+             trace JSON of every request's causal chain, loadable at
+             ui.perfetto.dev), GET /jobs, GET /result?job=NAME
+             (cache-only, raw output), POST /run?job=NAME (or JSON body
+             {\"job\": \"NAME\"}).
              On SIGINT/SIGTERM the daemon drains: stops accepting,
              finishes every accepted request, journals the shutdown, and
              exits 75. A second signal aborts at once.
@@ -145,6 +168,21 @@ OPTIONS:
     --max-queue N         serve: admitted runs allowed to wait for a slot
                           beyond --max-active; a new job arriving past that
                           budget is answered 429 (default 8).
+    --events-dir PATH     Structured event log location (default:
+                          results/events). `run` writes through per event;
+                          `serve` buffers in memory and flushes on drain
+                          (and on panic).
+    --run RUN_ID          events: read RUN_ID's log instead of the latest.
+    --level L             events: minimum severity to print
+                          (debug|info|warn|error; default debug = all).
+    --trace HEX           events: only events carrying this 16-hex-digit
+                          trace id.
+    --follow              events: keep the log open and print new events
+                          as they are appended (poll ~5x/second).
+    --json                report: emit machine-readable JSON instead of
+                          the text tables.
+    --file PATH           promlint: read the exposition from PATH instead
+                          of stdin.
 ";
 
 fn main() -> ExitCode {
@@ -160,6 +198,8 @@ fn main() -> ExitCode {
         "fsck" => cmd_fsck(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "events" => cmd_events(&args[1..]),
+        "promlint" => cmd_promlint(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "clean" => cmd_clean(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -167,7 +207,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("unknown command `{other}`\n");
+            events::error("cli.unknown_command", format!("unknown command `{other}`"));
+            events::raw_stderr("\n");
             eprint!("{USAGE}");
             ExitCode::FAILURE
         }
@@ -190,7 +231,8 @@ fn command_spec(cmd: &str) -> CommandSpec {
                     \x20                   [--cache-dir PATH] [--no-artifacts]\n\
                     \x20                   [--telemetry] [--telemetry-dir PATH]\n\
                     \x20                   [--resume [RUN_ID]] [--journal-dir PATH]\n\
-                    \x20                   [--drain-timeout SECS] [--abort-after N]",
+                    \x20                   [--drain-timeout SECS] [--abort-after N]\n\
+                    \x20                   [--events-dir PATH]",
             allowed: &[
                 "--filter",
                 "--jobs",
@@ -207,6 +249,7 @@ fn command_spec(cmd: &str) -> CommandSpec {
                 "--journal-dir",
                 "--drain-timeout",
                 "--abort-after",
+                "--events-dir",
             ],
         },
         "bench" => CommandSpec {
@@ -234,8 +277,17 @@ fn command_spec(cmd: &str) -> CommandSpec {
             allowed: &["--filter"],
         },
         "report" => CommandSpec {
-            usage: "sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH]",
-            allowed: &["--filter", "--telemetry-dir"],
+            usage: "sparten-harness report [--filter SUBSTR] [--telemetry-dir PATH] [--json]",
+            allowed: &["--filter", "--telemetry-dir", "--json"],
+        },
+        "events" => CommandSpec {
+            usage: "sparten-harness events [--events-dir PATH] [--run RUN_ID] [--level L]\n\
+                    \x20                      [--trace HEX] [--follow]",
+            allowed: &["--events-dir", "--run", "--level", "--trace", "--follow"],
+        },
+        "promlint" => CommandSpec {
+            usage: "sparten-harness promlint [--file PATH]",
+            allowed: &["--file"],
         },
         "serve" => CommandSpec {
             usage: "sparten-harness serve [--addr HOST:PORT] [--port-file PATH] [--jobs N]\n\
@@ -253,6 +305,7 @@ fn command_spec(cmd: &str) -> CommandSpec {
                 "--journal-dir",
                 "--no-artifacts",
                 "--drain-timeout",
+                "--events-dir",
             ],
         },
         "clean" => CommandSpec {
@@ -293,12 +346,15 @@ fn parse_cmd_flags(cmd: &str, args: &[String]) -> Result<Flags, ExitCode> {
     match parse_flags(args, spec.allowed) {
         Ok(flags) => Ok(flags),
         Err(FlagsError::Unknown(flag)) => {
-            eprintln!("error: unknown option `{flag}` for `sparten-harness {cmd}`\n");
-            eprintln!("USAGE:\n    {}", spec.usage);
+            events::error(
+                "cli.unknown_option",
+                format!("unknown option `{flag}` for `sparten-harness {cmd}`"),
+            );
+            events::raw_stderr(&format!("\nUSAGE:\n    {}\n", spec.usage));
             Err(ExitCode::from(2))
         }
         Err(FlagsError::Invalid(message)) => {
-            eprintln!("error: {message}");
+            events::error("cli.invalid_flag", message);
             Err(ExitCode::FAILURE)
         }
     }
@@ -336,6 +392,13 @@ struct Flags {
     port_file: Option<String>,
     max_active: Option<usize>,
     max_queue: Option<usize>,
+    events_dir: Option<String>,
+    run_id: Option<String>,
+    level: Option<String>,
+    trace: Option<String>,
+    follow: bool,
+    json: bool,
+    file_path: Option<String>,
 }
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, FlagsError> {
@@ -368,6 +431,13 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, FlagsError> {
         port_file: None,
         max_active: None,
         max_queue: None,
+        events_dir: None,
+        run_id: None,
+        level: None,
+        trace: None,
+        follow: false,
+        json: false,
+        file_path: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -537,6 +607,49 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, FlagsError> {
                 f.max_queue =
                     Some(v.parse().map_err(|_| format!("bad --max-queue value `{v}`"))?);
             }
+            "--events-dir" => {
+                let v = it.next().ok_or("--events-dir needs a value")?;
+                if v.is_empty() {
+                    return Err("--events-dir must not be empty".into());
+                }
+                f.events_dir = Some(v.clone());
+            }
+            "--run" => {
+                let v = it.next().ok_or("--run needs a value")?;
+                if v.is_empty() {
+                    return Err("--run must not be empty".into());
+                }
+                f.run_id = Some(v.clone());
+            }
+            "--level" => {
+                let v = it.next().ok_or("--level needs a value")?;
+                if events::Level::parse(v).is_none() {
+                    return Err(format!(
+                        "bad --level value `{v}` (debug|info|warn|error)"
+                    )
+                    .into());
+                }
+                f.level = Some(v.clone());
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a value")?;
+                if TraceContext::parse_hex(v).is_none() {
+                    return Err(format!(
+                        "bad --trace value `{v}` (expect 16 hex digits)"
+                    )
+                    .into());
+                }
+                f.trace = Some(v.clone());
+            }
+            "--follow" => f.follow = true,
+            "--json" => f.json = true,
+            "--file" => {
+                let v = it.next().ok_or("--file needs a value")?;
+                if v.is_empty() {
+                    return Err("--file must not be empty".into());
+                }
+                f.file_path = Some(v.clone());
+            }
             other => return Err(FlagsError::Unknown(other.to_string())),
         }
     }
@@ -591,7 +704,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Some(id) => {
                 let p = journal::journal_path(&dir, &id);
                 if !p.exists() {
-                    eprintln!("error: no journal for run id `{id}` in {}", dir.display());
+                    events::error(
+                        "resume.not_found",
+                        format!("no journal for run id `{id}` in {}", dir.display()),
+                    );
                     return ExitCode::FAILURE;
                 }
                 p
@@ -599,20 +715,56 @@ fn cmd_run(args: &[String]) -> ExitCode {
             None => match journal::latest_journal(&dir) {
                 Ok(Some(p)) => p,
                 Ok(None) => {
-                    eprintln!(
-                        "error: nothing to resume — no journal in {} \
-                         (interrupted runs leave one behind)",
-                        dir.display()
+                    events::error(
+                        "resume.nothing",
+                        format!(
+                            "nothing to resume — no journal in {} \
+                             (interrupted runs leave one behind)",
+                            dir.display()
+                        ),
                     );
                     return ExitCode::FAILURE;
                 }
                 Err(e) => {
-                    eprintln!("error: cannot scan {}: {e}", dir.display());
+                    events::error(
+                        "resume.scan_failed",
+                        format!("cannot scan {}: {e}", dir.display()),
+                    );
                     return ExitCode::FAILURE;
                 }
             },
         };
         opts.resume = Some(path);
+    }
+
+    // One trace context and one structured-event log per CLI run. The run
+    // id is resolved up front (a resume reuses the journal's) so the event
+    // file and the journal share a name.
+    let run_id = match &opts.resume {
+        Some(path) => path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("run-resumed")
+            .to_string(),
+        None => {
+            let id = journal::generate_run_id();
+            opts.run_id = Some(id.clone());
+            id
+        }
+    };
+    opts.trace = Some(TraceContext::root());
+    let events_dir = PathBuf::from(
+        flags
+            .events_dir
+            .clone()
+            .unwrap_or_else(|| "results/events".into()),
+    );
+    if let Err(e) = events::init_run(&events_dir, &run_id) {
+        // A broken event log never blocks the run itself.
+        events::warn(
+            "events.init_failed",
+            format!("cannot open event log in {}: {e}", events_dir.display()),
+        );
     }
 
     // Cooperative shutdown: first SIGINT/SIGTERM drains, second aborts.
@@ -621,12 +773,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let report = match executor::run(&registry(), &opts) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("error: {e}");
+            events::error("run.failed", &e);
             return ExitCode::FAILURE;
         }
     };
     if report.jobs.is_empty() {
-        eprintln!("no experiments match the filter");
+        events::error("run.no_match", "no experiments match the filter");
         return ExitCode::FAILURE;
     }
 
@@ -709,10 +861,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
             .as_deref()
             .map(|id| format!("sparten-harness run --resume {id}"))
             .unwrap_or_else(|| "sparten-harness run --resume".into());
-        eprintln!(
-            "interrupted: drained after a shutdown signal; completed work is journaled.\n\
-             resume with: {hint}"
+        events::info(
+            "run.interrupted",
+            format!(
+                "interrupted: drained after a shutdown signal; completed work is journaled.\n\
+                 resume with: {hint}"
+            ),
         );
+        events::flush();
         return ExitCode::from(signal::DRAINED_EXIT_CODE);
     }
     // Graceful degradation: a run with quarantined points still completed
@@ -738,7 +894,10 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     print!("{rendered}");
     if let Some(path) = &flags.report_path {
         if let Err(e) = sparten_bench::atomic_write(path, &rendered) {
-            eprintln!("error: cannot write coverage report to {path}: {e}");
+            events::error(
+                "faults.report_write_failed",
+                format!("cannot write coverage report to {path}: {e}"),
+            );
             return ExitCode::FAILURE;
         }
         println!("coverage report written to {path}");
@@ -746,10 +905,13 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     if report.silently_wrong() == 0 && report.crashed() == 0 {
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "error: {} silently-wrong and {} crashed trials — the stack let a fault through",
-            report.silently_wrong(),
-            report.crashed()
+        events::error(
+            "faults.undetected",
+            format!(
+                "{} silently-wrong and {} crashed trials — the stack let a fault through",
+                report.silently_wrong(),
+                report.crashed()
+            ),
         );
         ExitCode::FAILURE
     }
@@ -835,7 +997,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         "harness/cache-hit probe record: a representative experiment line\n".repeat(16),
     );
     if let Err(e) = cache.store("bench-probe", 0, key, &payload) {
-        eprintln!("error: cannot seed bench cache in {}: {e}", cache_dir.display());
+        events::error(
+            "bench.cache_seed_failed",
+            format!("cannot seed bench cache in {}: {e}", cache_dir.display()),
+        );
         return ExitCode::FAILURE;
     }
     let mut extras = vec![sparten_bench::ExtraBench {
@@ -859,7 +1024,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         0,
     );
     if let Err(e) = cache.store(probe.name(), 0, probe_key, &probe.compute_point(0)) {
-        eprintln!("error: cannot warm serve bench cache: {e}");
+        events::error(
+            "bench.cache_warm_failed",
+            format!("cannot warm serve bench cache: {e}"),
+        );
         return ExitCode::FAILURE;
     }
     let serve_shutdown = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
@@ -877,6 +1045,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         read_timeout: Duration::from_secs(5),
         drain_timeout: Duration::from_secs(5),
         shutdown: std::sync::Arc::clone(&serve_shutdown),
+        build: Default::default(),
     };
     let telemetry = std::sync::Arc::new(sparten_telemetry::Telemetry::new());
     let (serve_addr, serve_thread) =
@@ -887,12 +1056,18 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     (addr, std::thread::spawn(move || server.serve()))
                 }
                 Err(e) => {
-                    eprintln!("error: cannot resolve serve bench address: {e}");
+                    events::error(
+                        "bench.serve_addr_failed",
+                        format!("cannot resolve serve bench address: {e}"),
+                    );
                     return ExitCode::FAILURE;
                 }
             },
             Err(e) => {
-                eprintln!("error: cannot bind serve bench daemon: {e}");
+                events::error(
+                    "bench.serve_bind_failed",
+                    format!("cannot bind serve bench daemon: {e}"),
+                );
                 return ExitCode::FAILURE;
             }
         };
@@ -910,7 +1085,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let report = sparten_bench::run_benchmarks(&opts, extras);
     serve_shutdown.store(1, std::sync::atomic::Ordering::SeqCst);
     if serve_thread.join().is_err() {
-        eprintln!("warning: serve bench daemon panicked during drain");
+        events::warn("bench.serve_panicked", "serve bench daemon panicked during drain");
     }
     let _ = std::fs::remove_dir_all(&cache_dir);
 
@@ -923,9 +1098,12 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             Ok(baseline) => {
                 let regressions = report.compare_with_baseline(&baseline);
                 for r in &regressions {
-                    eprintln!(
-                        "regression: {} went {:.0} -> {:.0} ns/iter ({:.2}x, threshold {:.2}x)",
-                        r.name, r.old_ns, r.new_ns, r.ratio, opts.threshold
+                    events::warn(
+                        "bench.regression",
+                        format!(
+                            "regression: {} went {:.0} -> {:.0} ns/iter ({:.2}x, threshold {:.2}x)",
+                            r.name, r.old_ns, r.new_ns, r.ratio, opts.threshold
+                        ),
                     );
                 }
                 if regressions.is_empty() {
@@ -937,14 +1115,17 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     regressed = true;
                 }
             }
-            Err(e) => eprintln!("warning: ignoring unparseable baseline {out_path}: {e}"),
+            Err(e) => events::warn(
+                "bench.baseline_unparseable",
+                format!("ignoring unparseable baseline {out_path}: {e}"),
+            ),
         }
     }
 
     let mut body = report.to_json().pretty();
     body.push('\n');
     if let Err(e) = sparten_bench::atomic_write(&out_path, &body) {
-        eprintln!("error: cannot write {out_path}: {e}");
+        events::error("bench.write_failed", format!("cannot write {out_path}: {e}"));
         return ExitCode::FAILURE;
     }
     println!("benchmark report written to {out_path}");
@@ -953,26 +1134,38 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let written = match std::fs::read_to_string(&out_path) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("error: cannot read back {out_path}: {e}");
+                events::error(
+                    "bench.readback_failed",
+                    format!("cannot read back {out_path}: {e}"),
+                );
                 return ExitCode::FAILURE;
             }
         };
         let parsed = match sparten_bench::json::Json::parse(&written) {
             Ok(j) => j,
             Err(e) => {
-                eprintln!("error: {out_path} is not valid JSON: {e}");
+                events::error(
+                    "bench.artifact_invalid",
+                    format!("{out_path} is not valid JSON: {e}"),
+                );
                 return ExitCode::FAILURE;
             }
         };
         if let Err(e) = sparten_bench::check_schema(&parsed) {
-            eprintln!("error: {out_path} fails schema check: {e}");
+            events::error(
+                "bench.schema_failed",
+                format!("{out_path} fails schema check: {e}"),
+            );
             return ExitCode::FAILURE;
         }
         println!("schema check passed ({})", sparten_bench::BENCH_SCHEMA);
     }
 
     if regressed && flags.enforce {
-        eprintln!("error: perf regressions past the threshold (--enforce)");
+        events::error(
+            "bench.regression_enforced",
+            "perf regressions past the threshold (--enforce)",
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -990,7 +1183,10 @@ fn cmd_fsck(args: &[String]) -> ExitCode {
     let report = match fsck::fsck(&root, &names, flags.repair) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("error: cannot audit {}: {e}", root.display());
+            events::error(
+                "fsck.audit_failed",
+                format!("cannot audit {}: {e}", root.display()),
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -1000,9 +1196,10 @@ fn cmd_fsck(args: &[String]) -> ExitCode {
     }
     if !flags.repair {
         if report.has_resumable() {
-            eprintln!(
+            events::info(
+                "fsck.resumable",
                 "note: a dangling journal is a resumable run — prefer \
-                 `sparten-harness run --resume` over --repair"
+                 `sparten-harness run --resume` over --repair",
             );
         }
         return ExitCode::FAILURE;
@@ -1034,7 +1231,10 @@ fn cmd_report(args: &[String]) -> ExitCode {
     let entries = match std::fs::read_dir(&dir) {
         Ok(e) => e,
         Err(e) => {
-            eprintln!("error: cannot read {dir}: {e} (run with --telemetry first)");
+            events::error(
+                "report.dir_unreadable",
+                format!("cannot read {dir}: {e} (run with --telemetry first)"),
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -1051,8 +1251,12 @@ fn cmd_report(args: &[String]) -> ExitCode {
         .collect();
     paths.sort();
     if paths.is_empty() {
-        eprintln!("no telemetry reports match in {dir}");
+        events::error("report.no_match", format!("no telemetry reports match in {dir}"));
         return ExitCode::FAILURE;
+    }
+
+    if flags.json {
+        return report_json(&paths);
     }
 
     println!("== Telemetry report ({dir}) ==");
@@ -1061,7 +1265,10 @@ fn cmd_report(args: &[String]) -> ExitCode {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("warning: cannot read {}: {e}", path.display());
+                events::warn(
+                    "report.file_unreadable",
+                    format!("cannot read {}: {e}", path.display()),
+                );
                 ok = false;
                 continue;
             }
@@ -1069,7 +1276,10 @@ fn cmd_report(args: &[String]) -> ExitCode {
         let parsed = match sparten_telemetry::parse_report(&text) {
             Ok(p) => p,
             Err(e) => {
-                eprintln!("warning: {} does not parse: {e}", path.display());
+                events::warn(
+                    "report.file_unparseable",
+                    format!("{} does not parse: {e}", path.display()),
+                );
                 ok = false;
                 continue;
             }
@@ -1088,37 +1298,58 @@ fn cmd_report(args: &[String]) -> ExitCode {
             })
             .collect();
         scopes.dedup();
-        if scopes.is_empty() {
-            continue;
-        }
-        println!(
-            "  {:<22} {:>14} {:>14} {:>14} {:>14}  dominant stall",
-            "scope", "nonzero", "zero", "intra", "inter"
-        );
-        for scope in scopes {
-            let counter = |suffix: &str| {
-                parsed
-                    .counters
-                    .get(&format!("{scope}/{suffix}"))
-                    .copied()
-                    .unwrap_or(0)
-            };
-            let stall_prefix = format!("{scope}/stall.");
-            let dominant = parsed
-                .counters
-                .iter()
-                .filter(|(n, v)| n.starts_with(&stall_prefix) && **v > 0)
-                .max_by_key(|(_, v)| **v)
-                .map(|(n, v)| format!("{} ({v})", &n[stall_prefix.len()..]))
-                .unwrap_or_else(|| "-".into());
+        if !scopes.is_empty() {
             println!(
-                "  {:<22} {:>14} {:>14} {:>14} {:>14}  {dominant}",
-                scope,
-                counter("work.nonzero"),
-                counter("work.zero"),
-                parsed.counter_sum(&format!("{scope}/stall.intra.")),
-                parsed.counter_sum(&format!("{scope}/stall.inter.")),
+                "  {:<22} {:>14} {:>14} {:>14} {:>14}  dominant stall",
+                "scope", "nonzero", "zero", "intra", "inter"
             );
+            for scope in scopes {
+                let counter = |suffix: &str| {
+                    parsed
+                        .counters
+                        .get(&format!("{scope}/{suffix}"))
+                        .copied()
+                        .unwrap_or(0)
+                };
+                let stall_prefix = format!("{scope}/stall.");
+                let dominant = parsed
+                    .counters
+                    .iter()
+                    .filter(|(n, v)| n.starts_with(&stall_prefix) && **v > 0)
+                    .max_by_key(|(_, v)| **v)
+                    .map(|(n, v)| format!("{} ({v})", &n[stall_prefix.len()..]))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "  {:<22} {:>14} {:>14} {:>14} {:>14}  {dominant}",
+                    scope,
+                    counter("work.nonzero"),
+                    counter("work.zero"),
+                    parsed.counter_sum(&format!("{scope}/stall.intra.")),
+                    parsed.counter_sum(&format!("{scope}/stall.inter.")),
+                );
+            }
+        }
+        // Distribution estimates from the power-of-two histogram buckets
+        // (upper-bound interpolation; same engine as Histogram::quantile).
+        if !parsed.histograms.is_empty() {
+            println!(
+                "  {:<34} {:>12} {:>12} {:>12}",
+                "histogram", "p50", "p95", "p99"
+            );
+            for (name, (buckets, _sum)) in &parsed.histograms {
+                let q = |q: f64| {
+                    sparten_telemetry::bucket_quantile(buckets, q)
+                        .map(|v| format!("{v:.0}"))
+                        .unwrap_or_else(|| "-".into())
+                };
+                println!(
+                    "  {:<34} {:>12} {:>12} {:>12}",
+                    name,
+                    q(0.50),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
         }
     }
     if ok {
@@ -1126,6 +1357,103 @@ fn cmd_report(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `report --json`: the parsed telemetry reports as one JSON array —
+/// counters, gauges, and histograms (with p50/p95/p99 estimates) per job —
+/// rendered by the in-repo JSON writer.
+fn report_json(paths: &[PathBuf]) -> ExitCode {
+    let mut jobs: Vec<Json> = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                events::error(
+                    "report.file_unreadable",
+                    format!("cannot read {}: {e}", path.display()),
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = match sparten_telemetry::parse_report(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                events::error(
+                    "report.file_unparseable",
+                    format!("{} does not parse: {e}", path.display()),
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let counters = Json::Obj(
+            parsed
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            parsed
+                .gauges
+                .iter()
+                .map(|(k, (hi, lo, last, n))| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("hi", Json::Float(*hi)),
+                            ("lo", Json::Float(*lo)),
+                            ("last", Json::Float(*last)),
+                            ("n", Json::UInt(*n)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            parsed
+                .histograms
+                .iter()
+                .map(|(k, (buckets, sum))| {
+                    let n: u64 = buckets.iter().sum();
+                    let mut fields = vec![
+                        ("n".to_string(), Json::UInt(n)),
+                        ("sum".to_string(), Json::UInt(*sum)),
+                    ];
+                    for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                        if let Some(v) = sparten_telemetry::bucket_quantile(buckets, q) {
+                            fields.push((label.to_string(), Json::Float(v)));
+                        }
+                    }
+                    // Sparse bucket map: index (log2 upper bound) -> count.
+                    fields.push((
+                        "buckets".to_string(),
+                        Json::Obj(
+                            buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, c)| **c > 0)
+                                .map(|(i, c)| (i.to_string(), Json::UInt(*c)))
+                                .collect(),
+                        ),
+                    ));
+                    (k.clone(), Json::Obj(fields))
+                })
+                .collect(),
+        );
+        jobs.push(Json::obj([
+            ("job", Json::str(&parsed.job)),
+            ("file", Json::str(path.display().to_string())),
+            ("events", Json::UInt(parsed.events)),
+            ("dropped", Json::UInt(parsed.dropped)),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ]));
+    }
+    // Guarded write: tolerate a reader that hangs up mid-stream.
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "{}", Json::Arr(jobs).pretty());
+    ExitCode::SUCCESS
 }
 
 fn cmd_list(args: &[String]) -> ExitCode {
@@ -1190,31 +1518,58 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         })
         .collect();
     let run_id = format!("serve-{}", journal::generate_run_id());
+    let registry_fp = journal::registry_fingerprint(&jobs);
     let start = journal::StartRecord {
         run_id: run_id.clone(),
         filter: None,
         force: false,
         telemetry: false,
         seed: sparten_harness::SEED,
-        registry_fp: journal::registry_fingerprint(&jobs),
+        registry_fp: registry_fp.clone(),
         jobs,
+        trace: None,
     };
     let mut session_journal = match journal::Journal::create(&journal_dir, &start) {
         Ok(j) => j,
         Err(e) => {
-            eprintln!("error: cannot journal in {}: {e}", journal_dir.display());
+            events::error(
+                "serve.journal_failed",
+                format!("cannot journal in {}: {e}", journal_dir.display()),
+            );
             return ExitCode::FAILURE;
         }
     };
 
-    let backend = std::sync::Arc::new(sparten_harness::serve::HarnessBackend::new(
-        experiments,
-        &cache_dir,
-        Some(journal_dir.clone()),
-        !flags.no_artifacts,
-        exec_jobs,
-    ));
+    // Buffered event sink: requests are hot-path, so events ride the
+    // in-memory ring and hit disk on drain (or via the panic hook).
+    let events_dir = PathBuf::from(
+        flags
+            .events_dir
+            .clone()
+            .unwrap_or_else(|| "results/events".into()),
+    );
+    if let Err(e) = events::init_serve(&events_dir, &run_id) {
+        events::warn(
+            "events.init_failed",
+            format!("cannot open event log in {}: {e}", events_dir.display()),
+        );
+    }
+
+    // One process-wide telemetry session: the server records request/gate/
+    // queue spans into it, and the backend routes every executor run's
+    // point and chunk spans into the same session (same trace ids), so
+    // `GET /trace` exports one coherent timeline.
     let telemetry = std::sync::Arc::new(sparten_telemetry::Telemetry::new());
+    let backend = std::sync::Arc::new(
+        sparten_harness::serve::HarnessBackend::new(
+            experiments,
+            &cache_dir,
+            Some(journal_dir.clone()),
+            !flags.no_artifacts,
+            exec_jobs,
+        )
+        .with_trace_sink(std::sync::Arc::clone(&telemetry)),
+    );
     let opts = sparten_serve::ServeOptions {
         addr: flags.addr.unwrap_or_else(|| "127.0.0.1:7070".into()),
         max_active: flags.max_active.unwrap_or(2),
@@ -1223,29 +1578,45 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         drain_timeout: flags.drain_timeout.unwrap_or(Duration::from_secs(30)),
         // First SIGINT/SIGTERM drains, second aborts — same as `run`.
         shutdown: signal::install(),
+        build: sparten_serve::BuildInfo {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            registry_fp: u64::from_str_radix(&registry_fp, 16).unwrap_or(0),
+        },
     };
     let server = match sparten_serve::Server::bind(backend, telemetry, opts) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot bind: {e}");
+            events::error("serve.bind_failed", format!("cannot bind: {e}"));
             return ExitCode::FAILURE;
         }
     };
     let addr = match server.local_addr() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: cannot resolve bound address: {e}");
+            events::error(
+                "serve.addr_failed",
+                format!("cannot resolve bound address: {e}"),
+            );
             return ExitCode::FAILURE;
         }
     };
     println!("serving on http://{addr} (run id {run_id}, {exec_jobs} workers per run)");
-    println!("endpoints: GET /healthz /metrics /jobs /result?job=NAME; POST /run?job=NAME");
+    println!(
+        "endpoints: GET /healthz /metrics /trace /jobs /result?job=NAME; POST /run?job=NAME"
+    );
     if let Some(path) = &flags.port_file {
         if let Err(e) = sparten_bench::atomic_write(path, &format!("{addr}\n")) {
-            eprintln!("error: cannot write {path}: {e}");
+            events::error("serve.port_file_failed", format!("cannot write {path}: {e}"));
             return ExitCode::FAILURE;
         }
     }
+    events::emit(
+        events::Level::Debug,
+        "serve.listening",
+        &format!("serving on http://{addr}"),
+        None,
+        &[("run_id", Json::str(&run_id))],
+    );
 
     let report = server.serve();
 
@@ -1253,20 +1624,35 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if let Err(e) = session_journal.append(&journal::Record::Shutdown {
         reason: "signal".into(),
     }) {
-        eprintln!("warning: journal write failed: {e}");
+        events::warn("serve.journal_write_failed", format!("journal write failed: {e}"));
     }
     let status = if report.clean() { "ok" } else { "degraded" };
     if let Err(e) = session_journal.seal(status) {
-        eprintln!("warning: journal seal failed: {e}");
+        events::warn("serve.journal_seal_failed", format!("journal seal failed: {e}"));
     }
     if report.clean() {
         println!("drained: {} session(s) served, none dropped", report.sessions_served);
     } else {
-        eprintln!(
-            "drained: {} session(s) served, {} still open at the drain deadline",
-            report.sessions_served, report.abandoned
+        events::info(
+            "serve.drain_degraded",
+            format!(
+                "drained: {} session(s) served, {} still open at the drain deadline",
+                report.sessions_served, report.abandoned
+            ),
         );
     }
+    events::emit(
+        events::Level::Debug,
+        "serve.drained",
+        "serve session drained",
+        None,
+        &[
+            ("sessions_served", Json::UInt(report.sessions_served as u64)),
+            ("abandoned", Json::UInt(report.abandoned as u64)),
+        ],
+    );
+    // The buffered ring only reaches disk here (or via the panic hook).
+    events::flush();
     ExitCode::from(signal::DRAINED_EXIT_CODE)
 }
 
@@ -1311,7 +1697,10 @@ fn cmd_clean(args: &[String]) -> ExitCode {
     let counts = match Cache::new(&cache_dir).clean() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: cannot clean {}: {e}", cache_dir.display());
+            events::error(
+                "clean.cache_failed",
+                format!("cannot clean {}: {e}", cache_dir.display()),
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -1321,7 +1710,10 @@ fn cmd_clean(args: &[String]) -> ExitCode {
     let journals = match journals {
         Ok(n) => n,
         Err(e) => {
-            eprintln!("error: cannot clean {}: {e}", journal_dir.display());
+            events::error(
+                "clean.journal_failed",
+                format!("cannot clean {}: {e}", journal_dir.display()),
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -1331,7 +1723,10 @@ fn cmd_clean(args: &[String]) -> ExitCode {
         match sweep_files(&dir, |n| n.ends_with(".tmp")) {
             Ok(n) => tmp += n,
             Err(e) => {
-                eprintln!("error: cannot clean {}: {e}", dir.display());
+                events::error(
+                    "clean.tmp_failed",
+                    format!("cannot clean {}: {e}", dir.display()),
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -1345,7 +1740,10 @@ fn cmd_clean(args: &[String]) -> ExitCode {
             n
         }
         Err(e) => {
-            eprintln!("error: cannot clean {}: {e}", quarantine_dir.display());
+            events::error(
+                "clean.quarantine_failed",
+                format!("cannot clean {}: {e}", quarantine_dir.display()),
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -1354,4 +1752,165 @@ fn cmd_clean(args: &[String]) -> ExitCode {
         counts.entries, journals, quarantined, tmp
     );
     ExitCode::SUCCESS
+}
+
+/// Reads a structured event log (JSONL) written by `run` or `serve`,
+/// filtering by severity and trace id; `--follow` tails the file.
+fn cmd_events(args: &[String]) -> ExitCode {
+    let flags = match parse_cmd_flags("events", args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let dir = PathBuf::from(flags.events_dir.unwrap_or_else(|| "results/events".into()));
+    let path = match &flags.run_id {
+        Some(id) => {
+            let p = dir.join(format!("{id}.jsonl"));
+            if !p.exists() {
+                events::error(
+                    "events.not_found",
+                    format!("no event log for run id `{id}` in {}", dir.display()),
+                );
+                return ExitCode::FAILURE;
+            }
+            p
+        }
+        None => match journal::latest_journal(&dir) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                events::error(
+                    "events.none",
+                    format!(
+                        "no event logs in {} (run with `run` or `serve` first)",
+                        dir.display()
+                    ),
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                events::error(
+                    "events.scan_failed",
+                    format!("cannot scan {}: {e}", dir.display()),
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    // Validated at flag-parse time; defaults keep everything.
+    let min_level = flags
+        .level
+        .as_deref()
+        .and_then(events::Level::parse)
+        .unwrap_or(events::Level::Debug);
+    let want_trace = flags
+        .trace
+        .as_deref()
+        .and_then(TraceContext::parse_hex)
+        .map(|id| format!("{id:016x}"));
+
+    // Guarded writes: `events | grep -q …` closes the pipe after the
+    // first match, and println! would panic on the resulting EPIPE.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut offset = 0usize;
+    let mut lineno = 0usize;
+    loop {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                events::error(
+                    "events.read_failed",
+                    format!("cannot read {}: {e}", path.display()),
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        // Only consume complete lines so --follow never splits an event
+        // racing with the writer's append.
+        let complete = match text[offset..].rfind('\n') {
+            Some(i) => offset + i + 1,
+            None => offset,
+        };
+        for line in text[offset..complete].lines() {
+            lineno += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = match Json::parse(line) {
+                Ok(j) => j,
+                Err(e) => {
+                    events::error(
+                        "events.malformed",
+                        format!("{}:{lineno}: malformed event: {e}", path.display()),
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let level = event
+                .get("level")
+                .and_then(Json::as_str)
+                .and_then(events::Level::parse)
+                .unwrap_or(events::Level::Info);
+            if level < min_level {
+                continue;
+            }
+            if let Some(want) = &want_trace {
+                if event.get("trace").and_then(Json::as_str) != Some(want.as_str()) {
+                    continue;
+                }
+            }
+            if writeln!(out, "{line}").is_err() {
+                // Reader hung up (e.g. grep -q): a clean stop, not a failure.
+                return ExitCode::SUCCESS;
+            }
+        }
+        offset = complete;
+        if !flags.follow {
+            break;
+        }
+        // Piped stdout is block-buffered; a tail must not lag a screenful.
+        let _ = out.flush();
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Validates Prometheus text exposition from stdin or `--file`: the check
+/// the CI smoke pipes `GET /metrics` through.
+fn cmd_promlint(args: &[String]) -> ExitCode {
+    let flags = match parse_cmd_flags("promlint", args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let (text, source) = match &flags.file_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => (t, p.clone()),
+            Err(e) => {
+                events::error("promlint.read_failed", format!("cannot read {p}: {e}"));
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            use std::io::Read;
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                events::error("promlint.stdin_failed", format!("cannot read stdin: {e}"));
+                return ExitCode::FAILURE;
+            }
+            (s, "<stdin>".to_string())
+        }
+    };
+    match sparten_telemetry::validate_exposition(&text) {
+        Ok(()) => {
+            println!(
+                "{source}: exposition OK ({} line(s))",
+                text.lines().filter(|l| !l.is_empty()).count()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            events::error("promlint.invalid", format!("{source}: {e}"));
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -27,10 +27,11 @@ use crate::cache::{fnv1a_parts, Cache, Lookup};
 use crate::executor::{self, PointOrigin, ProgressHook, RunOptions};
 use crate::{Experiment, PointPayload};
 use sparten_serve::{Backend, JobInfo, JobOutput, PointSource};
+use sparten_telemetry::{Telemetry, TraceContext};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// [`Backend`] implementation over the harness registry and machinery.
 pub struct HarnessBackend {
@@ -40,6 +41,8 @@ pub struct HarnessBackend {
     write_artifacts: bool,
     exec_jobs: usize,
     run_seq: AtomicUsize,
+    trace_sink: Option<Arc<Telemetry>>,
+    trace_epoch: Option<Instant>,
 }
 
 impl HarnessBackend {
@@ -62,7 +65,21 @@ impl HarnessBackend {
             write_artifacts,
             exec_jobs: exec_jobs.max(1),
             run_seq: AtomicUsize::new(0),
+            trace_sink: None,
+            trace_epoch: None,
         }
+    }
+
+    /// Routes every executor run's wall-clock spans (per-point execution,
+    /// cache-hit instants, merged simulator sessions) into `sink`, each
+    /// stamped with the request's trace context. The server exports the
+    /// same session at `/trace`, so one download shows request → gate →
+    /// queue wait → point → chunk on a single timeline. Timestamps count
+    /// from this call.
+    pub fn with_trace_sink(mut self, sink: Arc<Telemetry>) -> HarnessBackend {
+        self.trace_sink = Some(sink);
+        self.trace_epoch = Some(Instant::now());
+        self
     }
 
     fn find(&self, name: &str) -> Option<&Arc<dyn Experiment>> {
@@ -122,6 +139,7 @@ impl Backend for HarnessBackend {
         &self,
         name: &str,
         progress: Arc<dyn Fn(usize, PointSource) + Send + Sync>,
+        trace: Option<TraceContext>,
     ) -> Result<JobOutput, String> {
         let exp = Arc::clone(self.find(name).ok_or_else(|| format!("unknown job `{name}`"))?);
         let seq = self.run_seq.fetch_add(1, Ordering::SeqCst);
@@ -156,6 +174,9 @@ impl Backend for HarnessBackend {
                     },
                 )
             }))),
+            trace,
+            trace_sink: self.trace_sink.clone(),
+            trace_epoch: self.trace_epoch,
         };
         let report = executor::run(&[exp], &opts)?;
         let job = report

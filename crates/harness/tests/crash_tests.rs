@@ -130,6 +130,9 @@ fn opts(tree: &Path, jobs: usize) -> RunOptions {
         drain_timeout: Duration::from_secs(30),
         abort_after: None,
         progress: None,
+        trace: None,
+        trace_sink: None,
+        trace_epoch: None,
     }
 }
 

@@ -134,6 +134,9 @@ fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
         drain_timeout: Duration::from_secs(30),
         abort_after: None,
         progress: None,
+        trace: None,
+        trace_sink: None,
+        trace_epoch: None,
     }
 }
 

@@ -17,7 +17,7 @@ use sparten_harness::serve::HarnessBackend;
 use sparten_harness::{Experiment, PointPayload};
 use sparten_serve::client::{request, Response};
 use sparten_serve::{ServeOptions, Server};
-use sparten_telemetry::Telemetry;
+use sparten_telemetry::{Telemetry, TraceContext};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -53,6 +53,18 @@ impl Experiment for TestExp {
             thread::sleep(self.delay);
         }
         PointPayload::Record(format!("{} computed point {point}\n", self.name))
+    }
+    fn compute_point_telemetry(&self, point: usize) -> (PointPayload, Option<Telemetry>) {
+        // A per-point simulator session with one "chunk" span, so the
+        // serve trace export shows request → point → chunk. Payload bytes
+        // are identical to compute_point's (the cache contract).
+        let session = Telemetry::new();
+        let pid = session.recorder.alloc_process("sim");
+        let t0 = Instant::now();
+        let payload = self.compute_point(point);
+        let took = (t0.elapsed().as_micros() as u64).max(1);
+        session.recorder.span(pid, 0, "chunk", 0, took, &[]);
+        (payload, Some(session))
     }
     fn render(&self, points: &[PointPayload]) -> Capture {
         let mut text = format!("== {} ==\n", self.name);
@@ -110,14 +122,11 @@ fn start_server(
     Arc<AtomicUsize>,
     thread::JoinHandle<sparten_serve::DrainReport>,
 ) {
-    let backend = Arc::new(HarnessBackend::new(
-        experiments,
-        cache_dir.to_path_buf(),
-        journal_dir,
-        false,
-        2,
-    ));
     let telemetry = Arc::new(Telemetry::new());
+    let backend = Arc::new(
+        HarnessBackend::new(experiments, cache_dir.to_path_buf(), journal_dir, false, 2)
+            .with_trace_sink(Arc::clone(&telemetry)),
+    );
     let shutdown = Arc::new(AtomicUsize::new(0));
     let opts = ServeOptions {
         addr: "127.0.0.1:0".to_string(),
@@ -126,6 +135,7 @@ fn start_server(
         read_timeout: Duration::from_secs(30),
         drain_timeout: Duration::from_secs(30),
         shutdown: Arc::clone(&shutdown),
+        build: Default::default(),
     };
     let server = Server::bind(backend, Arc::clone(&telemetry), opts).expect("bind");
     let addr = server.local_addr().expect("addr").to_string();
@@ -175,6 +185,9 @@ fn direct_output(experiments: &[Arc<dyn Experiment>], name: &str, tag: &str) -> 
         drain_timeout: Duration::from_secs(30),
         abort_after: None,
         progress: None,
+        trace: None,
+        trace_sink: None,
+        trace_epoch: None,
     };
     let report = executor::run(experiments, &opts).expect("direct run succeeds");
     let job = report
@@ -247,6 +260,114 @@ fn concurrent_duplicate_requests_share_one_execution() {
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
+/// The root trace id minted for a streamed run, from the `accepted`
+/// NDJSON event's `trace` field.
+fn ndjson_trace(response: &Response) -> u64 {
+    let lines = response.lines();
+    let first = lines.first().expect("stream has an accepted event");
+    let event = Json::parse(first).expect("accepted event parses");
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("accepted"));
+    let hex = event.get("trace").and_then(Json::as_str).expect("trace field");
+    TraceContext::parse_hex(hex).expect("trace id parses")
+}
+
+/// Names of the Chrome-trace events whose args carry `trace_id`.
+fn trace_event_names(events: &[Json], trace_id: u64) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| {
+            e.get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(Json::as_u64)
+                == Some(trace_id)
+        })
+        .filter_map(|e| e.get("name").and_then(Json::as_str).map(str::to_string))
+        .collect()
+}
+
+/// The observability acceptance e2e: one POST /run plus one coalesced
+/// duplicate produce a single Chrome trace in which the request span,
+/// gate verdict, queue wait, executor point spans, and per-chunk
+/// simulator spans all carry the runner's trace id — and the follower's
+/// request is linked to the runner it joined via `runner_trace`.
+#[test]
+fn trace_export_links_request_gate_points_and_chunks() {
+    let experiments = vec![slow_exp("srv_traced", 2, Duration::from_millis(500))];
+    let cache_dir = fresh_dir("trace-cache");
+    let (addr, telemetry, shutdown, handle) =
+        start_server(experiments, &cache_dir, None, 2, 8);
+
+    let runner = {
+        let addr = addr.clone();
+        thread::spawn(move || request(&addr, "POST", "/run?job=srv_traced", None).expect("runner"))
+    };
+    // Wait for the run to be admitted and executing, then join it while
+    // its ~500 ms points are still in flight.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while counter(&telemetry, "serve/exec.runs") == 0 {
+        assert!(Instant::now() < deadline, "runner never started");
+        thread::sleep(Duration::from_millis(5));
+    }
+    let follower_resp = request(&addr, "POST", "/run?job=srv_traced", None).expect("follower");
+    let runner_resp = runner.join().unwrap();
+    assert_eq!(runner_resp.status, 200);
+    assert_eq!(follower_resp.status, 200);
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 1, "one shared execution");
+    assert_eq!(counter(&telemetry, "serve/coalesced"), 1, "duplicate joined it");
+
+    let runner_trace = ndjson_trace(&runner_resp);
+    let follower_trace = ndjson_trace(&follower_resp);
+    assert_ne!(runner_trace, follower_trace, "each request mints its own trace");
+
+    // One /trace download holds the whole correlated timeline.
+    let trace = request(&addr, "GET", "/trace", None).expect("trace export");
+    assert_eq!(trace.status, 200);
+    let parsed = Json::parse(trace.body.trim()).expect("chrome trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    let runner_chain = trace_event_names(events, runner_trace);
+    let has = |name: &str| runner_chain.iter().any(|n| n == name);
+    assert!(has("request"), "runner request span: {runner_chain:?}");
+    assert!(has("gate.runner"), "gate verdict: {runner_chain:?}");
+    assert!(has("queue.wait"), "queue wait span: {runner_chain:?}");
+    let points = runner_chain.iter().filter(|n| *n == "point").count();
+    assert_eq!(points, 2, "one executor span per point: {runner_chain:?}");
+    let chunks = runner_chain.iter().filter(|n| *n == "chunk").count();
+    assert_eq!(chunks, 2, "one simulator chunk span per point: {runner_chain:?}");
+
+    let follower_chain = trace_event_names(events, follower_trace);
+    assert!(
+        follower_chain.iter().any(|n| n == "gate.follower"),
+        "follower verdict: {follower_chain:?}"
+    );
+    // The follower's request span names the execution it joined.
+    let follower_request = events
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(Json::as_str) == Some("request")
+                && e.get("args")
+                    .and_then(|a| a.get("trace_id"))
+                    .and_then(Json::as_u64)
+                    == Some(follower_trace)
+        })
+        .expect("follower request span");
+    assert_eq!(
+        follower_request
+            .get("args")
+            .and_then(|a| a.get("runner_trace"))
+            .and_then(Json::as_u64),
+        Some(runner_trace),
+        "follower links to the runner's trace"
+    );
+
+    shutdown.store(1, Ordering::SeqCst);
+    assert!(handle.join().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
 #[test]
 fn saturation_rejects_new_jobs_with_429_and_retry_after() {
     let experiments = vec![
@@ -313,6 +434,9 @@ fn cache_hits_bypass_the_executor_and_match_harness_run_bytes() {
         drain_timeout: Duration::from_secs(30),
         abort_after: None,
         progress: None,
+        trace: None,
+        trace_sink: None,
+        trace_epoch: None,
     };
     let direct = executor::run(&experiments, &opts).expect("warming run");
     let direct_text = direct.jobs[0].output.clone();
@@ -410,7 +534,17 @@ fn router_answers_health_jobs_and_rejects_garbage() {
         start_server(experiments, &cache_dir, None, 2, 8);
 
     let health = request(&addr, "GET", "/healthz", None).expect("healthz");
-    assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body.starts_with("ok\n"),
+        "healthz body: {}",
+        health.body
+    );
+    assert!(
+        health.body.contains("# build version="),
+        "healthz carries build info: {}",
+        health.body
+    );
 
     let jobs = request(&addr, "GET", "/jobs", None).expect("jobs");
     assert_eq!(jobs.status, 200);

@@ -51,8 +51,11 @@ pub enum Ticket {
     /// runner subscribes to its own broadcast, so runner and followers
     /// observe identical event sequences).
     Runner(RunPermit, Receiver<Event>),
-    /// An identical run is in flight; stream its events from `rx`.
-    Follower(Receiver<Event>),
+    /// An identical run is in flight; stream its events from `rx`. The
+    /// second field is the runner's `(trace_id, span_id)` (when the
+    /// runner was traced), so the follower's own trace can link to the
+    /// execution it joined.
+    Follower(Receiver<Event>, Option<(u64, u64)>),
     /// The admission budget is full; answer 429.
     Saturated,
 }
@@ -60,6 +63,8 @@ pub enum Ticket {
 struct Inflight {
     subscribers: Vec<Sender<Event>>,
     points_done: usize,
+    /// The admitted runner's `(trace_id, span_id)`, handed to followers.
+    runner_trace: Option<(u64, u64)>,
 }
 
 struct State {
@@ -99,12 +104,16 @@ impl Gate {
     }
 
     /// Makes the atomic run / follow / reject decision for `key`.
-    pub fn enter(self: &Arc<Gate>, key: u64) -> Ticket {
+    /// `trace` is the requester's `(trace_id, span_id)`; a runner's is
+    /// remembered on the in-flight entry so later followers can link
+    /// their spans to the execution they joined. The gate itself never
+    /// interprets the ids — they are opaque correlation material.
+    pub fn enter(self: &Arc<Gate>, key: u64, trace: Option<(u64, u64)>) -> Ticket {
         let mut state = self.state.lock().unwrap();
         if let Some(entry) = state.inflight.get_mut(&key) {
             let (tx, rx) = channel();
             entry.subscribers.push(tx);
-            return Ticket::Follower(rx);
+            return Ticket::Follower(rx, entry.runner_trace);
         }
         if state.admitted >= self.max_active + self.max_queued {
             return Ticket::Saturated;
@@ -115,6 +124,7 @@ impl Gate {
             Inflight {
                 subscribers: vec![tx],
                 points_done: 0,
+                runner_trace: trace,
             },
         );
         state.admitted += 1;
@@ -243,12 +253,14 @@ mod tests {
     #[test]
     fn duplicate_keys_coalesce_onto_one_runner() {
         let gate = Gate::new(2, 2);
-        let Ticket::Runner(permit, runner_rx) = gate.enter(42) else {
+        let Ticket::Runner(permit, runner_rx) = gate.enter(42, Some((7, 8))) else {
             panic!("first entrant must run");
         };
-        let Ticket::Follower(follower_rx) = gate.enter(42) else {
+        let Ticket::Follower(follower_rx, runner_trace) = gate.enter(42, Some((7, 99))) else {
             panic!("second entrant must follow");
         };
+        // The follower learns the *runner's* trace, not its own.
+        assert_eq!(runner_trace, Some((7, 8)));
         permit.wait_for_slot();
         permit.point_done(0, 1, PointSource::Computed);
         permit.finish(Ok(output("result")));
@@ -265,32 +277,32 @@ mod tests {
             assert_eq!(result.as_ref().as_ref().unwrap().text, "result");
         }
         // The key is free again: the next entrant is a fresh runner.
-        assert!(matches!(gate.enter(42), Ticket::Runner(..)));
+        assert!(matches!(gate.enter(42, None), Ticket::Runner(..)));
     }
 
     #[test]
     fn new_keys_beyond_the_budget_are_saturated_but_followers_never_are() {
         let gate = Gate::new(1, 1);
-        let Ticket::Runner(a, _rx_a) = gate.enter(1) else { panic!() };
-        let Ticket::Runner(b, _rx_b) = gate.enter(2) else { panic!() };
+        let Ticket::Runner(a, _rx_a) = gate.enter(1, None) else { panic!() };
+        let Ticket::Runner(b, _rx_b) = gate.enter(2, None) else { panic!() };
         // Budget (1 active + 1 queued) is spent: a third key bounces...
-        assert!(matches!(gate.enter(3), Ticket::Saturated));
+        assert!(matches!(gate.enter(3, None), Ticket::Saturated));
         // ...but joining either in-flight key is still free.
-        assert!(matches!(gate.enter(1), Ticket::Follower(_)));
-        assert!(matches!(gate.enter(2), Ticket::Follower(_)));
+        assert!(matches!(gate.enter(1, None), Ticket::Follower(..)));
+        assert!(matches!(gate.enter(2, None), Ticket::Follower(..)));
         a.wait_for_slot();
         a.finish(Ok(output("a")));
         b.wait_for_slot();
         b.finish(Ok(output("b")));
         // Budget released.
-        assert!(matches!(gate.enter(3), Ticket::Runner(..)));
+        assert!(matches!(gate.enter(3, None), Ticket::Runner(..)));
     }
 
     #[test]
     fn slots_serialize_execution_to_max_active() {
         let gate = Gate::new(1, 4);
-        let Ticket::Runner(first, _rx1) = gate.enter(10) else { panic!() };
-        let Ticket::Runner(second, rx2) = gate.enter(11) else { panic!() };
+        let Ticket::Runner(first, _rx1) = gate.enter(10, None) else { panic!() };
+        let Ticket::Runner(second, rx2) = gate.enter(11, None) else { panic!() };
         first.wait_for_slot();
         assert_eq!(gate.active(), 1);
         let waiter = thread::spawn(move || {
@@ -311,14 +323,15 @@ mod tests {
     #[test]
     fn dropped_permit_fails_followers_instead_of_stranding_them() {
         let gate = Gate::new(1, 0);
-        let Ticket::Runner(permit, _rx) = gate.enter(7) else { panic!() };
-        let Ticket::Follower(rx) = gate.enter(7) else { panic!() };
+        let Ticket::Runner(permit, _rx) = gate.enter(7, Some((1, 2))) else { panic!() };
+        let Ticket::Follower(rx, runner_trace) = gate.enter(7, None) else { panic!() };
+        assert_eq!(runner_trace, Some((1, 2)));
         drop(permit); // simulated runner panic
         let Event::Done(result) = rx.recv().unwrap() else {
             panic!("follower must be notified");
         };
         assert!(result.as_ref().as_ref().unwrap_err().contains("aborted"));
         // Budget was released despite the abort.
-        assert!(matches!(gate.enter(8), Ticket::Runner(..)));
+        assert!(matches!(gate.enter(8, None), Ticket::Runner(..)));
     }
 }

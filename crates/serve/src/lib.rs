@@ -38,7 +38,7 @@ pub mod http;
 pub mod server;
 
 pub use coalesce::{Event, Gate, Ticket};
-pub use server::{DrainReport, ServeOptions, Server};
+pub use server::{BuildInfo, DrainReport, ServeOptions, Server};
 
 use std::sync::Arc;
 
@@ -108,10 +108,13 @@ pub trait Backend: Send + Sync {
     fn cached(&self, name: &str) -> Option<JobOutput>;
 
     /// Runs the job to completion, invoking `progress` once per finished
-    /// point with `(point_index, source)`.
+    /// point with `(point_index, source)`. `trace` is the request's
+    /// trace context; a backend that records telemetry threads it through
+    /// to the executor so per-point work is correlated with the request.
     fn execute(
         &self,
         name: &str,
         progress: Arc<dyn Fn(usize, PointSource) + Send + Sync>,
+        trace: Option<sparten_telemetry::TraceContext>,
     ) -> Result<JobOutput, String>;
 }

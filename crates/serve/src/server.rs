@@ -36,13 +36,25 @@ use crate::coalesce::{Event, Gate, Ticket};
 use crate::http::{parse_request, respond, ChunkedWriter, HttpError, Request};
 use crate::{Backend, JobInfo, PointSource};
 use sparten_bench::json::Json;
-use sparten_telemetry::{text_report, ServerMetrics, Telemetry};
+use sparten_telemetry::{
+    chrome_trace, prometheus, text_report, ServerMetrics, Telemetry, TraceContext,
+};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Static identity a running daemon reports from `/healthz` and
+/// `/metrics`: which binary and which job registry a scrape is observing.
+#[derive(Debug, Clone, Default)]
+pub struct BuildInfo {
+    /// Binary version (the harness passes its crate version).
+    pub version: String,
+    /// FNV fingerprint of the served job registry.
+    pub registry_fp: u64,
+}
 
 /// How the daemon listens and drains.
 #[derive(Debug, Clone)]
@@ -60,6 +72,8 @@ pub struct ServeOptions {
     /// Shared shutdown flag: 0 = run, ≥ 1 = drain. The harness passes the
     /// `signal.rs` flag; tests store into their own.
     pub shutdown: Arc<AtomicUsize>,
+    /// Identity reported to scrapers.
+    pub build: BuildInfo,
 }
 
 impl Default for ServeOptions {
@@ -71,6 +85,7 @@ impl Default for ServeOptions {
             read_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(30),
             shutdown: Arc::new(AtomicUsize::new(0)),
+            build: BuildInfo::default(),
         }
     }
 }
@@ -99,6 +114,22 @@ struct Shared {
     gate: Arc<Gate>,
     open_sessions: AtomicUsize,
     served: AtomicUsize,
+    build: BuildInfo,
+    /// When the daemon started; request spans are stamped in µs since
+    /// this instant, and `/metrics` reports it as uptime.
+    started: Instant,
+    /// Recorder process track every server-side span lands on.
+    trace_pid: u32,
+    /// Monotonic per-request thread-track allocator for the trace.
+    request_seq: AtomicU64,
+}
+
+impl Shared {
+    /// Microseconds since the daemon started (the server-side trace
+    /// clock).
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
 }
 
 /// A bound, not-yet-serving daemon. `bind` then `serve`; tests grab
@@ -120,6 +151,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let metrics = ServerMetrics::new(&telemetry.metrics);
         let gate = Gate::new(opts.max_active, opts.max_queued);
+        let trace_pid = telemetry.recorder.alloc_process("serve");
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -129,6 +161,10 @@ impl Server {
                 gate,
                 open_sessions: AtomicUsize::new(0),
                 served: AtomicUsize::new(0),
+                build: opts.build.clone(),
+                started: Instant::now(),
+                trace_pid,
+                request_seq: AtomicU64::new(0),
             }),
             opts,
         })
@@ -212,18 +248,67 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, read_timeout: 
     }
 }
 
+/// One `# build ...` comment line: valid in the text-report format
+/// (parsers skip `#`), greppable by humans and smokes alike.
+fn build_comment(shared: &Shared) -> String {
+    format!(
+        "# build version={} registry={:016x} uptime_s={}\n",
+        shared.build.version,
+        shared.build.registry_fp,
+        shared.started.elapsed().as_secs()
+    )
+}
+
+/// Whether the client asked for Prometheus exposition instead of the
+/// native text report: `Accept: text/plain; version=0.0.4`, any
+/// OpenMetrics accept, or an explicit `?format=prometheus`.
+fn wants_prometheus(request: &Request) -> bool {
+    if request.query_param("format") == Some("prometheus") {
+        return true;
+    }
+    request.header("accept").is_some_and(|accept| {
+        let accept = accept.to_ascii_lowercase();
+        accept.contains("version=0.0.4") || accept.contains("openmetrics")
+    })
+}
+
 fn route(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let _ = respond(stream, 200, "text/plain", &[], "ok\n");
+            let body = format!("ok\n{}", build_comment(shared));
+            let _ = respond(stream, 200, "text/plain", &[], &body);
         }
         ("GET", "/metrics") => {
-            let report = text_report(
-                "serve",
+            if wants_prometheus(request) {
+                let mut body = prometheus::prometheus_report(
+                    &shared.telemetry.metrics.snapshot(),
+                    shared.telemetry.recorder.dropped(),
+                );
+                body.push_str(&prometheus::build_info(
+                    &shared.build.version,
+                    shared.build.registry_fp,
+                    shared.started.elapsed().as_secs(),
+                ));
+                let _ = respond(stream, 200, prometheus::PROMETHEUS_CONTENT_TYPE, &[], &body);
+            } else {
+                let mut report = text_report(
+                    "serve",
+                    &shared.telemetry.metrics.snapshot(),
+                    &shared.telemetry.recorder,
+                );
+                report.push_str(&build_comment(shared));
+                let _ = respond(stream, 200, "text/plain", &[], &report);
+            }
+        }
+        ("GET", "/trace") => {
+            // The whole correlated timeline — request spans, gate
+            // verdicts, queue waits, executor points, simulator chunks —
+            // as one Perfetto-loadable Chrome trace.
+            let trace = chrome_trace(
                 &shared.telemetry.metrics.snapshot(),
                 &shared.telemetry.recorder,
             );
-            let _ = respond(stream, 200, "text/plain", &[], &report);
+            let _ = respond(stream, 200, "application/json", &[], &trace);
         }
         ("GET", "/jobs") => {
             let jobs = Json::Arr(shared.backend.jobs().iter().map(job_json).collect());
@@ -314,6 +399,14 @@ fn handle_result(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request
 
 /// `POST /run?job=NAME`: compute (or join, or fetch) a job, streaming
 /// NDJSON progress.
+///
+/// Every run request mints a root [`TraceContext`] and records the
+/// causal chain into the shared recorder: the request span, the gate's
+/// verdict (as an instant event), the queue wait, and — via the trace
+/// context handed to [`Backend::execute`] — the executor's per-point
+/// spans and the simulators' per-chunk spans, all carrying the same
+/// trace id. A follower's events additionally carry `runner_trace` /
+/// `runner_span` args linking to the execution it joined.
 fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
     let name = match requested_job(request) {
         Ok(name) => name,
@@ -329,6 +422,13 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
         return;
     };
 
+    let ctx = TraceContext::root();
+    let tid = shared.request_seq.fetch_add(1, Ordering::Relaxed) as u32;
+    let recorder = &shared.telemetry.recorder;
+    let req_start_us = shared.now_us();
+    let mut request_args = ctx.args();
+    request_args.push(("key", job.key));
+
     // Fast path: the whole job is in the result cache — answer at memory
     // speed without consuming admission budget or touching the executor.
     let started = Instant::now();
@@ -338,18 +438,28 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
             .metrics
             .cache_hit_latency_us
             .record(started.elapsed().as_micros() as u64);
+        recorder.instant(shared.trace_pid, tid, "gate.cache", shared.now_us(), &ctx.args());
         stream_events(
             stream,
             &job,
             "cache",
             std::iter::once(Event::Done(Arc::new(Ok(output)))),
+            &ctx,
         );
+        record_request_span(shared, tid, req_start_us, &request_args);
         return;
     }
 
-    match shared.gate.enter(job.key) {
+    match shared.gate.enter(job.key, Some((ctx.trace_id, ctx.span_id))) {
         Ticket::Saturated => {
             shared.metrics.rejected_saturated.inc();
+            recorder.instant(
+                shared.trace_pid,
+                tid,
+                "gate.saturated",
+                shared.now_us(),
+                &ctx.args(),
+            );
             let _ = respond(
                 stream,
                 429,
@@ -357,17 +467,39 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
                 &[("Retry-After", "1")],
                 "saturated: admission queue is full, retry shortly\n",
             );
+            record_request_span(shared, tid, req_start_us, &request_args);
         }
-        Ticket::Follower(rx) => {
+        Ticket::Follower(rx, runner_trace) => {
             shared.metrics.coalesced.inc();
-            stream_events(stream, &job, "follower", rx.into_iter());
+            let mut args = ctx.args();
+            if let Some((runner_trace, runner_span)) = runner_trace {
+                args.push(("runner_trace", runner_trace));
+                args.push(("runner_span", runner_span));
+                request_args.push(("runner_trace", runner_trace));
+                request_args.push(("runner_span", runner_span));
+            }
+            recorder.instant(shared.trace_pid, tid, "gate.follower", shared.now_us(), &args);
+            stream_events(stream, &job, "follower", rx.into_iter(), &ctx);
+            record_request_span(shared, tid, req_start_us, &request_args);
         }
         Ticket::Runner(permit, rx) => {
+            recorder.instant(shared.trace_pid, tid, "gate.runner", shared.now_us(), &ctx.args());
             let runner_shared = Arc::clone(shared);
             let runner_job = job.clone();
+            let exec_ctx = ctx.child("execute", 0);
+            let wait_ctx = ctx.child("queue.wait", 0);
             thread::spawn(move || {
                 let waited_us = permit.wait_for_slot();
                 runner_shared.metrics.queue_wait_us.record(waited_us);
+                let slot_at_us = runner_shared.now_us();
+                runner_shared.telemetry.recorder.span(
+                    runner_shared.trace_pid,
+                    tid,
+                    "queue.wait",
+                    slot_at_us.saturating_sub(waited_us),
+                    waited_us,
+                    &wait_ctx.args(),
+                );
                 // Double-check the cache under the run permit: the
                 // handler's check can race a just-finishing twin run —
                 // miss, twin completes and leaves the gate, then this
@@ -391,7 +523,11 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
                             Arc::new(move |point, source| {
                                 gate.point_done(key, point, total, source)
                             });
-                        let result = runner_shared.backend.execute(&runner_job.name, progress);
+                        let result = runner_shared.backend.execute(
+                            &runner_job.name,
+                            progress,
+                            Some(exec_ctx),
+                        );
                         if result.is_err() {
                             runner_shared.metrics.exec_failures.inc();
                         }
@@ -400,9 +536,23 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
                 };
                 permit.finish(result);
             });
-            stream_events(stream, &job, "runner", rx.into_iter());
+            stream_events(stream, &job, "runner", rx.into_iter(), &ctx);
+            record_request_span(shared, tid, req_start_us, &request_args);
         }
     }
+}
+
+/// Closes out one request's trace span (start → response fully
+/// streamed).
+fn record_request_span(shared: &Shared, tid: u32, start_us: u64, args: &[(&'static str, u64)]) {
+    shared.telemetry.recorder.span(
+        shared.trace_pid,
+        tid,
+        "request",
+        start_us,
+        shared.now_us().saturating_sub(start_us),
+        args,
+    );
 }
 
 /// Streams `accepted` + per-point + `done` NDJSON events over a chunked
@@ -413,6 +563,7 @@ fn stream_events(
     job: &JobInfo,
     role: &str,
     events: impl Iterator<Item = Event>,
+    ctx: &TraceContext,
 ) {
     let Ok(mut writer) = ChunkedWriter::begin(stream, 200, "application/x-ndjson") else {
         return;
@@ -423,6 +574,7 @@ fn stream_events(
         ("points", Json::UInt(job.points as u64)),
         ("key", Json::str(format!("{:016x}", job.key))),
         ("role", Json::str(role)),
+        ("trace", Json::str(ctx.trace_hex())),
     ]);
     if writer.chunk(&(accepted.compact() + "\n")).is_err() {
         return;

@@ -18,6 +18,12 @@
 //!   `key value` format parses back ([`report::parse_report`]);
 //! * a stall-cause taxonomy ([`stall::StallCause`]) shared by every
 //!   simulator, so traces from different architectures are comparable;
+//! * a trace-context layer ([`trace::TraceContext`]) correlating one
+//!   serve request (or CLI run) across the gate, executor workers, and
+//!   per-chunk simulator spans in a single Chrome-trace export;
+//! * Prometheus text exposition ([`prometheus::prometheus_report`]) so a
+//!   stock scraper ingests the registry via `/metrics` content
+//!   negotiation;
 //! * an invariant checker ([`invariant::check_breakdown`]) asserting that
 //!   the recorded work/stall counters reconcile *exactly* with a run's
 //!   execution-time breakdown (`nonzero + zero + intra + inter ==
@@ -45,20 +51,24 @@
 pub mod chrome;
 pub mod invariant;
 pub mod metrics;
+pub mod prometheus;
 pub mod recorder;
 pub mod report;
 pub mod serve;
 pub mod session;
 pub mod stall;
+pub mod trace;
 
 pub use chrome::chrome_trace;
 pub use invariant::{check_breakdown, BreakdownExpectation, ReconcileError};
-pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use metrics::{bucket_quantile, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use prometheus::{prometheus_report, validate_exposition, PROMETHEUS_CONTENT_TYPE};
 pub use recorder::{Phase, Recorder, TraceEvent};
 pub use report::{parse_report, text_report, ParsedReport};
 pub use serve::ServerMetrics;
 pub use session::{export_session, import_session};
 pub use stall::StallCause;
+pub use trace::TraceContext;
 
 /// One telemetry session: a metric registry plus a span/event recorder.
 ///

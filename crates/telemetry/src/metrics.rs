@@ -163,6 +163,12 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the power-of-two buckets. `None` before any sample.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(&self.buckets(), q)
+    }
+
     /// Adds pre-bucketed counts and a sample sum (merge and session-import
     /// paths).
     pub(crate) fn add_raw(&self, buckets: &[u64; HISTOGRAM_BUCKETS], sum: u64) {
@@ -173,6 +179,49 @@ impl Histogram {
         }
         self.sum.fetch_add(sum, Ordering::Relaxed);
     }
+}
+
+/// Estimates the `q`-quantile of a power-of-two bucket array by linear
+/// interpolation inside the bucket the quantile rank lands in.
+///
+/// Bucket 0 holds exactly the value 0 and bucket 1 exactly the value 1,
+/// so those estimates are exact; bucket `i >= 2` holds `[2^(i-1), 2^i)`
+/// and the estimate interpolates the rank's position across that range
+/// (the open-ended last bucket is treated as one more octave). `q` is
+/// clamped to `0.0..=1.0`. Returns `None` for an empty histogram.
+///
+/// This is the shared engine behind [`Histogram::quantile`] and the
+/// `harness report` summaries, which only have parsed bucket arrays.
+pub fn bucket_quantile(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> Option<f64> {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // The 1-based rank of the sample the quantile names: ceil(q * n),
+    // clamped so q=0 asks for the first sample.
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let before = cumulative;
+        cumulative += n;
+        if rank <= cumulative {
+            return Some(match i {
+                0 => 0.0,
+                1 => 1.0,
+                _ => {
+                    let lo = (1u64 << (i - 1)) as f64;
+                    let hi = (1u64 << i) as f64;
+                    let pos = (rank - before) as f64 / n as f64;
+                    lo + pos * (hi - lo)
+                }
+            });
+        }
+    }
+    unreachable!("rank is clamped to the total count")
 }
 
 enum Metric {
@@ -464,5 +513,37 @@ mod tests {
         let r = Registry::new();
         r.gauge("x");
         r.counter("x");
+    }
+
+    /// Pins the quantile estimates on a known distribution: 10 zeros,
+    /// 10 ones, and 80 samples of 100 (bucket 7, range [64, 128)).
+    #[test]
+    fn quantiles_interpolate_the_known_distribution() {
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        for _ in 0..10 {
+            h.record(1);
+        }
+        for _ in 0..80 {
+            h.record(100);
+        }
+        // p05 → rank 5 lands in bucket 0: exactly 0.
+        assert_eq!(h.quantile(0.05), Some(0.0));
+        // p15 → rank 15 lands in bucket 1: exactly 1.
+        assert_eq!(h.quantile(0.15), Some(1.0));
+        // p50 → rank 50, position (50-20)/80 across [64, 128) = 88.
+        assert_eq!(h.quantile(0.50), Some(88.0));
+        // p95 → rank 95, position (95-20)/80 across [64, 128) = 124.
+        assert_eq!(h.quantile(0.95), Some(124.0));
+        // p99 → rank 99, position (99-20)/80 across [64, 128) = 127.2.
+        let p99 = h.quantile(0.99).expect("nonempty");
+        assert!((p99 - 127.2).abs() < 1e-9, "p99 = {p99}");
+        // q clamps; extremes are the first and last occupied buckets.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(128.0));
+        // Empty histograms have no quantiles.
+        assert_eq!(Histogram::default().quantile(0.5), None);
     }
 }

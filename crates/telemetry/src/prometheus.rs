@@ -1,0 +1,262 @@
+//! Prometheus text exposition (format version 0.0.4) for a metric
+//! [`Snapshot`].
+//!
+//! The repo's native `/metrics` format is [`crate::report::text_report`];
+//! this module is the content-negotiated alternative so a stock
+//! Prometheus scraper can ingest the whole `serve/*` + simulator registry
+//! without a sidecar. Mapping:
+//!
+//! * counter `serve/http.requests` → `sparten_serve_http_requests_total`
+//! * gauge `g` → `sparten_g` (last observation) plus `_hi`/`_lo`
+//!   water-mark series and an `_observations_total` counter
+//! * power-of-two histogram → a native Prometheus histogram: cumulative
+//!   `_bucket{le="2^i-1"}` series (bucket `i` of the source counts values
+//!   in `[2^(i-1), 2^i)`, so the cumulative count through bucket `i` is
+//!   exactly the samples `<= 2^i - 1`), a `+Inf` bucket, `_sum`, `_count`
+//!
+//! Names are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` metric grammar
+//! and prefixed `sparten_` so scrapes from different services never
+//! collide on bare names.
+
+use crate::metrics::{MetricValue, Snapshot, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// The content type a 0.0.4 exposition is served under.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Sanitizes a repo metric name (`serve/http.requests`) into the
+/// Prometheus grammar, prefixed with `sparten_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("sparten_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way the exposition format expects.
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot (plus the recorder's drop tally) as Prometheus
+/// text exposition 0.0.4.
+pub fn prometheus_report(snapshot: &Snapshot, dropped_events: u64) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.entries {
+        let base = sanitize_metric_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {base}_total counter");
+                let _ = writeln!(out, "{base}_total {v}");
+            }
+            MetricValue::Gauge { hi, lo, last, count } => {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                let _ = writeln!(out, "{base} {}", fmt_f64(*last));
+                let _ = writeln!(out, "# TYPE {base}_hi gauge");
+                let _ = writeln!(out, "{base}_hi {}", fmt_f64(*hi));
+                let _ = writeln!(out, "# TYPE {base}_lo gauge");
+                let _ = writeln!(out, "{base}_lo {}", fmt_f64(*lo));
+                let _ = writeln!(out, "# TYPE {base}_observations_total counter");
+                let _ = writeln!(out, "{base}_observations_total {count}");
+            }
+            MetricValue::Histogram { buckets, sum } => {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                let mut cumulative = 0u64;
+                for (i, count) in buckets.iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
+                    cumulative += count;
+                    let le = (1u64 << i) - 1;
+                    let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                cumulative += buckets[HISTOGRAM_BUCKETS - 1];
+                let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{base}_sum {sum}");
+                let _ = writeln!(out, "{base}_count {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "# TYPE sparten_trace_dropped_events_total counter");
+    let _ = writeln!(out, "sparten_trace_dropped_events_total {dropped_events}");
+    out
+}
+
+/// The `build_info`-style identity block appended to scrapes: a constant
+/// `1`-valued series labeled with the binary version and the job-registry
+/// fingerprint, plus an uptime gauge.
+pub fn build_info(version: &str, registry_fp: u64, uptime_seconds: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE sparten_build_info gauge");
+    let _ = writeln!(
+        out,
+        "sparten_build_info{{version=\"{}\",registry=\"{registry_fp:016x}\"}} 1",
+        escape_label(version)
+    );
+    let _ = writeln!(out, "# TYPE sparten_serve_uptime_seconds gauge");
+    let _ = writeln!(out, "sparten_serve_uptime_seconds {uptime_seconds}");
+    out
+}
+
+/// Structural well-formedness check used by tests and the CI smoke: every
+/// non-comment line is `name{labels} value` with a grammar-conforming
+/// name, every series name is introduced by a preceding `# TYPE` line,
+/// and histogram `_bucket` series are cumulative. Returns the first
+/// violation found.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut last_bucket: Option<(String, u64)> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {lineno}: TYPE without name"))?;
+            let kind = parts.next().ok_or(format!("line {lineno}: TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {lineno}: unknown TYPE kind `{kind}`"));
+            }
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: no value: `{line}`"))?;
+        let name = series.split('{').next().unwrap_or(series);
+        let valid_name = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !valid_name {
+            return Err(format!("line {lineno}: bad metric name `{name}`"));
+        }
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: bad value `{value}`"));
+        }
+        // Histogram child series (_bucket/_sum/_count) are declared by
+        // their parent's TYPE line.
+        let declared = typed.iter().any(|t| {
+            name == t
+                || (name.strip_suffix("_bucket") == Some(t))
+                || (name.strip_suffix("_sum") == Some(t))
+                || (name.strip_suffix("_count") == Some(t))
+        });
+        if !declared {
+            return Err(format!("line {lineno}: series `{name}` has no TYPE"));
+        }
+        if name.ends_with("_bucket") {
+            let count: u64 = value
+                .parse()
+                .map_err(|_| format!("line {lineno}: non-integer bucket count"))?;
+            match &last_bucket {
+                Some((prev, prev_count)) if prev == name && count < *prev_count => {
+                    return Err(format!("line {lineno}: non-cumulative bucket in `{name}`"));
+                }
+                _ => {}
+            }
+            last_bucket = Some((name.to_string(), count));
+        } else {
+            last_bucket = None;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn names_are_sanitized_into_the_grammar() {
+        assert_eq!(
+            sanitize_metric_name("serve/http.requests"),
+            "sparten_serve_http_requests"
+        );
+        assert_eq!(
+            sanitize_metric_name("SparTen/stall.intra.x"),
+            "sparten_SparTen_stall_intra_x"
+        );
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_expose() {
+        let r = Registry::new();
+        r.counter("serve/http.requests").add(7);
+        let g = r.gauge("serve/sessions.inflight");
+        g.observe(2.0);
+        g.observe(5.0);
+        let h = r.histogram("serve/queue.wait_us");
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(1000);
+
+        let text = prometheus_report(&r.snapshot(), 4);
+        assert!(text.contains("# TYPE sparten_serve_http_requests_total counter"));
+        assert!(text.contains("sparten_serve_http_requests_total 7"));
+        assert!(text.contains("sparten_serve_sessions_inflight 5"));
+        assert!(text.contains("sparten_serve_sessions_inflight_hi 5"));
+        assert!(text.contains("sparten_serve_sessions_inflight_lo 2"));
+        assert!(text.contains("sparten_serve_sessions_inflight_observations_total 2"));
+        // Cumulative buckets: le=0 → 1 sample, le=1 → 2, le=3 → 3,
+        // le=1023 → 4 (the 1000 lands in bucket 10: [512, 1024)).
+        assert!(text.contains("sparten_serve_queue_wait_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("sparten_serve_queue_wait_us_bucket{le=\"1\"} 2"));
+        assert!(text.contains("sparten_serve_queue_wait_us_bucket{le=\"3\"} 3"));
+        assert!(text.contains("sparten_serve_queue_wait_us_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("sparten_serve_queue_wait_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("sparten_serve_queue_wait_us_sum 1004"));
+        assert!(text.contains("sparten_serve_queue_wait_us_count 4"));
+        assert!(text.contains("sparten_trace_dropped_events_total 4"));
+        validate_exposition(&text).expect("well-formed exposition");
+    }
+
+    #[test]
+    fn build_info_is_well_formed_and_labeled() {
+        let text = build_info("0.1.0", 0xdead_beef, 42);
+        assert!(text.contains("sparten_build_info{version=\"0.1.0\",registry=\"00000000deadbeef\"} 1"));
+        assert!(text.contains("sparten_serve_uptime_seconds 42"));
+        validate_exposition(&text).expect("well-formed build info");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate_exposition("no_type_series 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(validate_exposition("# TYPE 9bad counter\n9bad 1\n").is_err());
+        let noncumulative = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\n";
+        assert!(validate_exposition(noncumulative).is_err());
+    }
+}

@@ -191,6 +191,21 @@ impl Recorder {
     /// (renamed with `prefix`) so merged timelines stay on distinct
     /// Perfetto tracks. Drop counts accumulate.
     pub fn merge(&self, other: Recorder, prefix: &str) {
+        self.merge_with_args(other, prefix, &[]);
+    }
+
+    /// [`merge`](Recorder::merge), additionally stamping `extra_args`
+    /// onto every imported event (skipping keys the event already
+    /// carries). The executor uses this to imprint the request's trace
+    /// context onto per-point simulator sessions, so every per-chunk
+    /// span in a correlated export carries the trace id without the
+    /// simulators knowing traces exist.
+    pub fn merge_with_args(
+        &self,
+        other: Recorder,
+        prefix: &str,
+        extra_args: &[(&'static str, u64)],
+    ) {
         let other_dropped = other.dropped();
         let other_inner = other.inner.into_inner().expect("recorder lock");
         let mut inner = self.inner.lock().expect("recorder lock");
@@ -208,6 +223,11 @@ impl Recorder {
                 continue;
             }
             e.pid += base;
+            for &(key, value) in extra_args {
+                if !e.args.iter().any(|(k, _)| *k == key) {
+                    e.args.push((key, value));
+                }
+            }
             inner.events.push(e);
         }
         drop(inner);
@@ -244,6 +264,66 @@ mod tests {
         }
         assert_eq!(r.len(), 2);
         assert_eq!(r.dropped(), 3);
+    }
+
+    /// Below (and exactly at) the capacity no event is lost: every span
+    /// recorded is retained in order and the drop counter stays zero.
+    #[test]
+    fn no_event_is_silently_lost_below_the_cap() {
+        let cap = 64;
+        let r = Recorder::with_capacity(cap);
+        let pid = r.alloc_process("x");
+        for i in 0..cap as u64 {
+            r.span(pid, 0, "e", i, 1, &[("i", i)]);
+        }
+        assert_eq!(r.len(), cap);
+        assert_eq!(r.dropped(), 0);
+        let events = r.events();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ts, i as u64, "events retained in recording order");
+            assert_eq!(e.args, vec![("i", i as u64)]);
+        }
+        // The very next event is the first drop.
+        r.instant(pid, 0, "overflow", 999, &[]);
+        assert_eq!(r.len(), cap);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    /// Drops are visible in both exporters, never silent.
+    #[test]
+    fn drops_are_reported_in_exports() {
+        let r = Recorder::with_capacity(1);
+        let pid = r.alloc_process("x");
+        r.span(pid, 0, "kept", 0, 1, &[]);
+        r.span(pid, 0, "lost", 1, 1, &[]);
+        r.span(pid, 0, "lost", 2, 1, &[]);
+        assert_eq!(r.dropped(), 2);
+
+        let snapshot = crate::metrics::Snapshot::default();
+        let text = crate::report::text_report("j", &snapshot, &r);
+        assert!(text.contains("events 1 dropped 2"), "{text}");
+        let parsed = crate::report::parse_report(&text).expect("parse");
+        assert_eq!((parsed.events, parsed.dropped), (1, 2));
+
+        let chrome = crate::chrome::chrome_trace(&snapshot, &r);
+        assert!(chrome.contains("\"droppedEvents\": 2"), "{chrome}");
+    }
+
+    #[test]
+    fn merge_stamps_extra_args_without_clobbering() {
+        let a = Recorder::default();
+        let b = Recorder::default();
+        let bpid = b.alloc_process("B");
+        b.span(bpid, 0, "chunk", 0, 4, &[("nnz", 3)]);
+        b.span(bpid, 0, "chunk", 4, 4, &[("trace_id", 999)]);
+        a.merge_with_args(b, "p0:", &[("trace_id", 7), ("span_id", 8)]);
+        let events = a.events();
+        assert_eq!(
+            events[0].args,
+            vec![("nnz", 3), ("trace_id", 7), ("span_id", 8)]
+        );
+        // A pre-existing key wins over the stamp.
+        assert_eq!(events[1].args, vec![("trace_id", 999), ("span_id", 8)]);
     }
 
     #[test]

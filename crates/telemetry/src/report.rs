@@ -16,7 +16,7 @@
 //! Histogram buckets serialize sparsely as `index:count` pairs; empty
 //! histograms serialize as `buckets=-`.
 
-use crate::metrics::{MetricValue, Snapshot, HISTOGRAM_BUCKETS};
+use crate::metrics::{bucket_quantile, MetricValue, Snapshot, HISTOGRAM_BUCKETS};
 use crate::recorder::Recorder;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,6 +51,18 @@ pub fn text_report(job: &str, snapshot: &Snapshot, recorder: &Recorder) -> Strin
                     out.push('-');
                 }
                 out.push('\n');
+                // Estimated quantiles ride along as a comment line:
+                // parse_report skips `#` lines, so the format (and its
+                // byte-level round trip for quantile-free reports) is
+                // unchanged, while humans and `harness report` get the
+                // percentile view next to the raw buckets.
+                if let (Some(p50), Some(p95), Some(p99)) = (
+                    bucket_quantile(buckets, 0.50),
+                    bucket_quantile(buckets, 0.95),
+                    bucket_quantile(buckets, 0.99),
+                ) {
+                    let _ = writeln!(out, "# quantiles {name} p50={p50} p95={p95} p99={p99}");
+                }
             }
         }
     }
@@ -232,6 +244,26 @@ mod tests {
         assert_eq!(buckets[2], 2);
         assert_eq!(parsed.events, 1);
         assert_eq!(parsed.dropped, 0);
+    }
+
+    #[test]
+    fn quantile_comments_ride_along_and_stay_parseable() {
+        let t = Telemetry::new();
+        let h = t.metrics.histogram("q");
+        for _ in 0..10 {
+            h.record(0);
+        }
+        for _ in 0..10 {
+            h.record(1);
+        }
+        for _ in 0..80 {
+            h.record(100);
+        }
+        let text = text_report("j", &t.metrics.snapshot(), &t.recorder);
+        assert!(text.contains("# quantiles q p50=88 p95=124"), "{text}");
+        // The comment is transparent to the parser.
+        let parsed = parse_report(&text).expect("parse");
+        assert!(parsed.histograms.contains_key("q"));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Trace-context propagation: correlating one request (or one CLI run)
+//! across the serve gate, the executor's workers, and the simulator
+//! telemetry sessions they produce.
+//!
+//! A [`TraceContext`] is a `(trace_id, span_id, parent_span)` triple in
+//! the style of distributed tracing. The ids are plain `u64`s so they fit
+//! the recorder's integer argument slots ([`crate::recorder::TraceEvent`])
+//! and serialize into Chrome-trace args, journal records, and the
+//! structured event log without any new encoding machinery. A root
+//! context is minted per serve request / CLI run; children derive
+//! deterministically from their parent, so two resumed replays of the
+//! same run produce the same span tree shape (only the root differs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The causal identity carried by one unit of work.
+///
+/// `Copy` on purpose: contexts are threaded through closures, worker
+/// threads, and channel payloads, and a 24-byte copy is cheaper than any
+/// sharing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifies the whole causal chain (request → ... → chunk span).
+    pub trace_id: u64,
+    /// Identifies this node in the chain.
+    pub span_id: u64,
+    /// The span this one descends from (`None` for roots).
+    pub parent_span: Option<u64>,
+}
+
+/// Monotonic disambiguator so two roots minted in the same nanosecond
+/// (or under a coarse clock) still differ.
+static MINT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The `splitmix64` finalizer: cheap, dependency-free, and good enough
+/// to spread clock/pid/counter entropy across all 64 bits.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl TraceContext {
+    /// Mints a fresh root context with a unique, non-zero trace id.
+    pub fn root() -> TraceContext {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let seed = nanos ^ (u64::from(std::process::id()) << 32) ^ seq.rotate_left(17);
+        let mut trace_id = mix(seed);
+        if trace_id == 0 {
+            trace_id = 1; // 0 is reserved for "no trace"
+        }
+        TraceContext {
+            trace_id,
+            span_id: mix(trace_id),
+            parent_span: None,
+        }
+    }
+
+    /// Reconstructs a context from raw ids (e.g. parsed back out of a
+    /// journal record or an event-log line).
+    pub fn from_ids(trace_id: u64, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            span_id,
+            parent_span: None,
+        }
+    }
+
+    /// Derives a child span deterministically from this span and a label
+    /// plus index (`"point"`, 3). Same parent + same label + same index
+    /// always yields the same child span id.
+    pub fn child(&self, label: &str, index: u64) -> TraceContext {
+        let mut h = self.span_id ^ 0xcbf29ce484222325;
+        for b in label.bytes() {
+            h = mix(h ^ u64::from(b));
+        }
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: mix(h ^ index),
+            parent_span: Some(self.span_id),
+        }
+    }
+
+    /// The context as recorder args: `trace_id`, `span_id`, and (when
+    /// present) `parent_span` — the schema every correlated Chrome-trace
+    /// event in the repo uses.
+    pub fn args(&self) -> Vec<(&'static str, u64)> {
+        let mut args = vec![("trace_id", self.trace_id), ("span_id", self.span_id)];
+        if let Some(parent) = self.parent_span {
+            args.push(("parent_span", parent));
+        }
+        args
+    }
+
+    /// The trace id as a fixed-width lowercase hex string, the external
+    /// spelling used in NDJSON events and `harness events --trace`.
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Parses a hex trace id as produced by [`TraceContext::trace_hex`].
+    pub fn parse_hex(s: &str) -> Option<u64> {
+        let s = s.trim().trim_start_matches("0x");
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_unique_and_nonzero() {
+        let a = TraceContext::root();
+        let b = TraceContext::root();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert!(a.parent_span.is_none());
+    }
+
+    #[test]
+    fn children_share_the_trace_and_link_to_the_parent() {
+        let root = TraceContext::root();
+        let c = root.child("point", 3);
+        assert_eq!(c.trace_id, root.trace_id);
+        assert_eq!(c.parent_span, Some(root.span_id));
+        assert_ne!(c.span_id, root.span_id);
+        // Deterministic: same derivation, same id.
+        assert_eq!(c, root.child("point", 3));
+        // Distinct labels/indices give distinct spans.
+        assert_ne!(c.span_id, root.child("point", 4).span_id);
+        assert_ne!(c.span_id, root.child("gate", 3).span_id);
+    }
+
+    #[test]
+    fn args_carry_the_schema() {
+        let root = TraceContext::from_ids(7, 9);
+        assert_eq!(root.args(), vec![("trace_id", 7), ("span_id", 9)]);
+        let child = root.child("x", 0);
+        assert!(child.args().contains(&("parent_span", 9)));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let root = TraceContext::root();
+        let hex = root.trace_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceContext::parse_hex(&hex), Some(root.trace_id));
+        assert_eq!(TraceContext::parse_hex("0x2a"), Some(42));
+        assert_eq!(TraceContext::parse_hex("not hex"), None);
+        assert_eq!(TraceContext::parse_hex(""), None);
+    }
+}

@@ -18,28 +18,38 @@ cargo test --workspace -q
 echo "== harness smoke run (cold, 2 jobs) =="
 SMOKE_CACHE="$(mktemp -d)"
 SMOKE_JOURNAL="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL"' EXIT
+SMOKE_EVENTS="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS"' EXIT
 cargo run -q --release -p sparten-harness -- \
   run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" \
-  --journal-dir "$SMOKE_JOURNAL" --no-artifacts
+  --journal-dir "$SMOKE_JOURNAL" --no-artifacts --events-dir "$SMOKE_EVENTS"
+# The run wrote a structured event log that the reader parses end-to-end
+# (the events subcommand exits non-zero on any malformed JSONL line).
+test -n "$(find "$SMOKE_EVENTS" -name '*.jsonl')"
+cargo run -q --release -p sparten-harness -- events \
+  --events-dir "$SMOKE_EVENTS" | grep -q '"kind":"run.done"'
 
 echo "== harness smoke run (warm, 2 jobs) =="
 cargo run -q --release -p sparten-harness -- \
   run --filter fig7 --jobs 2 --cache-dir "$SMOKE_CACHE" \
-  --journal-dir "$SMOKE_JOURNAL" --no-artifacts
+  --journal-dir "$SMOKE_JOURNAL" --no-artifacts --events-dir "$SMOKE_EVENTS"
 
 echo "== harness telemetry smoke (Chrome trace + report) =="
 SMOKE_TEL="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL"' EXIT
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL"' EXIT
 cargo run -q --release -p sparten-harness -- \
   run --filter fig10_alexnet --jobs 2 --cache-dir "$SMOKE_CACHE" \
-  --journal-dir "$SMOKE_JOURNAL" --no-artifacts --telemetry-dir "$SMOKE_TEL"
+  --journal-dir "$SMOKE_JOURNAL" --no-artifacts --telemetry-dir "$SMOKE_TEL" \
+  --events-dir "$SMOKE_EVENTS"
 test -s "$SMOKE_TEL/fig10_alexnet_breakdown.json"
 cargo run -q --release -p sparten-harness -- report --telemetry-dir "$SMOKE_TEL"
+# The machine-readable form carries the same jobs plus p50/p95/p99.
+cargo run -q --release -p sparten-harness -- report --telemetry-dir "$SMOKE_TEL" \
+  --json | grep -q '"histograms"'
 
 echo "== interrupted-run smoke (crash -> resume -> byte-identical, fsck clean) =="
 SMOKE_CRASH="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL" "$SMOKE_CRASH"' EXIT
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH"' EXIT
 HARNESS_BIN="$PWD/target/release/sparten-harness"
 mkdir -p "$SMOKE_CRASH/interrupted" "$SMOKE_CRASH/clean"
 # Crash at the worst legal instant (point journaled, not yet cached):
@@ -57,7 +67,8 @@ grep -q "resumed: 2 completed point(s)" "$SMOKE_CRASH/interrupted/resume.out"
 # The recovered artifacts are byte-identical to an uninterrupted run's.
 ( cd "$SMOKE_CRASH/clean" && \
   "$HARNESS_BIN" run --filter fig7_alexnet_speedup --jobs 2 >/dev/null )
-diff -r -x cache -x journal \
+# Event logs are diagnostics, not results: per-run timings differ.
+diff -r -x cache -x journal -x events \
   "$SMOKE_CRASH/interrupted/results" "$SMOKE_CRASH/clean/results"
 # Both trees audit clean afterwards.
 ( cd "$SMOKE_CRASH/interrupted" && "$HARNESS_BIN" fsck >/dev/null )
@@ -67,7 +78,7 @@ echo "== bench smoke (quick registry, pinned schema, kernel speedups) =="
 # Write to a scratch path so the smoke never clobbers the committed
 # BENCH_sim.json baseline; --check-schema parses the artifact back.
 SMOKE_BENCH="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH"' EXIT
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH"' EXIT
 cargo run -q --release -p sparten-harness -- bench --quick --check-schema \
   --out "$SMOKE_BENCH/BENCH_sim.json"
 test -s "$SMOKE_BENCH/BENCH_sim.json"
@@ -86,10 +97,11 @@ grep -q "sparten-harness run" "$SMOKE_BENCH/badflag.out"
 
 echo "== serve smoke (ephemeral port, streamed run, metrics, SIGTERM drain) =="
 SMOKE_SERVE="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH" "$SMOKE_SERVE"' EXIT
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH" "$SMOKE_SERVE"' EXIT
 "$PWD/target/release/sparten-harness" serve --addr 127.0.0.1:0 \
   --port-file "$SMOKE_SERVE/port" --jobs 2 \
   --cache-dir "$SMOKE_SERVE/cache" --journal-dir "$SMOKE_SERVE/journal" \
+  --events-dir "$SMOKE_SERVE/events" \
   --no-artifacts > "$SMOKE_SERVE/serve.out" 2>&1 &
 SERVE_PID=$!
 # The daemon writes its bound address atomically once the socket is live.
@@ -107,7 +119,22 @@ grep -q '"status":"ok"' "$SMOKE_SERVE/run.ndjson"
 # A repeat of the same job is answered from the cache, off the executor.
 curl -sf -X POST "http://$SERVE_ADDR/run?job=table1_design_goals" \
   | grep -q '"role":"cache"'
+# Default /metrics stays the line-oriented text report.
 curl -sf "http://$SERVE_ADDR/metrics" | grep -q "serve/exec.runs"
+# Content negotiation: the Prometheus exposition is well-formed (promlint
+# re-validates TYPE lines, sample syntax, and bucket monotonicity) and
+# carries the build-info series.
+curl -sf -H 'Accept: text/plain; version=0.0.4' "http://$SERVE_ADDR/metrics" \
+  > "$SMOKE_SERVE/metrics.prom"
+grep -q '^# TYPE ' "$SMOKE_SERVE/metrics.prom"
+grep -q 'sparten_build_info{' "$SMOKE_SERVE/metrics.prom"
+"$PWD/target/release/sparten-harness" promlint --file "$SMOKE_SERVE/metrics.prom"
+# The trace export is one Chrome trace of every request's causal chain.
+curl -sf "http://$SERVE_ADDR/trace" | grep -q '"traceEvents"'
+# The accepted event named the request's trace id; remember it for the
+# post-drain event-log check.
+TRACE_HEX="$(grep -o '"trace":"[0-9a-f]*"' "$SMOKE_SERVE/run.ndjson" | head -1 | cut -d'"' -f4)"
+test -n "$TRACE_HEX"
 # SIGTERM drains: in-flight work finishes and the exit code is 75.
 kill -TERM "$SERVE_PID"
 set +e
@@ -118,6 +145,15 @@ test "$SERVE_STATUS" -eq 75
 grep -q "drained" "$SMOKE_SERVE/serve.out"
 # The drain seals every journal: no dangling .jsonl survives.
 test -z "$(find "$SMOKE_SERVE/journal" -name '*.jsonl' 2>/dev/null)"
+# The drain flushed the buffered event log, every line parses, and the
+# executed run's events carry the trace id the client saw.
+test -n "$(find "$SMOKE_SERVE/events" -name '*.jsonl')"
+"$PWD/target/release/sparten-harness" events \
+  --events-dir "$SMOKE_SERVE/events" > "$SMOKE_SERVE/events.out"
+test -s "$SMOKE_SERVE/events.out"
+"$PWD/target/release/sparten-harness" events \
+  --events-dir "$SMOKE_SERVE/events" --trace "$TRACE_HEX" \
+  | grep -q "\"trace\":\"$TRACE_HEX\""
 
 echo "== fault-campaign smoke (seeded, zero silently-wrong) =="
 # The faults command exits non-zero on any silently-wrong or crashed
