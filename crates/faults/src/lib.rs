@@ -19,10 +19,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod outcome;
 pub mod plan;
 pub mod rng;
 
+pub use chaos::{chaos_plan, ChaosClass, ChaosOutcome, ChaosReport, ChaosSpec, ClassChaos};
 pub use outcome::{ClassCoverage, CoverageReport, FaultOutcome};
 pub use plan::{campaign_plan, DropSpec, FaultClass, FaultSpec, UnitFault, UnitFaultSpec};
 pub use rng::FaultRng;

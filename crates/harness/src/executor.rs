@@ -29,7 +29,8 @@ use crate::{Experiment, PointPayload};
 use sparten_bench::json::Json;
 use sparten_bench::{atomic_write, ExperimentKind};
 use sparten_telemetry::{
-    chrome_trace, export_session, import_session, text_report, Telemetry, TraceContext,
+    cancel, chrome_trace, export_session, import_session, text_report, CancelToken, Telemetry,
+    TraceContext,
 };
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -146,6 +147,14 @@ pub struct RunOptions {
     /// so executor spans align with the owning server's timeline. `None`
     /// uses the run's own start.
     pub trace_epoch: Option<Instant>,
+    /// Cooperative cancellation for this run (per serve request, fired on
+    /// deadline expiry or when every subscriber of a coalesced job
+    /// disconnects). Workers install it as the thread's current token so
+    /// the simulators' chunk-batch checkpoints can stop mid-point; the
+    /// scheduler treats a fired token like a shutdown drain, except the
+    /// journal is sealed `cancelled` (nobody will resume an abandoned
+    /// request) and points are never retried or quarantined for stopping.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RunOptions {
@@ -171,6 +180,7 @@ impl Default for RunOptions {
             trace: None,
             trace_sink: None,
             trace_epoch: None,
+            cancel: None,
         }
     }
 }
@@ -248,7 +258,8 @@ pub struct PointFailure {
     pub point: usize,
     /// How many attempts were made (== the run's `max_attempts`).
     pub attempts: usize,
-    /// Failure kind of the last attempt: `"panic"` or `"timeout"`.
+    /// Failure kind of the last attempt: `"panic"`, `"timeout"`, or
+    /// `"cancelled"` (the point stopped at a cooperative checkpoint).
     pub kind: &'static str,
     /// The last attempt's panic message or timeout description.
     pub message: String,
@@ -322,6 +333,10 @@ struct Done {
     payload: Result<PointPayload, String>,
     telemetry: Option<Telemetry>,
     took: Duration,
+    /// The attempt unwound at a cooperative cancellation checkpoint (not
+    /// a real panic): never retried, never quarantined — the run is
+    /// draining and the point simply stays pending.
+    cancelled: bool,
 }
 
 /// Worker → scheduler messages. `Started` lets the scheduler's watchdog
@@ -574,11 +589,13 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
         let event_tx = event_tx.clone();
         let selected = selected.clone();
         let shutdown = opts.shutdown.clone();
+        let run_cancel = opts.cancel.clone();
         move || {
             let rx = Arc::clone(&task_rx);
             let tx = event_tx.clone();
             let exps: Vec<Arc<dyn Experiment>> = selected.clone();
             let shutdown = shutdown.clone();
+            let run_cancel = run_cancel.clone();
             thread::spawn(move || loop {
                 let task = match rx.lock().expect("task queue").recv() {
                     Ok(t) => t,
@@ -586,9 +603,11 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                 };
                 // A draining run computes nothing new: queued tasks bounce
                 // back so the scheduler's books balance without the work.
+                // A fired cancel token drains the same way.
                 if shutdown
                     .as_ref()
                     .is_some_and(|f| f.load(Ordering::SeqCst) >= 1)
+                    || run_cancel.as_ref().is_some_and(|c| c.is_cancelled())
                 {
                     if tx.send(Event::Skipped).is_err() {
                         break;
@@ -609,16 +628,31 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                 }
                 let exp = Arc::clone(&exps[task.job]);
                 let computed = catch_unwind(AssertUnwindSafe(|| {
+                    // Install the run's cancel token as the thread's
+                    // current token for the duration of this point, so
+                    // the simulators' chunk-batch checkpoints can unwind
+                    // out of a cancelled computation. The scope restores
+                    // the previous token even when the point panics.
+                    let _scope = run_cancel
+                        .as_ref()
+                        .map(|c| cancel::set_current(c.clone()));
                     if want_sessions {
                         exp.compute_point_telemetry(task.point)
                     } else {
                         (exp.compute_point(task.point), None)
                     }
-                }))
-                .map_err(|p| panic_message(p.as_ref()));
-                let (payload, telemetry) = match computed {
-                    Ok((p, t)) => (Ok(p), t),
-                    Err(e) => (Err(e), None),
+                }));
+                let (payload, telemetry, cancelled) = match computed {
+                    Ok((p, t)) => (Ok(p), t, false),
+                    Err(p) => {
+                        let cancelled = p.downcast_ref::<cancel::Cancelled>().is_some();
+                        let msg = if cancelled {
+                            "stopped at a cancellation checkpoint".to_string()
+                        } else {
+                            panic_message(p.as_ref())
+                        };
+                        (Err(msg), None, cancelled)
+                    }
                 };
                 let send = tx.send(Event::Done(Box::new(Done {
                     job: task.job,
@@ -627,6 +661,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                     payload,
                     telemetry,
                     took: t0.elapsed(),
+                    cancelled,
                 })));
                 if send.is_err() {
                     break;
@@ -870,29 +905,48 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     // to the drain deadline), and the journal gets a clean shutdown record.
     let mut draining = false;
     let mut drain_deadline: Option<Instant> = None;
+    // Whether the drain was triggered by the run's cancel token rather
+    // than a process signal: the journal is then sealed `cancelled`
+    // instead of kept as a resume handle.
+    let mut cancelled_run = false;
     let shutdown_requested = || {
         opts.shutdown
             .as_ref()
             .is_some_and(|f| f.load(Ordering::SeqCst) >= 1)
     };
+    let cancel_requested = || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled());
     let mut ready: Vec<usize> = (0..selected.len())
         .filter(|&i| states[i].remaining_deps == 0)
         .collect();
     while !ready.is_empty() || unfinished > 0 {
-        if !draining && shutdown_requested() {
+        if !draining && (shutdown_requested() || cancel_requested()) {
             draining = true;
+            cancelled_run = !shutdown_requested();
             drain_deadline = Some(Instant::now() + opts.drain_timeout);
             ready.clear(); // nothing new starts
-            events::emit(
-                events::Level::Info,
-                "run.draining",
-                &format!(
-                    "\nshutdown requested: draining {outstanding} dispatched point(s) \
-                     (second signal aborts immediately)"
-                ),
-                opts.trace,
-                &[],
-            );
+            if cancelled_run {
+                events::emit(
+                    events::Level::Info,
+                    "run.cancelled",
+                    &format!(
+                        "run cancelled (deadline expired or all subscribers gone): \
+                         draining {outstanding} dispatched point(s)"
+                    ),
+                    opts.trace,
+                    &[],
+                );
+            } else {
+                events::emit(
+                    events::Level::Info,
+                    "run.draining",
+                    &format!(
+                        "\nshutdown requested: draining {outstanding} dispatched point(s) \
+                         (second signal aborts immediately)"
+                    ),
+                    opts.trace,
+                    &[],
+                );
+            }
         }
         if draining {
             if outstanding == 0 {
@@ -946,7 +1000,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                     .min()
                     .unwrap_or(timeout)
             });
-            let poll = (opts.shutdown.is_some() || draining)
+            let poll = (opts.shutdown.is_some() || opts.cancel.is_some() || draining)
                 .then_some(Duration::from_millis(50));
             match (watchdog, poll) {
                 (Some(w), Some(p)) => Some(w.min(p)),
@@ -1152,6 +1206,21 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                         }
                         check_jobs.push(done.job);
                     }
+                    Err(msg) if done.cancelled => {
+                        // Stopping at a checkpoint is compliance, not
+                        // failure: no retry, no quarantine. The point
+                        // stays pending; the drain (already triggered by
+                        // the fired token) ends the run.
+                        journal_fail(
+                            &mut journal,
+                            &selected,
+                            done.job,
+                            done.point,
+                            done.attempt,
+                            "cancelled",
+                            &msg,
+                        );
+                    }
                     Err(msg) => {
                         journal_fail(
                             &mut journal,
@@ -1221,8 +1290,9 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     let interrupted = draining;
     if interrupted {
         if let Some(j) = journal.as_mut() {
+            let reason = if cancelled_run { "cancelled" } else { "signal" };
             if let Err(e) = j.append(&Record::Shutdown {
-                reason: "signal".to_string(),
+                reason: reason.to_string(),
             }) {
                 events::warn_traced(
                     "journal.write_failed",
@@ -1232,8 +1302,14 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             }
         }
         // Jobs the drain cut short get stub reports: no output, no
-        // artifacts. Their completed points live in the journal, which is
-        // kept on disk as the --resume handle.
+        // artifacts. After a signal their completed points live in the
+        // journal, which is kept on disk as the --resume handle; a
+        // cancelled request has no future and its journal is sealed below.
+        let stub_error = if cancelled_run {
+            "cancelled before completion (deadline expired or all subscribers disconnected)"
+        } else {
+            "interrupted by shutdown before completion"
+        };
         for (i, slot) in reports.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = Some(JobReport {
@@ -1244,7 +1320,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                     wall: states[i].compute_time,
                     output: String::new(),
                     artifacts: Vec::new(),
-                    error: Some("interrupted by shutdown before completion".to_string()),
+                    error: Some(stub_error.to_string()),
                     telemetry: None,
                 });
             }
@@ -1294,7 +1370,20 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
         }
     }
     if let Some(j) = journal.take() {
-        if interrupted {
+        if interrupted && cancelled_run {
+            // A cancelled request will never be resumed — nobody is
+            // waiting for its result — so the journal is sealed (and thus
+            // removed) rather than left as a dangling resume handle. The
+            // chaos campaign's "every journal sealed" invariant counts on
+            // this.
+            if let Err(e) = j.seal("cancelled") {
+                events::warn_traced(
+                    "journal.seal_failed",
+                    format!("could not seal cancelled run journal: {e}"),
+                    opts.trace,
+                );
+            }
+        } else if interrupted {
             drop(j); // the journal outlives the run: it is the resume handle
         } else {
             let status = if failures.is_empty() { "ok" } else { "degraded" };

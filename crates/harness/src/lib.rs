@@ -25,6 +25,7 @@
 //! drives the *same* compute and render code the binaries use.
 
 pub mod cache;
+pub mod chaos;
 pub mod events;
 pub mod executor;
 pub mod faults;

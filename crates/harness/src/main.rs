@@ -11,7 +11,7 @@
 use sparten_bench::json::Json;
 use sparten_harness::cache::Cache;
 use sparten_harness::executor::{self, RunOptions};
-use sparten_harness::{events, faults, fsck, journal, registry, signal};
+use sparten_harness::{chaos, events, faults, fsck, journal, registry, signal};
 use sparten_telemetry::TraceContext;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -67,6 +67,13 @@ COMMANDS:
              class, classify each trial (detected / masked / silently-wrong
              / crashed), and print the coverage table. Exits non-zero if
              any trial was silently wrong or crashed.
+    chaos    Run the seeded chaos campaign against a live serve daemon:
+             boot a private server per trial and attack it over real
+             sockets (torn request bodies, slow-loris byte drips,
+             mid-stream disconnects, deadline storms, queue floods), then
+             verify the resilience invariants — no leaked run permits, no
+             stuck sessions, every journal sealed, cache uncorrupted, no
+             hung threads. Exits non-zero on any violation or crash.
     fsck     Audit the results tree: artifacts that no experiment produces
              or that no longer parse, cache entries failing their checksum,
              journals that are malformed / resumable / stale, and leftover
@@ -195,6 +202,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "fsck" => cmd_fsck(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "report" => cmd_report(&args[1..]),
@@ -254,7 +262,8 @@ fn command_spec(cmd: &str) -> CommandSpec {
         },
         "bench" => CommandSpec {
             usage: "sparten-harness bench [--quick] [--filter SUBSTR] [--threshold X]\n\
-                    \x20                     [--out PATH] [--check-schema] [--enforce]",
+                    \x20                     [--out PATH] [--check-schema] [--enforce]\n\
+                    \x20                     [--deadline-ms N] [--retries N]",
             allowed: &[
                 "--quick",
                 "--filter",
@@ -262,11 +271,17 @@ fn command_spec(cmd: &str) -> CommandSpec {
                 "--out",
                 "--check-schema",
                 "--enforce",
+                "--deadline-ms",
+                "--retries",
             ],
         },
         "faults" => CommandSpec {
             usage: "sparten-harness faults [--seed N] [--trials N] [--quick] [--report PATH]",
             allowed: &["--seed", "--trials", "--quick", "--report"],
+        },
+        "chaos" => CommandSpec {
+            usage: "sparten-harness chaos [--seed N] [--trials N] [--quick]",
+            allowed: &["--seed", "--trials", "--quick"],
         },
         "fsck" => CommandSpec {
             usage: "sparten-harness fsck [--repair] [--results-dir PATH]",
@@ -293,7 +308,7 @@ fn command_spec(cmd: &str) -> CommandSpec {
             usage: "sparten-harness serve [--addr HOST:PORT] [--port-file PATH] [--jobs N]\n\
                     \x20                     [--max-active N] [--max-queue N] [--cache-dir PATH]\n\
                     \x20                     [--journal-dir PATH] [--no-artifacts]\n\
-                    \x20                     [--drain-timeout SECS]",
+                    \x20                     [--drain-timeout SECS] [--deadline-ms N]",
             allowed: &[
                 "--addr",
                 "--port-file",
@@ -305,6 +320,7 @@ fn command_spec(cmd: &str) -> CommandSpec {
                 "--journal-dir",
                 "--no-artifacts",
                 "--drain-timeout",
+                "--deadline-ms",
                 "--events-dir",
             ],
         },
@@ -399,6 +415,7 @@ struct Flags {
     follow: bool,
     json: bool,
     file_path: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, FlagsError> {
@@ -438,6 +455,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, FlagsError> {
         follow: false,
         json: false,
         file_path: None,
+        deadline_ms: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -533,6 +551,16 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, FlagsError> {
                     return Err("--drain-timeout must be non-negative".into());
                 }
                 f.drain_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be at least 1".into());
+                }
+                f.deadline_ms = Some(ms);
             }
             "--abort-after" => {
                 let v = it.next().ok_or("--abort-after needs a value")?;
@@ -917,6 +945,32 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     }
 }
 
+/// Runs the seeded chaos campaign against per-trial serve daemons and
+/// prints the invariant table.
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    let flags = match parse_cmd_flags("chaos", args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let seed = flags.seed.unwrap_or(1);
+    let trials = flags.trials.unwrap_or(if flags.quick { 1 } else { 3 });
+    let report = chaos::run_campaign(seed, trials);
+    print!("{}", report.render());
+    if report.violated() == 0 && report.crashed() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        events::error(
+            "chaos.invariant_violated",
+            format!(
+                "{} violated and {} crashed trials — the service broke an invariant under chaos",
+                report.violated(),
+                report.crashed()
+            ),
+        );
+        ExitCode::FAILURE
+    }
+}
+
 /// One-point synthetic experiment for the serve cache-hit benchmark: its
 /// single record is pre-stored in the scratch cache, so `GET /result`
 /// against it exercises exactly the daemon's warm path.
@@ -1044,6 +1098,8 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         max_queued: 4,
         read_timeout: Duration::from_secs(5),
         drain_timeout: Duration::from_secs(5),
+        default_deadline: Duration::from_secs(120),
+        max_deadline: Duration::from_secs(600),
         shutdown: std::sync::Arc::clone(&serve_shutdown),
         build: Default::default(),
     };
@@ -1072,12 +1128,25 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
         };
     let bench_addr = serve_addr.clone();
+    // `--deadline-ms` / `--retries` flow into the bench client so the
+    // measured path exercises the same resilience options real clients
+    // use (defaults: no deadline, no retries — identical wire bytes).
+    let client_opts = sparten_serve::client::RequestOptions {
+        deadline: flags.deadline_ms.map(Duration::from_millis),
+        retries: flags.retries.map(|n| n.saturating_sub(1) as u32).unwrap_or(0),
+        ..Default::default()
+    };
     extras.push(sparten_bench::ExtraBench {
         name: "serve/cache-hit-latency".to_string(),
         run: Box::new(move || {
-            let response =
-                sparten_serve::client::request(&bench_addr, "GET", "/result?job=serve-probe", None)
-                    .expect("serve bench round trip");
+            let response = sparten_serve::client::request_with(
+                &bench_addr,
+                "GET",
+                "/result?job=serve-probe",
+                None,
+                &client_opts,
+            )
+            .expect("serve bench round trip");
             assert_eq!(response.status, 200, "warmed probe must be a cache hit");
         }),
     });
@@ -1576,6 +1645,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         max_queued: flags.max_queue.unwrap_or(8),
         read_timeout: Duration::from_secs(10),
         drain_timeout: flags.drain_timeout.unwrap_or(Duration::from_secs(30)),
+        // `--deadline-ms` sets the default per-request budget (requests
+        // may still send `Deadline-Ms`, clamped to the server max).
+        default_deadline: flags
+            .deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_secs(120)),
+        max_deadline: Duration::from_secs(600),
         // First SIGINT/SIGTERM drains, second aborts — same as `run`.
         shutdown: signal::install(),
         build: sparten_serve::BuildInfo {

@@ -27,7 +27,7 @@ use crate::cache::{fnv1a_parts, Cache, Lookup};
 use crate::executor::{self, PointOrigin, ProgressHook, RunOptions};
 use crate::{Experiment, PointPayload};
 use sparten_serve::{Backend, JobInfo, JobOutput, PointSource};
-use sparten_telemetry::{Telemetry, TraceContext};
+use sparten_telemetry::{CancelToken, Telemetry, TraceContext};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -140,6 +140,7 @@ impl Backend for HarnessBackend {
         name: &str,
         progress: Arc<dyn Fn(usize, PointSource) + Send + Sync>,
         trace: Option<TraceContext>,
+        cancel: CancelToken,
     ) -> Result<JobOutput, String> {
         let exp = Arc::clone(self.find(name).ok_or_else(|| format!("unknown job `{name}`"))?);
         let seq = self.run_seq.fetch_add(1, Ordering::SeqCst);
@@ -177,6 +178,7 @@ impl Backend for HarnessBackend {
             trace,
             trace_sink: self.trace_sink.clone(),
             trace_epoch: self.trace_epoch,
+            cancel: Some(cancel),
         };
         let report = executor::run(&[exp], &opts)?;
         let job = report

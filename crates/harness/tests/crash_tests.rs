@@ -133,6 +133,7 @@ fn opts(tree: &Path, jobs: usize) -> RunOptions {
         trace: None,
         trace_sink: None,
         trace_epoch: None,
+        cancel: None,
     }
 }
 

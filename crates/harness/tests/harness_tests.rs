@@ -137,6 +137,7 @@ fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
         trace: None,
         trace_sink: None,
         trace_epoch: None,
+        cancel: None,
     }
 }
 

@@ -122,6 +122,35 @@ fn start_server(
     Arc<AtomicUsize>,
     thread::JoinHandle<sparten_serve::DrainReport>,
 ) {
+    let (addr, telemetry, shutdown, handle, _probe) = start_server_with(
+        experiments,
+        cache_dir,
+        journal_dir,
+        max_active,
+        max_queued,
+        Duration::from_secs(30),
+    );
+    (addr, telemetry, shutdown, handle)
+}
+
+/// [`start_server`] with a configurable read timeout (the resilience
+/// tests shrink it so slow-loris reaping is fast) and a [`ServerProbe`]
+/// for gate/session invariant assertions.
+#[allow(clippy::type_complexity)]
+fn start_server_with(
+    experiments: Vec<Arc<dyn Experiment>>,
+    cache_dir: &Path,
+    journal_dir: Option<PathBuf>,
+    max_active: usize,
+    max_queued: usize,
+    read_timeout: Duration,
+) -> (
+    String,
+    Arc<Telemetry>,
+    Arc<AtomicUsize>,
+    thread::JoinHandle<sparten_serve::DrainReport>,
+    sparten_serve::ServerProbe,
+) {
     let telemetry = Arc::new(Telemetry::new());
     let backend = Arc::new(
         HarnessBackend::new(experiments, cache_dir.to_path_buf(), journal_dir, false, 2)
@@ -132,15 +161,18 @@ fn start_server(
         addr: "127.0.0.1:0".to_string(),
         max_active,
         max_queued,
-        read_timeout: Duration::from_secs(30),
+        read_timeout,
         drain_timeout: Duration::from_secs(30),
+        default_deadline: Duration::from_secs(120),
+        max_deadline: Duration::from_secs(600),
         shutdown: Arc::clone(&shutdown),
         build: Default::default(),
     };
     let server = Server::bind(backend, Arc::clone(&telemetry), opts).expect("bind");
     let addr = server.local_addr().expect("addr").to_string();
+    let probe = server.probe();
     let handle = thread::spawn(move || server.serve());
-    (addr, telemetry, shutdown, handle)
+    (addr, telemetry, shutdown, handle, probe)
 }
 
 fn counter(telemetry: &Telemetry, name: &str) -> u64 {
@@ -188,6 +220,7 @@ fn direct_output(experiments: &[Arc<dyn Experiment>], name: &str, tag: &str) -> 
         trace: None,
         trace_sink: None,
         trace_epoch: None,
+        cancel: None,
     };
     let report = executor::run(experiments, &opts).expect("direct run succeeds");
     let job = report
@@ -437,6 +470,7 @@ fn cache_hits_bypass_the_executor_and_match_harness_run_bytes() {
         trace: None,
         trace_sink: None,
         trace_epoch: None,
+        cancel: None,
     };
     let direct = executor::run(&experiments, &opts).expect("warming run");
     let direct_text = direct.jobs[0].output.clone();
@@ -573,4 +607,240 @@ fn router_answers_health_jobs_and_rejects_garbage() {
     shutdown.store(1, Ordering::SeqCst);
     assert!(handle.join().unwrap().clean());
     let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Slow-loris: a client dripping its request one byte at a time is
+/// answered 408 once the *total* read budget runs out (the per-read
+/// socket timeout alone would never fire), and the connection never
+/// reaches admission — with an execution budget of one, a well-formed
+/// request right after still gets the slot.
+#[test]
+fn slow_loris_is_reaped_within_the_read_budget_without_admission() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let experiments = vec![exp("srv_loris", 1)];
+    let cache_dir = fresh_dir("loris-cache");
+    let read_timeout = Duration::from_millis(300);
+    let (addr, telemetry, shutdown, handle, probe) =
+        start_server_with(experiments, &cache_dir, None, 1, 0, read_timeout);
+
+    let started = Instant::now();
+    let loris = TcpStream::connect(&addr).expect("connect");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    // Drip header bytes far slower than the read budget allows. The
+    // dripper stops when the server reaps the connection (write fails);
+    // the iteration bound only guards against a hung test.
+    let dripper = {
+        let mut stream = loris.try_clone().expect("clone");
+        thread::spawn(move || {
+            for byte in b"GET /jobs HTTP/1.1\r\nHost: drip\r\n".iter().cycle().take(400) {
+                if stream.write_all(&[*byte]).is_err() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    let mut reply = String::new();
+    let mut stream = loris;
+    let _ = stream.read_to_string(&mut reply);
+    let reaped_after = started.elapsed();
+    drop(stream);
+    dripper.join().unwrap();
+
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "slow client must be answered 408, got: {reply:?}"
+    );
+    assert!(
+        reaped_after >= Duration::from_millis(250),
+        "reaped suspiciously early ({reaped_after:?}): the read budget never armed"
+    );
+    assert!(
+        reaped_after < read_timeout + Duration::from_secs(5),
+        "reap took {reaped_after:?}, far beyond the {read_timeout:?} budget"
+    );
+    assert!(counter(&telemetry, "serve/http.bad_request") >= 1);
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 0, "loris must not reach the executor");
+    assert_eq!(probe.gate_admitted(), 0, "loris must not hold admission budget");
+
+    // The single execution slot is free for a real request.
+    let ok = request(&addr, "POST", "/run?job=srv_loris", None).expect("well-formed run");
+    assert_eq!(ok.status, 200);
+
+    shutdown.store(1, Ordering::SeqCst);
+    assert!(handle.join().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Torn request: a client that promises a 100-byte body, sends a
+/// fragment, and disconnects is reaped promptly (EOF, not a timeout
+/// wait) without consuming an admission slot or executor run.
+#[test]
+fn torn_request_mid_body_is_reaped_without_admission() {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let experiments = vec![exp("srv_torn", 1)];
+    let cache_dir = fresh_dir("torn-cache");
+    let read_timeout = Duration::from_millis(300);
+    let (addr, telemetry, shutdown, handle, probe) =
+        start_server_with(experiments, &cache_dir, None, 1, 0, read_timeout);
+
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(
+                b"POST /run HTTP/1.1\r\nHost: torn\r\nContent-Length: 100\r\n\r\npartial-body",
+            )
+            .expect("torn write");
+        drop(stream); // disconnect mid-body
+    }
+
+    // All three torn connections must be accepted and reaped within the
+    // read budget (EOF reaps immediately; the bound is generous slack).
+    let deadline = Instant::now() + read_timeout + Duration::from_secs(10);
+    while probe.sessions_served() < 3 {
+        assert!(Instant::now() < deadline, "torn connections never reaped");
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(probe.open_sessions(), 0, "reaped sessions must be closed");
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 0, "torn bodies must not execute");
+    assert_eq!(probe.gate_admitted(), 0, "torn bodies must not hold admission budget");
+
+    // The single execution slot is free for a real request.
+    let ok = request(&addr, "POST", "/run?job=srv_torn", None).expect("well-formed run");
+    assert_eq!(ok.status, 200);
+
+    shutdown.store(1, Ordering::SeqCst);
+    assert!(handle.join().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Deadline propagation e2e: a request whose budget is already spent
+/// (`Deadline-Ms: 0`) is answered 504 at admission — the executor is
+/// never dispatched — while the same job with a sane budget runs fine.
+#[test]
+fn expired_deadline_answers_504_without_dispatching_the_executor() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let experiments = vec![slow_exp("srv_expired", 1, Duration::from_millis(100))];
+    let cache_dir = fresh_dir("expired-cache");
+    let (addr, telemetry, shutdown, handle) =
+        start_server(experiments, &cache_dir, None, 1, 0);
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+        .write_all(b"POST /run?job=srv_expired HTTP/1.1\r\nHost: t\r\nDeadline-Ms: 0\r\n\r\n")
+        .expect("request write");
+    let mut reply = String::new();
+    let _ = stream.read_to_string(&mut reply);
+    assert!(
+        reply.starts_with("HTTP/1.1 504"),
+        "expired deadline must answer 504, got: {reply:?}"
+    );
+    assert!(reply.contains("deadline-exceeded"), "{reply:?}");
+    assert!(reply.contains("\"stage\":\"admission\""), "{reply:?}");
+    assert_eq!(counter(&telemetry, "serve/deadline.expired"), 1);
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 0, "504 must precede dispatch");
+
+    // The same job with the default budget executes normally.
+    let ok = request(&addr, "POST", "/run?job=srv_expired", None).expect("sane budget");
+    assert_eq!(ok.status, 200);
+    assert_eq!(counter(&telemetry, "serve/exec.runs"), 1);
+
+    shutdown.store(1, Ordering::SeqCst);
+    assert!(handle.join().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Cooperative cancellation e2e: when every subscriber of a run
+/// disconnects, the gate fires the run's cancel token, the executor
+/// stops at a checkpoint, the run is journaled `cancelled` (sealed — no
+/// dangling `*.jsonl`), and the admission permit is released so the next
+/// unique job gets the slot.
+#[test]
+fn abandoned_run_is_cancelled_journaled_and_releases_its_permit() {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let experiments = vec![
+        slow_exp("srv_abandon", 6, Duration::from_millis(100)),
+        exp("srv_after", 1),
+    ];
+    let cache_dir = fresh_dir("abandon-cache");
+    let journal_dir = fresh_dir("abandon-journal");
+    let (addr, telemetry, shutdown, handle, probe) = start_server_with(
+        experiments,
+        &cache_dir,
+        Some(journal_dir.clone()),
+        1,
+        0,
+        Duration::from_secs(30),
+    );
+
+    // Kick off the slow run, wait until the executor is actually inside
+    // it, then drop the only subscriber.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"POST /run?job=srv_abandon HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("request write");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while counter(&telemetry, "serve/exec.runs") == 0 {
+        assert!(Instant::now() < deadline, "run never started");
+        thread::sleep(Duration::from_millis(5));
+    }
+    drop(stream);
+
+    // The next finished point notices the empty subscriber list, fires
+    // the cancel token, and the run stops at a cancellation checkpoint.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while counter(&telemetry, "serve/exec.cancelled") == 0 {
+        assert!(Instant::now() < deadline, "abandoned run was never cancelled");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // Permit released: with an execution budget of one, a different job
+    // must be admitted. (The cancel counter ticks just before the permit
+    // is finished, so tolerate a brief 429 window.)
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let after = request(&addr, "POST", "/run?job=srv_after", None).expect("after request");
+        if after.status == 200 {
+            break;
+        }
+        assert_eq!(after.status, 429, "only saturation is acceptable while the cancel settles");
+        assert!(Instant::now() < deadline, "permit never released after cancellation");
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    shutdown.store(1, Ordering::SeqCst);
+    let report = handle.join().unwrap();
+    assert!(report.clean(), "drain abandoned sessions: {report:?}");
+    assert_eq!(probe.gate_admitted(), 0, "cancelled run leaked its permit");
+    assert_eq!(probe.gate_active(), 0, "cancelled run leaked its slot");
+
+    // Both runs' journals are sealed: the cancelled one with status
+    // `cancelled`, the completed one with `ok` — sealing deletes the
+    // file, so any survivor is a leak.
+    let dangling = std::fs::read_dir(&journal_dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(dangling, 0, "cancelled run must seal its journal");
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
 }

@@ -5,10 +5,17 @@
 //! decoded. Not a general client — no redirects, no keep-alive, no TLS —
 //! and deliberately independent of the server code so a codec bug cannot
 //! cancel itself out in round-trip tests.
+//!
+//! [`request_with`] adds the resilience layer: bounded retries with
+//! seeded-jitter exponential backoff (honoring `Retry-After` on 429),
+//! a configurable per-attempt read timeout, and an overall deadline that
+//! is both enforced locally and propagated to the server as a
+//! `Deadline-Ms` header so server-side queue time draws down the same
+//! budget the client is counting.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A fully-read response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +43,51 @@ impl Response {
     }
 }
 
+/// Per-request resilience knobs for [`request_with`].
+#[derive(Debug, Clone)]
+pub struct RequestOptions {
+    /// Per-attempt socket read timeout (the old hardcoded 120 s).
+    pub read_timeout: Duration,
+    /// Extra attempts after the first (0 = never retry). Only 429
+    /// responses and transport errors are retried; any other status is a
+    /// definitive answer.
+    pub retries: u32,
+    /// Base backoff for attempt `n`: `backoff * 2^n` plus up to 50%
+    /// seeded jitter, overridden by the server's `Retry-After` (seconds)
+    /// when one is present on a 429.
+    pub backoff: Duration,
+    /// Overall budget across all attempts, enforced locally (no attempt
+    /// starts past it) and sent to the server as `Deadline-Ms` computed
+    /// from the *remaining* budget so queue time on the server counts
+    /// against the same clock. `None` sends no header and retries are
+    /// bounded only by `retries`.
+    pub deadline: Option<Duration>,
+    /// Seed for the backoff jitter, so a retry storm in a deterministic
+    /// test is reproducible byte-for-byte.
+    pub seed: u64,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        RequestOptions {
+            read_timeout: Duration::from_secs(120),
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+/// splitmix64 — same mixer as the fault plans; inlined so the client
+/// keeps zero crate dependencies.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
 fn read_line(reader: &mut impl BufRead) -> Result<String, String> {
     let mut line = String::new();
     reader
@@ -46,23 +98,120 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, String> {
 
 /// Sends `method target` to `addr` and reads the whole response,
 /// blocking until the server finishes the body (so a streamed `/run`
-/// returns only once the run is done).
+/// returns only once the run is done). One attempt, default timeouts —
+/// see [`request_with`] for retries and deadlines.
 pub fn request(
     addr: &str,
     method: &str,
     target: &str,
     body: Option<&str>,
 ) -> Result<Response, String> {
+    request_with(addr, method, target, body, &RequestOptions::default())
+}
+
+/// [`request`] with retries, backoff, and deadline propagation.
+///
+/// Retry policy: 429 (honoring its `Retry-After` seconds) and transport
+/// errors are retried up to `opts.retries` times; every other status is
+/// returned as-is. Re-submissions carry a `Retry-Attempt: n` header so
+/// the server can count them. With a deadline set, each attempt sends
+/// `Deadline-Ms` equal to the remaining budget, and the loop gives up
+/// locally once the budget (minus the next backoff) is spent.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    opts: &RequestOptions,
+) -> Result<Response, String> {
+    let started = Instant::now();
+    let overall = opts.deadline.map(|d| started + d);
+    let mut last_err = String::new();
+    for attempt in 0..=opts.retries {
+        let remaining = match overall {
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(format!(
+                        "deadline of {:?} exhausted after {} attempt(s): {last_err}",
+                        opts.deadline.unwrap_or_default(),
+                        attempt
+                    ));
+                }
+                Some(deadline - now)
+            }
+            None => None,
+        };
+        let outcome = attempt_once(addr, method, target, body, opts, attempt, remaining);
+        let retry_after = match outcome {
+            Ok(response) if response.status == 429 && attempt < opts.retries => {
+                let after = response
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_secs);
+                last_err = "429 Too Many Requests".to_string();
+                after
+            }
+            Ok(response) => return Ok(response),
+            Err(e) if attempt < opts.retries => {
+                last_err = e;
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        // Server-directed pacing wins; otherwise exponential backoff with
+        // up to 50% seeded jitter so synchronized clients fan out.
+        let pause = retry_after.unwrap_or_else(|| {
+            let base = opts.backoff.saturating_mul(1u32 << attempt.min(16));
+            let jitter = splitmix64(opts.seed ^ u64::from(attempt)) % 50;
+            base + base.mul_f64(jitter as f64 / 100.0)
+        });
+        if let Some(deadline) = overall {
+            if Instant::now() + pause >= deadline {
+                return Err(format!(
+                    "deadline of {:?} exhausted after {} attempt(s): {last_err}",
+                    opts.deadline.unwrap_or_default(),
+                    attempt + 1
+                ));
+            }
+        }
+        std::thread::sleep(pause);
+    }
+    Err(last_err)
+}
+
+/// One connection, one request, one fully-read response.
+#[allow(clippy::too_many_arguments)]
+fn attempt_once(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    opts: &RequestOptions,
+    attempt: u32,
+    remaining: Option<Duration>,
+) -> Result<Response, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let read_timeout = match remaining {
+        Some(r) => opts.read_timeout.min(r.max(Duration::from_millis(1))),
+        None => opts.read_timeout,
+    };
     stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
+        .set_read_timeout(Some(read_timeout))
         .map_err(|e| e.to_string())?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let body = body.unwrap_or("");
+    let mut extra = String::new();
+    if let Some(r) = remaining {
+        extra.push_str(&format!("Deadline-Ms: {}\r\n", r.as_millis().max(1)));
+    }
+    if attempt > 0 {
+        extra.push_str(&format!("Retry-Attempt: {attempt}\r\n"));
+    }
     write!(
         writer,
         "{method} {target} HTTP/1.1\r\nHost: sparten-serve\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
+         {extra}Connection: close\r\n\r\n{body}",
         body.len()
     )
     .map_err(|e| format!("send: {e}"))?;

@@ -21,9 +21,12 @@
 //! is notified of its failure via the permit's drop guard).
 
 use crate::{JobOutput, PointSource};
+use sparten_telemetry::CancelToken;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// One progress or completion event, broadcast to every subscriber of a
 /// coalesced run.
@@ -65,6 +68,10 @@ struct Inflight {
     points_done: usize,
     /// The admitted runner's `(trace_id, span_id)`, handed to followers.
     runner_trace: Option<(u64, u64)>,
+    /// The run's cancellation token: fired by the gate when the last
+    /// subscriber disconnects, so a run nobody is watching stops at its
+    /// next cooperative checkpoint instead of burning an executor slot.
+    cancel: CancelToken,
 }
 
 struct State {
@@ -103,13 +110,25 @@ impl Gate {
         })
     }
 
+    /// Recover from a poisoned lock rather than cascading the panic: the
+    /// gate's counters are adjusted atomically under the lock (never left
+    /// half-updated across a call into user code), so the state is always
+    /// safe to keep reading — and a panicking runner must not wedge every
+    /// later request behind a dead mutex.
+    fn locked(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Makes the atomic run / follow / reject decision for `key`.
     /// `trace` is the requester's `(trace_id, span_id)`; a runner's is
     /// remembered on the in-flight entry so later followers can link
     /// their spans to the execution they joined. The gate itself never
     /// interprets the ids — they are opaque correlation material.
-    pub fn enter(self: &Arc<Gate>, key: u64, trace: Option<(u64, u64)>) -> Ticket {
-        let mut state = self.state.lock().unwrap();
+    /// `cancel` is the token a runner's execution polls; the gate fires
+    /// it when the run's last subscriber disconnects (followers ignore
+    /// the argument — they ride the runner's token).
+    pub fn enter(self: &Arc<Gate>, key: u64, trace: Option<(u64, u64)>, cancel: CancelToken) -> Ticket {
+        let mut state = self.locked();
         if let Some(entry) = state.inflight.get_mut(&key) {
             let (tx, rx) = channel();
             entry.subscribers.push(tx);
@@ -125,6 +144,7 @@ impl Gate {
                 subscribers: vec![tx],
                 points_done: 0,
                 runner_trace: trace,
+                cancel: cancel.clone(),
             },
         );
         state.admitted += 1;
@@ -132,16 +152,21 @@ impl Gate {
             RunPermit {
                 gate: Arc::clone(self),
                 key,
+                cancel,
                 finished: false,
+                holds_slot: Cell::new(false),
             },
             rx,
         )
     }
 
     /// Broadcasts a finished point for `key` to every subscriber,
-    /// assigning the monotonic `done` count under the lock.
+    /// assigning the monotonic `done` count under the lock. When the
+    /// broadcast discovers every subscriber has hung up, the run's cancel
+    /// token fires: nobody is left to receive the result, so the runner
+    /// should stop at its next checkpoint.
     pub fn point_done(&self, key: u64, point: usize, total: usize, source: PointSource) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.locked();
         if let Some(entry) = state.inflight.get_mut(&key) {
             entry.points_done += 1;
             let event = Event::Point {
@@ -154,16 +179,25 @@ impl Gate {
             entry
                 .subscribers
                 .retain(|tx| tx.send(event.clone()).is_ok());
+            if entry.subscribers.is_empty() {
+                entry.cancel.cancel();
+            }
         }
     }
 
     /// Number of runs currently holding an execution slot (test hook).
     pub fn active(&self) -> usize {
-        self.state.lock().unwrap().active
+        self.locked().active
+    }
+
+    /// Number of admitted runs still holding budget — the chaos campaign's
+    /// leaked-permit invariant: this must return to 0 after a drain.
+    pub fn admitted(&self) -> usize {
+        self.locked().admitted
     }
 
     fn finish(&self, key: u64, result: Arc<Result<JobOutput, String>>, held_slot: bool) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.locked();
         if let Some(entry) = state.inflight.remove(&key) {
             for tx in entry.subscribers {
                 let _ = tx.send(Event::Done(Arc::clone(&result)));
@@ -186,7 +220,28 @@ impl Gate {
 pub struct RunPermit {
     gate: Arc<Gate>,
     key: u64,
+    cancel: CancelToken,
     finished: bool,
+    /// Whether `wait_for_slot` claimed an execution slot; release paths
+    /// (finish and the drop guard) only decrement `active` when it did.
+    holds_slot: Cell<bool>,
+}
+
+/// Outcome of [`RunPermit::wait_for_slot`]: either the slot was claimed,
+/// or the wait outlived the request deadline and no slot is held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotWait {
+    /// A slot was claimed after `waited_us` microseconds in the queue.
+    Granted {
+        /// Microseconds spent queued.
+        waited_us: u64,
+    },
+    /// The deadline passed while queued; the permit holds no slot and
+    /// should be finished with an error (queue-wait-exceeded → 503).
+    DeadlineExpired {
+        /// Microseconds spent queued before giving up.
+        waited_us: u64,
+    },
 }
 
 impl RunPermit {
@@ -195,16 +250,42 @@ impl RunPermit {
         self.key
     }
 
-    /// Blocks until an execution slot is free, then claims it. Returns
-    /// the number of microseconds spent waiting.
-    pub fn wait_for_slot(&self) -> u64 {
-        let started = std::time::Instant::now();
-        let mut state = self.gate.state.lock().unwrap();
+    /// The run's cancellation token (fires on last-subscriber-gone; the
+    /// caller may have attached a deadline before `enter`).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Blocks until an execution slot is free, then claims it — but never
+    /// past `deadline`. The wait is a `wait_timeout` loop, so a queued
+    /// waiter with a deadline can never block forever; without one the
+    /// wait re-arms in bounded ticks (semantically unbounded, used only
+    /// by callers that impose no budget, e.g. unit tests).
+    pub fn wait_for_slot(&self, deadline: Option<Instant>) -> SlotWait {
+        let started = Instant::now();
+        let waited_us = |s: Instant| s.elapsed().as_micros() as u64;
+        let mut state = self.gate.locked();
         while state.active >= self.gate.max_active {
-            state = self.gate.slot_free.wait(state).unwrap();
+            let timeout = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return SlotWait::DeadlineExpired { waited_us: waited_us(started) };
+                    }
+                    d - now
+                }
+                None => Duration::from_secs(1),
+            };
+            let (guard, _) = self
+                .gate
+                .slot_free
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
         }
         state.active += 1;
-        started.elapsed().as_micros() as u64
+        self.holds_slot.set(true);
+        SlotWait::Granted { waited_us: waited_us(started) }
     }
 
     /// Reports a finished point to every subscriber of this run.
@@ -213,10 +294,12 @@ impl RunPermit {
     }
 
     /// Completes the run: broadcasts `Done` to all subscribers, frees the
-    /// execution slot, and releases the admission budget.
+    /// execution slot (when one was claimed — a queue-wait timeout never
+    /// claims one), and releases the admission budget.
     pub fn finish(mut self, result: Result<JobOutput, String>) {
         self.finished = true;
-        self.gate.finish(self.key, Arc::new(result), true);
+        self.gate
+            .finish(self.key, Arc::new(result), self.holds_slot.get());
     }
 }
 
@@ -224,14 +307,13 @@ impl Drop for RunPermit {
     fn drop(&mut self) {
         if !self.finished {
             // Runner died without finishing (panic between enter and
-            // finish). Whether it held a slot is unknowable here, so the
-            // guard assumes not — wait_for_slot + execute + finish is one
-            // straight-line path in the server, and a panic before
-            // wait_for_slot is the only survivable early exit.
+            // finish). The permit knows whether it claimed a slot, so the
+            // guard releases exactly what was held and followers are
+            // notified either way.
             self.gate.finish(
                 self.key,
                 Arc::new(Err("runner aborted before completing".to_string())),
-                false,
+                self.holds_slot.get(),
             );
         }
     }
@@ -241,7 +323,6 @@ impl Drop for RunPermit {
 mod tests {
     use super::*;
     use std::thread;
-    use std::time::Duration;
 
     fn output(text: &str) -> JobOutput {
         JobOutput {
@@ -253,15 +334,15 @@ mod tests {
     #[test]
     fn duplicate_keys_coalesce_onto_one_runner() {
         let gate = Gate::new(2, 2);
-        let Ticket::Runner(permit, runner_rx) = gate.enter(42, Some((7, 8))) else {
+        let Ticket::Runner(permit, runner_rx) = gate.enter(42, Some((7, 8)), CancelToken::new()) else {
             panic!("first entrant must run");
         };
-        let Ticket::Follower(follower_rx, runner_trace) = gate.enter(42, Some((7, 99))) else {
+        let Ticket::Follower(follower_rx, runner_trace) = gate.enter(42, Some((7, 99)), CancelToken::new()) else {
             panic!("second entrant must follow");
         };
         // The follower learns the *runner's* trace, not its own.
         assert_eq!(runner_trace, Some((7, 8)));
-        permit.wait_for_slot();
+        permit.wait_for_slot(None);
         permit.point_done(0, 1, PointSource::Computed);
         permit.finish(Ok(output("result")));
         for rx in [runner_rx, follower_rx] {
@@ -277,36 +358,36 @@ mod tests {
             assert_eq!(result.as_ref().as_ref().unwrap().text, "result");
         }
         // The key is free again: the next entrant is a fresh runner.
-        assert!(matches!(gate.enter(42, None), Ticket::Runner(..)));
+        assert!(matches!(gate.enter(42, None, CancelToken::new()), Ticket::Runner(..)));
     }
 
     #[test]
     fn new_keys_beyond_the_budget_are_saturated_but_followers_never_are() {
         let gate = Gate::new(1, 1);
-        let Ticket::Runner(a, _rx_a) = gate.enter(1, None) else { panic!() };
-        let Ticket::Runner(b, _rx_b) = gate.enter(2, None) else { panic!() };
+        let Ticket::Runner(a, _rx_a) = gate.enter(1, None, CancelToken::new()) else { panic!() };
+        let Ticket::Runner(b, _rx_b) = gate.enter(2, None, CancelToken::new()) else { panic!() };
         // Budget (1 active + 1 queued) is spent: a third key bounces...
-        assert!(matches!(gate.enter(3, None), Ticket::Saturated));
+        assert!(matches!(gate.enter(3, None, CancelToken::new()), Ticket::Saturated));
         // ...but joining either in-flight key is still free.
-        assert!(matches!(gate.enter(1, None), Ticket::Follower(..)));
-        assert!(matches!(gate.enter(2, None), Ticket::Follower(..)));
-        a.wait_for_slot();
+        assert!(matches!(gate.enter(1, None, CancelToken::new()), Ticket::Follower(..)));
+        assert!(matches!(gate.enter(2, None, CancelToken::new()), Ticket::Follower(..)));
+        a.wait_for_slot(None);
         a.finish(Ok(output("a")));
-        b.wait_for_slot();
+        b.wait_for_slot(None);
         b.finish(Ok(output("b")));
         // Budget released.
-        assert!(matches!(gate.enter(3, None), Ticket::Runner(..)));
+        assert!(matches!(gate.enter(3, None, CancelToken::new()), Ticket::Runner(..)));
     }
 
     #[test]
     fn slots_serialize_execution_to_max_active() {
         let gate = Gate::new(1, 4);
-        let Ticket::Runner(first, _rx1) = gate.enter(10, None) else { panic!() };
-        let Ticket::Runner(second, rx2) = gate.enter(11, None) else { panic!() };
-        first.wait_for_slot();
+        let Ticket::Runner(first, _rx1) = gate.enter(10, None, CancelToken::new()) else { panic!() };
+        let Ticket::Runner(second, rx2) = gate.enter(11, None, CancelToken::new()) else { panic!() };
+        first.wait_for_slot(None);
         assert_eq!(gate.active(), 1);
         let waiter = thread::spawn(move || {
-            second.wait_for_slot();
+            second.wait_for_slot(None);
             second.finish(Ok(output("second")));
         });
         // The queued runner cannot take a slot while the first holds it.
@@ -323,8 +404,8 @@ mod tests {
     #[test]
     fn dropped_permit_fails_followers_instead_of_stranding_them() {
         let gate = Gate::new(1, 0);
-        let Ticket::Runner(permit, _rx) = gate.enter(7, Some((1, 2))) else { panic!() };
-        let Ticket::Follower(rx, runner_trace) = gate.enter(7, None) else { panic!() };
+        let Ticket::Runner(permit, _rx) = gate.enter(7, Some((1, 2)), CancelToken::new()) else { panic!() };
+        let Ticket::Follower(rx, runner_trace) = gate.enter(7, None, CancelToken::new()) else { panic!() };
         assert_eq!(runner_trace, Some((1, 2)));
         drop(permit); // simulated runner panic
         let Event::Done(result) = rx.recv().unwrap() else {
@@ -332,6 +413,64 @@ mod tests {
         };
         assert!(result.as_ref().as_ref().unwrap_err().contains("aborted"));
         // Budget was released despite the abort.
-        assert!(matches!(gate.enter(8, None), Ticket::Runner(..)));
+        assert!(matches!(gate.enter(8, None, CancelToken::new()), Ticket::Runner(..)));
+    }
+
+    #[test]
+    fn queue_wait_gives_up_at_the_deadline_without_claiming_a_slot() {
+        let gate = Gate::new(1, 4);
+        let Ticket::Runner(first, _rx1) = gate.enter(20, None, CancelToken::new()) else { panic!() };
+        let Ticket::Runner(second, _rx2) = gate.enter(21, None, CancelToken::new()) else { panic!() };
+        assert!(matches!(first.wait_for_slot(None), SlotWait::Granted { .. }));
+        // The only slot is taken; an already-expired deadline bails out
+        // immediately and the slot count is untouched.
+        let expired = Instant::now() - Duration::from_millis(1);
+        assert!(matches!(
+            second.wait_for_slot(Some(expired)),
+            SlotWait::DeadlineExpired { .. }
+        ));
+        assert_eq!(gate.active(), 1);
+        // A short live deadline also expires (the slot never frees)...
+        let soon = Instant::now() + Duration::from_millis(30);
+        assert!(matches!(
+            second.wait_for_slot(Some(soon)),
+            SlotWait::DeadlineExpired { .. }
+        ));
+        // ...and finishing the timed-out permit releases its admission
+        // budget without touching the active count.
+        second.finish(Err("queue-wait-exceeded".to_string()));
+        assert_eq!(gate.active(), 1);
+        assert_eq!(gate.admitted(), 1);
+        first.finish(Ok(output("first")));
+        assert_eq!(gate.active(), 0);
+        assert_eq!(gate.admitted(), 0);
+    }
+
+    #[test]
+    fn last_subscriber_gone_fires_the_cancel_token() {
+        let gate = Gate::new(2, 2);
+        let token = CancelToken::new();
+        let Ticket::Runner(permit, runner_rx) = gate.enter(30, None, token.clone()) else {
+            panic!()
+        };
+        let Ticket::Follower(follower_rx, _) = gate.enter(30, None, CancelToken::new()) else {
+            panic!()
+        };
+        permit.wait_for_slot(None);
+        permit.point_done(0, 3, PointSource::Computed);
+        assert!(!token.is_cancelled(), "live subscribers keep the run alive");
+        // The runner's own stream hangs up; the follower still listens.
+        drop(runner_rx);
+        permit.point_done(1, 3, PointSource::Computed);
+        assert!(!token.is_cancelled(), "one live follower is enough");
+        // The last subscriber disconnects: the next broadcast finds
+        // nobody home and fires the token.
+        drop(follower_rx);
+        permit.point_done(2, 3, PointSource::Computed);
+        assert!(token.is_cancelled());
+        assert!(permit.cancel_token().is_cancelled());
+        permit.finish(Err("cancelled".to_string()));
+        assert_eq!(gate.admitted(), 0);
+        assert_eq!(gate.active(), 0);
     }
 }

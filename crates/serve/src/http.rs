@@ -26,6 +26,9 @@ pub enum HttpError {
     UnexpectedEof,
     /// The request line / headers / body violate the grammar or a bound.
     Malformed(String),
+    /// The client went silent (or dripped bytes) past the read budget —
+    /// the slow-loris case, answered 408 and reaped.
+    TimedOut,
     /// The underlying socket failed.
     Io(String),
 }
@@ -35,6 +38,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TimedOut => write!(f, "request not received within the read budget"),
             HttpError::Io(m) => write!(f, "socket error: {m}"),
         }
     }
@@ -42,10 +46,12 @@ impl std::fmt::Display for HttpError {
 
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> Self {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            HttpError::UnexpectedEof
-        } else {
-            HttpError::Io(e.to_string())
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => HttpError::UnexpectedEof,
+            // A read timeout surfaces as WouldBlock on Unix and TimedOut
+            // on Windows; both mean the read budget ran out.
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::TimedOut,
+            _ => HttpError::Io(e.to_string()),
         }
     }
 }
@@ -211,9 +217,11 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }

@@ -37,8 +37,9 @@ pub mod coalesce;
 pub mod http;
 pub mod server;
 
-pub use coalesce::{Event, Gate, Ticket};
-pub use server::{BuildInfo, DrainReport, ServeOptions, Server};
+pub use coalesce::{Event, Gate, SlotWait, Ticket};
+pub use server::{BuildInfo, DrainReport, ServeOptions, Server, ServerProbe};
+pub use sparten_telemetry::CancelToken;
 
 use std::sync::Arc;
 
@@ -109,12 +110,17 @@ pub trait Backend: Send + Sync {
 
     /// Runs the job to completion, invoking `progress` once per finished
     /// point with `(point_index, source)`. `trace` is the request's
-    /// trace context; a backend that records telemetry threads it through
-    /// to the executor so per-point work is correlated with the request.
+    /// trace context (carrying the request deadline, when one was set);
+    /// a backend that records telemetry threads it through to the
+    /// executor so per-point work is correlated with the request.
+    /// `cancel` is the run's cooperative cancellation token — the backend
+    /// must poll it at point boundaries and stop promptly once it fires,
+    /// reporting the stop as an error rather than a partial result.
     fn execute(
         &self,
         name: &str,
         progress: Arc<dyn Fn(usize, PointSource) + Send + Sync>,
         trace: Option<sparten_telemetry::TraceContext>,
+        cancel: CancelToken,
     ) -> Result<JobOutput, String>;
 }

@@ -32,14 +32,14 @@
 //! queued for a slot — completes normally. That is what "zero dropped
 //! accepted requests" means under shutdown.
 
-use crate::coalesce::{Event, Gate, Ticket};
+use crate::coalesce::{Event, Gate, SlotWait, Ticket};
 use crate::http::{parse_request, respond, ChunkedWriter, HttpError, Request};
 use crate::{Backend, JobInfo, PointSource};
 use sparten_bench::json::Json;
 use sparten_telemetry::{
-    chrome_trace, prometheus, text_report, ServerMetrics, Telemetry, TraceContext,
+    chrome_trace, prometheus, text_report, CancelToken, ServerMetrics, Telemetry, TraceContext,
 };
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -65,10 +65,22 @@ pub struct ServeOptions {
     pub max_active: usize,
     /// Additional admitted runs allowed to queue for a slot.
     pub max_queued: usize,
-    /// Per-socket read timeout (bounds a stalled client).
+    /// Total budget for reading one request (head + body). This bounds a
+    /// slow-loris client dripping bytes: each byte may arrive "in time",
+    /// but the whole request must land within this window or the
+    /// connection is answered 408 and reaped — before any admission
+    /// decision, so a drip-feed never consumes an execution slot.
     pub read_timeout: Duration,
     /// How long drain waits for in-flight sessions before giving up.
     pub drain_timeout: Duration,
+    /// Deadline budget applied when a request carries no `Deadline-Ms`
+    /// header. Queue wait, executor dispatch, and per-point compute all
+    /// draw down this budget.
+    pub default_deadline: Duration,
+    /// Server-side cap on client-requested deadlines: a `Deadline-Ms`
+    /// larger than this is clamped, so one client cannot park work in
+    /// the queue indefinitely.
+    pub max_deadline: Duration,
     /// Shared shutdown flag: 0 = run, ≥ 1 = drain. The harness passes the
     /// `signal.rs` flag; tests store into their own.
     pub shutdown: Arc<AtomicUsize>,
@@ -84,6 +96,8 @@ impl Default for ServeOptions {
             max_queued: 8,
             read_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(30),
+            default_deadline: Duration::from_secs(120),
+            max_deadline: Duration::from_secs(600),
             shutdown: Arc::new(AtomicUsize::new(0)),
             build: BuildInfo::default(),
         }
@@ -122,6 +136,10 @@ struct Shared {
     trace_pid: u32,
     /// Monotonic per-request thread-track allocator for the trace.
     request_seq: AtomicU64,
+    /// Budget applied when a request has no `Deadline-Ms` header.
+    default_deadline: Duration,
+    /// Cap on client-requested deadline budgets.
+    max_deadline: Duration,
 }
 
 impl Shared {
@@ -165,6 +183,8 @@ impl Server {
                 started: Instant::now(),
                 trace_pid,
                 request_seq: AtomicU64::new(0),
+                default_deadline: opts.default_deadline,
+                max_deadline: opts.max_deadline,
             }),
             opts,
         })
@@ -173,6 +193,16 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// A live-state handle that outlives [`Server::serve`]: the chaos
+    /// campaign holds one across a trial and asserts every counter
+    /// returns to zero after the drain (no leaked permits, no stuck
+    /// sessions).
+    pub fn probe(&self) -> ServerProbe {
+        ServerProbe {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Runs the accept loop until the shutdown flag is raised, then
@@ -218,6 +248,57 @@ impl Server {
     }
 }
 
+/// Read-state handle for post-drain invariant checks. Every accessor is
+/// a lock-free or briefly-locked read; see [`Server::probe`].
+pub struct ServerProbe {
+    shared: Arc<Shared>,
+}
+
+impl ServerProbe {
+    /// Runs currently holding an execution slot (0 after a clean drain).
+    pub fn gate_active(&self) -> usize {
+        self.shared.gate.active()
+    }
+
+    /// Admitted runs still holding budget — a nonzero value after a drain
+    /// is a leaked [`crate::coalesce::RunPermit`].
+    pub fn gate_admitted(&self) -> usize {
+        self.shared.gate.admitted()
+    }
+
+    /// Connections currently being served (0 after a clean drain).
+    pub fn open_sessions(&self) -> usize {
+        self.shared.open_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Sessions fully served so far.
+    pub fn sessions_served(&self) -> usize {
+        self.shared.served.load(Ordering::SeqCst)
+    }
+}
+
+/// A [`TcpStream`] reader whose *total* read time is bounded: the
+/// per-read socket timeout is re-armed to the time left before
+/// `deadline`, so a slow-loris client dripping one byte per interval
+/// still runs out of budget after `read_timeout` overall.
+struct DeadlineReader {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::ErrorKind::TimedOut.into());
+        }
+        // set_read_timeout rejects a zero Duration; clamp up.
+        self.stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        self.stream.read(buf)
+    }
+}
+
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, read_timeout: Duration) {
     let _ = stream.set_read_timeout(Some(read_timeout));
     shared.metrics.sessions_inflight.observe(
@@ -227,6 +308,10 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, read_timeout: 
         let Ok(reader) = stream.try_clone() else {
             return;
         };
+        let reader = DeadlineReader {
+            stream: reader,
+            deadline: Instant::now() + read_timeout,
+        };
         parse_request(&mut BufReader::new(reader))
     };
     match request {
@@ -235,6 +320,19 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, read_timeout: 
             route(shared, &mut stream, &request);
         }
         Err(HttpError::UnexpectedEof) => {} // client gave up; nothing to answer
+        Err(HttpError::TimedOut) => {
+            // Slow-loris or stalled client: answer 408 (best-effort) and
+            // reap. The request never reached admission, so no slot or
+            // budget is held.
+            shared.metrics.bad_requests.inc();
+            let _ = respond(
+                &mut stream,
+                408,
+                "text/plain",
+                &[],
+                "request not received within the read budget\n",
+            );
+        }
         Err(e) => {
             shared.metrics.bad_requests.inc();
             let _ = respond(
@@ -422,12 +520,58 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
         return;
     };
 
-    let ctx = TraceContext::root();
+    // A client retry loop announces re-submissions; count them so a
+    // scrape distinguishes organic load from retry amplification.
+    if request.header("retry-attempt").is_some() {
+        shared.metrics.retried_requests.inc();
+    }
+
+    // The request's deadline budget: `Deadline-Ms` (clamped to the
+    // server cap) or the server default. Everything downstream — queue
+    // wait, executor dispatch, per-point compute — draws down this one
+    // budget, counted from request receipt.
+    let received = Instant::now();
+    let budget = match request.header("deadline-ms") {
+        None => shared.default_deadline,
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms).min(shared.max_deadline),
+            Err(_) => {
+                shared.metrics.bad_requests.inc();
+                let _ = respond(
+                    stream,
+                    400,
+                    "text/plain",
+                    &[],
+                    &format!("bad Deadline-Ms header `{raw}`: want milliseconds as an integer\n"),
+                );
+                return;
+            }
+        },
+    };
+    let deadline = received + budget;
+
+    let ctx = TraceContext::root().with_deadline(deadline);
     let tid = shared.request_seq.fetch_add(1, Ordering::Relaxed) as u32;
     let recorder = &shared.telemetry.recorder;
     let req_start_us = shared.now_us();
     let mut request_args = ctx.args();
     request_args.push(("key", job.key));
+
+    // An already-spent budget never reaches the cache, the gate, or the
+    // executor: answer 504 with the elapsed breakdown immediately.
+    if Instant::now() >= deadline {
+        shared.metrics.deadline_expired.inc();
+        recorder.instant(
+            shared.trace_pid,
+            tid,
+            "deadline.expired",
+            shared.now_us(),
+            &ctx.args(),
+        );
+        respond_deadline_exceeded(stream, "admission", budget, received, 0);
+        record_request_span(shared, tid, req_start_us, &request_args);
+        return;
+    }
 
     // Fast path: the whole job is in the result cache — answer at memory
     // speed without consuming admission budget or touching the executor.
@@ -450,7 +594,8 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
         return;
     }
 
-    match shared.gate.enter(job.key, Some((ctx.trace_id, ctx.span_id))) {
+    let cancel = CancelToken::new().with_deadline(deadline);
+    match shared.gate.enter(job.key, Some((ctx.trace_id, ctx.span_id)), cancel) {
         Ticket::Saturated => {
             shared.metrics.rejected_saturated.inc();
             recorder.instant(
@@ -484,22 +629,48 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
         }
         Ticket::Runner(permit, rx) => {
             recorder.instant(shared.trace_pid, tid, "gate.runner", shared.now_us(), &ctx.args());
+            let wait_ctx = ctx.child("queue.wait", 0);
+            // Queue for an execution slot *before* the response starts,
+            // and never past the deadline: queue time draws down the
+            // request budget, and an over-budget wait is still free to
+            // become a clean 503 because no bytes have been written.
+            let waited_us = match permit.wait_for_slot(Some(deadline)) {
+                SlotWait::Granted { waited_us } => waited_us,
+                SlotWait::DeadlineExpired { waited_us } => {
+                    shared.metrics.queue_timeouts.inc();
+                    recorder.instant(
+                        shared.trace_pid,
+                        tid,
+                        "queue.timeout",
+                        shared.now_us(),
+                        &wait_ctx.args(),
+                    );
+                    // Fail the run so followers are notified and the
+                    // admission budget is released; no slot was claimed.
+                    permit.finish(Err(format!(
+                        "queue-wait-exceeded: waited {}ms of a {}ms deadline budget",
+                        waited_us / 1000,
+                        budget.as_millis()
+                    )));
+                    respond_deadline_exceeded(stream, "queue", budget, received, waited_us);
+                    record_request_span(shared, tid, req_start_us, &request_args);
+                    return;
+                }
+            };
+            shared.metrics.queue_wait_us.record(waited_us);
+            let slot_at_us = shared.now_us();
+            recorder.span(
+                shared.trace_pid,
+                tid,
+                "queue.wait",
+                slot_at_us.saturating_sub(waited_us),
+                waited_us,
+                &wait_ctx.args(),
+            );
             let runner_shared = Arc::clone(shared);
             let runner_job = job.clone();
             let exec_ctx = ctx.child("execute", 0);
-            let wait_ctx = ctx.child("queue.wait", 0);
             thread::spawn(move || {
-                let waited_us = permit.wait_for_slot();
-                runner_shared.metrics.queue_wait_us.record(waited_us);
-                let slot_at_us = runner_shared.now_us();
-                runner_shared.telemetry.recorder.span(
-                    runner_shared.trace_pid,
-                    tid,
-                    "queue.wait",
-                    slot_at_us.saturating_sub(waited_us),
-                    waited_us,
-                    &wait_ctx.args(),
-                );
                 // Double-check the cache under the run permit: the
                 // handler's check can race a just-finishing twin run —
                 // miss, twin completes and leaves the gate, then this
@@ -523,13 +694,19 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
                             Arc::new(move |point, source| {
                                 gate.point_done(key, point, total, source)
                             });
+                        let cancel = permit.cancel_token();
                         let result = runner_shared.backend.execute(
                             &runner_job.name,
                             progress,
                             Some(exec_ctx),
+                            cancel.clone(),
                         );
                         if result.is_err() {
-                            runner_shared.metrics.exec_failures.inc();
+                            if cancel.is_cancelled() {
+                                runner_shared.metrics.exec_cancelled.inc();
+                            } else {
+                                runner_shared.metrics.exec_failures.inc();
+                            }
                         }
                         result
                     }
@@ -540,6 +717,46 @@ fn handle_run(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
             record_request_span(shared, tid, req_start_us, &request_args);
         }
     }
+}
+
+/// Answers a spent deadline budget: `504` at admission (the request never
+/// reached the gate), `503` for a queue wait that outlived the budget —
+/// the latter with `Retry-After`, since a freed-up queue may well admit a
+/// retry. The body carries the elapsed breakdown so the client can see
+/// where the budget went.
+fn respond_deadline_exceeded(
+    stream: &mut TcpStream,
+    stage: &str,
+    budget: Duration,
+    received: Instant,
+    queue_wait_us: u64,
+) {
+    let (status, error) = match stage {
+        "queue" => (503, "queue-wait-exceeded"),
+        _ => (504, "deadline-exceeded"),
+    };
+    let body = Json::obj([
+        ("error", Json::str(error)),
+        ("stage", Json::str(stage)),
+        ("budget_ms", Json::UInt(budget.as_millis() as u64)),
+        (
+            "elapsed_ms",
+            Json::UInt(received.elapsed().as_millis() as u64),
+        ),
+        ("queue_wait_ms", Json::UInt(queue_wait_us / 1000)),
+    ]);
+    let headers: &[(&str, &str)] = if status == 503 {
+        &[("Retry-After", "1")]
+    } else {
+        &[]
+    };
+    let _ = respond(
+        stream,
+        status,
+        "application/json",
+        headers,
+        &(body.compact() + "\n"),
+    );
 }
 
 /// Closes out one request's trace span (start → response fully

@@ -198,6 +198,9 @@ fn simulate_scnn_inner(
     let mut pe_cycles = vec![0u64; scnn.num_pes];
     for g in 0..groups {
         for c in 0..d {
+            // One (group, channel) barrier is SCNN's chunk batch; honor a
+            // cooperative cancellation here like the SparTen inner loop.
+            sparten_telemetry::cancel::checkpoint();
             let f_nnz = group_channel_nnz[g * d + c] as u64;
             pe_cycles.iter_mut().for_each(|v| *v = 0);
             if f_nnz > 0 {

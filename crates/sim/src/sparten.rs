@@ -169,6 +169,10 @@ fn simulate_sparten_inner(
         let mut tally = StallTally::default();
         let mut sampled_spans = 0usize;
         for p in lo..hi {
+            // One position is one chunk batch; a serve request whose
+            // deadline expired (or whose last subscriber hung up) stops
+            // here instead of finishing the layer.
+            sparten_telemetry::cancel::checkpoint();
             let pos_start = cycles;
             let (ox, oy) = (p % oh, p / oh);
             for group in &balance.groups {

@@ -1,0 +1,197 @@
+//! Cooperative cancellation: a shared flag plus an optional deadline,
+//! checked at natural work boundaries instead of preempting threads.
+//!
+//! A [`CancelToken`] is the unit of cancellation the serve gate, the
+//! executor, and the simulator hot loops all agree on. The flag is an
+//! `Arc<AtomicBool>` so every clone observes a `cancel()` from any owner
+//! (deadline watchdog, last-subscriber-gone detection in the gate, a
+//! draining server); the deadline is a plain `Instant` carried by value so
+//! [`CancelToken::is_cancelled`] needs no clock read until a deadline is
+//! actually attached.
+//!
+//! Two check sites cooperate:
+//!
+//! * **point boundaries** — the executor polls the token directly before
+//!   dispatching or computing each point;
+//! * **chunk-batch boundaries** — the simulator hot loop is many layers
+//!   below the executor and takes no token parameter. Instead the worker
+//!   thread installs its token as the *current* token
+//!   ([`set_current`]) for the duration of one point, and the hot loop
+//!   calls [`checkpoint`] every chunk batch. When the current token has
+//!   fired, `checkpoint` unwinds with the [`Cancelled`] marker payload;
+//!   the executor's existing panic fence catches it and classifies the
+//!   attempt as `cancelled` (never a retryable `panic`).
+//!
+//! With no current token installed, [`checkpoint`] is a thread-local read
+//! and an `Option` test — cheap enough for the hot loop and invisible to
+//! the kernel benchmarks.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle: shared fired-flag plus an optional
+/// deadline. Clones share the flag; the deadline is copied by value.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// This token with `deadline` attached: [`is_cancelled`] also fires
+    /// once the deadline passes, without anyone calling [`cancel`].
+    ///
+    /// [`is_cancelled`]: CancelToken::is_cancelled
+    /// [`cancel`]: CancelToken::cancel
+    pub fn with_deadline(mut self, deadline: Instant) -> CancelToken {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Fires the token: every clone sharing this flag observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`cancel`] has been called on any clone *or* the attached
+    /// deadline has passed. Reads the clock only when a deadline exists.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// True only if [`cancel`] was called explicitly (deadline ignored) —
+    /// lets callers distinguish "cancelled" from "deadline expired".
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn fired_explicitly(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is attached;
+    /// `Some(ZERO)` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+thread_local! {
+    /// The token the current thread's in-flight point runs under.
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Unwind payload produced by [`checkpoint`]: a marker type the executor
+/// downcasts to tell a cooperative cancellation apart from a real panic.
+#[derive(Debug)]
+pub struct Cancelled;
+
+/// Clears the thread's current token when the installing scope ends, even
+/// if the point unwinds.
+pub struct CancelScope {
+    previous: Option<CancelToken>,
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Installs `token` as the current thread's token for the returned scope's
+/// lifetime; [`checkpoint`] observes it from any depth of the call stack.
+#[must_use = "the token is uninstalled when the scope drops"]
+pub fn set_current(token: CancelToken) -> CancelScope {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(token));
+    CancelScope { previous }
+}
+
+/// True when the current thread's installed token (if any) has fired.
+pub fn current_cancelled() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled))
+}
+
+/// The hot-loop check: if the current thread's token has fired, unwinds
+/// with the [`Cancelled`] marker. A no-op (one thread-local read) when no
+/// token is installed.
+pub fn checkpoint() {
+    if current_cancelled() {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(a.fired_explicitly());
+    }
+
+    #[test]
+    fn deadlines_fire_without_cancel() {
+        let t = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(!t.fired_explicitly());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let far = CancelToken::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn checkpoint_unwinds_only_under_a_fired_current_token() {
+        // No token installed: a plain no-op.
+        checkpoint();
+        let token = CancelToken::new();
+        {
+            let _scope = set_current(token.clone());
+            checkpoint(); // unfired: still a no-op
+            token.cancel();
+            let unwound = std::panic::catch_unwind(checkpoint)
+                .expect_err("fired token must unwind");
+            assert!(unwound.downcast_ref::<Cancelled>().is_some());
+        }
+        // Scope dropped: the fired token is no longer observed.
+        assert!(!current_cancelled());
+        checkpoint();
+    }
+
+    #[test]
+    fn scopes_restore_the_previous_token() {
+        let outer = CancelToken::new();
+        let _a = set_current(outer.clone());
+        {
+            let inner = CancelToken::new();
+            let _b = set_current(inner);
+            assert!(!current_cancelled());
+        }
+        outer.cancel();
+        assert!(current_cancelled());
+    }
+}

@@ -48,6 +48,7 @@
 //! The crate is intentionally dependency-free and `std`-only, matching the
 //! workspace's offline build constraint.
 
+pub mod cancel;
 pub mod chrome;
 pub mod invariant;
 pub mod metrics;
@@ -59,6 +60,7 @@ pub mod session;
 pub mod stall;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use chrome::chrome_trace;
 pub use invariant::{check_breakdown, BreakdownExpectation, ReconcileError};
 pub use metrics::{bucket_quantile, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};

@@ -18,6 +18,10 @@
 //! | `serve/cache.full_hits`       | counter   | jobs served whole from the cache     |
 //! | `serve/rejected.saturated`    | counter   | submissions answered 429             |
 //! | `serve/rejected.unknown_job`  | counter   | submissions answered 404             |
+//! | `serve/deadline.expired`      | counter   | requests answered 504 (budget spent) |
+//! | `serve/queue.timeout`         | counter   | queue waits answered 503             |
+//! | `serve/exec.cancelled`        | counter   | runs cancelled cooperatively         |
+//! | `serve/retried.requests`      | counter   | requests marked as client retries    |
 //! | `serve/queue.wait_us`         | histogram | admission-queue wait per run         |
 //! | `serve/latency.cache_hit_us`  | histogram | time to first byte on the hit path   |
 //! | `serve/sessions.inflight`     | gauge     | concurrently open sessions           |
@@ -47,6 +51,17 @@ pub struct ServerMetrics {
     pub rejected_saturated: Arc<Counter>,
     /// Submissions for names not in the registry (404).
     pub rejected_unknown_job: Arc<Counter>,
+    /// Requests whose deadline budget was already (or became) spent,
+    /// answered 504 without reaching the executor.
+    pub deadline_expired: Arc<Counter>,
+    /// Admitted runs whose queue wait outlived the deadline (503).
+    pub queue_timeouts: Arc<Counter>,
+    /// Executor runs stopped cooperatively (deadline expiry mid-run or
+    /// every subscriber gone).
+    pub exec_cancelled: Arc<Counter>,
+    /// Requests carrying a `Retry-Attempt` header — the client-side retry
+    /// loop announcing a re-submission.
+    pub retried_requests: Arc<Counter>,
     /// Microseconds an admitted run waited for an execution slot.
     pub queue_wait_us: Arc<Histogram>,
     /// Microseconds to serve a whole-job cache hit.
@@ -67,6 +82,10 @@ impl ServerMetrics {
             cache_full_hits: registry.counter("serve/cache.full_hits"),
             rejected_saturated: registry.counter("serve/rejected.saturated"),
             rejected_unknown_job: registry.counter("serve/rejected.unknown_job"),
+            deadline_expired: registry.counter("serve/deadline.expired"),
+            queue_timeouts: registry.counter("serve/queue.timeout"),
+            exec_cancelled: registry.counter("serve/exec.cancelled"),
+            retried_requests: registry.counter("serve/retried.requests"),
             queue_wait_us: registry.histogram("serve/queue.wait_us"),
             cache_hit_latency_us: registry.histogram("serve/latency.cache_hit_us"),
             sessions_inflight: registry.gauge("serve/sessions.inflight"),

@@ -12,12 +12,12 @@
 //! same run produce the same span tree shape (only the root differs).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// The causal identity carried by one unit of work.
 ///
 /// `Copy` on purpose: contexts are threaded through closures, worker
-/// threads, and channel payloads, and a 24-byte copy is cheaper than any
+/// threads, and channel payloads, and a small copy is cheaper than any
 /// sharing discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceContext {
@@ -27,6 +27,11 @@ pub struct TraceContext {
     pub span_id: u64,
     /// The span this one descends from (`None` for roots).
     pub parent_span: Option<u64>,
+    /// The absolute instant this unit of work must finish by (`None` for
+    /// unbounded work). Set once at the request edge and inherited by
+    /// every child span, so queue time, executor dispatch, and per-point
+    /// compute all draw down the same budget.
+    pub deadline: Option<Instant>,
 }
 
 /// Monotonic disambiguator so two roots minted in the same nanosecond
@@ -59,6 +64,7 @@ impl TraceContext {
             trace_id,
             span_id: mix(trace_id),
             parent_span: None,
+            deadline: None,
         }
     }
 
@@ -69,7 +75,28 @@ impl TraceContext {
             trace_id,
             span_id,
             parent_span: None,
+            deadline: None,
         }
+    }
+
+    /// This context with a completion deadline attached. Children derived
+    /// via [`TraceContext::child`] inherit it.
+    pub fn with_deadline(mut self, deadline: Instant) -> TraceContext {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// True once the attached deadline has passed (always false without
+    /// one).
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Budget left before the deadline: `None` when unbounded,
+    /// `Some(ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// Derives a child span deterministically from this span and a label
@@ -84,6 +111,7 @@ impl TraceContext {
             trace_id: self.trace_id,
             span_id: mix(h ^ index),
             parent_span: Some(self.span_id),
+            deadline: self.deadline,
         }
     }
 
@@ -147,6 +175,26 @@ mod tests {
         assert_eq!(root.args(), vec![("trace_id", 7), ("span_id", 9)]);
         let child = root.child("x", 0);
         assert!(child.args().contains(&("parent_span", 9)));
+    }
+
+    #[test]
+    fn deadlines_attach_and_inherit() {
+        let root = TraceContext::root();
+        assert!(root.deadline.is_none());
+        assert!(!root.deadline_expired());
+        assert_eq!(root.remaining(), None);
+
+        let soon = Instant::now() + Duration::from_secs(3600);
+        let bounded = root.with_deadline(soon);
+        assert_eq!(bounded.deadline, Some(soon));
+        assert!(!bounded.deadline_expired());
+        assert!(bounded.remaining().unwrap() > Duration::from_secs(3500));
+        // Children draw down the same budget.
+        assert_eq!(bounded.child("point", 0).deadline, Some(soon));
+
+        let expired = root.with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(expired.deadline_expired());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

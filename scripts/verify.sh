@@ -161,4 +161,12 @@ echo "== fault-campaign smoke (seeded, zero silently-wrong) =="
 cargo run -q --release -p sparten-harness -- faults --seed 1 --quick \
   | tee /dev/stderr | grep -q "0 silently-wrong, 0 crashed"
 
+echo "== chaos-campaign smoke (hostile sockets, zero invariant violations) =="
+# One seeded trial per adversary class (torn body, slow-loris,
+# mid-stream disconnect, deadline storm, queue flood) against a real
+# server; exits non-zero on any leaked permit, unsealed journal, stuck
+# session, or hung thread.
+cargo run -q --release -p sparten-harness -- chaos --seed 1 --quick \
+  | tee /dev/stderr | grep -q "0 violated, 0 crashed"
+
 echo "verify: OK"
