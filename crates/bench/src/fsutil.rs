@@ -9,8 +9,8 @@
 //! Orphaned temp files are swept by `sparten-harness clean` and flagged by
 //! `sparten-harness fsck`.
 
-use std::fs;
-use std::io::{self, Write as _};
+use crate::vfs::{atomic_write_with, RealFs};
+use std::io;
 use std::path::Path;
 
 /// Atomically replaces the file at `path` with `contents`, creating parent
@@ -20,40 +20,18 @@ use std::path::Path;
 /// filesystem, so the rename is atomic), the temp file is flushed and
 /// fsync'd before the rename, and the parent directory is fsync'd after it
 /// so the new directory entry survives a power cut.
+///
+/// This is [`atomic_write_with`] over the passthrough [`RealFs`]; code
+/// that threads an injectable filesystem (the harness's durable-state
+/// paths) calls the `_with` form directly.
 pub fn atomic_write(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
-    let path = path.as_ref();
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => {
-            fs::create_dir_all(p)?;
-            Some(p)
-        }
-        _ => None,
-    };
-    let mut file_name = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
-        .to_os_string();
-    file_name.push(".tmp");
-    let tmp = path.with_file_name(file_name);
-    {
-        let mut file = fs::File::create(&tmp)?;
-        file.write_all(contents.as_bytes())?;
-        file.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    if let Some(parent) = parent {
-        // Directory fsync is advisory on some filesystems; a failure there
-        // does not un-write the data.
-        if let Ok(dir) = fs::File::open(parent) {
-            let _ = dir.sync_all();
-        }
-    }
-    Ok(())
+    atomic_write_with(&RealFs, path, contents)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn scratch(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!(

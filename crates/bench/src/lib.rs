@@ -17,12 +17,17 @@ pub mod registry;
 pub mod sink;
 pub mod tables;
 pub mod timing;
+pub mod vfs;
 
 pub use experiments::{
     dump_json, geomean_excluding, network_config, print_breakdown_figure, print_speedup_figure,
     run_layer, run_layer_telemetry, run_network, LayerResult, SEED,
 };
 pub use fsutil::atomic_write;
+pub use vfs::{
+    atomic_write_with, materialize_prefix, Append, FaultConfig, FaultFs, FsOp, RealFs, Vfs,
+    VfsDirEntry, VfsFile,
+};
 pub use perf::{
     check_schema, non_timing_fingerprint, run_benchmarks, BenchOptions, BenchReport, ExtraBench,
     BENCH_SCHEMA, DEFAULT_OUT_PATH, DEFAULT_THRESHOLD,

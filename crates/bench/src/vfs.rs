@@ -1,0 +1,894 @@
+//! Virtual filesystem seam for every durable-state operation.
+//!
+//! The harness's durability story (atomic artifact writes, the run
+//! journal, the result cache, the events sink, fsck) silently assumed
+//! the filesystem cooperates: `fsync` succeeds, writes never tear, the
+//! disk never fills, `rename` never fails, bytes read back as written.
+//! Real disks break every one of those promises, so — in the style of
+//! SQLite's test VFS and FoundationDB's simulator — everything that
+//! touches durable state now goes through the [`Vfs`] trait:
+//!
+//! * [`RealFs`] is the zero-cost passthrough to `std::fs` used in
+//!   production (the default everywhere; no behavior change);
+//! * [`FaultFs`] wraps a real directory tree, injects seeded faults
+//!   (ENOSPC after a byte budget, short writes, fsync failures, rename
+//!   failures, read-side bit rot) per a [`FaultConfig`], and records
+//!   every mutating operation in an op log ([`FsOp`]);
+//! * [`materialize_prefix`] is the power-cut simulator: it replays an
+//!   arbitrary prefix of the op log into a fresh tree, keeping bytes
+//!   that were fsync'd and seeded-tearing bytes that were not, so the
+//!   recovery path (`fsck --repair` + `run --resume`) can be checked
+//!   against every possible crash instant.
+//!
+//! The crash model is `data=ordered`-like: metadata operations (create,
+//! rename, remove) in the applied prefix are durable as ordered, while
+//! file *data* past the last successful fsync may survive in full, be
+//! truncated back to the synced length, tear at an arbitrary byte, or —
+//! for never-synced files — vanish entirely.
+
+use sparten::faults::FaultRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+/// An open file handle obtained from a [`Vfs`].
+///
+/// Only the operations the durable-state paths actually use: buffered
+/// appends are the callers' business; this is the raw write/sync/trim
+/// surface where faults can be injected.
+pub trait VfsFile: Send {
+    /// Writes the whole buffer (the journal's append granularity).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flushes data and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncates the file to `len` bytes (used to roll back a torn
+    /// append so the file never carries interior garbage).
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// How [`Vfs::open_append`] treats a missing or pre-existing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Append {
+    /// Open an existing file; error if it does not exist.
+    Existing,
+    /// Open the file, creating it if missing.
+    OrCreate,
+    /// Create the file; error if it already exists.
+    New,
+}
+
+/// One directory entry returned by [`Vfs::read_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VfsDirEntry {
+    /// Full path of the entry.
+    pub path: PathBuf,
+    /// Whether the entry is a regular file.
+    pub is_file: bool,
+}
+
+/// Every durable-state filesystem operation, behind one seam.
+///
+/// `Send + Sync` so an `Arc<dyn Vfs>` can be shared across the executor's
+/// worker threads; `Debug` so option structs holding one keep deriving
+/// `Debug`.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates `path` and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Opens `path` for writing, truncating or creating it.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens `path` for appending per `mode`.
+    fn open_append(&self, path: &Path, mode: Append) -> io::Result<Box<dyn VfsFile>>;
+    /// Reads the whole file as bytes.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Reads the whole file as UTF-8 text.
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        String::from_utf8(self.read(path)?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file is not valid UTF-8"))
+    }
+    /// Renames `from` to `to` (the commit step of every atomic write).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Lists `path`'s entries, sorted by path for determinism.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<VfsDirEntry>>;
+    /// The entry's last-modification time.
+    fn modified(&self, path: &Path) -> io::Result<SystemTime>;
+    /// Fsyncs the *directory* at `path` so a new or renamed entry
+    /// survives a power cut. Advisory on some filesystems; callers
+    /// ignore the result.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// RealFs: the production passthrough.
+// ---------------------------------------------------------------------------
+
+/// The passthrough [`Vfs`]: every operation maps 1:1 onto `std::fs`, so
+/// the hot path pays nothing beyond a vtable dispatch per durable-state
+/// operation (which is itself a syscall).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl VfsFile for fs::File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        fs::File::sync_data(self)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        fs::File::sync_all(self)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.set_len(len)
+    }
+}
+
+impl Vfs for RealFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(fs::File::create(path)?))
+    }
+
+    fn open_append(&self, path: &Path, mode: Append) -> io::Result<Box<dyn VfsFile>> {
+        let mut opts = fs::OpenOptions::new();
+        opts.append(true);
+        match mode {
+            Append::Existing => {}
+            Append::OrCreate => {
+                opts.create(true);
+            }
+            Append::New => {
+                opts.create_new(true);
+            }
+        }
+        Ok(Box::new(opts.open(path)?))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<VfsDirEntry>> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(path)? {
+            let entry = entry?;
+            let is_file = entry.file_type()?.is_file();
+            entries.push(VfsDirEntry {
+                path: entry.path(),
+                is_file,
+            });
+        }
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(entries)
+    }
+
+    fn modified(&self, path: &Path) -> io::Result<SystemTime> {
+        fs::metadata(path)?.modified()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+}
+
+/// Atomically replaces the file at `path` with `contents` through `vfs`.
+///
+/// Same contract as [`crate::atomic_write`] (which is this function over
+/// [`RealFs`]): write to a `*.tmp` sibling, fsync, rename into place,
+/// advisory-fsync the parent directory. On failure the target is
+/// untouched; at worst an orphaned `*.tmp` remains for `clean`/`fsck`.
+pub fn atomic_write_with(vfs: &dyn Vfs, path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            vfs.create_dir_all(p)?;
+            Some(p)
+        }
+        _ => None,
+    };
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    file_name.push(".tmp");
+    let tmp = path.with_file_name(file_name);
+    {
+        let mut file = vfs.create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    vfs.rename(&tmp, path)?;
+    if let Some(parent) = parent {
+        // Directory fsync is advisory on some filesystems; a failure there
+        // does not un-write the data.
+        let _ = vfs.sync_dir(parent);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs: seeded fault injection + op log.
+// ---------------------------------------------------------------------------
+
+/// Which faults a [`FaultFs`] injects, and how often.
+///
+/// Rates are per-mille (out of 1000) so integer seeded draws stay exact.
+/// The default config injects nothing — a `FaultFs` with default knobs
+/// is a logging passthrough.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// After this many content bytes have been written, every further
+    /// write fails with ENOSPC (a short prefix may land first, as on a
+    /// real full disk).
+    pub enospc_after_bytes: Option<u64>,
+    /// Per-mille chance that a write persists only a strict prefix and
+    /// reports an error.
+    pub short_write_per_mille: u32,
+    /// Per-mille chance that `sync_data`/`sync_all` fails; the bytes it
+    /// would have made durable stay at risk.
+    pub fsync_fail_per_mille: u32,
+    /// Per-mille chance that a rename fails (and performs nothing).
+    pub rename_fail_per_mille: u32,
+    /// Per-mille chance that a read returns the file with one bit
+    /// flipped (the file on disk is untouched).
+    pub read_bitrot_per_mille: u32,
+}
+
+/// One mutating filesystem operation, as recorded by [`FaultFs`].
+///
+/// The op log is the ground truth the power-cut simulator replays;
+/// reads are deliberately absent (they don't change durable state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOp {
+    /// `create_dir_all(path)`.
+    CreateDirAll {
+        /// Directory created (with parents).
+        path: PathBuf,
+    },
+    /// A file was opened for writing; `truncate` empties it.
+    Open {
+        /// File opened or created.
+        path: PathBuf,
+        /// Whether the open truncated existing contents.
+        truncate: bool,
+    },
+    /// Bytes appended to the file (possibly a torn prefix of a larger
+    /// intended write — the log records what reached the disk).
+    Write {
+        /// File written.
+        path: PathBuf,
+        /// Bytes that landed.
+        data: Vec<u8>,
+    },
+    /// A successful data fsync: everything written so far is durable.
+    SyncData {
+        /// File synced.
+        path: PathBuf,
+    },
+    /// The file was truncated to `len` bytes.
+    Truncate {
+        /// File truncated.
+        path: PathBuf,
+        /// New length.
+        len: u64,
+    },
+    /// `rename(from, to)` succeeded.
+    Rename {
+        /// Source path.
+        from: PathBuf,
+        /// Destination path.
+        to: PathBuf,
+    },
+    /// `remove_file(path)` succeeded.
+    Remove {
+        /// File removed.
+        path: PathBuf,
+    },
+    /// The directory was fsync'd.
+    SyncDir {
+        /// Directory synced.
+        path: PathBuf,
+    },
+}
+
+struct FaultState {
+    rng: FaultRng,
+    config: FaultConfig,
+    bytes_written: u64,
+    ops: Vec<FsOp>,
+    injected: u64,
+    enospc: u64,
+}
+
+impl FaultState {
+    fn hit(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.rng.gen_range(1000) < u64::from(per_mille)
+    }
+}
+
+/// A fault-injecting [`Vfs`] over a real directory tree.
+///
+/// Operations are performed against the real filesystem (so the system
+/// under test sees consistent state), faults are injected per the
+/// seeded [`FaultConfig`], and every mutating operation that reached
+/// the disk is recorded in the op log for [`materialize_prefix`].
+#[derive(Clone)]
+pub struct FaultFs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl fmt::Debug for FaultFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock().expect("fault state lock");
+        f.debug_struct("FaultFs")
+            .field("config", &state.config)
+            .field("ops", &state.ops.len())
+            .field("injected", &state.injected)
+            .finish()
+    }
+}
+
+impl FaultFs {
+    /// A fault-injecting VFS with a private RNG stream seeded by `seed`.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultFs {
+            state: Arc::new(Mutex::new(FaultState {
+                rng: FaultRng::seed_from_u64(seed),
+                config,
+                bytes_written: 0,
+                ops: Vec::new(),
+                injected: 0,
+                enospc: 0,
+            })),
+        }
+    }
+
+    /// A snapshot of the op log so far.
+    pub fn ops(&self) -> Vec<FsOp> {
+        self.state.lock().expect("fault state lock").ops.clone()
+    }
+
+    /// Total faults injected so far (all kinds).
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("fault state lock").injected
+    }
+
+    /// ENOSPC failures injected so far.
+    pub fn enospc_hits(&self) -> u64 {
+        self.state.lock().expect("fault state lock").enospc
+    }
+
+    fn log(&self, op: FsOp) {
+        self.state.lock().expect("fault state lock").ops.push(op);
+    }
+}
+
+fn enospc_error() -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, "simulated ENOSPC: disk full")
+}
+
+struct FaultFile {
+    path: PathBuf,
+    inner: fs::File,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state lock");
+        // Disk-full check first (not a random draw, so the RNG stream
+        // stays aligned across classes).
+        if let Some(budget) = state.config.enospc_after_bytes {
+            let remaining = budget.saturating_sub(state.bytes_written) as usize;
+            if remaining < buf.len() {
+                let prefix = &buf[..remaining];
+                io::Write::write_all(&mut self.inner, prefix)?;
+                state.bytes_written += prefix.len() as u64;
+                if !prefix.is_empty() {
+                    let op = FsOp::Write {
+                        path: self.path.clone(),
+                        data: prefix.to_vec(),
+                    };
+                    state.ops.push(op);
+                }
+                state.injected += 1;
+                state.enospc += 1;
+                return Err(enospc_error());
+            }
+        }
+        let short_pm = state.config.short_write_per_mille;
+        if buf.len() > 1 && short_pm > 0 && state.hit(short_pm) {
+            let cut = 1 + state.rng.gen_range(buf.len() as u64 - 1) as usize;
+            let prefix = &buf[..cut];
+            io::Write::write_all(&mut self.inner, prefix)?;
+            state.bytes_written += prefix.len() as u64;
+            state.ops.push(FsOp::Write {
+                path: self.path.clone(),
+                data: prefix.to_vec(),
+            });
+            state.injected += 1;
+            return Err(io::Error::other("simulated torn write"));
+        }
+        io::Write::write_all(&mut self.inner, buf)?;
+        state.bytes_written += buf.len() as u64;
+        state.ops.push(FsOp::Write {
+            path: self.path.clone(),
+            data: buf.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state lock");
+        let pm = state.config.fsync_fail_per_mille;
+        if state.hit(pm) {
+            state.injected += 1;
+            return Err(io::Error::other("simulated fsync failure"));
+        }
+        self.inner.sync_data()?;
+        state.ops.push(FsOp::SyncData {
+            path: self.path.clone(),
+        });
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault state lock");
+        let pm = state.config.fsync_fail_per_mille;
+        if state.hit(pm) {
+            state.injected += 1;
+            return Err(io::Error::other("simulated fsync failure"));
+        }
+        self.inner.sync_all()?;
+        state.ops.push(FsOp::SyncData {
+            path: self.path.clone(),
+        });
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)?;
+        self.state
+            .lock()
+            .expect("fault state lock")
+            .ops
+            .push(FsOp::Truncate {
+                path: self.path.clone(),
+                len,
+            });
+        Ok(())
+    }
+}
+
+impl Vfs for FaultFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)?;
+        self.log(FsOp::CreateDirAll {
+            path: path.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let inner = fs::File::create(path)?;
+        self.log(FsOp::Open {
+            path: path.to_path_buf(),
+            truncate: true,
+        });
+        Ok(Box::new(FaultFile {
+            path: path.to_path_buf(),
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn open_append(&self, path: &Path, mode: Append) -> io::Result<Box<dyn VfsFile>> {
+        let mut opts = fs::OpenOptions::new();
+        opts.append(true);
+        match mode {
+            Append::Existing => {}
+            Append::OrCreate => {
+                opts.create(true);
+            }
+            Append::New => {
+                opts.create_new(true);
+            }
+        }
+        let inner = opts.open(path)?;
+        self.log(FsOp::Open {
+            path: path.to_path_buf(),
+            truncate: false,
+        });
+        Ok(Box::new(FaultFile {
+            path: path.to_path_buf(),
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut data = fs::read(path)?;
+        let mut state = self.state.lock().expect("fault state lock");
+        let pm = state.config.read_bitrot_per_mille;
+        if !data.is_empty() && state.hit(pm) {
+            let byte = state.rng.gen_range(data.len() as u64) as usize;
+            let bit = state.rng.gen_range(8) as u8;
+            data[byte] ^= 1 << bit;
+            state.injected += 1;
+        }
+        Ok(data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        {
+            let mut state = self.state.lock().expect("fault state lock");
+            let pm = state.config.rename_fail_per_mille;
+            if state.hit(pm) {
+                state.injected += 1;
+                return Err(io::Error::other("simulated rename failure"));
+            }
+        }
+        fs::rename(from, to)?;
+        self.log(FsOp::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)?;
+        self.log(FsOp::Remove {
+            path: path.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<VfsDirEntry>> {
+        RealFs.read_dir(path)
+    }
+
+    fn modified(&self, path: &Path) -> io::Result<SystemTime> {
+        RealFs.modified(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        RealFs.sync_dir(path)?;
+        self.log(FsOp::SyncDir {
+            path: path.to_path_buf(),
+        });
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Power-cut simulation: replay an op-log prefix into a fresh tree.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ModelFile {
+    content: Vec<u8>,
+    synced_len: usize,
+}
+
+/// Materializes the durable state after a power cut at op `cut`.
+///
+/// Replays `ops[..cut]` through an in-memory filesystem model and writes
+/// the surviving tree under `to_root`, rebasing every path from
+/// `from_root`. Bytes up to each file's last successful fsync always
+/// survive; for the unsynced tail the seeded `rng` picks a fate per file
+/// (in sorted path order): survive in full, truncate to the synced
+/// length, tear at an arbitrary intermediate byte, or — if nothing was
+/// ever synced — vanish entirely. Metadata operations (create, rename,
+/// remove) in the prefix are applied as ordered, matching an
+/// `ext4 data=ordered`-style journal.
+pub fn materialize_prefix(
+    ops: &[FsOp],
+    cut: usize,
+    rng: &mut FaultRng,
+    from_root: &Path,
+    to_root: &Path,
+) -> io::Result<()> {
+    let mut files: BTreeMap<PathBuf, ModelFile> = BTreeMap::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for op in &ops[..cut.min(ops.len())] {
+        match op {
+            FsOp::CreateDirAll { path } => dirs.push(path.clone()),
+            FsOp::Open { path, truncate } => {
+                let entry = files.entry(path.clone()).or_default();
+                if *truncate {
+                    entry.content.clear();
+                    entry.synced_len = 0;
+                }
+            }
+            FsOp::Write { path, data } => {
+                files
+                    .entry(path.clone())
+                    .or_default()
+                    .content
+                    .extend_from_slice(data);
+            }
+            FsOp::SyncData { path } => {
+                if let Some(f) = files.get_mut(path) {
+                    f.synced_len = f.content.len();
+                }
+            }
+            FsOp::Truncate { path, len } => {
+                if let Some(f) = files.get_mut(path) {
+                    f.content.truncate(*len as usize);
+                    f.synced_len = f.synced_len.min(f.content.len());
+                }
+            }
+            FsOp::Rename { from, to } => {
+                if let Some(f) = files.remove(from) {
+                    files.insert(to.clone(), f);
+                }
+            }
+            FsOp::Remove { path } => {
+                files.remove(path);
+            }
+            FsOp::SyncDir { .. } => {}
+        }
+    }
+
+    let rebase = |path: &Path| -> io::Result<PathBuf> {
+        let rel = path.strip_prefix(from_root).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("op path escapes the faulted root: {}", path.display()),
+            )
+        })?;
+        Ok(to_root.join(rel))
+    };
+
+    for dir in &dirs {
+        fs::create_dir_all(rebase(dir)?)?;
+    }
+    // BTreeMap iteration order is sorted by path, so the per-file fate
+    // draws consume the RNG stream deterministically.
+    for (path, file) in &files {
+        let mut content = file.content.clone();
+        if file.synced_len < content.len() {
+            let unsynced = (content.len() - file.synced_len) as u64;
+            match rng.gen_range(3) {
+                0 => {} // the tail made it to the platter anyway
+                1 => {
+                    if file.synced_len == 0 {
+                        // Never synced, directory entry never forced:
+                        // the file vanishes entirely.
+                        continue;
+                    }
+                    content.truncate(file.synced_len);
+                }
+                _ => {
+                    let keep = file.synced_len + rng.gen_range(unsynced) as usize;
+                    content.truncate(keep);
+                }
+            }
+        }
+        let dest = rebase(path)?;
+        if let Some(parent) = dest.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(&dest, &content)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sparten-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn realfs_roundtrips_and_lists_sorted() {
+        let dir = scratch("real");
+        let vfs = RealFs;
+        atomic_write_with(&vfs, dir.join("b.txt"), "bee").unwrap();
+        atomic_write_with(&vfs, dir.join("a.txt"), "ay").unwrap();
+        assert_eq!(vfs.read_to_string(&dir.join("a.txt")).unwrap(), "ay");
+        assert_eq!(vfs.read(&dir.join("b.txt")).unwrap(), b"bee");
+        let names: Vec<_> = vfs
+            .read_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.path.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a.txt", "b.txt"]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn faultfs_default_config_is_a_logging_passthrough() {
+        let dir = scratch("passthrough");
+        let vfs = FaultFs::new(7, FaultConfig::default());
+        atomic_write_with(&vfs, dir.join("out.json"), "[1,2]").unwrap();
+        assert_eq!(vfs.read(&dir.join("out.json")).unwrap(), b"[1,2]");
+        assert_eq!(vfs.injected(), 0);
+        // The log saw the tmp-write/fsync/rename commit protocol.
+        let ops = vfs.ops();
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, FsOp::Write { data, .. } if data == b"[1,2]")));
+        assert!(ops.iter().any(|op| matches!(op, FsOp::Rename { .. })));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn faultfs_enospc_fails_after_budget_with_prefix() {
+        let dir = scratch("enospc");
+        let vfs = FaultFs::new(7, FaultConfig {
+            enospc_after_bytes: Some(4),
+            ..FaultConfig::default()
+        });
+        let path = dir.join("x.bin");
+        let mut f = vfs.create(&path).unwrap();
+        let err = f.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(f);
+        // The short prefix landed on the real disk, as on a full disk.
+        assert_eq!(fs::read(&path).unwrap(), b"0123");
+        assert_eq!(vfs.enospc_hits(), 1);
+        assert_eq!(vfs.injected(), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn faultfs_rename_failure_leaves_source_in_place() {
+        let dir = scratch("rename");
+        let vfs = FaultFs::new(3, FaultConfig {
+            rename_fail_per_mille: 1000,
+            ..FaultConfig::default()
+        });
+        fs::write(dir.join("src"), b"x").unwrap();
+        assert!(vfs.rename(&dir.join("src"), &dir.join("dst")).is_err());
+        assert!(dir.join("src").exists());
+        assert!(!dir.join("dst").exists());
+        assert_eq!(vfs.injected(), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn faultfs_bitrot_flips_exactly_one_bit_in_memory_only() {
+        let dir = scratch("bitrot");
+        let vfs = FaultFs::new(11, FaultConfig {
+            read_bitrot_per_mille: 1000,
+            ..FaultConfig::default()
+        });
+        let path = dir.join("data");
+        fs::write(&path, b"abcdef").unwrap();
+        let rotted = vfs.read(&path).unwrap();
+        let clean = fs::read(&path).unwrap();
+        assert_eq!(clean, b"abcdef", "rot must not touch the disk");
+        let flipped: u32 = rotted
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit flips");
+        assert_eq!(vfs.injected(), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn power_cut_keeps_synced_bytes_and_respects_metadata_order() {
+        let from = PathBuf::from("/virt");
+        let ops = vec![
+            FsOp::CreateDirAll {
+                path: from.join("d"),
+            },
+            FsOp::Open {
+                path: from.join("d/a.tmp"),
+                truncate: true,
+            },
+            FsOp::Write {
+                path: from.join("d/a.tmp"),
+                data: b"hello".to_vec(),
+            },
+            FsOp::SyncData {
+                path: from.join("d/a.tmp"),
+            },
+            FsOp::Rename {
+                from: from.join("d/a.tmp"),
+                to: from.join("d/a"),
+            },
+            FsOp::Open {
+                path: from.join("d/b"),
+                truncate: true,
+            },
+            FsOp::Write {
+                path: from.join("d/b"),
+                data: b"unsynced".to_vec(),
+            },
+        ];
+        // Cut after everything: `a` is fully synced and renamed — it must
+        // survive verbatim no matter the seed; `b` was never synced, so
+        // any of its fates is legal.
+        for seed in 0..16 {
+            let to = scratch(&format!("cut-{seed}"));
+            let mut rng = FaultRng::seed_from_u64(seed);
+            materialize_prefix(&ops, ops.len(), &mut rng, &from, &to).unwrap();
+            assert_eq!(fs::read(to.join("d/a")).unwrap(), b"hello");
+            assert!(!to.join("d/a.tmp").exists());
+            if to.join("d/b").exists() {
+                let b = fs::read(to.join("d/b")).unwrap();
+                assert!(b"unsynced".starts_with(&b[..]), "b is a prefix");
+            }
+            let _ = fs::remove_dir_all(to);
+        }
+        // Cut before the rename: only the tmp side of `a` can exist.
+        let to = scratch("cut-pre-rename");
+        let mut rng = FaultRng::seed_from_u64(1);
+        materialize_prefix(&ops, 4, &mut rng, &from, &to).unwrap();
+        assert!(!to.join("d/a").exists());
+        assert_eq!(fs::read(to.join("d/a.tmp")).unwrap(), b"hello");
+        let _ = fs::remove_dir_all(to);
+    }
+
+    #[test]
+    fn power_cut_is_deterministic_per_seed() {
+        let from = PathBuf::from("/virt");
+        let ops = vec![
+            FsOp::Open {
+                path: from.join("f"),
+                truncate: true,
+            },
+            FsOp::Write {
+                path: from.join("f"),
+                data: b"0123".to_vec(),
+            },
+            FsOp::SyncData {
+                path: from.join("f"),
+            },
+            FsOp::Write {
+                path: from.join("f"),
+                data: b"456789".to_vec(),
+            },
+        ];
+        let mut first: Option<Vec<u8>> = None;
+        for round in 0..2 {
+            let to = scratch(&format!("det-{round}"));
+            let mut rng = FaultRng::seed_from_u64(99);
+            materialize_prefix(&ops, ops.len(), &mut rng, &from, &to).unwrap();
+            let got = fs::read(to.join("f")).unwrap();
+            assert!(got.len() >= 4, "synced prefix always survives");
+            assert!(b"0123456789".starts_with(&got[..]));
+            match &first {
+                None => first = Some(got),
+                Some(prev) => assert_eq!(prev, &got, "same seed, same fate"),
+            }
+            let _ = fs::remove_dir_all(to);
+        }
+    }
+}

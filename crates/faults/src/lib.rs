@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod disk;
 pub mod outcome;
 pub mod plan;
 pub mod rng;
 
 pub use chaos::{chaos_plan, ChaosClass, ChaosOutcome, ChaosReport, ChaosSpec, ClassChaos};
+pub use disk::{disk_plan, ClassDisk, DiskFaultClass, DiskOutcome, DiskReport, DiskSpec};
 pub use outcome::{ClassCoverage, CoverageReport, FaultOutcome};
 pub use plan::{campaign_plan, DropSpec, FaultClass, FaultSpec, UnitFault, UnitFaultSpec};
 pub use rng::FaultRng;

@@ -16,10 +16,11 @@
 //! never an error: the point is simply recomputed and the entry rewritten.
 
 use crate::PointPayload;
+use sparten_bench::vfs::{atomic_write_with, RealFs, Vfs};
 use sparten_bench::Capture;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Bump to invalidate every existing cache entry (e.g. when the PRNG, the
 /// record format, or simulator semantics change).
@@ -59,12 +60,21 @@ pub enum Lookup {
 #[derive(Debug, Clone)]
 pub struct Cache {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl Cache {
     /// Opens (without creating) a cache at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Cache { dir: dir.into() }
+        Cache::with_vfs(dir, Arc::new(RealFs))
+    }
+
+    /// [`new`](Cache::new) through an explicit [`Vfs`] (fault injection).
+    pub fn with_vfs(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Self {
+        Cache {
+            dir: dir.into(),
+            vfs,
+        }
     }
 
     /// The cache directory.
@@ -109,7 +119,7 @@ impl Cache {
     /// so a corrupted or stale cache is visible in the run summary instead
     /// of silently degrading hit rates.
     pub fn lookup(&self, name: &str, point: usize, key: u64) -> Lookup {
-        let bytes = match fs::read(self.entry_path(name, point, key)) {
+        let bytes = match self.vfs.read(&self.entry_path(name, point, key)) {
             Ok(b) => b,
             Err(_) => return Lookup::Miss,
         };
@@ -135,7 +145,7 @@ impl Cache {
         payload: &PointPayload,
     ) -> io::Result<()> {
         let path = self.entry_path(name, point, key);
-        sparten_bench::atomic_write(path, &serialize_entry(key, payload))
+        atomic_write_with(&*self.vfs, path, &serialize_entry(key, payload))
     }
 
     /// Removes orphaned `*.tmp` files left behind by interrupted
@@ -154,20 +164,21 @@ impl Cache {
     /// milliseconds old — sweeping it would fail the sibling's rename.
     pub fn sweep_tmp_older_than(&self, min_age: std::time::Duration) -> io::Result<usize> {
         let mut swept = 0;
-        let entries = match fs::read_dir(&self.dir) {
+        let entries = match self.vfs.read_dir(&self.dir) {
             Ok(e) => e,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
             Err(e) => return Err(e),
         };
         let now = std::time::SystemTime::now();
         for entry in entries {
-            let path = entry?.path();
+            let path = entry.path;
             if path.extension().and_then(|e| e.to_str()) != Some("tmp") {
                 continue;
             }
             if !min_age.is_zero() {
-                let age = fs::metadata(&path)
-                    .and_then(|m| m.modified())
+                let age = self
+                    .vfs
+                    .modified(&path)
                     .ok()
                     .and_then(|mtime| now.duration_since(mtime).ok());
                 // Unreadable metadata or a future mtime: leave the file
@@ -176,7 +187,7 @@ impl Cache {
                     continue;
                 }
             }
-            match fs::remove_file(&path) {
+            match self.vfs.remove_file(&path) {
                 Ok(()) => swept += 1,
                 // A sibling's rename can complete (or its own sweep win)
                 // between readdir and unlink; already-gone is swept.
@@ -191,23 +202,25 @@ impl Cache {
     /// deletion counts. Missing directory counts as already clean.
     pub fn clean(&self) -> io::Result<CleanCounts> {
         let mut counts = CleanCounts::default();
-        let entries = match fs::read_dir(&self.dir) {
+        let entries = match self.vfs.read_dir(&self.dir) {
             Ok(e) => e,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(counts),
             Err(e) => return Err(e),
         };
         for entry in entries {
-            let path = entry?.path();
-            match path.extension().and_then(|e| e.to_str()) {
-                Some("cache") => {
-                    fs::remove_file(&path)?;
-                    counts.entries += 1;
-                }
-                Some("tmp") => {
-                    fs::remove_file(&path)?;
-                    counts.tmp += 1;
-                }
-                _ => {}
+            let path = entry.path;
+            let bucket = match path.extension().and_then(|e| e.to_str()) {
+                Some("cache") => &mut counts.entries,
+                Some("tmp") => &mut counts.tmp,
+                _ => continue,
+            };
+            match self.vfs.remove_file(&path) {
+                Ok(()) => *bucket += 1,
+                // A concurrent clean (or a sweeping sibling) can win the
+                // race between readdir and unlink; already-gone counts as
+                // cleaned by someone, not an error mid-sweep.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
             }
         }
         Ok(counts)
@@ -370,6 +383,7 @@ fn parse_payload_at(c: &mut Cursor<'_>) -> Option<PointPayload> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_cache(tag: &str) -> Cache {
         let dir = std::env::temp_dir().join(format!("sparten-cache-test-{tag}-{}", std::process::id()));
@@ -523,6 +537,79 @@ mod tests {
         let counts = cache.clean().unwrap();
         assert_eq!(counts, CleanCounts { entries: 1, tmp: 1 });
         assert!(cache.load("exp", 0, key).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    /// A [`Vfs`] whose `read_dir` reports phantom entries that no longer
+    /// exist by unlink time — the readdir/remove race a concurrent clean
+    /// or sweeping sibling produces.
+    #[derive(Debug)]
+    struct PhantomEntryFs;
+
+    impl Vfs for PhantomEntryFs {
+        fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+            RealFs.create_dir_all(path)
+        }
+
+        fn create(&self, path: &Path) -> io::Result<Box<dyn sparten_bench::vfs::VfsFile>> {
+            RealFs.create(path)
+        }
+
+        fn open_append(
+            &self,
+            path: &Path,
+            mode: sparten_bench::vfs::Append,
+        ) -> io::Result<Box<dyn sparten_bench::vfs::VfsFile>> {
+            RealFs.open_append(path, mode)
+        }
+
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            RealFs.read(path)
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            RealFs.rename(from, to)
+        }
+
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            RealFs.remove_file(path)
+        }
+
+        fn read_dir(&self, path: &Path) -> io::Result<Vec<sparten_bench::vfs::VfsDirEntry>> {
+            let mut entries = RealFs.read_dir(path)?;
+            for phantom in ["vanished.p000.0000000000000000.cache", "vanished.tmp"] {
+                entries.push(sparten_bench::vfs::VfsDirEntry {
+                    path: path.join(phantom),
+                    is_file: true,
+                });
+            }
+            Ok(entries)
+        }
+
+        fn modified(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+            RealFs.modified(path)
+        }
+
+        fn sync_dir(&self, path: &Path) -> io::Result<()> {
+            RealFs.sync_dir(path)
+        }
+    }
+
+    #[test]
+    fn clean_and_sweep_tolerate_concurrently_deleted_entries() {
+        let base = tmp_cache("race");
+        let cache = Cache::with_vfs(base.dir(), Arc::new(PhantomEntryFs));
+        let key = Cache::key("exp", "fp", 2019, 0);
+        cache
+            .store("exp", 0, key, &PointPayload::Record("x\n".into()))
+            .unwrap();
+        fs::write(cache.dir().join("stray.tmp"), "partial").unwrap();
+        // The phantom .tmp vanishes between readdir and unlink; the sweep
+        // must skip it, not error out mid-sweep.
+        assert_eq!(cache.sweep_tmp().unwrap(), 1);
+        // Same for clean, for both entry and temp categories.
+        let counts = cache.clean().unwrap();
+        assert_eq!(counts, CleanCounts { entries: 1, tmp: 0 });
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -25,9 +25,10 @@
 //! `harness events` reads the files back, filtering by level and trace.
 
 use sparten_bench::json::Json;
+use sparten_bench::vfs::{Append, RealFs, Vfs, VfsFile};
 use sparten_telemetry::TraceContext;
 use std::collections::VecDeque;
-use std::fs;
+use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
@@ -84,7 +85,6 @@ enum Persistence {
     Buffered,
 }
 
-#[derive(Debug)]
 struct Inner {
     seq: u64,
     /// Unflushed (buffered mode) or most recent (otherwise) lines.
@@ -94,8 +94,28 @@ struct Inner {
     dropped: u64,
     persistence: Persistence,
     path: Option<PathBuf>,
-    file: Option<fs::File>,
+    file: Option<Box<dyn VfsFile>>,
+    /// Bytes known to form whole lines in the file; a torn event write
+    /// rolls back to this so the JSONL stays parseable.
+    file_len: u64,
+    /// Lines that should have been persisted but were not because the
+    /// file write failed (ENOSPC, dead disk): the sink degrades to the
+    /// in-memory ring rather than panicking or aborting the run.
+    disk_dropped: u64,
     mirror: bool,
+}
+
+impl fmt::Debug for Inner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Inner")
+            .field("seq", &self.seq)
+            .field("ring", &self.ring.len())
+            .field("dropped", &self.dropped)
+            .field("persistence", &self.persistence)
+            .field("path", &self.path)
+            .field("disk_dropped", &self.disk_dropped)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Inner {
@@ -108,6 +128,8 @@ impl Default for Inner {
             persistence: Persistence::None,
             path: None,
             file: None,
+            file_len: 0,
+            disk_dropped: 0,
             mirror: true,
         }
     }
@@ -120,38 +142,88 @@ pub struct Sink {
     inner: Mutex<Inner>,
 }
 
+/// Degrades a sink whose event file stopped accepting writes: best-effort
+/// rolls the file back to the last whole line, closes it, and warns once
+/// on stderr. Subsequent events stay in the ring and are counted in
+/// [`Sink::disk_dropped`] — the log gets worse, the run never dies.
+fn degrade_to_ring(inner: &mut Inner, cause: &std::io::Error) {
+    if let Some(mut file) = inner.file.take() {
+        let _ = file.truncate(inner.file_len);
+    }
+    if inner.mirror {
+        let path = inner
+            .path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_default();
+        let _ = std::io::stderr().write_all(
+            format!(
+                "warning: event log {path} unwritable ({cause}); further events stay in memory\n"
+            )
+            .as_bytes(),
+        );
+    }
+}
+
 impl Sink {
     /// A fresh, file-less sink (ring + stderr mirror only).
     pub fn new() -> Sink {
         Sink::default()
     }
 
-    fn open_file(dir: &Path, run_id: &str) -> std::io::Result<(PathBuf, fs::File)> {
-        fs::create_dir_all(dir)?;
+    fn open_file(
+        vfs: &dyn Vfs,
+        dir: &Path,
+        run_id: &str,
+    ) -> std::io::Result<(PathBuf, Box<dyn VfsFile>)> {
+        vfs.create_dir_all(dir)?;
         let path = dir.join(format!("{run_id}.jsonl"));
-        let file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        let file = vfs.open_append(&path, Append::OrCreate)?;
         Ok((path, file))
     }
 
     /// Points the sink at `dir/<run_id>.jsonl`, write-through: every
     /// event is appended (and flushed) as it happens.
     pub fn init_write_through(&self, dir: &Path, run_id: &str) -> std::io::Result<PathBuf> {
-        let (path, file) = Sink::open_file(dir, run_id)?;
+        self.init_write_through_with(&RealFs, dir, run_id)
+    }
+
+    /// [`init_write_through`](Sink::init_write_through) through an
+    /// explicit [`Vfs`].
+    pub fn init_write_through_with(
+        &self,
+        vfs: &dyn Vfs,
+        dir: &Path,
+        run_id: &str,
+    ) -> std::io::Result<PathBuf> {
+        let (path, file) = Sink::open_file(vfs, dir, run_id)?;
         let mut inner = self.inner.lock().expect("events lock");
         inner.persistence = Persistence::WriteThrough;
         inner.path = Some(path.clone());
         inner.file = Some(file);
+        inner.file_len = 0;
         Ok(path)
     }
 
     /// Points the sink at `dir/<run_id>.jsonl`, buffered: events
     /// accumulate in the ring until [`flush`](Sink::flush).
     pub fn init_buffered(&self, dir: &Path, run_id: &str) -> std::io::Result<PathBuf> {
-        let (path, file) = Sink::open_file(dir, run_id)?;
+        self.init_buffered_with(&RealFs, dir, run_id)
+    }
+
+    /// [`init_buffered`](Sink::init_buffered) through an explicit [`Vfs`].
+    pub fn init_buffered_with(
+        &self,
+        vfs: &dyn Vfs,
+        dir: &Path,
+        run_id: &str,
+    ) -> std::io::Result<PathBuf> {
+        let (path, file) = Sink::open_file(vfs, dir, run_id)?;
         let mut inner = self.inner.lock().expect("events lock");
         inner.persistence = Persistence::Buffered;
         inner.path = Some(path.clone());
         inner.file = Some(file);
+        inner.file_len = 0;
         Ok(path)
     }
 
@@ -196,9 +268,42 @@ impl Sink {
 
         match inner.persistence {
             Persistence::WriteThrough => {
-                if let Some(file) = inner.file.as_mut() {
-                    let _ = writeln!(file, "{line}");
-                    let _ = file.flush();
+                let write = match inner.file.as_mut() {
+                    Some(file) => {
+                        let framed = format!("{line}\n");
+                        let result = file.write_all(framed.as_bytes());
+                        if result.is_ok() {
+                            inner.file_len += framed.len() as u64;
+                        }
+                        Some(result)
+                    }
+                    None => None,
+                };
+                match write {
+                    Some(Ok(())) => {}
+                    Some(Err(e)) => {
+                        // ENOSPC or a dying disk: degrade to the ring
+                        // (never panic, never abort the run) and keep a
+                        // dropped-write count so the loss is visible.
+                        degrade_to_ring(&mut inner, &e);
+                        inner.disk_dropped += 1;
+                        if inner.ring.len() >= inner.cap {
+                            inner.ring.pop_front();
+                            inner.dropped += 1;
+                        }
+                        inner.ring.push_back(line);
+                    }
+                    None if inner.path.is_some() => {
+                        // Already degraded: this line should have been
+                        // persisted and was not.
+                        inner.disk_dropped += 1;
+                        if inner.ring.len() >= inner.cap {
+                            inner.ring.pop_front();
+                            inner.dropped += 1;
+                        }
+                        inner.ring.push_back(line);
+                    }
+                    None => {}
                 }
             }
             Persistence::Buffered | Persistence::None => {
@@ -236,30 +341,52 @@ impl Sink {
             inner.seq += 1;
         }
         let seq = inner.seq;
-        if let Some(file) = inner.file.as_mut() {
-            for line in &lines {
-                let _ = writeln!(file, "{line}");
+        if inner.file.is_none() {
+            // Degraded earlier: the drained lines cannot be persisted.
+            inner.disk_dropped += lines.len() as u64;
+            return;
+        }
+        let mut to_write: Vec<String> = lines;
+        if dropped > 0 {
+            let note = Json::obj([
+                ("seq", Json::UInt(seq)),
+                ("level", Json::str("warn")),
+                ("kind", Json::str("events.dropped")),
+                (
+                    "msg",
+                    Json::str(format!("{dropped} event(s) evicted before flush")),
+                ),
+                ("dropped", Json::UInt(dropped)),
+            ]);
+            to_write.push(note.compact());
+        }
+        for (i, line) in to_write.iter().enumerate() {
+            let framed = format!("{line}\n");
+            let result = inner
+                .file
+                .as_mut()
+                .expect("checked above; degrade returns")
+                .write_all(framed.as_bytes());
+            match result {
+                Ok(()) => inner.file_len += framed.len() as u64,
+                Err(e) => {
+                    degrade_to_ring(&mut inner, &e);
+                    inner.disk_dropped += (to_write.len() - i) as u64;
+                    return;
+                }
             }
-            if dropped > 0 {
-                let note = Json::obj([
-                    ("seq", Json::UInt(seq)),
-                    ("level", Json::str("warn")),
-                    ("kind", Json::str("events.dropped")),
-                    (
-                        "msg",
-                        Json::str(format!("{dropped} event(s) evicted before flush")),
-                    ),
-                    ("dropped", Json::UInt(dropped)),
-                ]);
-                let _ = writeln!(file, "{}", note.compact());
-            }
-            let _ = file.flush();
         }
     }
 
     /// Lines dropped from the ring so far (test hook).
     pub fn dropped(&self) -> u64 {
         self.inner.lock().expect("events lock").dropped
+    }
+
+    /// Lines that should have reached the event file but did not because
+    /// the disk stopped accepting writes (the sink degraded to its ring).
+    pub fn disk_dropped(&self) -> u64 {
+        self.inner.lock().expect("events lock").disk_dropped
     }
 
     /// The sink's file path, when one was initialised.
@@ -299,6 +426,14 @@ pub fn init_serve(dir: &Path, run_id: &str) -> std::io::Result<PathBuf> {
 /// Flushes the process-wide sink (buffered mode only).
 pub fn flush() {
     sink().flush();
+}
+
+/// Toggles the process-wide sink's stderr mirror. The disk-fault
+/// campaign turns it off around trials: a run under injected ENOSPC
+/// legitimately warns hundreds of times, and the campaign report is the
+/// deliverable, not the per-trial noise.
+pub fn set_mirror(on: bool) {
+    sink().set_mirror(on);
 }
 
 /// Emits one event on the process-wide sink, with optional trace context
@@ -347,6 +482,7 @@ pub fn raw_stderr(text: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     #[test]
     fn ring_evicts_oldest_and_counts_drops() {
@@ -408,6 +544,38 @@ mod tests {
         let last = Json::parse(lines[2]).expect("parse");
         assert_eq!(last.get("kind").and_then(Json::as_str), Some("events.dropped"));
         assert_eq!(last.get("dropped").and_then(Json::as_u64), Some(2));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_failure_degrades_to_ring_without_panicking() {
+        use sparten_bench::vfs::{FaultConfig, FaultFs};
+        let dir = std::env::temp_dir().join(format!("sparten-events-d-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = Sink::new();
+        s.set_mirror(false);
+        // A zero-byte disk budget: the very first event write hits ENOSPC.
+        let vfs = FaultFs::new(
+            7,
+            FaultConfig {
+                enospc_after_bytes: Some(0),
+                ..FaultConfig::default()
+            },
+        );
+        let path = s
+            .init_write_through_with(&vfs, &dir, "run-degrade")
+            .expect("init");
+        s.emit(Level::Warn, "t", "first", None, &[]);
+        s.emit(Level::Warn, "t", "second", None, &[]);
+        assert_eq!(s.disk_dropped(), 2);
+        {
+            let inner = s.inner.lock().unwrap();
+            assert!(inner.file.is_none(), "sink should have closed its file");
+            assert_eq!(inner.ring.len(), 2);
+            assert!(inner.ring[0].contains("\"msg\":\"first\""));
+        }
+        // The on-disk log rolled back to whole lines (here: empty).
+        assert_eq!(fs::read_to_string(&path).expect("read"), "");
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -27,7 +27,8 @@ use crate::events;
 use crate::journal::{self, Journal, JournalJob, Record, StartRecord};
 use crate::{Experiment, PointPayload};
 use sparten_bench::json::Json;
-use sparten_bench::{atomic_write, ExperimentKind};
+use sparten_bench::vfs::{atomic_write_with, RealFs, Vfs};
+use sparten_bench::ExperimentKind;
 use sparten_telemetry::{
     cancel, chrome_trace, export_session, import_session, text_report, CancelToken, Telemetry,
     TraceContext,
@@ -155,6 +156,11 @@ pub struct RunOptions {
     /// journal is sealed `cancelled` (nobody will resume an abandoned
     /// request) and points are never retried or quarantined for stopping.
     pub cancel: Option<CancelToken>,
+    /// The filesystem every durable-state operation goes through: the
+    /// journal, the cache, artifacts, telemetry exports, and the failures
+    /// report. Production runs use the passthrough [`RealFs`]; the disk
+    /// chaos campaign substitutes a fault-injecting implementation.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for RunOptions {
@@ -181,6 +187,7 @@ impl Default for RunOptions {
             trace_sink: None,
             trace_epoch: None,
             cancel: None,
+            vfs: Arc::new(RealFs),
         }
     }
 }
@@ -381,7 +388,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     assert!(opts.jobs >= 1, "--jobs must be at least 1");
     assert!(opts.max_attempts >= 1, "--retries budget must allow 1 attempt");
     let start = Instant::now();
-    let cache = Cache::new(opts.cache_dir.clone());
+    let cache = Cache::with_vfs(opts.cache_dir.clone(), opts.vfs.clone());
     let mut cache_stats = CacheStats::default();
     // Graced sweep: under the serve daemon several executors share this
     // cache directory, and an ungraced sweep would delete a sibling
@@ -454,7 +461,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     let mut journal: Option<Journal> = None;
     let mut run_id: Option<String> = None;
     if let Some(path) = &opts.resume {
-        let replay = journal::replay(path)?;
+        let replay = journal::replay_with(path, &*opts.vfs)?;
         if replay.ended {
             return Err(format!(
                 "{} belongs to a run that already completed; nothing to resume",
@@ -535,7 +542,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             }
         }
         journal = Some(
-            Journal::reopen(path)
+            Journal::reopen_with(path, opts.vfs.clone())
                 .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?,
         );
         run_id = Some(s.run_id.clone());
@@ -552,7 +559,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             trace: opts.trace.map(|t| t.trace_hex()),
         };
         journal = Some(
-            Journal::create(dir, &record)
+            Journal::create_with(dir, &record, opts.vfs.clone())
                 .map_err(|e| format!("cannot start run journal in {}: {e}", dir.display()))?,
         );
         run_id = Some(id);
@@ -838,10 +845,10 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
         });
         let state = &mut states[job];
         state.pending_points -= 1;
-        let verb = if kind == "timeout" {
-            "timed out"
-        } else {
-            "panicked"
+        let verb = match kind {
+            "timeout" => "timed out",
+            "journal" => "could not be journaled",
+            _ => "panicked",
         };
         state
             .error
@@ -1092,11 +1099,9 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                 }
                 inflight.remove(&key);
                 outstanding -= 1;
-                let state = &mut states[done.job];
-                state.compute_time += done.took;
+                states[done.job].compute_time += done.took;
                 match done.payload {
                     Ok(payload) => {
-                        state.pending_points -= 1;
                         let exp = &selected[done.job];
                         let mut point_session = done.telemetry;
                         // Write-ahead: the journal entry is fsync'd before
@@ -1106,6 +1111,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                         // for the trace sink are wall-clock correlation
                         // material, not replayable state, so only
                         // telemetry-export runs journal them.
+                        let mut journal_err = None;
                         if let Some(j) = journal.as_mut() {
                             let record = Record::Point {
                                 job: exp.name().to_string(),
@@ -1118,13 +1124,71 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                                 },
                             };
                             if let Err(e) = j.append(&record) {
-                                events::warn_traced(
-                                    "journal.write_failed",
-                                    format!("journal write failed: {e}"),
-                                    opts.trace,
-                                );
+                                journal_err = Some(e);
                             }
                         }
+                        if let Some(e) = journal_err {
+                            // The fsync'd journal entry IS the point's
+                            // durability: a point whose append failed was
+                            // never durably completed, so the attempt
+                            // fails as a typed error (retried under the
+                            // budget, quarantined over it) instead of
+                            // continuing with unjournaled work that a
+                            // resume would silently lose. No `fail`
+                            // record is attempted — the journal just
+                            // proved it cannot take appends.
+                            let msg = e.to_string();
+                            events::emit(
+                                events::Level::Error,
+                                "journal.append_failed",
+                                &format!(
+                                    "{} point {} could not be journaled: {msg}",
+                                    exp.name(),
+                                    done.point
+                                ),
+                                opts.trace,
+                                &[
+                                    ("job", Json::str(exp.name())),
+                                    ("point", Json::UInt(done.point as u64)),
+                                ],
+                            );
+                            let quarantined = fail_attempt(
+                                done.job,
+                                done.point,
+                                done.attempt,
+                                "journal",
+                                msg,
+                                opts.max_attempts,
+                                &selected,
+                                &mut states,
+                                &task_tx,
+                                &mut outstanding,
+                                &mut retries,
+                                &mut failures,
+                            );
+                            if quarantined {
+                                check_jobs.push(done.job);
+                            }
+                            // The rest of the completion path (cache
+                            // store, trace spans, progress hook) is
+                            // skipped: the point did not durably complete.
+                            for job in check_jobs {
+                                if states[job].pending_points == 0 && !states[job].finished {
+                                    let newly = finish(
+                                        job, &selected, &mut states, &mut reports, &mut unfinished,
+                                    );
+                                    if want_telemetry {
+                                        attach_telemetry(job, &selected, &mut states, &mut reports);
+                                    }
+                                    ready.extend(newly);
+                                }
+                            }
+                            if opts.stream_output {
+                                emit_ready(&mut emit_cursor, &reports);
+                            }
+                            continue;
+                        }
+                        states[done.job].pending_points -= 1;
                         computed_points += 1;
                         if opts.abort_after == Some(computed_points) {
                             // Crash-test hook: vanish right after the
@@ -1144,7 +1208,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                                 opts.trace,
                             );
                         }
-                        state.points[done.point] = Some(payload);
+                        states[done.job].points[done.point] = Some(payload);
                         let child = opts
                             .trace
                             .map(|t| t.child(exp.name(), done.point as u64));
@@ -1168,7 +1232,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
                             );
                         }
                         if want_telemetry {
-                            state.telemetry[done.point] = point_session.take();
+                            states[done.job].telemetry[done.point] = point_session.take();
                         } else if let Some(sink) = &opts.trace_sink {
                             // Per-chunk simulator spans fold into the
                             // shared sink, each event stamped with the
@@ -1331,7 +1395,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
     if opts.write_artifacts {
         for job in &jobs {
             for (path, contents) in &job.artifacts {
-                write_artifact(path, contents, opts.trace);
+                write_artifact(&*opts.vfs, path, contents, opts.trace);
             }
         }
     }
@@ -1340,7 +1404,7 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             if let Some(t) = &job.telemetry {
                 for (ext, contents) in [("json", &t.chrome_json), ("txt", &t.report_text)] {
                     let path = dir.join(format!("{}.{ext}", job.name));
-                    if let Err(e) = atomic_write(&path, contents) {
+                    if let Err(e) = atomic_write_with(&*opts.vfs, &path, contents) {
                         events::warn_traced(
                             "telemetry.write_failed",
                             format!("could not write {}: {e}", path.display()),
@@ -1356,11 +1420,11 @@ pub fn run(experiments: &[Arc<dyn Experiment>], opts: &RunOptions) -> Result<Run
             // A clean run must not leave a stale quarantine report behind.
             // An interrupted run proved nothing and leaves it alone.
             if !interrupted {
-                let _ = std::fs::remove_file(path);
+                let _ = opts.vfs.remove_file(path);
             }
         } else {
             let json = Json::Arr(failures.iter().map(PointFailure::to_json).collect());
-            if let Err(e) = atomic_write(path, &(json.pretty() + "\n")) {
+            if let Err(e) = atomic_write_with(&*opts.vfs, path, &(json.pretty() + "\n")) {
                 events::warn_traced(
                     "failures.write_failed",
                     format!("could not write {}: {e}", path.display()),
@@ -1465,10 +1529,10 @@ fn emit_ready(cursor: &mut usize, reports: &[Option<JobReport>]) {
     }
 }
 
-fn write_artifact(path: &str, contents: &str, trace: Option<TraceContext>) {
+fn write_artifact(vfs: &dyn Vfs, path: &str, contents: &str, trace: Option<TraceContext>) {
     // Atomic (temp sibling + fsync + rename): a kill mid-run can never
     // leave a half-written `results/*.json` that a reader would trust.
-    if let Err(e) = atomic_write(path, contents) {
+    if let Err(e) = atomic_write_with(vfs, path, contents) {
         events::warn_traced(
             "artifact.write_failed",
             format!("could not write {path}: {e}"),

@@ -24,8 +24,8 @@
 
 use crate::cache;
 use sparten_bench::json::Json;
+use sparten_bench::vfs::{RealFs, Vfs};
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -115,34 +115,45 @@ impl FsckReport {
 /// Missing directories are clean (a fresh checkout has no `results/`);
 /// only real I/O failures error.
 pub fn fsck(root: &Path, job_names: &[&str], repair: bool) -> io::Result<FsckReport> {
+    fsck_with_vfs(root, job_names, repair, &RealFs)
+}
+
+/// [`fsck`] through an explicit [`Vfs`], so the crash-consistency oracle
+/// can audit (and repair) a tree while faults are still being injected.
+pub fn fsck_with_vfs(
+    root: &Path,
+    job_names: &[&str],
+    repair: bool,
+    vfs: &dyn Vfs,
+) -> io::Result<FsckReport> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut scanned = 0usize;
 
     // results/*.json|*.txt|*.tmp — final artifacts plus the quarantine
     // report. Subdirectories are audited on their own terms below.
-    for path in sorted_files(root)? {
+    for path in sorted_files(vfs, root)? {
         scanned += 1;
-        audit_artifact(root, &path, "", job_names, &mut findings);
+        audit_artifact(vfs, &path, "", job_names, &mut findings);
     }
-    for path in sorted_files(&root.join("telemetry"))? {
+    for path in sorted_files(vfs, &root.join("telemetry"))? {
         scanned += 1;
-        audit_artifact(root, &path, "telemetry/", job_names, &mut findings);
-    }
-
-    for path in sorted_files(&root.join("cache"))? {
-        scanned += 1;
-        audit_cache_entry(root, &path, job_names, &mut findings);
+        audit_artifact(vfs, &path, "telemetry/", job_names, &mut findings);
     }
 
-    for path in sorted_files(&root.join("journal"))? {
+    for path in sorted_files(vfs, &root.join("cache"))? {
         scanned += 1;
-        audit_journal(root, &path, &mut findings);
+        audit_cache_entry(vfs, &path, job_names, &mut findings);
+    }
+
+    for path in sorted_files(vfs, &root.join("journal"))? {
+        scanned += 1;
+        audit_journal(vfs, &path, &mut findings);
     }
 
     findings.sort_by(|a, b| (a.category, &a.path).cmp(&(b.category, &b.path)));
     if repair {
         for finding in &mut findings {
-            finding.action = repair_finding(root, finding);
+            finding.action = repair_finding(vfs, root, finding);
         }
     }
     Ok(FsckReport {
@@ -154,21 +165,17 @@ pub fn fsck(root: &Path, job_names: &[&str], repair: bool) -> io::Result<FsckRep
 }
 
 /// Regular files directly under `dir`, name-sorted; missing dir is empty.
-fn sorted_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
-    let entries = match fs::read_dir(dir) {
+fn sorted_files(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let entries = match vfs.read_dir(dir) {
         Ok(e) => e,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e),
     };
-    let mut files = Vec::new();
-    for entry in entries {
-        let entry = entry?;
-        if entry.file_type()?.is_file() {
-            files.push(entry.path());
-        }
-    }
-    files.sort();
-    Ok(files)
+    Ok(entries
+        .into_iter()
+        .filter(|e| e.is_file)
+        .map(|e| e.path)
+        .collect())
 }
 
 fn rel(prefix: &str, path: &Path) -> String {
@@ -193,7 +200,7 @@ fn push(
 }
 
 fn audit_artifact(
-    _root: &Path,
+    vfs: &dyn Vfs,
     path: &Path,
     prefix: &str,
     job_names: &[&str],
@@ -223,7 +230,7 @@ fn audit_artifact(
                 );
                 return;
             }
-            let Ok(text) = fs::read_to_string(path) else {
+            let Ok(text) = vfs.read_to_string(path) else {
                 push(findings, "truncated-artifact", rel_path, "not valid UTF-8");
                 return;
             };
@@ -250,7 +257,7 @@ fn audit_artifact(
 }
 
 fn audit_cache_entry(
-    _root: &Path,
+    vfs: &dyn Vfs,
     path: &Path,
     job_names: &[&str],
     findings: &mut Vec<Finding>,
@@ -289,7 +296,8 @@ fn audit_cache_entry(
         );
         return;
     }
-    let ok = fs::read_to_string(path)
+    let ok = vfs
+        .read_to_string(path)
         .map(|text| cache::verify_entry_text(&text, key))
         .unwrap_or(false);
     if !ok {
@@ -302,7 +310,7 @@ fn audit_cache_entry(
     }
 }
 
-fn audit_journal(_root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+fn audit_journal(vfs: &dyn Vfs, path: &Path, findings: &mut Vec<Finding>) {
     let rel_path = rel("journal/", path);
     let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
         return;
@@ -319,7 +327,7 @@ fn audit_journal(_root: &Path, path: &Path, findings: &mut Vec<Finding>) {
     if !name.ends_with(".jsonl") {
         return;
     }
-    match crate::journal::replay(path) {
+    match crate::journal::replay_with(path, vfs) {
         Err(e) => push(
             findings,
             "malformed-journal",
@@ -349,23 +357,26 @@ fn audit_journal(_root: &Path, path: &Path, findings: &mut Vec<Finding>) {
 
 /// Repairs one finding: temp droppings are deleted, everything else is
 /// moved (never deleted) into `root/quarantine/`.
-fn repair_finding(root: &Path, finding: &Finding) -> Action {
+fn repair_finding(vfs: &dyn Vfs, root: &Path, finding: &Finding) -> Action {
     let path = root.join(&finding.path);
     if finding.category == "stale-tmp" {
-        return match fs::remove_file(&path) {
+        return match vfs.remove_file(&path) {
             Ok(()) => Action::Deleted,
+            // Swept by a concurrent `clean` between audit and repair:
+            // the dropping is gone either way.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Action::Deleted,
             Err(e) => Action::Failed(e.to_string()),
         };
     }
     let quarantine = root.join("quarantine");
-    if let Err(e) = fs::create_dir_all(&quarantine) {
+    if let Err(e) = vfs.create_dir_all(&quarantine) {
         return Action::Failed(e.to_string());
     }
     // Flatten the relative path into a file name so quarantined files from
     // different subdirectories cannot collide.
     let flat = finding.path.replace('/', "_");
     let dest = quarantine.join(&flat);
-    match fs::rename(&path, &dest) {
+    match vfs.rename(&path, &dest) {
         Ok(()) => Action::Quarantined(flat),
         Err(e) => Action::Failed(e.to_string()),
     }
@@ -374,6 +385,7 @@ fn repair_finding(root: &Path, finding: &Finding) -> Action {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn scratch(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -439,6 +451,35 @@ mod tests {
         // After repair the tree is clean (quarantine is not audited).
         let after = fsck(&dir, &["job_a", "job_b"], false).unwrap();
         assert!(after.clean(), "{}", after.render());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let dir = scratch("idempotent");
+        fs::write(dir.join("gone_job.json"), "[]").unwrap(); // orphan
+        fs::write(dir.join("job_a.json.tmp"), "half").unwrap();
+        fs::create_dir_all(dir.join("journal")).unwrap();
+        fs::write(dir.join("journal/run-bad.jsonl"), "not json\nat all\n").unwrap();
+
+        let first = fsck(&dir, &["job_a"], true).unwrap();
+        assert_eq!(first.findings.len(), 3);
+        for f in &first.findings {
+            assert!(
+                matches!(f.action, Action::Quarantined(_) | Action::Deleted),
+                "{f:?}"
+            );
+        }
+
+        // A second repair pass finds nothing to do and renders the same
+        // report as a third: repair converges after one pass.
+        let second = fsck(&dir, &["job_a"], true).unwrap();
+        assert!(second.clean(), "{}", second.render());
+        let third = fsck(&dir, &["job_a"], true).unwrap();
+        assert_eq!(second.render(), third.render());
+        // Quarantined evidence from the first pass is still there.
+        assert!(dir.join("quarantine/gone_job.json").exists());
+        assert!(dir.join("quarantine/journal_run-bad.jsonl").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

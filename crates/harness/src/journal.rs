@@ -25,9 +25,12 @@
 
 use crate::cache::fnv1a_parts;
 use sparten_bench::json::Json;
+use sparten_bench::vfs::{Append, RealFs, Vfs, VfsFile};
+use std::fmt;
 use std::fs;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Bump when the journal record format changes incompatibly; a resume
 /// across formats is refused rather than misread.
@@ -177,36 +180,122 @@ pub fn latest_journal(dir: &Path) -> io::Result<Option<PathBuf>> {
     Ok(best.map(|(_, p)| p))
 }
 
+/// A failed journal append: the write-ahead guarantee for that record
+/// does not hold, so the caller must treat the point as *not* journaled
+/// (fail it or retry it — never silently continue).
+#[derive(Debug)]
+pub enum JournalError {
+    /// The record's bytes could not be written.
+    Write(io::Error),
+    /// The record was written but its fsync failed, so the bytes may not
+    /// be durable. The append is rolled back.
+    Sync(io::Error),
+    /// A previous failed append could not be rolled back, so the file's
+    /// tail state is unknown; the journal refuses all further appends.
+    Poisoned,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Write(e) => write!(f, "journal write failed: {e}"),
+            JournalError::Sync(e) => write!(f, "journal fsync failed: {e}"),
+            JournalError::Poisoned => {
+                write!(f, "journal poisoned by an earlier unrolled-back append")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<JournalError> for io::Error {
+    fn from(e: JournalError) -> io::Error {
+        match e {
+            JournalError::Write(e) | JournalError::Sync(e) => e,
+            JournalError::Poisoned => io::Error::other(e.to_string()),
+        }
+    }
+}
+
 /// An open journal being appended to. Every [`append`](Journal::append) is
 /// fsync'd before it returns — the write-ahead guarantee costs one
 /// `fdatasync` per point, which is noise next to computing the point.
-#[derive(Debug)]
+///
+/// A failed append is rolled back (the file is truncated to the last good
+/// record boundary) so a torn write never becomes interior corruption;
+/// readers only ever have to tolerate a torn *final* line, which a power
+/// cut mid-append can still produce.
 pub struct Journal {
     path: PathBuf,
-    file: fs::File,
+    file: Box<dyn VfsFile>,
+    vfs: Arc<dyn Vfs>,
+    /// Bytes known to form whole, fsync'd records.
+    len: u64,
+    poisoned: bool,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
 }
 
 impl Journal {
     /// Creates `dir/<run-id>.jsonl` and writes the start record. Refuses
     /// to overwrite an existing journal (run ids must be fresh).
     pub fn create(dir: &Path, start: &StartRecord) -> io::Result<Journal> {
-        fs::create_dir_all(dir)?;
+        Journal::create_with(dir, start, Arc::new(RealFs))
+    }
+
+    /// [`create`](Journal::create) through an explicit [`Vfs`].
+    pub fn create_with(dir: &Path, start: &StartRecord, vfs: Arc<dyn Vfs>) -> io::Result<Journal> {
+        vfs.create_dir_all(dir)?;
         let path = journal_path(dir, &start.run_id);
-        let file = fs::OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(&path)?;
-        let mut journal = Journal { path, file };
+        let file = vfs.open_append(&path, Append::New)?;
+        let mut journal = Journal {
+            path,
+            file,
+            vfs,
+            len: 0,
+            poisoned: false,
+        };
         journal.append(&Record::Start(start.clone()))?;
         Ok(journal)
     }
 
     /// Reopens an existing journal for appending (the resume path).
     pub fn reopen(path: &Path) -> io::Result<Journal> {
-        let file = fs::OpenOptions::new().append(true).open(path)?;
+        Journal::reopen_with(path, Arc::new(RealFs))
+    }
+
+    /// [`reopen`](Journal::reopen) through an explicit [`Vfs`].
+    pub fn reopen_with(path: &Path, vfs: Arc<dyn Vfs>) -> io::Result<Journal> {
+        // The resume path has already replayed the file, so re-reading it
+        // for the rollback baseline is cheap and keeps the Vfs surface
+        // minimal. A torn final line — the power cut this journal exists
+        // to survive — is truncated away *before* the first new append;
+        // appending after the fragment would fuse it with the next record
+        // into interior corruption that a later replay rejects.
+        let bytes = vfs.read(path)?;
+        let len = bytes
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1) as u64;
+        let mut file = vfs.open_append(path, Append::Existing)?;
+        if len < bytes.len() as u64 {
+            file.truncate(len)?;
+        }
         Ok(Journal {
             path: path.to_path_buf(),
             file,
+            vfs,
+            len,
+            poisoned: false,
         })
     }
 
@@ -215,12 +304,35 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one record and fsyncs it.
-    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+    /// Appends one record and fsyncs it; on failure the file is rolled
+    /// back to the previous record boundary and the record is *not*
+    /// journaled.
+    pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
+        if self.poisoned {
+            return Err(JournalError::Poisoned);
+        }
         let mut line = record_to_json(record).compact();
         line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.sync_data()
+        let result = self
+            .file
+            .write_all(line.as_bytes())
+            .map_err(JournalError::Write)
+            .and_then(|()| self.file.sync_data().map_err(JournalError::Sync));
+        match result {
+            Ok(()) => {
+                self.len += line.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Truncate away whatever prefix of the line reached the
+                // file; if even that fails, refuse future appends rather
+                // than risk interior corruption.
+                if self.file.truncate(self.len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Seals a completed run: appends the `end` record, then deletes the
@@ -229,7 +341,7 @@ impl Journal {
         self.append(&Record::End {
             status: status.to_string(),
         })?;
-        fs::remove_file(&self.path)
+        self.vfs.remove_file(&self.path)
     }
 }
 
@@ -252,8 +364,14 @@ pub struct Replay {
 /// journal exists to survive). An unparseable interior line is corruption
 /// and fails the read.
 pub fn read_records(path: &Path) -> Result<Vec<Record>, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    read_records_with(path, &RealFs)
+}
+
+/// [`read_records`] through an explicit [`Vfs`].
+pub fn read_records_with(path: &Path, vfs: &dyn Vfs) -> Result<Vec<Record>, String> {
+    let text = vfs
+        .read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let lines: Vec<&str> = text.lines().collect();
     let mut records = Vec::with_capacity(lines.len());
     for (i, line) in lines.iter().enumerate() {
@@ -270,7 +388,12 @@ pub fn read_records(path: &Path) -> Result<Vec<Record>, String> {
 
 /// Reads and structures a journal for `--resume`.
 pub fn replay(path: &Path) -> Result<Replay, String> {
-    let records = read_records(path)?;
+    replay_with(path, &RealFs)
+}
+
+/// [`replay`] through an explicit [`Vfs`].
+pub fn replay_with(path: &Path, vfs: &dyn Vfs) -> Result<Replay, String> {
+    let records = read_records_with(path, vfs)?;
     let mut it = records.into_iter();
     let start = match it.next() {
         Some(Record::Start(s)) => s,
@@ -624,6 +747,219 @@ mod tests {
         // Same-mtime ties break toward the later (lexically larger) run id.
         assert_eq!(latest, b.path());
         drop((a, b));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_offset_reads_as_a_clean_prefix() {
+        // Property-style sweep: cut a recorded journal at *every* byte
+        // offset. The reader must never error (any prefix of a valid
+        // journal is exactly what a power cut mid-append produces), must
+        // keep every whole record below the cut, and must return an
+        // exact prefix of the full record list — never an invented or
+        // reordered record.
+        let dir = scratch("every-offset");
+        let start = sample_start("run-prop");
+        let mut journal = Journal::create(&dir, &start).unwrap();
+        for point in 0..4 {
+            journal
+                .append(&Record::Point {
+                    job: "fig7_alexnet_speedup".into(),
+                    point,
+                    payload: format!("payload-{point} with \"quotes\" and \\ slashes\n"),
+                    telemetry: if point % 2 == 0 {
+                        Some(format!("# session {point}"))
+                    } else {
+                        None
+                    },
+                })
+                .unwrap();
+        }
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        let bytes = fs::read(&path).unwrap();
+        let full = read_records(&path).unwrap();
+        assert_eq!(full.len(), 5);
+        let mut line_ends = Vec::new();
+        let mut acc = 0usize;
+        for line in bytes.split_inclusive(|&b| b == b'\n') {
+            acc += line.len();
+            line_ends.push(acc);
+        }
+        for cut in 0..=bytes.len() {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            let records = read_records(&path).unwrap_or_else(|e| {
+                panic!("offset {cut}: a torn tail must never fail the read: {e}")
+            });
+            let whole = line_ends.iter().filter(|&&e| e <= cut).count();
+            assert!(
+                records.len() >= whole,
+                "offset {cut}: lost a whole record ({} < {whole})",
+                records.len()
+            );
+            // At most the one tail line whose newline the cut removed
+            // can additionally parse (when the cut hit the boundary).
+            assert!(records.len() <= whole + 1, "offset {cut}: invented a record");
+            assert_eq!(
+                records[..],
+                full[..records.len()],
+                "offset {cut}: not a clean prefix"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_truncates_a_torn_tail_before_appending() {
+        let dir = scratch("torn-reopen");
+        let mut journal = Journal::create(&dir, &sample_start("run-torn")).unwrap();
+        journal
+            .append(&Record::Point {
+                job: "fig7_alexnet_speedup".into(),
+                point: 0,
+                payload: "whole".into(),
+                telemetry: None,
+            })
+            .unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        // Simulate a power cut mid-append: a partial record with no
+        // trailing newline.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"record\":\"point\",\"job\":\"fi");
+        fs::write(&path, &bytes).unwrap();
+        // Reopen and append: the fragment must not fuse with the new
+        // record into an unreadable interior line.
+        let mut journal = Journal::reopen(&path).unwrap();
+        journal
+            .append(&Record::Point {
+                job: "fig7_alexnet_speedup".into(),
+                point: 1,
+                payload: "after reopen".into(),
+                telemetry: None,
+            })
+            .unwrap();
+        drop(journal);
+        let records = read_records(&path).unwrap();
+        assert_eq!(records.len(), 3, "start + two whole points");
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.points.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A [`Vfs`] whose `n`-th fsync (across all files) fails; everything
+    /// else passes through. Exercises the append rollback path.
+    #[derive(Debug)]
+    struct FailNthSync {
+        fail_on: u32,
+        count: Arc<std::sync::Mutex<u32>>,
+    }
+
+    struct FailNthFile {
+        inner: Box<dyn VfsFile>,
+        fail_on: u32,
+        count: Arc<std::sync::Mutex<u32>>,
+    }
+
+    impl VfsFile for FailNthFile {
+        fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+            self.inner.write_all(buf)
+        }
+
+        fn sync_data(&mut self) -> io::Result<()> {
+            let mut count = self.count.lock().unwrap();
+            *count += 1;
+            if *count == self.fail_on {
+                return Err(io::Error::other("injected fsync failure"));
+            }
+            self.inner.sync_data()
+        }
+
+        fn sync_all(&mut self) -> io::Result<()> {
+            self.inner.sync_all()
+        }
+
+        fn truncate(&mut self, len: u64) -> io::Result<()> {
+            self.inner.truncate(len)
+        }
+    }
+
+    impl Vfs for FailNthSync {
+        fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+            RealFs.create_dir_all(path)
+        }
+
+        fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+            RealFs.create(path)
+        }
+
+        fn open_append(&self, path: &Path, mode: Append) -> io::Result<Box<dyn VfsFile>> {
+            Ok(Box::new(FailNthFile {
+                inner: RealFs.open_append(path, mode)?,
+                fail_on: self.fail_on,
+                count: Arc::clone(&self.count),
+            }))
+        }
+
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            RealFs.read(path)
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            RealFs.rename(from, to)
+        }
+
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            RealFs.remove_file(path)
+        }
+
+        fn read_dir(&self, path: &Path) -> io::Result<Vec<sparten_bench::vfs::VfsDirEntry>> {
+            RealFs.read_dir(path)
+        }
+
+        fn modified(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+            RealFs.modified(path)
+        }
+
+        fn sync_dir(&self, path: &Path) -> io::Result<()> {
+            RealFs.sync_dir(path)
+        }
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_the_journal_stays_usable() {
+        let dir = scratch("rollback");
+        let start = sample_start("run-rollback");
+        let vfs = Arc::new(FailNthSync {
+            fail_on: 3, // start and point 0 succeed; point 1's fsync fails
+            count: Arc::new(std::sync::Mutex::new(0)),
+        });
+        let mut journal = Journal::create_with(&dir, &start, vfs).unwrap();
+        let point = |n: usize| Record::Point {
+            job: "fig7_alexnet_speedup".into(),
+            point: n,
+            payload: format!("p{n}"),
+            telemetry: None,
+        };
+        journal.append(&point(0)).unwrap();
+        let path = journal.path().to_path_buf();
+        let before = fs::read(&path).unwrap();
+        let err = journal.append(&point(1)).unwrap_err();
+        assert!(matches!(err, JournalError::Sync(_)), "typed fsync error");
+        assert!(err.to_string().contains("fsync"));
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            before,
+            "the torn append must be rolled back to the record boundary"
+        );
+        // The journal is not poisoned: later appends still work and the
+        // file replays without interior corruption.
+        journal.append(&point(2)).unwrap();
+        drop(journal);
+        let records = read_records(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[1], point(0));
+        assert_eq!(records[2], point(2));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -26,6 +26,7 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod diskchaos;
 pub mod events;
 pub mod executor;
 pub mod faults;

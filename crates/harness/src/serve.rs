@@ -179,6 +179,7 @@ impl Backend for HarnessBackend {
             trace_sink: self.trace_sink.clone(),
             trace_epoch: self.trace_epoch,
             cancel: Some(cancel),
+            vfs: Arc::new(sparten_bench::vfs::RealFs),
         };
         let report = executor::run(&[exp], &opts)?;
         let job = report

@@ -134,6 +134,7 @@ fn opts(tree: &Path, jobs: usize) -> RunOptions {
         trace_sink: None,
         trace_epoch: None,
         cancel: None,
+        ..RunOptions::default()
     }
 }
 

@@ -138,6 +138,7 @@ fn opts(cache_dir: PathBuf, jobs: usize) -> RunOptions {
         trace_sink: None,
         trace_epoch: None,
         cancel: None,
+        ..RunOptions::default()
     }
 }
 

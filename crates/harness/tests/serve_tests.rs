@@ -221,6 +221,7 @@ fn direct_output(experiments: &[Arc<dyn Experiment>], name: &str, tag: &str) -> 
         trace_sink: None,
         trace_epoch: None,
         cancel: None,
+        ..RunOptions::default()
     };
     let report = executor::run(experiments, &opts).expect("direct run succeeds");
     let job = report
@@ -471,6 +472,7 @@ fn cache_hits_bypass_the_executor_and_match_harness_run_bytes() {
         trace_sink: None,
         trace_epoch: None,
         cancel: None,
+        ..RunOptions::default()
     };
     let direct = executor::run(&experiments, &opts).expect("warming run");
     let direct_text = direct.jobs[0].output.clone();

@@ -169,4 +169,17 @@ echo "== chaos-campaign smoke (hostile sockets, zero invariant violations) =="
 cargo run -q --release -p sparten-harness -- chaos --seed 1 --quick \
   | tee /dev/stderr | grep -q "0 violated, 0 crashed"
 
+echo "== disk-fault smoke (power-cut oracle, zero recovery violations) =="
+# One seeded trial per filesystem lie (ENOSPC, short write, fsync
+# failure, rename failure, bit rot): run on a fault-injecting VFS, cut
+# the power at a seeded op-log prefix, recover with resume + fsck
+# --repair, and byte-compare against a clean run. Exits non-zero on any
+# recovery violation; the counters line proves faults were injected.
+DISKCHAOS_OUT="$(cargo run -q --release -p sparten-harness -- diskchaos --seed 1 --quick)"
+echo "$DISKCHAOS_OUT" | grep -q "0 violated, 0 crashed"
+echo "$DISKCHAOS_OUT" | grep -q "disk.injected="
+echo "$DISKCHAOS_OUT" | grep -q "disk.enospc="
+echo "$DISKCHAOS_OUT" | grep -q "recovery.repaired="
+echo "$DISKCHAOS_OUT"
+
 echo "verify: OK"
