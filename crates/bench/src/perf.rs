@@ -260,6 +260,28 @@ pub fn run_benchmarks(opts: &BenchOptions, extras: Vec<ExtraBench<'_>>) -> Bench
         std::hint::black_box(engine.run_layer(&w, BalanceMode::GbH, false));
     });
 
+    // ---- Analytical-model paths: one closed-form layer evaluation (the
+    // per-point cost the DSE pays in place of a simulated layer), and a
+    // ~1k-configuration slice of the `dse --quick` grid (two executor
+    // batches, exactly what one sweep point computes). ----
+    use sparten::model::dse::{DseAxes, DseGrid};
+    let eval_params = sparten::model::LayerParams::new(shape, 0.35, 0.3);
+    let eval_buf =
+        sparten::model::scheme_buffer_bytes_per_mac(Scheme::SpartenGbH, &config.accel.cluster);
+    macro_bench("model/eval-point", &mut || {
+        std::hint::black_box(sparten::model::evaluate(
+            &eval_params,
+            &config,
+            Scheme::SpartenGbH,
+            eval_buf,
+        ));
+    });
+    let dse_grid = DseGrid::new(DseAxes::quick());
+    macro_bench("dse/1k-sweep", &mut || {
+        std::hint::black_box(dse_grid.batch_record(0));
+        std::hint::black_box(dse_grid.batch_record(1));
+    });
+
     for mut extra in extras {
         let name = extra.name.clone();
         macro_bench(&name, &mut *extra.run);

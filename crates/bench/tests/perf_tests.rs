@@ -65,7 +65,14 @@ fn artifact_schema_and_registry_are_pinned() {
     let macro_names: Vec<&str> = report.macros.iter().map(|m| m.name.as_str()).collect();
     assert_eq!(
         macro_names,
-        ["layer/Dense", "layer/SparTen", "layer/SCNN", "engine/run-layer"],
+        [
+            "layer/Dense",
+            "layer/SparTen",
+            "layer/SCNN",
+            "engine/run-layer",
+            "model/eval-point",
+            "dse/1k-sweep",
+        ],
         "macro registry changed — update the golden list AND the baseline"
     );
 

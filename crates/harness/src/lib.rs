@@ -27,6 +27,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod diskchaos;
+pub mod dse;
 pub mod events;
 pub mod executor;
 pub mod faults;

@@ -28,6 +28,12 @@ USAGE:
                         [--resume [RUN_ID]] [--journal-dir PATH]
                         [--drain-timeout SECS] [--abort-after N]
                         [--events-dir PATH]
+    sparten-harness dse [--quick] [--jobs N] [--force] [--strict]
+                        [--retries N] [--point-timeout SECS]
+                        [--cache-dir PATH] [--no-artifacts]
+                        [--resume [RUN_ID]] [--journal-dir PATH]
+                        [--drain-timeout SECS] [--abort-after N]
+                        [--events-dir PATH]
     sparten-harness bench [--quick] [--filter SUBSTR] [--threshold X]
                           [--out PATH] [--check-schema] [--enforce]
     sparten-harness faults [--seed N] [--trials N] [--quick] [--report PATH]
@@ -57,6 +63,17 @@ COMMANDS:
              `run --resume`. On SIGINT/SIGTERM the run drains: in-flight
              points finish, the journal records a clean shutdown, and the
              exit code is 75 (resumable). A second signal aborts at once.
+    dse      Sweep the analytical model (crates/model) over a grid of
+             architectures: chunk size × compute units × clusters × buffer
+             capacity × scheme × layer shape × density grid — 1 080 000
+             configurations, or 16 200 with --quick. Batches of 512
+             configurations run through the same parallel executor,
+             content-addressed cache, and write-ahead journal as `run`
+             (so an interrupted sweep resumes with `dse --resume` and
+             re-runs are incremental), then the merged results are reduced
+             to a throughput/energy Pareto frontier printed as a table and
+             written to results/dse/. Deterministic: the same grid yields
+             byte-identical output and artifacts on every run.
     bench    Run the deterministic micro+macro benchmark registry: each
              word-parallel fast-path kernel against its structural-circuit
              oracle, one cycle-simulated layer per architecture, the
@@ -210,6 +227,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "run" => cmd_run(&args[1..]),
+        "dse" => cmd_dse(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "faults" => cmd_faults(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
@@ -264,6 +282,30 @@ fn command_spec(cmd: &str) -> CommandSpec {
                 "--no-artifacts",
                 "--telemetry",
                 "--telemetry-dir",
+                "--resume",
+                "--journal-dir",
+                "--drain-timeout",
+                "--abort-after",
+                "--events-dir",
+            ],
+        },
+        "dse" => CommandSpec {
+            usage: "sparten-harness dse [--quick] [--jobs N] [--force] [--strict]\n\
+                    \x20                   [--retries N] [--point-timeout SECS]\n\
+                    \x20                   [--cache-dir PATH] [--no-artifacts]\n\
+                    \x20                   [--resume [RUN_ID]] [--journal-dir PATH]\n\
+                    \x20                   [--drain-timeout SECS] [--abort-after N]\n\
+                    \x20                   [--events-dir PATH]",
+            allowed: &[
+                "--quick",
+                "--jobs",
+                "-j",
+                "--force",
+                "--strict",
+                "--retries",
+                "--point-timeout",
+                "--cache-dir",
+                "--no-artifacts",
                 "--resume",
                 "--journal-dir",
                 "--drain-timeout",
@@ -735,10 +777,62 @@ fn cmd_run(args: &[String]) -> ExitCode {
         opts.drain_timeout = t;
     }
     opts.abort_after = flags.abort_after;
+    drive_executor(opts, &registry(), flags.resume, flags.events_dir, flags.strict)
+}
 
+/// `dse`: the analytical-model design-space sweep, driven through the same
+/// executor/cache/journal stack as `run` — only the job registry differs
+/// (one sweep experiment instead of the paper figures).
+fn cmd_dse(args: &[String]) -> ExitCode {
+    let flags = match parse_cmd_flags("dse", args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let experiment: std::sync::Arc<dyn sparten_harness::Experiment> = if flags.quick {
+        std::sync::Arc::new(sparten_harness::dse::DseExperiment::quick())
+    } else {
+        std::sync::Arc::new(sparten_harness::dse::DseExperiment::full())
+    };
+    let jobs = vec![experiment];
+    let mut opts = RunOptions {
+        force: flags.force,
+        write_artifacts: !flags.no_artifacts,
+        ..RunOptions::default()
+    };
+    if let Some(j) = flags.jobs {
+        opts.jobs = j;
+    }
+    if let Some(n) = flags.retries {
+        opts.max_attempts = n;
+    }
+    opts.point_timeout = flags.point_timeout;
+    if let Some(d) = flags.cache_dir {
+        opts.cache_dir = d.into();
+    }
+    if let Some(d) = flags.journal_dir {
+        opts.journal_dir = Some(d.into());
+    }
+    if let Some(t) = flags.drain_timeout {
+        opts.drain_timeout = t;
+    }
+    opts.abort_after = flags.abort_after;
+    drive_executor(opts, &jobs, flags.resume, flags.events_dir, flags.strict)
+}
+
+/// The shared executor-driving tail of `run` and `dse`: resolve
+/// `--resume`, open the event log, install cooperative signal handling,
+/// run the jobs, and print the per-job summary. `strict` gates the exit
+/// code on quarantined points.
+fn drive_executor(
+    mut opts: RunOptions,
+    jobs: &[std::sync::Arc<dyn sparten_harness::Experiment>],
+    resume_flag: Option<Option<String>>,
+    events_dir_flag: Option<String>,
+    strict: bool,
+) -> ExitCode {
     // Resolve `--resume [RUN_ID]` to a journal path up front so a typo'd
     // run id fails with a one-line diagnostic, not mid-run.
-    if let Some(resume) = flags.resume {
+    if let Some(resume) = resume_flag {
         let dir = opts
             .journal_dir
             .clone()
@@ -796,12 +890,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     opts.trace = Some(TraceContext::root());
-    let events_dir = PathBuf::from(
-        flags
-            .events_dir
-            .clone()
-            .unwrap_or_else(|| "results/events".into()),
-    );
+    let events_dir = PathBuf::from(events_dir_flag.unwrap_or_else(|| "results/events".into()));
     if let Err(e) = events::init_run(&events_dir, &run_id) {
         // A broken event log never blocks the run itself.
         events::warn(
@@ -813,7 +902,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     // Cooperative shutdown: first SIGINT/SIGTERM drains, second aborts.
     opts.shutdown = Some(signal::install());
 
-    let report = match executor::run(&registry(), &opts) {
+    let report = match executor::run(jobs, &opts) {
         Ok(r) => r,
         Err(e) => {
             events::error("run.failed", &e);
@@ -917,7 +1006,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     // Graceful degradation: a run with quarantined points still completed
     // and wrote every healthy result, so it exits zero unless the caller
     // opted into --strict.
-    if report.all_ok() || !flags.strict {
+    if report.all_ok() || !strict {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,24 @@
+//! Prints the full golden-point oracle error report (model vs simulators).
+//!
+//! Run in release — the cycle-accurate side is the slow half:
+//!
+//! ```text
+//! cargo run -p sparten-model --release --example oracle_report
+//! ```
+
+use sparten_model::oracle::{compare_layer, error_report, golden_points, GOLDEN_SEED};
+
+fn main() {
+    let mut rows = Vec::new();
+    for p in golden_points() {
+        rows.extend(compare_layer(
+            p.network,
+            p.config_tag,
+            &p.spec,
+            &p.config,
+            &p.schemes,
+            GOLDEN_SEED,
+        ));
+    }
+    print!("{}", error_report(&rows, GOLDEN_SEED));
+}

@@ -1,0 +1,154 @@
+//! Order statistics and discrete-expectation helpers.
+//!
+//! The analytical model replaces each simulator's max-over-units barrier
+//! with the expected maximum of the per-unit work distribution. For `n`
+//! roughly-normal summands the classic Blom approximation gives
+//! `E[max] ≈ μ + σ · Φ⁻¹((n − 0.375)/(n + 0.25))`; the standard normal
+//! quantile function Φ⁻¹ is evaluated with Acklam's rational approximation
+//! (relative error < 1.2e-9 over the open unit interval), which keeps the
+//! crate dependency-free.
+
+/// Standard normal quantile function Φ⁻¹ (Acklam's approximation).
+///
+/// Returns 0 for p outside the open interval (callers only evaluate it at
+/// Blom plotting positions, which are interior for `n ≥ 1`).
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Blom's coefficient: `E[max of n iid standard normals] ≈ Φ⁻¹((n − 0.375)
+/// / (n + 0.25))`. Zero for `n ≤ 1` (the max of one sample is its mean).
+pub fn expected_max_coeff(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    inv_norm_cdf((n as f64 - 0.375) / (n as f64 + 0.25))
+}
+
+/// Expected maximum of `n` summand distributions with mean `mu` and
+/// standard deviation `sigma`, clamped to the feasible range `[mu, cap]`.
+///
+/// In the deep-sparse regime the normal approximation collapses (the work
+/// distribution is a near-Bernoulli spike at zero), so the result is also
+/// floored at `P(max ≥ 1) ≈ 1 − (1 − p_hit)^trials` — the exact first
+/// moment when at most one unit ever sees work.
+pub fn expected_max(mu: f64, sigma: f64, n: usize, cap: f64, p_hit: f64, trials: f64) -> f64 {
+    let normal = mu + sigma * expected_max_coeff(n);
+    let sparse_floor = if p_hit > 0.0 && p_hit < 1.0 {
+        1.0 - (1.0 - p_hit).powf(trials)
+    } else if p_hit >= 1.0 && trials > 0.0 {
+        1.0
+    } else {
+        0.0
+    };
+    normal.max(sparse_floor).clamp(mu.max(0.0), cap.max(mu))
+}
+
+/// First-order `E[⌈X/e⌉]` for `X ~ Binomial(n, p)`: the mean divided by `e`
+/// plus the expected round-up of `(e − X mod e) mod e ≈ (e−1)/2` whenever
+/// `X > 0`. Exact when `p = 1` (X is deterministic).
+pub fn expected_ceil_div(n: f64, p: f64, e: f64) -> f64 {
+    if n <= 0.0 || p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return (n / e).ceil();
+    }
+    let p_any = 1.0 - (1.0 - p).powf(n);
+    n * p / e + p_any * (e - 1.0) / (2.0 * e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_match_known_values() {
+        // Φ⁻¹(0.5) = 0, Φ⁻¹(0.975) ≈ 1.95996, symmetric tails.
+        assert!(inv_norm_cdf(0.5).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.025) + 1.959_964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.9999) - 3.719_016).abs() < 1e-3);
+    }
+
+    #[test]
+    fn blom_coefficient_grows_with_n() {
+        assert_eq!(expected_max_coeff(1), 0.0);
+        let c2 = expected_max_coeff(2);
+        let c32 = expected_max_coeff(32);
+        let c1024 = expected_max_coeff(1024);
+        assert!(c2 > 0.0 && c32 > c2 && c1024 > c32);
+        // E[max of 2 normals] = 1/√π ≈ 0.5642; Blom is within a few percent.
+        assert!((c2 - 0.564).abs() < 0.03);
+    }
+
+    #[test]
+    fn expected_max_respects_bounds() {
+        let m = expected_max(10.0, 3.0, 8, 12.0, 0.5, 100.0);
+        assert!((10.0..=12.0).contains(&m));
+        // Sparse floor dominates when the mean is tiny.
+        let s = expected_max(0.01, 0.1, 32, 64.0, 0.001, 2000.0);
+        assert!(s > 0.5);
+    }
+
+    #[test]
+    fn ceil_div_is_exact_for_deterministic_x() {
+        assert_eq!(expected_ceil_div(36.0, 1.0, 4.0), 9.0);
+        assert_eq!(expected_ceil_div(37.0, 1.0, 4.0), 10.0);
+        assert_eq!(expected_ceil_div(0.0, 1.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn ceil_div_first_order_is_close_to_monte_carlo_mean() {
+        // Binomial(100, 0.3), e = 4: E[⌈X/4⌉] ≈ 30/4 + 3/8 = 7.875.
+        let v = expected_ceil_div(100.0, 0.3, 4.0);
+        assert!((v - 7.875).abs() < 1e-9);
+    }
+}

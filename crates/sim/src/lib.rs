@@ -54,4 +54,4 @@ pub use scnn_engine::{scnn_cartesian_conv, scnn_cartesian_conv_telemetry, Cartes
 pub use sweeps::{density_sweep, scaling_sweep, DensityPoint, ScalingPoint};
 pub use trace::{trace_cluster, trace_cluster_telemetry, ChunkEvent, ClusterTraceLog};
 pub use validate::{standard_battery, validate_layer, ValidationReport};
-pub use workmodel::MaskModel;
+pub use workmodel::{LayerMeasurement, MaskModel};

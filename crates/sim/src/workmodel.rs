@@ -16,6 +16,17 @@ use sparten_core::chunking::padded_fiber_len;
 use sparten_nn::generate::Workload;
 use sparten_nn::ConvShape;
 
+/// Measured per-layer densities (see [`MaskModel::measure`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerMeasurement {
+    /// Fraction of non-zero input cells.
+    pub input_density: f64,
+    /// Fraction of non-zero weights, over all filters.
+    pub filter_density: f64,
+    /// Population standard deviation of the per-filter densities.
+    pub filter_density_std: f64,
+}
+
 /// Packed sparsity masks of one layer's workload.
 #[derive(Debug, Clone)]
 pub struct MaskModel {
@@ -201,6 +212,34 @@ impl MaskModel {
             }
             total
         })
+    }
+
+    /// Non-zero weights of filter `f` alone.
+    pub fn filter_nnz(&self, f: usize) -> u64 {
+        let k = self.shape.kernel;
+        let base = f * k * k * self.words_per_fiber;
+        let len = k * k * self.words_per_fiber;
+        popcount_words(&self.filter_words[base..base + len]) as u64
+    }
+
+    /// Measured per-layer densities — the inputs the `sparten-model`
+    /// analytical throughput model consumes. Input and filter densities are
+    /// exact counts over the masks; `filter_density_std` is the population
+    /// standard deviation of the per-filter densities, which drives the
+    /// model's greedy-balance imbalance terms.
+    pub fn measure(&self) -> LayerMeasurement {
+        let cells_per_filter = (self.shape.window_len()) as f64;
+        let nf = self.shape.num_filters;
+        let densities: Vec<f64> = (0..nf)
+            .map(|f| self.filter_nnz(f) as f64 / cells_per_filter)
+            .collect();
+        let mean = densities.iter().sum::<f64>() / nf as f64;
+        let var = densities.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / nf as f64;
+        LayerMeasurement {
+            input_density: self.input_nnz as f64 / self.shape.input_cells() as f64,
+            filter_density: self.weight_nnz as f64 / self.shape.weight_cells() as f64,
+            filter_density_std: var.sqrt(),
+        }
     }
 
     /// Per-chunk filter-mask popcounts for filter `f` — GB-H's sort key and

@@ -15,6 +15,10 @@
 //!   SCNN with the paper's execution-time breakdown;
 //! * [`energy`] — the 45 nm energy model (Figure 13) and the cluster ASIC
 //!   area/power estimate (Table 4);
+//! * [`model`] — first-order analytical throughput/energy model and the
+//!   design-space-exploration grids behind `sparten-harness dse`, kept
+//!   honest by a differential oracle against the cycle-accurate
+//!   simulators;
 //! * [`telemetry`] — cycle-level counters, stall-cause tracing, and the
 //!   Chrome-trace/plain-text exporters behind `sparten-harness
 //!   --telemetry`;
@@ -40,6 +44,7 @@ pub use sparten_arch as arch;
 pub use sparten_core as core;
 pub use sparten_faults as faults;
 pub use sparten_energy as energy;
+pub use sparten_model as model;
 pub use sparten_nn as nn;
 pub use sparten_sim as sim;
 pub use sparten_telemetry as telemetry;

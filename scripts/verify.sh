@@ -74,11 +74,38 @@ diff -r -x cache -x journal -x events \
 ( cd "$SMOKE_CRASH/interrupted" && "$HARNESS_BIN" fsck >/dev/null )
 ( cd "$SMOKE_CRASH/clean" && "$HARNESS_BIN" fsck >/dev/null )
 
+echo "== dse smoke (quick sweep: determinism, frontier, crash -> resume) =="
+SMOKE_DSE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_DSE"' EXIT
+mkdir -p "$SMOKE_DSE/a" "$SMOKE_DSE/b" "$SMOKE_DSE/crash"
+# Two cold sweeps of the 16,200-config quick grid must agree byte for byte.
+( cd "$SMOKE_DSE/a" && "$HARNESS_BIN" dse --quick --jobs 2 >/dev/null )
+( cd "$SMOKE_DSE/b" && "$HARNESS_BIN" dse --quick --jobs 2 >/dev/null )
+diff "$SMOKE_DSE/a/results/dse/dse-quick_frontier.json" \
+     "$SMOKE_DSE/b/results/dse/dse-quick_frontier.json"
+diff "$SMOKE_DSE/a/results/dse/dse-quick_points.json" \
+     "$SMOKE_DSE/b/results/dse/dse-quick_points.json"
+# The Pareto frontier is non-empty and carries both objectives.
+grep -q '"throughput_macs_per_cycle"' "$SMOKE_DSE/a/results/dse/dse-quick_frontier.json"
+grep -q '"energy_per_mac_pj"' "$SMOKE_DSE/a/results/dse/dse-quick_frontier.json"
+# Kill the sweep after 10 computed batches, resume it, and demand the
+# recovered artifacts match an uninterrupted run's exactly.
+( cd "$SMOKE_DSE/crash" && \
+  ! "$HARNESS_BIN" dse --quick --jobs 2 --abort-after 10 >/dev/null 2>&1 )
+( cd "$SMOKE_DSE/crash" && \
+  "$HARNESS_BIN" dse --quick --jobs 2 --resume > resume.out )
+grep -q "resumed: 10 completed point(s)" "$SMOKE_DSE/crash/resume.out"
+diff -r -x cache -x journal -x events \
+  "$SMOKE_DSE/crash/results" "$SMOKE_DSE/a/results"
+
+echo "== analytical-model oracle (release: full golden catalog) =="
+cargo test -q --release -p sparten-model
+
 echo "== bench smoke (quick registry, pinned schema, kernel speedups) =="
 # Write to a scratch path so the smoke never clobbers the committed
 # BENCH_sim.json baseline; --check-schema parses the artifact back.
 SMOKE_BENCH="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH"' EXIT
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_DSE" "$SMOKE_BENCH"' EXIT
 cargo run -q --release -p sparten-harness -- bench --quick --check-schema \
   --out "$SMOKE_BENCH/BENCH_sim.json"
 test -s "$SMOKE_BENCH/BENCH_sim.json"
@@ -97,7 +124,7 @@ grep -q "sparten-harness run" "$SMOKE_BENCH/badflag.out"
 
 echo "== serve smoke (ephemeral port, streamed run, metrics, SIGTERM drain) =="
 SMOKE_SERVE="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_BENCH" "$SMOKE_SERVE"' EXIT
+trap 'rm -rf "$SMOKE_CACHE" "$SMOKE_JOURNAL" "$SMOKE_EVENTS" "$SMOKE_TEL" "$SMOKE_CRASH" "$SMOKE_DSE" "$SMOKE_BENCH" "$SMOKE_SERVE"' EXIT
 "$PWD/target/release/sparten-harness" serve --addr 127.0.0.1:0 \
   --port-file "$SMOKE_SERVE/port" --jobs 2 \
   --cache-dir "$SMOKE_SERVE/cache" --journal-dir "$SMOKE_SERVE/journal" \
